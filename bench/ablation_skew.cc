@@ -1,0 +1,173 @@
+// Ablation (Section 4.4): "The size of the heap and hash maps inside the
+// coalesce operator is predominantly determined by the application time
+// skew between the input streams. Heartbeats [11] and sophisticated
+// scheduling strategies can be used to minimize application time skew and
+// thus the memory allocation of the coalesce operator."
+//
+// We migrate a 2-way join under GenMig while stream S1 is DELIVERED `lag`
+// elements behind S0 (its timestamps are timely — pure scheduling/latency
+// skew) and record the migration machinery's peak state (coalesce heap +
+// pending maps). With heartbeats, the lagging source announces the start
+// timestamp of its next pending element after every delivery, which lets
+// the coalesce release its buffers despite the lag.
+
+#include <cstdio>
+#include <memory>
+
+#include "migration/controller.h"
+#include "ops/source.h"
+#include "plan/compile.h"
+#include "stream/generator.h"
+
+using namespace genmig;           // NOLINT
+using namespace genmig::logical;  // NOLINT
+
+namespace {
+
+constexpr Duration kW = 2000;
+constexpr size_t kMigrateAtIndex = 1000;
+
+LogicalPtr ThePlan() {
+  return EquiJoin(Window(SourceNode("S0", Schema::OfInts({"x"})), kW),
+                  Window(SourceNode("S1", Schema::OfInts({"x"})), kW), 0, 0);
+}
+
+struct Outcome {
+  size_t peak_state_units = 0;
+  size_t peak_state_bytes = 0;
+};
+
+Outcome RunWithLag(size_t lag, bool heartbeats) {
+  const auto s0 = ToPhysicalStream(GenerateKeyedStream(3000, 5, 20, 61));
+  const auto s1 = ToPhysicalStream(GenerateKeyedStream(3000, 5, 20, 62));
+
+  MigrationController controller("ctrl",
+                                 CompilePlan(*StripWindows(ThePlan())));
+  CollectorSink sink("sink");
+  controller.ConnectTo(0, &sink, 0);
+  Source src0("s0");
+  Source src1("s1");
+  TimeWindow w0("w0", kW);
+  TimeWindow w1("w1", kW);
+  src0.ConnectTo(0, &w0, 0);
+  src1.ConnectTo(0, &w1, 0);
+  w0.ConnectTo(0, &controller, 0);
+  w1.ConnectTo(0, &controller, 1);
+
+  Outcome o;
+  auto sample = [&]() {
+    if (!controller.migration_in_progress()) return;
+    const size_t units = controller.StateUnits() -
+                         controller.active_box().StateUnits() -
+                         controller.new_box().StateUnits();
+    const size_t bytes = controller.StateBytes() -
+                         controller.active_box().StateBytes() -
+                         controller.new_box().StateBytes();
+    o.peak_state_units = std::max(o.peak_state_units, units);
+    o.peak_state_bytes = std::max(o.peak_state_bytes, bytes);
+  };
+
+  // Deliver S0 `lag` elements ahead of S1.
+  for (size_t i = 0; i < s0.size() + lag; ++i) {
+    if (i == kMigrateAtIndex) {
+      MigrationController::GenMigOptions opts;
+      opts.window = kW;
+      controller.StartGenMig(CompilePlan(*StripWindows(ThePlan())), opts);
+    }
+    if (i < s0.size()) src0.Inject(s0[i]);
+    if (i >= lag) src1.Inject(s1[i - lag]);
+    if (heartbeats && i >= lag && i + 1 - lag < s1.size()) {
+      // The lagging source announces its next pending element's timestamp.
+      src1.InjectHeartbeat(s1[i + 1 - lag].interval.start);
+    }
+    sample();
+  }
+  src0.Close();
+  src1.Close();
+  return o;
+}
+
+}  // namespace
+
+/// Scenario B: S1 is sparse (one element every `gap` time units) but
+/// punctual. Between its rare elements its watermark stalls — unless it
+/// emits heartbeats announcing the timestamp of its next element.
+Outcome RunSparse(int64_t gap, bool heartbeats) {
+  const auto s0 = ToPhysicalStream(GenerateKeyedStream(3000, 5, 20, 61));
+  const auto s1 =
+      ToPhysicalStream(GenerateKeyedStream(3000 * 5 / gap + 2, gap, 20, 62));
+
+  MigrationController controller("ctrl",
+                                 CompilePlan(*StripWindows(ThePlan())));
+  CollectorSink sink("sink");
+  controller.ConnectTo(0, &sink, 0);
+  Source src0("s0");
+  Source src1("s1");
+  TimeWindow w0("w0", kW);
+  TimeWindow w1("w1", kW);
+  src0.ConnectTo(0, &w0, 0);
+  src1.ConnectTo(0, &w1, 0);
+  w0.ConnectTo(0, &controller, 0);
+  w1.ConnectTo(0, &controller, 1);
+
+  Outcome o;
+  size_t j = 0;  // Next s1 element.
+  for (size_t i = 0; i < s0.size(); ++i) {
+    if (i == kMigrateAtIndex) {
+      MigrationController::GenMigOptions opts;
+      opts.window = kW;
+      controller.StartGenMig(CompilePlan(*StripWindows(ThePlan())), opts);
+    }
+    src0.Inject(s0[i]);
+    while (j < s1.size() &&
+           s1[j].interval.start <= s0[i].interval.start) {
+      src1.Inject(s1[j++]);
+    }
+    if (heartbeats && j < s1.size()) {
+      src1.InjectHeartbeat(s1[j].interval.start);
+    }
+    if (controller.migration_in_progress()) {
+      const size_t units = controller.StateUnits() -
+                           controller.active_box().StateUnits() -
+                           controller.new_box().StateUnits();
+      const size_t bytes = controller.StateBytes() -
+                           controller.active_box().StateBytes() -
+                           controller.new_box().StateBytes();
+      o.peak_state_units = std::max(o.peak_state_units, units);
+      o.peak_state_bytes = std::max(o.peak_state_bytes, bytes);
+    }
+  }
+  src0.Close();
+  src1.Close();
+  return o;
+}
+
+int main() {
+  std::printf("Ablation: coalesce state vs input skew (Sec 4.4)\n\n");
+  std::printf("A) S1 delivered `lag` elements (x5 time units) behind S0 "
+              "(delivery skew):\n");
+  std::printf("%10s | %14s %14s\n", "lag_elems", "merge_elems",
+              "merge_bytes");
+  for (size_t lag : {0u, 20u, 80u, 200u}) {
+    const Outcome plain = RunWithLag(lag, /*heartbeats=*/false);
+    std::printf("%10zu | %14zu %14zu\n", lag, plain.peak_state_units,
+                plain.peak_state_bytes);
+  }
+  std::printf("\nB) S1 sparse (one element per `gap` units, punctual), with "
+              "and without heartbeats:\n");
+  std::printf("%10s | %14s %14s | %16s %16s\n", "gap", "merge_elems",
+              "merge_bytes", "hb_merge_elems", "hb_merge_bytes");
+  for (int64_t gap : {5, 50, 200, 1000}) {
+    const Outcome plain = RunSparse(gap, /*heartbeats=*/false);
+    const Outcome hb = RunSparse(gap, /*heartbeats=*/true);
+    std::printf("%10lld | %14zu %14zu | %16zu %16zu\n",
+                static_cast<long long>(gap), plain.peak_state_units,
+                plain.peak_state_bytes, hb.peak_state_units,
+                hb.peak_state_bytes);
+  }
+  std::printf("\npaper claim: the coalesce footprint is driven by the "
+              "application-time skew between the inputs; heartbeats [11] "
+              "minimize it for sparse-but-punctual streams (B), while "
+              "genuine delivery lag (A) must be handled by scheduling.\n");
+  return 0;
+}

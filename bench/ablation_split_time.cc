@@ -1,0 +1,98 @@
+// Ablation (Section 4.5, Optimization 2): shortening the migration by
+// deriving T_split from the maximum end timestamp inside the old box. "This
+// optimization is particularly effective if the plan to be optimized is not
+// close to window operators" — i.e. when the states' validity intervals are
+// much shorter than the global window constraint.
+//
+// Setup: a join over streams with a small per-element validity `v` while the
+// declared global window constraint stays at w = 10 s. Algorithm 1 must use
+// the conservative T_split = max t_Si + w + 1 + eps; Optimization 2 can use
+// max state end ~ t_Si + v + 1.
+
+#include <cstdio>
+#include <memory>
+
+#include "migration/controller.h"
+#include "plan/compile.h"
+#include "plan/executor.h"
+#include "stream/generator.h"
+
+using namespace genmig;           // NOLINT
+using namespace genmig::logical;  // NOLINT
+
+namespace {
+
+constexpr Duration kGlobalWindow = 10000;
+constexpr int64_t kMigrationStart = 15000;
+
+struct Outcome {
+  int64_t t_split_offset = 0;   // T_split - migration start.
+  int64_t duration = 0;         // Migration duration in time units.
+};
+
+Outcome RunOne(Duration validity, bool end_timestamp_split) {
+  auto plan = [&]() {
+    return EquiJoin(
+        Window(SourceNode("S0", Schema::OfInts({"x"})), validity),
+        Window(SourceNode("S1", Schema::OfInts({"x"})), validity), 0, 0);
+  };
+  MigrationController controller("ctrl",
+                                 CompilePlan(*StripWindows(plan())));
+  CollectorSink sink("sink");
+  controller.ConnectTo(0, &sink, 0);
+  Executor exec;
+  std::vector<std::unique_ptr<TimeWindow>> windows;
+  for (int s = 0; s < 2; ++s) {
+    const int feed = exec.AddRawFeed(
+        "S" + std::to_string(s),
+        GenerateKeyedStream(4000, 10, 100, 7 + static_cast<uint64_t>(s)));
+    windows.push_back(std::make_unique<TimeWindow>(
+        "w" + std::to_string(s), validity));
+    exec.ConnectFeed(feed, windows.back().get(), 0);
+    windows.back()->ConnectTo(0, &controller, s);
+  }
+  exec.RunUntil(Timestamp(kMigrationStart));
+  MigrationController::GenMigOptions opts;
+  opts.window = kGlobalWindow;
+  opts.end_timestamp_split = end_timestamp_split;
+  controller.StartGenMig(CompilePlan(*StripWindows(plan())), opts);
+  int64_t end = -1;
+  while (!exec.finished()) {
+    if (!controller.migration_in_progress() && end < 0) {
+      end = exec.current_time().t;
+      break;
+    }
+    exec.Step();
+  }
+  exec.RunToCompletion();
+  if (end < 0) end = exec.current_time().t;
+  Outcome o;
+  o.t_split_offset = controller.t_split().t - kMigrationStart;
+  o.duration = end - kMigrationStart;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: Optimization 2 (end-timestamp split time)\n");
+  std::printf("global window constraint w = %lld; per-element validity "
+              "varies\n\n",
+              static_cast<long long>(kGlobalWindow));
+  std::printf("%12s | %14s %12s | %14s %12s\n", "validity", "alg1_tsplit",
+              "alg1_dur", "opt2_tsplit", "opt2_dur");
+  for (Duration v : {100, 500, 2000, 10000}) {
+    const Outcome alg1 = RunOne(v, /*end_timestamp_split=*/false);
+    const Outcome opt2 = RunOne(v, /*end_timestamp_split=*/true);
+    std::printf("%12lld | %14lld %12lld | %14lld %12lld\n",
+                static_cast<long long>(v),
+                static_cast<long long>(alg1.t_split_offset),
+                static_cast<long long>(alg1.duration),
+                static_cast<long long>(opt2.t_split_offset),
+                static_cast<long long>(opt2.duration));
+  }
+  std::printf("\npaper shape: Optimization 2's migration duration tracks the "
+              "actual validity (~v) instead of the conservative global "
+              "window (~w).\n");
+  return 0;
+}

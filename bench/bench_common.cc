@@ -1,0 +1,118 @@
+#include "bench_common.h"
+
+#include <chrono>
+
+namespace genmig {
+namespace bench {
+
+ExperimentResult RunJoinExperiment(const Figure45Config& cfg,
+                                   Strategy strategy, int64_t bucket) {
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  auto old_plan = BuildJoinTree(JoinShape::LeftDeep(cfg.num_streams),
+                                cfg.num_streams, EqOnFirst(),
+                                cfg.predicate_cost);
+  auto new_plan = BuildJoinTree(JoinShape::RightDeep(cfg.num_streams),
+                                cfg.num_streams, EqOnFirst(),
+                                cfg.predicate_cost);
+
+  MigrationController controller("ctrl", std::move(old_plan.box));
+  CollectorSink sink("sink");
+  if (strategy == Strategy::kParallelTrack) {
+    sink.SetRelaxedInputOrdering(0);
+  }
+  controller.ConnectTo(0, &sink, 0);
+
+  Executor exec;
+  std::vector<std::unique_ptr<TimeWindow>> windows;
+  const auto streams = MakeStreams(cfg);
+  for (int s = 0; s < cfg.num_streams; ++s) {
+    const int feed = exec.AddFeed("S" + std::to_string(s),
+                                  streams[static_cast<size_t>(s)]);
+    windows.push_back(std::make_unique<TimeWindow>(
+        "w" + std::to_string(s), cfg.window));
+    exec.ConnectFeed(feed, windows.back().get(), 0);
+    windows.back()->ConnectTo(0, &controller, s);
+  }
+
+  ExperimentResult result;
+  const int64_t horizon =
+      static_cast<int64_t>(cfg.elements_per_stream) * cfg.period +
+      2 * cfg.window + 2 * bucket;
+  result.rate_per_bucket.assign(
+      static_cast<size_t>(horizon / bucket) + 2, 0);
+  result.bytes_per_bucket.assign(result.rate_per_bucket.size(), 0);
+
+  sink.set_on_element([&](const StreamElement&) {
+    const int64_t t = std::max<int64_t>(exec.current_time().t, 0);
+    const size_t b = static_cast<size_t>(t / bucket);
+    if (b < result.rate_per_bucket.size()) ++result.rate_per_bucket[b];
+  });
+
+  bool was_migrating = false;
+  exec.after_step = [&]() {
+    const int64_t t = std::max<int64_t>(exec.current_time().t, 0);
+    const size_t b = static_cast<size_t>(t / bucket);
+    if (b < result.bytes_per_bucket.size()) {
+      result.bytes_per_bucket[b] =
+          std::max(result.bytes_per_bucket[b], controller.StateBytes());
+    }
+    const bool migrating = controller.migration_in_progress();
+    if (was_migrating && !migrating && result.migration_end < 0) {
+      result.migration_end = exec.current_time().t;
+    }
+    was_migrating = migrating;
+  };
+
+  exec.RunUntil(Timestamp(cfg.migration_start));
+  switch (strategy) {
+    case Strategy::kNone:
+      break;
+    case Strategy::kGenMigCoalesce: {
+      MigrationController::GenMigOptions opts;
+      opts.window = cfg.window;
+      controller.StartGenMig(std::move(new_plan.box), opts);
+      break;
+    }
+    case Strategy::kGenMigRefPoint: {
+      MigrationController::GenMigOptions opts;
+      opts.window = cfg.window;
+      opts.variant = MigrationController::GenMigOptions::Variant::kRefPoint;
+      controller.StartGenMig(std::move(new_plan.box), opts);
+      break;
+    }
+    case Strategy::kGenMigEndTs: {
+      MigrationController::GenMigOptions opts;
+      opts.end_timestamp_split = true;
+      controller.StartGenMig(std::move(new_plan.box), opts);
+      break;
+    }
+    case Strategy::kParallelTrack:
+      controller.StartParallelTrack(std::move(new_plan.box), cfg.window);
+      break;
+    case Strategy::kMovingStates: {
+      // old_plan.box was moved into the controller; the operator pointers in
+      // old_plan.leaf_state / root remain valid.
+      controller.StartMovingStates(
+          std::move(new_plan.box),
+          MakeJoinTreeSeeder(&old_plan, &new_plan));
+      break;
+    }
+  }
+  was_migrating = controller.migration_in_progress();
+  if (!was_migrating && strategy != Strategy::kNone) {
+    result.migration_end = exec.current_time().t;
+  }
+  exec.RunToCompletion();
+
+  result.output_count = sink.count();
+  result.t_split = controller.t_split();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return result;
+}
+
+}  // namespace bench
+}  // namespace genmig

@@ -1,0 +1,111 @@
+// Shared harness for the Section 5 experiments.
+//
+// Setup (paper): four input streams A, B, C, D; 5000 elements each at 100
+// elements/second; values uniform in [0,500] for A and B and [0,1000] for C
+// and D; 4-way nested-loops equi-joins under a global time-based window of
+// 10 seconds; the old plan is the left-deep tree ((A|x|B)|x|C)|x|D, the new
+// plan the right-deep tree A|x|(B|x|(C|x|D)); migration starts after 20
+// seconds.
+//
+// We use 1 time unit = 1 ms of application time: period 10, window 10000,
+// migration start 20000.
+
+#ifndef GENMIG_BENCH_BENCH_COMMON_H_
+#define GENMIG_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "migration/controller.h"
+#include "migration/join_tree.h"
+#include "plan/executor.h"
+#include "stream/generator.h"
+
+namespace genmig {
+namespace bench {
+
+struct Figure45Config {
+  size_t elements_per_stream = 5000;
+  int64_t period = 10;          // 100 elements/second at 1 unit = 1 ms.
+  Duration window = 10000;      // 10 seconds.
+  int64_t migration_start = 20000;  // 20 seconds.
+  int num_streams = 4;
+  int64_t small_domain = 500;   // A, B.
+  int64_t large_domain = 1000;  // C, D.
+  int predicate_cost = 0;
+  uint64_t seed = 4242;
+};
+
+inline NestedLoopsJoin::Predicate EqOnFirst() {
+  return [](const Tuple& l, const Tuple& r) {
+    return l.field(0) == r.field(0);
+  };
+}
+
+/// The four input streams of the experiment (raw, physical).
+inline std::vector<MaterializedStream> MakeStreams(
+    const Figure45Config& cfg) {
+  std::vector<MaterializedStream> streams;
+  for (int s = 0; s < cfg.num_streams; ++s) {
+    UniformStreamSpec spec;
+    spec.count = cfg.elements_per_stream;
+    spec.period = cfg.period;
+    spec.min_value = 0;
+    spec.max_value = s < 2 ? cfg.small_domain : cfg.large_domain;
+    spec.seed = cfg.seed + static_cast<uint64_t>(s);
+    streams.push_back(ToPhysicalStream(GenerateUniformStream(spec)));
+  }
+  return streams;
+}
+
+enum class Strategy {
+  kNone,            // No migration (baseline).
+  kGenMigCoalesce,  // GenMig, Algorithm 1-3.
+  kGenMigRefPoint,  // GenMig, Optimization 1.
+  kGenMigEndTs,     // GenMig, Optimization 2.
+  kParallelTrack,   // Zhu et al. baseline.
+  kMovingStates,    // Zhu et al. baseline.
+};
+
+inline const char* StrategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kNone:
+      return "none";
+    case Strategy::kGenMigCoalesce:
+      return "genmig-coalesce";
+    case Strategy::kGenMigRefPoint:
+      return "genmig-refpoint";
+    case Strategy::kGenMigEndTs:
+      return "genmig-endts";
+    case Strategy::kParallelTrack:
+      return "parallel-track";
+    case Strategy::kMovingStates:
+      return "moving-states";
+  }
+  return "?";
+}
+
+struct ExperimentResult {
+  size_t output_count = 0;
+  /// Output elements per application-time bucket.
+  std::vector<size_t> rate_per_bucket;
+  /// Controller state bytes sampled once per bucket.
+  std::vector<size_t> bytes_per_bucket;
+  /// Application time when the migration finished (-1 if none/never).
+  int64_t migration_end = -1;
+  Timestamp t_split;
+  double wall_seconds = 0.0;
+};
+
+/// Runs the 4-way join experiment under `strategy`, sampling output rate
+/// and controller memory per `bucket` time units.
+ExperimentResult RunJoinExperiment(const Figure45Config& cfg,
+                                   Strategy strategy, int64_t bucket);
+
+}  // namespace bench
+}  // namespace genmig
+
+#endif  // GENMIG_BENCH_BENCH_COMMON_H_

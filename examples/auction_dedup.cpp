@@ -1,0 +1,116 @@
+// Auction scenario: why GenMig instead of Parallel Track.
+//
+// A marketplace keeps a continuous "hot items" board: items that currently
+// have both an active bid and an active watch (10-minute sliding windows),
+// each item listed at most once — a dedup over a join. The optimizer wants
+// to push the duplicate elimination below the join (the Figure 2 rule).
+// Migrating that rewrite with Parallel Track corrupts the board (items
+// listed twice); GenMig keeps it exact.
+//
+//   ./build/examples/auction_dedup
+
+#include <cstdio>
+
+#include "migration/controller.h"
+#include "plan/compile.h"
+#include "plan/executor.h"
+#include "ref/eval.h"
+#include "stream/generator.h"
+
+using namespace genmig;           // NOLINT: example brevity.
+using namespace genmig::logical;  // NOLINT
+
+namespace {
+
+constexpr Duration kWindow = 600;      // "10 minutes" at 1 unit = 1 second.
+constexpr int64_t kMigrateAt = 900;
+
+LogicalPtr Bids() {
+  return Window(SourceNode("bids", Schema::OfInts({"item"})), kWindow);
+}
+LogicalPtr Watches() {
+  return Window(SourceNode("watches", Schema::OfInts({"item"})), kWindow);
+}
+LogicalPtr HotItems() {  // Installed plan: dedup above the join.
+  return Dedup(Project(EquiJoin(Bids(), Watches(), 0, 0), {0}));
+}
+LogicalPtr HotItemsPushed() {  // Rewritten: dedup pushed below the join.
+  return Project(EquiJoin(Dedup(Bids()), Dedup(Watches()), 0, 0), {0});
+}
+
+MaterializedStream RunWithStrategy(bool use_genmig,
+                                   const ref::InputMap& inputs) {
+  MigrationController controller("ctrl",
+                                 CompilePlan(*StripWindows(HotItems())));
+  CollectorSink sink("sink");
+  sink.SetRelaxedInputOrdering(0);  // PT's final flush is a burst.
+  controller.ConnectTo(0, &sink, 0);
+  Executor exec;
+  TimeWindow wb("wb", kWindow);
+  TimeWindow ww("ww", kWindow);
+  exec.ConnectFeed(exec.AddFeed("bids", inputs.at("bids")), &wb, 0);
+  exec.ConnectFeed(exec.AddFeed("watches", inputs.at("watches")), &ww, 0);
+  wb.ConnectTo(0, &controller, 0);
+  ww.ConnectTo(0, &controller, 1);
+  exec.RunUntil(Timestamp(kMigrateAt));
+  Box new_box = CompilePlan(*StripWindows(HotItemsPushed()));
+  if (use_genmig) {
+    MigrationController::GenMigOptions opts;
+    opts.window = kWindow;
+    controller.StartGenMig(std::move(new_box), opts);
+  } else {
+    controller.StartParallelTrack(std::move(new_box), kWindow);
+  }
+  exec.RunToCompletion();
+  return sink.collected();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== auction 'hot items' board: dedup-pushdown migration "
+              "===\n\n");
+
+  // 60 items, bids/watches every few seconds for ~40 minutes.
+  ref::InputMap inputs;
+  inputs["bids"] = ToPhysicalStream(GenerateKeyedStream(800, 3, 60, 501));
+  inputs["watches"] = ToPhysicalStream(GenerateKeyedStream(800, 3, 60, 502));
+
+  std::printf("running the board with Parallel Track migration at t=%llds "
+              "...\n",
+              static_cast<long long>(kMigrateAt));
+  const MaterializedStream pt = RunWithStrategy(false, inputs);
+  std::printf("running the board with GenMig migration at t=%llds ...\n\n",
+              static_cast<long long>(kMigrateAt));
+  const MaterializedStream gm = RunWithStrategy(true, inputs);
+
+  const Status pt_dup = ref::CheckNoDuplicateSnapshots(pt);
+  const Status gm_dup = ref::CheckNoDuplicateSnapshots(gm);
+  const Status pt_eq = ref::CheckPlanOutput(*HotItems(), inputs, pt);
+  const Status gm_eq = ref::CheckPlanOutput(*HotItems(), inputs, gm);
+
+  std::printf("Parallel Track: board entries unique: %s\n",
+              pt_dup.ok() ? "yes" : "NO  <-- items listed twice");
+  if (!pt_dup.ok()) std::printf("   %s\n", pt_dup.message().c_str());
+  std::printf("Parallel Track: board matches the query: %s\n",
+              pt_eq.ok() ? "yes" : "NO");
+  std::printf("GenMig:         board entries unique: %s\n",
+              gm_dup.ok() ? "yes" : "NO");
+  std::printf("GenMig:         board matches the query: %s\n\n",
+              gm_eq.ok() ? "yes" : "NO");
+
+  // Count the corrupted board seconds under PT.
+  size_t corrupted = 0;
+  size_t total = 0;
+  for (int64_t t = 0; t <= 3000; t += 10) {
+    ++total;
+    if (!ref::BagsEqual(ref::SnapshotAt(pt, Timestamp(t)),
+                        ref::SnapshotAt(gm, Timestamp(t)))) {
+      ++corrupted;
+    }
+  }
+  std::printf("board states sampled every 10s: %zu/%zu differ between PT "
+              "and GenMig (GenMig equals the reference everywhere)\n",
+              corrupted, total);
+  return 0;
+}

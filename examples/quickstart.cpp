@@ -1,0 +1,91 @@
+// Quickstart: register streams, pose a CQL sliding-window query, run it, and
+// migrate the running plan to a re-optimized one with GenMig — without
+// stopping the query or losing a single result.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "cql/parser.h"
+#include "migration/controller.h"
+#include "opt/rules.h"
+#include "plan/compile.h"
+#include "plan/executor.h"
+#include "stream/generator.h"
+
+using namespace genmig;  // NOLINT: example brevity.
+
+int main() {
+  // 1. Register the input streams' schemas.
+  cql::Catalog catalog;
+  catalog.Register("Orders", Schema::OfInts({"item"}));
+  catalog.Register("Shipments", Schema::OfInts({"item"}));
+
+  // 2. Pose a continuous query: which items currently have both an open
+  // order and an open shipment (10-second sliding windows)?
+  auto parsed = cql::ParseQuery(
+      "SELECT DISTINCT Orders.item "
+      "FROM Orders [RANGE 10000], Shipments [RANGE 10000] "
+      "WHERE Orders.item = Shipments.item",
+      catalog);
+  if (!parsed.ok()) {
+    std::printf("parse error: %s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  const LogicalPtr plan = parsed.value();
+  std::printf("logical plan:\n%s\n", plan->ToString().c_str());
+
+  // 3. Compile. The window operators stay outside the migration boundary
+  // (source -> window -> controller -> plan box).
+  const LogicalPtr box_plan = logical::StripWindows(plan);
+  MigrationController controller("ctrl", CompilePlan(*box_plan));
+  CollectorSink sink("sink");
+  controller.ConnectTo(0, &sink, 0);
+
+  Executor exec;
+  TimeWindow w_orders("w_orders", 10000);
+  TimeWindow w_shipments("w_shipments", 10000);
+  exec.ConnectFeed(
+      exec.AddRawFeed("Orders", GenerateKeyedStream(3000, 10, 50, 1)),
+      &w_orders, 0);
+  exec.ConnectFeed(
+      exec.AddRawFeed("Shipments", GenerateKeyedStream(3000, 10, 50, 2)),
+      &w_shipments, 0);
+  w_orders.ConnectTo(0, &controller, 0);
+  w_shipments.ConnectTo(0, &controller, 1);
+
+  // 4. Run for 12 seconds of application time.
+  exec.RunUntil(Timestamp(12000));
+  std::printf("after 12s: %zu results, state bytes %zu\n", sink.count(),
+              controller.StateBytes());
+
+  // 5. Live re-optimization: replace the hash join with a dedup-pushdown
+  // variant (snapshot-equivalent) using GenMig. The query keeps producing
+  // results throughout.
+  // Apply the Figure 2 rewrite: push the duplicate elimination below the
+  // join (dramatically smaller join state for duplicate-heavy streams).
+  LogicalPtr new_plan = logical::StripWindows(plan);
+  if (auto pushed = rules::PushDownDedup(plan)) {
+    std::printf("optimizer rewrite (dedup pushdown):\n%s\n",
+                (*pushed)->ToString().c_str());
+    new_plan = logical::StripWindows(*pushed);
+  }
+  Box new_box = CompilePlan(*new_plan);
+  new_box.ReorderInputs(logical::CollectSourceNames(*box_plan));
+  MigrationController::GenMigOptions opts;
+  opts.window = 10000;
+  controller.StartGenMig(std::move(new_box), opts);
+  std::printf("migration started at t=12s, T_split=%s\n",
+              controller.t_split().ToString().c_str());
+
+  exec.RunToCompletion();
+  std::printf("finished: %d migration(s) completed, %zu total results\n",
+              controller.migrations_completed(), sink.count());
+  std::printf("first results: ");
+  for (size_t i = 0; i < 3 && i < sink.collected().size(); ++i) {
+    std::printf("%s ", sink.collected()[i].ToString().c_str());
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Internal invariant checking. GENMIG_CHECK aborts with a message when an
+// invariant is violated; it is always on (also in release builds) because the
+// engine's correctness arguments (ordering invariants, watermark monotonicity)
+// depend on these conditions holding at runtime.
+
+#ifndef GENMIG_COMMON_CHECK_H_
+#define GENMIG_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace genmig {
+namespace internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "GENMIG_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal_check
+}  // namespace genmig
+
+#define GENMIG_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::genmig::internal_check::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                                   \
+  } while (false)
+
+#define GENMIG_CHECK_EQ(a, b) GENMIG_CHECK((a) == (b))
+#define GENMIG_CHECK_NE(a, b) GENMIG_CHECK((a) != (b))
+#define GENMIG_CHECK_LT(a, b) GENMIG_CHECK((a) < (b))
+#define GENMIG_CHECK_LE(a, b) GENMIG_CHECK((a) <= (b))
+#define GENMIG_CHECK_GT(a, b) GENMIG_CHECK((a) > (b))
+#define GENMIG_CHECK_GE(a, b) GENMIG_CHECK((a) >= (b))
+
+#endif  // GENMIG_COMMON_CHECK_H_

@@ -1,0 +1,47 @@
+#include "common/schema.h"
+
+namespace genmig {
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  // Exact match first.
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  // Unqualified match: "x" matches "S.x" if unambiguous.
+  std::optional<size_t> found;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const std::string& cand = columns_[i].name;
+    size_t dot = cand.rfind('.');
+    if (dot != std::string::npos && cand.substr(dot + 1) == name) {
+      if (found.has_value()) return std::nullopt;  // Ambiguous.
+      found = i;
+    }
+  }
+  return found;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<Column> cols = left.columns_;
+  cols.insert(cols.end(), right.columns_.begin(), right.columns_.end());
+  return Schema(std::move(cols));
+}
+
+Schema Schema::Qualified(const std::string& qualifier) const {
+  std::vector<Column> cols = columns_;
+  for (Column& c : cols) c.name = qualifier + "." + c.name;
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ":";
+    out += ValueTypeName(columns_[i].type);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace genmig

@@ -1,0 +1,68 @@
+// Schema: named, typed columns of a stream. Used by the CQL front end and the
+// logical plan layer to resolve attribute references to field indices.
+
+#ifndef GENMIG_COMMON_SCHEMA_H_
+#define GENMIG_COMMON_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace genmig {
+
+/// One column of a Schema.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+
+  bool operator==(const Column& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// Ordered list of columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  /// All-int schema with the given column names.
+  static Schema OfInts(std::initializer_list<std::string> names) {
+    std::vector<Column> cols;
+    for (const auto& n : names) cols.push_back({n, ValueType::kInt64});
+    return Schema(std::move(cols));
+  }
+
+  size_t size() const { return columns_.size(); }
+  const Column& column(size_t i) const {
+    GENMIG_CHECK_LT(i, columns_.size());
+    return columns_[i];
+  }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column with the given name, if any. Names may be qualified
+  /// ("S.x"); an unqualified lookup matches the suffix after the last '.'.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+  /// Schema of the concatenation of two inputs (join output). Column names of
+  /// the right side win no disambiguation; callers pre-qualify names.
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  /// Schema with every column name prefixed by "<qualifier>.".
+  Schema Qualified(const std::string& qualifier) const;
+
+  bool operator==(const Schema& other) const {
+    return columns_ == other.columns_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace genmig
+
+#endif  // GENMIG_COMMON_SCHEMA_H_

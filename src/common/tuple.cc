@@ -1,0 +1,47 @@
+#include "common/tuple.h"
+
+namespace genmig {
+
+Tuple Tuple::Concat(const Tuple& left, const Tuple& right) {
+  std::vector<Value> fields;
+  fields.reserve(left.size() + right.size());
+  fields.insert(fields.end(), left.fields_.begin(), left.fields_.end());
+  fields.insert(fields.end(), right.fields_.begin(), right.fields_.end());
+  return Tuple(std::move(fields));
+}
+
+Tuple Tuple::Project(const std::vector<size_t>& indices) const {
+  std::vector<Value> fields;
+  fields.reserve(indices.size());
+  for (size_t i : indices) {
+    GENMIG_CHECK_LT(i, fields_.size());
+    fields.push_back(fields_[i]);
+  }
+  return Tuple(std::move(fields));
+}
+
+size_t Tuple::Hash() const {
+  size_t h = 0x51ed270b0129ULL;
+  for (const Value& v : fields_) {
+    h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+size_t Tuple::PayloadBytes() const {
+  size_t bytes = 0;
+  for (const Value& v : fields_) bytes += v.PayloadBytes();
+  return bytes;
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace genmig

@@ -1,0 +1,65 @@
+#include "common/value.h"
+
+#include <cstdio>
+
+namespace genmig {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+      return "INT";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+size_t Value::Hash() const {
+  // Mix the type tag in so that e.g. Value(1) and Value(1.0) hash apart,
+  // matching operator== which distinguishes them.
+  size_t seed = static_cast<size_t>(rep_.index()) * 0x9e3779b97f4a7c15ULL;
+  size_t h = 0;
+  switch (type()) {
+    case ValueType::kInt64:
+      h = std::hash<int64_t>()(std::get<int64_t>(rep_));
+      break;
+    case ValueType::kDouble:
+      h = std::hash<double>()(std::get<double>(rep_));
+      break;
+    case ValueType::kString:
+      h = std::hash<std::string>()(std::get<std::string>(rep_));
+      break;
+  }
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+size_t Value::PayloadBytes() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return sizeof(int64_t);
+    case ValueType::kDouble:
+      return sizeof(double);
+    case ValueType::kString:
+      return std::get<std::string>(rep_).size();
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return std::to_string(std::get<int64_t>(rep_));
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", std::get<double>(rep_));
+      return buf;
+    }
+    case ValueType::kString:
+      return "\"" + std::get<std::string>(rep_) + "\"";
+  }
+  return "?";
+}
+
+}  // namespace genmig

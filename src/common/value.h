@@ -1,0 +1,81 @@
+// Value: the atomic datum carried in tuple fields. A small tagged union over
+// the types the CQL subset supports (64-bit integers, doubles, strings).
+
+#ifndef GENMIG_COMMON_VALUE_H_
+#define GENMIG_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+
+#include "common/check.h"
+
+namespace genmig {
+
+/// Runtime type tag of a Value / schema column.
+enum class ValueType : uint8_t { kInt64 = 0, kDouble = 1, kString = 2 };
+
+/// Name of a ValueType ("INT", "DOUBLE", "STRING") for diagnostics.
+const char* ValueTypeName(ValueType type);
+
+/// A dynamically typed datum. Values of different types never compare equal;
+/// ordering is first by type tag, then by payload, so Values can key ordered
+/// containers regardless of column type mixes.
+class Value {
+ public:
+  Value() : rep_(int64_t{0}) {}
+  explicit Value(int64_t v) : rep_(v) {}
+  explicit Value(double v) : rep_(v) {}
+  explicit Value(std::string v) : rep_(std::move(v)) {}
+  explicit Value(const char* v) : rep_(std::string(v)) {}
+
+  ValueType type() const { return static_cast<ValueType>(rep_.index()); }
+
+  bool is_int64() const { return type() == ValueType::kInt64; }
+  bool is_double() const { return type() == ValueType::kDouble; }
+  bool is_string() const { return type() == ValueType::kString; }
+
+  int64_t AsInt64() const {
+    GENMIG_CHECK(is_int64());
+    return std::get<int64_t>(rep_);
+  }
+  double AsDouble() const {
+    GENMIG_CHECK(is_double());
+    return std::get<double>(rep_);
+  }
+  const std::string& AsString() const {
+    GENMIG_CHECK(is_string());
+    return std::get<std::string>(rep_);
+  }
+
+  /// Numeric view: int64 and double values as double. Aborts on strings.
+  double AsNumeric() const {
+    if (is_int64()) return static_cast<double>(AsInt64());
+    return AsDouble();
+  }
+
+  bool operator==(const Value& other) const { return rep_ == other.rep_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const { return rep_ < other.rep_; }
+
+  size_t Hash() const;
+
+  /// Bytes of payload held by this value (used for the Figure 5 style
+  /// "values only" memory accounting).
+  size_t PayloadBytes() const;
+
+  std::string ToString() const;
+
+ private:
+  std::variant<int64_t, double, std::string> rep_;
+};
+
+/// Hash functor for unordered containers keyed by Value.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace genmig
+
+#endif  // GENMIG_COMMON_VALUE_H_

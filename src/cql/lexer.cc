@@ -1,0 +1,94 @@
+#include "cql/lexer.h"
+
+#include <cctype>
+
+namespace genmig {
+namespace cql {
+
+bool Token::IsKeyword(const char* kw) const {
+  if (kind != TokenKind::kIdent) return false;
+  size_t i = 0;
+  for (; kw[i] != '\0' && i < text.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(text[i])) != kw[i]) {
+      return false;
+    }
+  }
+  return kw[i] == '\0' && i == text.size();
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      tokens.push_back(
+          {TokenKind::kIdent, input.substr(start, i - start), start});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+        ++i;
+      }
+      if (i + 1 < n && input[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(input[i + 1]))) {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+      }
+      tokens.push_back({is_float ? TokenKind::kFloat : TokenKind::kInt,
+                        input.substr(start, i - start), start});
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string value;
+      while (i < n && input[i] != '\'') value.push_back(input[i++]);
+      if (i >= n) {
+        return Status::InvalidArgument(
+            "unterminated string literal at offset " +
+            std::to_string(start));
+      }
+      ++i;  // Closing quote.
+      tokens.push_back({TokenKind::kString, value, start});
+      continue;
+    }
+    // Two-character operators first.
+    if (i + 1 < n) {
+      const std::string two = input.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "!=" || two == "<>") {
+        tokens.push_back({TokenKind::kSymbol, two == "<>" ? "!=" : two,
+                          start});
+        i += 2;
+        continue;
+      }
+    }
+    static const std::string kSingles = "()[],.*=<>+-/";
+    if (kSingles.find(c) != std::string::npos) {
+      tokens.push_back({TokenKind::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument("unexpected character '" +
+                                   std::string(1, c) + "' at offset " +
+                                   std::to_string(start));
+  }
+  tokens.push_back({TokenKind::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace cql
+}  // namespace genmig

@@ -1,0 +1,41 @@
+// Tokenizer for the CQL subset (SELECT ... FROM S [RANGE w], ... WHERE ...).
+
+#ifndef GENMIG_CQL_LEXER_H_
+#define GENMIG_CQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace genmig {
+namespace cql {
+
+enum class TokenKind {
+  kIdent,    // Identifiers and keywords (keywords matched case-insensitive).
+  kInt,      // Integer literal.
+  kFloat,    // Floating-point literal.
+  kString,   // 'quoted string'.
+  kSymbol,   // Punctuation / operators: ( ) [ ] , . * = != <> < <= > >= + - /
+  kEnd,      // End of input.
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     // Verbatim text (string literals unquoted).
+  size_t position = 0;  // Byte offset in the input, for error messages.
+
+  /// Case-insensitive keyword check.
+  bool IsKeyword(const char* kw) const;
+  bool IsSymbol(const char* sym) const {
+    return kind == TokenKind::kSymbol && text == sym;
+  }
+};
+
+/// Tokenizes `input`.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace cql
+}  // namespace genmig
+
+#endif  // GENMIG_CQL_LEXER_H_

@@ -1,0 +1,633 @@
+#include "cql/parser.h"
+
+#include <algorithm>
+
+#include "cql/lexer.h"
+
+namespace genmig {
+namespace cql {
+namespace {
+
+struct FromItem {
+  std::string stream;
+  std::string alias;
+  Duration window = 0;       // Time window ([RANGE n]).
+  size_t rows = 0;           // Count window ([ROWS n]).
+  bool windowed = false;
+  bool count_window = false;
+};
+
+struct SelectItem {
+  bool is_aggregate = false;
+  AggKind agg = AggKind::kCount;
+  std::string column;  // Empty for COUNT(*).
+  std::string output_name;
+};
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const Catalog& catalog)
+      : tokens_(std::move(tokens)), catalog_(catalog) {}
+
+  Result<LogicalPtr> Parse() {
+    Result<LogicalPtr> left = ParseSelect();
+    if (!left.ok()) return left;
+    LogicalPtr plan = left.value();
+    while (true) {
+      const bool is_union = At().IsKeyword("UNION");
+      const bool is_except = At().IsKeyword("EXCEPT");
+      if (!is_union && !is_except) break;
+      ++pos_;
+      Result<LogicalPtr> right = ParseSelect();
+      if (!right.ok()) return right;
+      if (plan->schema.size() != right.value()->schema.size()) {
+        return Status::InvalidArgument(
+            "UNION/EXCEPT operands must have the same number of columns");
+      }
+      plan = is_union ? logical::Union(plan, right.value())
+                      : logical::Difference(plan, right.value());
+    }
+    if (At().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return plan;
+  }
+
+ private:
+  /// Parses one SELECT query (no trailing-input check).
+  Result<LogicalPtr> ParseSelect() {
+    // Reset per-SELECT state (UNION/EXCEPT chains reuse the parser).
+    select_star_ = false;
+    having_mode_ = false;
+    group_by_names_.clear();
+    select_items_.clear();
+    from_items_.clear();
+    relation_first_col_.clear();
+    combined_ = Schema();
+
+    if (!Accept("SELECT")) return Error("expected SELECT");
+    const bool distinct = Accept("DISTINCT");
+    Status s = ParseSelectList();
+    if (!s.ok()) return s;
+    if (!Accept("FROM")) return Error("expected FROM");
+    s = ParseFromList();
+    if (!s.ok()) return s;
+
+    // Resolve the combined (qualified) schema now, before WHERE.
+    Status schema_status = ResolveCombinedSchema();
+    if (!schema_status.ok()) return schema_status;
+
+    ExprPtr where;
+    if (Accept("WHERE")) {
+      Result<ExprPtr> pred = ParseExpr();
+      if (!pred.ok()) return pred.status();
+      where = pred.value();
+    }
+    std::vector<std::string> group_by;
+    if (Accept("GROUP")) {
+      if (!Accept("BY")) return Error("expected BY after GROUP");
+      do {
+        Result<std::string> col = ParseColumnName();
+        if (!col.ok()) return col.status();
+        group_by.push_back(col.value());
+      } while (AcceptSymbol(","));
+    }
+    ExprPtr having;
+    if (Accept("HAVING")) {
+      // HAVING expressions resolve against the aggregate's output schema:
+      // group columns first, then the SELECT list's aggregates in order.
+      having_mode_ = true;
+      group_by_names_ = group_by;
+      Result<ExprPtr> pred = ParseExpr();
+      having_mode_ = false;
+      if (!pred.ok()) return pred.status();
+      having = pred.value();
+    }
+    return Translate(distinct, where, group_by, having);
+  }
+
+  const Token& At() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+  bool Accept(const char* kw) {
+    if (At().IsKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool AcceptSymbol(const char* sym) {
+    if (At().IsSymbol(sym)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(message + " at offset " +
+                                   std::to_string(At().position));
+  }
+
+  // --- SELECT list -----------------------------------------------------------
+
+  Status ParseSelectList() {
+    if (AcceptSymbol("*")) {
+      select_star_ = true;
+      return Status::OK();
+    }
+    do {
+      SelectItem item;
+      if (At().kind != TokenKind::kIdent) {
+        return Error("expected column or aggregate in SELECT list");
+      }
+      static const std::pair<const char*, AggKind> kAggs[] = {
+          {"COUNT", AggKind::kCount}, {"SUM", AggKind::kSum},
+          {"AVG", AggKind::kAvg},     {"MIN", AggKind::kMin},
+          {"MAX", AggKind::kMax}};
+      bool is_agg = false;
+      for (const auto& [kw, kind] : kAggs) {
+        if (At().IsKeyword(kw) && tokens_[pos_ + 1].IsSymbol("(")) {
+          pos_ += 2;
+          item.is_aggregate = true;
+          item.agg = kind;
+          if (kind == AggKind::kCount && AcceptSymbol("*")) {
+            // COUNT(*) has no column.
+          } else {
+            Result<std::string> col = ParseColumnName();
+            if (!col.ok()) return col.status();
+            item.column = col.value();
+          }
+          if (!AcceptSymbol(")")) return Error("expected )");
+          is_agg = true;
+          break;
+        }
+      }
+      if (!is_agg) {
+        Result<std::string> col = ParseColumnName();
+        if (!col.ok()) return col.status();
+        item.column = col.value();
+      }
+      if (Accept("AS")) {
+        if (At().kind != TokenKind::kIdent) return Error("expected alias");
+        item.output_name = Next().text;
+      }
+      select_items_.push_back(std::move(item));
+    } while (AcceptSymbol(","));
+    return Status::OK();
+  }
+
+  // --- FROM list -------------------------------------------------------------
+
+  Status ParseFromList() {
+    do {
+      if (At().kind != TokenKind::kIdent) return Error("expected stream name");
+      FromItem item;
+      item.stream = Next().text;
+      if (!catalog_.Has(item.stream)) {
+        return Status::NotFound("unknown stream '" + item.stream + "'");
+      }
+      item.alias = item.stream;
+      if (AcceptSymbol("[")) {
+        if (Accept("RANGE")) {
+          if (At().kind != TokenKind::kInt) {
+            return Error("expected window size");
+          }
+          item.window = std::stoll(Next().text);
+          item.windowed = true;
+        } else if (Accept("ROWS")) {
+          if (At().kind != TokenKind::kInt) {
+            return Error("expected row count");
+          }
+          item.rows = static_cast<size_t>(std::stoll(Next().text));
+          item.windowed = true;
+          item.count_window = true;
+        } else {
+          return Error("expected RANGE or ROWS");
+        }
+        if (!AcceptSymbol("]")) return Error("expected ]");
+      }
+      if (Accept("AS")) {
+        if (At().kind != TokenKind::kIdent) return Error("expected alias");
+        item.alias = Next().text;
+      }
+      from_items_.push_back(std::move(item));
+    } while (AcceptSymbol(","));
+    return Status::OK();
+  }
+
+  Status ResolveCombinedSchema() {
+    std::vector<Column> cols;
+    for (const FromItem& item : from_items_) {
+      const Schema qualified =
+          catalog_.Get(item.stream).Qualified(item.alias);
+      relation_first_col_.push_back(cols.size());
+      cols.insert(cols.end(), qualified.columns().begin(),
+                  qualified.columns().end());
+    }
+    combined_ = Schema(std::move(cols));
+    return Status::OK();
+  }
+
+  // --- Column / expression parsing --------------------------------------------
+
+  Result<std::string> ParseColumnName() {
+    if (At().kind != TokenKind::kIdent) return Error("expected column name");
+    std::string name = Next().text;
+    if (AcceptSymbol(".")) {
+      if (At().kind != TokenKind::kIdent) {
+        return Error("expected column after '.'");
+      }
+      name += "." + Next().text;
+    }
+    return name;
+  }
+
+  Result<size_t> ResolveColumn(const std::string& name) const {
+    auto index = combined_.IndexOf(name);
+    if (!index.has_value()) {
+      return Status::NotFound("unknown or ambiguous column '" + name + "'");
+    }
+    return *index;
+  }
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    Result<ExprPtr> left = ParseAnd();
+    if (!left.ok()) return left;
+    ExprPtr e = left.value();
+    while (Accept("OR")) {
+      Result<ExprPtr> right = ParseAnd();
+      if (!right.ok()) return right;
+      e = Expr::Or(e, right.value());
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    Result<ExprPtr> left = ParseNot();
+    if (!left.ok()) return left;
+    ExprPtr e = left.value();
+    while (Accept("AND")) {
+      Result<ExprPtr> right = ParseNot();
+      if (!right.ok()) return right;
+      e = Expr::And(e, right.value());
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (Accept("NOT")) {
+      Result<ExprPtr> operand = ParseNot();
+      if (!operand.ok()) return operand;
+      return Expr::Not(operand.value());
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    Result<ExprPtr> left = ParseAdditive();
+    if (!left.ok()) return left;
+    static const std::pair<const char*, Expr::CmpOp> kOps[] = {
+        {"=", Expr::CmpOp::kEq},  {"!=", Expr::CmpOp::kNe},
+        {"<=", Expr::CmpOp::kLe}, {">=", Expr::CmpOp::kGe},
+        {"<", Expr::CmpOp::kLt},  {">", Expr::CmpOp::kGt}};
+    for (const auto& [sym, op] : kOps) {
+      if (AcceptSymbol(sym)) {
+        Result<ExprPtr> right = ParseAdditive();
+        if (!right.ok()) return right;
+        return Expr::Compare(op, left.value(), right.value());
+      }
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    Result<ExprPtr> left = ParseMultiplicative();
+    if (!left.ok()) return left;
+    ExprPtr e = left.value();
+    while (true) {
+      if (AcceptSymbol("+")) {
+        Result<ExprPtr> r = ParseMultiplicative();
+        if (!r.ok()) return r;
+        e = Expr::Arith(Expr::ArithOp::kAdd, e, r.value());
+      } else if (AcceptSymbol("-")) {
+        Result<ExprPtr> r = ParseMultiplicative();
+        if (!r.ok()) return r;
+        e = Expr::Arith(Expr::ArithOp::kSub, e, r.value());
+      } else {
+        return e;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    Result<ExprPtr> left = ParseUnary();
+    if (!left.ok()) return left;
+    ExprPtr e = left.value();
+    while (true) {
+      if (AcceptSymbol("*")) {
+        Result<ExprPtr> r = ParseUnary();
+        if (!r.ok()) return r;
+        e = Expr::Arith(Expr::ArithOp::kMul, e, r.value());
+      } else if (AcceptSymbol("/")) {
+        Result<ExprPtr> r = ParseUnary();
+        if (!r.ok()) return r;
+        e = Expr::Arith(Expr::ArithOp::kDiv, e, r.value());
+      } else {
+        return e;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (AcceptSymbol("-")) {
+      Result<ExprPtr> operand = ParseUnary();
+      if (!operand.ok()) return operand;
+      return Expr::Arith(Expr::ArithOp::kSub,
+                         Expr::Const(Value(int64_t{0})), operand.value());
+    }
+    return ParsePrimary();
+  }
+
+  /// Resolves a HAVING reference: aggregate calls map to the SELECT list's
+  /// matching aggregate column, plain columns to GROUP BY positions.
+  Result<ExprPtr> ParseHavingPrimary() {
+    static const std::pair<const char*, AggKind> kAggs[] = {
+        {"COUNT", AggKind::kCount}, {"SUM", AggKind::kSum},
+        {"AVG", AggKind::kAvg},     {"MIN", AggKind::kMin},
+        {"MAX", AggKind::kMax}};
+    for (const auto& [kw, kind] : kAggs) {
+      if (!At().IsKeyword(kw) || !tokens_[pos_ + 1].IsSymbol("(")) continue;
+      pos_ += 2;
+      std::string column;
+      if (!(kind == AggKind::kCount && AcceptSymbol("*"))) {
+        Result<std::string> col = ParseColumnName();
+        if (!col.ok()) return col.status();
+        column = col.value();
+      }
+      if (!AcceptSymbol(")")) return Error("expected )");
+      // Find the matching aggregate in the SELECT list.
+      size_t ordinal = 0;
+      for (const SelectItem& item : select_items_) {
+        if (!item.is_aggregate) continue;
+        if (item.agg == kind && item.column == column) {
+          return Expr::Column(group_by_names_.size() + ordinal,
+                              std::string(kw));
+        }
+        ++ordinal;
+      }
+      return Status::InvalidArgument(
+          "HAVING aggregate must also appear in the SELECT list");
+    }
+    // Plain column: must be a GROUP BY column.
+    Result<std::string> name = ParseColumnName();
+    if (!name.ok()) return name.status();
+    for (size_t g = 0; g < group_by_names_.size(); ++g) {
+      if (group_by_names_[g] == name.value()) {
+        return Expr::Column(g, name.value());
+      }
+    }
+    return Status::InvalidArgument("HAVING column '" + name.value() +
+                                   "' must appear in GROUP BY");
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    if (AcceptSymbol("(")) {
+      Result<ExprPtr> e = ParseExpr();
+      if (!e.ok()) return e;
+      if (!AcceptSymbol(")")) return Error("expected )");
+      return e;
+    }
+    if (At().kind == TokenKind::kInt) {
+      return Expr::Const(Value(static_cast<int64_t>(std::stoll(Next().text))));
+    }
+    if (At().kind == TokenKind::kFloat) {
+      return Expr::Const(Value(std::stod(Next().text)));
+    }
+    if (At().kind == TokenKind::kString) {
+      return Expr::Const(Value(Next().text));
+    }
+    if (At().kind == TokenKind::kIdent) {
+      if (having_mode_) return ParseHavingPrimary();
+      Result<std::string> name = ParseColumnName();
+      if (!name.ok()) return name.status();
+      Result<size_t> index = ResolveColumn(name.value());
+      if (!index.ok()) return index.status();
+      return Expr::Column(index.value(), name.value());
+    }
+    return Error("expected expression");
+  }
+
+  // --- Translation -------------------------------------------------------------
+
+  /// Column range [first, last) of relation r in the combined schema.
+  std::pair<size_t, size_t> RelationRange(size_t r) const {
+    const size_t first = relation_first_col_[r];
+    const size_t last = r + 1 < relation_first_col_.size()
+                            ? relation_first_col_[r + 1]
+                            : combined_.size();
+    return {first, last};
+  }
+
+  Result<LogicalPtr> Translate(bool distinct, const ExprPtr& where,
+                               const std::vector<std::string>& group_by,
+                               const ExprPtr& having = nullptr) {
+    // Per-relation windowed sources.
+    std::vector<LogicalPtr> relations;
+    for (const FromItem& item : from_items_) {
+      LogicalPtr node = logical::SourceNode(
+          item.stream, catalog_.Get(item.stream).Qualified(item.alias));
+      if (item.windowed) {
+        node = item.count_window
+                   ? logical::CountWindowNode(node, item.rows)
+                   : logical::Window(node, item.window);
+      }
+      relations.push_back(node);
+    }
+
+    // Split WHERE into conjuncts.
+    std::vector<ExprPtr> conjuncts;
+    if (where != nullptr) CollectConjuncts(where, &conjuncts);
+
+    // Push single-relation conjuncts onto their relation.
+    std::vector<ExprPtr> remaining;
+    for (const ExprPtr& c : conjuncts) {
+      bool placed = false;
+      for (size_t r = 0; r < relations.size(); ++r) {
+        const auto [first, last] = RelationRange(r);
+        if (c->ColumnsWithin(first, last)) {
+          relations[r] = logical::Select(
+              relations[r],
+              c->ShiftColumns(-static_cast<int64_t>(first)));
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) remaining.push_back(c);
+    }
+
+    // Left-deep join; each step looks for an equi conjunct connecting the
+    // plan so far with the next relation.
+    LogicalPtr plan = relations[0];
+    size_t cols_so_far = RelationRange(0).second;
+    for (size_t r = 1; r < relations.size(); ++r) {
+      const auto [first, last] = RelationRange(r);
+      std::optional<std::pair<size_t, size_t>> equi;
+      for (auto it = remaining.begin(); it != remaining.end(); ++it) {
+        const ExprPtr& c = *it;
+        if (c->kind() != Expr::Kind::kCompare ||
+            c->cmp_op() != Expr::CmpOp::kEq) {
+          continue;
+        }
+        const ExprPtr& l = c->children()[0];
+        const ExprPtr& rr = c->children()[1];
+        if (l->kind() != Expr::Kind::kColumn ||
+            rr->kind() != Expr::Kind::kColumn) {
+          continue;
+        }
+        size_t a = l->column_index();
+        size_t b = rr->column_index();
+        if (a >= first && a < last) std::swap(a, b);
+        if (a < cols_so_far && b >= first && b < last) {
+          equi = {a, b - first};
+          remaining.erase(it);
+          break;
+        }
+      }
+      if (equi.has_value()) {
+        plan = logical::EquiJoin(plan, relations[r], equi->first,
+                                 equi->second);
+      } else {
+        plan = logical::Join(plan, relations[r], nullptr);
+      }
+      cols_so_far = last;
+    }
+
+    // Residual predicate above the joins.
+    if (!remaining.empty()) {
+      ExprPtr residual = remaining[0];
+      for (size_t i = 1; i < remaining.size(); ++i) {
+        residual = Expr::And(residual, remaining[i]);
+      }
+      plan = logical::Select(plan, residual);
+    }
+
+    // GROUP BY / aggregates.
+    const bool has_aggs =
+        std::any_of(select_items_.begin(), select_items_.end(),
+                    [](const SelectItem& s) { return s.is_aggregate; });
+    if (!group_by.empty() || has_aggs) {
+      if (select_star_) {
+        return Status::InvalidArgument(
+            "SELECT * cannot be combined with aggregation");
+      }
+      std::vector<size_t> group_fields;
+      for (const std::string& g : group_by) {
+        auto idx = plan->schema.IndexOf(g);
+        if (!idx.has_value()) {
+          return Status::NotFound("unknown GROUP BY column '" + g + "'");
+        }
+        group_fields.push_back(*idx);
+      }
+      std::vector<AggSpec> aggs;
+      for (const SelectItem& item : select_items_) {
+        if (!item.is_aggregate) {
+          auto idx = plan->schema.IndexOf(item.column);
+          if (!idx.has_value()) {
+            return Status::NotFound("unknown column '" + item.column + "'");
+          }
+          const bool grouped =
+              std::find(group_fields.begin(), group_fields.end(), *idx) !=
+              group_fields.end();
+          if (!grouped) {
+            return Status::InvalidArgument(
+                "non-aggregated column '" + item.column +
+                "' must appear in GROUP BY");
+          }
+          continue;
+        }
+        AggSpec spec;
+        spec.kind = item.agg;
+        if (!item.column.empty()) {
+          auto idx = plan->schema.IndexOf(item.column);
+          if (!idx.has_value()) {
+            return Status::NotFound("unknown column '" + item.column + "'");
+          }
+          spec.field = *idx;
+        }
+        aggs.push_back(spec);
+      }
+      plan = logical::Aggregate(plan, group_fields, aggs);
+      if (having != nullptr) {
+        plan = logical::Select(plan, having);
+      }
+      // Aggregate output: [group cols..., agg cols...] — project the select
+      // order on top.
+      std::vector<size_t> fields;
+      std::vector<std::string> names;
+      size_t agg_pos = group_fields.size();
+      for (const SelectItem& item : select_items_) {
+        if (item.is_aggregate) {
+          fields.push_back(agg_pos++);
+        } else {
+          auto idx = plan->schema.IndexOf(item.column);
+          GENMIG_CHECK(idx.has_value());
+          fields.push_back(*idx);
+        }
+        names.push_back(item.output_name);
+      }
+      plan = logical::Project(plan, fields, names);
+    } else if (!select_star_) {
+      std::vector<size_t> fields;
+      std::vector<std::string> names;
+      for (const SelectItem& item : select_items_) {
+        auto idx = plan->schema.IndexOf(item.column);
+        if (!idx.has_value()) {
+          return Status::NotFound("unknown column '" + item.column + "'");
+        }
+        fields.push_back(*idx);
+        names.push_back(item.output_name);
+      }
+      plan = logical::Project(plan, fields, names);
+    }
+
+    if (distinct) plan = logical::Dedup(plan);
+    return plan;
+  }
+
+  static void CollectConjuncts(const ExprPtr& expr,
+                               std::vector<ExprPtr>* out) {
+    if (expr->kind() == Expr::Kind::kAnd) {
+      CollectConjuncts(expr->children()[0], out);
+      CollectConjuncts(expr->children()[1], out);
+      return;
+    }
+    out->push_back(expr);
+  }
+
+  std::vector<Token> tokens_;
+  const Catalog& catalog_;
+  size_t pos_ = 0;
+
+  bool select_star_ = false;
+  bool having_mode_ = false;
+  std::vector<std::string> group_by_names_;
+  std::vector<SelectItem> select_items_;
+  std::vector<FromItem> from_items_;
+  std::vector<size_t> relation_first_col_;
+  Schema combined_;
+};
+
+}  // namespace
+
+Result<LogicalPtr> ParseQuery(const std::string& query,
+                              const Catalog& catalog) {
+  Result<std::vector<Token>> tokens = Tokenize(query);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).ValueOrDie(), catalog);
+  return parser.Parse();
+}
+
+}  // namespace cql
+}  // namespace genmig

@@ -1,0 +1,57 @@
+// Parser and translator for a CQL subset (Arasu/Babu/Widom [5]), producing
+// logical plans directly. Supported grammar:
+//
+//   query  := select ((UNION | EXCEPT) select)*
+//   select := SELECT [DISTINCT] select_list
+//             FROM from_item (',' from_item)*
+//             [WHERE predicate]
+//             [GROUP BY column (',' column)*]
+//             [HAVING predicate]
+//   select_list := '*' | item (',' item)*
+//   item   := column | COUNT '(' '*' ')' | (SUM|AVG|MIN|MAX) '(' column ')'
+//   from_item := stream_name ['[' (RANGE n | ROWS n) ']'] [AS alias]
+//
+// Predicates support comparisons (=, !=, <, <=, >, >=), arithmetic
+// (+, -, *, /), AND/OR/NOT, integer/float/string literals, and qualified or
+// unqualified column references.
+//
+// Translation: the FROM items become windowed sources joined left-deep; a
+// WHERE conjunct of the form left_col = right_col spanning exactly the next
+// relation becomes the join's equi key; single-relation conjuncts are pushed
+// onto their source; the rest stays as a selection above the joins. GROUP BY
+// becomes an Aggregate; DISTINCT becomes a Dedup on top.
+
+#ifndef GENMIG_CQL_PARSER_H_
+#define GENMIG_CQL_PARSER_H_
+
+#include <map>
+#include <string>
+
+#include "plan/logical.h"
+
+namespace genmig {
+namespace cql {
+
+/// Registered input streams with their schemas.
+class Catalog {
+ public:
+  void Register(const std::string& name, Schema schema) {
+    streams_[name] = std::move(schema);
+  }
+  bool Has(const std::string& name) const { return streams_.count(name) > 0; }
+  const Schema& Get(const std::string& name) const {
+    return streams_.at(name);
+  }
+
+ private:
+  std::map<std::string, Schema> streams_;
+};
+
+/// Parses `query` against `catalog` into a logical plan.
+Result<LogicalPtr> ParseQuery(const std::string& query,
+                              const Catalog& catalog);
+
+}  // namespace cql
+}  // namespace genmig
+
+#endif  // GENMIG_CQL_PARSER_H_

@@ -1,0 +1,153 @@
+#include "engine/dsms.h"
+
+#include <algorithm>
+
+#include "ops/count_window.h"
+
+namespace genmig {
+
+Dsms::Dsms(Options options)
+    : options_(options), exec_(options.executor) {
+  if (options_.reoptimize_period > 0) {
+    exec_.after_step = [this]() { MaybeAutoReoptimize(); };
+  }
+}
+
+void Dsms::RegisterStream(const std::string& name, Schema schema,
+                          MaterializedStream data) {
+  GENMIG_CHECK(feeds_.count(name) == 0);
+  catalog_.Register(name, std::move(schema));
+  feeds_[name] = exec_.AddFeed(name, std::move(data));
+}
+
+Result<Dsms::QueryId> Dsms::InstallQuery(const std::string& cql_text) {
+  Result<LogicalPtr> plan = cql::ParseQuery(cql_text, catalog_);
+  if (!plan.ok()) return plan.status();
+  return Install(plan.value());
+}
+
+Result<Dsms::QueryId> Dsms::InstallPlan(LogicalPtr plan) {
+  return Install(std::move(plan));
+}
+
+StatsTap* Dsms::SharedTap(const std::string& stream,
+                          const logical::LeafWindowSpec& spec) {
+  auto key = std::make_pair(stream, spec);
+  auto it = shared_.find(key);
+  if (it != shared_.end()) return it->second.tap.get();
+
+  SharedSubplan subplan;
+  const std::string tag =
+      stream + "#" + std::to_string(shared_.size());
+  if (spec.kind == LogicalNode::WindowKind::kCount) {
+    subplan.window = std::make_unique<CountWindow>("cw_" + tag, spec.rows);
+  } else {
+    subplan.window = std::make_unique<TimeWindow>("w_" + tag, spec.window);
+  }
+  subplan.tap =
+      std::make_unique<StatsTap>("tap_" + tag, options_.stats_horizon);
+  exec_.ConnectFeed(feeds_.at(stream), subplan.window.get(), 0);
+  subplan.window->ConnectTo(0, subplan.tap.get(), 0);
+  StatsTap* tap = subplan.tap.get();
+  shared_.emplace(std::move(key), std::move(subplan));
+  return tap;
+}
+
+Result<Dsms::QueryId> Dsms::Install(LogicalPtr plan) {
+  auto query = std::make_unique<Query>();
+  query->plan = plan;
+  query->source_names = logical::CollectSourceNames(*plan);
+  query->leaf_windows = logical::CollectLeafWindowSpecs(*plan);
+  for (const std::string& name : query->source_names) {
+    if (feeds_.count(name) == 0) {
+      return Status::NotFound("stream '" + name + "' is not registered");
+    }
+  }
+
+  query->controller = std::make_unique<MigrationController>(
+      "q" + std::to_string(queries_.size()),
+      CompilePlan(*logical::StripWindows(plan)));
+  query->controller->ConnectTo(0, &query->sink, 0);
+
+  // Per input port: (shared) feed -> window -> StatsTap, fanned out into
+  // this query's controller.
+  for (size_t i = 0; i < query->source_names.size(); ++i) {
+    StatsTap* tap =
+        SharedTap(query->source_names[i], query->leaf_windows[i]);
+    tap->ConnectTo(0, query->controller.get(), static_cast<int>(i));
+    query->taps.push_back(tap);
+  }
+
+  queries_.push_back(std::move(query));
+  return static_cast<QueryId>(queries_.size()) - 1;
+}
+
+StatsCatalog Dsms::CurrentStats() const {
+  StatsCatalog catalog;
+  // Streams observed by several queries: any tap works; the last one wins.
+  for (const auto& query : queries_) {
+    for (size_t i = 0; i < query->source_names.size(); ++i) {
+      catalog.SetSource(query->source_names[i],
+                        query->taps[i]->Snapshot());
+    }
+  }
+  return catalog;
+}
+
+Dsms::QueryInfo Dsms::Info(QueryId id) const {
+  const Query& query = *queries_.at(static_cast<size_t>(id));
+  QueryInfo info;
+  info.plan = query.plan;
+  info.estimated_cost = EstimateCost(*query.plan, CurrentStats());
+  info.migrations_completed = query.controller->migrations_completed();
+  info.migration_in_progress = query.controller->migration_in_progress();
+  info.result_count = query.sink.count();
+  info.state_bytes = query.controller->StateBytes();
+  return info;
+}
+
+int Dsms::ReoptimizeNow() {
+  const StatsCatalog stats = CurrentStats();
+  Optimizer optimizer(stats);
+  int started = 0;
+  for (auto& query : queries_) {
+    if (query->controller->migration_in_progress()) continue;
+    const LogicalPtr candidate = optimizer.Optimize(query->plan);
+    if (candidate == query->plan ||
+        !optimizer.ShouldMigrate(query->plan, candidate,
+                                 options_.migrate_threshold)) {
+      continue;
+    }
+    Box new_box = CompilePlan(*logical::StripWindows(candidate));
+    new_box.ReorderInputs(query->source_names);
+    MigrationController::GenMigOptions opts;
+    opts.variant = options_.variant;
+    Duration max_window = 0;
+    bool any_count = false;
+    for (const logical::LeafWindowSpec& spec : query->leaf_windows) {
+      max_window = std::max(max_window, spec.window);
+      any_count |= spec.kind == LogicalNode::WindowKind::kCount;
+    }
+    // Count windows have no a-priori bound on validity length; derive
+    // T_split from the old box's states instead (Optimization 2).
+    opts.end_timestamp_split = any_count;
+    opts.window = max_window;
+    query->controller->StartGenMig(std::move(new_box), opts);
+    query->plan = candidate;
+    ++started;
+  }
+  return started;
+}
+
+void Dsms::MaybeAutoReoptimize() {
+  const Timestamp now = exec_.current_time();
+  if (last_reopt_check_ == Timestamp::MinInstant()) {
+    last_reopt_check_ = now;
+    return;
+  }
+  if (now.t - last_reopt_check_.t < options_.reoptimize_period) return;
+  last_reopt_check_ = now;
+  ReoptimizeNow();
+}
+
+}  // namespace genmig

@@ -1,0 +1,139 @@
+// Dsms: the top-level facade — a miniature data stream management system
+// that ties every subsystem together the way Section 1 describes the
+// dynamic-query-optimization loop:
+//
+//   register streams -> install CQL queries -> execute -> collect runtime
+//   statistics (StatsTap) -> re-optimize (Optimizer) -> migrate the running
+//   plan (MigrationController, GenMig) -> keep executing.
+//
+// Each installed query owns its window operators, a per-stream StatsTap, a
+// MigrationController hosting the physical plan, and a result sink. Input
+// feeds are shared: a stream registered once can drive any number of
+// queries (the source fans out).
+
+#ifndef GENMIG_ENGINE_DSMS_H_
+#define GENMIG_ENGINE_DSMS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cql/parser.h"
+#include "migration/controller.h"
+#include "opt/rules.h"
+#include "opt/stats_tap.h"
+#include "plan/compile.h"
+#include "plan/executor.h"
+
+namespace genmig {
+
+class Dsms {
+ public:
+  struct Options {
+    /// Horizon of the per-query statistics taps (application time).
+    Duration stats_horizon = 5000;
+    /// Application-time period of the automatic re-optimization check
+    /// (0 disables it; ReoptimizeNow() stays available).
+    Duration reoptimize_period = 0;
+    /// Minimum relative cost improvement to justify a migration.
+    double migrate_threshold = 0.2;
+    /// GenMig variant used for migrations.
+    MigrationController::GenMigOptions::Variant variant =
+        MigrationController::GenMigOptions::Variant::kCoalesce;
+    Executor::Options executor;
+  };
+
+  using QueryId = int;
+
+  Dsms() : Dsms(Options{}) {}
+  explicit Dsms(Options options);
+
+  // --- Setup -----------------------------------------------------------------
+
+  /// Registers a named input stream with its schema and (finite) data.
+  void RegisterStream(const std::string& name, Schema schema,
+                      MaterializedStream data);
+  void RegisterRawStream(const std::string& name, Schema schema,
+                         const std::vector<TimedTuple>& raw) {
+    RegisterStream(name, std::move(schema), ToPhysicalStream(raw));
+  }
+
+  /// Installs a continuous CQL query; results accumulate in Results(id).
+  Result<QueryId> InstallQuery(const std::string& cql_text);
+  /// Installs a pre-built (windowed) logical plan.
+  Result<QueryId> InstallPlan(LogicalPtr plan);
+
+  // --- Execution ----------------------------------------------------------------
+
+  bool Step() { return exec_.Step(); }
+  void RunUntil(Timestamp t) { exec_.RunUntil(t); }
+  void RunToCompletion() { exec_.RunToCompletion(); }
+  Timestamp current_time() const { return exec_.current_time(); }
+
+  // --- Results & introspection ---------------------------------------------------
+
+  const MaterializedStream& Results(QueryId id) const {
+    return queries_.at(static_cast<size_t>(id))->sink.collected();
+  }
+
+  struct QueryInfo {
+    LogicalPtr plan;               // Currently running (windowed) plan.
+    double estimated_cost = 0.0;   // Under the current statistics.
+    int migrations_completed = 0;
+    bool migration_in_progress = false;
+    size_t result_count = 0;
+    size_t state_bytes = 0;
+  };
+  QueryInfo Info(QueryId id) const;
+
+  /// Number of shared windowed-source subplans currently instantiated
+  /// (subquery sharing: at most one per distinct (stream, window)).
+  size_t shared_subplan_count() const { return shared_.size(); }
+
+  /// Statistics catalog assembled from the queries' taps.
+  StatsCatalog CurrentStats() const;
+
+  // --- Dynamic query optimization ---------------------------------------------
+
+  /// Re-costs every idle query under the current statistics and starts a
+  /// GenMig migration where a rewrite beats the running plan by the
+  /// configured threshold. Returns the number of migrations started.
+  int ReoptimizeNow();
+
+ private:
+  struct Query {
+    LogicalPtr plan;  // Windowed logical plan currently running.
+    std::vector<std::string> source_names;
+    std::vector<logical::LeafWindowSpec> leaf_windows;
+    std::vector<StatsTap*> taps;  // One per input port (shared subplans).
+    std::unique_ptr<MigrationController> controller;
+    CollectorSink sink{"sink"};
+  };
+
+  /// A shared windowed-source subplan (Section 1: "save system resources by
+  /// subquery sharing"): one window operator + statistics tap per distinct
+  /// (stream, window spec), fanned out to every query that uses it.
+  struct SharedSubplan {
+    std::unique_ptr<Operator> window;  // Null for unwindowed sources.
+    std::unique_ptr<StatsTap> tap;
+  };
+
+  Result<QueryId> Install(LogicalPtr plan);
+  StatsTap* SharedTap(const std::string& stream,
+                      const logical::LeafWindowSpec& spec);
+  void MaybeAutoReoptimize();
+
+  Options options_;
+  Executor exec_;
+  cql::Catalog catalog_;
+  std::map<std::string, int> feeds_;  // Stream name -> executor feed.
+  std::map<std::pair<std::string, logical::LeafWindowSpec>, SharedSubplan>
+      shared_;
+  std::vector<std::unique_ptr<Query>> queries_;
+  Timestamp last_reopt_check_ = Timestamp::MinInstant();
+};
+
+}  // namespace genmig
+
+#endif  // GENMIG_ENGINE_DSMS_H_

@@ -1,0 +1,148 @@
+#include "migration/join_tree.h"
+
+#include <algorithm>
+
+#include "ops/stateless.h"
+
+namespace genmig {
+
+std::shared_ptr<const JoinShape> JoinShape::Leaf(int index) {
+  auto s = std::make_shared<JoinShape>();
+  s->leaf = index;
+  return s;
+}
+
+std::shared_ptr<const JoinShape> JoinShape::Node(
+    std::shared_ptr<const JoinShape> l, std::shared_ptr<const JoinShape> r) {
+  auto s = std::make_shared<JoinShape>();
+  s->left = std::move(l);
+  s->right = std::move(r);
+  return s;
+}
+
+std::shared_ptr<const JoinShape> JoinShape::LeftDeep(int num_leaves) {
+  GENMIG_CHECK_GE(num_leaves, 2);
+  auto tree = Leaf(0);
+  for (int i = 1; i < num_leaves; ++i) {
+    tree = Node(tree, Leaf(i));
+  }
+  return tree;
+}
+
+std::shared_ptr<const JoinShape> JoinShape::RightDeep(int num_leaves) {
+  GENMIG_CHECK_GE(num_leaves, 2);
+  auto tree = Leaf(num_leaves - 1);
+  for (int i = num_leaves - 2; i >= 0; --i) {
+    tree = Node(Leaf(i), tree);
+  }
+  return tree;
+}
+
+namespace {
+
+struct BuildContext {
+  JoinTreePlan* plan;
+  int predicate_cost;
+  std::vector<Operator*> leaf_outputs;  // Input relay per leaf.
+  int counter = 0;
+};
+
+/// Returns (structure node, physical output operator of the subtree).
+std::pair<std::shared_ptr<const JoinTreePlan::Node>, Operator*> BuildNode(
+    BuildContext* ctx, const JoinShape& shape) {
+  auto node = std::make_shared<JoinTreePlan::Node>();
+  if (shape.is_leaf()) {
+    node->leaf = shape.leaf;
+    return {node, ctx->leaf_outputs[static_cast<size_t>(shape.leaf)]};
+  }
+  auto [left_node, left_op] = BuildNode(ctx, *shape.left);
+  auto [right_node, right_op] = BuildNode(ctx, *shape.right);
+  NestedLoopsJoin* join = ctx->plan->box.Make<NestedLoopsJoin>(
+      "join#" + std::to_string(ctx->counter++), ctx->plan->predicate,
+      ctx->predicate_cost);
+  left_op->ConnectTo(0, join, 0);
+  right_op->ConnectTo(0, join, 1);
+  if (left_node->leaf >= 0) {
+    ctx->plan->leaf_state[static_cast<size_t>(left_node->leaf)] = {join, 0};
+  }
+  if (right_node->leaf >= 0) {
+    ctx->plan->leaf_state[static_cast<size_t>(right_node->leaf)] = {join, 1};
+  }
+  node->join = join;
+  node->left = left_node;
+  node->right = right_node;
+  return {node, join};
+}
+
+/// Offline temporal join of two element sets (used for state re-derivation).
+MaterializedStream OfflineJoin(const MaterializedStream& left,
+                               const MaterializedStream& right,
+                               const NestedLoopsJoin::Predicate& predicate) {
+  MaterializedStream out;
+  for (const StreamElement& l : left) {
+    for (const StreamElement& r : right) {
+      if (!l.interval.Overlaps(r.interval)) continue;
+      if (!predicate(l.tuple, r.tuple)) continue;
+      auto iv = l.interval.Intersect(r.interval);
+      out.emplace_back(Tuple::Concat(l.tuple, r.tuple), *iv,
+                       std::min(l.epoch, r.epoch));
+    }
+  }
+  return out;
+}
+
+/// Computes the subtree's unexpired results and seeds the join states.
+MaterializedStream SeedSubtree(
+    const JoinTreePlan::Node& node,
+    const std::vector<MaterializedStream>& base,
+    const NestedLoopsJoin::Predicate& predicate) {
+  if (node.leaf >= 0) {
+    return base[static_cast<size_t>(node.leaf)];
+  }
+  MaterializedStream left = SeedSubtree(*node.left, base, predicate);
+  MaterializedStream right = SeedSubtree(*node.right, base, predicate);
+  node.join->SeedState(0, left);
+  node.join->SeedState(1, right);
+  return OfflineJoin(left, right, predicate);
+}
+
+}  // namespace
+
+JoinTreePlan BuildJoinTree(const std::shared_ptr<const JoinShape>& shape,
+                           int num_leaves,
+                           NestedLoopsJoin::Predicate predicate,
+                           int predicate_cost) {
+  JoinTreePlan plan;
+  plan.predicate = std::move(predicate);
+  plan.leaf_state.assign(static_cast<size_t>(num_leaves),
+                         {nullptr, 0});
+  BuildContext ctx{&plan, predicate_cost, {}, 0};
+  for (int i = 0; i < num_leaves; ++i) {
+    Relay* relay = plan.box.Make<Relay>("in#" + std::to_string(i));
+    plan.box.AddInput(relay);
+    ctx.leaf_outputs.push_back(relay);
+  }
+  auto [root, out] = BuildNode(&ctx, *shape);
+  plan.root = root;
+  plan.box.SetOutput(out);
+  for (const auto& [join, side] : plan.leaf_state) {
+    GENMIG_CHECK(join != nullptr);  // Every leaf feeds some join directly.
+  }
+  return plan;
+}
+
+MigrationController::StateSeeder MakeJoinTreeSeeder(
+    const JoinTreePlan* old_plan, const JoinTreePlan* new_plan) {
+  return [old_plan, new_plan](const Box&, Box*) {
+    const size_t num_leaves = old_plan->leaf_state.size();
+    GENMIG_CHECK_EQ(num_leaves, new_plan->leaf_state.size());
+    std::vector<MaterializedStream> base(num_leaves);
+    for (size_t i = 0; i < num_leaves; ++i) {
+      const auto& [join, side] = old_plan->leaf_state[i];
+      base[i] = join->ExportState(side);
+    }
+    SeedSubtree(*new_plan->root, base, new_plan->predicate);
+  };
+}
+
+}  // namespace genmig

@@ -1,0 +1,73 @@
+// Join trees: the plan shapes of the paper's experiments (Section 5 runs
+// 4-way nested-loops joins, migrating from the left-deep tree
+// ((A |x| B) |x| C) |x| D to the right-deep tree A |x| (B |x| (C |x| D))).
+//
+// BuildJoinTree compiles a shape into a physical Box and keeps per-node
+// operator pointers, which is exactly the operator-internal knowledge the
+// Moving-States baseline needs: MakeJoinTreeSeeder computes the new tree's
+// join states directly from the old tree's states at migration start.
+
+#ifndef GENMIG_MIGRATION_JOIN_TREE_H_
+#define GENMIG_MIGRATION_JOIN_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "migration/controller.h"
+#include "ops/join.h"
+#include "plan/box.h"
+
+namespace genmig {
+
+/// Shape of a binary join tree over leaves 0..n-1.
+struct JoinShape {
+  int leaf = -1;  // >= 0 for leaves.
+  std::shared_ptr<const JoinShape> left, right;
+
+  bool is_leaf() const { return leaf >= 0; }
+
+  static std::shared_ptr<const JoinShape> Leaf(int index);
+  static std::shared_ptr<const JoinShape> Node(
+      std::shared_ptr<const JoinShape> l, std::shared_ptr<const JoinShape> r);
+  /// ((0 |x| 1) |x| 2) ... |x| n-1.
+  static std::shared_ptr<const JoinShape> LeftDeep(int num_leaves);
+  /// 0 |x| (1 |x| ( ... |x| n-1)).
+  static std::shared_ptr<const JoinShape> RightDeep(int num_leaves);
+};
+
+/// A compiled join tree: the Box plus the operator-level structure.
+struct JoinTreePlan {
+  /// Mirrors the shape; join is null for leaves.
+  struct Node {
+    int leaf = -1;
+    NestedLoopsJoin* join = nullptr;
+    std::shared_ptr<const Node> left, right;
+  };
+
+  Box box;
+  std::shared_ptr<const Node> root;
+  /// For each leaf index: the join op directly consuming it and the side.
+  std::vector<std::pair<JoinBase*, int>> leaf_state;
+  NestedLoopsJoin::Predicate predicate;
+};
+
+/// Compiles `shape` (over `num_leaves` input streams) into a physical plan:
+/// one Relay per input (the inputs receive already-windowed streams — the
+/// window operators sit upstream of the migration boundary), NestedLoopsJoin
+/// per inner node. `predicate_cost` adds busy work per predicate evaluation
+/// (Section 5's "more expensive join predicate").
+JoinTreePlan BuildJoinTree(const std::shared_ptr<const JoinShape>& shape,
+                           int num_leaves,
+                           NestedLoopsJoin::Predicate predicate,
+                           int predicate_cost = 0);
+
+/// Moving-States seeder: computes every join state of `new_plan` from the
+/// base-element states of `old_plan` (intermediate results are re-derived by
+/// offline temporal joins). Both plans' Boxes may already have been moved
+/// into a MigrationController; only the operator pointers are used.
+MigrationController::StateSeeder MakeJoinTreeSeeder(
+    const JoinTreePlan* old_plan, const JoinTreePlan* new_plan);
+
+}  // namespace genmig
+
+#endif  // GENMIG_MIGRATION_JOIN_TREE_H_

@@ -1,0 +1,151 @@
+#include "ops/aggregate.h"
+
+#include <set>
+
+namespace genmig {
+
+const char* AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCount:
+      return "COUNT";
+    case AggKind::kSum:
+      return "SUM";
+    case AggKind::kAvg:
+      return "AVG";
+    case AggKind::kMin:
+      return "MIN";
+    case AggKind::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+AggregateOp::AggregateOp(std::string name, std::vector<size_t> group_fields,
+                     std::vector<AggSpec> aggs)
+    : Operator(std::move(name), 1, 1),
+      group_fields_(std::move(group_fields)),
+      aggs_(std::move(aggs)) {}
+
+void AggregateOp::OnElement(int, const StreamElement& element) {
+  events_[element.interval.start].push_back(
+      Event{element.tuple, +1, element.epoch});
+  events_[element.interval.end].push_back(
+      Event{element.tuple, -1, element.epoch});
+  state_bytes_ += 2 * element.PayloadBytes();
+  state_units_ += 2;
+}
+
+void AggregateOp::ApplyEvent(const Event& event) {
+  GroupState& g = groups_[event.tuple.Project(group_fields_)];
+  if (g.sums.empty() && g.ordereds.empty() && g.count == 0) {
+    g.sums.assign(aggs_.size(), 0.0);
+    g.ordereds.resize(aggs_.size());
+  }
+  g.count += event.delta;
+  GENMIG_CHECK_GE(g.count, 0);
+  if (event.delta > 0) {
+    g.epochs.insert(event.epoch);
+  } else {
+    auto it = g.epochs.find(event.epoch);
+    GENMIG_CHECK(it != g.epochs.end());
+    g.epochs.erase(it);
+  }
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    const AggSpec& spec = aggs_[i];
+    switch (spec.kind) {
+      case AggKind::kCount:
+        break;
+      case AggKind::kSum:
+      case AggKind::kAvg:
+        g.sums[i] += event.delta * event.tuple.field(spec.field).AsNumeric();
+        break;
+      case AggKind::kMin:
+      case AggKind::kMax: {
+        const Value& v = event.tuple.field(spec.field);
+        if (event.delta > 0) {
+          g.ordereds[i].insert(v);
+        } else {
+          auto it = g.ordereds[i].find(v);
+          GENMIG_CHECK(it != g.ordereds[i].end());
+          g.ordereds[i].erase(it);
+        }
+        break;
+      }
+    }
+  }
+}
+
+void AggregateOp::EmitRegion(Timestamp begin, Timestamp end) {
+  if (!(begin < end)) return;
+  for (auto it = groups_.begin(); it != groups_.end();) {
+    const GroupState& g = it->second;
+    if (g.count == 0) {
+      it = groups_.erase(it);
+      continue;
+    }
+    Tuple out = it->first;
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      const AggSpec& spec = aggs_[i];
+      switch (spec.kind) {
+        case AggKind::kCount:
+          out.Append(Value(g.count));
+          break;
+        case AggKind::kSum:
+          out.Append(Value(g.sums[i]));
+          break;
+        case AggKind::kAvg:
+          out.Append(Value(g.sums[i] / static_cast<double>(g.count)));
+          break;
+        case AggKind::kMin:
+          out.Append(*g.ordereds[i].begin());
+          break;
+        case AggKind::kMax:
+          out.Append(*g.ordereds[i].rbegin());
+          break;
+      }
+    }
+    Emit(0, StreamElement(std::move(out), TimeInterval(begin, end),
+                          g.epochs.empty() ? 0 : *g.epochs.begin()));
+    ++it;
+  }
+}
+
+void AggregateOp::SweepUpTo(Timestamp bound) {
+  while (!events_.empty() && events_.begin()->first <= bound) {
+    const Timestamp b = events_.begin()->first;
+    if (frontier_ < b) {
+      EmitRegion(frontier_, b);
+    }
+    for (const Event& ev : events_.begin()->second) {
+      ApplyEvent(ev);
+      state_bytes_ -= ev.tuple.PayloadBytes();
+      --state_units_;
+    }
+    frontier_ = b;
+    events_.erase(events_.begin());
+  }
+}
+
+void AggregateOp::OnWatermarkAdvance() { SweepUpTo(MinInputWatermark()); }
+
+void AggregateOp::OnAllInputsEos() {
+  SweepUpTo(Timestamp::MaxInstant());
+  // Every start event has a matching end event, so all groups are closed.
+  for (const auto& [key, g] : groups_) {
+    GENMIG_CHECK_EQ(g.count, 0);
+  }
+}
+
+Timestamp AggregateOp::OutputWatermark() const {
+  // The next emitted region begins at the current frontier.
+  return frontier_;
+}
+
+Timestamp AggregateOp::MaxStateEnd() const {
+  // The largest pending event time is always an end timestamp (every
+  // element's end event outlives its start event in the queue).
+  if (events_.empty()) return Timestamp::MinInstant();
+  return events_.rbegin()->first;
+}
+
+}  // namespace genmig

@@ -1,0 +1,89 @@
+// Aggregate: snapshot-reducible grouped aggregation. For every time instant
+// t, the output snapshot equals the relational GROUP BY aggregation of the
+// input snapshot at t. Because the aggregate value only changes when an
+// input element starts or ends, the operator sweeps the breakpoints
+// (interval endpoints) in order and emits one result element per group and
+// per maximal breakpoint-delimited region in which the group is non-empty.
+//
+// A region [b, b') can be finalized once the input watermark reaches b': no
+// future element (start >= watermark) can change any snapshot inside it.
+// Groups that are empty at a snapshot produce no output row there (temporal
+// bag-algebra convention).
+
+#ifndef GENMIG_OPS_AGGREGATE_H_
+#define GENMIG_OPS_AGGREGATE_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ops/operator.h"
+
+namespace genmig {
+
+/// Supported aggregate functions.
+enum class AggKind : uint8_t { kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggKindName(AggKind kind);
+
+/// One aggregate column: the function and the input field it reads.
+/// kCount ignores `field`.
+struct AggSpec {
+  AggKind kind = AggKind::kCount;
+  size_t field = 0;
+};
+
+class AggregateOp : public Operator {
+ public:
+  /// Output tuples are [group fields..., aggregate values...]; aggregates
+  /// are doubles except kCount (int64) and kMin/kMax (the field's type).
+  AggregateOp(std::string name, std::vector<size_t> group_fields,
+            std::vector<AggSpec> aggs);
+
+  size_t StateBytes() const override { return state_bytes_; }
+  size_t StateUnits() const override { return state_units_; }
+  Timestamp MaxStateEnd() const override;
+
+ protected:
+  void OnElement(int, const StreamElement& element) override;
+  void OnWatermarkAdvance() override;
+  void OnAllInputsEos() override;
+  Timestamp OutputWatermark() const override;
+
+ private:
+  struct Event {
+    Tuple tuple;
+    int delta = 0;  // +1 start, -1 end.
+    uint32_t epoch = 0;
+  };
+
+  /// Running accumulators of one group.
+  struct GroupState {
+    int64_t count = 0;
+    std::multiset<uint32_t> epochs;  // Lineage epochs of active elements.
+    std::vector<double> sums;                     // Per AggSpec (sum/avg).
+    std::vector<std::multiset<Value>> ordereds;   // Per AggSpec (min/max).
+  };
+
+  void ApplyEvent(const Event& event);
+  void EmitRegion(Timestamp begin, Timestamp end);
+  /// Processes all breakpoints strictly below `bound`, emitting the regions
+  /// they close.
+  void SweepUpTo(Timestamp bound);
+
+  const std::vector<size_t> group_fields_;
+  const std::vector<AggSpec> aggs_;
+
+  std::map<Timestamp, std::vector<Event>> events_;
+  std::map<Tuple, GroupState> groups_;
+  /// Last processed breakpoint; regions below it are already emitted.
+  Timestamp frontier_ = Timestamp::MinInstant();
+  size_t state_bytes_ = 0;
+  size_t state_units_ = 0;
+};
+
+}  // namespace genmig
+
+#endif  // GENMIG_OPS_AGGREGATE_H_

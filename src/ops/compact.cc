@@ -1,0 +1,91 @@
+#include "ops/compact.h"
+
+#include <algorithm>
+
+namespace genmig {
+
+void CompactRuns::OnElement(int, const StreamElement& element) {
+  auto& runs = open_[element.tuple];
+  StreamElement merged = element;
+  size_t kept = 0;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    StreamElement& run = runs[i];
+    if (run.interval.Overlaps(merged.interval) ||
+        run.interval.Adjacent(merged.interval)) {
+      merged.interval = run.interval.Merge(merged.interval);
+      merged.epoch = std::min(merged.epoch, run.epoch);
+      pending_bytes_ -= run.PayloadBytes();
+      --pending_count_;
+      ++merged_;
+    } else {
+      if (kept != i) runs[kept] = std::move(run);
+      ++kept;
+    }
+  }
+  runs.resize(kept);
+  runs.push_back(std::move(merged));
+  pending_bytes_ += element.PayloadBytes();
+  ++pending_count_;
+}
+
+void CompactRuns::OnWatermarkAdvance() {
+  const Timestamp wm = MinInputWatermark();
+  Timestamp min_open_start = Timestamp::MaxInstant();
+  for (auto it = open_.begin(); it != open_.end();) {
+    auto& runs = it->second;
+    size_t kept = 0;
+    for (size_t i = 0; i < runs.size(); ++i) {
+      if (runs[i].interval.end < wm) {
+        // No future element (start >= watermark) can extend this run.
+        pending_bytes_ -= runs[i].PayloadBytes();
+        --pending_count_;
+        buffer_.Push(std::move(runs[i]));
+      } else {
+        if (runs[i].interval.start < min_open_start) {
+          min_open_start = runs[i].interval.start;
+        }
+        if (kept != i) runs[kept] = std::move(runs[i]);
+        ++kept;
+      }
+    }
+    runs.resize(kept);
+    it = runs.empty() ? open_.erase(it) : std::next(it);
+  }
+  Timestamp bound = wm;
+  if (min_open_start < bound) bound = min_open_start;
+  buffer_.FlushUpTo(bound, [this](const StreamElement& e) { Emit(0, e); });
+}
+
+void CompactRuns::OnAllInputsEos() {
+  for (auto& [tuple, runs] : open_) {
+    for (StreamElement& run : runs) {
+      buffer_.Push(std::move(run));
+    }
+  }
+  open_.clear();
+  pending_bytes_ = 0;
+  pending_count_ = 0;
+  buffer_.FlushAll([this](const StreamElement& e) { Emit(0, e); });
+}
+
+Timestamp CompactRuns::OutputWatermark() const {
+  Timestamp bound = MinInputWatermark();
+  for (const auto& [tuple, runs] : open_) {
+    for (const StreamElement& run : runs) {
+      if (run.interval.start < bound) bound = run.interval.start;
+    }
+  }
+  return bound;
+}
+
+Timestamp CompactRuns::MaxStateEnd() const {
+  Timestamp max_end = Timestamp::MinInstant();
+  for (const auto& [tuple, runs] : open_) {
+    for (const StreamElement& run : runs) {
+      if (max_end < run.interval.end) max_end = run.interval.end;
+    }
+  }
+  return max_end;
+}
+
+}  // namespace genmig

@@ -1,0 +1,58 @@
+// CompactRuns: the classical temporal "coalesce" operation as a standalone
+// operator — merges value-equivalent elements with adjacent (or overlapping)
+// validity intervals into one element. Snapshot-preserving [3]; purely a
+// stream-rate optimization, useful on top of operators that emit
+// breakpoint-fragmented output (Aggregate, Difference, the reference
+// evaluator) and the GenMig Coalesce's general-purpose sibling.
+//
+// An element is held back until the watermark passes its end timestamp (only
+// then can no further extension arrive), so compaction trades latency for
+// rate — callers place it where fragmentation dominates.
+
+#ifndef GENMIG_OPS_COMPACT_H_
+#define GENMIG_OPS_COMPACT_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ops/operator.h"
+#include "stream/ordered_buffer.h"
+
+namespace genmig {
+
+class CompactRuns : public Operator {
+ public:
+  explicit CompactRuns(std::string name)
+      : Operator(std::move(name), 1, 1) {}
+
+  size_t StateBytes() const override {
+    return pending_bytes_ + buffer_.PayloadBytes();
+  }
+  size_t StateUnits() const override {
+    return pending_count_ + buffer_.size();
+  }
+  Timestamp MaxStateEnd() const override;
+
+  /// Elements merged away so far.
+  size_t merged_count() const { return merged_; }
+
+ protected:
+  void OnElement(int, const StreamElement& element) override;
+  void OnWatermarkAdvance() override;
+  void OnAllInputsEos() override;
+  Timestamp OutputWatermark() const override;
+
+ private:
+  /// Open runs per tuple: candidates for extension by future elements.
+  /// Disjoint per tuple except transiently; merged on insert.
+  std::unordered_map<Tuple, std::vector<StreamElement>, TupleHash> open_;
+  OrderedOutputBuffer buffer_;
+  size_t pending_bytes_ = 0;
+  size_t pending_count_ = 0;
+  size_t merged_ = 0;
+};
+
+}  // namespace genmig
+
+#endif  // GENMIG_OPS_COMPACT_H_

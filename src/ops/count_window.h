@@ -1,0 +1,76 @@
+// CountWindow: count-based sliding window ("[ROWS n]" in CQL). An element is
+// valid from its own start timestamp until the n-th following element
+// arrives on the stream: element i gets validity [t_i, t_{i+n}).
+//
+// The end timestamp is only known once the displacing element arrives, so
+// the operator delays each element by n arrivals (emitted in FIFO = start
+// order). An element displaced at its own start instant (t_{i+n} == t_i,
+// possible with equal timestamps) has empty validity and is dropped. When
+// the stream ends, the surviving n elements are closed at one time unit
+// after the last observed start timestamp (a count window over a finished
+// stream has no natural expiry; this convention keeps validity finite).
+
+#ifndef GENMIG_OPS_COUNT_WINDOW_H_
+#define GENMIG_OPS_COUNT_WINDOW_H_
+
+#include <deque>
+#include <string>
+
+#include "ops/operator.h"
+
+namespace genmig {
+
+class CountWindow : public Operator {
+ public:
+  CountWindow(std::string name, size_t rows)
+      : Operator(std::move(name), 1, 1), rows_(rows) {
+    GENMIG_CHECK_GT(rows, 0u);
+  }
+
+  size_t rows() const { return rows_; }
+
+  size_t StateBytes() const override {
+    size_t bytes = 0;
+    for (const StreamElement& e : pending_) bytes += e.PayloadBytes();
+    return bytes;
+  }
+  size_t StateUnits() const override { return pending_.size(); }
+
+ protected:
+  void OnElement(int, const StreamElement& element) override {
+    last_start_ = element.interval.start;
+    if (pending_.size() == rows_) {
+      StreamElement out = pending_.front();
+      pending_.pop_front();
+      out.interval.end = element.interval.start;
+      if (out.interval.Valid()) Emit(0, out);
+    }
+    pending_.push_back(element);
+  }
+
+  void OnAllInputsEos() override {
+    for (StreamElement& e : pending_) {
+      e.interval.end = last_start_ + 1;
+      if (e.interval.Valid()) Emit(0, e);
+    }
+    pending_.clear();
+  }
+
+  Timestamp OutputWatermark() const override {
+    // Pending elements are future emissions at their own start timestamps.
+    Timestamp wm = MinInputWatermark();
+    if (!pending_.empty() && pending_.front().interval.start < wm) {
+      wm = pending_.front().interval.start;
+    }
+    return wm;
+  }
+
+ private:
+  const size_t rows_;
+  std::deque<StreamElement> pending_;
+  Timestamp last_start_ = Timestamp::MinInstant();
+};
+
+}  // namespace genmig
+
+#endif  // GENMIG_OPS_COUNT_WINDOW_H_

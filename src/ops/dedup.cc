@@ -1,0 +1,104 @@
+#include "ops/dedup.h"
+
+namespace genmig {
+
+DuplicateElimination::DuplicateElimination(std::string name)
+    : Operator(std::move(name), 1, 1) {}
+
+void DuplicateElimination::OnElement(int, const StreamElement& element) {
+  const Timestamp s = element.interval.start;
+  const Timestamp t = element.interval.end;
+  Coverage& cov = coverage_[element.tuple];
+
+  // Emit the uncovered sub-intervals of [s, t), left to right.
+  Timestamp cur = s;
+  while (cur < t) {
+    auto it = cov.upper_bound(cur);  // First run starting strictly after cur.
+    if (it != cov.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second.end > cur) {
+        // cur lies inside a covered run; skip to its end.
+        cur = prev->second.end;
+        continue;
+      }
+    }
+    // cur is uncovered; the gap extends to the next run's start (or t).
+    Timestamp gap_end = (it == cov.end() || t < it->first) ? t : it->first;
+    GENMIG_CHECK(cur < gap_end);
+    buffer_.Push(StreamElement(element.tuple, TimeInterval(cur, gap_end),
+                               element.epoch));
+    cur = gap_end;
+  }
+
+  // Merge [s, t) into the coverage (absorbing overlapping/adjacent runs).
+  Timestamp merged_start = s;
+  Timestamp merged_end = t;
+  uint32_t merged_epoch = element.epoch;
+  auto it = cov.lower_bound(s);
+  if (it != cov.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end >= s) it = prev;  // Overlaps or touches on the left.
+  }
+  while (it != cov.end() && it->first <= merged_end) {
+    if (it->first < merged_start) merged_start = it->first;
+    if (merged_end < it->second.end) merged_end = it->second.end;
+    if (it->second.epoch < merged_epoch) merged_epoch = it->second.epoch;
+    NoteRunRemove(it->second.epoch);
+    it = cov.erase(it);
+    --state_units_;
+    state_bytes_ -= element.tuple.PayloadBytes();
+  }
+  cov[merged_start] = Run{merged_end, merged_epoch};
+  NoteRunInsert(merged_epoch);
+  ++state_units_;
+  state_bytes_ += element.tuple.PayloadBytes();
+  if (merged_end < min_cover_end_) min_cover_end_ = merged_end;
+}
+
+size_t DuplicateElimination::CountStateWithEpochBelow(uint32_t epoch) const {
+  size_t count = 0;
+  for (const auto& [e, n] : epoch_counts_) {
+    if (e >= epoch) break;
+    count += n;
+  }
+  return count;
+}
+
+void DuplicateElimination::OnWatermarkAdvance() {
+  const Timestamp wm = MinInputWatermark();
+  buffer_.FlushUpTo(wm, [this](const StreamElement& e) { Emit(0, e); });
+  if (min_cover_end_ > wm) return;  // Nothing expired.
+  Timestamp new_min = Timestamp::MaxInstant();
+  for (auto map_it = coverage_.begin(); map_it != coverage_.end();) {
+    Coverage& cov = map_it->second;
+    const size_t payload = map_it->first.PayloadBytes();
+    // Runs are disjoint and sorted, so expired runs form a prefix.
+    auto run = cov.begin();
+    while (run != cov.end() && run->second.end <= wm) {
+      NoteRunRemove(run->second.epoch);
+      run = cov.erase(run);
+      --state_units_;
+      state_bytes_ -= payload;
+    }
+    if (run != cov.end() && run->second.end < new_min) new_min = run->second.end;
+    map_it = cov.empty() ? coverage_.erase(map_it) : std::next(map_it);
+  }
+  min_cover_end_ = new_min;
+}
+
+void DuplicateElimination::OnAllInputsEos() {
+  buffer_.FlushAll([this](const StreamElement& e) { Emit(0, e); });
+}
+
+Timestamp DuplicateElimination::MaxStateEnd() const {
+  Timestamp max_end = Timestamp::MinInstant();
+  for (const auto& [tuple, cov] : coverage_) {
+    if (!cov.empty()) {
+      const Timestamp end = cov.rbegin()->second.end;
+      if (max_end < end) max_end = end;
+    }
+  }
+  return max_end;
+}
+
+}  // namespace genmig

@@ -1,0 +1,79 @@
+#include "ops/difference.h"
+
+namespace genmig {
+
+DifferenceOp::DifferenceOp(std::string name)
+    : Operator(std::move(name), 2, 1) {}
+
+void DifferenceOp::OnElement(int in_port, const StreamElement& element) {
+  events_[element.interval.start].push_back(
+      Event{element.tuple, in_port, +1, element.epoch});
+  events_[element.interval.end].push_back(
+      Event{element.tuple, in_port, -1, element.epoch});
+  state_bytes_ += 2 * element.PayloadBytes();
+  state_units_ += 2;
+}
+
+void DifferenceOp::EmitRegion(Timestamp begin, Timestamp end) {
+  if (!(begin < end)) return;
+  for (auto it = active_.begin(); it != active_.end();) {
+    const Counts& c = it->second;
+    if (c.plus == 0 && c.minus == 0) {
+      it = active_.erase(it);
+      continue;
+    }
+    const int64_t copies = c.plus - c.minus;
+    const uint32_t epoch = c.epochs.empty() ? 0 : *c.epochs.begin();
+    for (int64_t i = 0; i < copies; ++i) {
+      Emit(0, StreamElement(it->first, TimeInterval(begin, end), epoch));
+    }
+    ++it;
+  }
+}
+
+void DifferenceOp::SweepUpTo(Timestamp bound) {
+  while (!events_.empty() && events_.begin()->first <= bound) {
+    const Timestamp b = events_.begin()->first;
+    if (frontier_ < b) EmitRegion(frontier_, b);
+    for (const Event& ev : events_.begin()->second) {
+      Counts& c = active_[ev.tuple];
+      if (ev.side == 0) {
+        c.plus += ev.delta;
+        GENMIG_CHECK_GE(c.plus, 0);
+      } else {
+        c.minus += ev.delta;
+        GENMIG_CHECK_GE(c.minus, 0);
+      }
+      if (ev.delta > 0) {
+        c.epochs.insert(ev.epoch);
+      } else {
+        auto eit = c.epochs.find(ev.epoch);
+        GENMIG_CHECK(eit != c.epochs.end());
+        c.epochs.erase(eit);
+      }
+      state_bytes_ -= ev.tuple.PayloadBytes();
+      --state_units_;
+    }
+    frontier_ = b;
+    events_.erase(events_.begin());
+  }
+}
+
+void DifferenceOp::OnWatermarkAdvance() { SweepUpTo(MinInputWatermark()); }
+
+void DifferenceOp::OnAllInputsEos() {
+  SweepUpTo(Timestamp::MaxInstant());
+  for (const auto& [tuple, c] : active_) {
+    GENMIG_CHECK_EQ(c.plus, 0);
+    GENMIG_CHECK_EQ(c.minus, 0);
+  }
+}
+
+Timestamp DifferenceOp::OutputWatermark() const { return frontier_; }
+
+Timestamp DifferenceOp::MaxStateEnd() const {
+  if (events_.empty()) return Timestamp::MinInstant();
+  return events_.rbegin()->first;
+}
+
+}  // namespace genmig

@@ -1,0 +1,62 @@
+// Difference: snapshot-reducible temporal bag difference (input 0 minus
+// input 1). For every time instant t the output snapshot is the bag
+// difference of the two input snapshots: a tuple appearing a times in input
+// 0 and b times in input 1 appears max(0, a-b) times in the output.
+//
+// Like Aggregate, the operator sweeps breakpoints: between two consecutive
+// interval endpoints the snapshot contents are constant, so one output
+// element per surviving tuple copy is emitted per region. Regions are
+// finalized up to the minimum input watermark.
+
+#ifndef GENMIG_OPS_DIFFERENCE_H_
+#define GENMIG_OPS_DIFFERENCE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ops/operator.h"
+
+namespace genmig {
+
+class DifferenceOp : public Operator {
+ public:
+  explicit DifferenceOp(std::string name);
+
+  size_t StateBytes() const override { return state_bytes_; }
+  size_t StateUnits() const override { return state_units_; }
+  Timestamp MaxStateEnd() const override;
+
+ protected:
+  void OnElement(int in_port, const StreamElement& element) override;
+  void OnWatermarkAdvance() override;
+  void OnAllInputsEos() override;
+  Timestamp OutputWatermark() const override;
+
+ private:
+  struct Event {
+    Tuple tuple;
+    int side = 0;   // 0 = minuend, 1 = subtrahend.
+    int delta = 0;  // +1 start, -1 end.
+    uint32_t epoch = 0;
+  };
+  struct Counts {
+    int64_t plus = 0;   // Valid copies in input 0.
+    int64_t minus = 0;  // Valid copies in input 1.
+    std::multiset<uint32_t> epochs;  // Epochs of active elements, both sides.
+  };
+
+  void EmitRegion(Timestamp begin, Timestamp end);
+  void SweepUpTo(Timestamp bound);
+
+  std::map<Timestamp, std::vector<Event>> events_;
+  std::map<Tuple, Counts> active_;
+  Timestamp frontier_ = Timestamp::MinInstant();
+  size_t state_bytes_ = 0;
+  size_t state_units_ = 0;
+};
+
+}  // namespace genmig
+
+#endif  // GENMIG_OPS_DIFFERENCE_H_

@@ -1,0 +1,243 @@
+#include "ops/join.h"
+
+#include <algorithm>
+
+namespace genmig {
+
+// --- JoinBase ---------------------------------------------------------------
+
+size_t JoinBase::StateBytes() const {
+  return buffer_.PayloadBytes() + StateElementBytes();
+}
+
+size_t JoinBase::StateUnits() const {
+  return buffer_.size() + StateElementCount();
+}
+
+Timestamp JoinBase::MaxStateEnd() const { return StateMaxEnd(); }
+
+void JoinBase::OnWatermarkAdvance() {
+  const Timestamp wm = MinInputWatermark();
+  ExpireStates(wm);
+  buffer_.FlushUpTo(wm, [this](const StreamElement& e) { Emit(0, e); });
+}
+
+void JoinBase::OnAllInputsEos() {
+  buffer_.FlushAll([this](const StreamElement& e) { Emit(0, e); });
+}
+
+void JoinBase::EmitJoined(int probe_port, const StreamElement& probe,
+                          const StreamElement& stored) {
+  auto intersection = probe.interval.Intersect(stored.interval);
+  if (!intersection.has_value()) return;
+  const StreamElement& left = probe_port == 0 ? probe : stored;
+  const StreamElement& right = probe_port == 0 ? stored : probe;
+  buffer_.Push(StreamElement(Tuple::Concat(left.tuple, right.tuple),
+                             *intersection,
+                             std::min(probe.epoch, stored.epoch)));
+}
+
+Timestamp JoinBase::MaxInsertedStartWithEpochBelow(uint32_t epoch) const {
+  Timestamp hwm = Timestamp::MinInstant();
+  for (const auto& [e, start] : insert_start_hwm_) {
+    if (e >= epoch) break;
+    if (hwm < start) hwm = start;
+  }
+  return hwm;
+}
+
+size_t JoinBase::CountStateWithEpochBelow(uint32_t epoch) const {
+  size_t count = 0;
+  for (int side = 0; side < 2; ++side) {
+    for (const auto& [e, n] : epoch_counts_[side]) {
+      if (e >= epoch) break;
+      count += n;
+    }
+  }
+  return count;
+}
+
+// --- NestedLoopsJoin --------------------------------------------------------
+
+NestedLoopsJoin::NestedLoopsJoin(std::string name, Predicate predicate,
+                                 int predicate_cost)
+    : JoinBase(std::move(name)),
+      predicate_(std::move(predicate)),
+      predicate_cost_(predicate_cost) {}
+
+bool NestedLoopsJoin::Matches(const Tuple& left, const Tuple& right) const {
+  // Optional busy work to simulate an expensive predicate (Section 5). The
+  // volatile read/write keeps the loop from being optimized away.
+  volatile int sink = 0;
+  for (int i = 0; i < predicate_cost_; ++i) {
+    sink = sink + i;
+  }
+  (void)sink;
+  return predicate_(left, right);
+}
+
+void NestedLoopsJoin::OnElement(int in_port, const StreamElement& element) {
+  const int other = 1 - in_port;
+  for (const StreamElement& stored : state_[other]) {
+    const Tuple& left = in_port == 0 ? element.tuple : stored.tuple;
+    const Tuple& right = in_port == 0 ? stored.tuple : element.tuple;
+    if (element.interval.Overlaps(stored.interval) && Matches(left, right)) {
+      EmitJoined(in_port, element, stored);
+    }
+  }
+  state_[in_port].push_back(element);
+  NoteStateInsert(in_port, element);
+  if (element.interval.end < min_state_end_[in_port]) {
+    min_state_end_[in_port] = element.interval.end;
+  }
+}
+
+void NestedLoopsJoin::ExpireStates(Timestamp watermark) {
+  for (int side = 0; side < 2; ++side) {
+    if (min_state_end_[side] > watermark) continue;  // Nothing expired.
+    Timestamp new_min = Timestamp::MaxInstant();
+    auto& st = state_[side];
+    size_t kept = 0;
+    for (size_t i = 0; i < st.size(); ++i) {
+      if (st[i].interval.end > watermark) {
+        if (st[i].interval.end < new_min) new_min = st[i].interval.end;
+        if (kept != i) st[kept] = std::move(st[i]);
+        ++kept;
+      } else {
+        NoteStateRemove(side, st[i]);
+      }
+    }
+    st.resize(kept);
+    min_state_end_[side] = new_min;
+  }
+}
+
+size_t NestedLoopsJoin::StateElementBytes() const {
+  size_t bytes = 0;
+  for (int side = 0; side < 2; ++side) {
+    for (const StreamElement& e : state_[side]) bytes += e.PayloadBytes();
+  }
+  return bytes;
+}
+
+size_t NestedLoopsJoin::StateElementCount() const {
+  return state_[0].size() + state_[1].size();
+}
+
+Timestamp NestedLoopsJoin::StateMaxEnd() const {
+  Timestamp max_end = Timestamp::MinInstant();
+  for (int side = 0; side < 2; ++side) {
+    for (const StreamElement& e : state_[side]) {
+      if (max_end < e.interval.end) max_end = e.interval.end;
+    }
+  }
+  return max_end;
+}
+
+void NestedLoopsJoin::SeedState(int in_port, const MaterializedStream& elements) {
+  for (const StreamElement& e : elements) {
+    state_[in_port].push_back(e);
+    NoteStateInsert(in_port, e);
+    if (e.interval.end < min_state_end_[in_port]) {
+      min_state_end_[in_port] = e.interval.end;
+    }
+  }
+}
+
+// --- SymmetricHashJoin ------------------------------------------------------
+
+SymmetricHashJoin::SymmetricHashJoin(std::string name, size_t left_key_field,
+                                     size_t right_key_field)
+    : JoinBase(std::move(name)) {
+  key_field_[0] = left_key_field;
+  key_field_[1] = right_key_field;
+}
+
+void SymmetricHashJoin::OnElement(int in_port, const StreamElement& element) {
+  const int other = 1 - in_port;
+  const Value& key = element.tuple.field(key_field_[in_port]);
+  auto it = state_[other].find(key);
+  if (it != state_[other].end()) {
+    for (const StreamElement& stored : it->second) {
+      if (element.interval.Overlaps(stored.interval)) {
+        EmitJoined(in_port, element, stored);
+      }
+    }
+  }
+  state_[in_port][key].push_back(element);
+  ++state_count_[in_port];
+  NoteStateInsert(in_port, element);
+  state_bytes_[in_port] += element.PayloadBytes();
+  if (element.interval.end < min_state_end_[in_port]) {
+    min_state_end_[in_port] = element.interval.end;
+  }
+}
+
+void SymmetricHashJoin::ExpireStates(Timestamp watermark) {
+  for (int side = 0; side < 2; ++side) {
+    if (min_state_end_[side] > watermark) continue;
+    Timestamp new_min = Timestamp::MaxInstant();
+    auto& st = state_[side];
+    for (auto it = st.begin(); it != st.end();) {
+      auto& bucket = it->second;
+      size_t kept = 0;
+      for (size_t i = 0; i < bucket.size(); ++i) {
+        if (bucket[i].interval.end > watermark) {
+          if (bucket[i].interval.end < new_min) new_min = bucket[i].interval.end;
+          if (kept != i) bucket[kept] = std::move(bucket[i]);
+          ++kept;
+        } else {
+          --state_count_[side];
+          NoteStateRemove(side, bucket[i]);
+          state_bytes_[side] -= bucket[i].PayloadBytes();
+        }
+      }
+      bucket.resize(kept);
+      it = bucket.empty() ? st.erase(it) : std::next(it);
+    }
+    min_state_end_[side] = new_min;
+  }
+}
+
+size_t SymmetricHashJoin::StateElementBytes() const {
+  return state_bytes_[0] + state_bytes_[1];
+}
+
+size_t SymmetricHashJoin::StateElementCount() const {
+  return state_count_[0] + state_count_[1];
+}
+
+Timestamp SymmetricHashJoin::StateMaxEnd() const {
+  Timestamp max_end = Timestamp::MinInstant();
+  for (int side = 0; side < 2; ++side) {
+    for (const auto& [key, bucket] : state_[side]) {
+      for (const StreamElement& e : bucket) {
+        if (max_end < e.interval.end) max_end = e.interval.end;
+      }
+    }
+  }
+  return max_end;
+}
+
+MaterializedStream SymmetricHashJoin::ExportState(int in_port) const {
+  MaterializedStream out;
+  for (const auto& [key, bucket] : state_[in_port]) {
+    out.insert(out.end(), bucket.begin(), bucket.end());
+  }
+  return out;
+}
+
+void SymmetricHashJoin::SeedState(int in_port,
+                                  const MaterializedStream& elements) {
+  for (const StreamElement& e : elements) {
+    state_[in_port][e.tuple.field(key_field_[in_port])].push_back(e);
+    ++state_count_[in_port];
+    NoteStateInsert(in_port, e);
+    state_bytes_[in_port] += e.PayloadBytes();
+    if (e.interval.end < min_state_end_[in_port]) {
+      min_state_end_[in_port] = e.interval.end;
+    }
+  }
+}
+
+}  // namespace genmig

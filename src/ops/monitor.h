@@ -1,0 +1,62 @@
+// MonitorOp: a transparent pass-through tap that records the runtime
+// statistics the migration controller and the optimizer need:
+//
+//   * the most recent start timestamp (the t_Si of Algorithm 1, line 3),
+//   * the maximum end timestamp seen (for GenMig Optimization 2),
+//   * element counts and the covered time span (rate/selectivity estimates).
+
+#ifndef GENMIG_OPS_MONITOR_H_
+#define GENMIG_OPS_MONITOR_H_
+
+#include <string>
+#include <utility>
+
+#include "ops/operator.h"
+
+namespace genmig {
+
+class MonitorOp : public Operator {
+ public:
+  explicit MonitorOp(std::string name) : Operator(std::move(name), 1, 1) {}
+
+  /// True once at least one element passed through.
+  bool has_seen_element() const { return count_ > 0; }
+
+  /// Most recent start timestamp (Algorithm 1 keeps "the most recent start
+  /// timestamps of I_i as t_Si").
+  Timestamp last_start() const { return last_start_; }
+
+  /// Maximum end timestamp observed so far.
+  Timestamp max_end() const { return max_end_; }
+
+  size_t count() const { return count_; }
+  Timestamp first_start() const { return first_start_; }
+
+  /// Average elements per time unit over the observed span, or 0 if the
+  /// span is empty.
+  double ObservedRate() const {
+    if (count_ < 2) return 0.0;
+    const int64_t span = last_start_.t - first_start_.t;
+    if (span <= 0) return 0.0;
+    return static_cast<double>(count_) / static_cast<double>(span);
+  }
+
+ protected:
+  void OnElement(int, const StreamElement& element) override {
+    if (count_ == 0) first_start_ = element.interval.start;
+    last_start_ = element.interval.start;
+    if (max_end_ < element.interval.end) max_end_ = element.interval.end;
+    ++count_;
+    Emit(0, element);
+  }
+
+ private:
+  size_t count_ = 0;
+  Timestamp first_start_ = Timestamp::MinInstant();
+  Timestamp last_start_ = Timestamp::MinInstant();
+  Timestamp max_end_ = Timestamp::MinInstant();
+};
+
+}  // namespace genmig
+
+#endif  // GENMIG_OPS_MONITOR_H_

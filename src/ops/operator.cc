@@ -1,0 +1,158 @@
+#include "ops/operator.h"
+
+#include "common/check.h"
+
+namespace genmig {
+
+Operator::Operator(std::string name, int num_inputs, int num_outputs)
+    : name_(std::move(name)),
+      inputs_(static_cast<size_t>(num_inputs)),
+      outputs_(static_cast<size_t>(num_outputs)) {
+  GENMIG_CHECK_GE(num_inputs, 0);
+  GENMIG_CHECK_GE(num_outputs, 1);
+}
+
+void Operator::ConnectTo(int out_port, Operator* downstream, int in_port) {
+  GENMIG_CHECK_GE(out_port, 0);
+  GENMIG_CHECK_LT(out_port, num_outputs());
+  GENMIG_CHECK(downstream != nullptr);
+  GENMIG_CHECK_GE(in_port, 0);
+  GENMIG_CHECK_LT(in_port, downstream->num_inputs());
+  GENMIG_CHECK(!downstream->inputs_[in_port].connected);
+  downstream->inputs_[in_port].connected = true;
+  outputs_[out_port].edges.push_back(Edge{downstream, in_port});
+}
+
+void Operator::DisconnectAllOutputs() {
+  for (int port = 0; port < num_outputs(); ++port) {
+    DisconnectOutputPort(port);
+  }
+}
+
+void Operator::DisconnectOutputPort(int out_port) {
+  GENMIG_CHECK_GE(out_port, 0);
+  GENMIG_CHECK_LT(out_port, num_outputs());
+  OutputState& out = outputs_[out_port];
+  for (Edge& e : out.edges) {
+    e.op->inputs_[e.port].connected = false;
+  }
+  out.edges.clear();
+}
+
+const std::vector<Operator::Edge>& Operator::edges(int out_port) const {
+  GENMIG_CHECK_GE(out_port, 0);
+  GENMIG_CHECK_LT(out_port, num_outputs());
+  return outputs_[out_port].edges;
+}
+
+Timestamp Operator::MinInputWatermark() const {
+  Timestamp wm = Timestamp::MaxInstant();
+  for (const InputState& in : inputs_) {
+    if (in.watermark < wm) wm = in.watermark;
+  }
+  return wm;
+}
+
+void Operator::PushElement(int in_port, const StreamElement& element) {
+  GENMIG_CHECK_GE(in_port, 0);
+  GENMIG_CHECK_LT(in_port, num_inputs());
+  InputState& in = inputs_[in_port];
+  GENMIG_CHECK(!in.eos);
+  GENMIG_CHECK(element.interval.Valid());
+  if (in.relaxed_ordering) {
+    if (in.watermark < element.interval.start) {
+      in.watermark = element.interval.start;
+    }
+  } else {
+    // Physical-stream ordering invariant (Definition 3).
+    GENMIG_CHECK(in.watermark <= element.interval.start);
+    in.watermark = element.interval.start;
+  }
+  OnElement(in_port, element);
+  OnWatermarkAdvance();
+  PublishProgress();
+}
+
+void Operator::PushHeartbeat(int in_port, Timestamp watermark) {
+  GENMIG_CHECK_GE(in_port, 0);
+  GENMIG_CHECK_LT(in_port, num_inputs());
+  InputState& in = inputs_[in_port];
+  if (in.eos || watermark <= in.watermark) return;  // Stale; nothing to do.
+  in.watermark = watermark;
+  OnWatermarkAdvance();
+  PublishProgress();
+}
+
+void Operator::PushEos(int in_port) {
+  GENMIG_CHECK_GE(in_port, 0);
+  GENMIG_CHECK_LT(in_port, num_inputs());
+  InputState& in = inputs_[in_port];
+  GENMIG_CHECK(!in.eos);
+  OnInputEos(in_port);
+  in.eos = true;
+  // A finished input can never deliver another element, so it no longer
+  // constrains the minimum watermark.
+  in.watermark = Timestamp::MaxInstant();
+  ++eos_count_;
+  OnWatermarkAdvance();
+  if (all_inputs_eos()) {
+    OnAllInputsEos();
+  }
+  PublishProgress();
+  if (all_inputs_eos()) {
+    PropagateEos();
+  }
+}
+
+void Operator::Emit(int out_port, const StreamElement& element) {
+  GENMIG_CHECK_GE(out_port, 0);
+  GENMIG_CHECK_LT(out_port, num_outputs());
+  GENMIG_CHECK(!eos_emitted_);
+  GENMIG_CHECK(element.interval.Valid());
+  OutputState& out = outputs_[out_port];
+  if (!out.relaxed_ordering) {
+    // This operator must itself produce an ordered physical stream, and must
+    // not contradict a heartbeat it already published.
+    GENMIG_CHECK(out.last_emitted <= element.interval.start);
+    GENMIG_CHECK(out.last_heartbeat <= element.interval.start);
+  }
+  if (out.last_emitted < element.interval.start) {
+    out.last_emitted = element.interval.start;
+  }
+  out.anything_emitted = true;
+  for (const Edge& e : out.edges) {
+    e.op->PushElement(e.port, element);
+  }
+}
+
+void Operator::EmitHeartbeat(int out_port, Timestamp watermark) {
+  GENMIG_CHECK_GE(out_port, 0);
+  GENMIG_CHECK_LT(out_port, num_outputs());
+  OutputState& out = outputs_[out_port];
+  if (watermark <= out.last_heartbeat) return;
+  out.last_heartbeat = watermark;
+  for (const Edge& e : out.edges) {
+    e.op->PushHeartbeat(e.port, watermark);
+  }
+}
+
+void Operator::PublishProgress() {
+  if (eos_emitted_) return;
+  Timestamp wm = OutputWatermark();
+  if (wm == Timestamp::MaxInstant()) return;  // Reserved for EOS.
+  for (int port = 0; port < num_outputs(); ++port) {
+    EmitHeartbeat(port, wm);
+  }
+}
+
+void Operator::PropagateEos() {
+  if (eos_emitted_) return;
+  eos_emitted_ = true;
+  for (OutputState& out : outputs_) {
+    for (const Edge& e : out.edges) {
+      e.op->PushEos(e.port);
+    }
+  }
+}
+
+}  // namespace genmig

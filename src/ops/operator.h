@@ -1,0 +1,190 @@
+// Operator: base class of the physical, push-based operator algebra.
+//
+// Execution model
+// ---------------
+// Operators form a DAG. Upstream operators (or the Executor, for sources)
+// push three kinds of messages into an input port:
+//
+//   * elements    — physical stream elements, non-decreasing in tS per port;
+//   * heartbeats  — a promise that no future element on this port will have
+//                   tS below the heartbeat's timestamp (Srivastava/Widom
+//                   style, cited as [11] in the paper); used to advance
+//                   progress through operators that filter everything out or
+//                   hold results back;
+//   * end-of-stream — no further messages on this port.
+//
+// Every input port maintains a *watermark*: the largest lower bound on future
+// start timestamps (max of last element tS and last heartbeat). Stateful
+// operators use the minimum input watermark both for temporal expiration
+// (Section 2.2, "Temporal Expiration") and to release buffered results in
+// order. The base class checks the physical-stream ordering invariant on
+// both ingress and egress of every operator, so a violation is caught at the
+// operator that caused it.
+
+#ifndef GENMIG_OPS_OPERATOR_H_
+#define GENMIG_OPS_OPERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "stream/element.h"
+
+namespace genmig {
+
+/// Base class for all physical operators.
+class Operator {
+ public:
+  /// A downstream connection: which operator, which of its input ports.
+  struct Edge {
+    Operator* op = nullptr;
+    int port = 0;
+  };
+
+  Operator(std::string name, int num_inputs, int num_outputs = 1);
+  virtual ~Operator() = default;
+
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  const std::string& name() const { return name_; }
+  int num_inputs() const { return static_cast<int>(inputs_.size()); }
+  int num_outputs() const { return static_cast<int>(outputs_.size()); }
+
+  // --- Wiring ------------------------------------------------------------
+
+  /// Connects output port `out_port` to `downstream`'s input `in_port`.
+  /// Multiple edges per output port fan the stream out; each downstream
+  /// input port accepts exactly one producer.
+  void ConnectTo(int out_port, Operator* downstream, int in_port);
+
+  /// Removes every outgoing edge (used when re-wiring plans at migration
+  /// end). Downstream producer bookkeeping is released as well.
+  void DisconnectAllOutputs();
+
+  /// Removes the outgoing edges of one output port only.
+  void DisconnectOutputPort(int out_port);
+
+  const std::vector<Edge>& edges(int out_port) const;
+
+  // --- Data path (called by the producer) ---------------------------------
+
+  void PushElement(int in_port, const StreamElement& element);
+  void PushHeartbeat(int in_port, Timestamp watermark);
+  void PushEos(int in_port);
+
+  // --- Introspection -------------------------------------------------------
+
+  /// Value-payload bytes held in operator state (Figure 5 accounting).
+  virtual size_t StateBytes() const { return 0; }
+  /// Number of elements held in operator state.
+  virtual size_t StateUnits() const { return 0; }
+  /// Largest end timestamp of any element currently held in state, or
+  /// Timestamp::MinInstant() if the state is empty. GenMig Optimization 2
+  /// uses the maximum over all old-box operators to shorten the migration.
+  virtual Timestamp MaxStateEnd() const { return Timestamp::MinInstant(); }
+  /// Number of state entries whose lineage epoch is below `epoch`. PT's
+  /// migration (started at epoch E) ends once the old box holds no state
+  /// entry with epoch < E.
+  virtual size_t CountStateWithEpochBelow(uint32_t epoch) const {
+    (void)epoch;
+    return 0;
+  }
+  /// High-water mark: the largest start timestamp of any element EVER
+  /// inserted into this operator's state with epoch < `epoch` (not reset by
+  /// expiration). The PT baseline of [1] purges a state entry w time units
+  /// after its newest contributing arrival — which equals the entry's start
+  /// timestamp under interval semantics — so PT's end of migration is
+  /// emulated as "watermark > this high-water mark + w".
+  virtual Timestamp MaxInsertedStartWithEpochBelow(uint32_t epoch) const {
+    (void)epoch;
+    return Timestamp::MinInstant();
+  }
+
+  /// Disables the ordering check on an input port. Only the Parallel-Track
+  /// baseline needs this: its end-of-migration buffer flush is inherently a
+  /// burst of back-dated results (Figure 4), so the operator consuming PT
+  /// output cannot insist on the physical-stream ordering invariant.
+  void SetRelaxedInputOrdering(int in_port) {
+    inputs_[in_port].relaxed_ordering = true;
+  }
+
+  bool input_eos(int in_port) const { return inputs_[in_port].eos; }
+  bool all_inputs_eos() const { return eos_count_ == num_inputs(); }
+  bool eos_emitted() const { return eos_emitted_; }
+
+  Timestamp input_watermark(int in_port) const {
+    return inputs_[in_port].watermark;
+  }
+  /// Minimum watermark over all input ports; ports that reached EOS count as
+  /// +infinity (they can never deliver another element).
+  Timestamp MinInputWatermark() const;
+
+ protected:
+  // --- Hooks for subclasses ------------------------------------------------
+
+  /// Handles one input element. The base class has already validated the
+  /// ordering invariant and advanced the port watermark.
+  virtual void OnElement(int in_port, const StreamElement& element) = 0;
+
+  /// Called when input port `in_port` reaches EOS, before watermark
+  /// bookkeeping. Composite operators forward the EOS to inner plumbing.
+  virtual void OnInputEos(int in_port) { (void)in_port; }
+
+  /// Called whenever an input watermark advanced (element, heartbeat or
+  /// EOS). Stateful operators release buffered results and expire state here.
+  virtual void OnWatermarkAdvance() {}
+
+  /// Called once, when the last input port reached EOS, before EOS is
+  /// propagated downstream. Flush all remaining state here.
+  virtual void OnAllInputsEos() {}
+
+  /// The watermark this operator can promise downstream. Defaults to the
+  /// minimum input watermark, which is correct for any operator that never
+  /// holds back an element past the minimum input watermark.
+  virtual Timestamp OutputWatermark() const { return MinInputWatermark(); }
+
+  // --- Emission helpers ----------------------------------------------------
+
+  void Emit(int out_port, const StreamElement& element);
+  void EmitHeartbeat(int out_port, Timestamp watermark);
+
+  /// Emits OutputWatermark() as a heartbeat on every output port if it
+  /// advanced past the last published value. Invoked automatically after
+  /// every Push*; call manually after internal state changes if needed.
+  void PublishProgress();
+
+  /// Sends EOS downstream. Invoked automatically when the last input port
+  /// finishes; source operators (no inputs) invoke it directly.
+  void PropagateEos();
+
+  /// Disables the ordering check on an output port (Parallel-Track only;
+  /// see SetRelaxedInputOrdering).
+  void SetRelaxedOutputOrdering(int out_port) {
+    outputs_[out_port].relaxed_ordering = true;
+  }
+
+ private:
+  struct InputState {
+    Timestamp watermark = Timestamp::MinInstant();
+    bool connected = false;
+    bool eos = false;
+    bool relaxed_ordering = false;
+  };
+  struct OutputState {
+    std::vector<Edge> edges;
+    Timestamp last_emitted = Timestamp::MinInstant();
+    Timestamp last_heartbeat = Timestamp::MinInstant();
+    bool anything_emitted = false;
+    bool relaxed_ordering = false;
+  };
+
+  std::string name_;
+  std::vector<InputState> inputs_;
+  std::vector<OutputState> outputs_;
+  int eos_count_ = 0;
+  bool eos_emitted_ = false;
+};
+
+}  // namespace genmig
+
+#endif  // GENMIG_OPS_OPERATOR_H_

@@ -1,0 +1,80 @@
+// RefPointMerge (Section 4.5, Optimization 1): replaces Coalesce when the
+// reference-point method is used. The old box receives full (unsplit)
+// intervals, so its results already cover the snapshots around T_split; the
+// new box's results with start timestamp equal to T_split are duplicates and
+// are dropped by a selection. The remainder is a plain union.
+//
+// The start timestamp serves as the reference point: each result is reported
+// by exactly one box — the one owning its start timestamp's side of T_split.
+// This is correct for plans built from interval-preserving operators and
+// joins (the old box then never produces a result starting after T_split; a
+// GENMIG_CHECK enforces it). For operators that re-partition validity
+// intervals (duplicate elimination, aggregation, difference) the
+// interval-level pairing between the boxes' outputs is not deterministic and
+// Optimization 1 does not apply — use the Coalesce variant of GenMig, which
+// is the general strategy.
+
+#ifndef GENMIG_OPS_REFPOINT_MERGE_H_
+#define GENMIG_OPS_REFPOINT_MERGE_H_
+
+#include <string>
+#include <utility>
+
+#include "ops/operator.h"
+#include "stream/ordered_buffer.h"
+
+namespace genmig {
+
+class RefPointMerge : public Operator {
+ public:
+  /// Input port receiving the old box's output.
+  static constexpr int kOldPort = 0;
+  /// Input port receiving the new box's output.
+  static constexpr int kNewPort = 1;
+
+  RefPointMerge(std::string name, Timestamp t_split)
+      : Operator(std::move(name), 2, 1), t_split_(t_split) {
+    GENMIG_CHECK_GT(t_split.eps, 0u);
+  }
+
+  size_t StateBytes() const override { return buffer_.PayloadBytes(); }
+  size_t StateUnits() const override { return buffer_.size(); }
+  size_t dropped_count() const { return dropped_; }
+
+ protected:
+  void OnElement(int in_port, const StreamElement& element) override {
+    if (in_port == kOldPort) {
+      // Old-box results start strictly below T_split for the supported
+      // operator classes; anything else means Optimization 1 was applied to
+      // an unsupported plan.
+      GENMIG_CHECK(element.interval.start < t_split_);
+      buffer_.Push(element);
+      return;
+    }
+    // Selection on top of the new box: drop results whose reference point
+    // (start timestamp) equals T_split — the old box reports them.
+    if (element.interval.start == t_split_) {
+      ++dropped_;
+      return;
+    }
+    buffer_.Push(element);
+  }
+
+  void OnWatermarkAdvance() override {
+    buffer_.FlushUpTo(MinInputWatermark(),
+                      [this](const StreamElement& e) { Emit(0, e); });
+  }
+
+  void OnAllInputsEos() override {
+    buffer_.FlushAll([this](const StreamElement& e) { Emit(0, e); });
+  }
+
+ private:
+  const Timestamp t_split_;
+  OrderedOutputBuffer buffer_;
+  size_t dropped_ = 0;
+};
+
+}  // namespace genmig
+
+#endif  // GENMIG_OPS_REFPOINT_MERGE_H_

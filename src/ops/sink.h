@@ -1,0 +1,67 @@
+// Sinks: plan exits. CollectorSink materializes the result stream (tests,
+// examples); CallbackOp forwards every message to std::function hooks and is
+// the glue the migration controller uses to intercept box outputs.
+
+#ifndef GENMIG_OPS_SINK_H_
+#define GENMIG_OPS_SINK_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "ops/operator.h"
+
+namespace genmig {
+
+/// Collects the full output stream in memory.
+class CollectorSink : public Operator {
+ public:
+  explicit CollectorSink(std::string name)
+      : Operator(std::move(name), 1, 1) {}
+
+  const MaterializedStream& collected() const { return collected_; }
+  size_t count() const { return collected_.size(); }
+  bool finished() const { return all_inputs_eos(); }
+
+  /// Optional per-element hook (e.g. for rate sampling in experiments).
+  void set_on_element(std::function<void(const StreamElement&)> fn) {
+    on_element_ = std::move(fn);
+  }
+
+ protected:
+  void OnElement(int, const StreamElement& element) override {
+    collected_.push_back(element);
+    if (on_element_) on_element_(element);
+  }
+
+ private:
+  MaterializedStream collected_;
+  std::function<void(const StreamElement&)> on_element_;
+};
+
+/// Forwards every message to user-supplied callbacks. All hooks are optional.
+class CallbackOp : public Operator {
+ public:
+  explicit CallbackOp(std::string name) : Operator(std::move(name), 1, 1) {}
+
+  std::function<void(const StreamElement&)> on_element;
+  std::function<void(Timestamp)> on_watermark;
+  std::function<void()> on_eos;
+
+ protected:
+  void OnElement(int, const StreamElement& element) override {
+    if (on_element) on_element(element);
+  }
+  void OnWatermarkAdvance() override {
+    if (on_watermark) on_watermark(input_watermark(0));
+  }
+  void OnAllInputsEos() override {
+    if (on_eos) on_eos();
+  }
+
+ private:
+};
+
+}  // namespace genmig
+
+#endif  // GENMIG_OPS_SINK_H_

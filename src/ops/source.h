@@ -1,0 +1,53 @@
+// Source: entry point of a plan. The Executor injects raw elements here;
+// Source performs the input-stream conversion of Section 2.2 (timestamp t
+// becomes validity [t, t+1)) and forwards heartbeats / end-of-stream.
+
+#ifndef GENMIG_OPS_SOURCE_H_
+#define GENMIG_OPS_SOURCE_H_
+
+#include <string>
+#include <utility>
+
+#include "ops/operator.h"
+
+namespace genmig {
+
+/// A zero-input operator fed programmatically.
+class Source : public Operator {
+ public:
+  explicit Source(std::string name) : Operator(std::move(name), 0, 1) {}
+
+  /// Injects a raw element (e, t), emitting (e, [t, t+1)).
+  void InjectRaw(const Tuple& tuple, int64_t t) {
+    Inject(StreamElement(tuple,
+                         TimeInterval(Timestamp(t), Timestamp(t + 1))));
+  }
+
+  /// Injects an already-built physical element.
+  void Inject(const StreamElement& element) {
+    watermark_ = element.interval.start;
+    Emit(0, element);
+  }
+
+  /// Injects a heartbeat: no future element will start below `t`.
+  void InjectHeartbeat(Timestamp t) {
+    if (watermark_ < t) watermark_ = t;
+    EmitHeartbeat(0, t);
+  }
+
+  /// Signals end-of-stream.
+  void Close() { PropagateEos(); }
+
+ protected:
+  void OnElement(int, const StreamElement&) override {
+    GENMIG_CHECK(false);  // Sources have no inputs.
+  }
+  Timestamp OutputWatermark() const override { return watermark_; }
+
+ private:
+  Timestamp watermark_ = Timestamp::MinInstant();
+};
+
+}  // namespace genmig
+
+#endif  // GENMIG_OPS_SOURCE_H_

@@ -1,0 +1,41 @@
+#include "ops/split.h"
+
+namespace genmig {
+
+Split::Split(std::string name, Timestamp t_split, Mode mode)
+    : Operator(std::move(name), 1, 2), t_split_(t_split), mode_(mode) {
+  // Remark 3: T_split must not coincide with any start/end timestamp of the
+  // input. Regular stream data lives at chronon 0; requiring a non-zero
+  // chronon makes the property structural.
+  GENMIG_CHECK_GT(t_split.eps, 0u);
+}
+
+void Split::OnElement(int, const StreamElement& element) {
+  const TimeInterval& iv = element.interval;
+  if (iv.start < t_split_) {
+    if (iv.end <= t_split_) {
+      // Entirely before the split time: old box only.
+      Emit(kOldPort, element);
+    } else {
+      // Straddler: [tS, T_split) to the old box (or the full interval under
+      // the reference-point optimization), [T_split, tE) to the new box.
+      StreamElement old_part = element;
+      if (mode_ == Mode::kClip) old_part.interval.end = t_split_;
+      Emit(kOldPort, old_part);
+      StreamElement new_part = element;
+      new_part.interval.start = t_split_;
+      Emit(kNewPort, new_part);
+    }
+  } else {
+    // Entirely at or after the split time: new box only.
+    Emit(kNewPort, element);
+  }
+}
+
+Timestamp Split::OutputWatermark() const {
+  // A single conservative bound is valid for both ports: every future
+  // emission on either port starts at or after the input watermark.
+  return MinInputWatermark();
+}
+
+}  // namespace genmig

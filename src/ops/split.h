@@ -1,0 +1,52 @@
+// Split (Algorithm 2): inserted downstream of each source at migration
+// start. Splits each element's validity interval at T_split: the part below
+// T_split feeds the old box (output port 0), the rest feeds the new box
+// (output port 1). The GenMig reference-point optimization (Section 4.5,
+// Optimization 1) instead forwards the *full* interval to the old box.
+//
+// T_split carries a non-zero chronon (Remark 3), so it can never coincide
+// with a start or end timestamp of an input element.
+
+#ifndef GENMIG_OPS_SPLIT_H_
+#define GENMIG_OPS_SPLIT_H_
+
+#include <string>
+
+#include "ops/operator.h"
+
+namespace genmig {
+
+class Split : public Operator {
+ public:
+  /// Output port feeding the old box.
+  static constexpr int kOldPort = 0;
+  /// Output port feeding the new box.
+  static constexpr int kNewPort = 1;
+
+  enum class Mode {
+    /// Algorithm 2: old box receives the clipped interval [tS, T_split).
+    kClip,
+    /// Optimization 1: old box receives the full interval [tS, tE).
+    kFullToOld,
+  };
+
+  Split(std::string name, Timestamp t_split, Mode mode);
+
+  Timestamp t_split() const { return t_split_; }
+
+  /// True once the input watermark reached T_split: the old box can receive
+  /// no further element, so the controller may signal EOS to the old plan.
+  bool OldSideDone() const { return MinInputWatermark() >= t_split_; }
+
+ protected:
+  void OnElement(int, const StreamElement& element) override;
+  Timestamp OutputWatermark() const override;
+
+ private:
+  const Timestamp t_split_;
+  const Mode mode_;
+};
+
+}  // namespace genmig
+
+#endif  // GENMIG_OPS_SPLIT_H_

@@ -1,0 +1,102 @@
+// Stateless standard operators: selection (Filter), projection / tuple
+// transformation (Map), and the sliding-window operator (TimeWindow).
+//
+// A window operator is placed downstream of each source that carries a
+// window specification (Section 2.2). For a time-based sliding window of
+// size w it extends each element's validity: [tS, tE) becomes [tS, tE + w).
+// Stateless operators neither reorder nor buffer, so they preserve the
+// physical-stream ordering trivially.
+
+#ifndef GENMIG_OPS_STATELESS_H_
+#define GENMIG_OPS_STATELESS_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "ops/operator.h"
+
+namespace genmig {
+
+/// Identity pass-through. Serves as the stable input/output port of a Box so
+/// that plan fragments can be re-wired (migration) without touching their
+/// inner operators.
+class Relay : public Operator {
+ public:
+  explicit Relay(std::string name) : Operator(std::move(name), 1, 1) {}
+
+ protected:
+  void OnElement(int, const StreamElement& element) override {
+    Emit(0, element);
+  }
+};
+
+/// Snapshot-reducible selection: keeps elements whose tuple satisfies the
+/// predicate; validity intervals are untouched.
+class Filter : public Operator {
+ public:
+  using Predicate = std::function<bool(const Tuple&)>;
+
+  Filter(std::string name, Predicate predicate)
+      : Operator(std::move(name), 1, 1), predicate_(std::move(predicate)) {}
+
+ protected:
+  void OnElement(int, const StreamElement& element) override {
+    if (predicate_(element.tuple)) Emit(0, element);
+  }
+
+ private:
+  Predicate predicate_;
+};
+
+/// Snapshot-reducible projection / per-tuple transformation. The function
+/// must be pure; validity intervals are untouched.
+class Map : public Operator {
+ public:
+  using Function = std::function<Tuple(const Tuple&)>;
+
+  Map(std::string name, Function fn)
+      : Operator(std::move(name), 1, 1), fn_(std::move(fn)) {}
+
+  /// Projection onto the given field indices.
+  static Function Projection(std::vector<size_t> indices) {
+    return [indices = std::move(indices)](const Tuple& t) {
+      return t.Project(indices);
+    };
+  }
+
+ protected:
+  void OnElement(int, const StreamElement& element) override {
+    Emit(0, StreamElement(fn_(element.tuple), element.interval,
+                          element.epoch));
+  }
+
+ private:
+  Function fn_;
+};
+
+/// Time-based sliding-window operator: extends each element's validity by
+/// the window size w.
+class TimeWindow : public Operator {
+ public:
+  TimeWindow(std::string name, Duration window)
+      : Operator(std::move(name), 1, 1), window_(window) {
+    GENMIG_CHECK_GE(window, 0);
+  }
+
+  Duration window() const { return window_; }
+
+ protected:
+  void OnElement(int, const StreamElement& element) override {
+    StreamElement out = element;
+    out.interval.end = out.interval.end + window_;
+    Emit(0, out);
+  }
+
+ private:
+  Duration window_;
+};
+
+}  // namespace genmig
+
+#endif  // GENMIG_OPS_STATELESS_H_

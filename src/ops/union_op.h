@@ -1,0 +1,46 @@
+// Union: snapshot-reducible bag union of n input streams. The inputs are
+// individually ordered but not mutually synchronized, so results are staged
+// in an OrderedOutputBuffer and released up to the minimum input watermark.
+
+#ifndef GENMIG_OPS_UNION_OP_H_
+#define GENMIG_OPS_UNION_OP_H_
+
+#include <string>
+#include <utility>
+
+#include "ops/operator.h"
+#include "stream/ordered_buffer.h"
+
+namespace genmig {
+
+class UnionOp : public Operator {
+ public:
+  UnionOp(std::string name, int num_inputs)
+      : Operator(std::move(name), num_inputs, 1) {
+    GENMIG_CHECK_GE(num_inputs, 1);
+  }
+
+  size_t StateBytes() const override { return buffer_.PayloadBytes(); }
+  size_t StateUnits() const override { return buffer_.size(); }
+
+ protected:
+  void OnElement(int, const StreamElement& element) override {
+    buffer_.Push(element);
+  }
+
+  void OnWatermarkAdvance() override {
+    buffer_.FlushUpTo(MinInputWatermark(),
+                      [this](const StreamElement& e) { Emit(0, e); });
+  }
+
+  void OnAllInputsEos() override {
+    buffer_.FlushAll([this](const StreamElement& e) { Emit(0, e); });
+  }
+
+ private:
+  OrderedOutputBuffer buffer_;
+};
+
+}  // namespace genmig
+
+#endif  // GENMIG_OPS_UNION_OP_H_

@@ -1,0 +1,152 @@
+#include "opt/cost.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace genmig {
+namespace {
+
+constexpr double kMinRate = 1e-9;
+
+}  // namespace
+
+const SourceStats& StatsCatalog::Get(const std::string& name) const {
+  static const SourceStats kDefault{1.0, {}};
+  auto it = sources_.find(name);
+  return it == sources_.end() ? kDefault : it->second;
+}
+
+PlanEstimate EstimatePlan(const LogicalNode& node,
+                          const StatsCatalog& catalog) {
+  switch (node.kind) {
+    case LogicalNode::Kind::kSource: {
+      const SourceStats& s = catalog.Get(node.source_name);
+      PlanEstimate e;
+      e.rate = std::max(s.rate, kMinRate);
+      e.window = 1.0;  // Unit validity from the input conversion.
+      for (size_t c = 0; c < node.schema.size(); ++c) {
+        e.distinct[c] = s.DistinctOf(c);
+      }
+      e.cost = e.rate;
+      return e;
+    }
+    case LogicalNode::Kind::kWindow: {
+      PlanEstimate e = EstimatePlan(*node.children[0], catalog);
+      if (node.window_kind == LogicalNode::WindowKind::kCount) {
+        // A count window keeps the last n rows: effective validity is the
+        // time n arrivals span.
+        e.window += static_cast<double>(node.window_rows) /
+                    std::max(e.rate, kMinRate);
+      } else {
+        e.window += static_cast<double>(node.window);
+      }
+      e.cost += e.rate;
+      return e;
+    }
+    case LogicalNode::Kind::kSelect: {
+      PlanEstimate e = EstimatePlan(*node.children[0], catalog);
+      e.cost += e.rate;  // One predicate evaluation per element.
+      e.rate *= StatsCatalog::kDefaultSelectivity;
+      for (auto& [c, d] : e.distinct) {
+        d = std::max(1.0, d * StatsCatalog::kDefaultSelectivity);
+      }
+      return e;
+    }
+    case LogicalNode::Kind::kProject: {
+      PlanEstimate in = EstimatePlan(*node.children[0], catalog);
+      PlanEstimate e = in;
+      e.distinct.clear();
+      for (size_t i = 0; i < node.project_fields.size(); ++i) {
+        e.distinct[i] = in.DistinctOf(node.project_fields[i]);
+      }
+      e.cost += e.rate;
+      return e;
+    }
+    case LogicalNode::Kind::kJoin: {
+      const PlanEstimate l = EstimatePlan(*node.children[0], catalog);
+      const PlanEstimate r = EstimatePlan(*node.children[1], catalog);
+      // State per side: elements valid simultaneously = rate x validity.
+      const double state_l = l.rate * std::max(l.window, 1.0);
+      const double state_r = r.rate * std::max(r.window, 1.0);
+      double selectivity = StatsCatalog::kDefaultSelectivity;
+      if (node.equi_keys.has_value()) {
+        const double dl = l.DistinctOf(node.equi_keys->first);
+        const double dr = r.DistinctOf(node.equi_keys->second);
+        selectivity = 1.0 / std::max({dl, dr, 1.0});
+      } else if (node.predicate == nullptr) {
+        selectivity = 1.0;  // Cross product.
+      }
+      PlanEstimate e;
+      e.rate = (l.rate * state_r + r.rate * state_l) * selectivity;
+      e.window = std::min(l.window, r.window);
+      e.state = l.state + r.state + state_l + state_r;
+      // Probe work dominates the join's running cost.
+      e.cost = l.cost + r.cost + l.rate * state_r + r.rate * state_l;
+      const size_t l_cols = node.children[0]->schema.size();
+      for (const auto& [c, d] : l.distinct) e.distinct[c] = d;
+      for (const auto& [c, d] : r.distinct) e.distinct[c + l_cols] = d;
+      return e;
+    }
+    case LogicalNode::Kind::kDedup: {
+      PlanEstimate e = EstimatePlan(*node.children[0], catalog);
+      double domain = 1.0;
+      for (size_t c = 0; c < node.schema.size(); ++c) {
+        domain *= e.DistinctOf(c);
+      }
+      e.cost += e.rate;
+      e.state += std::min(e.rate * std::max(e.window, 1.0), domain);
+      e.rate = std::min(e.rate, domain / std::max(e.window, 1.0));
+      return e;
+    }
+    case LogicalNode::Kind::kAggregate: {
+      PlanEstimate in = EstimatePlan(*node.children[0], catalog);
+      double groups = 1.0;
+      for (size_t g : node.group_fields) groups *= in.DistinctOf(g);
+      PlanEstimate e;
+      // One result per group per breakpoint; breakpoints ~ 2 x input rate.
+      e.rate = std::min(2.0 * in.rate * groups,
+                        2.0 * in.rate * in.rate * std::max(in.window, 1.0));
+      e.window = 1.0 / std::max(in.rate, kMinRate);
+      e.state = in.state + in.rate * std::max(in.window, 1.0);
+      e.cost = in.cost + 2.0 * in.rate;
+      for (size_t i = 0; i < node.group_fields.size(); ++i) {
+        e.distinct[i] = in.DistinctOf(node.group_fields[i]);
+      }
+      return e;
+    }
+    case LogicalNode::Kind::kUnion: {
+      const PlanEstimate l = EstimatePlan(*node.children[0], catalog);
+      const PlanEstimate r = EstimatePlan(*node.children[1], catalog);
+      PlanEstimate e;
+      e.rate = l.rate + r.rate;
+      e.window = std::max(l.window, r.window);
+      e.state = l.state + r.state;
+      e.cost = l.cost + r.cost + e.rate;
+      for (const auto& [c, d] : l.distinct) {
+        e.distinct[c] = std::max(d, r.DistinctOf(c));
+      }
+      return e;
+    }
+    case LogicalNode::Kind::kDifference: {
+      const PlanEstimate l = EstimatePlan(*node.children[0], catalog);
+      const PlanEstimate r = EstimatePlan(*node.children[1], catalog);
+      PlanEstimate e;
+      e.rate = l.rate;  // Upper bound.
+      e.window = l.window;
+      e.state = l.state + r.state +
+                (l.rate + r.rate) * std::max(std::max(l.window, r.window),
+                                             1.0);
+      e.cost = l.cost + r.cost + 2.0 * (l.rate + r.rate);
+      e.distinct = l.distinct;
+      return e;
+    }
+  }
+  GENMIG_CHECK(false);
+}
+
+double EstimateCost(const LogicalNode& node, const StatsCatalog& catalog) {
+  return EstimatePlan(node, catalog).cost;
+}
+
+}  // namespace genmig

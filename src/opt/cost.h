@@ -1,0 +1,45 @@
+// Cost model for windowed continuous query plans. Estimates, bottom-up per
+// logical node:
+//
+//   * rate  — output elements per time unit;
+//   * state — elements resident in the node's state (rate x window for the
+//             inputs of stateful operators);
+//   * cost  — cumulative processing cost per time unit (probe work of
+//             joins dominates: rate_l x state_r + rate_r x state_l).
+//
+// The estimates drive join-order search and the re-optimization trigger.
+// Absolute accuracy is secondary; the model only needs to rank plans.
+
+#ifndef GENMIG_OPT_COST_H_
+#define GENMIG_OPT_COST_H_
+
+#include "opt/stats.h"
+#include "plan/logical.h"
+
+namespace genmig {
+
+/// Estimated properties of one plan node.
+struct PlanEstimate {
+  double rate = 0.0;    // Output elements per time unit.
+  double window = 0.0;  // Effective validity length of output elements.
+  double state = 0.0;   // State size (elements) held by this node's subtree.
+  double cost = 0.0;    // Cumulative CPU cost per time unit.
+  /// Per output column: estimated distinct values.
+  std::map<size_t, double> distinct;
+
+  double DistinctOf(size_t column) const {
+    auto it = distinct.find(column);
+    return it == distinct.end() ? SourceStats::kDefaultDistinct : it->second;
+  }
+};
+
+/// Estimates `node` bottom-up against `catalog`.
+PlanEstimate EstimatePlan(const LogicalNode& node,
+                          const StatsCatalog& catalog);
+
+/// Total cost of a plan (shorthand for EstimatePlan(...).cost).
+double EstimateCost(const LogicalNode& node, const StatsCatalog& catalog);
+
+}  // namespace genmig
+
+#endif  // GENMIG_OPT_COST_H_

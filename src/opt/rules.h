@@ -1,0 +1,77 @@
+// Transformation rules. All rules preserve snapshot equivalence (they are
+// the conventional relational rules applied to snapshot-reducible operators,
+// Section 2.1), so any plan they produce is a legal GenMig migration target.
+
+#ifndef GENMIG_OPT_RULES_H_
+#define GENMIG_OPT_RULES_H_
+
+#include <optional>
+#include <vector>
+
+#include "opt/cost.h"
+#include "plan/logical.h"
+
+namespace genmig {
+namespace rules {
+
+/// Selection pushdown: moves each conjunct of a Select above a Join into the
+/// child whose columns it references exclusively. Returns nullopt if nothing
+/// moved.
+std::optional<LogicalPtr> PushDownSelect(const LogicalPtr& plan);
+
+/// Duplicate-elimination pushdown (the Figure 2 rule): rewrites
+/// Dedup(Project(EquiJoin(a, b))) and Dedup(EquiJoin(a, b)) into the
+/// pushed-down form EquiJoin(Dedup(a), Dedup(b)) when the join keys make the
+/// rewrite snapshot-equivalent (single-column tuples joined on that column).
+std::optional<LogicalPtr> PushDownDedup(const LogicalPtr& plan);
+
+/// Flattens a tree of equi-joins over single-column windowed sources (the
+/// experiment workloads; every column is a transitively shared key) and
+/// returns the leaf subplans, or nullopt if the plan does not have that
+/// shape.
+std::optional<std::vector<LogicalPtr>> FlattenEquiJoinChain(
+    const LogicalPtr& plan);
+
+/// Greedy join-order search over a flattened equi-join chain: repeatedly
+/// joins the two cheapest (lowest estimated output rate) subplans. Returns
+/// nullopt when the plan is not a reorderable join chain.
+std::optional<LogicalPtr> ReorderJoins(const LogicalPtr& plan,
+                                       const StatsCatalog& catalog);
+
+/// All candidate rewrites of `plan` (including `plan` itself).
+std::vector<LogicalPtr> EnumerateRewrites(const LogicalPtr& plan,
+                                          const StatsCatalog& catalog);
+
+}  // namespace rules
+
+/// The dynamic query optimizer: picks the cheapest known rewrite and decides
+/// whether replacing the running plan is worth a migration.
+class Optimizer {
+ public:
+  explicit Optimizer(StatsCatalog catalog) : catalog_(std::move(catalog)) {}
+
+  StatsCatalog& catalog() { return catalog_; }
+
+  /// Cheapest equivalent plan found by the rule set.
+  LogicalPtr Optimize(const LogicalPtr& plan) const;
+
+  double Cost(const LogicalPtr& plan) const {
+    return EstimateCost(*plan, catalog_);
+  }
+
+  /// True if `candidate` is enough cheaper than `running` to justify the
+  /// migration overhead (default: 20% improvement).
+  bool ShouldMigrate(const LogicalPtr& running, const LogicalPtr& candidate,
+                     double improvement_threshold = 0.2) const {
+    const double current = Cost(running);
+    const double next = Cost(candidate);
+    return next < current * (1.0 - improvement_threshold);
+  }
+
+ private:
+  StatsCatalog catalog_;
+};
+
+}  // namespace genmig
+
+#endif  // GENMIG_OPT_RULES_H_

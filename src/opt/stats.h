@@ -1,0 +1,65 @@
+// Runtime statistics for dynamic query optimization. "A DSMS keeps a
+// plethora of runtime statistics, e.g., on stream rates and selectivities"
+// (Section 1). The catalog is fed either from MonitorOp taps on running
+// plans or from prior knowledge, and is consumed by the cost model.
+
+#ifndef GENMIG_OPT_STATS_H_
+#define GENMIG_OPT_STATS_H_
+
+#include <map>
+#include <string>
+
+#include "ops/monitor.h"
+
+namespace genmig {
+
+/// Statistics of one named input stream.
+struct SourceStats {
+  /// Elements per time unit.
+  double rate = 0.0;
+  /// Number of distinct values per column (used for equi-join and duplicate
+  /// selectivities); missing columns default to kDefaultDistinct.
+  std::map<size_t, double> distinct_per_column;
+
+  static constexpr double kDefaultDistinct = 1000.0;
+
+  double DistinctOf(size_t column) const {
+    auto it = distinct_per_column.find(column);
+    return it == distinct_per_column.end() ? kDefaultDistinct : it->second;
+  }
+};
+
+/// Named-stream statistics catalog.
+class StatsCatalog {
+ public:
+  void SetSource(const std::string& name, SourceStats stats) {
+    sources_[name] = std::move(stats);
+  }
+
+  /// Convenience: rate + uniform distinct count for column 0.
+  void SetSource(const std::string& name, double rate, double distinct0) {
+    SourceStats s;
+    s.rate = rate;
+    s.distinct_per_column[0] = distinct0;
+    sources_[name] = std::move(s);
+  }
+
+  bool Has(const std::string& name) const { return sources_.count(name) > 0; }
+
+  const SourceStats& Get(const std::string& name) const;
+
+  /// Refreshes a source's rate from a MonitorOp tap placed on it.
+  void UpdateFromMonitor(const std::string& name, const MonitorOp& monitor) {
+    sources_[name].rate = monitor.ObservedRate();
+  }
+
+  /// Default selectivity of a non-equi predicate.
+  static constexpr double kDefaultSelectivity = 0.1;
+
+ private:
+  std::map<std::string, SourceStats> sources_;
+};
+
+}  // namespace genmig
+
+#endif  // GENMIG_OPT_STATS_H_

@@ -1,0 +1,98 @@
+// StatsTap: a transparent pass-through that maintains the runtime statistics
+// the optimizer's cost model needs — stream rate and per-column distinct
+// counts over a sliding horizon. One tap per input stream feeds the
+// StatsCatalog ("a DSMS keeps a plethora of runtime statistics", Section 1).
+
+#ifndef GENMIG_OPT_STATS_TAP_H_
+#define GENMIG_OPT_STATS_TAP_H_
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ops/operator.h"
+#include "opt/stats.h"
+
+namespace genmig {
+
+class StatsTap : public Operator {
+ public:
+  /// `horizon`: application-time span over which rate and distinct counts
+  /// are measured.
+  StatsTap(std::string name, Duration horizon)
+      : Operator(std::move(name), 1, 1), horizon_(horizon) {
+    GENMIG_CHECK_GT(horizon, 0);
+  }
+
+  /// Elements per time unit over the horizon.
+  double Rate() const {
+    if (arrivals_.empty()) return 0.0;
+    return static_cast<double>(arrivals_.size()) /
+           static_cast<double>(horizon_);
+  }
+
+  /// Distinct values of `column` seen within the horizon.
+  double Distinct(size_t column) const {
+    if (column >= last_seen_.size() || arrivals_.empty()) return 0.0;
+    const Timestamp cutoff = arrivals_.back() - horizon_;
+    size_t count = 0;
+    for (const auto& [value, seen] : last_seen_[column]) {
+      if (seen >= cutoff) ++count;
+    }
+    return static_cast<double>(count);
+  }
+
+  /// Current statistics snapshot for the catalog.
+  SourceStats Snapshot() const {
+    SourceStats stats;
+    stats.rate = Rate();
+    for (size_t c = 0; c < last_seen_.size(); ++c) {
+      stats.distinct_per_column[c] = std::max(1.0, Distinct(c));
+    }
+    return stats;
+  }
+
+ protected:
+  void OnElement(int, const StreamElement& element) override {
+    const Timestamp now = element.interval.start;
+    arrivals_.push_back(now);
+    if (last_seen_.size() < element.tuple.size()) {
+      last_seen_.resize(element.tuple.size());
+    }
+    for (size_t c = 0; c < element.tuple.size(); ++c) {
+      last_seen_[c][element.tuple.field(c)] = now;
+    }
+    Prune(now);
+    Emit(0, element);
+  }
+
+ private:
+  void Prune(Timestamp now) {
+    const Timestamp cutoff = now - horizon_;
+    while (!arrivals_.empty() && arrivals_.front() < cutoff) {
+      arrivals_.pop_front();
+    }
+    // Amortize the distinct-map pruning: only sweep when maps grew
+    // substantially since the last sweep.
+    size_t total = 0;
+    for (const auto& m : last_seen_) total += m.size();
+    if (total < 2 * last_prune_size_ + 16) return;
+    for (auto& m : last_seen_) {
+      for (auto it = m.begin(); it != m.end();) {
+        it = it->second < cutoff ? m.erase(it) : std::next(it);
+      }
+    }
+    last_prune_size_ = 0;
+    for (const auto& m : last_seen_) last_prune_size_ += m.size();
+  }
+
+  const Duration horizon_;
+  std::deque<Timestamp> arrivals_;
+  std::vector<std::unordered_map<Value, Timestamp, ValueHash>> last_seen_;
+  size_t last_prune_size_ = 0;
+};
+
+}  // namespace genmig
+
+#endif  // GENMIG_OPT_STATS_TAP_H_

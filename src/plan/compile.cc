@@ -1,0 +1,134 @@
+#include "plan/compile.h"
+
+#include "ops/count_window.h"
+#include "ops/dedup.h"
+#include "ops/difference.h"
+#include "ops/join.h"
+#include "ops/union_op.h"
+
+namespace genmig {
+namespace {
+
+class Compiler {
+ public:
+  explicit Compiler(Box* box) : box_(box) {}
+
+  Operator* Compile(const LogicalNode& node) {
+    switch (node.kind) {
+      case LogicalNode::Kind::kSource: {
+        Relay* relay = box_->Make<Relay>(Name("in_" + node.source_name));
+        box_->AddInput(relay, node.source_name);
+        return relay;
+      }
+      case LogicalNode::Kind::kWindow: {
+        Operator* child = Compile(*node.children[0]);
+        Operator* w = nullptr;
+        if (node.window_kind == LogicalNode::WindowKind::kTime) {
+          w = box_->Make<TimeWindow>(Name("window"), node.window);
+        } else {
+          w = box_->Make<CountWindow>(Name("count_window"),
+                                      node.window_rows);
+        }
+        child->ConnectTo(0, w, 0);
+        return w;
+      }
+      case LogicalNode::Kind::kSelect: {
+        Operator* child = Compile(*node.children[0]);
+        ExprPtr pred = node.predicate;
+        Filter* f = box_->Make<Filter>(
+            Name("select"),
+            [pred](const Tuple& t) { return pred->EvalBool(t); });
+        child->ConnectTo(0, f, 0);
+        return f;
+      }
+      case LogicalNode::Kind::kProject: {
+        Operator* child = Compile(*node.children[0]);
+        Map* m = box_->Make<Map>(Name("project"),
+                                 Map::Projection(node.project_fields));
+        child->ConnectTo(0, m, 0);
+        return m;
+      }
+      case LogicalNode::Kind::kJoin: {
+        Operator* left = Compile(*node.children[0]);
+        Operator* right = Compile(*node.children[1]);
+        JoinBase* join = nullptr;
+        if (node.equi_keys.has_value() && node.predicate == nullptr) {
+          join = box_->Make<SymmetricHashJoin>(
+              Name("hashjoin"), node.equi_keys->first,
+              node.equi_keys->second);
+        } else {
+          ExprPtr pred = node.predicate;
+          std::optional<std::pair<size_t, size_t>> keys = node.equi_keys;
+          join = box_->Make<NestedLoopsJoin>(
+              Name("nljoin"), [pred, keys](const Tuple& l, const Tuple& r) {
+                if (keys.has_value() &&
+                    !(l.field(keys->first) ==
+                      r.field(keys->second))) {
+                  return false;
+                }
+                if (pred == nullptr) return true;
+                return pred->EvalBool(Tuple::Concat(l, r));
+              });
+        }
+        left->ConnectTo(0, join, 0);
+        right->ConnectTo(0, join, 1);
+        return join;
+      }
+      case LogicalNode::Kind::kDedup: {
+        Operator* child = Compile(*node.children[0]);
+        DuplicateElimination* d =
+            box_->Make<DuplicateElimination>(Name("dedup"));
+        child->ConnectTo(0, d, 0);
+        return d;
+      }
+      case LogicalNode::Kind::kAggregate: {
+        Operator* child = Compile(*node.children[0]);
+        AggregateOp* a = box_->Make<AggregateOp>(Name("aggregate"),
+                                             node.group_fields, node.aggs);
+        child->ConnectTo(0, a, 0);
+        return a;
+      }
+      case LogicalNode::Kind::kUnion: {
+        Operator* left = Compile(*node.children[0]);
+        Operator* right = Compile(*node.children[1]);
+        UnionOp* u = box_->Make<UnionOp>(Name("union"), 2);
+        left->ConnectTo(0, u, 0);
+        right->ConnectTo(0, u, 1);
+        return u;
+      }
+      case LogicalNode::Kind::kDifference: {
+        Operator* left = Compile(*node.children[0]);
+        Operator* right = Compile(*node.children[1]);
+        DifferenceOp* d = box_->Make<DifferenceOp>(Name("difference"));
+        left->ConnectTo(0, d, 0);
+        right->ConnectTo(0, d, 1);
+        return d;
+      }
+    }
+    GENMIG_CHECK(false);
+  }
+
+ private:
+  std::string Name(const std::string& base) {
+    return base + "#" + std::to_string(counter_++);
+  }
+
+  Box* box_;
+  int counter_ = 0;
+};
+
+}  // namespace
+
+Box CompilePlan(const LogicalNode& root) {
+  Box box;
+  Compiler compiler(&box);
+  Operator* out = compiler.Compile(root);
+  box.SetOutput(out);
+  return box;
+}
+
+BoxFactory MakeBoxFactory(LogicalPtr plan) {
+  return [plan]() { return CompilePlan(*plan); };
+}
+
+}  // namespace genmig

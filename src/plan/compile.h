@@ -1,0 +1,27 @@
+// Logical-to-physical compilation: builds a Box (physical plan) from a
+// logical plan tree. Each source leaf becomes one box input port (a Relay),
+// in left-to-right leaf order; the Executor binds ports to input streams by
+// that order.
+
+#ifndef GENMIG_PLAN_COMPILE_H_
+#define GENMIG_PLAN_COMPILE_H_
+
+#include "plan/box.h"
+#include "plan/logical.h"
+
+namespace genmig {
+
+/// Compiles `root` into a physical Box. Operator names are derived from the
+/// logical node kinds and a running counter.
+Box CompilePlan(const LogicalNode& root);
+
+/// A factory that builds a fresh (state-free) Box every time it is invoked.
+/// Migration strategies use it to instantiate the new plan.
+using BoxFactory = std::function<Box()>;
+
+/// Wraps a logical plan into a BoxFactory.
+BoxFactory MakeBoxFactory(LogicalPtr plan);
+
+}  // namespace genmig
+
+#endif  // GENMIG_PLAN_COMPILE_H_

@@ -1,0 +1,113 @@
+#include "plan/executor.h"
+
+#include "common/check.h"
+
+namespace genmig {
+
+int Executor::AddFeed(std::string name, MaterializedStream elements) {
+  GENMIG_CHECK(IsOrderedByStart(elements));
+  Feed feed;
+  feed.name = std::move(name);
+  feed.elements = std::move(elements);
+  feed.source = std::make_unique<Source>("source_" + feed.name);
+  remaining_ += feed.elements.size();
+  feeds_.push_back(std::move(feed));
+  return static_cast<int>(feeds_.size()) - 1;
+}
+
+int Executor::PickFeed() {
+  switch (options_.policy) {
+    case Policy::kGlobalOrder: {
+      int best = -1;
+      Timestamp best_ts = Timestamp::MaxInstant();
+      for (size_t i = 0; i < feeds_.size(); ++i) {
+        const Feed& f = feeds_[i];
+        if (f.pos >= f.elements.size()) continue;
+        const Timestamp ts = f.elements[f.pos].interval.start;
+        if (best < 0 || ts < best_ts) {
+          best = static_cast<int>(i);
+          best_ts = ts;
+        }
+      }
+      return best;
+    }
+    case Policy::kRoundRobin: {
+      for (size_t k = 0; k < feeds_.size(); ++k) {
+        const size_t i = (rr_next_ + k) % feeds_.size();
+        if (feeds_[i].pos < feeds_[i].elements.size()) {
+          rr_next_ = i + 1;
+          return static_cast<int>(i);
+        }
+      }
+      return -1;
+    }
+    case Policy::kRandom: {
+      std::vector<int> candidates;
+      for (size_t i = 0; i < feeds_.size(); ++i) {
+        if (feeds_[i].pos < feeds_[i].elements.size()) {
+          candidates.push_back(static_cast<int>(i));
+        }
+      }
+      if (candidates.empty()) return -1;
+      std::uniform_int_distribution<size_t> dist(0, candidates.size() - 1);
+      return candidates[dist(rng_)];
+    }
+  }
+  return -1;
+}
+
+bool Executor::Step() {
+  const int feed_idx = PickFeed();
+  if (feed_idx < 0) {
+    // Everything pushed; make sure all sources are closed.
+    bool closed_any = false;
+    for (Feed& f : feeds_) {
+      if (!f.closed) {
+        f.source->Close();
+        f.closed = true;
+        closed_any = true;
+      }
+    }
+    return closed_any;
+  }
+  Feed& feed = feeds_[static_cast<size_t>(feed_idx)];
+  const StreamElement& element = feed.elements[feed.pos++];
+  if (current_time_ < element.interval.start) {
+    current_time_ = element.interval.start;
+  }
+  feed.source->Inject(element);
+  --remaining_;
+  ++pushed_;
+  if (feed.pos >= feed.elements.size() && !feed.closed) {
+    feed.source->Close();
+    feed.closed = true;
+  }
+  if (options_.eager_heartbeats) {
+    for (Feed& f : feeds_) {
+      if (f.closed || f.pos >= f.elements.size()) continue;
+      f.source->InjectHeartbeat(f.elements[f.pos].interval.start);
+    }
+  }
+  if (after_step) after_step();
+  return true;
+}
+
+void Executor::RunUntil(Timestamp t) {
+  while (true) {
+    int best = -1;
+    Timestamp best_ts = Timestamp::MaxInstant();
+    for (size_t i = 0; i < feeds_.size(); ++i) {
+      const Feed& f = feeds_[i];
+      if (f.pos >= f.elements.size()) continue;
+      const Timestamp ts = f.elements[f.pos].interval.start;
+      if (best < 0 || ts < best_ts) {
+        best = static_cast<int>(i);
+        best_ts = ts;
+      }
+    }
+    if (best < 0 || !(best_ts < t)) return;
+    if (!Step()) return;
+  }
+}
+
+}  // namespace genmig

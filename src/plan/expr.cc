@@ -1,0 +1,249 @@
+#include "plan/expr.h"
+
+#include <algorithm>
+
+namespace genmig {
+namespace {
+
+int Compare3Way(const Value& a, const Value& b) {
+  if (a < b) return -1;
+  if (b < a) return 1;
+  return 0;
+}
+
+bool NumericEq(const Value& a, const Value& b) {
+  // Cross-type numeric comparison: 1 == 1.0.
+  if (!a.is_string() && !b.is_string() && a.type() != b.type()) {
+    return a.AsNumeric() == b.AsNumeric();
+  }
+  return a == b;
+}
+
+}  // namespace
+
+ExprPtr Expr::Column(size_t index, std::string name) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kColumn;
+  e->column_index_ = index;
+  e->column_name_ = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::Const(Value value) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kConst;
+  e->constant_ = std::move(value);
+  return e;
+}
+
+ExprPtr Expr::Compare(CmpOp op, ExprPtr left, ExprPtr right) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kCompare;
+  e->cmp_op_ = op;
+  e->children_ = {std::move(left), std::move(right)};
+  return e;
+}
+
+ExprPtr Expr::Arith(ArithOp op, ExprPtr left, ExprPtr right) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kArith;
+  e->arith_op_ = op;
+  e->children_ = {std::move(left), std::move(right)};
+  return e;
+}
+
+ExprPtr Expr::And(ExprPtr left, ExprPtr right) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kAnd;
+  e->children_ = {std::move(left), std::move(right)};
+  return e;
+}
+
+ExprPtr Expr::Or(ExprPtr left, ExprPtr right) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kOr;
+  e->children_ = {std::move(left), std::move(right)};
+  return e;
+}
+
+ExprPtr Expr::Not(ExprPtr operand) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kNot;
+  e->children_ = {std::move(operand)};
+  return e;
+}
+
+Value Expr::Eval(const Tuple& tuple) const {
+  switch (kind_) {
+    case Kind::kColumn:
+      return tuple.field(column_index_);
+    case Kind::kConst:
+      return constant_;
+    case Kind::kCompare: {
+      const Value l = children_[0]->Eval(tuple);
+      const Value r = children_[1]->Eval(tuple);
+      bool result = false;
+      switch (cmp_op_) {
+        case CmpOp::kEq:
+          result = NumericEq(l, r);
+          break;
+        case CmpOp::kNe:
+          result = !NumericEq(l, r);
+          break;
+        case CmpOp::kLt:
+          result = Compare3Way(l, r) < 0;
+          break;
+        case CmpOp::kLe:
+          result = Compare3Way(l, r) <= 0;
+          break;
+        case CmpOp::kGt:
+          result = Compare3Way(l, r) > 0;
+          break;
+        case CmpOp::kGe:
+          result = Compare3Way(l, r) >= 0;
+          break;
+      }
+      return Value(static_cast<int64_t>(result));
+    }
+    case Kind::kArith: {
+      const Value l = children_[0]->Eval(tuple);
+      const Value r = children_[1]->Eval(tuple);
+      if (l.is_int64() && r.is_int64()) {
+        const int64_t a = l.AsInt64();
+        const int64_t b = r.AsInt64();
+        switch (arith_op_) {
+          case ArithOp::kAdd:
+            return Value(a + b);
+          case ArithOp::kSub:
+            return Value(a - b);
+          case ArithOp::kMul:
+            return Value(a * b);
+          case ArithOp::kDiv:
+            GENMIG_CHECK_NE(b, 0);
+            return Value(a / b);
+        }
+      }
+      const double a = l.AsNumeric();
+      const double b = r.AsNumeric();
+      switch (arith_op_) {
+        case ArithOp::kAdd:
+          return Value(a + b);
+        case ArithOp::kSub:
+          return Value(a - b);
+        case ArithOp::kMul:
+          return Value(a * b);
+        case ArithOp::kDiv:
+          return Value(a / b);
+      }
+      GENMIG_CHECK(false);
+      [[fallthrough]];
+    }
+    case Kind::kAnd:
+      return Value(static_cast<int64_t>(children_[0]->EvalBool(tuple) &&
+                                        children_[1]->EvalBool(tuple)));
+    case Kind::kOr:
+      return Value(static_cast<int64_t>(children_[0]->EvalBool(tuple) ||
+                                        children_[1]->EvalBool(tuple)));
+    case Kind::kNot:
+      return Value(static_cast<int64_t>(!children_[0]->EvalBool(tuple)));
+  }
+  GENMIG_CHECK(false);
+}
+
+bool Expr::EvalBool(const Tuple& tuple) const {
+  const Value v = Eval(tuple);
+  if (v.is_string()) return !v.AsString().empty();
+  return v.AsNumeric() != 0.0;
+}
+
+void Expr::CollectColumns(std::vector<size_t>* out) const {
+  if (kind_ == Kind::kColumn) {
+    out->push_back(column_index_);
+    return;
+  }
+  for (const ExprPtr& child : children_) child->CollectColumns(out);
+}
+
+ExprPtr Expr::ShiftColumns(int64_t delta) const {
+  auto e = std::shared_ptr<Expr>(new Expr(*this));
+  if (kind_ == Kind::kColumn) {
+    const int64_t shifted = static_cast<int64_t>(column_index_) + delta;
+    GENMIG_CHECK_GE(shifted, 0);
+    e->column_index_ = static_cast<size_t>(shifted);
+    return e;
+  }
+  for (ExprPtr& child : e->children_) child = child->ShiftColumns(delta);
+  return e;
+}
+
+bool Expr::ColumnsWithin(size_t lo, size_t hi) const {
+  std::vector<size_t> cols;
+  CollectColumns(&cols);
+  return std::all_of(cols.begin(), cols.end(),
+                     [lo, hi](size_t c) { return lo <= c && c < hi; });
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case Kind::kColumn:
+      return column_name_.empty() ? "$" + std::to_string(column_index_)
+                                  : column_name_;
+    case Kind::kConst:
+      return constant_.ToString();
+    case Kind::kCompare: {
+      const char* op = "?";
+      switch (cmp_op_) {
+        case CmpOp::kEq:
+          op = "=";
+          break;
+        case CmpOp::kNe:
+          op = "!=";
+          break;
+        case CmpOp::kLt:
+          op = "<";
+          break;
+        case CmpOp::kLe:
+          op = "<=";
+          break;
+        case CmpOp::kGt:
+          op = ">";
+          break;
+        case CmpOp::kGe:
+          op = ">=";
+          break;
+      }
+      return "(" + children_[0]->ToString() + " " + op + " " +
+             children_[1]->ToString() + ")";
+    }
+    case Kind::kArith: {
+      const char* op = "?";
+      switch (arith_op_) {
+        case ArithOp::kAdd:
+          op = "+";
+          break;
+        case ArithOp::kSub:
+          op = "-";
+          break;
+        case ArithOp::kMul:
+          op = "*";
+          break;
+        case ArithOp::kDiv:
+          op = "/";
+          break;
+      }
+      return "(" + children_[0]->ToString() + " " + op + " " +
+             children_[1]->ToString() + ")";
+    }
+    case Kind::kAnd:
+      return "(" + children_[0]->ToString() + " AND " +
+             children_[1]->ToString() + ")";
+    case Kind::kOr:
+      return "(" + children_[0]->ToString() + " OR " +
+             children_[1]->ToString() + ")";
+    case Kind::kNot:
+      return "NOT " + children_[0]->ToString();
+  }
+  return "?";
+}
+
+}  // namespace genmig

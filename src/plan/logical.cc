@@ -1,0 +1,272 @@
+#include "plan/logical.h"
+
+namespace genmig {
+
+std::string LogicalNode::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string head;
+  switch (kind) {
+    case Kind::kSource:
+      head = "Source(" + source_name + ")";
+      break;
+    case Kind::kWindow:
+      head = window_kind == WindowKind::kTime
+                 ? "Window(" + std::to_string(window) + ")"
+                 : "CountWindow(" + std::to_string(window_rows) + ")";
+      break;
+    case Kind::kSelect:
+      head = "Select(" + predicate->ToString() + ")";
+      break;
+    case Kind::kProject: {
+      head = "Project(";
+      for (size_t i = 0; i < project_fields.size(); ++i) {
+        if (i > 0) head += ", ";
+        head += "$" + std::to_string(project_fields[i]);
+      }
+      head += ")";
+      break;
+    }
+    case Kind::kJoin:
+      if (equi_keys.has_value()) {
+        head = "EquiJoin($" + std::to_string(equi_keys->first) + " = $" +
+               std::to_string(equi_keys->second) + ")";
+      } else {
+        head = "Join(" + (predicate ? predicate->ToString() : "true") + ")";
+      }
+      break;
+    case Kind::kDedup:
+      head = "Dedup";
+      break;
+    case Kind::kAggregate: {
+      head = "Aggregate(group=[";
+      for (size_t i = 0; i < group_fields.size(); ++i) {
+        if (i > 0) head += ", ";
+        head += "$" + std::to_string(group_fields[i]);
+      }
+      head += "], aggs=[";
+      for (size_t i = 0; i < aggs.size(); ++i) {
+        if (i > 0) head += ", ";
+        head += AggKindName(aggs[i].kind);
+        head += "($" + std::to_string(aggs[i].field) + ")";
+      }
+      head += "])";
+      break;
+    }
+    case Kind::kUnion:
+      head = "Union";
+      break;
+    case Kind::kDifference:
+      head = "Difference";
+      break;
+  }
+  std::string out = pad + head + "\n";
+  for (const LogicalPtr& child : children) {
+    out += child->ToString(indent + 1);
+  }
+  return out;
+}
+
+namespace logical {
+namespace {
+
+std::shared_ptr<LogicalNode> NewNode(LogicalNode::Kind kind,
+                                     std::vector<LogicalPtr> children) {
+  auto node = std::make_shared<LogicalNode>();
+  node->kind = kind;
+  node->children = std::move(children);
+  return node;
+}
+
+}  // namespace
+
+LogicalPtr SourceNode(std::string name, Schema schema) {
+  auto node = NewNode(LogicalNode::Kind::kSource, {});
+  node->source_name = std::move(name);
+  node->schema = std::move(schema);
+  return node;
+}
+
+LogicalPtr Window(LogicalPtr input, Duration window) {
+  GENMIG_CHECK_GE(window, 0);
+  auto node = NewNode(LogicalNode::Kind::kWindow, {input});
+  node->window_kind = LogicalNode::WindowKind::kTime;
+  node->window = window;
+  node->schema = input->schema;
+  return node;
+}
+
+LogicalPtr CountWindowNode(LogicalPtr input, size_t rows) {
+  GENMIG_CHECK_GT(rows, 0u);
+  auto node = NewNode(LogicalNode::Kind::kWindow, {input});
+  node->window_kind = LogicalNode::WindowKind::kCount;
+  node->window_rows = rows;
+  node->schema = input->schema;
+  return node;
+}
+
+LogicalPtr Select(LogicalPtr input, ExprPtr predicate) {
+  GENMIG_CHECK(predicate != nullptr);
+  auto node = NewNode(LogicalNode::Kind::kSelect, {input});
+  node->predicate = std::move(predicate);
+  node->schema = input->schema;
+  return node;
+}
+
+LogicalPtr Project(LogicalPtr input, std::vector<size_t> fields,
+                   std::vector<std::string> names) {
+  auto node = NewNode(LogicalNode::Kind::kProject, {input});
+  std::vector<Column> cols;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    Column c = input->schema.column(fields[i]);
+    if (i < names.size() && !names[i].empty()) c.name = names[i];
+    cols.push_back(std::move(c));
+  }
+  node->schema = Schema(std::move(cols));
+  node->project_fields = std::move(fields);
+  return node;
+}
+
+LogicalPtr Join(LogicalPtr left, LogicalPtr right, ExprPtr predicate) {
+  auto node = NewNode(LogicalNode::Kind::kJoin, {left, right});
+  node->predicate = std::move(predicate);
+  node->schema = Schema::Concat(left->schema, right->schema);
+  return node;
+}
+
+LogicalPtr EquiJoin(LogicalPtr left, LogicalPtr right, size_t left_key,
+                    size_t right_key) {
+  GENMIG_CHECK_LT(left_key, left->schema.size());
+  GENMIG_CHECK_LT(right_key, right->schema.size());
+  auto node = NewNode(LogicalNode::Kind::kJoin, {left, right});
+  node->equi_keys = {left_key, right_key};
+  node->schema = Schema::Concat(left->schema, right->schema);
+  return node;
+}
+
+LogicalPtr Dedup(LogicalPtr input) {
+  auto node = NewNode(LogicalNode::Kind::kDedup, {input});
+  node->schema = input->schema;
+  return node;
+}
+
+LogicalPtr Aggregate(LogicalPtr input, std::vector<size_t> group_fields,
+                     std::vector<AggSpec> aggs) {
+  std::vector<Column> cols;
+  for (size_t f : group_fields) cols.push_back(input->schema.column(f));
+  for (const AggSpec& spec : aggs) {
+    Column c;
+    c.name = std::string(AggKindName(spec.kind));
+    switch (spec.kind) {
+      case AggKind::kCount:
+        c.type = ValueType::kInt64;
+        break;
+      case AggKind::kSum:
+      case AggKind::kAvg:
+        c.type = ValueType::kDouble;
+        break;
+      case AggKind::kMin:
+      case AggKind::kMax:
+        c.type = input->schema.column(spec.field).type;
+        c.name += "(" + input->schema.column(spec.field).name + ")";
+        break;
+    }
+    cols.push_back(std::move(c));
+  }
+  auto node = NewNode(LogicalNode::Kind::kAggregate, {input});
+  node->schema = Schema(std::move(cols));
+  node->group_fields = std::move(group_fields);
+  node->aggs = std::move(aggs);
+  return node;
+}
+
+LogicalPtr Union(LogicalPtr left, LogicalPtr right) {
+  GENMIG_CHECK_EQ(left->schema.size(), right->schema.size());
+  auto node = NewNode(LogicalNode::Kind::kUnion, {left, right});
+  node->schema = left->schema;
+  return node;
+}
+
+LogicalPtr Difference(LogicalPtr left, LogicalPtr right) {
+  GENMIG_CHECK_EQ(left->schema.size(), right->schema.size());
+  auto node = NewNode(LogicalNode::Kind::kDifference, {left, right});
+  node->schema = left->schema;
+  return node;
+}
+
+namespace {
+void CollectSources(const LogicalNode& node, std::vector<std::string>* out) {
+  if (node.kind == LogicalNode::Kind::kSource) {
+    out->push_back(node.source_name);
+    return;
+  }
+  for (const LogicalPtr& child : node.children) {
+    CollectSources(*child, out);
+  }
+}
+}  // namespace
+
+std::vector<std::string> CollectSourceNames(const LogicalNode& root) {
+  std::vector<std::string> out;
+  CollectSources(root, &out);
+  return out;
+}
+
+namespace {
+void CollectWindows(const LogicalNode& node, Duration above,
+                    std::vector<Duration>* out) {
+  if (node.kind == LogicalNode::Kind::kSource) {
+    out->push_back(above);
+    return;
+  }
+  const Duration w =
+      node.kind == LogicalNode::Kind::kWindow ? node.window : 0;
+  for (const LogicalPtr& child : node.children) {
+    CollectWindows(*child, w, out);
+  }
+}
+}  // namespace
+
+std::vector<Duration> CollectLeafWindows(const LogicalNode& root) {
+  std::vector<Duration> out;
+  CollectWindows(root, 0, &out);
+  return out;
+}
+
+namespace {
+void CollectWindowSpecs(const LogicalNode& node, LeafWindowSpec above,
+                        std::vector<LeafWindowSpec>* out) {
+  if (node.kind == LogicalNode::Kind::kSource) {
+    out->push_back(above);
+    return;
+  }
+  LeafWindowSpec spec;
+  if (node.kind == LogicalNode::Kind::kWindow) {
+    spec.kind = node.window_kind;
+    spec.window = node.window;
+    spec.rows = node.window_rows;
+  }
+  for (const LogicalPtr& child : node.children) {
+    CollectWindowSpecs(*child, spec, out);
+  }
+}
+}  // namespace
+
+std::vector<LeafWindowSpec> CollectLeafWindowSpecs(const LogicalNode& root) {
+  std::vector<LeafWindowSpec> out;
+  CollectWindowSpecs(root, LeafWindowSpec{}, &out);
+  return out;
+}
+
+LogicalPtr StripWindows(const LogicalPtr& root) {
+  if (root->kind == LogicalNode::Kind::kWindow) {
+    return StripWindows(root->children[0]);
+  }
+  auto copy = std::make_shared<LogicalNode>(*root);
+  for (LogicalPtr& child : copy->children) {
+    child = StripWindows(child);
+  }
+  return copy;
+}
+
+}  // namespace logical
+}  // namespace genmig

@@ -1,0 +1,115 @@
+// Logical query plans. The logical algebra follows [2]: window operators
+// placed downstream of sources model the sliding-window semantics; every
+// other node is a standard operator snapshot-reducible to its counterpart in
+// the extended relational algebra. Conventional transformation rules applied
+// to these trees preserve snapshot equivalence, which is what makes both
+// query optimization and GenMig possible.
+
+#ifndef GENMIG_PLAN_LOGICAL_H_
+#define GENMIG_PLAN_LOGICAL_H_
+
+#include <memory>
+#include <optional>
+#include <tuple>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/schema.h"
+#include "ops/aggregate.h"
+#include "plan/expr.h"
+
+namespace genmig {
+
+struct LogicalNode;
+using LogicalPtr = std::shared_ptr<const LogicalNode>;
+
+/// One node of a logical plan tree. Immutable after construction; rewrites
+/// build new trees sharing unchanged subtrees.
+struct LogicalNode {
+  enum class Kind {
+    kSource,      // Named input stream.
+    kWindow,      // Time-based sliding window.
+    kSelect,      // Selection by predicate.
+    kProject,     // Projection onto a field list.
+    kJoin,        // Binary join (predicate and/or equi-key pair).
+    kDedup,       // Duplicate elimination.
+    kAggregate,   // Grouped aggregation.
+    kUnion,       // Bag union.
+    kDifference,  // Bag difference (left minus right).
+  };
+
+  enum class WindowKind { kTime, kCount };
+
+  Kind kind = Kind::kSource;
+  std::vector<LogicalPtr> children;
+  /// Output schema of this node.
+  Schema schema;
+
+  // Per-kind payload (only the relevant fields are set):
+  std::string source_name;                                  // kSource
+  WindowKind window_kind = WindowKind::kTime;               // kWindow
+  Duration window = 0;                                      // kWindow (time)
+  size_t window_rows = 0;                                   // kWindow (count)
+  ExprPtr predicate;                                        // kSelect, kJoin
+  std::vector<size_t> project_fields;                       // kProject
+  std::optional<std::pair<size_t, size_t>> equi_keys;       // kJoin
+  std::vector<size_t> group_fields;                         // kAggregate
+  std::vector<AggSpec> aggs;                                // kAggregate
+
+  std::string ToString(int indent = 0) const;
+};
+
+// Builder helpers (schema propagation included).
+namespace logical {
+
+LogicalPtr SourceNode(std::string name, Schema schema);
+LogicalPtr Window(LogicalPtr input, Duration window);
+/// Count-based sliding window over the last `rows` elements ([ROWS n]).
+LogicalPtr CountWindowNode(LogicalPtr input, size_t rows);
+LogicalPtr Select(LogicalPtr input, ExprPtr predicate);
+LogicalPtr Project(LogicalPtr input, std::vector<size_t> fields,
+                   std::vector<std::string> names = {});
+/// General theta join; `predicate` is evaluated over the concatenation of
+/// the children's tuples (left fields first).
+LogicalPtr Join(LogicalPtr left, LogicalPtr right, ExprPtr predicate);
+/// Equi-join on one key column per side (hash-joinable).
+LogicalPtr EquiJoin(LogicalPtr left, LogicalPtr right, size_t left_key,
+                    size_t right_key);
+LogicalPtr Dedup(LogicalPtr input);
+LogicalPtr Aggregate(LogicalPtr input, std::vector<size_t> group_fields,
+                     std::vector<AggSpec> aggs);
+LogicalPtr Union(LogicalPtr left, LogicalPtr right);
+LogicalPtr Difference(LogicalPtr left, LogicalPtr right);
+
+/// Source names in left-to-right leaf order (one entry per occurrence).
+std::vector<std::string> CollectSourceNames(const LogicalNode& root);
+
+/// The window size directly above each source leaf, in leaf order (0 when a
+/// source has no window).
+std::vector<Duration> CollectLeafWindows(const LogicalNode& root);
+
+/// Full window specification per source leaf, in leaf order.
+struct LeafWindowSpec {
+  LogicalNode::WindowKind kind = LogicalNode::WindowKind::kTime;
+  Duration window = 0;  // kTime (0 = no window).
+  size_t rows = 0;      // kCount.
+
+  bool operator<(const LeafWindowSpec& other) const {
+    return std::tie(kind, window, rows) <
+           std::tie(other.kind, other.window, other.rows);
+  }
+};
+std::vector<LeafWindowSpec> CollectLeafWindowSpecs(const LogicalNode& root);
+
+/// Structural copy with every Window node removed (its child takes its
+/// place). Used to compile migration boxes: the migration controller's Split
+/// operators partition *windowed* validity intervals, so window operators
+/// live upstream of the migration boundary (between the sources and the
+/// boxes), not inside the boxes.
+LogicalPtr StripWindows(const LogicalPtr& root);
+
+}  // namespace logical
+}  // namespace genmig
+
+#endif  // GENMIG_PLAN_LOGICAL_H_

@@ -1,0 +1,71 @@
+#include "pn/pn_element.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+
+namespace genmig {
+
+bool IsOrderedByTime(const PnStream& stream) {
+  for (size_t i = 1; i < stream.size(); ++i) {
+    if (stream[i].t < stream[i - 1].t) return false;
+  }
+  return true;
+}
+
+PnStream IntervalToPn(const MaterializedStream& stream) {
+  PnStream out;
+  out.reserve(stream.size() * 2);
+  for (const StreamElement& e : stream) {
+    out.emplace_back(e.tuple, e.interval.start, Sign::kPlus, e.epoch);
+    out.emplace_back(e.tuple, e.interval.end, Sign::kMinus, e.epoch);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const PnElement& a, const PnElement& b) {
+                     if (a.t != b.t) return a.t < b.t;
+                     // Negatives first at equal timestamps.
+                     return a.sign == Sign::kMinus && b.sign == Sign::kPlus;
+                   });
+  return out;
+}
+
+MaterializedStream PnToInterval(const PnStream& stream) {
+  // FIFO of open positives per tuple.
+  std::map<Tuple, std::vector<PnElement>> open;
+  MaterializedStream out;
+  for (const PnElement& e : stream) {
+    if (e.is_plus()) {
+      open[e.tuple].push_back(e);
+      continue;
+    }
+    auto it = open.find(e.tuple);
+    GENMIG_CHECK(it != open.end() && !it->second.empty());
+    const PnElement plus = it->second.front();
+    it->second.erase(it->second.begin());
+    if (it->second.empty()) open.erase(it);
+    GENMIG_CHECK(plus.t < e.t);
+    out.emplace_back(e.tuple, TimeInterval(plus.t, e.t),
+                     std::min(plus.epoch, e.epoch));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const StreamElement& a, const StreamElement& b) {
+                     return a.interval.start < b.interval.start;
+                   });
+  return out;
+}
+
+std::vector<Tuple> PnSnapshotAt(const PnStream& stream, Timestamp t) {
+  std::map<Tuple, int64_t> counts;
+  for (const PnElement& e : stream) {
+    if (e.t <= t) counts[e.tuple] += e.is_plus() ? 1 : -1;
+  }
+  std::vector<Tuple> out;
+  for (const auto& [tuple, count] : counts) {
+    GENMIG_CHECK_GE(count, 0);
+    for (int64_t i = 0; i < count; ++i) out.push_back(tuple);
+  }
+  return out;
+}
+
+}  // namespace genmig

@@ -1,0 +1,69 @@
+// The positive-negative (PN) tuple model (Section 2.3), used by STREAM [12]
+// and Nile [9]: a stream carries elements (tuple, timestamp, sign), ordered
+// by timestamp. A positive element starts a tuple's validity; the matching
+// negative element (sent by the window operator w+1 time units later) ends
+// it. A pair (e, tS, +) / (e, tE, -) expresses the interval-based element
+// (e, [tS, tE)) — at the price of doubled stream rates.
+
+#ifndef GENMIG_PN_PN_ELEMENT_H_
+#define GENMIG_PN_PN_ELEMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/tuple.h"
+#include "stream/element.h"
+#include "time/timestamp.h"
+
+namespace genmig {
+
+enum class Sign : uint8_t { kPlus = 0, kMinus = 1 };
+
+/// One element of a positive-negative stream.
+struct PnElement {
+  Tuple tuple;
+  Timestamp t;
+  Sign sign = Sign::kPlus;
+  /// Lineage epoch, as in StreamElement.
+  uint32_t epoch = 0;
+
+  PnElement() = default;
+  PnElement(Tuple tup, Timestamp ts, Sign s, uint32_t ep = 0)
+      : tuple(std::move(tup)), t(ts), sign(s), epoch(ep) {}
+
+  bool is_plus() const { return sign == Sign::kPlus; }
+
+  bool operator==(const PnElement& other) const {
+    return tuple == other.tuple && t == other.t && sign == other.sign;
+  }
+
+  std::string ToString() const {
+    return tuple.ToString() + (is_plus() ? "+" : "-") + "@" + t.ToString();
+  }
+};
+
+using PnStream = std::vector<PnElement>;
+
+/// True iff `stream` is non-decreasingly ordered by timestamp.
+bool IsOrderedByTime(const PnStream& stream);
+
+/// Converts an interval-based stream into its PN representation: each
+/// element (e, [tS, tE)) becomes (e, tS, +) and (e, tE, -), merged into
+/// timestamp order. At equal timestamps, negatives precede positives (an
+/// element ending at t is not valid at t, one starting at t is).
+PnStream IntervalToPn(const MaterializedStream& stream);
+
+/// Converts a PN stream back into interval elements by pairing each negative
+/// with the oldest open matching positive. Positives that never close are
+/// dropped (infinite validity is not representable); the returned stream is
+/// re-sorted by start timestamp.
+MaterializedStream PnToInterval(const PnStream& stream);
+
+/// Snapshot of a PN stream at instant `t`: each tuple appears as many times
+/// as it has positives with timestamp <= t not yet cancelled by a negative
+/// with timestamp <= t.
+std::vector<Tuple> PnSnapshotAt(const PnStream& stream, Timestamp t);
+
+}  // namespace genmig
+
+#endif  // GENMIG_PN_PN_ELEMENT_H_

@@ -1,0 +1,280 @@
+#include "pn/pn_genmig.h"
+
+#include <algorithm>
+
+namespace genmig {
+
+// --- PnSplit -----------------------------------------------------------------
+
+PnSplit::PnSplit(std::string name, Timestamp t_split, OpenCounts pre_open)
+    : PnOperator(std::move(name), 1, 2), t_split_(t_split) {
+  GENMIG_CHECK_GT(t_split.eps, 0u);
+  for (auto& [tuple, count] : pre_open) {
+    GENMIG_CHECK_GE(count, 0);
+    if (count > 0) opens_[tuple].pre = count;
+  }
+}
+
+void PnSplit::OnElement(int, const PnElement& element) {
+  if (element.is_plus()) {
+    const bool to_old = element.t < t_split_;
+    opens_[element.tuple].post.push_back(to_old);
+    if (to_old) Emit(kOldPort, element);
+    Emit(kNewPort, element);
+    return;
+  }
+  // Negatives retract their positive FIFO-wise (the window operator emits
+  // them in the same per-tuple order as the positives).
+  auto it = opens_.find(element.tuple);
+  GENMIG_CHECK(it != opens_.end());
+  Opens& o = it->second;
+  if (o.pre > 0) {
+    // Positive predates the split: the new box never saw it.
+    --o.pre;
+    if (o.pre == 0 && o.post.empty()) opens_.erase(it);
+    Emit(kOldPort, element);
+    return;
+  }
+  GENMIG_CHECK(!o.post.empty());
+  const bool to_old = o.post.front();
+  o.post.pop_front();
+  if (o.pre == 0 && o.post.empty()) opens_.erase(it);
+  if (to_old) Emit(kOldPort, element);
+  Emit(kNewPort, element);
+}
+
+// --- PnRefMerge ---------------------------------------------------------------
+
+void PnRefMerge::OnElement(int in_port, const PnElement& element) {
+  if (in_port == kOldPort) {
+    if (element.t < t_split_) {
+      Emit(0, element);
+    } else {
+      ++dropped_;
+    }
+    return;
+  }
+  if (!(element.t > t_split_)) {
+    ++dropped_;
+    return;
+  }
+  if (flushed_) {
+    Emit(0, element);
+  } else {
+    buffer_.push_back(element);
+  }
+}
+
+void PnRefMerge::OnWatermarkAdvance() {
+  if (!flushed_ && input_eos(kOldPort)) {
+    // "First output the results of the old box and afterwards those from
+    // the new box."
+    for (const PnElement& e : buffer_) Emit(0, e);
+    buffer_.clear();
+    flushed_ = true;
+  }
+}
+
+Timestamp PnRefMerge::OutputWatermark() const {
+  if (flushed_) return MinInputWatermark();
+  Timestamp wm = input_watermark(kOldPort);
+  if (!buffer_.empty() && buffer_.front().t < wm) wm = buffer_.front().t;
+  return wm;
+}
+
+// --- PnMigrationController -------------------------------------------------------
+
+PnMigrationController::PnMigrationController(std::string name,
+                                             PnBox initial_box)
+    : PnOperator(std::move(name), initial_box.num_inputs(), 1),
+      active_box_(std::move(initial_box)) {
+  GENMIG_CHECK(active_box_.output != nullptr);
+  input_targets_.resize(static_cast<size_t>(num_inputs()));
+  open_counts_.resize(static_cast<size_t>(num_inputs()));
+  fwd_wm_.assign(static_cast<size_t>(num_inputs()), Timestamp::MinInstant());
+  for (int i = 0; i < num_inputs(); ++i) {
+    input_targets_[static_cast<size_t>(i)] = {
+        PnOperator::Edge{active_box_.inputs[static_cast<size_t>(i)], 0}};
+  }
+  InstallTerminal(active_box_.output);
+}
+
+PnCallback* PnMigrationController::MakeCallback(const std::string& cb_name) {
+  auto cb = std::make_unique<PnCallback>(name() + "/" + cb_name);
+  PnCallback* raw = cb.get();
+  machinery_.push_back(std::move(cb));
+  return raw;
+}
+
+void PnMigrationController::InstallTerminal(PnOperator* producer) {
+  PnCallback* terminal = MakeCallback("terminal");
+  terminal->on_element = [this](const PnElement& e) { Emit(0, e); };
+  terminal->on_watermark = [this](Timestamp wm) {
+    if (wm != Timestamp::MaxInstant() && out_bound_ < wm) out_bound_ = wm;
+  };
+  producer->ConnectTo(0, terminal, 0);
+}
+
+void PnMigrationController::OnElement(int in_port, const PnElement& element) {
+  // Track open positives so a migration can be started at any moment.
+  auto& opens = open_counts_[static_cast<size_t>(in_port)];
+  if (element.is_plus()) {
+    ++opens[element.tuple];
+  } else {
+    auto it = opens.find(element.tuple);
+    GENMIG_CHECK(it != opens.end() && it->second > 0);
+    if (--it->second == 0) opens.erase(it);
+  }
+  for (const auto& target : input_targets_[static_cast<size_t>(in_port)]) {
+    target.op->PushElement(target.port, element);
+  }
+  Maintain();
+}
+
+void PnMigrationController::OnInputEos(int in_port) {
+  for (const auto& target : input_targets_[static_cast<size_t>(in_port)]) {
+    if (!target.op->input_eos(target.port)) {
+      target.op->PushEos(target.port);
+    }
+  }
+}
+
+void PnMigrationController::OnWatermarkAdvance() {
+  for (int i = 0; i < num_inputs(); ++i) {
+    if (input_eos(i)) continue;
+    const Timestamp wm = input_watermark(i);
+    if (fwd_wm_[static_cast<size_t>(i)] < wm) {
+      fwd_wm_[static_cast<size_t>(i)] = wm;
+      for (const auto& target : input_targets_[static_cast<size_t>(i)]) {
+        target.op->PushHeartbeat(target.port, wm);
+      }
+    }
+  }
+  Maintain();
+}
+
+void PnMigrationController::OnAllInputsEos() { Maintain(); }
+
+void PnMigrationController::StartGenMig(PnBox new_box, Duration window) {
+  GENMIG_CHECK(!migrating_);
+  GENMIG_CHECK_EQ(new_box.num_inputs(), num_inputs());
+  GENMIG_CHECK(new_box.output != nullptr);
+  new_box_ = std::move(new_box);
+
+  // Monitoring: the most recent positive timestamps are the input
+  // watermarks. T_split = max + w + 1 + epsilon (Section 4.6 sets it as in
+  // Algorithm 1).
+  Timestamp max_t = Timestamp(0);
+  for (int i = 0; i < num_inputs(); ++i) {
+    const Timestamp wm =
+        input_eos(i) ? fwd_wm_[static_cast<size_t>(i)] : input_watermark(i);
+    if (max_t < wm) max_t = wm;
+  }
+  t_split_ = Timestamp(max_t.t + window + 1, 1);
+
+  auto merge = std::make_unique<PnRefMerge>(name() + "/pn_merge", t_split_);
+  merge_ = merge.get();
+  machinery_.push_back(std::move(merge));
+
+  active_box_.output->DisconnectOutputPort(0);
+  PnCallback* old_out = MakeCallback("old_out");
+  old_out->on_element = [this](const PnElement& e) {
+    merge_->PushElement(PnRefMerge::kOldPort, e);
+  };
+  old_out->on_watermark = [this](Timestamp wm) {
+    if (wm != Timestamp::MaxInstant()) {
+      merge_->PushHeartbeat(PnRefMerge::kOldPort, wm);
+    }
+  };
+  old_out->on_eos = [this]() { merge_->PushEos(PnRefMerge::kOldPort); };
+  active_box_.output->ConnectTo(0, old_out, 0);
+
+  new_out_cb_ = MakeCallback("new_out");
+  new_out_cb_->on_element = [this](const PnElement& e) {
+    merge_->PushElement(PnRefMerge::kNewPort, e);
+  };
+  new_out_cb_->on_watermark = [this](Timestamp wm) {
+    if (wm != Timestamp::MaxInstant()) {
+      merge_->PushHeartbeat(PnRefMerge::kNewPort, wm);
+    }
+  };
+  new_out_cb_->on_eos = [this]() { merge_->PushEos(PnRefMerge::kNewPort); };
+  new_box_.output->ConnectTo(0, new_out_cb_, 0);
+
+  PnCallback* merge_out = MakeCallback("merge_out");
+  merge_out->on_element = [this](const PnElement& e) { Emit(0, e); };
+  merge_out->on_watermark = [this](Timestamp wm) {
+    if (wm != Timestamp::MaxInstant() && out_bound_ < wm) out_bound_ = wm;
+  };
+  merge_->ConnectTo(0, merge_out, 0);
+
+  splits_.clear();
+  for (int i = 0; i < num_inputs(); ++i) {
+    auto split = std::make_unique<PnSplit>(
+        name() + "/pn_split_" + std::to_string(i), t_split_,
+        open_counts_[static_cast<size_t>(i)]);
+    PnSplit* raw = split.get();
+    machinery_.push_back(std::move(split));
+    // Inputs that ended before the migration already delivered their EOS to
+    // the old box; only the new box still needs it (below).
+    if (!input_eos(i)) {
+      raw->ConnectTo(PnSplit::kOldPort,
+                     active_box_.inputs[static_cast<size_t>(i)], 0);
+    }
+    raw->ConnectTo(PnSplit::kNewPort,
+                   new_box_.inputs[static_cast<size_t>(i)], 0);
+    splits_.push_back(raw);
+    input_targets_[static_cast<size_t>(i)] = {PnOperator::Edge{raw, 0}};
+  }
+  migrating_ = true;
+  old_eos_signalled_ = false;
+  for (int i = 0; i < num_inputs(); ++i) {
+    if (input_eos(i)) splits_[static_cast<size_t>(i)]->PushEos(0);
+  }
+  Maintain();
+}
+
+void PnMigrationController::Maintain() {
+  if (!migrating_ || old_eos_signalled_) return;
+  for (PnSplit* split : splits_) {
+    if (!split->OldSideDone()) return;
+  }
+  // Abandon the old box: everything it could still contribute has a
+  // timestamp >= T_split and would be dropped by the merge (the new box
+  // produces it instead). Only the merge needs to learn that the old side
+  // is finished so it can release the buffered new-box results.
+  for (PnSplit* split : splits_) {
+    split->DisconnectOutputPort(PnSplit::kOldPort);
+  }
+  merge_->PushEos(PnRefMerge::kOldPort);
+  old_eos_signalled_ = true;
+  Finish();
+}
+
+void PnMigrationController::Finish() {
+  GENMIG_CHECK_EQ(merge_->StateUnits(), 0u);  // Buffer flushed at old EOS.
+  for (PnSplit* split : splits_) {
+    split->DisconnectOutputPort(PnSplit::kNewPort);
+  }
+  for (int i = 0; i < num_inputs(); ++i) {
+    input_targets_[static_cast<size_t>(i)] = {
+        PnOperator::Edge{new_box_.inputs[static_cast<size_t>(i)], 0}};
+  }
+  new_out_cb_->on_element = [this](const PnElement& e) { Emit(0, e); };
+  new_out_cb_->on_watermark = [this](Timestamp wm) {
+    if (wm != Timestamp::MaxInstant() && out_bound_ < wm) out_bound_ = wm;
+  };
+  new_out_cb_->on_eos = []() {};
+
+  retired_boxes_.push_back(std::move(active_box_));
+  active_box_ = std::move(new_box_);
+  new_box_ = PnBox();
+  splits_.clear();
+  merge_ = nullptr;
+  for (auto& op : machinery_) retired_ops_.push_back(std::move(op));
+  machinery_.clear();
+  migrating_ = false;
+  ++migrations_completed_;
+}
+
+}  // namespace genmig

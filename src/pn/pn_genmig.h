@@ -1,0 +1,170 @@
+// GenMig for the positive-negative implementation (Section 4.6).
+//
+// Differences from the interval-based variant:
+//  * monitoring observes the timestamps of positive elements;
+//  * the split operator sends every element to the new box, and additionally
+//    to the old box if it is a positive with timestamp < T_split or the
+//    negative associated with such a positive;
+//  * the element timestamp (independent of sign) is the reference point:
+//    old-box results are accepted if their timestamp is < T_split, new-box
+//    results if it is > T_split (equality cannot occur — T_split carries a
+//    chronon);
+//  * "it is sufficient to first output the results of the old box and
+//    afterwards those from the new box": the merge operator forwards old-box
+//    results directly and buffers new-box results until the old box ends.
+
+#ifndef GENMIG_PN_PN_GENMIG_H_
+#define GENMIG_PN_PN_GENMIG_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pn/pn_ops.h"
+
+namespace genmig {
+
+/// A PN physical plan fragment with stable ports (the PN analogue of Box).
+struct PnBox {
+  std::vector<std::unique_ptr<PnOperator>> ops;
+  std::vector<PnOperator*> inputs;
+  PnOperator* output = nullptr;
+
+  template <typename Op, typename... Args>
+  Op* Make(Args&&... args) {
+    auto op = std::make_unique<Op>(std::forward<Args>(args)...);
+    Op* raw = op.get();
+    ops.push_back(std::move(op));
+    return raw;
+  }
+  void AddInput(PnOperator* op) { inputs.push_back(op); }
+  int num_inputs() const { return static_cast<int>(inputs.size()); }
+  void SignalEosToInputs() {
+    for (PnOperator* in : inputs) {
+      for (int p = 0; p < in->num_inputs(); ++p) {
+        if (!in->input_eos(p)) in->PushEos(p);
+      }
+    }
+  }
+};
+
+/// Split for PN streams (Section 4.6): positives below T_split go to both
+/// boxes, positives at or above T_split to the new box only; each negative
+/// follows its (FIFO-matched) positive — negatives of positives that predate
+/// the migration go to the old box only, since the new box never saw their
+/// positives. `pre_open` carries the per-tuple counts of positives that were
+/// open when the split was installed.
+class PnSplit : public PnOperator {
+ public:
+  static constexpr int kOldPort = 0;
+  static constexpr int kNewPort = 1;
+
+  using OpenCounts = std::unordered_map<Tuple, int64_t, TupleHash>;
+
+  PnSplit(std::string name, Timestamp t_split, OpenCounts pre_open);
+
+  /// True once every input stream passed T_split — the migration end
+  /// condition of Section 4.6. (Old-routed positives whose negatives have
+  /// not arrived yet would only produce results at or after T_split, which
+  /// the merge drops; the new box covers them.)
+  bool OldSideDone() const { return MinInputWatermark() >= t_split_; }
+
+ protected:
+  void OnElement(int, const PnElement& element) override;
+
+ private:
+  struct Opens {
+    /// Open positives that predate the split (negatives: old box only).
+    int64_t pre = 0;
+    /// Post-split positives in arrival order; true = routed to the old box
+    /// too (timestamp < T_split).
+    std::deque<bool> post;
+  };
+
+  const Timestamp t_split_;
+  std::unordered_map<Tuple, Opens, TupleHash> opens_;
+};
+
+/// Reference-point merge for PN streams: accepts old-box results with
+/// timestamp < T_split and new-box results with timestamp > T_split;
+/// new-box results are buffered until the old box finishes.
+class PnRefMerge : public PnOperator {
+ public:
+  static constexpr int kOldPort = 0;
+  static constexpr int kNewPort = 1;
+
+  PnRefMerge(std::string name, Timestamp t_split)
+      : PnOperator(std::move(name), 2, 1), t_split_(t_split) {
+    GENMIG_CHECK_GT(t_split.eps, 0u);
+  }
+
+  size_t StateUnits() const override { return buffer_.size(); }
+  size_t dropped_count() const { return dropped_; }
+
+ protected:
+  void OnElement(int in_port, const PnElement& element) override;
+  void OnWatermarkAdvance() override;
+  Timestamp OutputWatermark() const override;
+
+ private:
+  const Timestamp t_split_;
+  std::vector<PnElement> buffer_;  // New-box results, already ordered.
+  size_t dropped_ = 0;
+  bool old_done_ = false;
+  bool flushed_ = false;
+};
+
+/// Hosts a PN plan and performs GenMig migrations on it — the PN analogue of
+/// MigrationController (GenMig only; the paper's Section 4.6 transfer).
+class PnMigrationController : public PnOperator {
+ public:
+  PnMigrationController(std::string name, PnBox initial_box);
+
+  /// Starts a GenMig migration: T_split = max monitored positive timestamp
+  /// + w + 1 + epsilon.
+  void StartGenMig(PnBox new_box, Duration window);
+
+  bool migration_in_progress() const { return migrating_; }
+  Timestamp t_split() const { return t_split_; }
+  int migrations_completed() const { return migrations_completed_; }
+
+ protected:
+  void OnElement(int in_port, const PnElement& element) override;
+  void OnInputEos(int in_port) override;
+  void OnWatermarkAdvance() override;
+  void OnAllInputsEos() override;
+  Timestamp OutputWatermark() const override { return out_bound_; }
+
+ private:
+  void Maintain();
+  void Finish();
+  PnCallback* MakeCallback(const std::string& cb_name);
+  void InstallTerminal(PnOperator* producer);
+
+  PnBox active_box_;
+  PnBox new_box_;
+  std::vector<std::vector<PnOperator::Edge>> input_targets_;
+  std::vector<Timestamp> fwd_wm_;
+
+  /// Per input, per tuple: currently open positives (maintained always so a
+  /// migration can start at any time).
+  std::vector<PnSplit::OpenCounts> open_counts_;
+
+  bool migrating_ = false;
+  bool old_eos_signalled_ = false;
+  Timestamp t_split_;
+  std::vector<PnSplit*> splits_;
+  PnRefMerge* merge_ = nullptr;
+  PnCallback* new_out_cb_ = nullptr;
+  int migrations_completed_ = 0;
+
+  Timestamp out_bound_ = Timestamp::MinInstant();
+  std::vector<std::unique_ptr<PnOperator>> machinery_;
+  std::vector<std::unique_ptr<PnOperator>> retired_ops_;
+  std::vector<PnBox> retired_boxes_;
+};
+
+}  // namespace genmig
+
+#endif  // GENMIG_PN_PN_GENMIG_H_

@@ -1,0 +1,110 @@
+#include "pn/pn_operator.h"
+
+namespace genmig {
+
+PnOperator::PnOperator(std::string name, int num_inputs, int num_outputs)
+    : name_(std::move(name)),
+      inputs_(static_cast<size_t>(num_inputs)),
+      outputs_(static_cast<size_t>(num_outputs)) {
+  GENMIG_CHECK_GE(num_inputs, 0);
+  GENMIG_CHECK_GE(num_outputs, 1);
+}
+
+void PnOperator::ConnectTo(int out_port, PnOperator* downstream,
+                           int in_port) {
+  GENMIG_CHECK_GE(out_port, 0);
+  GENMIG_CHECK_LT(out_port, num_outputs());
+  GENMIG_CHECK(downstream != nullptr);
+  GENMIG_CHECK_GE(in_port, 0);
+  GENMIG_CHECK_LT(in_port, downstream->num_inputs());
+  GENMIG_CHECK(!downstream->inputs_[in_port].connected);
+  downstream->inputs_[in_port].connected = true;
+  outputs_[out_port].edges.push_back(Edge{downstream, in_port});
+}
+
+void PnOperator::DisconnectOutputPort(int out_port) {
+  for (Edge& e : outputs_[out_port].edges) {
+    e.op->inputs_[e.port].connected = false;
+  }
+  outputs_[out_port].edges.clear();
+}
+
+Timestamp PnOperator::MinInputWatermark() const {
+  Timestamp wm = Timestamp::MaxInstant();
+  for (const InputState& in : inputs_) {
+    if (in.watermark < wm) wm = in.watermark;
+  }
+  return wm;
+}
+
+void PnOperator::PushElement(int in_port, const PnElement& element) {
+  InputState& in = inputs_[in_port];
+  GENMIG_CHECK(!in.eos);
+  GENMIG_CHECK(in.watermark <= element.t);
+  in.watermark = element.t;
+  OnElement(in_port, element);
+  OnWatermarkAdvance();
+  PublishProgress();
+}
+
+void PnOperator::PushHeartbeat(int in_port, Timestamp watermark) {
+  InputState& in = inputs_[in_port];
+  if (in.eos || watermark <= in.watermark) return;
+  in.watermark = watermark;
+  OnWatermarkAdvance();
+  PublishProgress();
+}
+
+void PnOperator::PushEos(int in_port) {
+  InputState& in = inputs_[in_port];
+  GENMIG_CHECK(!in.eos);
+  OnInputEos(in_port);
+  in.eos = true;
+  in.watermark = Timestamp::MaxInstant();
+  ++eos_count_;
+  OnWatermarkAdvance();
+  if (all_inputs_eos()) OnAllInputsEos();
+  PublishProgress();
+  if (all_inputs_eos()) PropagateEos();
+}
+
+void PnOperator::Emit(int out_port, const PnElement& element) {
+  GENMIG_CHECK(!eos_emitted_);
+  OutputState& out = outputs_[out_port];
+  GENMIG_CHECK(out.last_emitted <= element.t);
+  GENMIG_CHECK(out.last_heartbeat <= element.t);
+  out.last_emitted = element.t;
+  for (const Edge& e : out.edges) {
+    e.op->PushElement(e.port, element);
+  }
+}
+
+void PnOperator::EmitHeartbeat(int out_port, Timestamp watermark) {
+  OutputState& out = outputs_[out_port];
+  if (watermark <= out.last_heartbeat) return;
+  out.last_heartbeat = watermark;
+  for (const Edge& e : out.edges) {
+    e.op->PushHeartbeat(e.port, watermark);
+  }
+}
+
+void PnOperator::PublishProgress() {
+  if (eos_emitted_) return;
+  const Timestamp wm = OutputWatermark();
+  if (wm == Timestamp::MaxInstant()) return;
+  for (int port = 0; port < num_outputs(); ++port) {
+    EmitHeartbeat(port, wm);
+  }
+}
+
+void PnOperator::PropagateEos() {
+  if (eos_emitted_) return;
+  eos_emitted_ = true;
+  for (OutputState& out : outputs_) {
+    for (const Edge& e : out.edges) {
+      e.op->PushEos(e.port);
+    }
+  }
+}
+
+}  // namespace genmig

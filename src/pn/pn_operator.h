@@ -1,0 +1,84 @@
+// Push-based operator base for the positive-negative implementation —
+// the PN analogue of ops/operator.h (ports, per-port watermarks on element
+// timestamps, heartbeats, end-of-stream, ordering checks).
+
+#ifndef GENMIG_PN_PN_OPERATOR_H_
+#define GENMIG_PN_PN_OPERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "pn/pn_element.h"
+
+namespace genmig {
+
+class PnOperator {
+ public:
+  struct Edge {
+    PnOperator* op = nullptr;
+    int port = 0;
+  };
+
+  PnOperator(std::string name, int num_inputs, int num_outputs = 1);
+  virtual ~PnOperator() = default;
+
+  PnOperator(const PnOperator&) = delete;
+  PnOperator& operator=(const PnOperator&) = delete;
+
+  const std::string& name() const { return name_; }
+  int num_inputs() const { return static_cast<int>(inputs_.size()); }
+  int num_outputs() const { return static_cast<int>(outputs_.size()); }
+
+  void ConnectTo(int out_port, PnOperator* downstream, int in_port);
+  void DisconnectOutputPort(int out_port);
+
+  void PushElement(int in_port, const PnElement& element);
+  void PushHeartbeat(int in_port, Timestamp watermark);
+  void PushEos(int in_port);
+
+  bool input_eos(int in_port) const { return inputs_[in_port].eos; }
+  bool all_inputs_eos() const { return eos_count_ == num_inputs(); }
+  Timestamp input_watermark(int in_port) const {
+    return inputs_[in_port].watermark;
+  }
+  Timestamp MinInputWatermark() const;
+
+  /// Tuples currently held in state (live sets, pending negatives).
+  virtual size_t StateUnits() const { return 0; }
+
+ protected:
+  virtual void OnElement(int in_port, const PnElement& element) = 0;
+  /// Called when `in_port` reaches EOS, before watermark bookkeeping.
+  virtual void OnInputEos(int in_port) { (void)in_port; }
+  virtual void OnWatermarkAdvance() {}
+  virtual void OnAllInputsEos() {}
+  virtual Timestamp OutputWatermark() const { return MinInputWatermark(); }
+
+  void Emit(int out_port, const PnElement& element);
+  void EmitHeartbeat(int out_port, Timestamp watermark);
+  void PublishProgress();
+  void PropagateEos();
+
+ private:
+  struct InputState {
+    Timestamp watermark = Timestamp::MinInstant();
+    bool connected = false;
+    bool eos = false;
+  };
+  struct OutputState {
+    std::vector<Edge> edges;
+    Timestamp last_emitted = Timestamp::MinInstant();
+    Timestamp last_heartbeat = Timestamp::MinInstant();
+  };
+
+  std::string name_;
+  std::vector<InputState> inputs_;
+  std::vector<OutputState> outputs_;
+  int eos_count_ = 0;
+  bool eos_emitted_ = false;
+};
+
+}  // namespace genmig
+
+#endif  // GENMIG_PN_PN_OPERATOR_H_

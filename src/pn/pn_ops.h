@@ -1,0 +1,229 @@
+// Positive-negative implementations of the standard operators (Section 2.3):
+// window, selection, projection, join and duplicate elimination, plus
+// source/sink plumbing. The operators handle positive and negative tuples
+// explicitly; temporal expiration is driven by the negative elements the
+// window operator emits w+1 time units after each positive.
+
+#ifndef GENMIG_PN_PN_OPS_H_
+#define GENMIG_PN_PN_OPS_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "ops/aggregate.h"
+#include "pn/pn_operator.h"
+
+namespace genmig {
+
+/// Entry point: the harness injects raw elements (positive-only, unit
+/// validity starts) or pre-built PN elements.
+class PnSource : public PnOperator {
+ public:
+  explicit PnSource(std::string name) : PnOperator(std::move(name), 0, 1) {}
+
+  void InjectRaw(const Tuple& tuple, int64_t t) {
+    Inject(PnElement(tuple, Timestamp(t), Sign::kPlus));
+  }
+  void Inject(const PnElement& element) {
+    watermark_ = element.t;
+    Emit(0, element);
+  }
+  void InjectHeartbeat(Timestamp t) {
+    if (watermark_ < t) watermark_ = t;
+    EmitHeartbeat(0, t);
+  }
+  void Close() { PropagateEos(); }
+
+ protected:
+  void OnElement(int, const PnElement&) override { GENMIG_CHECK(false); }
+  Timestamp OutputWatermark() const override { return watermark_; }
+
+ private:
+  Timestamp watermark_ = Timestamp::MinInstant();
+};
+
+/// Collects the output stream.
+class PnCollector : public PnOperator {
+ public:
+  explicit PnCollector(std::string name)
+      : PnOperator(std::move(name), 1, 1) {}
+
+  const PnStream& collected() const { return collected_; }
+  bool finished() const { return all_inputs_eos(); }
+
+ protected:
+  void OnElement(int, const PnElement& element) override {
+    collected_.push_back(element);
+  }
+
+ private:
+  PnStream collected_;
+};
+
+/// Hook-based relay; the PN migration controller's glue.
+class PnCallback : public PnOperator {
+ public:
+  explicit PnCallback(std::string name)
+      : PnOperator(std::move(name), 1, 1) {}
+
+  std::function<void(const PnElement&)> on_element;
+  std::function<void(Timestamp)> on_watermark;
+  std::function<void()> on_eos;
+
+ protected:
+  void OnElement(int, const PnElement& element) override {
+    if (on_element) on_element(element);
+  }
+  void OnWatermarkAdvance() override {
+    if (on_watermark) on_watermark(input_watermark(0));
+  }
+  void OnAllInputsEos() override {
+    if (on_eos) on_eos();
+  }
+};
+
+/// Time-based sliding window: for each incoming (raw, positive) element with
+/// timestamp t, sends the positive at t and schedules the matching negative
+/// at t + w + 1 (Section 2.3).
+class PnWindow : public PnOperator {
+ public:
+  PnWindow(std::string name, Duration window)
+      : PnOperator(std::move(name), 1, 1), window_(window) {
+    GENMIG_CHECK_GE(window, 0);
+  }
+
+  size_t StateUnits() const override { return pending_minus_.size(); }
+
+ protected:
+  void OnElement(int, const PnElement& element) override;
+  void OnWatermarkAdvance() override;
+  void OnAllInputsEos() override;
+  Timestamp OutputWatermark() const override;
+
+ private:
+  void FlushMinusUpTo(Timestamp bound);
+
+  Duration window_;
+  std::deque<PnElement> pending_minus_;  // FIFO; timestamps non-decreasing.
+};
+
+/// Selection: signs pass through unchanged.
+class PnFilter : public PnOperator {
+ public:
+  using Predicate = std::function<bool(const Tuple&)>;
+  PnFilter(std::string name, Predicate predicate)
+      : PnOperator(std::move(name), 1, 1),
+        predicate_(std::move(predicate)) {}
+
+ protected:
+  void OnElement(int, const PnElement& element) override {
+    if (predicate_(element.tuple)) Emit(0, element);
+  }
+
+ private:
+  Predicate predicate_;
+};
+
+/// Projection / tuple transformation: applied to both signs, so each
+/// negative retracts exactly what its positive asserted.
+class PnMap : public PnOperator {
+ public:
+  using Function = std::function<Tuple(const Tuple&)>;
+  PnMap(std::string name, Function fn)
+      : PnOperator(std::move(name), 1, 1), fn_(std::move(fn)) {}
+
+ protected:
+  void OnElement(int, const PnElement& element) override {
+    Emit(0, PnElement(fn_(element.tuple), element.t, element.sign,
+                      element.epoch));
+  }
+
+ private:
+  Function fn_;
+};
+
+/// Binary join with negative-tuple handling. Inputs are synchronized
+/// internally: elements are queued per port and processed in global
+/// timestamp order (negatives first at equal instants) once the watermark
+/// guarantees no earlier element can arrive — so results and retractions
+/// stay consistent even under application-time skew between the inputs.
+class PnJoin : public PnOperator {
+ public:
+  using Predicate = std::function<bool(const Tuple&, const Tuple&)>;
+  PnJoin(std::string name, Predicate predicate)
+      : PnOperator(std::move(name), 2, 1),
+        predicate_(std::move(predicate)) {}
+
+  size_t StateUnits() const override;
+
+ protected:
+  void OnElement(int in_port, const PnElement& element) override;
+  void OnWatermarkAdvance() override;
+  void OnAllInputsEos() override;
+  Timestamp OutputWatermark() const override;
+
+ private:
+  void Process(int port, const PnElement& element);
+  void Drain(Timestamp bound);
+
+  Predicate predicate_;
+  std::deque<PnElement> queue_[2];
+  /// Live tuples per side with the epochs of their open copies.
+  std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash> live_[2];
+  size_t live_count_[2] = {0, 0};
+};
+
+/// Grouped aggregation with negative-tuple handling: whenever a group's
+/// aggregate row changes, the previous row is retracted (negative) and the
+/// new row asserted (positive) at the triggering element's timestamp; a
+/// group dropping to zero members only retracts.
+class PnAggregate : public PnOperator {
+ public:
+  PnAggregate(std::string name, std::vector<size_t> group_fields,
+              std::vector<AggSpec> aggs);
+
+  size_t StateUnits() const override { return groups_.size(); }
+
+ protected:
+  void OnElement(int, const PnElement& element) override;
+
+ private:
+  struct GroupState {
+    int64_t count = 0;
+    std::vector<double> sums;
+    std::vector<std::multiset<Value>> ordereds;
+    bool has_emitted = false;
+    Tuple last_row;
+  };
+
+  Tuple BuildRow(const Tuple& key, const GroupState& g) const;
+
+  const std::vector<size_t> group_fields_;
+  const std::vector<AggSpec> aggs_;
+  std::map<Tuple, GroupState> groups_;
+};
+
+/// Duplicate elimination: emits a positive when a tuple's live count rises
+/// from 0 to 1 and a negative when it falls back to 0.
+class PnDedup : public PnOperator {
+ public:
+  explicit PnDedup(std::string name) : PnOperator(std::move(name), 1, 1) {}
+
+  size_t StateUnits() const override { return counts_.size(); }
+
+ protected:
+  void OnElement(int, const PnElement& element) override;
+
+ private:
+  std::unordered_map<Tuple, int64_t, TupleHash> counts_;
+};
+
+}  // namespace genmig
+
+#endif  // GENMIG_PN_PN_OPS_H_

@@ -1,0 +1,58 @@
+#include "ref/checker.h"
+
+#include <map>
+
+namespace genmig {
+namespace ref {
+
+Bag SnapshotAt(const MaterializedStream& stream, Timestamp t) {
+  Bag out;
+  for (const StreamElement& e : stream) {
+    if (e.interval.Contains(t)) out.push_back(e.tuple);
+  }
+  return out;
+}
+
+void CollectEndpoints(const MaterializedStream& stream,
+                      std::set<Timestamp>* out) {
+  for (const StreamElement& e : stream) {
+    out->insert(e.interval.start);
+    out->insert(e.interval.end);
+  }
+}
+
+Status CheckSnapshotEquivalence(const MaterializedStream& a,
+                                const MaterializedStream& b) {
+  std::set<Timestamp> breakpoints;
+  CollectEndpoints(a, &breakpoints);
+  CollectEndpoints(b, &breakpoints);
+  for (const Timestamp& t : breakpoints) {
+    const Bag sa = SnapshotAt(a, t);
+    const Bag sb = SnapshotAt(b, t);
+    if (!BagsEqual(sa, sb)) {
+      return Status::Internal("snapshots differ at t=" + t.ToString() +
+                              ": left=" + BagToString(sa) +
+                              " right=" + BagToString(sb));
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckNoDuplicateSnapshots(const MaterializedStream& stream) {
+  // Sweep: for every tuple, check that validity intervals are disjoint.
+  std::map<Tuple, std::vector<TimeInterval>> by_tuple;
+  for (const StreamElement& e : stream) {
+    for (const TimeInterval& iv : by_tuple[e.tuple]) {
+      if (iv.Overlaps(e.interval)) {
+        return Status::Internal(
+            "duplicate snapshots for tuple " + e.tuple.ToString() + ": " +
+            iv.ToString() + " overlaps " + e.interval.ToString());
+      }
+    }
+    by_tuple[e.tuple].push_back(e.interval);
+  }
+  return Status::OK();
+}
+
+}  // namespace ref
+}  // namespace genmig

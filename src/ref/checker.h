@@ -1,0 +1,41 @@
+// Snapshot extraction and the snapshot-equivalence oracle (Definition 2).
+// Two streams are snapshot-equivalent iff their snapshots agree at every
+// time instant; since a stream's snapshot is constant between consecutive
+// interval endpoints, it suffices to compare at the union of both streams'
+// endpoints.
+
+#ifndef GENMIG_REF_CHECKER_H_
+#define GENMIG_REF_CHECKER_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ref/relational.h"
+#include "stream/element.h"
+
+namespace genmig {
+namespace ref {
+
+/// The snapshot of `stream` at instant `t`: all tuples valid at `t`, with
+/// multiplicity.
+Bag SnapshotAt(const MaterializedStream& stream, Timestamp t);
+
+/// All interval endpoints of `stream`.
+void CollectEndpoints(const MaterializedStream& stream,
+                      std::set<Timestamp>* out);
+
+/// Verifies Definition 2 between two result streams. On failure, the status
+/// message names the first differing instant and both snapshots.
+Status CheckSnapshotEquivalence(const MaterializedStream& a,
+                                const MaterializedStream& b);
+
+/// Verifies that `stream` is a valid duplicate-free stream: no two elements
+/// with equal tuples have intersecting intervals.
+Status CheckNoDuplicateSnapshots(const MaterializedStream& stream);
+
+}  // namespace ref
+}  // namespace genmig
+
+#endif  // GENMIG_REF_CHECKER_H_

@@ -1,0 +1,159 @@
+#include "ref/eval.h"
+
+namespace genmig {
+namespace ref {
+namespace {
+
+const MaterializedStream& InputStream(const InputMap& inputs,
+                                      const std::string& name) {
+  auto it = inputs.find(name);
+  GENMIG_CHECK(it != inputs.end());
+  return it->second;
+}
+
+/// Snapshot of a source (optionally windowed by `window`): tuple e with
+/// original validity [s, e) is valid at t iff s <= t < e + window.
+Bag SourceSnapshot(const MaterializedStream& stream, Duration window,
+                   Timestamp t) {
+  Bag out;
+  for (const StreamElement& e : stream) {
+    if (e.interval.start <= t && t < e.interval.end + window) {
+      out.push_back(e.tuple);
+    }
+  }
+  return out;
+}
+
+/// Snapshot of a count-windowed source: element i is valid from its start
+/// until the start of element i + rows (elements surviving at stream end are
+/// closed at last start + 1, matching ops/CountWindow).
+Bag CountWindowSnapshot(const MaterializedStream& stream, size_t rows,
+                        Timestamp t) {
+  Bag out;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    const Timestamp start = stream[i].interval.start;
+    const Timestamp end = i + rows < stream.size()
+                              ? stream[i + rows].interval.start
+                              : stream.back().interval.start + 1;
+    if (start <= t && t < end) out.push_back(stream[i].tuple);
+  }
+  return out;
+}
+
+void NodeBreakpoints(const LogicalNode& node, const InputMap& inputs,
+                     Duration window_above, std::set<Timestamp>* out) {
+  switch (node.kind) {
+    case LogicalNode::Kind::kSource: {
+      for (const StreamElement& e : InputStream(inputs, node.source_name)) {
+        out->insert(e.interval.start);
+        out->insert(e.interval.end + window_above);
+      }
+      return;
+    }
+    case LogicalNode::Kind::kWindow: {
+      GENMIG_CHECK(node.children[0]->kind == LogicalNode::Kind::kSource);
+      if (node.window_kind == LogicalNode::WindowKind::kCount) {
+        const MaterializedStream& stream =
+            InputStream(inputs, node.children[0]->source_name);
+        for (size_t i = 0; i < stream.size(); ++i) {
+          out->insert(stream[i].interval.start);
+          out->insert(i + node.window_rows < stream.size()
+                          ? stream[i + node.window_rows].interval.start
+                          : stream.back().interval.start + 1);
+        }
+        return;
+      }
+      NodeBreakpoints(*node.children[0], inputs, window_above + node.window,
+                      out);
+      return;
+    }
+    default:
+      for (const LogicalPtr& child : node.children) {
+        NodeBreakpoints(*child, inputs, 0, out);
+      }
+      return;
+  }
+}
+
+}  // namespace
+
+Bag EvalPlanAt(const LogicalNode& plan, const InputMap& inputs, Timestamp t) {
+  switch (plan.kind) {
+    case LogicalNode::Kind::kSource:
+      return SourceSnapshot(InputStream(inputs, plan.source_name), 0, t);
+    case LogicalNode::Kind::kWindow:
+      GENMIG_CHECK(plan.children[0]->kind == LogicalNode::Kind::kSource);
+      if (plan.window_kind == LogicalNode::WindowKind::kCount) {
+        return CountWindowSnapshot(
+            InputStream(inputs, plan.children[0]->source_name),
+            plan.window_rows, t);
+      }
+      return SourceSnapshot(
+          InputStream(inputs, plan.children[0]->source_name), plan.window, t);
+    case LogicalNode::Kind::kSelect:
+      return Select(EvalPlanAt(*plan.children[0], inputs, t),
+                    *plan.predicate);
+    case LogicalNode::Kind::kProject:
+      return Project(EvalPlanAt(*plan.children[0], inputs, t),
+                     plan.project_fields);
+    case LogicalNode::Kind::kJoin:
+      return Join(EvalPlanAt(*plan.children[0], inputs, t),
+                  EvalPlanAt(*plan.children[1], inputs, t),
+                  plan.predicate.get(), plan.equi_keys);
+    case LogicalNode::Kind::kDedup:
+      return Dedup(EvalPlanAt(*plan.children[0], inputs, t));
+    case LogicalNode::Kind::kAggregate:
+      return GroupAggregate(EvalPlanAt(*plan.children[0], inputs, t),
+                            plan.group_fields, plan.aggs);
+    case LogicalNode::Kind::kUnion:
+      return Union(EvalPlanAt(*plan.children[0], inputs, t),
+                   EvalPlanAt(*plan.children[1], inputs, t));
+    case LogicalNode::Kind::kDifference:
+      return Difference(EvalPlanAt(*plan.children[0], inputs, t),
+                        EvalPlanAt(*plan.children[1], inputs, t));
+  }
+  GENMIG_CHECK(false);
+}
+
+std::set<Timestamp> PlanBreakpoints(const LogicalNode& plan,
+                                    const InputMap& inputs) {
+  std::set<Timestamp> out;
+  NodeBreakpoints(plan, inputs, 0, &out);
+  return out;
+}
+
+MaterializedStream EvalPlanToStream(const LogicalNode& plan,
+                                    const InputMap& inputs) {
+  const std::set<Timestamp> breakpoints = PlanBreakpoints(plan, inputs);
+  MaterializedStream out;
+  auto it = breakpoints.begin();
+  while (it != breakpoints.end()) {
+    const Timestamp begin = *it;
+    ++it;
+    if (it == breakpoints.end()) break;
+    const Timestamp end = *it;
+    for (Tuple& tuple : EvalPlanAt(plan, inputs, begin)) {
+      out.emplace_back(std::move(tuple), TimeInterval(begin, end));
+    }
+  }
+  return out;
+}
+
+Status CheckPlanOutput(const LogicalNode& plan, const InputMap& inputs,
+                       const MaterializedStream& actual) {
+  std::set<Timestamp> breakpoints = PlanBreakpoints(plan, inputs);
+  CollectEndpoints(actual, &breakpoints);
+  for (const Timestamp& t : breakpoints) {
+    const Bag expected = EvalPlanAt(plan, inputs, t);
+    const Bag got = SnapshotAt(actual, t);
+    if (!BagsEqual(expected, got)) {
+      return Status::Internal(
+          "plan output wrong at t=" + t.ToString() + ": expected=" +
+          BagToString(expected) + " got=" + BagToString(got));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ref
+}  // namespace genmig

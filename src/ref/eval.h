@@ -1,0 +1,47 @@
+// Reference evaluation of a logical plan: computes the plan's output
+// snapshot at any instant by materializing the input snapshots and running
+// the relational operators of ref/relational.h (the right-hand path of the
+// paper's Figure 1). EvalPlanToStream produces an entire reference result
+// stream, which tests compare against the engine's output with the
+// snapshot-equivalence oracle.
+//
+// Restriction: window nodes must sit directly above source nodes (the
+// standard plan shape the query compiler produces).
+
+#ifndef GENMIG_REF_EVAL_H_
+#define GENMIG_REF_EVAL_H_
+
+#include <map>
+#include <string>
+
+#include "plan/logical.h"
+#include "ref/checker.h"
+
+namespace genmig {
+namespace ref {
+
+/// Named input streams (physical, pre-window: elements carry [t, t+1)).
+using InputMap = std::map<std::string, MaterializedStream>;
+
+/// Snapshot of the plan's output at instant `t`.
+Bag EvalPlanAt(const LogicalNode& plan, const InputMap& inputs, Timestamp t);
+
+/// All instants at which the plan's output snapshot can change.
+std::set<Timestamp> PlanBreakpoints(const LogicalNode& plan,
+                                    const InputMap& inputs);
+
+/// Reference result stream: for each breakpoint-delimited region with a
+/// non-empty snapshot, one element per tuple copy. Fragmented but
+/// snapshot-equivalent to any correct engine output.
+MaterializedStream EvalPlanToStream(const LogicalNode& plan,
+                                    const InputMap& inputs);
+
+/// Compares the engine's `actual` output against the reference evaluation of
+/// `plan` at every breakpoint of both.
+Status CheckPlanOutput(const LogicalNode& plan, const InputMap& inputs,
+                       const MaterializedStream& actual);
+
+}  // namespace ref
+}  // namespace genmig
+
+#endif  // GENMIG_REF_EVAL_H_

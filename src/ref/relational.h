@@ -1,0 +1,50 @@
+// Reference implementations of the extended relational (bag) algebra
+// operators [6,7]. These run on materialized snapshots (bags of tuples) and
+// define what the streaming operators must be snapshot-reducible to
+// (Definition 1). Deliberately simple and obviously correct; used only by
+// tests and the snapshot-equivalence oracle.
+
+#ifndef GENMIG_REF_RELATIONAL_H_
+#define GENMIG_REF_RELATIONAL_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/tuple.h"
+#include "ops/aggregate.h"
+#include "plan/expr.h"
+
+namespace genmig {
+
+/// A snapshot: a bag (multiset) of tuples, order-insensitive.
+using Bag = std::vector<Tuple>;
+
+namespace ref {
+
+Bag Select(const Bag& input, const Expr& predicate);
+Bag Project(const Bag& input, const std::vector<size_t>& fields);
+/// Theta join; `predicate` may be null (cross product), `equi` optionally
+/// constrains one key column per side.
+Bag Join(const Bag& left, const Bag& right, const Expr* predicate,
+         const std::optional<std::pair<size_t, size_t>>& equi);
+/// Duplicate elimination (bag -> set).
+Bag Dedup(const Bag& input);
+/// Grouped aggregation; value computation matches ops/Aggregate exactly
+/// (COUNT -> int64, SUM/AVG -> double, MIN/MAX -> input type). Empty input
+/// yields an empty bag (no groups).
+Bag GroupAggregate(const Bag& input, const std::vector<size_t>& group_fields,
+                   const std::vector<AggSpec>& aggs);
+Bag Union(const Bag& left, const Bag& right);
+/// Bag difference: multiplicity max(0, count(left) - count(right)).
+Bag Difference(const Bag& left, const Bag& right);
+
+/// Multiset equality.
+bool BagsEqual(const Bag& a, const Bag& b);
+
+/// Human-readable bag (sorted), for diagnostics.
+std::string BagToString(const Bag& bag);
+
+}  // namespace ref
+}  // namespace genmig
+
+#endif  // GENMIG_REF_RELATIONAL_H_

@@ -1,0 +1,36 @@
+// CSV ingestion: parse timestamped tuples from text, the simplest way to
+// feed real data into the engine. Format: one element per line,
+//
+//   <timestamp>,<field1>,<field2>,...
+//
+// with fields typed by a Schema (INT, DOUBLE, or STRING; strings are taken
+// verbatim, commas inside strings are not supported). '#'-prefixed lines
+// and blank lines are skipped. Lines must be ordered by timestamp.
+
+#ifndef GENMIG_STREAM_CSV_H_
+#define GENMIG_STREAM_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "stream/element.h"
+
+namespace genmig {
+
+/// Parses CSV `text` against `schema`. Fails with InvalidArgument on arity
+/// or type mismatches (message names the line).
+Result<std::vector<TimedTuple>> ParseCsv(const std::string& text,
+                                         const Schema& schema);
+
+/// Reads and parses a CSV file.
+Result<std::vector<TimedTuple>> ReadCsvFile(const std::string& path,
+                                            const Schema& schema);
+
+/// Renders a result stream as CSV: start,end,field1,field2,...
+std::string StreamToCsv(const MaterializedStream& stream);
+
+}  // namespace genmig
+
+#endif  // GENMIG_STREAM_CSV_H_

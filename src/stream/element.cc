@@ -1,0 +1,25 @@
+#include "stream/element.h"
+
+namespace genmig {
+
+bool IsOrderedByStart(const MaterializedStream& stream) {
+  for (size_t i = 1; i < stream.size(); ++i) {
+    if (stream[i].interval.start < stream[i - 1].interval.start) return false;
+  }
+  return true;
+}
+
+MaterializedStream ToPhysicalStream(const std::vector<TimedTuple>& raw) {
+  MaterializedStream out;
+  out.reserve(raw.size());
+  int64_t prev = std::numeric_limits<int64_t>::min();
+  for (const TimedTuple& tt : raw) {
+    GENMIG_CHECK_GE(tt.t, prev);
+    prev = tt.t;
+    out.emplace_back(tt.tuple,
+                     TimeInterval(Timestamp(tt.t), Timestamp(tt.t + 1)));
+  }
+  return out;
+}
+
+}  // namespace genmig

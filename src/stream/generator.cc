@@ -1,0 +1,55 @@
+#include "stream/generator.h"
+
+namespace genmig {
+
+std::vector<TimedTuple> GenerateUniformStream(const UniformStreamSpec& spec) {
+  std::mt19937_64 rng(spec.seed);
+  std::uniform_int_distribution<int64_t> dist(spec.min_value, spec.max_value);
+  std::vector<TimedTuple> out;
+  out.reserve(spec.count);
+  int64_t t = spec.start_time;
+  for (size_t i = 0; i < spec.count; ++i) {
+    std::vector<Value> fields;
+    fields.reserve(spec.arity);
+    for (size_t f = 0; f < spec.arity; ++f) fields.emplace_back(dist(rng));
+    out.push_back({Tuple(std::move(fields)), t});
+    t += spec.period;
+  }
+  return out;
+}
+
+std::vector<TimedTuple> GenerateKeyedStream(size_t count, int64_t period,
+                                            int64_t num_keys, uint64_t seed,
+                                            int64_t start_time) {
+  GENMIG_CHECK_GT(num_keys, 0);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int64_t> dist(0, num_keys - 1);
+  std::vector<TimedTuple> out;
+  out.reserve(count);
+  int64_t t = start_time;
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back({Tuple::OfInts({dist(rng)}), t});
+    t += period;
+  }
+  return out;
+}
+
+std::vector<TimedTuple> GenerateBurstyStream(size_t count, int64_t max_gap,
+                                             int64_t num_keys, uint64_t seed,
+                                             int64_t start_time) {
+  GENMIG_CHECK_GT(num_keys, 0);
+  GENMIG_CHECK_GE(max_gap, 0);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int64_t> key_dist(0, num_keys - 1);
+  std::uniform_int_distribution<int64_t> gap_dist(0, max_gap);
+  std::vector<TimedTuple> out;
+  out.reserve(count);
+  int64_t t = start_time;
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back({Tuple::OfInts({key_dist(rng)}), t});
+    t += gap_dist(rng);
+  }
+  return out;
+}
+
+}  // namespace genmig

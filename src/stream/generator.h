@@ -1,0 +1,53 @@
+// Synthetic workload generators reproducing the Section 5 experimental setup:
+// streams of uniformly distributed random integers with a fixed arrival rate
+// in application time.
+
+#ifndef GENMIG_STREAM_GENERATOR_H_
+#define GENMIG_STREAM_GENERATOR_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "stream/element.h"
+
+namespace genmig {
+
+/// Parameters for a uniform-integer stream ("each input stream delivered 5000
+/// random numbers with a rate of 100 elements per second", Section 5).
+struct UniformStreamSpec {
+  /// Number of elements to generate.
+  size_t count = 5000;
+  /// Application-time distance between consecutive elements. A rate of 100
+  /// elements/second with a time unit of 1 ms gives period_ms = 10.
+  int64_t period = 10;
+  /// First element's application timestamp.
+  int64_t start_time = 0;
+  /// Inclusive value range of the uniform distribution.
+  int64_t min_value = 0;
+  int64_t max_value = 500;
+  /// Number of integer fields per tuple (all drawn from the same range).
+  size_t arity = 1;
+  /// PRNG seed; deterministic workloads make experiments reproducible.
+  uint64_t seed = 42;
+};
+
+/// Generates a timestamp-ordered raw stream according to `spec`.
+std::vector<TimedTuple> GenerateUniformStream(const UniformStreamSpec& spec);
+
+/// Generates a raw stream whose tuples are drawn from a small key domain so
+/// that duplicates are frequent — the workload that exercises duplicate
+/// elimination and grouping.
+std::vector<TimedTuple> GenerateKeyedStream(size_t count, int64_t period,
+                                            int64_t num_keys, uint64_t seed,
+                                            int64_t start_time = 0);
+
+/// Generates a raw stream with irregular (bursty) inter-arrival gaps drawn
+/// uniformly from [0, max_gap]; exercises application-time skew handling.
+std::vector<TimedTuple> GenerateBurstyStream(size_t count, int64_t max_gap,
+                                             int64_t num_keys, uint64_t seed,
+                                             int64_t start_time = 0);
+
+}  // namespace genmig
+
+#endif  // GENMIG_STREAM_GENERATOR_H_

@@ -1,0 +1,63 @@
+// OrderedOutputBuffer: a min-heap on start timestamps used by stateful
+// operators whose raw result production is not globally ordered (joins,
+// unions, coalesce). Results are staged in the heap and released only up to a
+// watermark below which no future result can start, restoring the
+// physical-stream ordering invariant.
+
+#ifndef GENMIG_STREAM_ORDERED_BUFFER_H_
+#define GENMIG_STREAM_ORDERED_BUFFER_H_
+
+#include <queue>
+#include <vector>
+
+#include "stream/element.h"
+
+namespace genmig {
+
+/// Min-heap of stream elements keyed by interval start.
+class OrderedOutputBuffer {
+ public:
+  void Push(StreamElement element) {
+    bytes_ += element.PayloadBytes();
+    heap_.push(std::move(element));
+  }
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  /// Value-payload bytes currently staged.
+  size_t PayloadBytes() const { return bytes_; }
+
+  /// Pops every element with tS <= watermark, invoking `emit` on each in
+  /// non-decreasing tS order.
+  template <typename EmitFn>
+  void FlushUpTo(Timestamp watermark, EmitFn&& emit) {
+    while (!heap_.empty() && heap_.top().interval.start <= watermark) {
+      StreamElement e = heap_.top();
+      heap_.pop();
+      bytes_ -= e.PayloadBytes();
+      emit(e);
+    }
+  }
+
+  /// Pops everything, in order. Used on end-of-stream.
+  template <typename EmitFn>
+  void FlushAll(EmitFn&& emit) {
+    FlushUpTo(Timestamp::MaxInstant(), emit);
+  }
+
+ private:
+  struct LaterStart {
+    bool operator()(const StreamElement& a, const StreamElement& b) const {
+      return b.interval.start < a.interval.start;
+    }
+  };
+
+  std::priority_queue<StreamElement, std::vector<StreamElement>, LaterStart>
+      heap_;
+  size_t bytes_ = 0;
+};
+
+}  // namespace genmig
+
+#endif  // GENMIG_STREAM_ORDERED_BUFFER_H_

@@ -1,0 +1,69 @@
+// Half-open validity intervals [tS, tE) (Definition 3). The interpretation of
+// a physical stream element (e, [tS, tE)) is that tuple e is valid at every
+// time instant t with tS <= t < tE.
+
+#ifndef GENMIG_TIME_INTERVAL_H_
+#define GENMIG_TIME_INTERVAL_H_
+
+#include <optional>
+#include <string>
+
+#include "common/check.h"
+#include "time/timestamp.h"
+
+namespace genmig {
+
+/// A non-empty, half-open interval of application time.
+struct TimeInterval {
+  Timestamp start;
+  Timestamp end;
+
+  constexpr TimeInterval() = default;
+  constexpr TimeInterval(Timestamp s, Timestamp e) : start(s), end(e) {}
+  /// [s, e) at chronon 0.
+  constexpr TimeInterval(int64_t s, int64_t e)
+      : start(Timestamp(s)), end(Timestamp(e)) {}
+
+  bool Valid() const { return start < end; }
+
+  /// True iff instant t lies inside [start, end).
+  bool Contains(Timestamp t) const { return start <= t && t < end; }
+
+  /// True iff the two intervals share at least one instant.
+  bool Overlaps(const TimeInterval& other) const {
+    return start < other.end && other.start < end;
+  }
+
+  /// True iff `this` ends exactly where `other` starts or vice versa.
+  bool Adjacent(const TimeInterval& other) const {
+    return end == other.start || other.end == start;
+  }
+
+  /// Intersection, if non-empty. Join results carry the intersection of the
+  /// participating intervals (Section 2.2, Examples).
+  std::optional<TimeInterval> Intersect(const TimeInterval& other) const {
+    Timestamp s = start < other.start ? other.start : start;
+    Timestamp e = end < other.end ? end : other.end;
+    if (s < e) return TimeInterval(s, e);
+    return std::nullopt;
+  }
+
+  /// Union of two overlapping-or-adjacent intervals. Used by Coalesce.
+  TimeInterval Merge(const TimeInterval& other) const {
+    GENMIG_CHECK(Overlaps(other) || Adjacent(other));
+    Timestamp s = start < other.start ? start : other.start;
+    Timestamp e = end < other.end ? other.end : end;
+    return TimeInterval(s, e);
+  }
+
+  friend constexpr auto operator<=>(const TimeInterval&,
+                                    const TimeInterval&) = default;
+
+  std::string ToString() const {
+    return "[" + start.ToString() + ", " + end.ToString() + ")";
+  }
+};
+
+}  // namespace genmig
+
+#endif  // GENMIG_TIME_INTERVAL_H_

@@ -1,0 +1,15 @@
+#include "time/timestamp.h"
+
+namespace genmig {
+
+std::string Timestamp::ToString() const {
+  std::string out = std::to_string(t);
+  if (eps != 0) {
+    out += "+";
+    out += std::to_string(eps);
+    out += "eps";
+  }
+  return out;
+}
+
+}  // namespace genmig

@@ -1,0 +1,65 @@
+// Application time (Section 2.1). The time domain T is a discrete, totally
+// ordered set; we model it as a pair (t, eps):
+//
+//   * `t`   — the application-time instant (non-negative integer in the
+//             paper's model; int64 here).
+//   * `eps` — a sub-instant chronon at a finer granularity.
+//
+// Ordinary stream data always lives at eps == 0. The eps component exists for
+// exactly one purpose: Remark 3 of the paper requires the split time T_split
+// to be expressible at a finer granularity so that it "neither occurs as
+// start nor end timestamp in any input stream". Choosing eps == 1 for T_split
+// guarantees this by construction.
+
+#ifndef GENMIG_TIME_TIMESTAMP_H_
+#define GENMIG_TIME_TIMESTAMP_H_
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace genmig {
+
+/// A span of application time (window sizes, migration durations).
+using Duration = int64_t;
+
+/// A point in application time with chronon precision.
+struct Timestamp {
+  int64_t t = 0;
+  /// Sub-instant chronon; 0 for all regular stream data, 1 for split times.
+  uint32_t eps = 0;
+
+  constexpr Timestamp() = default;
+  constexpr explicit Timestamp(int64_t instant, uint32_t chronon = 0)
+      : t(instant), eps(chronon) {}
+
+  /// Smallest representable instant; every valid application timestamp
+  /// compares >= MinInstant().
+  static constexpr Timestamp MinInstant() {
+    return Timestamp(std::numeric_limits<int64_t>::min(), 0);
+  }
+  /// Largest representable instant; used as the identity of min-reductions
+  /// over watermarks.
+  static constexpr Timestamp MaxInstant() {
+    return Timestamp(std::numeric_limits<int64_t>::max(),
+                     std::numeric_limits<uint32_t>::max());
+  }
+
+  /// Shift by a duration. The chronon is preserved: (t, e) + w = (t + w, e).
+  constexpr Timestamp operator+(Duration d) const {
+    return Timestamp(t + d, eps);
+  }
+  constexpr Timestamp operator-(Duration d) const {
+    return Timestamp(t - d, eps);
+  }
+
+  friend constexpr auto operator<=>(const Timestamp&,
+                                    const Timestamp&) = default;
+
+  std::string ToString() const;
+};
+
+}  // namespace genmig
+
+#endif  // GENMIG_TIME_TIMESTAMP_H_

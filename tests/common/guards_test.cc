@@ -1,0 +1,64 @@
+// Guard-rail death tests: the engine's correctness arguments rest on
+// invariants enforced by GENMIG_CHECK; these tests pin down that misuse is
+// caught loudly rather than corrupting results.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../test_util.h"
+#include "common/status.h"
+#include "ops/stateless.h"
+#include "plan/expr.h"
+
+namespace genmig {
+namespace {
+
+using testutil::El;
+
+TEST(GuardsDeathTest, ValueTypeMismatchAborts) {
+  const Value v(int64_t{1});
+  EXPECT_DEATH(v.AsString(), "GENMIG_CHECK");
+  EXPECT_DEATH(Value("s").AsInt64(), "GENMIG_CHECK");
+  EXPECT_DEATH(Value("s").AsNumeric(), "GENMIG_CHECK");
+}
+
+TEST(GuardsDeathTest, TupleFieldOutOfRangeAborts) {
+  const Tuple t = Tuple::OfInts({1});
+  EXPECT_DEATH(t.field(1), "GENMIG_CHECK");
+  EXPECT_DEATH(t.Project({2}), "GENMIG_CHECK");
+}
+
+TEST(GuardsDeathTest, ResultMisuseAborts) {
+  Result<int> err(Status::NotFound("x"));
+  EXPECT_DEATH(err.value(), "GENMIG_CHECK");
+}
+
+TEST(GuardsDeathTest, IntegerDivisionByZeroAborts) {
+  auto e = Expr::Arith(Expr::ArithOp::kDiv, Expr::Column(0),
+                       Expr::Const(Value(int64_t{0})));
+  EXPECT_DEATH(e->Eval(Tuple::OfInts({5})), "GENMIG_CHECK");
+}
+
+TEST(GuardsDeathTest, IntervalMergeRequiresContact) {
+  TimeInterval a(0, 5);
+  TimeInterval b(7, 9);
+  EXPECT_DEATH(a.Merge(b), "GENMIG_CHECK");
+}
+
+TEST(GuardsTest, DoubleDivisionByZeroIsInf) {
+  // Floating-point division follows IEEE semantics, no abort.
+  auto e = Expr::Arith(Expr::ArithOp::kDiv, Expr::Const(Value(1.0)),
+                       Expr::Const(Value(0.0)));
+  EXPECT_TRUE(std::isinf(e->Eval(Tuple()).AsDouble()));
+}
+
+TEST(GuardsDeathTest, ConnectOutOfRangePortAborts) {
+  Relay a("a");
+  Relay b("b");
+  EXPECT_DEATH(a.ConnectTo(1, &b, 0), "GENMIG_CHECK");
+  EXPECT_DEATH(a.ConnectTo(0, &b, 5), "GENMIG_CHECK");
+}
+
+}  // namespace
+}  // namespace genmig

@@ -1,0 +1,49 @@
+#include "common/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace genmig {
+namespace {
+
+TEST(SchemaTest, OfInts) {
+  Schema s = Schema::OfInts({"x", "y"});
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.column(0).name, "x");
+  EXPECT_EQ(s.column(1).type, ValueType::kInt64);
+}
+
+TEST(SchemaTest, IndexOfExact) {
+  Schema s = Schema::OfInts({"a", "b"});
+  EXPECT_EQ(s.IndexOf("b"), 1u);
+  EXPECT_EQ(s.IndexOf("z"), std::nullopt);
+}
+
+TEST(SchemaTest, IndexOfUnqualifiedSuffix) {
+  Schema s = Schema::OfInts({"S.x", "T.y"});
+  EXPECT_EQ(s.IndexOf("x"), 0u);
+  EXPECT_EQ(s.IndexOf("T.y"), 1u);
+}
+
+TEST(SchemaTest, IndexOfAmbiguousReturnsNullopt) {
+  Schema s = Schema::OfInts({"S.x", "T.x"});
+  EXPECT_EQ(s.IndexOf("x"), std::nullopt);
+  EXPECT_EQ(s.IndexOf("S.x"), 0u);
+}
+
+TEST(SchemaTest, Concat) {
+  Schema s = Schema::Concat(Schema::OfInts({"a"}), Schema::OfInts({"b"}));
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.column(1).name, "b");
+}
+
+TEST(SchemaTest, Qualified) {
+  Schema s = Schema::OfInts({"x"}).Qualified("S");
+  EXPECT_EQ(s.column(0).name, "S.x");
+}
+
+TEST(SchemaTest, ToString) {
+  EXPECT_EQ(Schema::OfInts({"x"}).ToString(), "[x:INT]");
+}
+
+}  // namespace
+}  // namespace genmig

@@ -1,0 +1,63 @@
+#include "common/tuple.h"
+
+#include <gtest/gtest.h>
+
+namespace genmig {
+namespace {
+
+TEST(TupleTest, OfInts) {
+  Tuple t = Tuple::OfInts({1, 2, 3});
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.field(0).AsInt64(), 1);
+  EXPECT_EQ(t.field(2).AsInt64(), 3);
+}
+
+TEST(TupleTest, Concat) {
+  Tuple a = Tuple::OfInts({1, 2});
+  Tuple b = Tuple::OfInts({3});
+  Tuple c = Tuple::Concat(a, b);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.field(2).AsInt64(), 3);
+  EXPECT_EQ(Tuple::Concat(Tuple(), b), b);
+}
+
+TEST(TupleTest, Project) {
+  Tuple t = Tuple::OfInts({10, 20, 30});
+  Tuple p = t.Project({2, 0});
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.field(0).AsInt64(), 30);
+  EXPECT_EQ(p.field(1).AsInt64(), 10);
+  EXPECT_TRUE(t.Project({}).empty());
+}
+
+TEST(TupleTest, EqualityAndOrdering) {
+  EXPECT_EQ(Tuple::OfInts({1, 2}), Tuple::OfInts({1, 2}));
+  EXPECT_NE(Tuple::OfInts({1, 2}), Tuple::OfInts({2, 1}));
+  EXPECT_LT(Tuple::OfInts({1, 2}), Tuple::OfInts({1, 3}));
+  EXPECT_LT(Tuple::OfInts({1}), Tuple::OfInts({1, 0}));
+}
+
+TEST(TupleTest, HashMatchesEquality) {
+  EXPECT_EQ(Tuple::OfInts({4, 5}).Hash(), Tuple::OfInts({4, 5}).Hash());
+  EXPECT_NE(Tuple::OfInts({4, 5}).Hash(), Tuple::OfInts({5, 4}).Hash());
+}
+
+TEST(TupleTest, PayloadBytes) {
+  Tuple t{Value(int64_t{1}), Value("abc")};
+  EXPECT_EQ(t.PayloadBytes(), sizeof(int64_t) + 3);
+}
+
+TEST(TupleTest, ToString) {
+  EXPECT_EQ(Tuple::OfInts({1, 2}).ToString(), "(1, 2)");
+  EXPECT_EQ(Tuple().ToString(), "()");
+}
+
+TEST(TupleTest, AppendGrowsTuple) {
+  Tuple t;
+  t.Append(Value(int64_t{9}));
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.field(0).AsInt64(), 9);
+}
+
+}  // namespace
+}  // namespace genmig

@@ -1,0 +1,58 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace genmig {
+namespace {
+
+TEST(ValueTest, TypeTags) {
+  EXPECT_TRUE(Value(int64_t{7}).is_int64());
+  EXPECT_TRUE(Value(3.5).is_double());
+  EXPECT_TRUE(Value("abc").is_string());
+  EXPECT_EQ(Value().type(), ValueType::kInt64);  // Default is int64 zero.
+  EXPECT_EQ(Value().AsInt64(), 0);
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value(int64_t{42}).AsInt64(), 42);
+  EXPECT_DOUBLE_EQ(Value(2.25).AsDouble(), 2.25);
+  EXPECT_EQ(Value("hi").AsString(), "hi");
+  EXPECT_DOUBLE_EQ(Value(int64_t{3}).AsNumeric(), 3.0);
+  EXPECT_DOUBLE_EQ(Value(1.5).AsNumeric(), 1.5);
+}
+
+TEST(ValueTest, EqualityDistinguishesTypes) {
+  EXPECT_NE(Value(int64_t{1}), Value(1.0));
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_NE(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_NE(Value("a"), Value("b"));
+}
+
+TEST(ValueTest, OrderingIsTotalByTypeThenPayload) {
+  // Int < double < string by type tag ordering.
+  EXPECT_LT(Value(int64_t{1000}), Value(0.0));
+  EXPECT_LT(Value(999.0), Value(""));
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+}
+
+TEST(ValueTest, HashMatchesEquality) {
+  EXPECT_EQ(Value(int64_t{5}).Hash(), Value(int64_t{5}).Hash());
+  EXPECT_NE(Value(int64_t{5}).Hash(), Value(5.0).Hash());
+  EXPECT_EQ(Value("x").Hash(), Value("x").Hash());
+}
+
+TEST(ValueTest, PayloadBytes) {
+  EXPECT_EQ(Value(int64_t{1}).PayloadBytes(), sizeof(int64_t));
+  EXPECT_EQ(Value(1.0).PayloadBytes(), sizeof(double));
+  EXPECT_EQ(Value("abcd").PayloadBytes(), 4u);
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(int64_t{-3}).ToString(), "-3");
+  EXPECT_EQ(Value("s").ToString(), "\"s\"");
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+}
+
+}  // namespace
+}  // namespace genmig

@@ -1,0 +1,380 @@
+#include "cql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cql/lexer.h"
+#include "ops/sink.h"
+#include "plan/compile.h"
+#include "plan/executor.h"
+#include "ref/eval.h"
+
+namespace genmig {
+namespace {
+
+cql::Catalog TwoStreams() {
+  cql::Catalog catalog;
+  catalog.Register("S", Schema::OfInts({"x", "y"}));
+  catalog.Register("T", Schema::OfInts({"x", "z"}));
+  return catalog;
+}
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = cql::Tokenize("SELECT x, 42 3.5 'abc' <= <> !=").ValueOrDie();
+  ASSERT_EQ(tokens.size(), 10u);  // 9 tokens + end.
+  EXPECT_EQ(tokens[0].kind, cql::TokenKind::kIdent);
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+  EXPECT_EQ(tokens[2].kind, cql::TokenKind::kSymbol);
+  EXPECT_EQ(tokens[3].kind, cql::TokenKind::kInt);
+  EXPECT_EQ(tokens[4].kind, cql::TokenKind::kFloat);
+  EXPECT_EQ(tokens[5].kind, cql::TokenKind::kString);
+  EXPECT_EQ(tokens[5].text, "abc");
+  EXPECT_EQ(tokens[6].text, "<=");
+  EXPECT_EQ(tokens[7].text, "!=");  // <> normalized.
+  EXPECT_EQ(tokens[8].text, "!=");
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = cql::Tokenize("select Select SELECT").ValueOrDie();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(tokens[static_cast<size_t>(i)].IsKeyword("SELECT"));
+  }
+}
+
+TEST(LexerTest, RejectsBadInput) {
+  EXPECT_FALSE(cql::Tokenize("a ; b").ok());
+  EXPECT_FALSE(cql::Tokenize("'unterminated").ok());
+}
+
+TEST(ParserTest, SelectStarWithWindow) {
+  auto plan = cql::ParseQuery("SELECT * FROM S [RANGE 100]", TwoStreams());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const LogicalNode& root = *plan.value();
+  EXPECT_EQ(root.kind, LogicalNode::Kind::kWindow);
+  EXPECT_EQ(root.window, 100);
+  EXPECT_EQ(root.children[0]->source_name, "S");
+  EXPECT_EQ(root.schema.column(0).name, "S.x");
+}
+
+TEST(ParserTest, ProjectionAndFilter) {
+  auto plan = cql::ParseQuery(
+      "SELECT y FROM S [RANGE 10] WHERE x > 5 AND y != 3", TwoStreams());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan.value()->kind, LogicalNode::Kind::kProject);
+  EXPECT_EQ(plan.value()->children[0]->kind, LogicalNode::Kind::kSelect);
+}
+
+TEST(ParserTest, EquiJoinDetection) {
+  auto plan = cql::ParseQuery(
+      "SELECT S.y, T.z FROM S [RANGE 10], T [RANGE 20] WHERE S.x = T.x",
+      TwoStreams());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // Project(EquiJoin(...)).
+  const LogicalNode& project = *plan.value();
+  ASSERT_EQ(project.kind, LogicalNode::Kind::kProject);
+  const LogicalNode& join = *project.children[0];
+  ASSERT_EQ(join.kind, LogicalNode::Kind::kJoin);
+  ASSERT_TRUE(join.equi_keys.has_value());
+  EXPECT_EQ(join.equi_keys->first, 0u);   // S.x.
+  EXPECT_EQ(join.equi_keys->second, 0u);  // T.x within T.
+}
+
+TEST(ParserTest, SingleRelationPredicatePushedToSource) {
+  auto plan = cql::ParseQuery(
+      "SELECT S.y FROM S [RANGE 10], T [RANGE 10] "
+      "WHERE S.x = T.x AND T.z < 7",
+      TwoStreams());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // The T.z < 7 conjunct sits below the join, on T's side.
+  const LogicalNode& join = *plan.value()->children[0];
+  ASSERT_EQ(join.kind, LogicalNode::Kind::kJoin);
+  EXPECT_EQ(join.children[1]->kind, LogicalNode::Kind::kSelect);
+}
+
+TEST(ParserTest, DistinctBecomesDedup) {
+  auto plan =
+      cql::ParseQuery("SELECT DISTINCT x FROM S [RANGE 10]", TwoStreams());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan.value()->kind, LogicalNode::Kind::kDedup);
+}
+
+TEST(ParserTest, GroupByAggregates) {
+  auto plan = cql::ParseQuery(
+      "SELECT x, COUNT(*), SUM(y), MAX(y) FROM S [RANGE 10] GROUP BY x",
+      TwoStreams());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // Project(Aggregate(...)).
+  const LogicalNode& project = *plan.value();
+  ASSERT_EQ(project.kind, LogicalNode::Kind::kProject);
+  const LogicalNode& agg = *project.children[0];
+  ASSERT_EQ(agg.kind, LogicalNode::Kind::kAggregate);
+  EXPECT_EQ(agg.group_fields.size(), 1u);
+  ASSERT_EQ(agg.aggs.size(), 3u);
+  EXPECT_EQ(agg.aggs[0].kind, AggKind::kCount);
+  EXPECT_EQ(agg.aggs[1].kind, AggKind::kSum);
+  EXPECT_EQ(agg.aggs[2].kind, AggKind::kMax);
+}
+
+TEST(ParserTest, HavingFiltersAggregateRows) {
+  auto plan = cql::ParseQuery(
+      "SELECT x, COUNT(*) FROM S [RANGE 10] GROUP BY x HAVING COUNT(*) > 2",
+      TwoStreams());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // Project(Select(Aggregate(...))).
+  const LogicalNode& project = *plan.value();
+  ASSERT_EQ(project.kind, LogicalNode::Kind::kProject);
+  const LogicalNode& select = *project.children[0];
+  ASSERT_EQ(select.kind, LogicalNode::Kind::kSelect);
+  EXPECT_EQ(select.children[0]->kind, LogicalNode::Kind::kAggregate);
+  // COUNT(*) is group col (index 0) + first aggregate => column 1.
+  std::vector<size_t> cols;
+  select.predicate->CollectColumns(&cols);
+  ASSERT_EQ(cols.size(), 1u);
+  EXPECT_EQ(cols[0], 1u);
+}
+
+TEST(ParserTest, HavingCanReferenceGroupColumns) {
+  auto plan = cql::ParseQuery(
+      "SELECT x, SUM(y) FROM S [RANGE 10] GROUP BY x HAVING x < 3",
+      TwoStreams());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+}
+
+TEST(ParserTest, HavingErrors) {
+  // Aggregate not in the SELECT list.
+  EXPECT_FALSE(cql::ParseQuery(
+                   "SELECT x, COUNT(*) FROM S [RANGE 10] GROUP BY x "
+                   "HAVING SUM(y) > 2",
+                   TwoStreams())
+                   .ok());
+  // Non-grouped plain column.
+  EXPECT_FALSE(cql::ParseQuery(
+                   "SELECT x, COUNT(*) FROM S [RANGE 10] GROUP BY x "
+                   "HAVING y < 1",
+                   TwoStreams())
+                   .ok());
+}
+
+TEST(ParserTest, HavingExecutesCorrectly) {
+  cql::Catalog catalog;
+  catalog.Register("A", Schema::OfInts({"x"}));
+  auto plan = cql::ParseQuery(
+      "SELECT x, COUNT(*) FROM A [RANGE 30] GROUP BY x HAVING COUNT(*) >= 3",
+      catalog);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ref::InputMap inputs;
+  std::mt19937_64 rng(83);
+  int64_t t = 0;
+  for (int i = 0; i < 120; ++i) {
+    t += static_cast<int64_t>(rng() % 4);
+    inputs["A"].push_back(StreamElement(
+        Tuple::OfInts({static_cast<int64_t>(rng() % 3)}),
+        TimeInterval(Timestamp(t), Timestamp(t + 1))));
+  }
+  Box box = CompilePlan(*plan.value());
+  CollectorSink sink("sink");
+  box.output()->ConnectTo(0, &sink, 0);
+  Executor exec;
+  exec.ConnectFeed(exec.AddFeed("A", inputs.at("A")), box.input(0), 0);
+  exec.RunToCompletion();
+  const Status eq =
+      ref::CheckPlanOutput(*plan.value(), inputs, sink.collected());
+  EXPECT_TRUE(eq.ok()) << eq.ToString();
+  // Every surviving row has count >= 3.
+  for (const StreamElement& e : sink.collected()) {
+    EXPECT_GE(e.tuple.field(1).AsInt64(), 3);
+  }
+}
+
+TEST(ParserTest, SelfJoinWithAliases) {
+  auto plan = cql::ParseQuery(
+      "SELECT a.x FROM S [RANGE 10] AS a, S [RANGE 10] AS b "
+      "WHERE a.x = b.y",
+      TwoStreams());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto names = logical::CollectSourceNames(*plan.value());
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "S");
+  EXPECT_EQ(names[1], "S");
+}
+
+TEST(ParserTest, StringColumnsAndLiterals) {
+  cql::Catalog catalog;
+  catalog.Register(
+      "Log", Schema(std::vector<Column>{{"level", ValueType::kString},
+                                        {"code", ValueType::kInt64}}));
+  auto plan = cql::ParseQuery(
+      "SELECT code FROM Log [RANGE 10] WHERE level = 'error' AND code >= 500",
+      catalog);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  Box box = CompilePlan(*plan.value());
+  CollectorSink sink("sink");
+  box.output()->ConnectTo(0, &sink, 0);
+  Executor exec;
+  MaterializedStream raw = {
+      StreamElement(Tuple{Value("error"), Value(int64_t{500})},
+                    TimeInterval(0, 1)),
+      StreamElement(Tuple{Value("info"), Value(int64_t{503})},
+                    TimeInterval(1, 2)),
+      StreamElement(Tuple{Value("error"), Value(int64_t{404})},
+                    TimeInterval(2, 3)),
+      StreamElement(Tuple{Value("error"), Value(int64_t{502})},
+                    TimeInterval(3, 4)),
+  };
+  exec.ConnectFeed(exec.AddFeed("Log", raw), box.input(0), 0);
+  exec.RunToCompletion();
+  ASSERT_EQ(sink.count(), 2u);
+  EXPECT_EQ(sink.collected()[0].tuple.field(0).AsInt64(), 500);
+  EXPECT_EQ(sink.collected()[1].tuple.field(0).AsInt64(), 502);
+}
+
+TEST(ParserTest, UnionAndExceptCompose) {
+  auto plan = cql::ParseQuery(
+      "SELECT x FROM S [RANGE 10] UNION SELECT x FROM T [RANGE 10] "
+      "EXCEPT SELECT x FROM S [RANGE 5]",
+      TwoStreams());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // Left-associative: Difference(Union(a, b), c).
+  EXPECT_EQ(plan.value()->kind, LogicalNode::Kind::kDifference);
+  EXPECT_EQ(plan.value()->children[0]->kind, LogicalNode::Kind::kUnion);
+  EXPECT_EQ(logical::CollectSourceNames(*plan.value()).size(), 3u);
+}
+
+TEST(ParserTest, UnionRejectsArityMismatch) {
+  EXPECT_FALSE(cql::ParseQuery(
+                   "SELECT x FROM S [RANGE 5] UNION "
+                   "SELECT x, y FROM S [RANGE 5]",
+                   TwoStreams())
+                   .ok());
+}
+
+TEST(ParserTest, UnionExecutesCorrectly) {
+  cql::Catalog catalog;
+  catalog.Register("A", Schema::OfInts({"x"}));
+  catalog.Register("B", Schema::OfInts({"x"}));
+  auto plan = cql::ParseQuery(
+      "SELECT x FROM A [RANGE 20] EXCEPT SELECT x FROM B [RANGE 20]",
+      catalog);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ref::InputMap inputs;
+  std::mt19937_64 rng(87);
+  int64_t ta = 0;
+  int64_t tb = 0;
+  for (int i = 0; i < 80; ++i) {
+    ta += static_cast<int64_t>(rng() % 4);
+    tb += static_cast<int64_t>(rng() % 4);
+    inputs["A"].push_back(StreamElement(
+        Tuple::OfInts({static_cast<int64_t>(rng() % 3)}),
+        TimeInterval(Timestamp(ta), Timestamp(ta + 1))));
+    inputs["B"].push_back(StreamElement(
+        Tuple::OfInts({static_cast<int64_t>(rng() % 3)}),
+        TimeInterval(Timestamp(tb), Timestamp(tb + 1))));
+  }
+  Box box = CompilePlan(*plan.value());
+  CollectorSink sink("sink");
+  box.output()->ConnectTo(0, &sink, 0);
+  Executor exec;
+  const auto names = logical::CollectSourceNames(*plan.value());
+  for (size_t i = 0; i < names.size(); ++i) {
+    exec.ConnectFeed(exec.AddFeed(names[i], inputs.at(names[i])),
+                     box.input(static_cast<int>(i)), 0);
+  }
+  exec.RunToCompletion();
+  const Status eq =
+      ref::CheckPlanOutput(*plan.value(), inputs, sink.collected());
+  EXPECT_TRUE(eq.ok()) << eq.ToString();
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(cql::ParseQuery("FROM S", TwoStreams()).ok());
+  EXPECT_FALSE(cql::ParseQuery("SELECT * FROM Nope", TwoStreams()).ok());
+  EXPECT_FALSE(
+      cql::ParseQuery("SELECT bogus FROM S [RANGE 5]", TwoStreams()).ok());
+  EXPECT_FALSE(
+      cql::ParseQuery("SELECT x FROM S [RANGE 5] trailing", TwoStreams())
+          .ok());
+  // Ambiguous column (x exists in S and T).
+  EXPECT_FALSE(cql::ParseQuery(
+                   "SELECT y FROM S [RANGE 5], T [RANGE 5] WHERE x = 1",
+                   TwoStreams())
+                   .ok());
+  // Non-aggregated column outside GROUP BY.
+  EXPECT_FALSE(cql::ParseQuery(
+                   "SELECT y, COUNT(*) FROM S [RANGE 5] GROUP BY x",
+                   TwoStreams())
+                   .ok());
+}
+
+TEST(ParserTest, ArithmeticAndBooleanPredicatesExecute) {
+  cql::Catalog catalog;
+  catalog.Register("A", Schema::OfInts({"x", "y"}));
+  auto plan = cql::ParseQuery(
+      "SELECT x FROM A [RANGE 20] "
+      "WHERE (x + y > 6 AND NOT x = 3) OR y / 2 = 0",
+      catalog);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ref::InputMap inputs;
+  std::mt19937_64 rng(85);
+  int64_t t = 0;
+  for (int i = 0; i < 100; ++i) {
+    t += static_cast<int64_t>(rng() % 3);
+    inputs["A"].push_back(StreamElement(
+        Tuple::OfInts({static_cast<int64_t>(rng() % 6),
+                       static_cast<int64_t>(1 + rng() % 6)}),
+        TimeInterval(Timestamp(t), Timestamp(t + 1))));
+  }
+  Box box = CompilePlan(*plan.value());
+  CollectorSink sink("sink");
+  box.output()->ConnectTo(0, &sink, 0);
+  Executor exec;
+  exec.ConnectFeed(exec.AddFeed("A", inputs.at("A")), box.input(0), 0);
+  exec.RunToCompletion();
+  const Status eq =
+      ref::CheckPlanOutput(*plan.value(), inputs, sink.collected());
+  EXPECT_TRUE(eq.ok()) << eq.ToString();
+}
+
+TEST(ParserTest, ParsedPlanExecutesCorrectly) {
+  cql::Catalog catalog;
+  catalog.Register("A", Schema::OfInts({"x"}));
+  catalog.Register("B", Schema::OfInts({"x"}));
+  auto plan = cql::ParseQuery(
+      "SELECT DISTINCT A.x FROM A [RANGE 50], B [RANGE 50] "
+      "WHERE A.x = B.x",
+      catalog);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  ref::InputMap inputs;
+  std::mt19937_64 rng(81);
+  int64_t ta = 0;
+  int64_t tb = 0;
+  for (int i = 0; i < 80; ++i) {
+    ta += static_cast<int64_t>(rng() % 5);
+    tb += static_cast<int64_t>(rng() % 5);
+    inputs["A"].push_back(StreamElement(
+        Tuple::OfInts({static_cast<int64_t>(rng() % 4)}),
+        TimeInterval(Timestamp(ta), Timestamp(ta + 1))));
+    inputs["B"].push_back(StreamElement(
+        Tuple::OfInts({static_cast<int64_t>(rng() % 4)}),
+        TimeInterval(Timestamp(tb), Timestamp(tb + 1))));
+  }
+
+  Box box = CompilePlan(*plan.value());
+  CollectorSink sink("sink");
+  box.output()->ConnectTo(0, &sink, 0);
+  Executor exec;
+  const auto names = logical::CollectSourceNames(*plan.value());
+  for (size_t i = 0; i < names.size(); ++i) {
+    exec.ConnectFeed(exec.AddFeed(names[i], inputs.at(names[i])),
+                     box.input(static_cast<int>(i)), 0);
+  }
+  exec.RunToCompletion();
+  const Status eq = ref::CheckPlanOutput(*plan.value(), inputs,
+                                         sink.collected());
+  EXPECT_TRUE(eq.ok()) << eq.ToString();
+}
+
+}  // namespace
+}  // namespace genmig

@@ -1,0 +1,202 @@
+#include "engine/dsms.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "../test_util.h"
+#include "ref/eval.h"
+#include "stream/generator.h"
+
+namespace genmig {
+namespace {
+
+using testutil::El;
+
+/// A stream whose key cardinality collapses at `drift`.
+MaterializedStream Drifting(size_t count, int64_t period, int64_t before,
+                            int64_t after, int64_t drift, uint64_t seed) {
+  MaterializedStream out;
+  std::mt19937_64 rng(seed);
+  int64_t t = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const int64_t keys = t < drift ? before : after;
+    out.push_back(El(static_cast<int64_t>(
+                         rng() % static_cast<uint64_t>(keys)),
+                     t, t + 1));
+    t += period;
+  }
+  return out;
+}
+
+TEST(DsmsTest, InstallRunAndCollect) {
+  Dsms dsms;
+  dsms.RegisterStream("S", Schema::OfInts({"x"}),
+                      ToPhysicalStream(GenerateKeyedStream(100, 5, 4, 1)));
+  auto id = dsms.InstallQuery("SELECT DISTINCT x FROM S [RANGE 50]");
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  dsms.RunToCompletion();
+  EXPECT_GT(dsms.Results(id.value()).size(), 0u);
+  EXPECT_TRUE(ref::CheckNoDuplicateSnapshots(dsms.Results(id.value())).ok());
+}
+
+TEST(DsmsTest, UnknownStreamRejected) {
+  Dsms dsms;
+  EXPECT_FALSE(dsms.InstallQuery("SELECT * FROM Nope [RANGE 5]").ok());
+}
+
+TEST(DsmsTest, MultipleQueriesShareAStream) {
+  Dsms dsms;
+  dsms.RegisterStream("S", Schema::OfInts({"x"}),
+                      ToPhysicalStream(GenerateKeyedStream(200, 5, 4, 2)));
+  auto q1 = dsms.InstallQuery("SELECT * FROM S [RANGE 40]");
+  auto q2 = dsms.InstallQuery(
+      "SELECT x, COUNT(*) FROM S [RANGE 40] GROUP BY x");
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  dsms.RunToCompletion();
+  EXPECT_EQ(dsms.Results(q1.value()).size(), 200u);  // Pass-through.
+  EXPECT_GT(dsms.Results(q2.value()).size(), 0u);
+}
+
+TEST(DsmsTest, QueryInstalledMidStreamSeesOnlyTheFuture) {
+  Dsms dsms;
+  dsms.RegisterStream("S", Schema::OfInts({"x"}),
+                      ToPhysicalStream(GenerateKeyedStream(100, 10, 4, 3)));
+  auto q1 = dsms.InstallQuery("SELECT * FROM S [RANGE 10]");
+  ASSERT_TRUE(q1.ok());
+  dsms.RunUntil(Timestamp(500));
+  auto q2 = dsms.InstallQuery("SELECT * FROM S [RANGE 10]");
+  ASSERT_TRUE(q2.ok());
+  dsms.RunToCompletion();
+  EXPECT_EQ(dsms.Results(q1.value()).size(), 100u);
+  EXPECT_EQ(dsms.Results(q2.value()).size(), 50u);  // Installed at t=500.
+}
+
+TEST(DsmsTest, StatsTapsFeedTheCatalog) {
+  Dsms::Options options;
+  options.stats_horizon = 1000;
+  Dsms dsms(options);
+  dsms.RegisterStream("S", Schema::OfInts({"x"}),
+                      ToPhysicalStream(GenerateKeyedStream(500, 10, 7, 4)));
+  auto id = dsms.InstallQuery("SELECT * FROM S [RANGE 100]");
+  ASSERT_TRUE(id.ok());
+  dsms.RunUntil(Timestamp(3000));
+  const StatsCatalog stats = dsms.CurrentStats();
+  ASSERT_TRUE(stats.Has("S"));
+  EXPECT_NEAR(stats.Get("S").rate, 0.1, 0.02);          // 1 per 10 units.
+  EXPECT_NEAR(stats.Get("S").DistinctOf(0), 7.0, 1.0);  // 7 keys.
+}
+
+TEST(DsmsTest, ReoptimizeNowMigratesAfterDrift) {
+  Dsms::Options options;
+  options.stats_horizon = 2000;
+  Dsms dsms(options);
+  const int64_t kDrift = 10000;
+  dsms.RegisterStream("A", Schema::OfInts({"x"}),
+                      Drifting(4000, 10, 500, 20, kDrift, 11));
+  dsms.RegisterStream("B", Schema::OfInts({"x"}),
+                      Drifting(4000, 10, 500, 20, kDrift, 12));
+  dsms.RegisterStream("C", Schema::OfInts({"x"}),
+                      Drifting(4000, 10, 500, 500, kDrift, 13));
+  auto id = dsms.InstallQuery(
+      "SELECT A.x, B.x, C.x FROM A [RANGE 2000], B [RANGE 2000], "
+      "C [RANGE 2000] WHERE A.x = B.x AND B.x = C.x");
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  // Before the drift the plan is fine: no migration.
+  dsms.RunUntil(Timestamp(8000));
+  EXPECT_EQ(dsms.ReoptimizeNow(), 0);
+
+  // After the drift A|x|B becomes the expensive pair.
+  dsms.RunUntil(Timestamp(kDrift + 4000));
+  EXPECT_EQ(dsms.ReoptimizeNow(), 1);
+  EXPECT_TRUE(dsms.Info(id.value()).migration_in_progress);
+  dsms.RunToCompletion();
+  EXPECT_EQ(dsms.Info(id.value()).migrations_completed, 1);
+  EXPECT_TRUE(IsOrderedByStart(dsms.Results(id.value())));
+  EXPECT_GT(dsms.Results(id.value()).size(), 0u);
+}
+
+TEST(DsmsTest, AutoReoptimizationTriggersByItself) {
+  Dsms::Options options;
+  options.stats_horizon = 2000;
+  options.reoptimize_period = 1000;
+  Dsms dsms(options);
+  const int64_t kDrift = 10000;
+  dsms.RegisterStream("A", Schema::OfInts({"x"}),
+                      Drifting(4000, 10, 500, 20, kDrift, 21));
+  dsms.RegisterStream("B", Schema::OfInts({"x"}),
+                      Drifting(4000, 10, 500, 20, kDrift, 22));
+  dsms.RegisterStream("C", Schema::OfInts({"x"}),
+                      Drifting(4000, 10, 500, 500, kDrift, 23));
+  auto id = dsms.InstallQuery(
+      "SELECT A.x FROM A [RANGE 2000], B [RANGE 2000], C [RANGE 2000] "
+      "WHERE A.x = B.x AND B.x = C.x");
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  dsms.RunToCompletion();
+  EXPECT_GE(dsms.Info(id.value()).migrations_completed, 1);
+}
+
+TEST(DsmsTest, SubquerySharingReusesWindowedSources) {
+  Dsms dsms;
+  dsms.RegisterStream("S", Schema::OfInts({"x"}),
+                      ToPhysicalStream(GenerateKeyedStream(100, 5, 4, 41)));
+  dsms.RegisterStream("T", Schema::OfInts({"x"}),
+                      ToPhysicalStream(GenerateKeyedStream(100, 5, 4, 42)));
+  // Same (stream, window) across queries: shared.
+  ASSERT_TRUE(dsms.InstallQuery("SELECT * FROM S [RANGE 50]").ok());
+  ASSERT_TRUE(dsms.InstallQuery("SELECT DISTINCT x FROM S [RANGE 50]").ok());
+  EXPECT_EQ(dsms.shared_subplan_count(), 1u);
+  // Different window on the same stream: a new subplan.
+  ASSERT_TRUE(dsms.InstallQuery("SELECT * FROM S [RANGE 80]").ok());
+  EXPECT_EQ(dsms.shared_subplan_count(), 2u);
+  // Join re-using both existing subplans plus one new stream.
+  ASSERT_TRUE(dsms.InstallQuery(
+                      "SELECT S.x FROM S [RANGE 50], T [RANGE 50] "
+                      "WHERE S.x = T.x")
+                  .ok());
+  EXPECT_EQ(dsms.shared_subplan_count(), 3u);
+  dsms.RunToCompletion();
+  for (int q = 0; q < 4; ++q) {
+    EXPECT_GT(dsms.Results(q).size(), 0u) << "query " << q;
+  }
+}
+
+TEST(DsmsTest, CountWindowQueryMigratesWithOpt2) {
+  Dsms::Options options;
+  options.stats_horizon = 500;
+  Dsms dsms(options);
+  dsms.RegisterStream("S0", Schema::OfInts({"x"}),
+                      ToPhysicalStream(GenerateKeyedStream(600, 2, 3, 43)));
+  dsms.RegisterStream("S1", Schema::OfInts({"x"}),
+                      ToPhysicalStream(GenerateKeyedStream(600, 2, 3, 44)));
+  auto id = dsms.InstallQuery(
+      "SELECT DISTINCT S0.x FROM S0 [ROWS 100], S1 [ROWS 100] "
+      "WHERE S0.x = S1.x");
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  dsms.RunUntil(Timestamp(500));
+  // Dedup pushdown pays off for 3 hot keys; count windows force Opt 2.
+  EXPECT_EQ(dsms.ReoptimizeNow(), 1);
+  dsms.RunToCompletion();
+  EXPECT_EQ(dsms.Info(id.value()).migrations_completed, 1);
+  EXPECT_TRUE(
+      ref::CheckNoDuplicateSnapshots(dsms.Results(id.value())).ok());
+}
+
+TEST(DsmsTest, InfoReportsCostAndState) {
+  Dsms dsms;
+  dsms.RegisterStream("S", Schema::OfInts({"x"}),
+                      ToPhysicalStream(GenerateKeyedStream(300, 5, 4, 31)));
+  auto id = dsms.InstallQuery("SELECT DISTINCT x FROM S [RANGE 200]");
+  ASSERT_TRUE(id.ok());
+  dsms.RunUntil(Timestamp(800));
+  const Dsms::QueryInfo info = dsms.Info(id.value());
+  EXPECT_GT(info.estimated_cost, 0.0);
+  EXPECT_GT(info.state_bytes, 0u);
+  EXPECT_EQ(info.migrations_completed, 0);
+  EXPECT_NE(info.plan, nullptr);
+}
+
+}  // namespace
+}  // namespace genmig

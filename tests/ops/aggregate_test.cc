@@ -1,0 +1,120 @@
+#include "ops/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "../test_util.h"
+#include "ref/checker.h"
+
+namespace genmig {
+namespace {
+
+using testutil::El;
+using testutil::El2;
+
+TEST(AggregateTest, GlobalCountOverRegions) {
+  AggregateOp agg("a", {}, {{AggKind::kCount, 0}});
+  auto out = testutil::RunUnary(&agg, {El(1, 0, 10), El(2, 5, 15)});
+  // Regions: [0,5) count 1, [5,10) count 2, [10,15) count 1.
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].interval, TimeInterval(0, 5));
+  EXPECT_EQ(out[0].tuple, Tuple::OfInts({1}));
+  EXPECT_EQ(out[1].interval, TimeInterval(5, 10));
+  EXPECT_EQ(out[1].tuple, Tuple::OfInts({2}));
+  EXPECT_EQ(out[2].interval, TimeInterval(10, 15));
+  EXPECT_EQ(out[2].tuple, Tuple::OfInts({1}));
+}
+
+TEST(AggregateTest, EmptySnapshotsProduceNothing) {
+  AggregateOp agg("a", {}, {{AggKind::kCount, 0}});
+  auto out = testutil::RunUnary(&agg, {El(1, 0, 5), El(2, 10, 15)});
+  // The gap [5,10) has no output row.
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].interval, TimeInterval(0, 5));
+  EXPECT_EQ(out[1].interval, TimeInterval(10, 15));
+}
+
+TEST(AggregateTest, GroupedSumAndCount) {
+  AggregateOp agg("a", {0}, {{AggKind::kCount, 0}, {AggKind::kSum, 1}});
+  auto out = testutil::RunUnary(
+      &agg, {El2(1, 10, 0, 10), El2(1, 20, 0, 10), El2(2, 5, 0, 10)});
+  // One region [0,10), two groups.
+  ASSERT_EQ(out.size(), 2u);
+  // Groups ordered by key (std::map).
+  EXPECT_EQ(out[0].tuple.field(0).AsInt64(), 1);
+  EXPECT_EQ(out[0].tuple.field(1).AsInt64(), 2);
+  EXPECT_DOUBLE_EQ(out[0].tuple.field(2).AsDouble(), 30.0);
+  EXPECT_EQ(out[1].tuple.field(0).AsInt64(), 2);
+  EXPECT_DOUBLE_EQ(out[1].tuple.field(2).AsDouble(), 5.0);
+}
+
+TEST(AggregateTest, MinMaxWithRemoval) {
+  AggregateOp agg("a", {}, {{AggKind::kMin, 0}, {AggKind::kMax, 0}});
+  auto out = testutil::RunUnary(&agg, {El(5, 0, 20), El(1, 5, 10)});
+  // [0,5): min=max=5; [5,10): min 1 max 5; [10,20): min=max=5 again.
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[1].tuple, Tuple::OfInts({1, 5}));
+  EXPECT_EQ(out[2].tuple, Tuple::OfInts({5, 5}));
+}
+
+TEST(AggregateTest, AvgIsDouble) {
+  AggregateOp agg("a", {}, {{AggKind::kAvg, 0}});
+  auto out = testutil::RunUnary(&agg, {El(1, 0, 10), El(2, 0, 10)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].tuple.field(0).AsDouble(), 1.5);
+}
+
+TEST(AggregateTest, MatchesReferenceOnRandomWorkload) {
+  AggregateOp agg("a", {0}, {{AggKind::kCount, 0},
+                           {AggKind::kSum, 1},
+                           {AggKind::kMin, 1},
+                           {AggKind::kMax, 1}});
+  MaterializedStream in;
+  std::mt19937_64 rng(5);
+  int64_t t = 0;
+  for (int i = 0; i < 200; ++i) {
+    t += static_cast<int64_t>(rng() % 3);
+    in.push_back(El2(static_cast<int64_t>(rng() % 4),
+                     static_cast<int64_t>(rng() % 100), t,
+                     t + 1 + static_cast<int64_t>(rng() % 25)));
+  }
+  auto out = testutil::RunUnary(&agg, in);
+  EXPECT_TRUE(IsOrderedByStart(out));
+  std::set<Timestamp> points;
+  ref::CollectEndpoints(in, &points);
+  for (const Timestamp& p : points) {
+    const Bag expected = ref::GroupAggregate(
+        ref::SnapshotAt(in, p), {0},
+        {{AggKind::kCount, 0}, {AggKind::kSum, 1}, {AggKind::kMin, 1},
+         {AggKind::kMax, 1}});
+    EXPECT_TRUE(ref::BagsEqual(expected, ref::SnapshotAt(out, p)))
+        << "at " << p.ToString();
+  }
+}
+
+TEST(AggregateTest, EpochIsMinOfActiveElements) {
+  AggregateOp agg("a", {}, {{AggKind::kCount, 0}});
+  auto out = testutil::RunUnary(
+      &agg, {El(1, 0, 10, /*epoch=*/3), El(1, 5, 15, /*epoch=*/1)});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].epoch, 3u);  // [0,5): only epoch-3 element.
+  EXPECT_EQ(out[1].epoch, 1u);  // [5,10): min(3, 1).
+  EXPECT_EQ(out[2].epoch, 1u);  // [10,15): only epoch-1 element.
+}
+
+TEST(AggregateTest, StateDrainsAtEos) {
+  Source src("s");
+  AggregateOp agg("a", {}, {{AggKind::kCount, 0}});
+  CollectorSink sink("k");
+  src.ConnectTo(0, &agg, 0);
+  agg.ConnectTo(0, &sink, 0);
+  src.Inject(El(1, 0, 10));
+  EXPECT_GT(agg.StateUnits(), 0u);
+  src.Close();
+  EXPECT_EQ(agg.StateUnits(), 0u);
+  EXPECT_EQ(sink.count(), 1u);
+}
+
+}  // namespace
+}  // namespace genmig

@@ -1,0 +1,108 @@
+#include "ops/count_window.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "../test_util.h"
+#include "cql/parser.h"
+#include "plan/compile.h"
+#include "plan/executor.h"
+#include "ref/eval.h"
+
+namespace genmig {
+namespace {
+
+using testutil::El;
+
+MaterializedStream Raw(std::initializer_list<int64_t> ts) {
+  MaterializedStream s;
+  int64_t v = 0;
+  for (int64_t t : ts) s.push_back(El(v++, t, t + 1));
+  return s;
+}
+
+TEST(CountWindowTest, ElementValidUntilNthSuccessor) {
+  CountWindow w("w", 2);
+  auto out = testutil::RunUnary(&w, Raw({0, 10, 20, 30}));
+  ASSERT_EQ(out.size(), 4u);
+  // Element at 0 displaced by the element at 20.
+  EXPECT_EQ(out[0].interval, TimeInterval(0, 20));
+  EXPECT_EQ(out[1].interval, TimeInterval(10, 30));
+  // Survivors closed at last start + 1.
+  EXPECT_EQ(out[2].interval, TimeInterval(20, 31));
+  EXPECT_EQ(out[3].interval, TimeInterval(30, 31));
+}
+
+TEST(CountWindowTest, OutputOrderedAndDelayed) {
+  Source src("s");
+  CountWindow w("w", 3);
+  CollectorSink sink("k");
+  src.ConnectTo(0, &w, 0);
+  w.ConnectTo(0, &sink, 0);
+  src.Inject(El(1, 0, 1));
+  src.Inject(El(2, 5, 6));
+  src.Inject(El(3, 9, 10));
+  EXPECT_EQ(sink.count(), 0u);  // End timestamps not yet known.
+  EXPECT_EQ(w.StateUnits(), 3u);
+  src.Inject(El(4, 12, 13));
+  EXPECT_EQ(sink.count(), 1u);
+  src.Close();
+  EXPECT_EQ(sink.count(), 4u);
+  EXPECT_TRUE(IsOrderedByStart(sink.collected()));
+}
+
+TEST(CountWindowTest, EqualTimestampsDropEmptyValidity) {
+  CountWindow w("w", 1);
+  auto out = testutil::RunUnary(&w, Raw({5, 5, 5}));
+  // The first two elements are displaced at their own instant: dropped.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].interval, TimeInterval(5, 6));
+}
+
+TEST(CountWindowTest, SnapshotHoldsExactlyLastNRows) {
+  CountWindow w("w", 3);
+  MaterializedStream in;
+  for (int i = 0; i < 50; ++i) in.push_back(El(i, i * 2, i * 2 + 1));
+  auto out = testutil::RunUnary(&w, in);
+  for (int i = 0; i < 49; ++i) {
+    EXPECT_EQ(ref::SnapshotAt(out, Timestamp(i * 2)).size(),
+              std::min<size_t>(3, static_cast<size_t>(i) + 1))
+        << "at " << i * 2;
+  }
+}
+
+TEST(CountWindowTest, CompiledPlanMatchesReference) {
+  auto plan = logical::Dedup(logical::CountWindowNode(
+      logical::SourceNode("A", Schema::OfInts({"x"})), 5));
+  ref::InputMap inputs;
+  std::mt19937_64 rng(91);
+  int64_t t = 0;
+  for (int i = 0; i < 200; ++i) {
+    t += 1 + static_cast<int64_t>(rng() % 4);
+    inputs["A"].push_back(El(static_cast<int64_t>(rng() % 4), t, t + 1));
+  }
+  Box box = CompilePlan(*plan);
+  CollectorSink sink("sink");
+  box.output()->ConnectTo(0, &sink, 0);
+  Executor exec;
+  exec.ConnectFeed(exec.AddFeed("A", inputs.at("A")), box.input(0), 0);
+  exec.RunToCompletion();
+  const Status eq = ref::CheckPlanOutput(*plan, inputs, sink.collected());
+  EXPECT_TRUE(eq.ok()) << eq.ToString();
+}
+
+TEST(CountWindowTest, CqlRowsSyntax) {
+  cql::Catalog catalog;
+  catalog.Register("S", Schema::OfInts({"x"}));
+  auto plan = cql::ParseQuery("SELECT * FROM S [ROWS 7]", catalog);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan.value()->kind, LogicalNode::Kind::kWindow);
+  EXPECT_EQ(plan.value()->window_kind, LogicalNode::WindowKind::kCount);
+  EXPECT_EQ(plan.value()->window_rows, 7u);
+  EXPECT_FALSE(cql::ParseQuery("SELECT * FROM S [ROWS]", catalog).ok());
+  EXPECT_FALSE(cql::ParseQuery("SELECT * FROM S [SLIDE 3]", catalog).ok());
+}
+
+}  // namespace
+}  // namespace genmig

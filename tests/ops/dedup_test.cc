@@ -1,0 +1,104 @@
+#include "ops/dedup.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "../test_util.h"
+#include "ref/checker.h"
+
+namespace genmig {
+namespace {
+
+using testutil::El;
+
+TEST(DedupTest, DistinctTuplesPassThrough) {
+  DuplicateElimination d("d");
+  auto out = testutil::RunUnary(&d, {El(1, 0, 10), El(2, 0, 10)});
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(DedupTest, FullyCoveredElementProducesNothing) {
+  DuplicateElimination d("d");
+  auto out = testutil::RunUnary(&d, {El(1, 0, 10), El(1, 2, 8)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].interval, TimeInterval(0, 10));
+}
+
+TEST(DedupTest, PartialOverlapEmitsUncoveredTail) {
+  DuplicateElimination d("d");
+  auto out = testutil::RunUnary(&d, {El(1, 0, 10), El(1, 5, 15)});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].interval, TimeInterval(10, 15));
+}
+
+TEST(DedupTest, GapInCoverageEmitsMiddlePiece) {
+  DuplicateElimination d("d");
+  auto out = testutil::RunUnary(
+      &d, {El(1, 0, 5), El(1, 2, 20), El(1, 10, 30)});
+  // Pieces: [0,5), [5,20), [20,30).
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[1].interval, TimeInterval(5, 20));
+  EXPECT_EQ(out[2].interval, TimeInterval(20, 30));
+}
+
+TEST(DedupTest, OutputHasNoDuplicateSnapshots) {
+  DuplicateElimination d("d");
+  MaterializedStream in;
+  std::mt19937_64 rng(11);
+  int64_t t = 0;
+  for (int i = 0; i < 300; ++i) {
+    t += static_cast<int64_t>(rng() % 4);
+    in.push_back(El(static_cast<int64_t>(rng() % 3), t,
+                    t + 1 + static_cast<int64_t>(rng() % 30)));
+  }
+  auto out = testutil::RunUnary(&d, in);
+  EXPECT_TRUE(IsOrderedByStart(out));
+  EXPECT_TRUE(ref::CheckNoDuplicateSnapshots(out).ok());
+  // Snapshot-reducibility: dedup output at t == set of tuples valid at t.
+  std::set<Timestamp> points;
+  ref::CollectEndpoints(in, &points);
+  for (const Timestamp& p : points) {
+    EXPECT_TRUE(ref::BagsEqual(ref::Dedup(ref::SnapshotAt(in, p)),
+                               ref::SnapshotAt(out, p)))
+        << "at " << p.ToString();
+  }
+}
+
+TEST(DedupTest, CoverageExpiresWithWatermark) {
+  Source src("s");
+  DuplicateElimination d("d");
+  CollectorSink sink("k");
+  src.ConnectTo(0, &d, 0);
+  d.ConnectTo(0, &sink, 0);
+  src.Inject(El(1, 0, 10));
+  EXPECT_EQ(d.StateUnits(), 1u);
+  src.Inject(El(2, 50, 60));  // Watermark 50 > end 10.
+  EXPECT_EQ(d.StateUnits(), 1u);  // Only tuple 2's run remains.
+  EXPECT_EQ(d.MaxStateEnd(), Timestamp(60));
+}
+
+TEST(DedupTest, EpochOfPieceFollowsGeneratingElement) {
+  DuplicateElimination d("d");
+  auto out = testutil::RunUnary(
+      &d, {El(1, 0, 10, /*epoch=*/1), El(1, 5, 20, /*epoch=*/2)});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].epoch, 1u);
+  EXPECT_EQ(out[1].epoch, 2u);
+}
+
+TEST(DedupTest, CountStateWithEpochBelowTracksMergedRuns) {
+  Source src("s");
+  DuplicateElimination d("d");
+  CollectorSink sink("k");
+  src.ConnectTo(0, &d, 0);
+  d.ConnectTo(0, &sink, 0);
+  src.Inject(El(1, 0, 10, /*epoch=*/1));
+  src.Inject(El(1, 5, 20, /*epoch=*/2));  // Merges; run keeps min epoch 1.
+  EXPECT_EQ(d.CountStateWithEpochBelow(2), 1u);
+  src.Inject(El(2, 6, 9, /*epoch=*/2));
+  EXPECT_EQ(d.CountStateWithEpochBelow(3), 2u);
+}
+
+}  // namespace
+}  // namespace genmig

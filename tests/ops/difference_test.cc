@@ -1,0 +1,78 @@
+#include "ops/difference.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "../test_util.h"
+#include "ref/checker.h"
+
+namespace genmig {
+namespace {
+
+using testutil::El;
+
+TEST(DifferenceTest, SubtractsPerSnapshot) {
+  DifferenceOp d("d");
+  auto out = testutil::RunBinary(&d, {El(1, 0, 10)}, {El(1, 5, 15)});
+  // [0,5): 1 copy survives; [5,10): cancelled; [10,15): nothing in minuend.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].interval, TimeInterval(0, 5));
+  EXPECT_EQ(out[0].tuple, Tuple::OfInts({1}));
+}
+
+TEST(DifferenceTest, BagMultiplicity) {
+  DifferenceOp d("d");
+  auto out = testutil::RunBinary(
+      &d, {El(1, 0, 10), El(1, 0, 10), El(1, 0, 10)}, {El(1, 0, 10)});
+  // 3 - 1 = 2 copies over [0, 10).
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].interval, TimeInterval(0, 10));
+  EXPECT_EQ(out[1].interval, TimeInterval(0, 10));
+}
+
+TEST(DifferenceTest, SubtrahendOnlyNeverEmits) {
+  DifferenceOp d("d");
+  auto out = testutil::RunBinary(&d, {}, {El(1, 0, 10)});
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(DifferenceTest, MatchesReferenceOnRandomWorkload) {
+  DifferenceOp d("d");
+  MaterializedStream a;
+  MaterializedStream b;
+  std::mt19937_64 rng(17);
+  int64_t ta = 0;
+  int64_t tb = 0;
+  for (int i = 0; i < 150; ++i) {
+    ta += static_cast<int64_t>(rng() % 3);
+    tb += static_cast<int64_t>(rng() % 3);
+    a.push_back(El(static_cast<int64_t>(rng() % 3), ta,
+                   ta + 1 + static_cast<int64_t>(rng() % 20)));
+    b.push_back(El(static_cast<int64_t>(rng() % 3), tb,
+                   tb + 1 + static_cast<int64_t>(rng() % 20)));
+  }
+  auto out = testutil::RunBinary(&d, a, b);
+  EXPECT_TRUE(IsOrderedByStart(out));
+  std::set<Timestamp> points;
+  ref::CollectEndpoints(a, &points);
+  ref::CollectEndpoints(b, &points);
+  for (const Timestamp& p : points) {
+    const Bag expected =
+        ref::Difference(ref::SnapshotAt(a, p), ref::SnapshotAt(b, p));
+    EXPECT_TRUE(ref::BagsEqual(expected, ref::SnapshotAt(out, p)))
+        << "at " << p.ToString();
+  }
+}
+
+TEST(DifferenceTest, EpochIsMinAcrossBothSides) {
+  DifferenceOp d("d");
+  auto out = testutil::RunBinary(&d,
+                                 {El(1, 0, 10, 5), El(1, 0, 10, 5)},
+                                 {El(1, 0, 10, 2)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].epoch, 2u);
+}
+
+}  // namespace
+}  // namespace genmig

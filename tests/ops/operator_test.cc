@@ -1,0 +1,140 @@
+#include "ops/operator.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "ops/sink.h"
+#include "ops/source.h"
+#include "ops/stateless.h"
+
+namespace genmig {
+namespace {
+
+using testutil::El;
+
+TEST(OperatorTest, RelayForwardsElements) {
+  Relay relay("r");
+  auto out = testutil::RunUnary(&relay, {El(1, 1, 2), El(2, 3, 4)});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], El(1, 1, 2));
+}
+
+TEST(OperatorTest, FanOutDeliversToAllEdges) {
+  Source src("s");
+  Relay relay("r");
+  CollectorSink sink1("k1");
+  CollectorSink sink2("k2");
+  src.ConnectTo(0, &relay, 0);
+  relay.ConnectTo(0, &sink1, 0);
+  relay.ConnectTo(0, &sink2, 0);
+  src.Inject(El(5, 1, 2));
+  src.Close();
+  EXPECT_EQ(sink1.count(), 1u);
+  EXPECT_EQ(sink2.count(), 1u);
+  EXPECT_TRUE(sink1.finished());
+  EXPECT_TRUE(sink2.finished());
+}
+
+TEST(OperatorTest, WatermarkFollowsElementsAndHeartbeats) {
+  Source src("s");
+  CollectorSink sink("k");
+  src.ConnectTo(0, &sink, 0);
+  src.Inject(El(1, 10, 11));
+  EXPECT_EQ(sink.input_watermark(0), Timestamp(10));
+  src.InjectHeartbeat(Timestamp(50));
+  EXPECT_EQ(sink.input_watermark(0), Timestamp(50));
+  // Stale heartbeats are ignored.
+  src.InjectHeartbeat(Timestamp(20));
+  EXPECT_EQ(sink.input_watermark(0), Timestamp(50));
+}
+
+TEST(OperatorTest, EosSetsWatermarkToMax) {
+  Source src("s");
+  CollectorSink sink("k");
+  src.ConnectTo(0, &sink, 0);
+  src.Close();
+  EXPECT_TRUE(sink.input_eos(0));
+  EXPECT_EQ(sink.input_watermark(0), Timestamp::MaxInstant());
+  EXPECT_TRUE(sink.all_inputs_eos());
+}
+
+TEST(OperatorDeathTest, OutOfOrderPushAborts) {
+  Source src("s");
+  CollectorSink sink("k");
+  src.ConnectTo(0, &sink, 0);
+  src.Inject(El(1, 10, 11));
+  EXPECT_DEATH(src.Inject(El(2, 5, 6)), "GENMIG_CHECK");
+}
+
+TEST(OperatorDeathTest, ElementBehindHeartbeatAborts) {
+  Source src("s");
+  CollectorSink sink("k");
+  src.ConnectTo(0, &sink, 0);
+  src.InjectHeartbeat(Timestamp(100));
+  EXPECT_DEATH(src.Inject(El(1, 50, 60)), "GENMIG_CHECK");
+}
+
+TEST(OperatorTest, RelaxedInputOrderingAllowsDisorder) {
+  CollectorSink sink("k");
+  sink.SetRelaxedInputOrdering(0);
+  sink.PushElement(0, El(1, 10, 11));
+  sink.PushElement(0, El(2, 5, 6));  // Would abort without relaxation.
+  EXPECT_EQ(sink.count(), 2u);
+}
+
+TEST(OperatorDeathTest, InvalidIntervalAborts) {
+  CollectorSink sink("k");
+  EXPECT_DEATH(sink.PushElement(0, El(1, 5, 5)), "GENMIG_CHECK");
+}
+
+TEST(OperatorDeathTest, DoubleConnectToSamePortAborts) {
+  Relay a("a");
+  Relay b("b");
+  Relay c("c");
+  a.ConnectTo(0, &c, 0);
+  EXPECT_DEATH(b.ConnectTo(0, &c, 0), "GENMIG_CHECK");
+}
+
+TEST(OperatorTest, DisconnectAllowsReconnect) {
+  Relay a("a");
+  Relay b("b");
+  Relay c("c");
+  a.ConnectTo(0, &c, 0);
+  a.DisconnectAllOutputs();
+  EXPECT_TRUE(a.edges(0).empty());
+  b.ConnectTo(0, &c, 0);  // Port is free again.
+  EXPECT_EQ(b.edges(0).size(), 1u);
+}
+
+TEST(OperatorTest, HeartbeatsPropagateThroughRelays) {
+  Source src("s");
+  Relay r1("r1");
+  Relay r2("r2");
+  CollectorSink sink("k");
+  src.ConnectTo(0, &r1, 0);
+  r1.ConnectTo(0, &r2, 0);
+  r2.ConnectTo(0, &sink, 0);
+  src.InjectHeartbeat(Timestamp(42));
+  EXPECT_EQ(sink.input_watermark(0), Timestamp(42));
+}
+
+TEST(OperatorTest, MinInputWatermarkOverPorts) {
+  // A two-input operator's min watermark follows the slower port.
+  class TwoIn : public Operator {
+   public:
+    TwoIn() : Operator("two", 2, 1) {}
+
+   protected:
+    void OnElement(int, const StreamElement&) override {}
+  };
+  TwoIn op;
+  op.PushHeartbeat(0, Timestamp(10));
+  EXPECT_EQ(op.MinInputWatermark(), Timestamp::MinInstant());
+  op.PushHeartbeat(1, Timestamp(7));
+  EXPECT_EQ(op.MinInputWatermark(), Timestamp(7));
+  op.PushEos(1);  // Finished ports stop constraining the minimum.
+  EXPECT_EQ(op.MinInputWatermark(), Timestamp(10));
+}
+
+}  // namespace
+}  // namespace genmig

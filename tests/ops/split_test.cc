@@ -1,0 +1,92 @@
+#include "ops/split.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "ops/sink.h"
+#include "ops/source.h"
+
+namespace genmig {
+namespace {
+
+using testutil::El;
+
+struct SplitHarness {
+  Source src{"s"};
+  Split split;
+  CollectorSink old_sink{"old"};
+  CollectorSink new_sink{"new"};
+
+  SplitHarness(Timestamp t_split, Split::Mode mode)
+      : split("split", t_split, mode) {
+    src.ConnectTo(0, &split, 0);
+    split.ConnectTo(Split::kOldPort, &old_sink, 0);
+    split.ConnectTo(Split::kNewPort, &new_sink, 0);
+  }
+};
+
+TEST(SplitTest, RoutesByTSplit) {
+  SplitHarness h(Timestamp(50, 1), Split::Mode::kClip);
+  h.src.Inject(El(1, 0, 10));    // Entirely old.
+  h.src.Inject(El(2, 40, 80));   // Straddler.
+  h.src.Inject(El(3, 60, 90));   // Entirely new.
+  h.src.Close();
+
+  ASSERT_EQ(h.old_sink.count(), 2u);
+  EXPECT_EQ(h.old_sink.collected()[0].interval, TimeInterval(0, 10));
+  // Straddler clipped at T_split.
+  EXPECT_EQ(h.old_sink.collected()[1].interval,
+            TimeInterval(Timestamp(40), Timestamp(50, 1)));
+
+  ASSERT_EQ(h.new_sink.count(), 2u);
+  EXPECT_EQ(h.new_sink.collected()[0].interval,
+            TimeInterval(Timestamp(50, 1), Timestamp(80)));
+  EXPECT_EQ(h.new_sink.collected()[1].interval, TimeInterval(60, 90));
+}
+
+TEST(SplitTest, SplitPartsPartitionTheOriginal) {
+  SplitHarness h(Timestamp(50, 1), Split::Mode::kClip);
+  h.src.Inject(El(2, 40, 80));
+  h.src.Close();
+  const TimeInterval old_part = h.old_sink.collected()[0].interval;
+  const TimeInterval new_part = h.new_sink.collected()[0].interval;
+  EXPECT_FALSE(old_part.Overlaps(new_part));
+  EXPECT_TRUE(old_part.Adjacent(new_part));
+  EXPECT_EQ(old_part.Merge(new_part), TimeInterval(40, 80));
+}
+
+TEST(SplitTest, FullToOldModeKeepsOldIntervalsIntact) {
+  SplitHarness h(Timestamp(50, 1), Split::Mode::kFullToOld);
+  h.src.Inject(El(2, 40, 80));
+  h.src.Close();
+  ASSERT_EQ(h.old_sink.count(), 1u);
+  EXPECT_EQ(h.old_sink.collected()[0].interval, TimeInterval(40, 80));
+  // New side still receives the clipped part.
+  ASSERT_EQ(h.new_sink.count(), 1u);
+  EXPECT_EQ(h.new_sink.collected()[0].interval,
+            TimeInterval(Timestamp(50, 1), Timestamp(80)));
+}
+
+TEST(SplitTest, OldSideDoneOnceWatermarkPassesTSplit) {
+  SplitHarness h(Timestamp(50, 1), Split::Mode::kClip);
+  h.src.Inject(El(1, 10, 20));
+  EXPECT_FALSE(h.split.OldSideDone());
+  h.src.Inject(El(2, 51, 60));
+  EXPECT_TRUE(h.split.OldSideDone());
+}
+
+TEST(SplitTest, BothOutputsStayOrdered) {
+  SplitHarness h(Timestamp(25, 1), Split::Mode::kClip);
+  for (int t = 0; t < 50; t += 3) h.src.Inject(El(t, t, t + 10));
+  h.src.Close();
+  EXPECT_TRUE(IsOrderedByStart(h.old_sink.collected()));
+  EXPECT_TRUE(IsOrderedByStart(h.new_sink.collected()));
+}
+
+TEST(SplitDeathTest, RequiresChrononSplitTime) {
+  EXPECT_DEATH(Split("s", Timestamp(50, 0), Split::Mode::kClip),
+               "GENMIG_CHECK");
+}
+
+}  // namespace
+}  // namespace genmig

@@ -1,0 +1,67 @@
+#include "ops/union_op.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace genmig {
+namespace {
+
+using testutil::El;
+
+TEST(UnionTest, MergesPreservingOrder) {
+  UnionOp u("u", 2);
+  auto out = testutil::RunBinary(&u, {El(1, 0, 5), El(3, 20, 25)},
+                                 {El(2, 10, 15)});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_TRUE(IsOrderedByStart(out));
+  EXPECT_EQ(out[0].tuple, Tuple::OfInts({1}));
+  EXPECT_EQ(out[1].tuple, Tuple::OfInts({2}));
+  EXPECT_EQ(out[2].tuple, Tuple::OfInts({3}));
+}
+
+TEST(UnionTest, KeepsDuplicates) {
+  UnionOp u("u", 2);
+  auto out = testutil::RunBinary(&u, {El(1, 0, 5)}, {El(1, 0, 5)});
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(UnionTest, HoldsBackUntilSlowerInputCatchesUp) {
+  Source a("a");
+  Source b("b");
+  UnionOp u("u", 2);
+  CollectorSink sink("k");
+  a.ConnectTo(0, &u, 0);
+  b.ConnectTo(0, &u, 1);
+  u.ConnectTo(0, &sink, 0);
+  a.Inject(El(1, 100, 101));
+  // Input b might still deliver earlier elements: nothing released yet.
+  EXPECT_EQ(sink.count(), 0u);
+  EXPECT_EQ(u.StateUnits(), 1u);
+  b.Inject(El(2, 50, 51));
+  EXPECT_EQ(sink.count(), 1u);  // 50 released; 100 still buffered.
+  b.InjectHeartbeat(Timestamp(200));
+  EXPECT_EQ(sink.count(), 2u);
+  a.Close();
+  b.Close();
+  EXPECT_TRUE(sink.finished());
+}
+
+TEST(UnionTest, FourWayUnion) {
+  UnionOp u("u", 4);
+  Source s0("s0");
+  Source s1("s1");
+  Source s2("s2");
+  Source s3("s3");
+  CollectorSink sink("k");
+  Source* srcs[4] = {&s0, &s1, &s2, &s3};
+  for (int i = 0; i < 4; ++i) srcs[i]->ConnectTo(0, &u, i);
+  u.ConnectTo(0, &sink, 0);
+  for (int t = 0; t < 20; ++t) srcs[t % 4]->Inject(El(t, t, t + 1));
+  for (Source* s : srcs) s->Close();
+  ASSERT_EQ(sink.count(), 20u);
+  EXPECT_TRUE(IsOrderedByStart(sink.collected()));
+}
+
+}  // namespace
+}  // namespace genmig

@@ -1,0 +1,72 @@
+#include "opt/stats_tap.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "ops/sink.h"
+#include "ops/source.h"
+
+namespace genmig {
+namespace {
+
+using testutil::El;
+
+TEST(StatsTapTest, PassThrough) {
+  StatsTap tap("t", 100);
+  auto out = testutil::RunUnary(&tap, {El(1, 0, 5), El(2, 3, 9)});
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(StatsTapTest, RateOverHorizon) {
+  Source src("s");
+  StatsTap tap("t", 100);
+  CollectorSink sink("k");
+  src.ConnectTo(0, &tap, 0);
+  tap.ConnectTo(0, &sink, 0);
+  // 10 elements over 100 units -> rate 0.1.
+  for (int i = 0; i < 10; ++i) src.Inject(El(i, i * 10, i * 10 + 1));
+  EXPECT_NEAR(tap.Rate(), 0.1, 0.02);
+}
+
+TEST(StatsTapTest, OldArrivalsFallOutOfTheHorizon) {
+  Source src("s");
+  StatsTap tap("t", 50);
+  CollectorSink sink("k");
+  src.ConnectTo(0, &tap, 0);
+  tap.ConnectTo(0, &sink, 0);
+  for (int i = 0; i < 20; ++i) src.Inject(El(i % 3, i, i + 1));
+  // Jump far ahead: the burst leaves the horizon.
+  src.Inject(El(0, 1000, 1001));
+  EXPECT_NEAR(tap.Rate(), 1.0 / 50.0, 0.01);
+  EXPECT_DOUBLE_EQ(tap.Distinct(0), 1.0);
+}
+
+TEST(StatsTapTest, DistinctPerColumn) {
+  Source src("s");
+  StatsTap tap("t", 1000);
+  CollectorSink sink("k");
+  src.ConnectTo(0, &tap, 0);
+  tap.ConnectTo(0, &sink, 0);
+  for (int i = 0; i < 30; ++i) {
+    src.Inject(StreamElement(Tuple::OfInts({i % 5, i % 2}),
+                             TimeInterval(i, i + 1)));
+  }
+  EXPECT_DOUBLE_EQ(tap.Distinct(0), 5.0);
+  EXPECT_DOUBLE_EQ(tap.Distinct(1), 2.0);
+  EXPECT_DOUBLE_EQ(tap.Distinct(7), 0.0);  // No such column.
+}
+
+TEST(StatsTapTest, SnapshotFeedsCatalog) {
+  Source src("s");
+  StatsTap tap("t", 100);
+  CollectorSink sink("k");
+  src.ConnectTo(0, &tap, 0);
+  tap.ConnectTo(0, &sink, 0);
+  for (int i = 0; i < 10; ++i) src.Inject(El(i % 4, i * 10, i * 10 + 1));
+  const SourceStats stats = tap.Snapshot();
+  EXPECT_GT(stats.rate, 0.0);
+  EXPECT_DOUBLE_EQ(stats.DistinctOf(0), 4.0);
+}
+
+}  // namespace
+}  // namespace genmig

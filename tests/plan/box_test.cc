@@ -1,0 +1,95 @@
+#include "plan/box.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "ops/join.h"
+#include "ops/sink.h"
+#include "ops/source.h"
+
+namespace genmig {
+namespace {
+
+using testutil::El;
+
+TEST(BoxTest, OwnsOperatorsAndExposesPorts) {
+  Box box;
+  Relay* in0 = box.Make<Relay>("in0");
+  Relay* in1 = box.Make<Relay>("in1");
+  SymmetricHashJoin* join = box.Make<SymmetricHashJoin>("j", 0, 0);
+  in0->ConnectTo(0, join, 0);
+  in1->ConnectTo(0, join, 1);
+  box.AddInput(in0, "A");
+  box.AddInput(in1, "B");
+  box.SetOutput(join);
+  EXPECT_EQ(box.num_inputs(), 2);
+  EXPECT_EQ(box.input(0), in0);
+  EXPECT_EQ(box.output(), join);
+  EXPECT_EQ(box.ops().size(), 3u);
+}
+
+TEST(BoxTest, ReorderInputsByName) {
+  Box box;
+  Relay* a = box.Make<Relay>("a");
+  Relay* b = box.Make<Relay>("b");
+  Relay* b2 = box.Make<Relay>("b2");
+  box.AddInput(a, "A");
+  box.AddInput(b, "B");
+  box.AddInput(b2, "B");  // Duplicate stream name.
+  box.ReorderInputs({"B", "A", "B"});
+  EXPECT_EQ(box.input(0), b);   // First "B" matches in order.
+  EXPECT_EQ(box.input(1), a);
+  EXPECT_EQ(box.input(2), b2);
+  EXPECT_EQ(box.input_names()[0], "B");
+}
+
+TEST(BoxDeathTest, ReorderInputsRejectsNameMismatch) {
+  Box box;
+  Relay* a = box.Make<Relay>("a");
+  box.AddInput(a, "A");
+  EXPECT_DEATH(box.ReorderInputs({"Z"}), "GENMIG_CHECK");
+}
+
+TEST(BoxTest, AggregatesStateAcrossOperators) {
+  Box box;
+  Relay* in0 = box.Make<Relay>("in0");
+  Relay* in1 = box.Make<Relay>("in1");
+  SymmetricHashJoin* join = box.Make<SymmetricHashJoin>("j", 0, 0);
+  in0->ConnectTo(0, join, 0);
+  in1->ConnectTo(0, join, 1);
+  box.AddInput(in0);
+  box.AddInput(in1);
+  box.SetOutput(join);
+  join->SeedState(0, {El(1, 0, 10), El(2, 0, 12)});
+  EXPECT_EQ(box.StateUnits(), 2u);
+  EXPECT_EQ(box.StateBytes(), 2 * sizeof(int64_t));
+  EXPECT_EQ(box.MaxStateEnd(), Timestamp(12));
+}
+
+TEST(BoxTest, SignalEosToInputsDrains) {
+  Box box;
+  Relay* in0 = box.Make<Relay>("in0");
+  box.AddInput(in0);
+  box.SetOutput(in0);
+  CollectorSink sink("k");
+  box.output()->ConnectTo(0, &sink, 0);
+  box.SignalEosToInputs();
+  EXPECT_TRUE(sink.finished());
+  // Idempotent: already-EOS ports are skipped.
+  box.SignalEosToInputs();
+}
+
+TEST(BoxTest, CountStateWithEpochBelow) {
+  Box box;
+  SymmetricHashJoin* join = box.Make<SymmetricHashJoin>("j", 0, 0);
+  box.AddInput(join);
+  box.SetOutput(join);
+  join->SeedState(0, {El(1, 0, 100, /*epoch=*/1)});
+  join->SeedState(1, {El(1, 0, 100, /*epoch=*/2)});
+  EXPECT_EQ(box.CountStateWithEpochBelow(2), 1u);
+  EXPECT_EQ(box.CountStateWithEpochBelow(3), 2u);
+  EXPECT_EQ(box.MaxInsertedStartWithEpochBelow(3), Timestamp(0));
+}
+
+}  // namespace
+}  // namespace genmig

@@ -1,0 +1,91 @@
+#include "plan/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace genmig {
+namespace {
+
+TEST(ExprTest, ColumnAndConst) {
+  Tuple t = Tuple::OfInts({10, 20});
+  EXPECT_EQ(Expr::Column(1)->Eval(t).AsInt64(), 20);
+  EXPECT_EQ(Expr::Const(Value(int64_t{5}))->Eval(t).AsInt64(), 5);
+}
+
+TEST(ExprTest, Comparisons) {
+  Tuple t = Tuple::OfInts({10, 20});
+  auto col0 = Expr::Column(0);
+  auto col1 = Expr::Column(1);
+  EXPECT_FALSE(Expr::Compare(Expr::CmpOp::kEq, col0, col1)->EvalBool(t));
+  EXPECT_TRUE(Expr::Compare(Expr::CmpOp::kNe, col0, col1)->EvalBool(t));
+  EXPECT_TRUE(Expr::Compare(Expr::CmpOp::kLt, col0, col1)->EvalBool(t));
+  EXPECT_TRUE(Expr::Compare(Expr::CmpOp::kLe, col0, col0)->EvalBool(t));
+  EXPECT_FALSE(Expr::Compare(Expr::CmpOp::kGt, col0, col1)->EvalBool(t));
+  EXPECT_TRUE(Expr::Compare(Expr::CmpOp::kGe, col1, col0)->EvalBool(t));
+}
+
+TEST(ExprTest, CrossTypeNumericEquality) {
+  Tuple t{Value(int64_t{1}), Value(1.0)};
+  EXPECT_TRUE(Expr::Compare(Expr::CmpOp::kEq, Expr::Column(0),
+                            Expr::Column(1))
+                  ->EvalBool(t));
+}
+
+TEST(ExprTest, Arithmetic) {
+  Tuple t = Tuple::OfInts({7, 3});
+  auto c0 = Expr::Column(0);
+  auto c1 = Expr::Column(1);
+  EXPECT_EQ(Expr::Arith(Expr::ArithOp::kAdd, c0, c1)->Eval(t).AsInt64(), 10);
+  EXPECT_EQ(Expr::Arith(Expr::ArithOp::kSub, c0, c1)->Eval(t).AsInt64(), 4);
+  EXPECT_EQ(Expr::Arith(Expr::ArithOp::kMul, c0, c1)->Eval(t).AsInt64(), 21);
+  EXPECT_EQ(Expr::Arith(Expr::ArithOp::kDiv, c0, c1)->Eval(t).AsInt64(), 2);
+}
+
+TEST(ExprTest, MixedArithmeticPromotesToDouble) {
+  Tuple t{Value(int64_t{7}), Value(2.0)};
+  auto e = Expr::Arith(Expr::ArithOp::kDiv, Expr::Column(0), Expr::Column(1));
+  EXPECT_DOUBLE_EQ(e->Eval(t).AsDouble(), 3.5);
+}
+
+TEST(ExprTest, BooleanConnectives) {
+  Tuple t = Tuple::OfInts({1});
+  auto yes = Expr::Const(Value(int64_t{1}));
+  auto no = Expr::Const(Value(int64_t{0}));
+  EXPECT_TRUE(Expr::And(yes, yes)->EvalBool(t));
+  EXPECT_FALSE(Expr::And(yes, no)->EvalBool(t));
+  EXPECT_TRUE(Expr::Or(no, yes)->EvalBool(t));
+  EXPECT_FALSE(Expr::Or(no, no)->EvalBool(t));
+  EXPECT_TRUE(Expr::Not(no)->EvalBool(t));
+}
+
+TEST(ExprTest, CollectColumnsAndWithin) {
+  auto e = Expr::And(
+      Expr::Compare(Expr::CmpOp::kEq, Expr::Column(0), Expr::Column(2)),
+      Expr::Compare(Expr::CmpOp::kLt, Expr::Column(1),
+                    Expr::Const(Value(int64_t{5}))));
+  std::vector<size_t> cols;
+  e->CollectColumns(&cols);
+  EXPECT_EQ(cols.size(), 3u);
+  EXPECT_TRUE(e->ColumnsWithin(0, 3));
+  EXPECT_FALSE(e->ColumnsWithin(0, 2));
+}
+
+TEST(ExprTest, ShiftColumns) {
+  auto e = Expr::Compare(Expr::CmpOp::kEq, Expr::Column(2), Expr::Column(3));
+  auto shifted = e->ShiftColumns(-2);
+  Tuple t = Tuple::OfInts({5, 5});
+  EXPECT_TRUE(shifted->EvalBool(t));
+  std::vector<size_t> cols;
+  shifted->CollectColumns(&cols);
+  EXPECT_EQ(cols[0], 0u);
+  EXPECT_EQ(cols[1], 1u);
+}
+
+TEST(ExprTest, ToString) {
+  auto e = Expr::Compare(Expr::CmpOp::kLe, Expr::Column(0, "x"),
+                         Expr::Const(Value(int64_t{3})));
+  EXPECT_EQ(e->ToString(), "(x <= 3)");
+  EXPECT_EQ(Expr::Column(1)->ToString(), "$1");
+}
+
+}  // namespace
+}  // namespace genmig

@@ -1,0 +1,72 @@
+#include "plan/logical.h"
+
+#include <gtest/gtest.h>
+
+namespace genmig {
+namespace {
+
+using namespace logical;  // NOLINT: test readability.
+
+TEST(LogicalTest, SchemaPropagation) {
+  auto a = SourceNode("A", Schema::OfInts({"x"}).Qualified("A"));
+  auto b = SourceNode("B", Schema::OfInts({"y"}).Qualified("B"));
+  auto join = EquiJoin(Window(a, 10), Window(b, 10), 0, 0);
+  EXPECT_EQ(join->schema.size(), 2u);
+  EXPECT_EQ(join->schema.column(0).name, "A.x");
+  EXPECT_EQ(join->schema.column(1).name, "B.y");
+}
+
+TEST(LogicalTest, ProjectSchemaAndRename) {
+  auto a = SourceNode("A", Schema::OfInts({"x", "y"}));
+  auto p = Project(a, {1}, {"renamed"});
+  ASSERT_EQ(p->schema.size(), 1u);
+  EXPECT_EQ(p->schema.column(0).name, "renamed");
+}
+
+TEST(LogicalTest, AggregateSchema) {
+  auto a = SourceNode("A", Schema::OfInts({"k", "v"}));
+  auto agg = Aggregate(a, {0},
+                       {{AggKind::kCount, 0}, {AggKind::kSum, 1},
+                        {AggKind::kMin, 1}});
+  ASSERT_EQ(agg->schema.size(), 4u);
+  EXPECT_EQ(agg->schema.column(0).name, "k");
+  EXPECT_EQ(agg->schema.column(1).type, ValueType::kInt64);   // COUNT.
+  EXPECT_EQ(agg->schema.column(2).type, ValueType::kDouble);  // SUM.
+  EXPECT_EQ(agg->schema.column(3).type, ValueType::kInt64);   // MIN(v).
+}
+
+TEST(LogicalTest, CollectSourceNamesLeafOrder) {
+  auto a = SourceNode("A", Schema::OfInts({"x"}));
+  auto b = SourceNode("B", Schema::OfInts({"y"}));
+  auto c = SourceNode("C", Schema::OfInts({"z"}));
+  auto plan = EquiJoin(EquiJoin(Window(a, 5), Window(b, 5), 0, 0),
+                       Window(c, 5), 0, 0);
+  auto names = CollectSourceNames(*plan);
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "A");
+  EXPECT_EQ(names[1], "B");
+  EXPECT_EQ(names[2], "C");
+}
+
+TEST(LogicalTest, ToStringShowsTree) {
+  auto a = SourceNode("A", Schema::OfInts({"x"}));
+  auto plan = Dedup(Select(
+      Window(a, 5),
+      Expr::Compare(Expr::CmpOp::kGt, Expr::Column(0, "x"),
+                    Expr::Const(Value(int64_t{2})))));
+  const std::string s = plan->ToString();
+  EXPECT_NE(s.find("Dedup"), std::string::npos);
+  EXPECT_NE(s.find("Select((x > 2))"), std::string::npos);
+  EXPECT_NE(s.find("Window(5)"), std::string::npos);
+  EXPECT_NE(s.find("Source(A)"), std::string::npos);
+}
+
+TEST(LogicalTest, UnionRequiresMatchingArity) {
+  auto a = SourceNode("A", Schema::OfInts({"x"}));
+  auto b = SourceNode("B", Schema::OfInts({"y"}));
+  auto u = Union(a, b);
+  EXPECT_EQ(u->schema.size(), 1u);
+}
+
+}  // namespace
+}  // namespace genmig

@@ -1,0 +1,68 @@
+#include "pn/pn_element.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "../test_util.h"
+#include "ref/checker.h"
+
+namespace genmig {
+namespace {
+
+using testutil::El;
+
+TEST(PnElementTest, IntervalToPnDoublesAndOrders) {
+  MaterializedStream s = {El(1, 0, 10), El(2, 5, 8)};
+  PnStream pn = IntervalToPn(s);
+  ASSERT_EQ(pn.size(), 4u);
+  EXPECT_TRUE(IsOrderedByTime(pn));
+  EXPECT_TRUE(pn[0].is_plus());
+  EXPECT_EQ(pn[0].t, Timestamp(0));
+  // The minus at 8 precedes the minus at 10.
+  EXPECT_FALSE(pn[2].is_plus());
+  EXPECT_EQ(pn[2].t, Timestamp(8));
+}
+
+TEST(PnElementTest, NegativesPrecedePositivesAtEqualInstants) {
+  MaterializedStream s = {El(1, 0, 5), El(2, 5, 9)};
+  PnStream pn = IntervalToPn(s);
+  ASSERT_EQ(pn.size(), 4u);
+  EXPECT_EQ(pn[1].sign, Sign::kMinus);  // 1's end at 5...
+  EXPECT_EQ(pn[2].sign, Sign::kPlus);   // ...before 2's start at 5.
+}
+
+TEST(PnElementTest, RoundTripPreservesSnapshots) {
+  MaterializedStream s = {El(1, 0, 10), El(1, 3, 7), El(2, 5, 8)};
+  MaterializedStream back = PnToInterval(IntervalToPn(s));
+  EXPECT_TRUE(ref::CheckSnapshotEquivalence(s, back).ok());
+}
+
+TEST(PnElementTest, SnapshotAtCountsOpenPositives) {
+  PnStream pn = IntervalToPn({El(1, 0, 10), El(1, 2, 6)});
+  EXPECT_EQ(PnSnapshotAt(pn, Timestamp(1)).size(), 1u);
+  EXPECT_EQ(PnSnapshotAt(pn, Timestamp(3)).size(), 2u);
+  EXPECT_EQ(PnSnapshotAt(pn, Timestamp(6)).size(), 1u);
+  EXPECT_EQ(PnSnapshotAt(pn, Timestamp(10)).size(), 0u);
+}
+
+TEST(PnElementTest, PnSnapshotsMatchIntervalSnapshots) {
+  MaterializedStream s;
+  std::mt19937_64 rng(77);
+  int64_t t = 0;
+  for (int i = 0; i < 100; ++i) {
+    t += static_cast<int64_t>(rng() % 4);
+    s.push_back(El(static_cast<int64_t>(rng() % 3), t,
+                   t + 1 + static_cast<int64_t>(rng() % 12)));
+  }
+  PnStream pn = IntervalToPn(s);
+  std::set<Timestamp> points;
+  ref::CollectEndpoints(s, &points);
+  for (const Timestamp& p : points) {
+    EXPECT_TRUE(ref::BagsEqual(ref::SnapshotAt(s, p), PnSnapshotAt(pn, p)))
+        << "at " << p.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace genmig

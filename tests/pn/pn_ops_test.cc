@@ -1,0 +1,262 @@
+#include "pn/pn_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ref/checker.h"
+
+namespace genmig {
+namespace {
+
+/// Runs raw (tuple, t) feeds through windows into `op` and collects.
+struct PnHarness {
+  std::vector<std::unique_ptr<PnSource>> sources;
+  std::vector<std::unique_ptr<PnWindow>> windows;
+  PnCollector collector{"sink"};
+
+  void Wire(PnOperator* op, int num_inputs, Duration window) {
+    for (int i = 0; i < num_inputs; ++i) {
+      sources.push_back(
+          std::make_unique<PnSource>("src" + std::to_string(i)));
+      windows.push_back(std::make_unique<PnWindow>(
+          "win" + std::to_string(i), window));
+      sources.back()->ConnectTo(0, windows.back().get(), 0);
+      windows.back()->ConnectTo(0, op, i);
+    }
+    op->ConnectTo(0, &collector, 0);
+  }
+  void CloseAll() {
+    for (auto& s : sources) s->Close();
+  }
+};
+
+TEST(PnWindowTest, EmitsPlusThenScheduledMinus) {
+  PnSource src("s");
+  PnWindow win("w", 10);
+  PnCollector sink("k");
+  src.ConnectTo(0, &win, 0);
+  win.ConnectTo(0, &sink, 0);
+  src.InjectRaw(Tuple::OfInts({1}), 5);
+  EXPECT_EQ(sink.collected().size(), 1u);
+  src.InjectRaw(Tuple::OfInts({2}), 20);  // 5 + 11 = 16 <= 20: minus due.
+  ASSERT_EQ(sink.collected().size(), 3u);
+  EXPECT_EQ(sink.collected()[1].sign, Sign::kMinus);
+  EXPECT_EQ(sink.collected()[1].t, Timestamp(16));
+  src.Close();
+  ASSERT_EQ(sink.collected().size(), 4u);
+  EXPECT_EQ(sink.collected()[3].t, Timestamp(31));
+}
+
+TEST(PnWindowTest, MatchesIntervalWindowSemantics) {
+  // (e, t) with window w <=> interval [t, t+w+1).
+  PnSource src("s");
+  PnWindow win("w", 10);
+  PnCollector sink("k");
+  src.ConnectTo(0, &win, 0);
+  win.ConnectTo(0, &sink, 0);
+  src.InjectRaw(Tuple::OfInts({7}), 3);
+  src.Close();
+  MaterializedStream ivs = PnToInterval(sink.collected());
+  ASSERT_EQ(ivs.size(), 1u);
+  EXPECT_EQ(ivs[0].interval, TimeInterval(3, 14));
+}
+
+TEST(PnDedupTest, EmitsOnFirstAndLastCopy) {
+  PnSource src("s");
+  PnDedup dedup("d");
+  PnCollector sink("k");
+  src.ConnectTo(0, &dedup, 0);
+  dedup.ConnectTo(0, &sink, 0);
+  const Tuple a = Tuple::OfInts({1});
+  src.Inject(PnElement(a, Timestamp(0), Sign::kPlus));
+  src.Inject(PnElement(a, Timestamp(2), Sign::kPlus));   // Suppressed.
+  src.Inject(PnElement(a, Timestamp(5), Sign::kMinus));  // Count 2 -> 1.
+  src.Inject(PnElement(a, Timestamp(9), Sign::kMinus));  // Count 1 -> 0.
+  src.Close();
+  ASSERT_EQ(sink.collected().size(), 2u);
+  EXPECT_EQ(sink.collected()[0].t, Timestamp(0));
+  EXPECT_EQ(sink.collected()[1].t, Timestamp(9));
+  EXPECT_EQ(sink.collected()[1].sign, Sign::kMinus);
+}
+
+TEST(PnJoinTest, EmitsResultsAndRetractions) {
+  PnJoin join("j", [](const Tuple& l, const Tuple& r) {
+    return l.field(0) == r.field(0);
+  });
+  PnHarness h;
+  h.Wire(&join, 2, /*window=*/10);
+  h.sources[0]->InjectRaw(Tuple::OfInts({1}), 0);
+  h.sources[1]->InjectRaw(Tuple::OfInts({1}), 4);
+  h.CloseAll();
+  const PnStream& out = h.collector.collected();
+  // One +(1,1) at 4 and one -(1,1) at 11 (left retracts first).
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out[0].is_plus());
+  EXPECT_EQ(out[0].t, Timestamp(4));
+  EXPECT_EQ(out[0].tuple, Tuple::OfInts({1, 1}));
+  EXPECT_FALSE(out[1].is_plus());
+  EXPECT_EQ(out[1].t, Timestamp(11));
+}
+
+TEST(PnJoinTest, MatchesIntervalJoinOnRandomWorkload) {
+  // Compare the PN join pipeline with the reference: snapshots of
+  // join(windowed A, windowed B).
+  std::mt19937_64 rng(13);
+  std::vector<std::pair<Tuple, int64_t>> raw[2];
+  int64_t t[2] = {0, 0};
+  for (int i = 0; i < 120; ++i) {
+    for (int s = 0; s < 2; ++s) {
+      t[s] += static_cast<int64_t>(rng() % 5);
+      raw[s].push_back({Tuple::OfInts({static_cast<int64_t>(rng() % 3)}),
+                        t[s]});
+    }
+  }
+  PnJoin join("j", [](const Tuple& l, const Tuple& r) {
+    return l.field(0) == r.field(0);
+  });
+  PnHarness h;
+  h.Wire(&join, 2, /*window=*/15);
+  size_t i = 0;
+  size_t j = 0;
+  while (i < raw[0].size() || j < raw[1].size()) {
+    const bool take0 = j >= raw[1].size() ||
+                       (i < raw[0].size() && raw[0][i].second <= raw[1][j].second);
+    if (take0) {
+      h.sources[0]->InjectRaw(raw[0][i].first, raw[0][i].second);
+      ++i;
+    } else {
+      h.sources[1]->InjectRaw(raw[1][j].first, raw[1][j].second);
+      ++j;
+    }
+  }
+  h.CloseAll();
+  EXPECT_TRUE(IsOrderedByTime(h.collector.collected()));
+
+  // Reference: interval semantics.
+  MaterializedStream ia;
+  MaterializedStream ib;
+  for (const auto& [tup, ts] : raw[0]) {
+    ia.emplace_back(tup, TimeInterval(Timestamp(ts), Timestamp(ts + 16)));
+  }
+  for (const auto& [tup, ts] : raw[1]) {
+    ib.emplace_back(tup, TimeInterval(Timestamp(ts), Timestamp(ts + 16)));
+  }
+  std::set<Timestamp> points;
+  ref::CollectEndpoints(ia, &points);
+  ref::CollectEndpoints(ib, &points);
+  const PnStream& out = h.collector.collected();
+  for (const Timestamp& p : points) {
+    const Bag expected =
+        ref::Join(ref::SnapshotAt(ia, p), ref::SnapshotAt(ib, p), nullptr,
+                  std::make_pair(size_t{0}, size_t{0}));
+    EXPECT_TRUE(ref::BagsEqual(expected, PnSnapshotAt(out, p)))
+        << "at " << p.ToString();
+  }
+}
+
+TEST(PnJoinTest, ToleratesInputSkew) {
+  PnJoin join("j", [](const Tuple&, const Tuple&) { return true; });
+  PnHarness h;
+  h.Wire(&join, 2, /*window=*/10);
+  // Source 0 runs far ahead of source 1.
+  for (int i = 0; i < 5; ++i) {
+    h.sources[0]->InjectRaw(Tuple::OfInts({i}), i * 20);
+  }
+  h.sources[1]->InjectRaw(Tuple::OfInts({100}), 5);
+  h.CloseAll();
+  // (0)+ at 0 overlaps (100)+ at 5: exactly one pair, asserted + retracted.
+  const PnStream& out = h.collector.collected();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].tuple, Tuple::OfInts({0, 100}));
+}
+
+TEST(PnAggregateTest, RetractsAndAssertsOnEveryChange) {
+  PnSource src("s");
+  PnAggregate agg("a", {0}, {{AggKind::kCount, 0}});
+  PnCollector sink("k");
+  src.ConnectTo(0, &agg, 0);
+  agg.ConnectTo(0, &sink, 0);
+  const Tuple a = Tuple::OfInts({1});
+  src.Inject(PnElement(a, Timestamp(0), Sign::kPlus));   // count 1: +.
+  src.Inject(PnElement(a, Timestamp(3), Sign::kPlus));   // 1->2: -, +.
+  src.Inject(PnElement(a, Timestamp(7), Sign::kMinus));  // 2->1: -, +.
+  src.Inject(PnElement(a, Timestamp(9), Sign::kMinus));  // 1->0: -.
+  src.Close();
+  const PnStream& out = sink.collected();
+  ASSERT_EQ(out.size(), 6u);
+  EXPECT_EQ(out[0], PnElement(Tuple::OfInts({1, 1}), Timestamp(0),
+                              Sign::kPlus));
+  EXPECT_EQ(out[1], PnElement(Tuple::OfInts({1, 1}), Timestamp(3),
+                              Sign::kMinus));
+  EXPECT_EQ(out[2], PnElement(Tuple::OfInts({1, 2}), Timestamp(3),
+                              Sign::kPlus));
+  EXPECT_EQ(out[5], PnElement(Tuple::OfInts({1, 1}), Timestamp(9),
+                              Sign::kMinus));
+  // Round trip: all rows closed.
+  MaterializedStream ivs = PnToInterval(out);
+  EXPECT_EQ(ivs.size(), 3u);
+}
+
+TEST(PnAggregateTest, MatchesIntervalAggregateSnapshots) {
+  // PN window + PN aggregate vs the interval reference on a random stream.
+  std::mt19937_64 rng(23);
+  std::vector<std::pair<Tuple, int64_t>> raw;
+  int64_t t = 0;
+  for (int i = 0; i < 150; ++i) {
+    t += 1 + static_cast<int64_t>(rng() % 4);
+    raw.push_back({Tuple::OfInts({static_cast<int64_t>(rng() % 3),
+                                  static_cast<int64_t>(rng() % 20)}),
+                   t});
+  }
+  PnSource src("s");
+  PnWindow win("w", 12);
+  PnAggregate agg("a", {0}, {{AggKind::kCount, 0}, {AggKind::kSum, 1},
+                             {AggKind::kMax, 1}});
+  PnCollector sink("k");
+  src.ConnectTo(0, &win, 0);
+  win.ConnectTo(0, &agg, 0);
+  agg.ConnectTo(0, &sink, 0);
+  for (const auto& [tup, ts] : raw) src.InjectRaw(tup, ts);
+  src.Close();
+
+  MaterializedStream windowed;
+  for (const auto& [tup, ts] : raw) {
+    windowed.emplace_back(tup,
+                          TimeInterval(Timestamp(ts), Timestamp(ts + 13)));
+  }
+  std::set<Timestamp> points;
+  ref::CollectEndpoints(windowed, &points);
+  for (const Timestamp& p : points) {
+    const Bag expected = ref::GroupAggregate(
+        ref::SnapshotAt(windowed, p), {0},
+        {{AggKind::kCount, 0}, {AggKind::kSum, 1}, {AggKind::kMax, 1}});
+    EXPECT_TRUE(ref::BagsEqual(expected,
+                               PnSnapshotAt(sink.collected(), p)))
+        << "at " << p.ToString();
+  }
+}
+
+TEST(PnFilterMapTest, SignsPassThrough) {
+  PnSource src("s");
+  PnFilter filter("f",
+                  [](const Tuple& t) { return t.field(0).AsInt64() > 0; });
+  PnMap map("m", [](const Tuple& t) {
+    return Tuple::OfInts({t.field(0).AsInt64() * 2});
+  });
+  PnCollector sink("k");
+  src.ConnectTo(0, &filter, 0);
+  filter.ConnectTo(0, &map, 0);
+  map.ConnectTo(0, &sink, 0);
+  src.Inject(PnElement(Tuple::OfInts({1}), Timestamp(0), Sign::kPlus));
+  src.Inject(PnElement(Tuple::OfInts({0}), Timestamp(1), Sign::kPlus));
+  src.Inject(PnElement(Tuple::OfInts({1}), Timestamp(2), Sign::kMinus));
+  src.Inject(PnElement(Tuple::OfInts({0}), Timestamp(3), Sign::kMinus));
+  src.Close();
+  ASSERT_EQ(sink.collected().size(), 2u);
+  EXPECT_EQ(sink.collected()[0].tuple, Tuple::OfInts({2}));
+  EXPECT_EQ(sink.collected()[1].sign, Sign::kMinus);
+}
+
+}  // namespace
+}  // namespace genmig

@@ -1,0 +1,59 @@
+#include "ref/checker.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace genmig {
+namespace {
+
+using testutil::El;
+
+TEST(CheckerTest, SnapshotAt) {
+  MaterializedStream s = {El(1, 0, 10), El(2, 5, 15)};
+  EXPECT_TRUE(ref::BagsEqual(ref::SnapshotAt(s, Timestamp(0)),
+                             {Tuple::OfInts({1})}));
+  EXPECT_TRUE(ref::BagsEqual(ref::SnapshotAt(s, Timestamp(7)),
+                             {Tuple::OfInts({1}), Tuple::OfInts({2})}));
+  EXPECT_TRUE(ref::SnapshotAt(s, Timestamp(20)).empty());
+}
+
+TEST(CheckerTest, EquivalentFragmentations) {
+  // [0, 10) in one piece vs two adjacent pieces: snapshot-equivalent.
+  MaterializedStream a = {El(1, 0, 10)};
+  MaterializedStream b = {El(1, 0, 4), El(1, 4, 10)};
+  EXPECT_TRUE(ref::CheckSnapshotEquivalence(a, b).ok());
+}
+
+TEST(CheckerTest, DetectsMissingSnapshot) {
+  MaterializedStream a = {El(1, 0, 10)};
+  MaterializedStream b = {El(1, 0, 9)};
+  const Status s = ref::CheckSnapshotEquivalence(a, b);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("t=9"), std::string::npos);
+}
+
+TEST(CheckerTest, DetectsExtraDuplicate) {
+  MaterializedStream a = {El(1, 0, 10)};
+  MaterializedStream b = {El(1, 0, 10), El(1, 5, 7)};
+  EXPECT_FALSE(ref::CheckSnapshotEquivalence(a, b).ok());
+}
+
+TEST(CheckerTest, MultiplicityMatters) {
+  MaterializedStream a = {El(1, 0, 10), El(1, 0, 10)};
+  MaterializedStream b = {El(1, 0, 10)};
+  EXPECT_FALSE(ref::CheckSnapshotEquivalence(a, b).ok());
+}
+
+TEST(CheckerTest, NoDuplicateSnapshots) {
+  EXPECT_TRUE(
+      ref::CheckNoDuplicateSnapshots({El(1, 0, 10), El(1, 10, 20)}).ok());
+  EXPECT_FALSE(
+      ref::CheckNoDuplicateSnapshots({El(1, 0, 10), El(1, 9, 20)}).ok());
+  // Different tuples may overlap freely.
+  EXPECT_TRUE(
+      ref::CheckNoDuplicateSnapshots({El(1, 0, 10), El(2, 0, 10)}).ok());
+}
+
+}  // namespace
+}  // namespace genmig

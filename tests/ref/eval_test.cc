@@ -1,0 +1,112 @@
+#include "ref/eval.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "../test_util.h"
+#include "plan/compile.h"
+#include "plan/executor.h"
+
+namespace genmig {
+namespace {
+
+using namespace logical;  // NOLINT: test readability.
+using testutil::El;
+
+ref::InputMap TwoRandomFeeds(uint64_t seed, int n, int64_t keys) {
+  std::mt19937_64 rng(seed);
+  ref::InputMap inputs;
+  int64_t ta = 0;
+  int64_t tb = 0;
+  for (int i = 0; i < n; ++i) {
+    ta += static_cast<int64_t>(rng() % 6);
+    tb += static_cast<int64_t>(rng() % 6);
+    inputs["A"].push_back(El(static_cast<int64_t>(rng() % keys), ta, ta + 1));
+    inputs["B"].push_back(El(static_cast<int64_t>(rng() % keys), tb, tb + 1));
+  }
+  return inputs;
+}
+
+/// Executes the compiled plan and checks it against the reference oracle.
+void ExpectEngineMatchesReference(const LogicalPtr& plan,
+                                  const ref::InputMap& inputs) {
+  Box box = CompilePlan(*plan);
+  CollectorSink sink("sink");
+  box.output()->ConnectTo(0, &sink, 0);
+  Executor exec;
+  const auto names = CollectSourceNames(*plan);
+  for (size_t i = 0; i < names.size(); ++i) {
+    const int feed = exec.AddFeed(names[i], inputs.at(names[i]));
+    exec.ConnectFeed(feed, box.input(static_cast<int>(i)), 0);
+  }
+  exec.RunToCompletion();
+  const Status s = ref::CheckPlanOutput(*plan, inputs, sink.collected());
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST(RefEvalTest, WindowSemantics) {
+  ref::InputMap inputs = {{"A", {El(1, 5, 6)}}};
+  auto plan = Window(SourceNode("A", Schema::OfInts({"x"})), 10);
+  EXPECT_EQ(ref::EvalPlanAt(*plan, inputs, Timestamp(5)).size(), 1u);
+  EXPECT_EQ(ref::EvalPlanAt(*plan, inputs, Timestamp(15)).size(), 1u);
+  EXPECT_EQ(ref::EvalPlanAt(*plan, inputs, Timestamp(16)).size(), 0u);
+  EXPECT_EQ(ref::EvalPlanAt(*plan, inputs, Timestamp(4)).size(), 0u);
+}
+
+TEST(RefEvalTest, EvalPlanToStreamIsEquivalentToItself) {
+  ref::InputMap inputs = TwoRandomFeeds(1, 50, 3);
+  auto plan = EquiJoin(Window(SourceNode("A", Schema::OfInts({"x"})), 20),
+                       Window(SourceNode("B", Schema::OfInts({"y"})), 20), 0,
+                       0);
+  MaterializedStream s = ref::EvalPlanToStream(*plan, inputs);
+  EXPECT_TRUE(IsOrderedByStart(s));
+  EXPECT_TRUE(ref::CheckPlanOutput(*plan, inputs, s).ok());
+}
+
+TEST(RefEvalTest, EngineJoinMatchesReference) {
+  auto plan = EquiJoin(Window(SourceNode("A", Schema::OfInts({"x"})), 25),
+                       Window(SourceNode("B", Schema::OfInts({"y"})), 25), 0,
+                       0);
+  ExpectEngineMatchesReference(plan, TwoRandomFeeds(2, 80, 4));
+}
+
+TEST(RefEvalTest, EngineDedupOverJoinMatchesReference) {
+  auto plan = Dedup(
+      EquiJoin(Window(SourceNode("A", Schema::OfInts({"x"})), 30),
+               Window(SourceNode("B", Schema::OfInts({"y"})), 30), 0, 0));
+  ExpectEngineMatchesReference(plan, TwoRandomFeeds(3, 60, 3));
+}
+
+TEST(RefEvalTest, EngineAggregateMatchesReference) {
+  auto plan = Aggregate(Window(SourceNode("A", Schema::OfInts({"x"})), 15),
+                        {0}, {{AggKind::kCount, 0}});
+  ExpectEngineMatchesReference(plan, TwoRandomFeeds(4, 100, 3));
+}
+
+TEST(RefEvalTest, EngineUnionDifferenceMatchesReference) {
+  auto a = Window(SourceNode("A", Schema::OfInts({"x"})), 12);
+  auto b = Window(SourceNode("B", Schema::OfInts({"x"})), 12);
+  ExpectEngineMatchesReference(Union(a, b), TwoRandomFeeds(5, 60, 3));
+  ExpectEngineMatchesReference(Difference(a, b), TwoRandomFeeds(6, 60, 3));
+}
+
+TEST(RefEvalTest, EngineSelectProjectMatchesReference) {
+  auto plan = Project(
+      Select(Window(SourceNode("A", Schema::OfInts({"x"})), 9),
+             Expr::Compare(Expr::CmpOp::kNe, Expr::Column(0),
+                           Expr::Const(Value(int64_t{0})))),
+      {0});
+  ExpectEngineMatchesReference(plan, TwoRandomFeeds(7, 70, 3));
+}
+
+TEST(RefEvalTest, PlanBreakpointsIncludeWindowShiftedEnds) {
+  ref::InputMap inputs = {{"A", {El(1, 5, 6)}}};
+  auto plan = Window(SourceNode("A", Schema::OfInts({"x"})), 10);
+  auto points = ref::PlanBreakpoints(*plan, inputs);
+  EXPECT_TRUE(points.count(Timestamp(5)));
+  EXPECT_TRUE(points.count(Timestamp(16)));  // 6 + 10.
+}
+
+}  // namespace
+}  // namespace genmig

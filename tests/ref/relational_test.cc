@@ -1,0 +1,88 @@
+#include "ref/relational.h"
+
+#include <gtest/gtest.h>
+
+namespace genmig {
+namespace {
+
+Bag IntBag(std::initializer_list<int64_t> vals) {
+  Bag b;
+  for (int64_t v : vals) b.push_back(Tuple::OfInts({v}));
+  return b;
+}
+
+TEST(RefRelationalTest, Select) {
+  auto pred = Expr::Compare(Expr::CmpOp::kGt, Expr::Column(0),
+                            Expr::Const(Value(int64_t{2})));
+  Bag out = ref::Select(IntBag({1, 3, 5}), *pred);
+  EXPECT_TRUE(ref::BagsEqual(out, IntBag({3, 5})));
+}
+
+TEST(RefRelationalTest, Project) {
+  Bag in = {Tuple::OfInts({1, 2}), Tuple::OfInts({3, 4})};
+  Bag out = ref::Project(in, {1});
+  EXPECT_TRUE(ref::BagsEqual(out, IntBag({2, 4})));
+}
+
+TEST(RefRelationalTest, JoinWithEquiKeys) {
+  Bag out = ref::Join(IntBag({1, 2}), IntBag({2, 3}), nullptr,
+                      std::make_pair(size_t{0}, size_t{0}));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Tuple::OfInts({2, 2}));
+}
+
+TEST(RefRelationalTest, JoinWithPredicate) {
+  auto pred = Expr::Compare(Expr::CmpOp::kLt, Expr::Column(0),
+                            Expr::Column(1));
+  Bag out = ref::Join(IntBag({1, 5}), IntBag({3}), pred.get(), std::nullopt);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Tuple::OfInts({1, 3}));
+}
+
+TEST(RefRelationalTest, JoinCrossProduct) {
+  Bag out = ref::Join(IntBag({1, 2}), IntBag({3, 4}), nullptr, std::nullopt);
+  EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(RefRelationalTest, DedupKeepsOneCopy) {
+  Bag out = ref::Dedup(IntBag({1, 1, 2, 1}));
+  EXPECT_TRUE(ref::BagsEqual(out, IntBag({1, 2})));
+}
+
+TEST(RefRelationalTest, GroupAggregate) {
+  Bag in = {Tuple::OfInts({1, 10}), Tuple::OfInts({1, 20}),
+            Tuple::OfInts({2, 30})};
+  Bag out = ref::GroupAggregate(
+      in, {0}, {{AggKind::kCount, 0}, {AggKind::kSum, 1},
+                {AggKind::kAvg, 1}, {AggKind::kMin, 1}, {AggKind::kMax, 1}});
+  ASSERT_EQ(out.size(), 2u);
+  // Group 1: count 2, sum 30, avg 15, min 10, max 20.
+  EXPECT_EQ(out[0].field(0).AsInt64(), 1);
+  EXPECT_EQ(out[0].field(1).AsInt64(), 2);
+  EXPECT_DOUBLE_EQ(out[0].field(2).AsDouble(), 30.0);
+  EXPECT_DOUBLE_EQ(out[0].field(3).AsDouble(), 15.0);
+  EXPECT_EQ(out[0].field(4).AsInt64(), 10);
+  EXPECT_EQ(out[0].field(5).AsInt64(), 20);
+}
+
+TEST(RefRelationalTest, GroupAggregateEmptyInput) {
+  EXPECT_TRUE(ref::GroupAggregate({}, {}, {{AggKind::kCount, 0}}).empty());
+}
+
+TEST(RefRelationalTest, UnionKeepsDuplicates) {
+  EXPECT_EQ(ref::Union(IntBag({1}), IntBag({1})).size(), 2u);
+}
+
+TEST(RefRelationalTest, DifferenceBagSemantics) {
+  Bag out = ref::Difference(IntBag({1, 1, 1, 2}), IntBag({1, 3}));
+  EXPECT_TRUE(ref::BagsEqual(out, IntBag({1, 1, 2})));
+}
+
+TEST(RefRelationalTest, BagsEqualIsMultiset) {
+  EXPECT_TRUE(ref::BagsEqual(IntBag({1, 2}), IntBag({2, 1})));
+  EXPECT_FALSE(ref::BagsEqual(IntBag({1, 1}), IntBag({1})));
+  EXPECT_FALSE(ref::BagsEqual(IntBag({1, 1, 2}), IntBag({1, 2, 2})));
+}
+
+}  // namespace
+}  // namespace genmig

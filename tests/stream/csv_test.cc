@@ -1,0 +1,63 @@
+#include "stream/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace genmig {
+namespace {
+
+TEST(CsvTest, ParsesTypedFields) {
+  Schema schema(std::vector<Column>{{"name", ValueType::kString},
+                                    {"price", ValueType::kDouble},
+                                    {"qty", ValueType::kInt64}});
+  auto rows = ParseCsv("# header comment\n"
+                       "10,apple,1.5,3\n"
+                       "\n"
+                       "20,pear,0.75,10\n",
+                       schema)
+                  .ValueOrDie();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].t, 10);
+  EXPECT_EQ(rows[0].tuple.field(0).AsString(), "apple");
+  EXPECT_DOUBLE_EQ(rows[0].tuple.field(1).AsDouble(), 1.5);
+  EXPECT_EQ(rows[1].tuple.field(2).AsInt64(), 10);
+}
+
+TEST(CsvTest, HandlesCrlf) {
+  auto rows =
+      ParseCsv("5,7\r\n6,8\r\n", Schema::OfInts({"x"})).ValueOrDie();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1].tuple.field(0).AsInt64(), 8);
+}
+
+TEST(CsvTest, RejectsBadInput) {
+  const Schema schema = Schema::OfInts({"x"});
+  EXPECT_FALSE(ParseCsv("1,2,3\n", schema).ok());       // Arity.
+  EXPECT_FALSE(ParseCsv("1,abc\n", schema).ok());       // Type.
+  EXPECT_FALSE(ParseCsv("abc,1\n", schema).ok());       // Bad timestamp.
+  EXPECT_FALSE(ParseCsv("9,1\n5,2\n", schema).ok());    // Out of order.
+  const Status s = ParseCsv("1,2\n1,oops\n", schema).status();
+  EXPECT_NE(s.message().find("line 2"), std::string::npos);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/genmig_csv_test.csv";
+  {
+    std::ofstream out(path);
+    out << "1,10\n2,20\n";
+  }
+  auto rows = ReadCsvFile(path, Schema::OfInts({"x"})).ValueOrDie();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1].tuple.field(0).AsInt64(), 20);
+  EXPECT_FALSE(ReadCsvFile("/no/such/file.csv", Schema::OfInts({"x"})).ok());
+}
+
+TEST(CsvTest, StreamToCsv) {
+  MaterializedStream s = {
+      StreamElement(Tuple::OfInts({7}), TimeInterval(1, 5))};
+  EXPECT_EQ(StreamToCsv(s), "1,5,7\n");
+}
+
+}  // namespace
+}  // namespace genmig

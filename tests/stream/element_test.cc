@@ -1,0 +1,40 @@
+#include "stream/element.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace genmig {
+namespace {
+
+using testutil::El;
+
+TEST(ElementTest, ToPhysicalStreamAddsUnitIntervals) {
+  std::vector<TimedTuple> raw = {{Tuple::OfInts({7}), 5},
+                                 {Tuple::OfInts({8}), 5},
+                                 {Tuple::OfInts({9}), 9}};
+  MaterializedStream s = ToPhysicalStream(raw);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0].interval, TimeInterval(5, 6));
+  EXPECT_EQ(s[2].interval, TimeInterval(9, 10));
+  EXPECT_EQ(s[2].tuple.field(0).AsInt64(), 9);
+}
+
+TEST(ElementTest, IsOrderedByStart) {
+  EXPECT_TRUE(IsOrderedByStart({}));
+  EXPECT_TRUE(IsOrderedByStart({El(1, 1, 2), El(2, 1, 5), El(3, 2, 3)}));
+  EXPECT_FALSE(IsOrderedByStart({El(1, 3, 4), El(2, 2, 5)}));
+}
+
+TEST(ElementTest, EqualityIgnoresEpoch) {
+  EXPECT_EQ(El(1, 2, 3, 0), El(1, 2, 3, 5));
+  EXPECT_NE(El(1, 2, 3), El(1, 2, 4));
+  EXPECT_NE(El(1, 2, 3), El(2, 2, 3));
+}
+
+TEST(ElementTest, PayloadBytes) {
+  EXPECT_EQ(El(1, 2, 3).PayloadBytes(), sizeof(int64_t));
+}
+
+}  // namespace
+}  // namespace genmig

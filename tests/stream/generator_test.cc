@@ -1,0 +1,72 @@
+#include "stream/generator.h"
+
+#include <gtest/gtest.h>
+
+namespace genmig {
+namespace {
+
+TEST(GeneratorTest, UniformStreamHonoursSpec) {
+  UniformStreamSpec spec;
+  spec.count = 100;
+  spec.period = 10;
+  spec.start_time = 50;
+  spec.min_value = 0;
+  spec.max_value = 9;
+  auto s = GenerateUniformStream(spec);
+  ASSERT_EQ(s.size(), 100u);
+  EXPECT_EQ(s[0].t, 50);
+  EXPECT_EQ(s[99].t, 50 + 99 * 10);
+  for (const TimedTuple& tt : s) {
+    const int64_t v = tt.tuple.field(0).AsInt64();
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(GeneratorTest, DeterministicBySeed) {
+  UniformStreamSpec spec;
+  spec.count = 50;
+  auto a = GenerateUniformStream(spec);
+  auto b = GenerateUniformStream(spec);
+  spec.seed = 43;
+  auto c = GenerateUniformStream(spec);
+  ASSERT_EQ(a.size(), b.size());
+  bool all_equal_ab = true;
+  bool all_equal_ac = true;
+  for (size_t i = 0; i < a.size(); ++i) {
+    all_equal_ab &= a[i].tuple == b[i].tuple;
+    all_equal_ac &= a[i].tuple == c[i].tuple;
+  }
+  EXPECT_TRUE(all_equal_ab);
+  EXPECT_FALSE(all_equal_ac);
+}
+
+TEST(GeneratorTest, UniformStreamArity) {
+  UniformStreamSpec spec;
+  spec.count = 3;
+  spec.arity = 4;
+  auto s = GenerateUniformStream(spec);
+  EXPECT_EQ(s[0].tuple.size(), 4u);
+}
+
+TEST(GeneratorTest, KeyedStreamKeysInRange) {
+  auto s = GenerateKeyedStream(200, 5, 3, /*seed=*/7);
+  ASSERT_EQ(s.size(), 200u);
+  for (const TimedTuple& tt : s) {
+    const int64_t k = tt.tuple.field(0).AsInt64();
+    EXPECT_GE(k, 0);
+    EXPECT_LT(k, 3);
+  }
+  EXPECT_EQ(s[1].t - s[0].t, 5);
+}
+
+TEST(GeneratorTest, BurstyStreamIsMonotone) {
+  auto s = GenerateBurstyStream(500, 20, 10, /*seed=*/9);
+  for (size_t i = 1; i < s.size(); ++i) {
+    EXPECT_LE(s[i - 1].t, s[i].t);
+    EXPECT_LE(s[i].t - s[i - 1].t, 20);
+  }
+}
+
+}  // namespace
+}  // namespace genmig

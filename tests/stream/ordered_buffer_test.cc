@@ -1,0 +1,53 @@
+#include "stream/ordered_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace genmig {
+namespace {
+
+using testutil::El;
+
+TEST(OrderedBufferTest, FlushReleasesInStartOrder) {
+  OrderedOutputBuffer buf;
+  buf.Push(El(3, 30, 40));
+  buf.Push(El(1, 10, 20));
+  buf.Push(El(2, 20, 30));
+  MaterializedStream out;
+  buf.FlushUpTo(Timestamp(25), [&](const StreamElement& e) { out.push_back(e); });
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].interval.start, Timestamp(10));
+  EXPECT_EQ(out[1].interval.start, Timestamp(20));
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(OrderedBufferTest, FlushBoundaryIsInclusive) {
+  OrderedOutputBuffer buf;
+  buf.Push(El(1, 10, 20));
+  MaterializedStream out;
+  buf.FlushUpTo(Timestamp(10), [&](const StreamElement& e) { out.push_back(e); });
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(OrderedBufferTest, FlushAllEmptiesBuffer) {
+  OrderedOutputBuffer buf;
+  for (int i = 10; i > 0; --i) buf.Push(El(i, i, i + 1));
+  MaterializedStream out;
+  buf.FlushAll([&](const StreamElement& e) { out.push_back(e); });
+  EXPECT_TRUE(buf.empty());
+  ASSERT_EQ(out.size(), 10u);
+  EXPECT_TRUE(IsOrderedByStart(out));
+}
+
+TEST(OrderedBufferTest, TracksPayloadBytes) {
+  OrderedOutputBuffer buf;
+  EXPECT_EQ(buf.PayloadBytes(), 0u);
+  buf.Push(El(1, 1, 2));
+  EXPECT_EQ(buf.PayloadBytes(), sizeof(int64_t));
+  buf.FlushAll([](const StreamElement&) {});
+  EXPECT_EQ(buf.PayloadBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace genmig

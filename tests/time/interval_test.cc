@@ -1,0 +1,66 @@
+#include "time/interval.h"
+
+#include <gtest/gtest.h>
+
+namespace genmig {
+namespace {
+
+TEST(IntervalTest, Validity) {
+  EXPECT_TRUE(TimeInterval(1, 2).Valid());
+  EXPECT_FALSE(TimeInterval(2, 2).Valid());
+  EXPECT_FALSE(TimeInterval(3, 2).Valid());
+}
+
+TEST(IntervalTest, ContainsIsHalfOpen) {
+  TimeInterval iv(10, 20);
+  EXPECT_TRUE(iv.Contains(Timestamp(10)));
+  EXPECT_TRUE(iv.Contains(Timestamp(19)));
+  EXPECT_TRUE(iv.Contains(Timestamp(19, 1)));  // Chronon inside.
+  EXPECT_FALSE(iv.Contains(Timestamp(20)));
+  EXPECT_FALSE(iv.Contains(Timestamp(9)));
+}
+
+TEST(IntervalTest, Overlaps) {
+  EXPECT_TRUE(TimeInterval(1, 5).Overlaps(TimeInterval(4, 6)));
+  EXPECT_FALSE(TimeInterval(1, 5).Overlaps(TimeInterval(5, 6)));  // Adjacent.
+  EXPECT_TRUE(TimeInterval(1, 10).Overlaps(TimeInterval(3, 4)));  // Nested.
+  EXPECT_FALSE(TimeInterval(1, 2).Overlaps(TimeInterval(3, 4)));
+}
+
+TEST(IntervalTest, Adjacent) {
+  EXPECT_TRUE(TimeInterval(1, 5).Adjacent(TimeInterval(5, 6)));
+  EXPECT_TRUE(TimeInterval(5, 6).Adjacent(TimeInterval(1, 5)));
+  EXPECT_FALSE(TimeInterval(1, 5).Adjacent(TimeInterval(6, 7)));
+}
+
+TEST(IntervalTest, IntersectReturnsOverlap) {
+  auto iv = TimeInterval(1, 5).Intersect(TimeInterval(3, 9));
+  ASSERT_TRUE(iv.has_value());
+  EXPECT_EQ(*iv, TimeInterval(3, 5));
+  EXPECT_FALSE(TimeInterval(1, 2).Intersect(TimeInterval(2, 3)).has_value());
+}
+
+TEST(IntervalTest, MergeUnionsOverlappingOrAdjacent) {
+  EXPECT_EQ(TimeInterval(1, 5).Merge(TimeInterval(4, 9)), TimeInterval(1, 9));
+  EXPECT_EQ(TimeInterval(1, 5).Merge(TimeInterval(5, 9)), TimeInterval(1, 9));
+  EXPECT_EQ(TimeInterval(5, 9).Merge(TimeInterval(1, 5)), TimeInterval(1, 9));
+}
+
+TEST(IntervalTest, ChrononEndpoints) {
+  // Split at T_split = (15, 1): the two halves partition the original.
+  TimeInterval orig(10, 20);
+  Timestamp split(15, 1);
+  TimeInterval lo(orig.start, split);
+  TimeInterval hi(split, orig.end);
+  EXPECT_TRUE(lo.Valid());
+  EXPECT_TRUE(hi.Valid());
+  EXPECT_TRUE(lo.Adjacent(hi));
+  EXPECT_FALSE(lo.Overlaps(hi));
+  EXPECT_TRUE(lo.Contains(Timestamp(15)));       // 15 < (15,1).
+  EXPECT_TRUE(hi.Contains(Timestamp(16)));
+  EXPECT_FALSE(hi.Contains(Timestamp(15)));
+  EXPECT_EQ(lo.Merge(hi), orig);
+}
+
+}  // namespace
+}  // namespace genmig

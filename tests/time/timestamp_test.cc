@@ -1,0 +1,41 @@
+#include "time/timestamp.h"
+
+#include <gtest/gtest.h>
+
+namespace genmig {
+namespace {
+
+TEST(TimestampTest, OrderingByInstantThenChronon) {
+  EXPECT_LT(Timestamp(1), Timestamp(2));
+  EXPECT_LT(Timestamp(1, 0), Timestamp(1, 1));
+  EXPECT_LT(Timestamp(1, 1), Timestamp(2, 0));
+  EXPECT_EQ(Timestamp(3, 1), Timestamp(3, 1));
+}
+
+TEST(TimestampTest, ChrononNeverEqualsRegularInstant) {
+  // The Remark 3 guarantee: a split time (chronon 1) can never coincide with
+  // a regular data timestamp (chronon 0).
+  for (int64_t t = -5; t < 5; ++t) {
+    EXPECT_NE(Timestamp(t, 1), Timestamp(t, 0));
+  }
+}
+
+TEST(TimestampTest, ArithmeticPreservesChronon) {
+  Timestamp t(10, 1);
+  EXPECT_EQ(t + 5, Timestamp(15, 1));
+  EXPECT_EQ(t - 3, Timestamp(7, 1));
+}
+
+TEST(TimestampTest, MinMaxInstants) {
+  EXPECT_LT(Timestamp::MinInstant(), Timestamp(0));
+  EXPECT_LT(Timestamp(1LL << 60), Timestamp::MaxInstant());
+  EXPECT_LT(Timestamp::MinInstant(), Timestamp::MaxInstant());
+}
+
+TEST(TimestampTest, ToString) {
+  EXPECT_EQ(Timestamp(42).ToString(), "42");
+  EXPECT_EQ(Timestamp(42, 1).ToString(), "42+1eps");
+}
+
+}  // namespace
+}  // namespace genmig
