@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_duration.dir/ablation_duration.cc.o"
+  "CMakeFiles/ablation_duration.dir/ablation_duration.cc.o.d"
+  "ablation_duration"
+  "ablation_duration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_duration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_skew.dir/ablation_skew.cc.o"
+  "CMakeFiles/ablation_skew.dir/ablation_skew.cc.o.d"
+  "ablation_skew"
+  "ablation_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_split_time.cc" "bench/CMakeFiles/ablation_split_time.dir/ablation_split_time.cc.o" "gcc" "bench/CMakeFiles/ablation_split_time.dir/ablation_split_time.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/genmig_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ref/CMakeFiles/genmig_ref.dir/DependInfo.cmake"
+  "/root/repo/build/src/pn/CMakeFiles/genmig_pn.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/genmig_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/migration/CMakeFiles/genmig_migration.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/genmig_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cql/CMakeFiles/genmig_cql.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/genmig_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/genmig_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/genmig_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/time/CMakeFiles/genmig_time.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/genmig_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_split_time.dir/ablation_split_time.cc.o"
+  "CMakeFiles/ablation_split_time.dir/ablation_split_time.cc.o.d"
+  "ablation_split_time"
+  "ablation_split_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_split_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

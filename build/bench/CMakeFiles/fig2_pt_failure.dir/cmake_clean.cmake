@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_pt_failure.dir/fig2_pt_failure.cc.o"
+  "CMakeFiles/fig2_pt_failure.dir/fig2_pt_failure.cc.o.d"
+  "fig2_pt_failure"
+  "fig2_pt_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_pt_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

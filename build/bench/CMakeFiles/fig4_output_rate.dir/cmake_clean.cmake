@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_output_rate.dir/fig4_output_rate.cc.o"
+  "CMakeFiles/fig4_output_rate.dir/fig4_output_rate.cc.o.d"
+  "fig4_output_rate"
+  "fig4_output_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_output_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_saturated.dir/fig6_saturated.cc.o"
+  "CMakeFiles/fig6_saturated.dir/fig6_saturated.cc.o.d"
+  "fig6_saturated"
+  "fig6_saturated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_saturated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genmig_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/genmig_bench_common.dir/bench_common.cc.o.d"
+  "libgenmig_bench_common.a"
+  "libgenmig_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genmig_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pn_genmig_bench.dir/pn_genmig_bench.cc.o"
+  "CMakeFiles/pn_genmig_bench.dir/pn_genmig_bench.cc.o.d"
+  "pn_genmig_bench"
+  "pn_genmig_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pn_genmig_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

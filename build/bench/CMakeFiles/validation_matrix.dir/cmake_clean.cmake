@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_matrix.dir/validation_matrix.cc.o"
+  "CMakeFiles/validation_matrix.dir/validation_matrix.cc.o.d"
+  "validation_matrix"
+  "validation_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auction_dedup.dir/auction_dedup.cpp.o"
+  "CMakeFiles/auction_dedup.dir/auction_dedup.cpp.o.d"
+  "auction_dedup"
+  "auction_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auction_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_replay.dir/csv_replay.cpp.o"
+  "CMakeFiles/csv_replay.dir/csv_replay.cpp.o.d"
+  "csv_replay"
+  "csv_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_query.dir/multi_query.cpp.o"
+  "CMakeFiles/multi_query.dir/multi_query.cpp.o.d"
+  "multi_query"
+  "multi_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pn_bridge.dir/pn_bridge.cpp.o"
+  "CMakeFiles/pn_bridge.dir/pn_bridge.cpp.o.d"
+  "pn_bridge"
+  "pn_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pn_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genmig_common.dir/schema.cc.o"
+  "CMakeFiles/genmig_common.dir/schema.cc.o.d"
+  "CMakeFiles/genmig_common.dir/status.cc.o"
+  "CMakeFiles/genmig_common.dir/status.cc.o.d"
+  "CMakeFiles/genmig_common.dir/tuple.cc.o"
+  "CMakeFiles/genmig_common.dir/tuple.cc.o.d"
+  "CMakeFiles/genmig_common.dir/value.cc.o"
+  "CMakeFiles/genmig_common.dir/value.cc.o.d"
+  "libgenmig_common.a"
+  "libgenmig_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genmig_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

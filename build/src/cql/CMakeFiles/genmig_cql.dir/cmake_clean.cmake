@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genmig_cql.dir/lexer.cc.o"
+  "CMakeFiles/genmig_cql.dir/lexer.cc.o.d"
+  "CMakeFiles/genmig_cql.dir/parser.cc.o"
+  "CMakeFiles/genmig_cql.dir/parser.cc.o.d"
+  "libgenmig_cql.a"
+  "libgenmig_cql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genmig_cql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgenmig_cql.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genmig_engine.dir/dsms.cc.o"
+  "CMakeFiles/genmig_engine.dir/dsms.cc.o.d"
+  "libgenmig_engine.a"
+  "libgenmig_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genmig_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

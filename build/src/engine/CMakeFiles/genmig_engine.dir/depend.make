@@ -1,0 +1,2 @@
+# Empty dependencies file for genmig_engine.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genmig_migration.dir/controller.cc.o"
+  "CMakeFiles/genmig_migration.dir/controller.cc.o.d"
+  "CMakeFiles/genmig_migration.dir/join_tree.cc.o"
+  "CMakeFiles/genmig_migration.dir/join_tree.cc.o.d"
+  "libgenmig_migration.a"
+  "libgenmig_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genmig_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

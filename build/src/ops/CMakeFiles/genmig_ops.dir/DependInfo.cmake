@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ops/aggregate.cc" "src/ops/CMakeFiles/genmig_ops.dir/aggregate.cc.o" "gcc" "src/ops/CMakeFiles/genmig_ops.dir/aggregate.cc.o.d"
+  "/root/repo/src/ops/coalesce.cc" "src/ops/CMakeFiles/genmig_ops.dir/coalesce.cc.o" "gcc" "src/ops/CMakeFiles/genmig_ops.dir/coalesce.cc.o.d"
+  "/root/repo/src/ops/compact.cc" "src/ops/CMakeFiles/genmig_ops.dir/compact.cc.o" "gcc" "src/ops/CMakeFiles/genmig_ops.dir/compact.cc.o.d"
+  "/root/repo/src/ops/dedup.cc" "src/ops/CMakeFiles/genmig_ops.dir/dedup.cc.o" "gcc" "src/ops/CMakeFiles/genmig_ops.dir/dedup.cc.o.d"
+  "/root/repo/src/ops/difference.cc" "src/ops/CMakeFiles/genmig_ops.dir/difference.cc.o" "gcc" "src/ops/CMakeFiles/genmig_ops.dir/difference.cc.o.d"
+  "/root/repo/src/ops/join.cc" "src/ops/CMakeFiles/genmig_ops.dir/join.cc.o" "gcc" "src/ops/CMakeFiles/genmig_ops.dir/join.cc.o.d"
+  "/root/repo/src/ops/operator.cc" "src/ops/CMakeFiles/genmig_ops.dir/operator.cc.o" "gcc" "src/ops/CMakeFiles/genmig_ops.dir/operator.cc.o.d"
+  "/root/repo/src/ops/split.cc" "src/ops/CMakeFiles/genmig_ops.dir/split.cc.o" "gcc" "src/ops/CMakeFiles/genmig_ops.dir/split.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/genmig_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/time/CMakeFiles/genmig_time.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/genmig_stream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

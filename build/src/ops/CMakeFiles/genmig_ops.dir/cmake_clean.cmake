@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genmig_ops.dir/aggregate.cc.o"
+  "CMakeFiles/genmig_ops.dir/aggregate.cc.o.d"
+  "CMakeFiles/genmig_ops.dir/coalesce.cc.o"
+  "CMakeFiles/genmig_ops.dir/coalesce.cc.o.d"
+  "CMakeFiles/genmig_ops.dir/compact.cc.o"
+  "CMakeFiles/genmig_ops.dir/compact.cc.o.d"
+  "CMakeFiles/genmig_ops.dir/dedup.cc.o"
+  "CMakeFiles/genmig_ops.dir/dedup.cc.o.d"
+  "CMakeFiles/genmig_ops.dir/difference.cc.o"
+  "CMakeFiles/genmig_ops.dir/difference.cc.o.d"
+  "CMakeFiles/genmig_ops.dir/join.cc.o"
+  "CMakeFiles/genmig_ops.dir/join.cc.o.d"
+  "CMakeFiles/genmig_ops.dir/operator.cc.o"
+  "CMakeFiles/genmig_ops.dir/operator.cc.o.d"
+  "CMakeFiles/genmig_ops.dir/split.cc.o"
+  "CMakeFiles/genmig_ops.dir/split.cc.o.d"
+  "libgenmig_ops.a"
+  "libgenmig_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genmig_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

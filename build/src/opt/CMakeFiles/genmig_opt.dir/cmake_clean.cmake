@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genmig_opt.dir/cost.cc.o"
+  "CMakeFiles/genmig_opt.dir/cost.cc.o.d"
+  "CMakeFiles/genmig_opt.dir/rules.cc.o"
+  "CMakeFiles/genmig_opt.dir/rules.cc.o.d"
+  "libgenmig_opt.a"
+  "libgenmig_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genmig_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genmig_plan.dir/compile.cc.o"
+  "CMakeFiles/genmig_plan.dir/compile.cc.o.d"
+  "CMakeFiles/genmig_plan.dir/executor.cc.o"
+  "CMakeFiles/genmig_plan.dir/executor.cc.o.d"
+  "CMakeFiles/genmig_plan.dir/expr.cc.o"
+  "CMakeFiles/genmig_plan.dir/expr.cc.o.d"
+  "CMakeFiles/genmig_plan.dir/logical.cc.o"
+  "CMakeFiles/genmig_plan.dir/logical.cc.o.d"
+  "libgenmig_plan.a"
+  "libgenmig_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genmig_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

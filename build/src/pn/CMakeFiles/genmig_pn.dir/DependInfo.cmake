@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pn/pn_element.cc" "src/pn/CMakeFiles/genmig_pn.dir/pn_element.cc.o" "gcc" "src/pn/CMakeFiles/genmig_pn.dir/pn_element.cc.o.d"
+  "/root/repo/src/pn/pn_genmig.cc" "src/pn/CMakeFiles/genmig_pn.dir/pn_genmig.cc.o" "gcc" "src/pn/CMakeFiles/genmig_pn.dir/pn_genmig.cc.o.d"
+  "/root/repo/src/pn/pn_operator.cc" "src/pn/CMakeFiles/genmig_pn.dir/pn_operator.cc.o" "gcc" "src/pn/CMakeFiles/genmig_pn.dir/pn_operator.cc.o.d"
+  "/root/repo/src/pn/pn_ops.cc" "src/pn/CMakeFiles/genmig_pn.dir/pn_ops.cc.o" "gcc" "src/pn/CMakeFiles/genmig_pn.dir/pn_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/genmig_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/time/CMakeFiles/genmig_time.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/genmig_stream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

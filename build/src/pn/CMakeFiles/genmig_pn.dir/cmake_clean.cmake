@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genmig_pn.dir/pn_element.cc.o"
+  "CMakeFiles/genmig_pn.dir/pn_element.cc.o.d"
+  "CMakeFiles/genmig_pn.dir/pn_genmig.cc.o"
+  "CMakeFiles/genmig_pn.dir/pn_genmig.cc.o.d"
+  "CMakeFiles/genmig_pn.dir/pn_operator.cc.o"
+  "CMakeFiles/genmig_pn.dir/pn_operator.cc.o.d"
+  "CMakeFiles/genmig_pn.dir/pn_ops.cc.o"
+  "CMakeFiles/genmig_pn.dir/pn_ops.cc.o.d"
+  "libgenmig_pn.a"
+  "libgenmig_pn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genmig_pn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genmig_ref.dir/checker.cc.o"
+  "CMakeFiles/genmig_ref.dir/checker.cc.o.d"
+  "CMakeFiles/genmig_ref.dir/eval.cc.o"
+  "CMakeFiles/genmig_ref.dir/eval.cc.o.d"
+  "CMakeFiles/genmig_ref.dir/relational.cc.o"
+  "CMakeFiles/genmig_ref.dir/relational.cc.o.d"
+  "libgenmig_ref.a"
+  "libgenmig_ref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genmig_ref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/csv.cc" "src/stream/CMakeFiles/genmig_stream.dir/csv.cc.o" "gcc" "src/stream/CMakeFiles/genmig_stream.dir/csv.cc.o.d"
+  "/root/repo/src/stream/element.cc" "src/stream/CMakeFiles/genmig_stream.dir/element.cc.o" "gcc" "src/stream/CMakeFiles/genmig_stream.dir/element.cc.o.d"
+  "/root/repo/src/stream/generator.cc" "src/stream/CMakeFiles/genmig_stream.dir/generator.cc.o" "gcc" "src/stream/CMakeFiles/genmig_stream.dir/generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/genmig_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/time/CMakeFiles/genmig_time.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

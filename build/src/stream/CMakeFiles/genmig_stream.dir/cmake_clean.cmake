@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genmig_stream.dir/csv.cc.o"
+  "CMakeFiles/genmig_stream.dir/csv.cc.o.d"
+  "CMakeFiles/genmig_stream.dir/element.cc.o"
+  "CMakeFiles/genmig_stream.dir/element.cc.o.d"
+  "CMakeFiles/genmig_stream.dir/generator.cc.o"
+  "CMakeFiles/genmig_stream.dir/generator.cc.o.d"
+  "libgenmig_stream.a"
+  "libgenmig_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genmig_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

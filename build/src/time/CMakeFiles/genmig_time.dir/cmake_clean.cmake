@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genmig_time.dir/timestamp.cc.o"
+  "CMakeFiles/genmig_time.dir/timestamp.cc.o.d"
+  "libgenmig_time.a"
+  "libgenmig_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genmig_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

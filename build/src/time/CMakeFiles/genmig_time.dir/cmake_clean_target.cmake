@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgenmig_time.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for genmig_time.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/migration/edge_cases_test.cc" "tests/CMakeFiles/migration_test.dir/migration/edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/migration_test.dir/migration/edge_cases_test.cc.o.d"
+  "/root/repo/tests/migration/genmig_test.cc" "tests/CMakeFiles/migration_test.dir/migration/genmig_test.cc.o" "gcc" "tests/CMakeFiles/migration_test.dir/migration/genmig_test.cc.o.d"
+  "/root/repo/tests/migration/moving_states_test.cc" "tests/CMakeFiles/migration_test.dir/migration/moving_states_test.cc.o" "gcc" "tests/CMakeFiles/migration_test.dir/migration/moving_states_test.cc.o.d"
+  "/root/repo/tests/migration/parallel_track_test.cc" "tests/CMakeFiles/migration_test.dir/migration/parallel_track_test.cc.o" "gcc" "tests/CMakeFiles/migration_test.dir/migration/parallel_track_test.cc.o.d"
+  "/root/repo/tests/migration/property_test.cc" "tests/CMakeFiles/migration_test.dir/migration/property_test.cc.o" "gcc" "tests/CMakeFiles/migration_test.dir/migration/property_test.cc.o.d"
+  "/root/repo/tests/migration/pt_failure_test.cc" "tests/CMakeFiles/migration_test.dir/migration/pt_failure_test.cc.o" "gcc" "tests/CMakeFiles/migration_test.dir/migration/pt_failure_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ref/CMakeFiles/genmig_ref.dir/DependInfo.cmake"
+  "/root/repo/build/src/pn/CMakeFiles/genmig_pn.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/genmig_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/migration/CMakeFiles/genmig_migration.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/genmig_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cql/CMakeFiles/genmig_cql.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/genmig_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/genmig_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/genmig_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/time/CMakeFiles/genmig_time.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/genmig_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

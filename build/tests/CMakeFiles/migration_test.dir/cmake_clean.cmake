@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migration_test.dir/migration/edge_cases_test.cc.o"
+  "CMakeFiles/migration_test.dir/migration/edge_cases_test.cc.o.d"
+  "CMakeFiles/migration_test.dir/migration/genmig_test.cc.o"
+  "CMakeFiles/migration_test.dir/migration/genmig_test.cc.o.d"
+  "CMakeFiles/migration_test.dir/migration/moving_states_test.cc.o"
+  "CMakeFiles/migration_test.dir/migration/moving_states_test.cc.o.d"
+  "CMakeFiles/migration_test.dir/migration/parallel_track_test.cc.o"
+  "CMakeFiles/migration_test.dir/migration/parallel_track_test.cc.o.d"
+  "CMakeFiles/migration_test.dir/migration/property_test.cc.o"
+  "CMakeFiles/migration_test.dir/migration/property_test.cc.o.d"
+  "CMakeFiles/migration_test.dir/migration/pt_failure_test.cc.o"
+  "CMakeFiles/migration_test.dir/migration/pt_failure_test.cc.o.d"
+  "migration_test"
+  "migration_test.pdb"
+  "migration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

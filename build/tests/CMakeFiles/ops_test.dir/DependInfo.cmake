@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ops/aggregate_test.cc" "tests/CMakeFiles/ops_test.dir/ops/aggregate_test.cc.o" "gcc" "tests/CMakeFiles/ops_test.dir/ops/aggregate_test.cc.o.d"
+  "/root/repo/tests/ops/coalesce_test.cc" "tests/CMakeFiles/ops_test.dir/ops/coalesce_test.cc.o" "gcc" "tests/CMakeFiles/ops_test.dir/ops/coalesce_test.cc.o.d"
+  "/root/repo/tests/ops/compact_test.cc" "tests/CMakeFiles/ops_test.dir/ops/compact_test.cc.o" "gcc" "tests/CMakeFiles/ops_test.dir/ops/compact_test.cc.o.d"
+  "/root/repo/tests/ops/count_window_test.cc" "tests/CMakeFiles/ops_test.dir/ops/count_window_test.cc.o" "gcc" "tests/CMakeFiles/ops_test.dir/ops/count_window_test.cc.o.d"
+  "/root/repo/tests/ops/dedup_test.cc" "tests/CMakeFiles/ops_test.dir/ops/dedup_test.cc.o" "gcc" "tests/CMakeFiles/ops_test.dir/ops/dedup_test.cc.o.d"
+  "/root/repo/tests/ops/difference_test.cc" "tests/CMakeFiles/ops_test.dir/ops/difference_test.cc.o" "gcc" "tests/CMakeFiles/ops_test.dir/ops/difference_test.cc.o.d"
+  "/root/repo/tests/ops/join_test.cc" "tests/CMakeFiles/ops_test.dir/ops/join_test.cc.o" "gcc" "tests/CMakeFiles/ops_test.dir/ops/join_test.cc.o.d"
+  "/root/repo/tests/ops/operator_test.cc" "tests/CMakeFiles/ops_test.dir/ops/operator_test.cc.o" "gcc" "tests/CMakeFiles/ops_test.dir/ops/operator_test.cc.o.d"
+  "/root/repo/tests/ops/property_sweep_test.cc" "tests/CMakeFiles/ops_test.dir/ops/property_sweep_test.cc.o" "gcc" "tests/CMakeFiles/ops_test.dir/ops/property_sweep_test.cc.o.d"
+  "/root/repo/tests/ops/split_test.cc" "tests/CMakeFiles/ops_test.dir/ops/split_test.cc.o" "gcc" "tests/CMakeFiles/ops_test.dir/ops/split_test.cc.o.d"
+  "/root/repo/tests/ops/stateless_test.cc" "tests/CMakeFiles/ops_test.dir/ops/stateless_test.cc.o" "gcc" "tests/CMakeFiles/ops_test.dir/ops/stateless_test.cc.o.d"
+  "/root/repo/tests/ops/union_test.cc" "tests/CMakeFiles/ops_test.dir/ops/union_test.cc.o" "gcc" "tests/CMakeFiles/ops_test.dir/ops/union_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ref/CMakeFiles/genmig_ref.dir/DependInfo.cmake"
+  "/root/repo/build/src/pn/CMakeFiles/genmig_pn.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/genmig_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/migration/CMakeFiles/genmig_migration.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/genmig_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cql/CMakeFiles/genmig_cql.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/genmig_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/genmig_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/genmig_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/time/CMakeFiles/genmig_time.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/genmig_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_test.dir/ops/aggregate_test.cc.o"
+  "CMakeFiles/ops_test.dir/ops/aggregate_test.cc.o.d"
+  "CMakeFiles/ops_test.dir/ops/coalesce_test.cc.o"
+  "CMakeFiles/ops_test.dir/ops/coalesce_test.cc.o.d"
+  "CMakeFiles/ops_test.dir/ops/compact_test.cc.o"
+  "CMakeFiles/ops_test.dir/ops/compact_test.cc.o.d"
+  "CMakeFiles/ops_test.dir/ops/count_window_test.cc.o"
+  "CMakeFiles/ops_test.dir/ops/count_window_test.cc.o.d"
+  "CMakeFiles/ops_test.dir/ops/dedup_test.cc.o"
+  "CMakeFiles/ops_test.dir/ops/dedup_test.cc.o.d"
+  "CMakeFiles/ops_test.dir/ops/difference_test.cc.o"
+  "CMakeFiles/ops_test.dir/ops/difference_test.cc.o.d"
+  "CMakeFiles/ops_test.dir/ops/join_test.cc.o"
+  "CMakeFiles/ops_test.dir/ops/join_test.cc.o.d"
+  "CMakeFiles/ops_test.dir/ops/operator_test.cc.o"
+  "CMakeFiles/ops_test.dir/ops/operator_test.cc.o.d"
+  "CMakeFiles/ops_test.dir/ops/property_sweep_test.cc.o"
+  "CMakeFiles/ops_test.dir/ops/property_sweep_test.cc.o.d"
+  "CMakeFiles/ops_test.dir/ops/split_test.cc.o"
+  "CMakeFiles/ops_test.dir/ops/split_test.cc.o.d"
+  "CMakeFiles/ops_test.dir/ops/stateless_test.cc.o"
+  "CMakeFiles/ops_test.dir/ops/stateless_test.cc.o.d"
+  "CMakeFiles/ops_test.dir/ops/union_test.cc.o"
+  "CMakeFiles/ops_test.dir/ops/union_test.cc.o.d"
+  "ops_test"
+  "ops_test.pdb"
+  "ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

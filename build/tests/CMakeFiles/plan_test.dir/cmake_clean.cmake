@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_test.dir/plan/box_test.cc.o"
+  "CMakeFiles/plan_test.dir/plan/box_test.cc.o.d"
+  "CMakeFiles/plan_test.dir/plan/compile_test.cc.o"
+  "CMakeFiles/plan_test.dir/plan/compile_test.cc.o.d"
+  "CMakeFiles/plan_test.dir/plan/executor_test.cc.o"
+  "CMakeFiles/plan_test.dir/plan/executor_test.cc.o.d"
+  "CMakeFiles/plan_test.dir/plan/expr_test.cc.o"
+  "CMakeFiles/plan_test.dir/plan/expr_test.cc.o.d"
+  "CMakeFiles/plan_test.dir/plan/logical_test.cc.o"
+  "CMakeFiles/plan_test.dir/plan/logical_test.cc.o.d"
+  "plan_test"
+  "plan_test.pdb"
+  "plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pn_test.dir/pn/pn_element_test.cc.o"
+  "CMakeFiles/pn_test.dir/pn/pn_element_test.cc.o.d"
+  "CMakeFiles/pn_test.dir/pn/pn_genmig_test.cc.o"
+  "CMakeFiles/pn_test.dir/pn/pn_genmig_test.cc.o.d"
+  "CMakeFiles/pn_test.dir/pn/pn_ops_test.cc.o"
+  "CMakeFiles/pn_test.dir/pn/pn_ops_test.cc.o.d"
+  "pn_test"
+  "pn_test.pdb"
+  "pn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

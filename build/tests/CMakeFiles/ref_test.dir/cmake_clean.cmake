@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ref_test.dir/ref/checker_test.cc.o"
+  "CMakeFiles/ref_test.dir/ref/checker_test.cc.o.d"
+  "CMakeFiles/ref_test.dir/ref/eval_test.cc.o"
+  "CMakeFiles/ref_test.dir/ref/eval_test.cc.o.d"
+  "CMakeFiles/ref_test.dir/ref/relational_test.cc.o"
+  "CMakeFiles/ref_test.dir/ref/relational_test.cc.o.d"
+  "ref_test"
+  "ref_test.pdb"
+  "ref_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ref_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

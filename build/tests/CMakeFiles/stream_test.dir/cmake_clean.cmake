@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_test.dir/stream/csv_test.cc.o"
+  "CMakeFiles/stream_test.dir/stream/csv_test.cc.o.d"
+  "CMakeFiles/stream_test.dir/stream/element_test.cc.o"
+  "CMakeFiles/stream_test.dir/stream/element_test.cc.o.d"
+  "CMakeFiles/stream_test.dir/stream/generator_test.cc.o"
+  "CMakeFiles/stream_test.dir/stream/generator_test.cc.o.d"
+  "CMakeFiles/stream_test.dir/stream/ordered_buffer_test.cc.o"
+  "CMakeFiles/stream_test.dir/stream/ordered_buffer_test.cc.o.d"
+  "stream_test"
+  "stream_test.pdb"
+  "stream_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

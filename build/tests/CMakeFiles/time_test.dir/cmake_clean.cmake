@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_test.dir/time/interval_test.cc.o"
+  "CMakeFiles/time_test.dir/time/interval_test.cc.o.d"
+  "CMakeFiles/time_test.dir/time/timestamp_test.cc.o"
+  "CMakeFiles/time_test.dir/time/timestamp_test.cc.o.d"
+  "time_test"
+  "time_test.pdb"
+  "time_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
