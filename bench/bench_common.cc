@@ -23,6 +23,12 @@ ExperimentResult RunJoinExperiment(const Figure45Config& cfg,
   }
   controller.ConnectTo(0, &sink, 0);
 
+  obs::MetricsRegistry registry;
+  obs::MigrationTracer tracer;
+  controller.AttachMetricsRecursive(&registry);
+  controller.SetTracer(&tracer);
+  sink.AttachMetrics(&registry);
+
   Executor exec;
   std::vector<std::unique_ptr<TimeWindow>> windows;
   const auto streams = MakeStreams(cfg);
@@ -33,6 +39,7 @@ ExperimentResult RunJoinExperiment(const Figure45Config& cfg,
         "w" + std::to_string(s), cfg.window));
     exec.ConnectFeed(feed, windows.back().get(), 0);
     windows.back()->ConnectTo(0, &controller, s);
+    windows.back()->AttachMetrics(&registry);
   }
 
   ExperimentResult result;
@@ -107,6 +114,16 @@ ExperimentResult RunJoinExperiment(const Figure45Config& cfg,
 
   result.output_count = sink.count();
   result.t_split = controller.t_split();
+  result.metrics_json = obs::ToJson(registry, &tracer);
+  if (const obs::OperatorMetrics* m = registry.LastByName("ctrl/old_out")) {
+    result.merge_in_old = m->elements_in;
+  }
+  const obs::OperatorMetrics* merge = registry.LastByName("ctrl/coalesce");
+  if (merge == nullptr) merge = registry.LastByName("ctrl/refpoint_merge");
+  if (merge != nullptr) {
+    result.merge_in_total = merge->elements_in;
+    result.merge_out = merge->elements_out;
+  }
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)

@@ -21,6 +21,9 @@
 
 #include "migration/controller.h"
 #include "migration/join_tree.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "plan/executor.h"
 #include "stream/generator.h"
 
@@ -98,6 +101,18 @@ struct ExperimentResult {
   int64_t migration_end = -1;
   Timestamp t_split;
   double wall_seconds = 0.0;
+
+  /// Full observability export (per-operator counters + migration phase
+  /// timings; obs/export.h layout). Empty operator list under
+  /// GENMIG_NO_METRICS.
+  std::string metrics_json;
+  /// Spot-check counters pulled from the registry (0 under
+  /// GENMIG_NO_METRICS): old-box outputs fed into the GenMig merge, total
+  /// merge inputs (old + new side) and merge outputs. The difference
+  /// in_total - out is the number of coalesced result pairs.
+  uint64_t merge_in_old = 0;
+  uint64_t merge_in_total = 0;
+  uint64_t merge_out = 0;
 };
 
 /// Runs the 4-way join experiment under `strategy`, sampling output rate

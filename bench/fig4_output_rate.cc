@@ -74,5 +74,25 @@ int main() {
               pt_burst_bucket < pt.rate_per_bucket.size()
                   ? pt.rate_per_bucket[pt_burst_bucket]
                   : 0);
+
+  // Observability spot check (GenMig run): the merge saw merge_in_total
+  // elements, merge_in_old of them from the old box, and emitted merge_out;
+  // in_total - out is the number of old/new result pairs it coalesced.
+  const uint64_t in_new = gm.merge_in_total - gm.merge_in_old;
+  const uint64_t coalesced = gm.merge_in_total - gm.merge_out;
+  std::printf("\nobservability (genmig run): merge in_old=%llu in_new=%llu "
+              "out=%llu coalesced_pairs=%llu\n",
+              static_cast<unsigned long long>(gm.merge_in_old),
+              static_cast<unsigned long long>(in_new),
+              static_cast<unsigned long long>(gm.merge_out),
+              static_cast<unsigned long long>(coalesced));
+
+  const char* json_path = "BENCH_fig4_output_rate.json";
+  if (obs::WriteFile(json_path, gm.metrics_json)) {
+    std::printf("per-operator metrics + migration phase timings written to "
+                "%s\n", json_path);
+  } else {
+    std::printf("failed to write %s\n", json_path);
+  }
   return 0;
 }

@@ -1,0 +1,196 @@
+// Overhead guard for the observability layer: runs a representative operator
+// workload (the micro_operators mix: symmetric-hash join, nested-loops join,
+// duplicate elimination) twice in the same binary — once with every operator
+// attached to a MetricsRegistry, once detached — and fails if the attached
+// run is more than 5% slower (min over repetitions).
+//
+// Detached operators still pay the compiled-in `metrics_ == nullptr` check,
+// so this measures the full per-element instrumentation cost on top of the
+// dormant hook; the dormant hook itself is a single predicted branch, which
+// is the only cost a GENMIG_NO_METRICS build additionally removes.
+//
+// Exit codes: 0 = within budget, 1 = overhead above threshold, 77 = skipped
+// (registered with SKIP_RETURN_CODE 77: Debug builds, sanitizers and
+// GENMIG_NO_METRICS builds measure instrumentation that is either absent or
+// swamped by unrelated costs).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "ops/dedup.h"
+#include "ops/join.h"
+#include "ops/sink.h"
+#include "ops/source.h"
+#include "stream/generator.h"
+
+namespace genmig {
+namespace {
+
+MaterializedStream KeyedWindowed(size_t n, int64_t keys, Duration w,
+                                 uint64_t seed) {
+  MaterializedStream out;
+  for (const TimedTuple& tt : GenerateKeyedStream(n, 1, keys, seed)) {
+    out.emplace_back(tt.tuple,
+                     TimeInterval(Timestamp(tt.t), Timestamp(tt.t + w + 1)));
+  }
+  return out;
+}
+
+struct Workload {
+  MaterializedStream shj_left = KeyedWindowed(2000, 64, 100, 1);
+  MaterializedStream shj_right = KeyedWindowed(2000, 64, 100, 2);
+  MaterializedStream nlj_left = KeyedWindowed(1000, 64, 50, 3);
+  MaterializedStream nlj_right = KeyedWindowed(1000, 64, 50, 4);
+  MaterializedStream dedup_in = KeyedWindowed(8000, 16, 200, 5);
+};
+
+/// One pass over the operator mix; `registry` null means detached.
+size_t RunOnce(const Workload& w, obs::MetricsRegistry* registry) {
+  size_t total = 0;
+  {
+    SymmetricHashJoin join("j", 0, 0);
+    Source l("l");
+    Source r("r");
+    CollectorSink sink("k");
+    for (Operator* op : {static_cast<Operator*>(&join),
+                         static_cast<Operator*>(&l),
+                         static_cast<Operator*>(&r),
+                         static_cast<Operator*>(&sink)}) {
+      op->AttachMetrics(registry);
+    }
+    l.ConnectTo(0, &join, 0);
+    r.ConnectTo(0, &join, 1);
+    join.ConnectTo(0, &sink, 0);
+    for (size_t i = 0; i < w.shj_left.size(); ++i) {
+      l.Inject(w.shj_left[i]);
+      r.Inject(w.shj_right[i]);
+    }
+    l.Close();
+    r.Close();
+    total += sink.count();
+  }
+  {
+    NestedLoopsJoin join("j", [](const Tuple& a, const Tuple& b) {
+      return a.field(0) == b.field(0);
+    });
+    Source l("l");
+    Source r("r");
+    CollectorSink sink("k");
+    for (Operator* op : {static_cast<Operator*>(&join),
+                         static_cast<Operator*>(&l),
+                         static_cast<Operator*>(&r),
+                         static_cast<Operator*>(&sink)}) {
+      op->AttachMetrics(registry);
+    }
+    l.ConnectTo(0, &join, 0);
+    r.ConnectTo(0, &join, 1);
+    join.ConnectTo(0, &sink, 0);
+    for (size_t i = 0; i < w.nlj_left.size(); ++i) {
+      l.Inject(w.nlj_left[i]);
+      r.Inject(w.nlj_right[i]);
+    }
+    l.Close();
+    r.Close();
+    total += sink.count();
+  }
+  {
+    DuplicateElimination dedup("d");
+    Source src("s");
+    CollectorSink sink("k");
+    for (Operator* op : {static_cast<Operator*>(&dedup),
+                         static_cast<Operator*>(&src),
+                         static_cast<Operator*>(&sink)}) {
+      op->AttachMetrics(registry);
+    }
+    src.ConnectTo(0, &dedup, 0);
+    dedup.ConnectTo(0, &sink, 0);
+    for (const StreamElement& e : w.dedup_in) src.Inject(e);
+    src.Close();
+    total += sink.count();
+  }
+  return total;
+}
+
+int64_t MinNs(const Workload& w, obs::MetricsRegistry* registry, int reps,
+              size_t* checksum) {
+  int64_t best = std::numeric_limits<int64_t>::max();
+  for (int r = 0; r < reps; ++r) {
+    if (registry != nullptr) registry->Reset();
+    const auto start = std::chrono::steady_clock::now();
+    const size_t count = RunOnce(w, registry);
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    best = std::min(best, static_cast<int64_t>(ns));
+    *checksum = count;
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace genmig
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_UNDEFINED__)
+#define GENMIG_GUARD_SKIP "sanitizer build"
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(undefined_behavior_sanitizer)
+#define GENMIG_GUARD_SKIP "sanitizer build"
+#endif
+#endif
+#if !defined(GENMIG_GUARD_SKIP) && !defined(NDEBUG)
+#define GENMIG_GUARD_SKIP "non-Release build"
+#endif
+#if !defined(GENMIG_GUARD_SKIP) && defined(GENMIG_NO_METRICS)
+#define GENMIG_GUARD_SKIP "GENMIG_NO_METRICS build"
+#endif
+
+int main(int argc, char** argv) {
+  using namespace genmig;  // NOLINT
+
+  double threshold = 1.05;
+  int reps = 9;
+  if (argc > 1) threshold = std::atof(argv[1]);
+  if (argc > 2) reps = std::atoi(argv[2]);
+
+#ifdef GENMIG_GUARD_SKIP
+  std::printf("metrics_guard: SKIP (%s)\n", GENMIG_GUARD_SKIP);
+  (void)threshold;
+  (void)reps;
+  return 77;
+#else
+  Workload w;
+  obs::MetricsRegistry registry;
+  size_t check_detached = 0;
+  size_t check_attached = 0;
+  // Warm up once so allocator and cache state match across configs.
+  (void)RunOnce(w, nullptr);
+  const int64_t detached_ns = MinNs(w, nullptr, reps, &check_detached);
+  const int64_t attached_ns = MinNs(w, &registry, reps, &check_attached);
+  const double ratio =
+      static_cast<double>(attached_ns) / static_cast<double>(detached_ns);
+
+  std::printf("metrics_guard: detached=%lld ns attached=%lld ns "
+              "overhead=%+.2f%% (budget %+.2f%%, min of %d reps)\n",
+              static_cast<long long>(detached_ns),
+              static_cast<long long>(attached_ns), (ratio - 1.0) * 100.0,
+              (threshold - 1.0) * 100.0, reps);
+  if (check_detached != check_attached) {
+    std::printf("metrics_guard: FAIL — result counts differ "
+                "(detached=%zu attached=%zu)\n",
+                check_detached, check_attached);
+    return 1;
+  }
+  if (ratio > threshold) {
+    std::printf("metrics_guard: FAIL — instrumentation overhead above "
+                "budget\n");
+    return 1;
+  }
+  std::printf("metrics_guard: OK\n");
+  return 0;
+#endif
+}

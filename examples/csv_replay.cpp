@@ -7,8 +7,8 @@
 //   schema: comma-separated column specs `name[:int|double|string]`
 //           (default int). Example:
 //
-//   ./build/examples/csv_replay \
-//     "SELECT DISTINCT a.x FROM a [RANGE 100], b [RANGE 100] WHERE a.x = b.x" \
+//   ./build/examples/csv_replay
+//     "SELECT DISTINCT a.x FROM a [RANGE 100], b [RANGE 100] WHERE a.x = b.x"
 //     a=/tmp/a.csv:x b=/tmp/b.csv:x
 //
 // Without arguments, runs a self-contained demo on generated CSV data.

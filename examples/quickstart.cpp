@@ -4,11 +4,19 @@
 //
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
+//
+// Pass --stats to print per-operator runtime metrics and the migration's
+// phase-transition trace after the run (and --stats-json for the raw JSON
+// export instead of the table).
 
 #include <cstdio>
+#include <cstring>
 
 #include "cql/parser.h"
 #include "migration/controller.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "opt/rules.h"
 #include "plan/compile.h"
 #include "plan/executor.h"
@@ -16,7 +24,52 @@
 
 using namespace genmig;  // NOLINT: example brevity.
 
-int main() {
+namespace {
+
+void PrintStats(const obs::MetricsRegistry& registry,
+                const obs::MigrationTracer& tracer) {
+  std::printf("\nper-operator metrics:\n");
+  std::printf("%-22s %10s %10s %10s %10s %12s\n", "operator", "in", "out",
+              "st_peak", "q_peak", "p50_push_ns");
+  for (const obs::OperatorMetrics& m : registry.operators()) {
+    std::printf("%-22s %10llu %10llu %10llu %10llu %12llu\n",
+                m.name.c_str(),
+                static_cast<unsigned long long>(m.elements_in),
+                static_cast<unsigned long long>(m.elements_out),
+                static_cast<unsigned long long>(m.peak_state_units),
+                static_cast<unsigned long long>(m.peak_queue_depth),
+                static_cast<unsigned long long>(
+                    m.push_ns.ApproxQuantileNs(0.5)));
+  }
+  std::printf("\nmigration trace:\n");
+  for (const obs::TraceRecord& rec : tracer.records()) {
+    std::printf("  migration %d  %-22s app_t=%lld  wall=%.3f ms%s%s\n",
+                rec.migration_id, obs::MigrationEventName(rec.event),
+                static_cast<long long>(rec.app_time.t),
+                static_cast<double>(rec.wall_ns) / 1e6,
+                rec.detail.empty() ? "" : "  ", rec.detail.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool stats = false;
+  bool stats_json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats") == 0) {
+      stats = true;
+    } else if (std::strcmp(argv[i], "--stats-json") == 0) {
+      stats_json = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\nusage: %s [--stats | --stats-json]\n",
+                   argv[i], argv[0]);
+      return 2;
+    }
+  }
+  // With --stats-json, stdout carries only the JSON document (pipeable);
+  // the demo narrative moves to stderr.
+  FILE* out = stats_json ? stderr : stdout;
   // 1. Register the input streams' schemas.
   cql::Catalog catalog;
   catalog.Register("Orders", Schema::OfInts({"item"}));
@@ -30,11 +83,11 @@ int main() {
       "WHERE Orders.item = Shipments.item",
       catalog);
   if (!parsed.ok()) {
-    std::printf("parse error: %s\n", parsed.status().ToString().c_str());
+    std::fprintf(out, "parse error: %s\n", parsed.status().ToString().c_str());
     return 1;
   }
   const LogicalPtr plan = parsed.value();
-  std::printf("logical plan:\n%s\n", plan->ToString().c_str());
+  std::fprintf(out, "logical plan:\n%s\n", plan->ToString().c_str());
 
   // 3. Compile. The window operators stay outside the migration boundary
   // (source -> window -> controller -> plan box).
@@ -42,6 +95,14 @@ int main() {
   MigrationController controller("ctrl", CompilePlan(*box_plan));
   CollectorSink sink("sink");
   controller.ConnectTo(0, &sink, 0);
+
+  // Observability: one registry + tracer for the whole pipeline. The
+  // controller re-attaches migration machinery and new boxes on its own.
+  obs::MetricsRegistry registry;
+  obs::MigrationTracer tracer;
+  controller.AttachMetricsRecursive(&registry);
+  controller.SetTracer(&tracer);
+  sink.AttachMetrics(&registry);
 
   Executor exec;
   TimeWindow w_orders("w_orders", 10000);
@@ -54,11 +115,13 @@ int main() {
       &w_shipments, 0);
   w_orders.ConnectTo(0, &controller, 0);
   w_shipments.ConnectTo(0, &controller, 1);
+  w_orders.AttachMetrics(&registry);
+  w_shipments.AttachMetrics(&registry);
 
   // 4. Run for 12 seconds of application time.
   exec.RunUntil(Timestamp(12000));
-  std::printf("after 12s: %zu results, state bytes %zu\n", sink.count(),
-              controller.StateBytes());
+  std::fprintf(out, "after 12s: %zu results, state bytes %zu\n", sink.count(),
+               controller.StateBytes());
 
   // 5. Live re-optimization: replace the hash join with a dedup-pushdown
   // variant (snapshot-equivalent) using GenMig. The query keeps producing
@@ -67,8 +130,8 @@ int main() {
   // join (dramatically smaller join state for duplicate-heavy streams).
   LogicalPtr new_plan = logical::StripWindows(plan);
   if (auto pushed = rules::PushDownDedup(plan)) {
-    std::printf("optimizer rewrite (dedup pushdown):\n%s\n",
-                (*pushed)->ToString().c_str());
+    std::fprintf(out, "optimizer rewrite (dedup pushdown):\n%s\n",
+                 (*pushed)->ToString().c_str());
     new_plan = logical::StripWindows(*pushed);
   }
   Box new_box = CompilePlan(*new_plan);
@@ -76,16 +139,22 @@ int main() {
   MigrationController::GenMigOptions opts;
   opts.window = 10000;
   controller.StartGenMig(std::move(new_box), opts);
-  std::printf("migration started at t=12s, T_split=%s\n",
+  std::fprintf(out, "migration started at t=12s, T_split=%s\n",
               controller.t_split().ToString().c_str());
 
   exec.RunToCompletion();
-  std::printf("finished: %d migration(s) completed, %zu total results\n",
-              controller.migrations_completed(), sink.count());
-  std::printf("first results: ");
+  std::fprintf(out, "finished: %d migration(s) completed, %zu total results\n",
+               controller.migrations_completed(), sink.count());
+  std::fprintf(out, "first results: ");
   for (size_t i = 0; i < 3 && i < sink.collected().size(); ++i) {
-    std::printf("%s ", sink.collected()[i].ToString().c_str());
+    std::fprintf(out, "%s ", sink.collected()[i].ToString().c_str());
   }
-  std::printf("\n");
+  std::fprintf(out, "\n");
+
+  if (stats_json) {
+    std::printf("%s\n", obs::ToJson(registry, &tracer).c_str());
+  } else if (stats) {
+    PrintStats(registry, tracer);
+  }
   return 0;
 }

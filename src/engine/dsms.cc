@@ -48,6 +48,10 @@ StatsTap* Dsms::SharedTap(const std::string& stream,
       std::make_unique<StatsTap>("tap_" + tag, options_.stats_horizon);
   exec_.ConnectFeed(feeds_.at(stream), subplan.window.get(), 0);
   subplan.window->ConnectTo(0, subplan.tap.get(), 0);
+  if (options_.enable_metrics) {
+    subplan.window->AttachMetrics(&registry_);
+    subplan.tap->AttachMetrics(&registry_);
+  }
   StatsTap* tap = subplan.tap.get();
   shared_.emplace(std::move(key), std::move(subplan));
   return tap;
@@ -64,10 +68,18 @@ Result<Dsms::QueryId> Dsms::Install(LogicalPtr plan) {
     }
   }
 
+  // Name built with append: "q" + to_string trips a GCC 12 -Wrestrict false
+  // positive (GCC bug 105651) under -O2.
+  std::string qname = "q";
+  qname.append(std::to_string(queries_.size()));
   query->controller = std::make_unique<MigrationController>(
-      "q" + std::to_string(queries_.size()),
-      CompilePlan(*logical::StripWindows(plan)));
+      std::move(qname), CompilePlan(*logical::StripWindows(plan)));
   query->controller->ConnectTo(0, &query->sink, 0);
+  if (options_.enable_metrics) {
+    query->controller->AttachMetricsRecursive(&registry_);
+    query->controller->SetTracer(&tracer_);
+    query->sink.AttachMetrics(&registry_);
+  }
 
   // Per input port: (shared) feed -> window -> StatsTap, fanned out into
   // this query's controller.

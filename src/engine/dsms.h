@@ -21,6 +21,9 @@
 
 #include "cql/parser.h"
 #include "migration/controller.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "opt/rules.h"
 #include "opt/stats_tap.h"
 #include "plan/compile.h"
@@ -41,6 +44,11 @@ class Dsms {
     /// GenMig variant used for migrations.
     MigrationController::GenMigOptions::Variant variant =
         MigrationController::GenMigOptions::Variant::kCoalesce;
+    /// Attach every installed query (controller, boxes, migration machinery,
+    /// shared windows/taps, sinks) to the engine-owned metrics registry and
+    /// migration tracer. Cheap (sampled hot-path instrumentation); under
+    /// GENMIG_NO_METRICS the hooks compile out and the registry stays empty.
+    bool enable_metrics = true;
     Executor::Options executor;
   };
 
@@ -94,6 +102,19 @@ class Dsms {
   /// Statistics catalog assembled from the queries' taps.
   StatsCatalog CurrentStats() const;
 
+  // --- Observability ------------------------------------------------------------
+
+  /// Per-operator runtime metrics of every installed query (empty when
+  /// Options::enable_metrics is false or under GENMIG_NO_METRICS).
+  const obs::MetricsRegistry& metrics() const { return registry_; }
+  obs::MetricsRegistry& metrics() { return registry_; }
+  /// Phase-transition trace of every migration performed by this engine.
+  const obs::MigrationTracer& tracer() const { return tracer_; }
+  /// Metrics + migration trace as a JSON document (obs/export.h layout).
+  std::string ExportMetricsJson() const {
+    return obs::ToJson(registry_, &tracer_);
+  }
+
   // --- Dynamic query optimization ---------------------------------------------
 
   /// Re-costs every idle query under the current statistics and starts a
@@ -132,6 +153,8 @@ class Dsms {
       shared_;
   std::vector<std::unique_ptr<Query>> queries_;
   Timestamp last_reopt_check_ = Timestamp::MinInstant();
+  obs::MetricsRegistry registry_;
+  obs::MigrationTracer tracer_;
 };
 
 }  // namespace genmig

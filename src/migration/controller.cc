@@ -23,7 +23,53 @@ CallbackOp* MigrationController::MakeCallback(const std::string& cb_name) {
   auto cb = std::make_unique<CallbackOp>(name() + "/" + cb_name);
   CallbackOp* raw = cb.get();
   machinery_.push_back(std::move(cb));
+  AttachMachineryOp(raw);
   return raw;
+}
+
+// --- Observability -------------------------------------------------------------
+
+void MigrationController::AttachMetricsRecursive(
+    obs::MetricsRegistry* registry) {
+  registry_ = registry;
+  AttachMetrics(registry);
+  active_box_.AttachMetrics(registry);
+  new_box_.AttachMetrics(registry);
+  for (const auto& op : machinery_) op->AttachMetrics(registry);
+}
+
+void MigrationController::AttachMachineryOp(Operator* op) {
+  if (registry_ != nullptr) op->AttachMetrics(registry_);
+}
+
+void MigrationController::Trace(obs::MigrationEvent event,
+                                const std::string& detail) {
+  if (tracer_ == nullptr || trace_id_ < 0) return;
+  tracer_->Record(trace_id_, event, TraceTime(), detail);
+}
+
+Timestamp MigrationController::TraceTime() const {
+  Timestamp t = MinInputWatermark();
+  if (t == Timestamp::MaxInstant()) t = out_bound_;
+  return t;
+}
+
+void MigrationController::SetCostTrigger(
+    size_t state_bytes_threshold,
+    std::function<void(MigrationController&)> on_exceeded) {
+  cost_threshold_ = state_bytes_threshold;
+  cost_trigger_ = std::move(on_exceeded);
+}
+
+void MigrationController::CheckCostTrigger() {
+  if (!cost_trigger_ || phase_ != Phase::kDirect) return;
+  if ((cost_checks_++ & 15) != 0) return;
+  if (StateBytes() < cost_threshold_) return;
+  // Disarm before firing: the callback may start a migration, which would
+  // re-enter Maintain().
+  auto trigger = std::move(cost_trigger_);
+  cost_trigger_ = nullptr;
+  trigger(*this);
 }
 
 void MigrationController::InstallDirect(Box* box) {
@@ -92,6 +138,7 @@ void MigrationController::OnAllInputsEos() {
 }
 
 void MigrationController::Maintain() {
+  CheckCostTrigger();
   switch (strategy_) {
     case StrategyKind::kNone:
     case StrategyKind::kMovingStates:
@@ -118,10 +165,17 @@ void MigrationController::StartGenMig(Box new_box,
   GENMIG_CHECK(new_box.output() != nullptr);
   GENMIG_CHECK(options.end_timestamp_split || options.window >= 0);
   new_box_ = std::move(new_box);
+  new_box_.AttachMetrics(registry_);
   genmig_options_ = options;
   strategy_ = StrategyKind::kGenMig;
   phase_ = Phase::kWaitingTimestamps;
   std::fill(t_si_set_.begin(), t_si_set_.end(), false);
+  if (tracer_ != nullptr) {
+    const bool refpoint =
+        options.variant == GenMigOptions::Variant::kRefPoint;
+    trace_id_ = tracer_->BeginMigration(
+        refpoint ? "genmig_refpoint" : "genmig_coalesce", TraceTime());
+  }
   TryEnterParallel();
 }
 
@@ -179,6 +233,7 @@ void MigrationController::EnterParallel() {
     merge_ = merge.get();
     machinery_.push_back(std::move(merge));
   }
+  AttachMachineryOp(merge_);
 
   // Old box output -> merge port 0.
   active_box_.output()->DisconnectOutputPort(0);
@@ -223,6 +278,7 @@ void MigrationController::EnterParallel() {
         refpoint ? Split::Mode::kFullToOld : Split::Mode::kClip);
     Split* raw = split.get();
     machinery_.push_back(std::move(split));
+    AttachMachineryOp(raw);
     // An input that already ended delivered its EOS to the old box before
     // the migration started; only the new box still needs to learn about it
     // (below), so the old-port edge is omitted.
@@ -236,6 +292,8 @@ void MigrationController::EnterParallel() {
 
   old_eos_signalled_ = false;
   phase_ = Phase::kParallel;
+  Trace(obs::MigrationEvent::kSplitInstalled,
+        "t_split=" + std::to_string(t_split_.t));
 
   // Forward pre-migration EOS into the new wiring.
   for (int i = 0; i < num_inputs(); ++i) {
@@ -255,9 +313,11 @@ void MigrationController::MaintainGenMig() {
   active_box_.SignalEosToInputs();
   old_eos_signalled_ = true;
   phase_ = Phase::kDraining;
+  Trace(obs::MigrationEvent::kOldBoxDrained);
 }
 
 void MigrationController::FinishGenMig() {
+  Trace(obs::MigrationEvent::kCoalesceDone);
   // Lines 13-16: remove the old plan, split and coalesce operators and
   // connect inputs/outputs directly with the new plan.
   for (Split* split : splits_) {
@@ -266,6 +326,7 @@ void MigrationController::FinishGenMig() {
   for (int i = 0; i < num_inputs(); ++i) {
     input_targets_[static_cast<size_t>(i)] = {Edge{new_box_.input(i), 0}};
   }
+  Trace(obs::MigrationEvent::kReferencePointSwitch);
   // Splice the merge out: the new box's output callback becomes the
   // terminal. The merge is empty (checked by the caller).
   new_out_cb_->on_element = [this](const StreamElement& e) { EmitOut(e); };
@@ -283,6 +344,8 @@ void MigrationController::FinishGenMig() {
   strategy_ = StrategyKind::kNone;
   phase_ = Phase::kDirect;
   ++migrations_completed_;
+  Trace(obs::MigrationEvent::kCompleted);
+  trace_id_ = -1;
 }
 
 // --- Parallel Track --------------------------------------------------------------
@@ -293,10 +356,14 @@ void MigrationController::StartParallelTrack(Box new_box, Duration window) {
   GENMIG_CHECK_EQ(new_box.num_inputs(), num_inputs());
   GENMIG_CHECK(new_box.output() != nullptr);
   new_box_ = std::move(new_box);
+  new_box_.AttachMetrics(registry_);
   strategy_ = StrategyKind::kParallelTrack;
   phase_ = Phase::kParallel;
   pt_epoch_ = ++epoch_;
   pt_dropped_ = 0;
+  if (tracer_ != nullptr) {
+    trace_id_ = tracer_->BeginMigration("parallel_track", TraceTime());
+  }
   // PT's end-of-migration buffer flush back-dates results; the output of
   // this operator is no longer globally ordered (see Figure 4's burst).
   SetRelaxedOutputOrdering(0);
@@ -331,6 +398,10 @@ void MigrationController::StartParallelTrack(Box new_box, Duration window) {
         Edge{active_box_.input(i), 0}, Edge{new_box_.input(i), 0}};
   }
 
+  // Both boxes now see every arriving element — PT's analogue of GenMig's
+  // parallel phase being in place.
+  Trace(obs::MigrationEvent::kSplitInstalled);
+
   // Inputs that ended before the migration: the old box already received
   // their EOS; deliver it to the new box too.
   for (int i = 0; i < num_inputs(); ++i) {
@@ -356,6 +427,7 @@ void MigrationController::MaintainParallelTrack() {
 }
 
 void MigrationController::FinishParallelTrack() {
+  Trace(obs::MigrationEvent::kOldBoxDrained);
   // Flush the buffered new-box output — the burst of Figure 4.
   for (const StreamElement& e : pt_buffer_) {
     EmitOut(e);
@@ -374,10 +446,13 @@ void MigrationController::FinishParallelTrack() {
   RetireBox(std::move(active_box_));
   active_box_ = std::move(new_box_);
   new_box_ = Box();
+  Trace(obs::MigrationEvent::kReferencePointSwitch);
   RetireMachinery();
   strategy_ = StrategyKind::kNone;
   phase_ = Phase::kDirect;
   ++migrations_completed_;
+  Trace(obs::MigrationEvent::kCompleted);
+  trace_id_ = -1;
 }
 
 // --- Moving States ----------------------------------------------------------------
@@ -387,6 +462,11 @@ void MigrationController::StartMovingStates(Box new_box,
   GENMIG_CHECK(phase_ == Phase::kDirect);
   GENMIG_CHECK_EQ(new_box.num_inputs(), num_inputs());
   GENMIG_CHECK(new_box.output() != nullptr);
+
+  new_box.AttachMetrics(registry_);
+  if (tracer_ != nullptr) {
+    trace_id_ = tracer_->BeginMigration("moving_states", TraceTime());
+  }
 
   // 1. Compute the new box's states from the old box's states.
   seeder(active_box_, &new_box);
@@ -399,6 +479,7 @@ void MigrationController::StartMovingStates(Box new_box,
   drain->on_element = [this](const StreamElement& e) { ms_buffer_.Push(e); };
   active_box_.output()->ConnectTo(0, drain, 0);
   active_box_.SignalEosToInputs();
+  Trace(obs::MigrationEvent::kOldBoxDrained);
 
   // 3. Swap boxes; the new box's output is merged through the same buffer so
   // the controller's output stays ordered across the switch.
@@ -420,7 +501,10 @@ void MigrationController::StartMovingStates(Box new_box,
     // box (the old box already received it).
     if (input_eos(i)) active_box_.input(i)->PushEos(0);
   }
+  Trace(obs::MigrationEvent::kReferencePointSwitch);
   ++migrations_completed_;
+  Trace(obs::MigrationEvent::kCompleted);
+  trace_id_ = -1;
 }
 
 // --- Introspection -------------------------------------------------------------------

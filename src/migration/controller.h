@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "ops/coalesce.h"
 #include "ops/refpoint_merge.h"
 #include "ops/sink.h"
@@ -108,6 +109,30 @@ class MigrationController : public Operator {
 
   size_t StateBytes() const override;
   size_t StateUnits() const override;
+  size_t QueueDepth() const override {
+    return pt_buffer_.size() + ms_buffer_.size();
+  }
+
+  // --- Observability ---------------------------------------------------------
+
+  /// Attaches the controller, the hosted box(es) and all migration machinery
+  /// (splits, merges, callbacks — including those created by future
+  /// migrations) to `registry`. This is the read path a cost-based migration
+  /// policy consumes; see SetCostTrigger for the write path.
+  void AttachMetricsRecursive(obs::MetricsRegistry* registry);
+
+  /// Records every migration phase transition into `tracer` (null disables).
+  void SetTracer(obs::MigrationTracer* tracer) { tracer_ = tracer; }
+
+  /// Threshold-based migration trigger hook: once the hosted plan's state
+  /// exceeds `state_bytes_threshold` while no migration is in progress,
+  /// `on_exceeded` fires (exactly once per arming; re-arm by calling again).
+  /// The callback may start a migration directly — it runs outside the
+  /// input-forwarding loop. This is the hook a follow-up cost-based
+  /// re-optimizer drives from observed per-operator cost instead of an
+  /// external command.
+  void SetCostTrigger(size_t state_bytes_threshold,
+                      std::function<void(MigrationController&)> on_exceeded);
 
  protected:
   void OnElement(int in_port, const StreamElement& element) override;
@@ -135,6 +160,14 @@ class MigrationController : public Operator {
 
   /// Creates a CallbackOp owned by machinery_.
   CallbackOp* MakeCallback(const std::string& name);
+  /// Registers a machinery operator with the attached metrics registry.
+  void AttachMachineryOp(Operator* op);
+  /// Records `event` for the in-flight migration (no-op without a tracer).
+  void Trace(obs::MigrationEvent event, const std::string& detail = "");
+  /// Application time stamped onto trace records: the minimum live input
+  /// watermark, falling back to the output bound once every input ended.
+  Timestamp TraceTime() const;
+  void CheckCostTrigger();
   /// Moves every machinery operator and the given box to the retired list
   /// (kept alive until destruction; cheap, states already empty or moot).
   void RetireMachinery();
@@ -184,6 +217,17 @@ class MigrationController : public Operator {
   // Output side.
   Timestamp out_bound_ = Timestamp::MinInstant();
   Timestamp last_output_start_ = Timestamp::MinInstant();
+
+  // Observability.
+  obs::MetricsRegistry* registry_ = nullptr;
+  obs::MigrationTracer* tracer_ = nullptr;
+  /// Tracer id of the in-flight migration, -1 outside one.
+  int trace_id_ = -1;
+  size_t cost_threshold_ = 0;
+  std::function<void(MigrationController&)> cost_trigger_;
+  /// StateBytes can be linear in state size, so the trigger is evaluated on
+  /// every 16th Maintain() only.
+  uint64_t cost_checks_ = 0;
 
   // Operator plumbing created per phase; retired pieces are kept alive.
   std::vector<std::unique_ptr<Operator>> machinery_;

@@ -1,0 +1,204 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+namespace genmig {
+namespace obs {
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendKeyU64(std::string* out, const char* key, uint64_t value,
+                  bool trailing_comma = true) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %" PRIu64 "%s", key, value,
+                trailing_comma ? ", " : "");
+  *out += buf;
+}
+
+void AppendHistogram(std::string* out, const LatencyHistogram& h) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\": %" PRIu64 ", \"mean\": %.1f, \"p50\": %" PRIu64
+                ", \"p99\": %" PRIu64 ", \"max\": %" PRIu64 ", \"buckets\": [",
+                h.count(), h.MeanNs(), h.ApproxQuantileNs(0.5),
+                h.ApproxQuantileNs(0.99), h.max_ns());
+  *out += buf;
+  bool first = true;
+  for (size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    if (h.bucket(i) == 0) continue;
+    if (!first) *out += ", ";
+    first = false;
+    std::snprintf(buf, sizeof(buf), "[%" PRIu64 ", %" PRIu64 "]",
+                  LatencyHistogram::BucketUpperNs(i), h.bucket(i));
+    *out += buf;
+  }
+  *out += "]}";
+}
+
+void AppendOperator(std::string* out, const OperatorMetrics& m) {
+  *out += "{\"name\": ";
+  AppendEscaped(out, m.name);
+  *out += ", ";
+  AppendKeyU64(out, "elements_in", m.elements_in);
+  AppendKeyU64(out, "elements_out", m.elements_out);
+  AppendKeyU64(out, "heartbeats_in", m.heartbeats_in);
+  AppendKeyU64(out, "negatives_in", m.negatives_in);
+  AppendKeyU64(out, "negatives_out", m.negatives_out);
+  AppendKeyU64(out, "state_inserts", m.state_inserts);
+  AppendKeyU64(out, "state_expires", m.state_expires);
+  AppendKeyU64(out, "state_units", m.state_units);
+  AppendKeyU64(out, "state_bytes", m.state_bytes);
+  AppendKeyU64(out, "peak_state_units", m.peak_state_units);
+  AppendKeyU64(out, "peak_state_bytes", m.peak_state_bytes);
+  AppendKeyU64(out, "queue_depth", m.queue_depth);
+  AppendKeyU64(out, "peak_queue_depth", m.peak_queue_depth);
+  *out += "\"push_ns\": ";
+  AppendHistogram(out, m.push_ns);
+  *out += "}";
+}
+
+std::string PhaseKey(MigrationEvent from, MigrationEvent to) {
+  return std::string(MigrationEventName(from)) + "_to_" +
+         MigrationEventName(to);
+}
+
+void AppendMigration(std::string* out, const MigrationTracer& tracer,
+                     int id) {
+  const std::vector<TraceRecord> records = tracer.RecordsFor(id);
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "{\"id\": %d, \"events\": [", id);
+  *out += buf;
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (i) *out += ", ";
+    const TraceRecord& r = records[i];
+    *out += "{\"event\": ";
+    AppendEscaped(out, MigrationEventName(r.event));
+    std::snprintf(buf, sizeof(buf),
+                  ", \"app_time\": %" PRId64 ", \"wall_ns\": %" PRIu64
+                  ", \"detail\": ",
+                  r.app_time.t, r.wall_ns);
+    *out += buf;
+    AppendEscaped(out, r.detail);
+    *out += "}";
+  }
+  *out += "], \"phase_ns\": {";
+  bool first = true;
+  for (size_t i = 0; i + 1 < records.size(); ++i) {
+    const int64_t ns = tracer.PhaseNs(id, records[i].event,
+                                      records[i + 1].event);
+    if (ns < 0) continue;
+    if (!first) *out += ", ";
+    first = false;
+    AppendEscaped(out, PhaseKey(records[i].event, records[i + 1].event));
+    std::snprintf(buf, sizeof(buf), ": %" PRId64, ns);
+    *out += buf;
+  }
+  if (records.size() >= 2) {
+    if (!first) *out += ", ";
+    std::snprintf(buf, sizeof(buf), "\"total\": %" PRId64,
+                  static_cast<int64_t>(records.back().wall_ns -
+                                       records.front().wall_ns));
+    *out += buf;
+  }
+  *out += "}}";
+}
+
+}  // namespace
+
+std::string ToJson(const MetricsRegistry& registry,
+                   const MigrationTracer* tracer) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\n  \"operators\": [";
+  bool first = true;
+  for (const OperatorMetrics& m : registry.operators()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    ";
+    AppendOperator(&out, m);
+  }
+  out += "\n  ],\n  \"totals\": {";
+  AppendKeyU64(&out, "elements_in", registry.TotalElementsIn());
+  AppendKeyU64(&out, "elements_out", registry.TotalElementsOut());
+  AppendKeyU64(&out, "state_bytes", registry.TotalStateBytes(),
+               /*trailing_comma=*/false);
+  out += "},\n  \"migrations\": [";
+  if (tracer != nullptr) {
+    for (int id = 0; id < tracer->migration_count(); ++id) {
+      if (id) out += ",";
+      out += "\n    ";
+      AppendMigration(&out, *tracer, id);
+    }
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string ToCsv(const MetricsRegistry& registry) {
+  std::string out =
+      "name,elements_in,elements_out,heartbeats_in,negatives_in,"
+      "negatives_out,state_inserts,state_expires,state_units,state_bytes,"
+      "peak_state_units,peak_state_bytes,queue_depth,peak_queue_depth,"
+      "push_mean_ns,push_p99_ns\n";
+  char buf[512];
+  for (const OperatorMetrics& m : registry.operators()) {
+    std::string name = m.name;
+    for (char& c : name) {
+      if (c == ',') c = ';';
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "%s,%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+                  ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+                  ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+                  ",%.1f,%" PRIu64 "\n",
+                  name.c_str(), m.elements_in, m.elements_out,
+                  m.heartbeats_in, m.negatives_in, m.negatives_out,
+                  m.state_inserts, m.state_expires, m.state_units,
+                  m.state_bytes, m.peak_state_units, m.peak_state_bytes,
+                  m.queue_depth, m.peak_queue_depth, m.push_ns.MeanNs(),
+                  m.push_ns.ApproxQuantileNs(0.99));
+    out += buf;
+  }
+  return out;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const int close_rc = std::fclose(f);
+  return written == content.size() && close_rc == 0;
+}
+
+}  // namespace obs
+}  // namespace genmig

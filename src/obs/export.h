@@ -1,0 +1,43 @@
+// Exporters: serialize a MetricsRegistry (and optionally a MigrationTracer)
+// to JSON or CSV. The JSON layout is what bench/ writes into BENCH_*.json
+// and what examples/quickstart --stats prints:
+//
+// {
+//   "operators": [ { "name": ..., "elements_in": ..., "elements_out": ...,
+//                    "negatives_in": ..., "state_inserts": ...,
+//                    "peak_state_bytes": ..., "push_ns": {"count": ...,
+//                    "mean": ..., "p50": ..., "p99": ..., "max": ...,
+//                    "buckets": [[upper_ns, count], ...] } }, ... ],
+//   "totals": { "elements_in": ..., "elements_out": ... },
+//   "migrations": [ { "id": ..., "events": [ { "event": ...,
+//                     "app_time": ..., "wall_ns": ..., "detail": ... } ],
+//                     "phase_ns": { "requested_to_split_installed": ...,
+//                                   ... , "total": ... } }, ... ]
+// }
+//
+// CSV is one row per operator with the scalar counters (no histograms) —
+// convenient for spreadsheet diffing of two runs.
+
+#ifndef GENMIG_OBS_EXPORT_H_
+#define GENMIG_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace genmig {
+namespace obs {
+
+std::string ToJson(const MetricsRegistry& registry,
+                   const MigrationTracer* tracer = nullptr);
+
+std::string ToCsv(const MetricsRegistry& registry);
+
+/// Writes `content` to `path`; returns false (and leaves errno) on failure.
+bool WriteFile(const std::string& path, const std::string& content);
+
+}  // namespace obs
+}  // namespace genmig
+
+#endif  // GENMIG_OBS_EXPORT_H_

@@ -1,0 +1,63 @@
+#include "obs/metrics.h"
+
+namespace genmig {
+namespace obs {
+
+uint64_t LatencyHistogram::ApproxQuantileNs(double p) const {
+  if (count_ == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  const uint64_t rank =
+      static_cast<uint64_t>(p * static_cast<double>(count_ - 1));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += counts_[i];
+    if (seen > rank) return BucketUpperNs(i);
+  }
+  return max_ns_;
+}
+
+const OperatorMetrics* MetricsRegistry::FindByName(
+    const std::string& name) const {
+  for (const OperatorMetrics& m : slots_) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+const OperatorMetrics* MetricsRegistry::LastByName(
+    const std::string& name) const {
+  for (auto it = slots_.rbegin(); it != slots_.rend(); ++it) {
+    if (it->name == name) return &*it;
+  }
+  return nullptr;
+}
+
+uint64_t MetricsRegistry::TotalElementsIn() const {
+  uint64_t total = 0;
+  for (const OperatorMetrics& m : slots_) total += m.elements_in;
+  return total;
+}
+
+uint64_t MetricsRegistry::TotalElementsOut() const {
+  uint64_t total = 0;
+  for (const OperatorMetrics& m : slots_) total += m.elements_out;
+  return total;
+}
+
+uint64_t MetricsRegistry::TotalStateBytes() const {
+  uint64_t total = 0;
+  for (const OperatorMetrics& m : slots_) total += m.state_bytes;
+  return total;
+}
+
+void MetricsRegistry::Reset() {
+  for (OperatorMetrics& m : slots_) {
+    const std::string name = m.name;
+    m = OperatorMetrics{};
+    m.name = name;
+  }
+}
+
+}  // namespace obs
+}  // namespace genmig

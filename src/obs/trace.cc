@@ -1,0 +1,59 @@
+#include "obs/trace.h"
+
+namespace genmig {
+namespace obs {
+
+const char* MigrationEventName(MigrationEvent event) {
+  switch (event) {
+    case MigrationEvent::kRequested:
+      return "requested";
+    case MigrationEvent::kSplitInstalled:
+      return "split_installed";
+    case MigrationEvent::kOldBoxDrained:
+      return "old_box_drained";
+    case MigrationEvent::kCoalesceDone:
+      return "coalesce_done";
+    case MigrationEvent::kReferencePointSwitch:
+      return "reference_point_switch";
+    case MigrationEvent::kCompleted:
+      return "completed";
+  }
+  return "?";
+}
+
+int MigrationTracer::BeginMigration(const std::string& strategy,
+                                    Timestamp app_time) {
+  const int id = next_id_++;
+  Record(id, MigrationEvent::kRequested, app_time, strategy);
+  return id;
+}
+
+void MigrationTracer::Record(int migration_id, MigrationEvent event,
+                             Timestamp app_time, std::string detail) {
+  records_.push_back(TraceRecord{migration_id, event, app_time, NowNs(),
+                                 std::move(detail)});
+}
+
+std::vector<TraceRecord> MigrationTracer::RecordsFor(int migration_id) const {
+  std::vector<TraceRecord> out;
+  for (const TraceRecord& r : records_) {
+    if (r.migration_id == migration_id) out.push_back(r);
+  }
+  return out;
+}
+
+int64_t MigrationTracer::PhaseNs(int migration_id, MigrationEvent from,
+                                 MigrationEvent to) const {
+  int64_t from_ns = -1;
+  int64_t to_ns = -1;
+  for (const TraceRecord& r : records_) {
+    if (r.migration_id != migration_id) continue;
+    if (from_ns < 0 && r.event == from) from_ns = static_cast<int64_t>(r.wall_ns);
+    if (to_ns < 0 && r.event == to) to_ns = static_cast<int64_t>(r.wall_ns);
+  }
+  if (from_ns < 0 || to_ns < 0) return -1;
+  return to_ns - from_ns;
+}
+
+}  // namespace obs
+}  // namespace genmig

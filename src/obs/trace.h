@@ -1,0 +1,88 @@
+// MigrationTracer: timestamps every state transition of a dynamic plan
+// migration, in both application time (the controller's watermark) and wall
+// time. One trace per migration, identified by a monotonically increasing id;
+// the GenMig lifecycle produces the canonical sequence
+//
+//   kRequested -> kSplitInstalled -> kOldBoxDrained -> kCoalesceDone
+//              -> kReferencePointSwitch -> kCompleted
+//
+// (Algorithm 1: request, splits wired and T_split fixed, old box received
+// EOS, the merge emptied, inputs/outputs rewired to the new box, done).
+// Parallel Track and Moving States record the subset that applies to them.
+// The tracer is deliberately strategy-agnostic: it stores what the
+// controllers report, so a bench/test can reconstruct per-phase durations
+// without knowing controller internals.
+
+#ifndef GENMIG_OBS_TRACE_H_
+#define GENMIG_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "time/timestamp.h"
+
+namespace genmig {
+namespace obs {
+
+enum class MigrationEvent : uint8_t {
+  kRequested,             // Start* called; GenMig begins monitoring.
+  kSplitInstalled,        // Split operators wired, T_split fixed (GenMig) /
+                          // both boxes running (PT) / states seeded (MS).
+  kOldBoxDrained,         // Old box received EOS on every input.
+  kCoalesceDone,          // The merge operator emptied.
+  kReferencePointSwitch,  // Inputs/outputs rewired directly to the new box.
+  kCompleted,             // Migration over; controller back to direct mode.
+};
+
+const char* MigrationEventName(MigrationEvent event);
+
+struct TraceRecord {
+  int migration_id = 0;
+  MigrationEvent event = MigrationEvent::kRequested;
+  /// Application time at the transition (controller watermark).
+  Timestamp app_time;
+  /// Wall clock, nanoseconds since the tracer was created.
+  uint64_t wall_ns = 0;
+  /// Free-form context: strategy name, T_split, buffer sizes.
+  std::string detail;
+};
+
+class MigrationTracer {
+ public:
+  MigrationTracer() : origin_(std::chrono::steady_clock::now()) {}
+
+  /// Opens a new migration trace; `strategy` lands in the kRequested detail.
+  /// Returns the migration id for subsequent Record calls.
+  int BeginMigration(const std::string& strategy, Timestamp app_time);
+
+  void Record(int migration_id, MigrationEvent event, Timestamp app_time,
+              std::string detail = "");
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  std::vector<TraceRecord> RecordsFor(int migration_id) const;
+  int migration_count() const { return next_id_; }
+
+  /// Wall-clock nanoseconds between the first `from` and first `to` event of
+  /// `migration_id`, or -1 if either is missing.
+  int64_t PhaseNs(int migration_id, MigrationEvent from,
+                  MigrationEvent to) const;
+
+  uint64_t NowNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - origin_)
+            .count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+  int next_id_ = 0;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace obs
+}  // namespace genmig
+
+#endif  // GENMIG_OBS_TRACE_H_

@@ -33,6 +33,7 @@ void AggregateOp::OnElement(int, const StreamElement& element) {
       Event{element.tuple, -1, element.epoch});
   state_bytes_ += 2 * element.PayloadBytes();
   state_units_ += 2;
+  MetricsStateInsert(2);
 }
 
 void AggregateOp::ApplyEvent(const Event& event) {
@@ -120,6 +121,7 @@ void AggregateOp::SweepUpTo(Timestamp bound) {
       ApplyEvent(ev);
       state_bytes_ -= ev.tuple.PayloadBytes();
       --state_units_;
+      MetricsStateExpire();
     }
     frontier_ = b;
     events_.erase(events_.begin());

@@ -34,6 +34,7 @@ void Coalesce::OnElement(int in_port, const StreamElement& element) {
       if (it->second.empty()) m1_.erase(it);
       pending_bytes_ -= element.tuple.PayloadBytes();
       ++merged_count_;
+      MetricsStateExpire();
       heap_.Push(StreamElement(element.tuple,
                                TimeInterval(iv.start, other.interval.end),
                                std::min(element.epoch, other.epoch)));
@@ -47,6 +48,7 @@ void Coalesce::OnElement(int in_port, const StreamElement& element) {
     pending_bytes_ += element.tuple.PayloadBytes();
     m0_[element.tuple].push_back(element);
     m0_starts_.insert(iv.start);
+    MetricsStateInsert();
     return;
   }
 
@@ -67,6 +69,7 @@ void Coalesce::OnElement(int in_port, const StreamElement& element) {
     m0_starts_.erase(start_it);
     pending_bytes_ -= element.tuple.PayloadBytes();
     ++merged_count_;
+    MetricsStateExpire();
     heap_.Push(StreamElement(element.tuple,
                              TimeInterval(other.interval.start, iv.end),
                              std::min(element.epoch, other.epoch)));
@@ -78,12 +81,14 @@ void Coalesce::OnElement(int in_port, const StreamElement& element) {
   }
   pending_bytes_ += element.tuple.PayloadBytes();
   m1_[element.tuple].push_back(element);
+  MetricsStateInsert();
 }
 
 void Coalesce::ReleaseAll(PendingMap* map) {
   for (auto& [tuple, elements] : *map) {
     for (const StreamElement& e : elements) {
       pending_bytes_ -= tuple.PayloadBytes();
+      MetricsStateExpire();
       heap_.Push(e);
     }
   }

@@ -34,6 +34,7 @@ class Coalesce : public Operator {
 
   size_t StateBytes() const override;
   size_t StateUnits() const override;
+  size_t QueueDepth() const override { return heap_.size(); }
 
   /// Number of merges performed (old/new result pairs coalesced).
   size_t merged_count() const { return merged_count_; }

@@ -17,6 +17,7 @@ void CompactRuns::OnElement(int, const StreamElement& element) {
       pending_bytes_ -= run.PayloadBytes();
       --pending_count_;
       ++merged_;
+      MetricsStateExpire();
     } else {
       if (kept != i) runs[kept] = std::move(run);
       ++kept;
@@ -26,6 +27,7 @@ void CompactRuns::OnElement(int, const StreamElement& element) {
   runs.push_back(std::move(merged));
   pending_bytes_ += element.PayloadBytes();
   ++pending_count_;
+  MetricsStateInsert();
 }
 
 void CompactRuns::OnWatermarkAdvance() {
@@ -39,6 +41,7 @@ void CompactRuns::OnWatermarkAdvance() {
         // No future element (start >= watermark) can extend this run.
         pending_bytes_ -= runs[i].PayloadBytes();
         --pending_count_;
+        MetricsStateExpire();
         buffer_.Push(std::move(runs[i]));
       } else {
         if (runs[i].interval.start < min_open_start) {

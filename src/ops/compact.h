@@ -32,6 +32,7 @@ class CompactRuns : public Operator {
   size_t StateUnits() const override {
     return pending_count_ + buffer_.size();
   }
+  size_t QueueDepth() const override { return buffer_.size(); }
   Timestamp MaxStateEnd() const override;
 
   /// Elements merged away so far.

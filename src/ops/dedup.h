@@ -32,6 +32,7 @@ class DuplicateElimination : public Operator {
   size_t StateUnits() const override {
     return state_units_ + buffer_.size();
   }
+  size_t QueueDepth() const override { return buffer_.size(); }
   Timestamp MaxStateEnd() const override;
   size_t CountStateWithEpochBelow(uint32_t epoch) const override;
 
@@ -48,11 +49,15 @@ class DuplicateElimination : public Operator {
   /// Disjoint coverage per tuple: maps run start -> run, sorted by start.
   using Coverage = std::map<Timestamp, Run>;
 
-  void NoteRunInsert(uint32_t epoch) { ++epoch_counts_[epoch]; }
+  void NoteRunInsert(uint32_t epoch) {
+    ++epoch_counts_[epoch];
+    MetricsStateInsert();
+  }
   void NoteRunRemove(uint32_t epoch) {
     auto it = epoch_counts_.find(epoch);
     GENMIG_CHECK(it != epoch_counts_.end());
     if (--it->second == 0) epoch_counts_.erase(it);
+    MetricsStateExpire();
   }
 
   std::unordered_map<Tuple, Coverage, TupleHash> coverage_;

@@ -12,6 +12,7 @@ void DifferenceOp::OnElement(int in_port, const StreamElement& element) {
       Event{element.tuple, in_port, -1, element.epoch});
   state_bytes_ += 2 * element.PayloadBytes();
   state_units_ += 2;
+  MetricsStateInsert(2);
 }
 
 void DifferenceOp::EmitRegion(Timestamp begin, Timestamp end) {
@@ -53,6 +54,7 @@ void DifferenceOp::SweepUpTo(Timestamp bound) {
       }
       state_bytes_ -= ev.tuple.PayloadBytes();
       --state_units_;
+      MetricsStateExpire();
     }
     frontier_ = b;
     events_.erase(events_.begin());

@@ -29,6 +29,7 @@ class JoinBase : public Operator {
  public:
   size_t StateBytes() const override;
   size_t StateUnits() const override;
+  size_t QueueDepth() const override { return buffer_.size(); }
   Timestamp MaxStateEnd() const override;
   size_t CountStateWithEpochBelow(uint32_t epoch) const override;
   Timestamp MaxInsertedStartWithEpochBelow(uint32_t epoch) const override;
@@ -64,11 +65,13 @@ class JoinBase : public Operator {
     ++epoch_counts_[side][element.epoch];
     Timestamp& hwm = insert_start_hwm_[element.epoch];
     if (hwm < element.interval.start) hwm = element.interval.start;
+    MetricsStateInsert();
   }
   void NoteStateRemove(int side, const StreamElement& element) {
     auto it = epoch_counts_[side].find(element.epoch);
     GENMIG_CHECK(it != epoch_counts_[side].end());
     if (--it->second == 0) epoch_counts_[side].erase(it);
+    MetricsStateExpire();
   }
 
   OrderedOutputBuffer buffer_;

@@ -1,5 +1,9 @@
 #include "ops/operator.h"
 
+#ifndef GENMIG_NO_METRICS
+#include <chrono>
+#endif
+
 #include "common/check.h"
 
 namespace genmig {
@@ -68,9 +72,30 @@ void Operator::PushElement(int in_port, const StreamElement& element) {
     GENMIG_CHECK(in.watermark <= element.interval.start);
     in.watermark = element.interval.start;
   }
+#ifndef GENMIG_NO_METRICS
+  // Counters are exact; latency and state gauges are sampled every
+  // kSampleEvery-th push to keep clock reads and virtual state probes off
+  // the common path (overhead contract in obs/metrics.h).
+  bool sampled = false;
+  std::chrono::steady_clock::time_point push_start;
+  if (metrics_ != nullptr) {
+    sampled =
+        (metrics_->elements_in++ & obs::MetricsRegistry::kSampleMask) == 0;
+    if (sampled) push_start = std::chrono::steady_clock::now();
+  }
+#endif
   OnElement(in_port, element);
   OnWatermarkAdvance();
   PublishProgress();
+#ifndef GENMIG_NO_METRICS
+  if (sampled) {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - push_start)
+                        .count();
+    metrics_->push_ns.Record(static_cast<uint64_t>(ns));
+    metrics_->SampleState(StateUnits(), StateBytes(), QueueDepth());
+  }
+#endif
 }
 
 void Operator::PushHeartbeat(int in_port, Timestamp watermark) {
@@ -78,6 +103,9 @@ void Operator::PushHeartbeat(int in_port, Timestamp watermark) {
   GENMIG_CHECK_LT(in_port, num_inputs());
   InputState& in = inputs_[in_port];
   if (in.eos || watermark <= in.watermark) return;  // Stale; nothing to do.
+#ifndef GENMIG_NO_METRICS
+  if (metrics_ != nullptr) ++metrics_->heartbeats_in;
+#endif
   in.watermark = watermark;
   OnWatermarkAdvance();
   PublishProgress();
@@ -120,6 +148,9 @@ void Operator::Emit(int out_port, const StreamElement& element) {
     out.last_emitted = element.interval.start;
   }
   out.anything_emitted = true;
+#ifndef GENMIG_NO_METRICS
+  if (metrics_ != nullptr) ++metrics_->elements_out;
+#endif
   for (const Edge& e : out.edges) {
     e.op->PushElement(e.port, element);
   }

@@ -29,7 +29,17 @@
 
 #include "stream/element.h"
 
+#ifndef GENMIG_NO_METRICS
+#include "obs/metrics.h"
+#endif
+
 namespace genmig {
+
+#ifdef GENMIG_NO_METRICS
+namespace obs {
+class MetricsRegistry;  // Attach becomes a no-op; call sites stay unchanged.
+}  // namespace obs
+#endif
 
 /// Base class for all physical operators.
 class Operator {
@@ -89,6 +99,9 @@ class Operator {
     (void)epoch;
     return 0;
   }
+  /// Elements held back in internal reordering/merge buffers awaiting a
+  /// watermark advance (observability gauge; subset of StateUnits()).
+  virtual size_t QueueDepth() const { return 0; }
   /// High-water mark: the largest start timestamp of any element EVER
   /// inserted into this operator's state with epoch < `epoch` (not reset by
   /// expiration). The PT baseline of [1] purges a state entry w time units
@@ -118,6 +131,20 @@ class Operator {
   /// Minimum watermark over all input ports; ports that reached EOS count as
   /// +infinity (they can never deliver another element).
   Timestamp MinInputWatermark() const;
+
+  // --- Observability -------------------------------------------------------
+
+  /// Registers a fresh per-instance metric slot in `registry` and starts
+  /// recording into it. No-op (and no cost) when compiled with
+  /// GENMIG_NO_METRICS; a null registry detaches.
+#ifndef GENMIG_NO_METRICS
+  void AttachMetrics(obs::MetricsRegistry* registry) {
+    metrics_ = registry == nullptr ? nullptr : registry->Register(name_);
+  }
+  const obs::OperatorMetrics* metrics() const { return metrics_; }
+#else
+  void AttachMetrics(obs::MetricsRegistry*) {}
+#endif
 
  protected:
   // --- Hooks for subclasses ------------------------------------------------
@@ -163,6 +190,21 @@ class Operator {
     outputs_[out_port].relaxed_ordering = true;
   }
 
+  // --- Metric hooks for stateful subclasses --------------------------------
+  // No-ops when detached or compiled out; call freely on state churn.
+
+#ifndef GENMIG_NO_METRICS
+  void MetricsStateInsert(uint64_t n = 1) {
+    if (metrics_ != nullptr) metrics_->state_inserts += n;
+  }
+  void MetricsStateExpire(uint64_t n = 1) {
+    if (metrics_ != nullptr) metrics_->state_expires += n;
+  }
+#else
+  void MetricsStateInsert(uint64_t = 1) {}
+  void MetricsStateExpire(uint64_t = 1) {}
+#endif
+
  private:
   struct InputState {
     Timestamp watermark = Timestamp::MinInstant();
@@ -183,6 +225,9 @@ class Operator {
   std::vector<OutputState> outputs_;
   int eos_count_ = 0;
   bool eos_emitted_ = false;
+#ifndef GENMIG_NO_METRICS
+  obs::OperatorMetrics* metrics_ = nullptr;
+#endif
 };
 
 }  // namespace genmig

@@ -82,6 +82,12 @@ class Box {
 
   const std::vector<std::unique_ptr<Operator>>& ops() const { return ops_; }
 
+  /// Attaches every owned operator to `registry` (fresh per-instance metric
+  /// slots; no-op under GENMIG_NO_METRICS or when `registry` is null).
+  void AttachMetrics(obs::MetricsRegistry* registry) {
+    for (const auto& op : ops_) op->AttachMetrics(registry);
+  }
+
   // --- Aggregated introspection over all owned operators -------------------
 
   size_t StateBytes() const {

@@ -183,11 +183,29 @@ bool Expr::ColumnsWithin(size_t lo, size_t hi) const {
                      [lo, hi](size_t c) { return lo <= c && c < hi; });
 }
 
+namespace {
+
+// Build "(lhs op rhs)" via append: chained operator+ here trips a GCC 12
+// -Wrestrict false positive (GCC bug 105651) under -O2.
+std::string Parenthesized(const std::string& lhs, const char* op,
+                          const std::string& rhs) {
+  std::string out;
+  out.reserve(lhs.size() + rhs.size() + 8);
+  out.append("(").append(lhs).append(" ").append(op).append(" ").append(rhs);
+  out.append(")");
+  return out;
+}
+
+}  // namespace
+
 std::string Expr::ToString() const {
   switch (kind_) {
-    case Kind::kColumn:
-      return column_name_.empty() ? "$" + std::to_string(column_index_)
-                                  : column_name_;
+    case Kind::kColumn: {
+      if (!column_name_.empty()) return column_name_;
+      std::string out = "$";
+      out.append(std::to_string(column_index_));
+      return out;
+    }
     case Kind::kConst:
       return constant_.ToString();
     case Kind::kCompare: {
@@ -212,8 +230,8 @@ std::string Expr::ToString() const {
           op = ">=";
           break;
       }
-      return "(" + children_[0]->ToString() + " " + op + " " +
-             children_[1]->ToString() + ")";
+      return Parenthesized(children_[0]->ToString(), op,
+                           children_[1]->ToString());
     }
     case Kind::kArith: {
       const char* op = "?";
@@ -231,15 +249,15 @@ std::string Expr::ToString() const {
           op = "/";
           break;
       }
-      return "(" + children_[0]->ToString() + " " + op + " " +
-             children_[1]->ToString() + ")";
+      return Parenthesized(children_[0]->ToString(), op,
+                           children_[1]->ToString());
     }
     case Kind::kAnd:
-      return "(" + children_[0]->ToString() + " AND " +
-             children_[1]->ToString() + ")";
+      return Parenthesized(children_[0]->ToString(), "AND",
+                           children_[1]->ToString());
     case Kind::kOr:
-      return "(" + children_[0]->ToString() + " OR " +
-             children_[1]->ToString() + ")";
+      return Parenthesized(children_[0]->ToString(), "OR",
+                           children_[1]->ToString());
     case Kind::kNot:
       return "NOT " + children_[0]->ToString();
   }

@@ -21,7 +21,8 @@ std::string LogicalNode::ToString(int indent) const {
       head = "Project(";
       for (size_t i = 0; i < project_fields.size(); ++i) {
         if (i > 0) head += ", ";
-        head += "$" + std::to_string(project_fields[i]);
+        head += "$";
+        head += std::to_string(project_fields[i]);
       }
       head += ")";
       break;
@@ -41,13 +42,16 @@ std::string LogicalNode::ToString(int indent) const {
       head = "Aggregate(group=[";
       for (size_t i = 0; i < group_fields.size(); ++i) {
         if (i > 0) head += ", ";
-        head += "$" + std::to_string(group_fields[i]);
+        head += "$";
+        head += std::to_string(group_fields[i]);
       }
       head += "], aggs=[";
       for (size_t i = 0; i < aggs.size(); ++i) {
         if (i > 0) head += ", ";
         head += AggKindName(aggs[i].kind);
-        head += "($" + std::to_string(aggs[i].field) + ")";
+        head += "($";
+        head += std::to_string(aggs[i].field);
+        head += ")";
       }
       head += "])";
       break;

@@ -103,7 +103,25 @@ PnCallback* PnMigrationController::MakeCallback(const std::string& cb_name) {
   auto cb = std::make_unique<PnCallback>(name() + "/" + cb_name);
   PnCallback* raw = cb.get();
   machinery_.push_back(std::move(cb));
+  if (registry_ != nullptr) raw->AttachMetrics(registry_);
   return raw;
+}
+
+void PnMigrationController::AttachMetricsRecursive(
+    obs::MetricsRegistry* registry) {
+  registry_ = registry;
+  AttachMetrics(registry);
+  active_box_.AttachMetrics(registry);
+  new_box_.AttachMetrics(registry);
+  for (const auto& op : machinery_) op->AttachMetrics(registry);
+}
+
+void PnMigrationController::Trace(obs::MigrationEvent event,
+                                  const std::string& detail) {
+  if (tracer_ == nullptr || trace_id_ < 0) return;
+  Timestamp t = MinInputWatermark();
+  if (t == Timestamp::MaxInstant()) t = out_bound_;
+  tracer_->Record(trace_id_, event, t, detail);
 }
 
 void PnMigrationController::InstallTerminal(PnOperator* producer) {
@@ -160,6 +178,12 @@ void PnMigrationController::StartGenMig(PnBox new_box, Duration window) {
   GENMIG_CHECK_EQ(new_box.num_inputs(), num_inputs());
   GENMIG_CHECK(new_box.output != nullptr);
   new_box_ = std::move(new_box);
+  new_box_.AttachMetrics(registry_);
+  if (tracer_ != nullptr) {
+    Timestamp now = MinInputWatermark();
+    if (now == Timestamp::MaxInstant()) now = out_bound_;
+    trace_id_ = tracer_->BeginMigration("pn_genmig", now);
+  }
 
   // Monitoring: the most recent positive timestamps are the input
   // watermarks. T_split = max + w + 1 + epsilon (Section 4.6 sets it as in
@@ -175,6 +199,7 @@ void PnMigrationController::StartGenMig(PnBox new_box, Duration window) {
   auto merge = std::make_unique<PnRefMerge>(name() + "/pn_merge", t_split_);
   merge_ = merge.get();
   machinery_.push_back(std::move(merge));
+  if (registry_ != nullptr) merge_->AttachMetrics(registry_);
 
   active_box_.output->DisconnectOutputPort(0);
   PnCallback* old_out = MakeCallback("old_out");
@@ -215,6 +240,7 @@ void PnMigrationController::StartGenMig(PnBox new_box, Duration window) {
         open_counts_[static_cast<size_t>(i)]);
     PnSplit* raw = split.get();
     machinery_.push_back(std::move(split));
+    if (registry_ != nullptr) raw->AttachMetrics(registry_);
     // Inputs that ended before the migration already delivered their EOS to
     // the old box; only the new box still needs it (below).
     if (!input_eos(i)) {
@@ -228,6 +254,8 @@ void PnMigrationController::StartGenMig(PnBox new_box, Duration window) {
   }
   migrating_ = true;
   old_eos_signalled_ = false;
+  Trace(obs::MigrationEvent::kSplitInstalled,
+        "t_split=" + std::to_string(t_split_.t));
   for (int i = 0; i < num_inputs(); ++i) {
     if (input_eos(i)) splits_[static_cast<size_t>(i)]->PushEos(0);
   }
@@ -248,6 +276,7 @@ void PnMigrationController::Maintain() {
   }
   merge_->PushEos(PnRefMerge::kOldPort);
   old_eos_signalled_ = true;
+  Trace(obs::MigrationEvent::kOldBoxDrained);
   Finish();
 }
 
@@ -260,6 +289,7 @@ void PnMigrationController::Finish() {
     input_targets_[static_cast<size_t>(i)] = {
         PnOperator::Edge{new_box_.inputs[static_cast<size_t>(i)], 0}};
   }
+  Trace(obs::MigrationEvent::kReferencePointSwitch);
   new_out_cb_->on_element = [this](const PnElement& e) { Emit(0, e); };
   new_out_cb_->on_watermark = [this](Timestamp wm) {
     if (wm != Timestamp::MaxInstant() && out_bound_ < wm) out_bound_ = wm;
@@ -275,6 +305,8 @@ void PnMigrationController::Finish() {
   machinery_.clear();
   migrating_ = false;
   ++migrations_completed_;
+  Trace(obs::MigrationEvent::kCompleted);
+  trace_id_ = -1;
 }
 
 }  // namespace genmig

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "pn/pn_ops.h"
 
 namespace genmig {
@@ -40,6 +41,11 @@ struct PnBox {
   }
   void AddInput(PnOperator* op) { inputs.push_back(op); }
   int num_inputs() const { return static_cast<int>(inputs.size()); }
+  /// Attaches every owned operator to `registry` (no-op when null or under
+  /// GENMIG_NO_METRICS).
+  void AttachMetrics(obs::MetricsRegistry* registry) {
+    for (const auto& op : ops) op->AttachMetrics(registry);
+  }
   void SignalEosToInputs() {
     for (PnOperator* in : inputs) {
       for (int p = 0; p < in->num_inputs(); ++p) {
@@ -129,6 +135,12 @@ class PnMigrationController : public PnOperator {
   Timestamp t_split() const { return t_split_; }
   int migrations_completed() const { return migrations_completed_; }
 
+  /// Attaches the controller, both boxes and all migration machinery
+  /// (current and future) to `registry`.
+  void AttachMetricsRecursive(obs::MetricsRegistry* registry);
+  /// Records migration phase transitions into `tracer` (null disables).
+  void SetTracer(obs::MigrationTracer* tracer) { tracer_ = tracer; }
+
  protected:
   void OnElement(int in_port, const PnElement& element) override;
   void OnInputEos(int in_port) override;
@@ -141,6 +153,7 @@ class PnMigrationController : public PnOperator {
   void Finish();
   PnCallback* MakeCallback(const std::string& cb_name);
   void InstallTerminal(PnOperator* producer);
+  void Trace(obs::MigrationEvent event, const std::string& detail = "");
 
   PnBox active_box_;
   PnBox new_box_;
@@ -158,6 +171,10 @@ class PnMigrationController : public PnOperator {
   PnRefMerge* merge_ = nullptr;
   PnCallback* new_out_cb_ = nullptr;
   int migrations_completed_ = 0;
+
+  obs::MetricsRegistry* registry_ = nullptr;
+  obs::MigrationTracer* tracer_ = nullptr;
+  int trace_id_ = -1;
 
   Timestamp out_bound_ = Timestamp::MinInstant();
   std::vector<std::unique_ptr<PnOperator>> machinery_;

@@ -1,5 +1,9 @@
 #include "pn/pn_operator.h"
 
+#ifndef GENMIG_NO_METRICS
+#include <chrono>
+#endif
+
 namespace genmig {
 
 PnOperator::PnOperator(std::string name, int num_inputs, int num_outputs)
@@ -42,14 +46,37 @@ void PnOperator::PushElement(int in_port, const PnElement& element) {
   GENMIG_CHECK(!in.eos);
   GENMIG_CHECK(in.watermark <= element.t);
   in.watermark = element.t;
+#ifndef GENMIG_NO_METRICS
+  // Same sampling discipline as Operator::PushElement (obs/metrics.h).
+  bool sampled = false;
+  std::chrono::steady_clock::time_point push_start;
+  if (metrics_ != nullptr) {
+    if (!element.is_plus()) ++metrics_->negatives_in;
+    sampled =
+        (metrics_->elements_in++ & obs::MetricsRegistry::kSampleMask) == 0;
+    if (sampled) push_start = std::chrono::steady_clock::now();
+  }
+#endif
   OnElement(in_port, element);
   OnWatermarkAdvance();
   PublishProgress();
+#ifndef GENMIG_NO_METRICS
+  if (sampled) {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - push_start)
+                        .count();
+    metrics_->push_ns.Record(static_cast<uint64_t>(ns));
+    metrics_->SampleState(StateUnits(), 0, 0);
+  }
+#endif
 }
 
 void PnOperator::PushHeartbeat(int in_port, Timestamp watermark) {
   InputState& in = inputs_[in_port];
   if (in.eos || watermark <= in.watermark) return;
+#ifndef GENMIG_NO_METRICS
+  if (metrics_ != nullptr) ++metrics_->heartbeats_in;
+#endif
   in.watermark = watermark;
   OnWatermarkAdvance();
   PublishProgress();
@@ -74,6 +101,12 @@ void PnOperator::Emit(int out_port, const PnElement& element) {
   GENMIG_CHECK(out.last_emitted <= element.t);
   GENMIG_CHECK(out.last_heartbeat <= element.t);
   out.last_emitted = element.t;
+#ifndef GENMIG_NO_METRICS
+  if (metrics_ != nullptr) {
+    ++metrics_->elements_out;
+    if (!element.is_plus()) ++metrics_->negatives_out;
+  }
+#endif
   for (const Edge& e : out.edges) {
     e.op->PushElement(e.port, element);
   }

@@ -11,7 +11,17 @@
 #include "common/check.h"
 #include "pn/pn_element.h"
 
+#ifndef GENMIG_NO_METRICS
+#include "obs/metrics.h"
+#endif
+
 namespace genmig {
+
+#ifdef GENMIG_NO_METRICS
+namespace obs {
+class MetricsRegistry;  // Attach becomes a no-op; call sites stay unchanged.
+}  // namespace obs
+#endif
 
 class PnOperator {
  public:
@@ -47,6 +57,18 @@ class PnOperator {
   /// Tuples currently held in state (live sets, pending negatives).
   virtual size_t StateUnits() const { return 0; }
 
+  /// Registers a fresh per-instance metric slot in `registry` and starts
+  /// recording into it (elements in/out, negatives, sampled push latency).
+  /// No-op when compiled with GENMIG_NO_METRICS; null detaches.
+#ifndef GENMIG_NO_METRICS
+  void AttachMetrics(obs::MetricsRegistry* registry) {
+    metrics_ = registry == nullptr ? nullptr : registry->Register(name_);
+  }
+  const obs::OperatorMetrics* metrics() const { return metrics_; }
+#else
+  void AttachMetrics(obs::MetricsRegistry*) {}
+#endif
+
  protected:
   virtual void OnElement(int in_port, const PnElement& element) = 0;
   /// Called when `in_port` reaches EOS, before watermark bookkeeping.
@@ -77,6 +99,9 @@ class PnOperator {
   std::vector<OutputState> outputs_;
   int eos_count_ = 0;
   bool eos_emitted_ = false;
+#ifndef GENMIG_NO_METRICS
+  obs::OperatorMetrics* metrics_ = nullptr;
+#endif
 };
 
 }  // namespace genmig

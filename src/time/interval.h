@@ -60,7 +60,12 @@ struct TimeInterval {
                                     const TimeInterval&) = default;
 
   std::string ToString() const {
-    return "[" + start.ToString() + ", " + end.ToString() + ")";
+    // Built with append: chained operator+ here trips a GCC 12 -Wrestrict
+    // false positive (GCC bug 105651) under -O2.
+    std::string out = "[";
+    out.append(start.ToString()).append(", ").append(end.ToString());
+    out.append(")");
+    return out;
   }
 };
 

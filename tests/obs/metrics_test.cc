@@ -1,0 +1,252 @@
+// Unit tests for the observability registry: histogram bucket boundaries,
+// counter correctness under interleaved push, state-churn accounting,
+// sampling cadence, and registry lookups. Counter tests are skipped under
+// GENMIG_NO_METRICS (the hooks compile out); the pure data-structure tests
+// run in every configuration.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "ops/dedup.h"
+#include "ops/join.h"
+#include "ops/sink.h"
+#include "ops/source.h"
+#include "stream/generator.h"
+
+namespace genmig {
+namespace {
+
+using obs::LatencyHistogram;
+using obs::MetricsRegistry;
+using obs::OperatorMetrics;
+
+#ifdef GENMIG_NO_METRICS
+#define SKIP_WITHOUT_METRICS() \
+  GTEST_SKIP() << "instrumentation compiled out (GENMIG_NO_METRICS)"
+#else
+#define SKIP_WITHOUT_METRICS() (void)0
+#endif
+
+MaterializedStream KeyedWindowed(size_t n, int64_t keys, Duration w,
+                                 uint64_t seed) {
+  MaterializedStream out;
+  for (const TimedTuple& tt : GenerateKeyedStream(n, 1, keys, seed)) {
+    out.emplace_back(tt.tuple,
+                     TimeInterval(Timestamp(tt.t), Timestamp(tt.t + w + 1)));
+  }
+  return out;
+}
+
+// --- LatencyHistogram ----------------------------------------------------------
+
+TEST(LatencyHistogramTest, BucketBoundaries) {
+  // Bucket i covers [2^(i-1), 2^i); bucket 0 holds only 0 ns.
+  EXPECT_EQ(LatencyHistogram::BucketOf(0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(1), 1u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(2), 2u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(3), 2u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(4), 3u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(7), 3u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(8), 4u);
+  EXPECT_EQ(LatencyHistogram::BucketOf((uint64_t{1} << 20) - 1), 20u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(uint64_t{1} << 20), 21u);
+  // Everything beyond the last boundary lands in the overflow bucket.
+  EXPECT_EQ(LatencyHistogram::BucketOf(UINT64_MAX),
+            LatencyHistogram::kBuckets - 1);
+
+  // Exclusive upper bounds line up with the bucket function: a value just
+  // below BucketUpperNs(i) belongs to bucket i.
+  for (size_t i = 1; i + 1 < LatencyHistogram::kBuckets; ++i) {
+    EXPECT_EQ(LatencyHistogram::BucketOf(LatencyHistogram::BucketUpperNs(i) - 1),
+              i)
+        << "bucket " << i;
+    EXPECT_EQ(LatencyHistogram::BucketOf(LatencyHistogram::BucketUpperNs(i)),
+              i + 1)
+        << "bucket " << i;
+  }
+  EXPECT_EQ(LatencyHistogram::BucketUpperNs(LatencyHistogram::kBuckets - 1),
+            UINT64_MAX);
+}
+
+TEST(LatencyHistogramTest, RecordQuantilesAndReset) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.ApproxQuantileNs(0.5), 0u);
+
+  // 90 samples in bucket 2 ([2,4)), 10 in bucket 10 ([512,1024)).
+  for (int i = 0; i < 90; ++i) h.Record(3);
+  for (int i = 0; i < 10; ++i) h.Record(600);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.max_ns(), 600u);
+  EXPECT_DOUBLE_EQ(h.MeanNs(), (90.0 * 3 + 10.0 * 600) / 100.0);
+  // The p50 and p90 land in bucket 2 (upper bound 4), the p99 in bucket 10.
+  EXPECT_EQ(h.ApproxQuantileNs(0.5), 4u);
+  EXPECT_EQ(h.ApproxQuantileNs(0.9), 4u);
+  EXPECT_EQ(h.ApproxQuantileNs(0.99), 1024u);
+  EXPECT_EQ(h.bucket(2), 90u);
+  EXPECT_EQ(h.bucket(10), 10u);
+
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max_ns(), 0u);
+  EXPECT_EQ(h.bucket(2), 0u);
+}
+
+// --- OperatorMetrics / MetricsRegistry ----------------------------------------
+
+TEST(OperatorMetricsTest, SampleStateTracksPeaks) {
+  OperatorMetrics m;
+  m.SampleState(10, 100, 3);
+  m.SampleState(50, 20, 7);
+  m.SampleState(5, 500, 1);
+  EXPECT_EQ(m.state_units, 5u);
+  EXPECT_EQ(m.state_bytes, 500u);
+  EXPECT_EQ(m.queue_depth, 1u);
+  EXPECT_EQ(m.peak_state_units, 50u);
+  EXPECT_EQ(m.peak_state_bytes, 500u);
+  EXPECT_EQ(m.peak_queue_depth, 7u);
+}
+
+TEST(MetricsRegistryTest, SlotsAreStableAndSearchable) {
+  MetricsRegistry registry;
+  std::vector<OperatorMetrics*> slots;
+  for (int i = 0; i < 200; ++i) {
+    slots.push_back(registry.Register("op" + std::to_string(i % 3)));
+  }
+  // Deque storage: pointers handed out early stay valid after growth.
+  slots[0]->elements_in = 42;
+  EXPECT_EQ(registry.operators().front().elements_in, 42u);
+  EXPECT_EQ(registry.size(), 200u);
+
+  EXPECT_EQ(registry.FindByName("op1"), slots[1]);
+  EXPECT_EQ(registry.LastByName("op1"), slots[199]);
+  EXPECT_EQ(registry.FindByName("absent"), nullptr);
+  EXPECT_EQ(registry.LastByName("absent"), nullptr);
+}
+
+TEST(MetricsRegistryTest, TotalsAndReset) {
+  MetricsRegistry registry;
+  OperatorMetrics* a = registry.Register("a");
+  OperatorMetrics* b = registry.Register("b");
+  a->elements_in = 10;
+  a->elements_out = 9;
+  a->state_bytes = 100;
+  b->elements_in = 5;
+  b->elements_out = 5;
+  b->state_bytes = 50;
+  EXPECT_EQ(registry.TotalElementsIn(), 15u);
+  EXPECT_EQ(registry.TotalElementsOut(), 14u);
+  EXPECT_EQ(registry.TotalStateBytes(), 150u);
+
+  registry.Reset();
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.operators().front().name, "a");  // Names survive Reset.
+  EXPECT_EQ(registry.TotalElementsIn(), 0u);
+  EXPECT_EQ(a->elements_in, 0u);  // Attachments stay valid.
+}
+
+// --- Operator instrumentation --------------------------------------------------
+
+TEST(OperatorInstrumentationTest, CountersUnderInterleavedPush) {
+  SKIP_WITHOUT_METRICS();
+  const size_t n = 300;
+  const auto left = KeyedWindowed(n, 8, 50, 1);
+  const auto right = KeyedWindowed(n, 8, 50, 2);
+
+  MetricsRegistry registry;
+  SymmetricHashJoin join("j", 0, 0);
+  Source l("l");
+  Source r("r");
+  CollectorSink sink("k");
+  join.AttachMetrics(&registry);
+  l.AttachMetrics(&registry);
+  r.AttachMetrics(&registry);
+  sink.AttachMetrics(&registry);
+  l.ConnectTo(0, &join, 0);
+  r.ConnectTo(0, &join, 1);
+  join.ConnectTo(0, &sink, 0);
+
+  for (size_t i = 0; i < n; ++i) {
+    l.Inject(left[i]);
+    r.Inject(right[i]);
+  }
+  l.Close();
+  r.Close();
+
+  const OperatorMetrics* jm = registry.FindByName("j");
+  const OperatorMetrics* km = registry.FindByName("k");
+  ASSERT_NE(jm, nullptr);
+  ASSERT_NE(km, nullptr);
+  // Exact counters: every interleaved push is counted once, and everything
+  // the join emitted arrived at the sink.
+  EXPECT_EQ(jm->elements_in, 2 * n);
+  EXPECT_GT(jm->elements_out, 0u);
+  EXPECT_EQ(jm->elements_out, km->elements_in);
+  EXPECT_EQ(km->elements_in, sink.count());
+  // The join inserts every arriving element into a state (SHJ).
+  EXPECT_EQ(jm->state_inserts, 2 * n);
+  // Windows of 50 time units over 300 elements: most state expired mid-run.
+  EXPECT_GT(jm->state_expires, 0u);
+  EXPECT_LE(jm->state_expires, jm->state_inserts);
+}
+
+TEST(OperatorInstrumentationTest, SamplingCadenceAndGauges) {
+  SKIP_WITHOUT_METRICS();
+  const size_t n = 200;  // 200 pushes -> samples at push 1, 65, 129, 193.
+  const auto input = KeyedWindowed(n, 4, 80, 3);
+
+  MetricsRegistry registry;
+  DuplicateElimination dedup("d");
+  Source src("s");
+  CollectorSink sink("k");
+  dedup.AttachMetrics(&registry);
+  src.ConnectTo(0, &dedup, 0);
+  dedup.ConnectTo(0, &sink, 0);
+  for (const StreamElement& e : input) src.Inject(e);
+
+  const OperatorMetrics* dm = registry.FindByName("d");
+  ASSERT_NE(dm, nullptr);
+  EXPECT_EQ(dm->elements_in, n);
+  // Latency is recorded on every kSampleEvery-th push, starting with the
+  // first.
+  EXPECT_EQ(dm->push_ns.count(),
+            (n - 1) / MetricsRegistry::kSampleEvery + 1);
+  // The dedup holds open runs while the stream is live, so sampled state
+  // gauges must have seen a non-empty state.
+  EXPECT_GT(dm->peak_state_units, 0u);
+  src.Close();
+}
+
+TEST(OperatorInstrumentationTest, HeartbeatsCounted) {
+  SKIP_WITHOUT_METRICS();
+  MetricsRegistry registry;
+  DuplicateElimination dedup("d");
+  CollectorSink sink("k");
+  dedup.AttachMetrics(&registry);
+  dedup.ConnectTo(0, &sink, 0);
+  dedup.PushHeartbeat(0, Timestamp(10));
+  dedup.PushHeartbeat(0, Timestamp(20));
+  dedup.PushHeartbeat(0, Timestamp(20));  // Stale: not counted.
+  dedup.PushHeartbeat(0, Timestamp(5));   // Stale: not counted.
+  const OperatorMetrics* dm = registry.FindByName("d");
+  ASSERT_NE(dm, nullptr);
+  EXPECT_EQ(dm->heartbeats_in, 2u);
+}
+
+TEST(OperatorInstrumentationTest, DetachedOperatorLeavesRegistryEmpty) {
+  MetricsRegistry registry;
+  DuplicateElimination dedup("d");
+  CollectorSink sink("k");
+  dedup.ConnectTo(0, &sink, 0);
+  Source src("s");
+  src.ConnectTo(0, &dedup, 0);
+  for (const StreamElement& e : KeyedWindowed(64, 4, 10, 7)) src.Inject(e);
+  src.Close();
+  EXPECT_GT(sink.count(), 0u);
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_EQ(registry.TotalElementsIn(), 0u);
+}
+
+}  // namespace
+}  // namespace genmig
