@@ -1,0 +1,122 @@
+// Auto-migration trigger latency vs. cost margin (EXPERIMENTS.md).
+//
+// Figure-4-style skewed-rate workload on the full engine loop: four streams
+// joined in a chain; A and B start slow while C and D are fast, and at the
+// flip point the rates trade places (10x), moving the cost optimum away
+// from the installed left-deep plan. The calibrate -> cost -> trigger loop
+// (DESIGN.md) must notice the crossover and arm a migration; we sweep the
+// CostRatioPolicy margin and report, per margin, when the calibrated cost
+// ratio crossed 1.0, when the trigger armed a migration, the resulting
+// trigger latency, and how many migrations ran. Larger margins tolerate
+// more mis-optimality before migrating; smaller margins react faster but
+// are more exposed to estimation noise.
+
+#include <cstdio>
+#include <random>
+
+#include "engine/dsms.h"
+#include "stream/generator.h"
+
+using namespace genmig;  // NOLINT
+
+namespace {
+
+constexpr int64_t kFlip = 20000;
+constexpr int64_t kEnd = 40000;
+constexpr Duration kWindow = 2000;
+constexpr Duration kCalibrationPeriod = 1000;
+
+MaterializedStream PiecewiseRate(int64_t period_before, int64_t period_after,
+                                 int64_t keys, uint64_t seed) {
+  MaterializedStream out;
+  std::mt19937_64 rng(seed);
+  for (int64_t t = 0; t < kEnd;) {
+    out.push_back(StreamElement(
+        Tuple::OfInts({static_cast<int64_t>(
+            rng() % static_cast<uint64_t>(keys))}),
+        TimeInterval(Timestamp(t), Timestamp(t + 1))));
+    t += t < kFlip ? period_before : period_after;
+  }
+  return out;
+}
+
+struct Row {
+  double margin = 0.0;
+  size_t calibrations = 0;
+  int64_t crossover = -1;
+  int64_t armed = -1;
+  int64_t latency = -1;
+  int fires = 0;
+  int completed = 0;
+  size_t results = 0;
+};
+
+Row RunWithMargin(double margin) {
+  Dsms::Options options;
+  options.stats_horizon = 2000;
+  options.calibration_period = kCalibrationPeriod;
+  options.cost_margin = margin;
+  options.cost_hysteresis = margin / 2.0;
+  options.migration_cooldown = 5000;
+  Dsms dsms(options);
+  // A, B: slow -> fast; C, D: fast -> slow.
+  dsms.RegisterStream("A", Schema::OfInts({"x"}),
+                      PiecewiseRate(40, 4, 200, 71));
+  dsms.RegisterStream("B", Schema::OfInts({"x"}),
+                      PiecewiseRate(40, 4, 200, 72));
+  dsms.RegisterStream("C", Schema::OfInts({"x"}),
+                      PiecewiseRate(4, 40, 200, 73));
+  dsms.RegisterStream("D", Schema::OfInts({"x"}),
+                      PiecewiseRate(4, 40, 200, 74));
+  auto id = dsms.InstallQuery(
+      "SELECT A.x, B.x, C.x, D.x FROM A [RANGE 2000], B [RANGE 2000], "
+      "C [RANGE 2000], D [RANGE 2000] "
+      "WHERE A.x = B.x AND B.x = C.x AND C.x = D.x");
+  if (!id.ok()) {
+    std::fprintf(stderr, "install failed: %s\n",
+                 id.status().ToString().c_str());
+    return Row{};
+  }
+  dsms.RunToCompletion();
+
+  const Dsms::AutoReoptStatus& status = dsms.AutoStatus(id.value());
+  Row row;
+  row.margin = margin;
+  row.calibrations = status.calibrations;
+  if (status.last_crossover != Timestamp::MinInstant()) {
+    row.crossover = status.last_crossover.t;
+  }
+  if (status.last_armed != Timestamp::MinInstant()) {
+    row.armed = status.last_armed.t;
+  }
+  if (row.crossover >= 0 && row.armed >= 0) {
+    row.latency = row.armed - row.crossover;
+  }
+  row.fires = status.fires;
+  row.completed = dsms.Info(id.value()).migrations_completed;
+  row.results = dsms.Results(id.value()).size();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Auto-migration trigger latency vs. cost margin\n");
+  std::printf("# skewed-rate 4-way chain, flip at t=%lld, window %lld, "
+              "calibration period %lld\n",
+              static_cast<long long>(kFlip),
+              static_cast<long long>(kWindow),
+              static_cast<long long>(kCalibrationPeriod));
+  std::printf("%8s %12s %10s %8s %8s %6s %10s %8s\n", "margin",
+              "calibrations", "crossover", "armed", "latency", "fires",
+              "completed", "results");
+  for (const double margin : {0.05, 0.10, 0.25, 0.50, 1.00}) {
+    const Row row = RunWithMargin(margin);
+    std::printf("%8.2f %12zu %10lld %8lld %8lld %6d %10d %8zu\n", row.margin,
+                row.calibrations, static_cast<long long>(row.crossover),
+                static_cast<long long>(row.armed),
+                static_cast<long long>(row.latency), row.fires, row.completed,
+                row.results);
+  }
+  return 0;
+}

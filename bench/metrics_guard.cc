@@ -116,8 +116,10 @@ size_t RunOnce(const Workload& w, obs::MetricsRegistry* registry) {
   return total;
 }
 
-int64_t MinNs(const Workload& w, obs::MetricsRegistry* registry, int reps,
-              size_t* checksum) {
+// Unused when GENMIG_GUARD_SKIP is defined below (the guard becomes a skip).
+[[maybe_unused]] int64_t MinNs(const Workload& w,
+                               obs::MetricsRegistry* registry, int reps,
+                               size_t* checksum) {
   int64_t best = std::numeric_limits<int64_t>::max();
   for (int r = 0; r < reps; ++r) {
     if (registry != nullptr) registry->Reset();

@@ -8,8 +8,18 @@ namespace genmig {
 
 Dsms::Dsms(Options options)
     : options_(options), exec_(options.executor) {
-  if (options_.reoptimize_period > 0) {
-    exec_.after_step = [this]() { MaybeAutoReoptimize(); };
+  // Observations must outlive a few calibration periods (a pass is skipped
+  // while a migration is in flight) before the cost model falls back to
+  // estimates; widen the default staleness window accordingly.
+  if (options_.calibration_period > 0) {
+    options_.calibrator.stale_after = std::max(
+        options_.calibrator.stale_after, 4 * options_.calibration_period);
+  }
+  if (options_.reoptimize_period > 0 || options_.calibration_period > 0) {
+    exec_.after_step = [this]() {
+      if (options_.reoptimize_period > 0) MaybeAutoReoptimize();
+      if (options_.calibration_period > 0) MaybeCalibrate();
+    };
   }
 }
 
@@ -60,6 +70,7 @@ StatsTap* Dsms::SharedTap(const std::string& stream,
 Result<Dsms::QueryId> Dsms::Install(LogicalPtr plan) {
   auto query = std::make_unique<Query>();
   query->plan = plan;
+  query->stripped = logical::StripWindows(plan);
   query->source_names = logical::CollectSourceNames(*plan);
   query->leaf_windows = logical::CollectLeafWindowSpecs(*plan);
   for (const std::string& name : query->source_names) {
@@ -73,8 +84,26 @@ Result<Dsms::QueryId> Dsms::Install(LogicalPtr plan) {
   std::string qname = "q";
   qname.append(std::to_string(queries_.size()));
   query->controller = std::make_unique<MigrationController>(
-      std::move(qname), CompilePlan(*logical::StripWindows(plan)));
+      std::move(qname), CompilePlan(*query->stripped));
   query->controller->ConnectTo(0, &query->sink, 0);
+  if (options_.calibration_period > 0) {
+    query->calibrator = CostCalibrator(options_.calibrator);
+    CostRatioPolicy::Options popt;
+    popt.margin = options_.cost_margin;
+    popt.hysteresis = options_.cost_hysteresis;
+    popt.cooldown = options_.migration_cooldown;
+    query->cost_policy = std::make_shared<CostRatioPolicy>(popt);
+    Query* raw = query.get();
+    query->controller->SetTriggerPolicy(
+        query->cost_policy, [this, raw](MigrationController&) {
+          if (raw->pending_candidate == nullptr) return;
+          const LogicalPtr candidate = raw->pending_candidate;
+          raw->pending_candidate = nullptr;
+          StartGenMigTo(raw, candidate);
+          raw->auto_status.last_armed = exec_.current_time();
+          ++raw->auto_status.fires;
+        });
+  }
   if (options_.enable_metrics) {
     query->controller->AttachMetricsRecursive(&registry_);
     query->controller->SetTracer(&tracer_);
@@ -118,34 +147,68 @@ Dsms::QueryInfo Dsms::Info(QueryId id) const {
   return info;
 }
 
+void Dsms::StartGenMigTo(Query* query, const LogicalPtr& candidate) {
+  query->stripped = logical::StripWindows(candidate);
+  Box new_box = CompilePlan(*query->stripped);
+  new_box.ReorderInputs(query->source_names);
+  MigrationController::GenMigOptions opts;
+  opts.variant = options_.variant;
+  Duration max_window = 0;
+  bool any_count = false;
+  for (const logical::LeafWindowSpec& spec : query->leaf_windows) {
+    max_window = std::max(max_window, spec.window);
+    any_count |= spec.kind == LogicalNode::WindowKind::kCount;
+  }
+  // Count windows have no a-priori bound on validity length; derive
+  // T_split from the old box's states instead (Optimization 2).
+  opts.end_timestamp_split = any_count;
+  opts.window = max_window;
+  query->controller->StartGenMig(std::move(new_box), opts);
+  query->plan = candidate;
+}
+
+namespace {
+
+/// Cheapest rewrite of `plan` other than `plan` itself, costed with the
+/// query's observed-rate overlay. Returns null when no rewrite exists.
+LogicalPtr BestCandidate(const LogicalPtr& plan, const StatsCatalog& stats,
+                         const PlanObservations* observed,
+                         double* best_cost_out) {
+  LogicalPtr best;
+  double best_cost = 0.0;
+  for (const LogicalPtr& candidate : rules::EnumerateRewrites(plan, stats)) {
+    if (candidate == plan) continue;
+    const double cost = EstimatePlan(*candidate, stats, observed).cost;
+    if (best == nullptr || cost < best_cost) {
+      best = candidate;
+      best_cost = cost;
+    }
+  }
+  *best_cost_out = best_cost;
+  return best;
+}
+
+}  // namespace
+
 int Dsms::ReoptimizeNow() {
-  const StatsCatalog stats = CurrentStats();
-  Optimizer optimizer(stats);
+  const StatsCatalog base = CurrentStats();
   int started = 0;
   for (auto& query : queries_) {
     if (query->controller->migration_in_progress()) continue;
-    const LogicalPtr candidate = optimizer.Optimize(query->plan);
-    if (candidate == query->plan ||
-        !optimizer.ShouldMigrate(query->plan, candidate,
-                                 options_.migrate_threshold)) {
+    // Calibrated catalog + observed-rate overlay: with no observations yet
+    // (calibration loop off, or nothing folded) this degrades to the plain
+    // estimate-driven decision the static heuristic used to make.
+    const StatsCatalog stats = query->calibrator.Calibrated(base);
+    const double running =
+        EstimatePlan(*query->plan, stats, &query->calibrator).cost;
+    double best_cost = 0.0;
+    const LogicalPtr best =
+        BestCandidate(query->plan, stats, &query->calibrator, &best_cost);
+    if (best == nullptr ||
+        best_cost >= running * (1.0 - options_.migrate_threshold)) {
       continue;
     }
-    Box new_box = CompilePlan(*logical::StripWindows(candidate));
-    new_box.ReorderInputs(query->source_names);
-    MigrationController::GenMigOptions opts;
-    opts.variant = options_.variant;
-    Duration max_window = 0;
-    bool any_count = false;
-    for (const logical::LeafWindowSpec& spec : query->leaf_windows) {
-      max_window = std::max(max_window, spec.window);
-      any_count |= spec.kind == LogicalNode::WindowKind::kCount;
-    }
-    // Count windows have no a-priori bound on validity length; derive
-    // T_split from the old box's states instead (Optimization 2).
-    opts.end_timestamp_split = any_count;
-    opts.window = max_window;
-    query->controller->StartGenMig(std::move(new_box), opts);
-    query->plan = candidate;
+    StartGenMigTo(query.get(), best);
     ++started;
   }
   return started;
@@ -160,6 +223,53 @@ void Dsms::MaybeAutoReoptimize() {
   if (now.t - last_reopt_check_.t < options_.reoptimize_period) return;
   last_reopt_check_ = now;
   ReoptimizeNow();
+}
+
+void Dsms::MaybeCalibrate() {
+  const Timestamp now = exec_.current_time();
+  if (last_calibration_ == Timestamp::MinInstant()) {
+    last_calibration_ = now;
+    return;
+  }
+  if (now.t - last_calibration_.t < options_.calibration_period) return;
+  last_calibration_ = now;
+  CalibrateAndArm(now);
+}
+
+void Dsms::CalibrateAndArm(Timestamp now) {
+  const StatsCatalog base = CurrentStats();
+  for (auto& query : queries_) {
+    if (query->cost_policy == nullptr) continue;
+    Query* q = query.get();
+    if (q->controller->migration_in_progress()) {
+      // Two boxes are live and their counters overlap; skip the observation
+      // pass and let the staleness window age the previous one out.
+      q->calibrator.AdvanceTime(now);
+    } else {
+      q->calibrator.ObservePlanBox(*q->stripped, q->controller->active_box(),
+                                   now);
+    }
+    ++q->auto_status.calibrations;
+    q->auto_status.last_calibration = now;
+
+    const StatsCatalog stats = q->calibrator.Calibrated(base);
+    const double running =
+        EstimatePlan(*q->plan, stats, &q->calibrator).cost;
+    double best_cost = 0.0;
+    const LogicalPtr best =
+        BestCandidate(q->plan, stats, &q->calibrator, &best_cost);
+    double ratio = 0.0;
+    if (best != nullptr) {
+      ratio = running / std::max(best_cost, 1e-12);
+    }
+    const double previous = q->auto_status.last_ratio;
+    q->auto_status.last_ratio = ratio;
+    if (ratio > 1.0 && previous <= 1.0) q->auto_status.last_crossover = now;
+    // Arm the candidate; the trigger policy decides (margin, hysteresis,
+    // cool-down) whether the controller actually fires on it.
+    q->pending_candidate = ratio > 1.0 ? best : nullptr;
+    q->cost_policy->UpdateSignal(ratio, now);
+  }
 }
 
 }  // namespace genmig

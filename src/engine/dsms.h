@@ -21,9 +21,11 @@
 
 #include "cql/parser.h"
 #include "migration/controller.h"
+#include "migration/trigger_policy.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "opt/calibrator.h"
 #include "opt/rules.h"
 #include "opt/stats_tap.h"
 #include "plan/compile.h"
@@ -41,6 +43,24 @@ class Dsms {
     Duration reoptimize_period = 0;
     /// Minimum relative cost improvement to justify a migration.
     double migrate_threshold = 0.2;
+    /// Application-time period of the cost-feedback auto-migration loop
+    /// (DESIGN.md "calibrate -> cost -> trigger"): every period the engine
+    /// folds observed per-operator metrics into each query's CostCalibrator,
+    /// re-costs the running plan (observed rates) against rule-enumerated
+    /// candidates (calibrated estimates) and feeds the cost ratio into the
+    /// query's CostRatioPolicy trigger. 0 disables the loop.
+    Duration calibration_period = 0;
+    /// Cost-ratio trigger fires when running/candidate >= 1 + cost_margin.
+    double cost_margin = 0.25;
+    /// The trigger re-arms only after the ratio drops back to
+    /// 1 + cost_margin - cost_hysteresis (oscillation guard).
+    double cost_hysteresis = 0.1;
+    /// Post-migration cool-down: no auto-triggered migration within this
+    /// many application-time units of the previous one.
+    Duration migration_cooldown = 5000;
+    /// Calibrator knobs; stale_after is raised to cover a few calibration
+    /// periods automatically when left at its default.
+    CostCalibrator::Options calibrator;
     /// GenMig variant used for migrations.
     MigrationController::GenMigOptions::Variant variant =
         MigrationController::GenMigOptions::Variant::kCoalesce;
@@ -102,6 +122,23 @@ class Dsms {
   /// Statistics catalog assembled from the queries' taps.
   StatsCatalog CurrentStats() const;
 
+  /// Introspection of the per-query cost-feedback auto-migration loop
+  /// (all zeros / MinInstant while Options::calibration_period is 0).
+  struct AutoReoptStatus {
+    size_t calibrations = 0;  // Completed calibrate->cost passes.
+    double last_ratio = 0.0;  // running cost / best candidate cost.
+    Timestamp last_calibration = Timestamp::MinInstant();
+    /// Last calibration at which the ratio crossed 1.0 from below (the cost
+    /// crossover the trigger is expected to react to).
+    Timestamp last_crossover = Timestamp::MinInstant();
+    /// Last time the trigger fired and armed a migration.
+    Timestamp last_armed = Timestamp::MinInstant();
+    int fires = 0;  // Auto-triggered migrations started.
+  };
+  const AutoReoptStatus& AutoStatus(QueryId id) const {
+    return queries_.at(static_cast<size_t>(id))->auto_status;
+  }
+
   // --- Observability ------------------------------------------------------------
 
   /// Per-operator runtime metrics of every installed query (empty when
@@ -124,12 +161,18 @@ class Dsms {
 
  private:
   struct Query {
-    LogicalPtr plan;  // Windowed logical plan currently running.
+    LogicalPtr plan;      // Windowed logical plan currently running.
+    LogicalPtr stripped;  // StripWindows(plan); pairs with the hosted box.
     std::vector<std::string> source_names;
     std::vector<logical::LeafWindowSpec> leaf_windows;
     std::vector<StatsTap*> taps;  // One per input port (shared subplans).
     std::unique_ptr<MigrationController> controller;
     CollectorSink sink{"sink"};
+    // Cost-feedback auto-migration loop (calibration_period > 0 only).
+    CostCalibrator calibrator;
+    std::shared_ptr<CostRatioPolicy> cost_policy;  // Null when loop is off.
+    LogicalPtr pending_candidate;  // Migration target armed by the loop.
+    AutoReoptStatus auto_status;
   };
 
   /// A shared windowed-source subplan (Section 1: "save system resources by
@@ -144,6 +187,13 @@ class Dsms {
   StatsTap* SharedTap(const std::string& stream,
                       const logical::LeafWindowSpec& spec);
   void MaybeAutoReoptimize();
+  /// Throttled entry of the calibrate -> cost -> trigger loop (after_step).
+  void MaybeCalibrate();
+  /// One calibration pass over every auto-managed query: observe the hosted
+  /// box, re-cost running vs. candidates, update the trigger signal.
+  void CalibrateAndArm(Timestamp now);
+  /// Compiles `candidate` and starts a GenMig migration of `query` to it.
+  void StartGenMigTo(Query* query, const LogicalPtr& candidate);
 
   Options options_;
   Executor exec_;
@@ -153,6 +203,7 @@ class Dsms {
       shared_;
   std::vector<std::unique_ptr<Query>> queries_;
   Timestamp last_reopt_check_ = Timestamp::MinInstant();
+  Timestamp last_calibration_ = Timestamp::MinInstant();
   obs::MetricsRegistry registry_;
   obs::MigrationTracer tracer_;
 };

@@ -54,22 +54,40 @@ Timestamp MigrationController::TraceTime() const {
   return t;
 }
 
+void MigrationController::SetTriggerPolicy(
+    std::shared_ptr<TriggerPolicy> policy,
+    std::function<void(MigrationController&)> on_fire) {
+  trigger_policy_ = std::move(policy);
+  trigger_fire_ = std::move(on_fire);
+}
+
 void MigrationController::SetCostTrigger(
     size_t state_bytes_threshold,
     std::function<void(MigrationController&)> on_exceeded) {
-  cost_threshold_ = state_bytes_threshold;
-  cost_trigger_ = std::move(on_exceeded);
+  SetTriggerPolicy(std::make_shared<StateBytesPolicy>(state_bytes_threshold),
+                   std::move(on_exceeded));
 }
 
-void MigrationController::CheckCostTrigger() {
-  if (!cost_trigger_ || phase_ != Phase::kDirect) return;
-  if ((cost_checks_++ & 15) != 0) return;
-  if (StateBytes() < cost_threshold_) return;
-  // Disarm before firing: the callback may start a migration, which would
-  // re-enter Maintain().
-  auto trigger = std::move(cost_trigger_);
-  cost_trigger_ = nullptr;
-  trigger(*this);
+void MigrationController::CheckTriggerPolicy() {
+  if (trigger_policy_ == nullptr || !trigger_fire_) return;
+  if (phase_ != Phase::kDirect || in_trigger_fire_) return;
+  // Once every input ended there is no live stream left to migrate for.
+  if (all_inputs_eos()) return;
+  if (!trigger_policy_->ShouldFire(*this, TraceTime())) return;
+  // Policies latch their disarm state before returning true, but guard the
+  // callback anyway: it may start a migration, which re-enters Maintain().
+  // Invoke through a copy — the callback is allowed to re-arm (replace
+  // trigger_fire_) while it is executing.
+  const std::function<void(MigrationController&)> fire = trigger_fire_;
+  in_trigger_fire_ = true;
+  fire(*this);
+  in_trigger_fire_ = false;
+}
+
+void MigrationController::NotifyMigrationCompleted() {
+  if (trigger_policy_ != nullptr) {
+    trigger_policy_->OnMigrationCompleted(TraceTime());
+  }
 }
 
 void MigrationController::InstallDirect(Box* box) {
@@ -138,22 +156,26 @@ void MigrationController::OnAllInputsEos() {
 }
 
 void MigrationController::Maintain() {
-  CheckCostTrigger();
   switch (strategy_) {
     case StrategyKind::kNone:
     case StrategyKind::kMovingStates:
-      return;
+      break;
     case StrategyKind::kGenMig:
       if (phase_ == Phase::kWaitingTimestamps) TryEnterParallel();
       if (phase_ == Phase::kParallel) MaintainGenMig();
       if (phase_ == Phase::kDraining && merge_->StateUnits() == 0) {
         FinishGenMig();
       }
-      return;
+      break;
     case StrategyKind::kParallelTrack:
       if (phase_ == Phase::kParallel) MaintainParallelTrack();
-      return;
+      break;
   }
+  // Evaluated after the phase machinery so that a trigger armed during a
+  // migration is seen in the very Maintain() that completes it — previously
+  // a re-armed trigger was silently inert when the migration finished on the
+  // stream's final progress update.
+  CheckTriggerPolicy();
 }
 
 // --- GenMig --------------------------------------------------------------------
@@ -346,6 +368,7 @@ void MigrationController::FinishGenMig() {
   ++migrations_completed_;
   Trace(obs::MigrationEvent::kCompleted);
   trace_id_ = -1;
+  NotifyMigrationCompleted();
 }
 
 // --- Parallel Track --------------------------------------------------------------
@@ -453,6 +476,7 @@ void MigrationController::FinishParallelTrack() {
   ++migrations_completed_;
   Trace(obs::MigrationEvent::kCompleted);
   trace_id_ = -1;
+  NotifyMigrationCompleted();
 }
 
 // --- Moving States ----------------------------------------------------------------
@@ -505,6 +529,7 @@ void MigrationController::StartMovingStates(Box new_box,
   ++migrations_completed_;
   Trace(obs::MigrationEvent::kCompleted);
   trace_id_ = -1;
+  NotifyMigrationCompleted();
 }
 
 // --- Introspection -------------------------------------------------------------------

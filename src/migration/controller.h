@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "migration/trigger_policy.h"
 #include "obs/trace.h"
 #include "ops/coalesce.h"
 #include "ops/refpoint_merge.h"
@@ -124,13 +125,27 @@ class MigrationController : public Operator {
   /// Records every migration phase transition into `tracer` (null disables).
   void SetTracer(obs::MigrationTracer* tracer) { tracer_ = tracer; }
 
+  /// Installs a pluggable migration trigger. The policy is evaluated at the
+  /// end of every Maintain() while no migration is in progress and at least
+  /// one input is still live; when it fires, `on_fire` runs and may start a
+  /// migration directly. Completed migrations are reported to the policy
+  /// (cool-down bookkeeping) — and because the evaluation happens *after*
+  /// the phase machinery, a policy re-armed during a migration fires in the
+  /// very Maintain() that completes it, even when that is the stream's last.
+  /// Replaces any previously installed policy; a null policy clears the
+  /// trigger.
+  void SetTriggerPolicy(std::shared_ptr<TriggerPolicy> policy,
+                        std::function<void(MigrationController&)> on_fire);
+
+  /// The installed trigger policy (nullptr when none).
+  TriggerPolicy* trigger_policy() const { return trigger_policy_.get(); }
+
   /// Threshold-based migration trigger hook: once the hosted plan's state
   /// exceeds `state_bytes_threshold` while no migration is in progress,
-  /// `on_exceeded` fires (exactly once per arming; re-arm by calling again).
-  /// The callback may start a migration directly — it runs outside the
-  /// input-forwarding loop. This is the hook a follow-up cost-based
-  /// re-optimizer drives from observed per-operator cost instead of an
-  /// external command.
+  /// `on_exceeded` fires (exactly once per arming; re-arm by calling again —
+  /// also valid from inside the callback or mid-migration, in which case the
+  /// new arming fires after the migration completes). Implemented as
+  /// SetTriggerPolicy with a StateBytesPolicy.
   void SetCostTrigger(size_t state_bytes_threshold,
                       std::function<void(MigrationController&)> on_exceeded);
 
@@ -167,7 +182,9 @@ class MigrationController : public Operator {
   /// Application time stamped onto trace records: the minimum live input
   /// watermark, falling back to the output bound once every input ended.
   Timestamp TraceTime() const;
-  void CheckCostTrigger();
+  void CheckTriggerPolicy();
+  /// Reports a completed migration to the installed trigger policy.
+  void NotifyMigrationCompleted();
   /// Moves every machinery operator and the given box to the retired list
   /// (kept alive until destruction; cheap, states already empty or moot).
   void RetireMachinery();
@@ -223,11 +240,10 @@ class MigrationController : public Operator {
   obs::MigrationTracer* tracer_ = nullptr;
   /// Tracer id of the in-flight migration, -1 outside one.
   int trace_id_ = -1;
-  size_t cost_threshold_ = 0;
-  std::function<void(MigrationController&)> cost_trigger_;
-  /// StateBytes can be linear in state size, so the trigger is evaluated on
-  /// every 16th Maintain() only.
-  uint64_t cost_checks_ = 0;
+  std::shared_ptr<TriggerPolicy> trigger_policy_;
+  std::function<void(MigrationController&)> trigger_fire_;
+  /// Guards against the fire callback re-entering the trigger evaluation.
+  bool in_trigger_fire_ = false;
 
   // Operator plumbing created per phase; retired pieces are kept alive.
   std::vector<std::unique_ptr<Operator>> machinery_;

@@ -17,8 +17,18 @@ const SourceStats& StatsCatalog::Get(const std::string& name) const {
   return it == sources_.end() ? kDefault : it->second;
 }
 
-PlanEstimate EstimatePlan(const LogicalNode& node,
-                          const StatsCatalog& catalog) {
+namespace {
+
+/// Bottom-up estimate with an optional observed-rate overlay: the structural
+/// estimate of each node is computed first (so states, windows and distincts
+/// stay model-derived), then its rate is snapped to the measured value if the
+/// node's subplan has a fresh observation.
+PlanEstimate Estimate(const LogicalNode& node, const StatsCatalog& catalog,
+                      const PlanObservations* observed);
+
+PlanEstimate EstimateStructural(const LogicalNode& node,
+                                const StatsCatalog& catalog,
+                                const PlanObservations* observed) {
   switch (node.kind) {
     case LogicalNode::Kind::kSource: {
       const SourceStats& s = catalog.Get(node.source_name);
@@ -32,7 +42,7 @@ PlanEstimate EstimatePlan(const LogicalNode& node,
       return e;
     }
     case LogicalNode::Kind::kWindow: {
-      PlanEstimate e = EstimatePlan(*node.children[0], catalog);
+      PlanEstimate e = Estimate(*node.children[0], catalog, observed);
       if (node.window_kind == LogicalNode::WindowKind::kCount) {
         // A count window keeps the last n rows: effective validity is the
         // time n arrivals span.
@@ -45,7 +55,7 @@ PlanEstimate EstimatePlan(const LogicalNode& node,
       return e;
     }
     case LogicalNode::Kind::kSelect: {
-      PlanEstimate e = EstimatePlan(*node.children[0], catalog);
+      PlanEstimate e = Estimate(*node.children[0], catalog, observed);
       e.cost += e.rate;  // One predicate evaluation per element.
       e.rate *= StatsCatalog::kDefaultSelectivity;
       for (auto& [c, d] : e.distinct) {
@@ -54,7 +64,7 @@ PlanEstimate EstimatePlan(const LogicalNode& node,
       return e;
     }
     case LogicalNode::Kind::kProject: {
-      PlanEstimate in = EstimatePlan(*node.children[0], catalog);
+      PlanEstimate in = Estimate(*node.children[0], catalog, observed);
       PlanEstimate e = in;
       e.distinct.clear();
       for (size_t i = 0; i < node.project_fields.size(); ++i) {
@@ -64,8 +74,8 @@ PlanEstimate EstimatePlan(const LogicalNode& node,
       return e;
     }
     case LogicalNode::Kind::kJoin: {
-      const PlanEstimate l = EstimatePlan(*node.children[0], catalog);
-      const PlanEstimate r = EstimatePlan(*node.children[1], catalog);
+      const PlanEstimate l = Estimate(*node.children[0], catalog, observed);
+      const PlanEstimate r = Estimate(*node.children[1], catalog, observed);
       // State per side: elements valid simultaneously = rate x validity.
       const double state_l = l.rate * std::max(l.window, 1.0);
       const double state_r = r.rate * std::max(r.window, 1.0);
@@ -89,7 +99,7 @@ PlanEstimate EstimatePlan(const LogicalNode& node,
       return e;
     }
     case LogicalNode::Kind::kDedup: {
-      PlanEstimate e = EstimatePlan(*node.children[0], catalog);
+      PlanEstimate e = Estimate(*node.children[0], catalog, observed);
       double domain = 1.0;
       for (size_t c = 0; c < node.schema.size(); ++c) {
         domain *= e.DistinctOf(c);
@@ -100,7 +110,7 @@ PlanEstimate EstimatePlan(const LogicalNode& node,
       return e;
     }
     case LogicalNode::Kind::kAggregate: {
-      PlanEstimate in = EstimatePlan(*node.children[0], catalog);
+      PlanEstimate in = Estimate(*node.children[0], catalog, observed);
       double groups = 1.0;
       for (size_t g : node.group_fields) groups *= in.DistinctOf(g);
       PlanEstimate e;
@@ -116,8 +126,8 @@ PlanEstimate EstimatePlan(const LogicalNode& node,
       return e;
     }
     case LogicalNode::Kind::kUnion: {
-      const PlanEstimate l = EstimatePlan(*node.children[0], catalog);
-      const PlanEstimate r = EstimatePlan(*node.children[1], catalog);
+      const PlanEstimate l = Estimate(*node.children[0], catalog, observed);
+      const PlanEstimate r = Estimate(*node.children[1], catalog, observed);
       PlanEstimate e;
       e.rate = l.rate + r.rate;
       e.window = std::max(l.window, r.window);
@@ -129,8 +139,8 @@ PlanEstimate EstimatePlan(const LogicalNode& node,
       return e;
     }
     case LogicalNode::Kind::kDifference: {
-      const PlanEstimate l = EstimatePlan(*node.children[0], catalog);
-      const PlanEstimate r = EstimatePlan(*node.children[1], catalog);
+      const PlanEstimate l = Estimate(*node.children[0], catalog, observed);
+      const PlanEstimate r = Estimate(*node.children[1], catalog, observed);
       PlanEstimate e;
       e.rate = l.rate;  // Upper bound.
       e.window = l.window;
@@ -145,8 +155,27 @@ PlanEstimate EstimatePlan(const LogicalNode& node,
   GENMIG_CHECK(false);
 }
 
-double EstimateCost(const LogicalNode& node, const StatsCatalog& catalog) {
-  return EstimatePlan(node, catalog).cost;
+PlanEstimate Estimate(const LogicalNode& node, const StatsCatalog& catalog,
+                      const PlanObservations* observed) {
+  PlanEstimate e = EstimateStructural(node, catalog, observed);
+  if (observed != nullptr) {
+    if (const PlanObservations::NodeObservation* obs = observed->Lookup(node)) {
+      e.rate = std::max(obs->out_rate, kMinRate);
+    }
+  }
+  return e;
+}
+
+}  // namespace
+
+PlanEstimate EstimatePlan(const LogicalNode& node, const StatsCatalog& catalog,
+                          const PlanObservations* observed) {
+  return Estimate(node, catalog, observed);
+}
+
+double EstimateCost(const LogicalNode& node, const StatsCatalog& catalog,
+                    const PlanObservations* observed) {
+  return EstimatePlan(node, catalog, observed).cost;
 }
 
 }  // namespace genmig

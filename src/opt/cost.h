@@ -33,12 +33,40 @@ struct PlanEstimate {
   }
 };
 
-/// Estimates `node` bottom-up against `catalog`.
-PlanEstimate EstimatePlan(const LogicalNode& node,
-                          const StatsCatalog& catalog);
+/// Observed runtime overrides for the cost model. A running plan's operators
+/// produce measured output rates; costing the plan against those instead of
+/// catalog estimates is what makes the re-optimization trigger track reality
+/// (see opt/calibrator.h for the implementation fed from obs::MetricsRegistry).
+/// Nodes are matched structurally, so a candidate rewrite sharing a subtree
+/// with the running plan is costed from the same observation.
+class PlanObservations {
+ public:
+  struct NodeObservation {
+    /// Measured output elements per time unit.
+    double out_rate = 0.0;
+    /// Measured out/in element ratio.
+    double selectivity = 1.0;
+  };
+
+  virtual ~PlanObservations() = default;
+
+  /// Observation for `node`'s subplan, or nullptr when it was never observed
+  /// or the observation went stale. The returned pointer is only valid until
+  /// the next Lookup call.
+  virtual const NodeObservation* Lookup(const LogicalNode& node) const = 0;
+};
+
+/// Estimates `node` bottom-up against `catalog`. When `observed` is given,
+/// each node's output rate is replaced by its measured value where one is
+/// available; unobserved nodes (new operators of a candidate rewrite) keep
+/// their calibrated estimates, which are themselves derived from the observed
+/// rates of their children.
+PlanEstimate EstimatePlan(const LogicalNode& node, const StatsCatalog& catalog,
+                          const PlanObservations* observed = nullptr);
 
 /// Total cost of a plan (shorthand for EstimatePlan(...).cost).
-double EstimateCost(const LogicalNode& node, const StatsCatalog& catalog);
+double EstimateCost(const LogicalNode& node, const StatsCatalog& catalog,
+                    const PlanObservations* observed = nullptr);
 
 }  // namespace genmig
 

@@ -48,6 +48,12 @@ class StatsCatalog {
 
   const SourceStats& Get(const std::string& name) const;
 
+  /// All registered sources (used to overlay calibrated rates, see
+  /// opt/calibrator.h).
+  const std::map<std::string, SourceStats>& sources() const {
+    return sources_;
+  }
+
   /// Refreshes a source's rate from a MonitorOp tap placed on it.
   void UpdateFromMonitor(const std::string& name, const MonitorOp& monitor) {
     sources_[name].rate = monitor.ObservedRate();
