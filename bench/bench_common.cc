@@ -35,6 +35,9 @@ ExperimentResult RunJoinExperiment(const Figure45Config& cfg,
   for (int s = 0; s < cfg.num_streams; ++s) {
     const int feed = exec.AddFeed("S" + std::to_string(s),
                                   streams[static_cast<size_t>(s)]);
+    // Attached sources stamp a sampled ingress wall-clock onto elements;
+    // the sink's e2e histogram is empty without this.
+    exec.source(feed)->AttachMetrics(&registry);
     windows.push_back(std::make_unique<TimeWindow>(
         "w" + std::to_string(s), cfg.window));
     exec.ConnectFeed(feed, windows.back().get(), 0);
@@ -49,6 +52,13 @@ ExperimentResult RunJoinExperiment(const Figure45Config& cfg,
   result.rate_per_bucket.assign(
       static_cast<size_t>(horizon / bucket) + 2, 0);
   result.bytes_per_bucket.assign(result.rate_per_bucket.size(), 0);
+  result.e2e_p99_per_bucket.assign(result.rate_per_bucket.size(), 0.0);
+
+  // One timeline sample per bucket: interval latency quantiles, queue
+  // depths and rates over time, exported into trace_json below.
+  obs::TimeSeriesRing timeline(result.rate_per_bucket.size() + 2);
+  obs::TimelineSampler sampler(&registry, &timeline);
+  int64_t last_sampled_bucket = -1;
 
   sink.set_on_element([&](const StreamElement&) {
     const int64_t t = std::max<int64_t>(exec.current_time().t, 0);
@@ -69,6 +79,10 @@ ExperimentResult RunJoinExperiment(const Figure45Config& cfg,
       result.migration_end = exec.current_time().t;
     }
     was_migrating = migrating;
+    if (static_cast<int64_t>(b) != last_sampled_bucket) {
+      last_sampled_bucket = static_cast<int64_t>(b);
+      sampler.Sample(Timestamp(t), migrating);
+    }
   };
 
   exec.RunUntil(Timestamp(cfg.migration_start));
@@ -111,10 +125,28 @@ ExperimentResult RunJoinExperiment(const Figure45Config& cfg,
     result.migration_end = exec.current_time().t;
   }
   exec.RunToCompletion();
+  // Close the last interval so the tail of the run has a latency sample too.
+  sampler.Sample(exec.current_time(), controller.migration_in_progress());
 
   result.output_count = sink.count();
   result.t_split = controller.t_split();
   result.metrics_json = obs::ToJson(registry, &tracer);
+  result.trace_json = obs::ToChromeTrace(registry, &tracer, &timeline);
+  for (size_t i = 0; i < timeline.size(); ++i) {
+    const obs::MetricSample& s = timeline.at(i);
+    if (s.sink_count == 0) continue;
+    const size_t b =
+        static_cast<size_t>(std::max<int64_t>(s.app_time.t, 0) / bucket);
+    if (b < result.e2e_p99_per_bucket.size()) {
+      result.e2e_p99_per_bucket[b] =
+          std::max(result.e2e_p99_per_bucket[b], s.sink_p99_ns);
+    }
+  }
+  if (const obs::OperatorMetrics* m = registry.FindByName("sink")) {
+    result.e2e_count = m->e2e_ns.count();
+    result.e2e_p50_ns = m->e2e_ns.ApproxQuantile(0.5);
+    result.e2e_p99_ns = m->e2e_ns.ApproxQuantile(0.99);
+  }
   if (const obs::OperatorMetrics* m = registry.LastByName("ctrl/old_out")) {
     result.merge_in_old = m->elements_in;
   }

@@ -23,6 +23,7 @@
 #include "migration/join_tree.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "plan/executor.h"
 #include "stream/generator.h"
@@ -106,6 +107,17 @@ struct ExperimentResult {
   /// timings; obs/export.h layout). Empty operator list under
   /// GENMIG_NO_METRICS.
   std::string metrics_json;
+  /// Chrome-trace / Perfetto JSON of the run: migration phase spans plus
+  /// timeline counter tracks (queue depth, state bytes, sink e2e latency).
+  std::string trace_json;
+  /// Interval sink end-to-end p99 latency (ns) per application-time bucket,
+  /// from the per-bucket timeline samples; 0 where no stamped element
+  /// reached the sink (and everywhere under GENMIG_NO_METRICS).
+  std::vector<double> e2e_p99_per_bucket;
+  /// Whole-run sink end-to-end latency (stamped elements only).
+  uint64_t e2e_count = 0;
+  double e2e_p50_ns = 0.0;
+  double e2e_p99_ns = 0.0;
   /// Spot-check counters pulled from the registry (0 under
   /// GENMIG_NO_METRICS): old-box outputs fed into the GenMig merge, total
   /// merge inputs (old + new side) and merge outputs. The difference

@@ -30,12 +30,14 @@ int main() {
   ExperimentResult pt =
       RunJoinExperiment(cfg, Strategy::kParallelTrack, bucket);
 
-  std::printf("%8s %12s %12s %12s\n", "time_s", "no_migration", "genmig",
-              "parallel_track");
+  std::printf("%8s %12s %12s %12s %14s %14s\n", "time_s", "no_migration",
+              "genmig", "parallel_track", "gm_p99_us", "pt_p99_us");
   const size_t horizon = 62;
   for (size_t b = 0; b < horizon && b < gm.rate_per_bucket.size(); ++b) {
-    std::printf("%8zu %12zu %12zu %12zu\n", b, none.rate_per_bucket[b],
-                gm.rate_per_bucket[b], pt.rate_per_bucket[b]);
+    std::printf("%8zu %12zu %12zu %12zu %14.1f %14.1f\n", b,
+                none.rate_per_bucket[b], gm.rate_per_bucket[b],
+                pt.rate_per_bucket[b], gm.e2e_p99_per_bucket[b] / 1000.0,
+                pt.e2e_p99_per_bucket[b] / 1000.0);
   }
 
   std::printf("\nmigration end (application time, s): genmig=%.1f "
@@ -87,6 +89,16 @@ int main() {
               static_cast<unsigned long long>(gm.merge_out),
               static_cast<unsigned long long>(coalesced));
 
+  // End-to-end latency attribution (sampled ingress stamps, sink-side):
+  // GenMig keeps producing during migration while PT's buffered results show
+  // up as a latency spike when the pt_buffer flushes.
+  std::printf("\ne2e latency (stamped elements): genmig n=%llu p50=%.1fus "
+              "p99=%.1fus | pt n=%llu p50=%.1fus p99=%.1fus\n",
+              static_cast<unsigned long long>(gm.e2e_count),
+              gm.e2e_p50_ns / 1000.0, gm.e2e_p99_ns / 1000.0,
+              static_cast<unsigned long long>(pt.e2e_count),
+              pt.e2e_p50_ns / 1000.0, pt.e2e_p99_ns / 1000.0);
+
   const char* json_path = "BENCH_fig4_output_rate.json";
   if (obs::WriteFile(json_path, gm.metrics_json)) {
     std::printf("per-operator metrics + migration phase timings written to "
@@ -94,5 +106,16 @@ int main() {
   } else {
     std::printf("failed to write %s\n", json_path);
   }
+  // Chrome-trace / Perfetto exports: load at ui.perfetto.dev to see the
+  // migration phase spans against the latency/queue counter tracks.
+  auto write_trace = [](const char* path, const std::string& json) {
+    if (obs::WriteFile(path, json)) {
+      std::printf("chrome trace written to %s\n", path);
+    } else {
+      std::printf("failed to write %s\n", path);
+    }
+  };
+  write_trace("TRACE_fig4_genmig.json", gm.trace_json);
+  write_trace("TRACE_fig4_pt.json", pt.trace_json);
   return 0;
 }

@@ -31,16 +31,24 @@ int main() {
     rows.push_back({s, RunJoinExperiment(cfg, s, /*bucket=*/1000)});
   }
 
-  std::printf("%-18s %12s %14s %16s\n", "strategy", "outputs",
-              "runtime_sec", "rel_to_refpoint");
+  std::printf("%-18s %12s %14s %16s %14s\n", "strategy", "outputs",
+              "runtime_sec", "rel_to_refpoint", "e2e_p99_us");
   const double base = rows[2].result.wall_seconds;
   for (const Row& row : rows) {
-    std::printf("%-18s %12zu %14.3f %15.2fx\n", StrategyName(row.strategy),
-                row.result.output_count, row.result.wall_seconds,
-                row.result.wall_seconds / base);
+    std::printf("%-18s %12zu %14.3f %15.2fx %14.1f\n",
+                StrategyName(row.strategy), row.result.output_count,
+                row.result.wall_seconds, row.result.wall_seconds / base,
+                row.result.e2e_p99_ns / 1000.0);
   }
   std::printf("\npaper shape: runtime(PT) > runtime(GenMig/coalesce) > "
               "runtime(GenMig/refpoint); all strategies produce the same "
               "output count\n");
+  for (const Row& row : rows) {
+    const std::string path =
+        std::string("TRACE_fig6_") + StrategyName(row.strategy) + ".json";
+    if (obs::WriteFile(path, row.result.trace_json)) {
+      std::printf("chrome trace written to %s\n", path.c_str());
+    }
+  }
   return 0;
 }

@@ -4,10 +4,15 @@
 // attached to a MetricsRegistry, once detached — and fails if the attached
 // run is more than 5% slower (min over repetitions).
 //
-// Detached operators still pay the compiled-in `metrics_ == nullptr` check,
-// so this measures the full per-element instrumentation cost on top of the
-// dormant hook; the dormant hook itself is a single predicted branch, which
-// is the only cost a GENMIG_NO_METRICS build additionally removes.
+// The attached run carries the full instrumentation path: counter updates,
+// push-latency sampling, sampled ingress stamping at the sources plus
+// sink-side end-to-end recording, and periodic TimelineSampler snapshots
+// into a TimeSeriesRing (one per ~1024 injected elements, far denser than
+// any real deployment). Detached operators still pay the compiled-in
+// `metrics_ == nullptr` check, so this measures the full per-element
+// instrumentation cost on top of the dormant hook; the dormant hook itself
+// is a single predicted branch, which is the only cost a GENMIG_NO_METRICS
+// build additionally removes.
 //
 // Exit codes: 0 = within budget, 1 = overhead above threshold, 77 = skipped
 // (registered with SKIP_RETURN_CODE 77: Debug builds, sanitizers and
@@ -22,6 +27,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "ops/dedup.h"
 #include "ops/join.h"
 #include "ops/sink.h"
@@ -49,9 +55,18 @@ struct Workload {
   MaterializedStream dedup_in = KeyedWindowed(8000, 16, 200, 5);
 };
 
-/// One pass over the operator mix; `registry` null means detached.
-size_t RunOnce(const Workload& w, obs::MetricsRegistry* registry) {
+/// One pass over the operator mix; `registry` null means detached. When
+/// attached, `sampler` snapshots the registry into a ring every 1024
+/// injections so the guard also prices the timeline-sampling path.
+size_t RunOnce(const Workload& w, obs::MetricsRegistry* registry,
+               obs::TimelineSampler* sampler) {
   size_t total = 0;
+  int64_t injected = 0;
+  auto maybe_sample = [&]() {
+    if (sampler != nullptr && (++injected & 1023) == 0) {
+      sampler->Sample(Timestamp(injected), /*migration_active=*/false);
+    }
+  };
   {
     SymmetricHashJoin join("j", 0, 0);
     Source l("l");
@@ -69,6 +84,7 @@ size_t RunOnce(const Workload& w, obs::MetricsRegistry* registry) {
     for (size_t i = 0; i < w.shj_left.size(); ++i) {
       l.Inject(w.shj_left[i]);
       r.Inject(w.shj_right[i]);
+      maybe_sample();
     }
     l.Close();
     r.Close();
@@ -93,6 +109,7 @@ size_t RunOnce(const Workload& w, obs::MetricsRegistry* registry) {
     for (size_t i = 0; i < w.nlj_left.size(); ++i) {
       l.Inject(w.nlj_left[i]);
       r.Inject(w.nlj_right[i]);
+      maybe_sample();
     }
     l.Close();
     r.Close();
@@ -109,7 +126,10 @@ size_t RunOnce(const Workload& w, obs::MetricsRegistry* registry) {
     }
     src.ConnectTo(0, &dedup, 0);
     dedup.ConnectTo(0, &sink, 0);
-    for (const StreamElement& e : w.dedup_in) src.Inject(e);
+    for (const StreamElement& e : w.dedup_in) {
+      src.Inject(e);
+      maybe_sample();
+    }
     src.Close();
     total += sink.count();
   }
@@ -121,10 +141,13 @@ size_t RunOnce(const Workload& w, obs::MetricsRegistry* registry) {
                                obs::MetricsRegistry* registry, int reps,
                                size_t* checksum) {
   int64_t best = std::numeric_limits<int64_t>::max();
+  obs::TimeSeriesRing ring(64);
+  obs::TimelineSampler sampler(registry, &ring);
   for (int r = 0; r < reps; ++r) {
     if (registry != nullptr) registry->Reset();
     const auto start = std::chrono::steady_clock::now();
-    const size_t count = RunOnce(w, registry);
+    const size_t count =
+        RunOnce(w, registry, registry != nullptr ? &sampler : nullptr);
     const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                         std::chrono::steady_clock::now() - start)
                         .count();
@@ -170,7 +193,7 @@ int main(int argc, char** argv) {
   size_t check_detached = 0;
   size_t check_attached = 0;
   // Warm up once so allocator and cache state match across configs.
-  (void)RunOnce(w, nullptr);
+  (void)RunOnce(w, nullptr, nullptr);
   const int64_t detached_ns = MinNs(w, nullptr, reps, &check_detached);
   const int64_t attached_ns = MinNs(w, &registry, reps, &check_attached);
   const double ratio =

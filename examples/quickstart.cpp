@@ -7,7 +7,9 @@
 //
 // Pass --stats to print per-operator runtime metrics and the migration's
 // phase-transition trace after the run (and --stats-json for the raw JSON
-// export instead of the table).
+// export instead of the table). Pass --trace-out PATH to write a
+// Chrome-trace / Perfetto JSON of the run (migration phase spans + latency
+// and queue-depth counter tracks; open at ui.perfetto.dev).
 
 #include <cstdio>
 #include <cstring>
@@ -16,6 +18,7 @@
 #include "migration/controller.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "opt/rules.h"
 #include "plan/compile.h"
@@ -41,6 +44,17 @@ void PrintStats(const obs::MetricsRegistry& registry,
                 static_cast<unsigned long long>(
                     m.push_ns.ApproxQuantileNs(0.5)));
   }
+  // End-to-end latency (sampled ingress stamp -> sink), per sink.
+  for (const obs::OperatorMetrics& m : registry.operators()) {
+    if (m.e2e_ns.count() == 0) continue;
+    std::printf("\ne2e latency at %s: n=%llu p50=%.1f us p99=%.1f us "
+                "max=%.1f us\n",
+                m.name.c_str(),
+                static_cast<unsigned long long>(m.e2e_ns.count()),
+                m.e2e_ns.ApproxQuantile(0.5) / 1000.0,
+                m.e2e_ns.ApproxQuantile(0.99) / 1000.0,
+                static_cast<double>(m.e2e_ns.max_ns()) / 1000.0);
+  }
   std::printf("\nmigration trace:\n");
   for (const obs::TraceRecord& rec : tracer.records()) {
     std::printf("  migration %d  %-22s app_t=%lld  wall=%.3f ms%s%s\n",
@@ -56,13 +70,18 @@ void PrintStats(const obs::MetricsRegistry& registry,
 int main(int argc, char** argv) {
   bool stats = false;
   bool stats_json = false;
+  const char* trace_out = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stats") == 0) {
       stats = true;
     } else if (std::strcmp(argv[i], "--stats-json") == 0) {
       stats_json = true;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
     } else {
-      std::fprintf(stderr, "unknown option '%s'\nusage: %s [--stats | --stats-json]\n",
+      std::fprintf(stderr,
+                   "unknown option '%s'\nusage: %s [--stats | --stats-json] "
+                   "[--trace-out PATH]\n",
                    argv[i], argv[0]);
       return 2;
     }
@@ -107,16 +126,35 @@ int main(int argc, char** argv) {
   Executor exec;
   TimeWindow w_orders("w_orders", 10000);
   TimeWindow w_shipments("w_shipments", 10000);
-  exec.ConnectFeed(
-      exec.AddRawFeed("Orders", GenerateKeyedStream(3000, 10, 50, 1)),
-      &w_orders, 0);
-  exec.ConnectFeed(
-      exec.AddRawFeed("Shipments", GenerateKeyedStream(3000, 10, 50, 2)),
-      &w_shipments, 0);
+  const int orders_feed =
+      exec.AddRawFeed("Orders", GenerateKeyedStream(3000, 10, 50, 1));
+  const int shipments_feed =
+      exec.AddRawFeed("Shipments", GenerateKeyedStream(3000, 10, 50, 2));
+  exec.ConnectFeed(orders_feed, &w_orders, 0);
+  exec.ConnectFeed(shipments_feed, &w_shipments, 0);
+  // Attached sources stamp a sampled ingress wall-clock, feeding the sink's
+  // end-to-end latency histogram shown by --stats.
+  exec.source(orders_feed)->AttachMetrics(&registry);
+  exec.source(shipments_feed)->AttachMetrics(&registry);
   w_orders.ConnectTo(0, &controller, 0);
   w_shipments.ConnectTo(0, &controller, 1);
   w_orders.AttachMetrics(&registry);
   w_shipments.AttachMetrics(&registry);
+
+  // Timeline: one metric sample per second of application time, feeding the
+  // counter tracks of the --trace-out export.
+  obs::TimeSeriesRing timeline(256);
+  obs::TimelineSampler sampler(&registry, &timeline);
+  bool sampled_once = false;
+  Timestamp last_sample = Timestamp::MinInstant();
+  exec.after_step = [&]() {
+    const Timestamp now = exec.current_time();
+    if (!sampled_once || now.t - last_sample.t >= 1000) {
+      sampled_once = true;
+      last_sample = now;
+      sampler.Sample(now, controller.migration_in_progress());
+    }
+  };
 
   // 4. Run for 12 seconds of application time.
   exec.RunUntil(Timestamp(12000));
@@ -151,10 +189,22 @@ int main(int argc, char** argv) {
   }
   std::fprintf(out, "\n");
 
+  sampler.Sample(exec.current_time(), controller.migration_in_progress());
+
   if (stats_json) {
     std::printf("%s\n", obs::ToJson(registry, &tracer).c_str());
   } else if (stats) {
     PrintStats(registry, tracer);
+  }
+  if (trace_out != nullptr) {
+    const std::string trace =
+        obs::ToChromeTrace(registry, &tracer, &timeline);
+    if (!obs::WriteFile(trace_out, trace)) {
+      std::fprintf(stderr, "failed to write %s\n", trace_out);
+      return 1;
+    }
+    std::fprintf(out, "chrome trace written to %s (load at ui.perfetto.dev)\n",
+                 trace_out);
   }
   return 0;
 }

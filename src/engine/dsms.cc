@@ -1,6 +1,7 @@
 #include "engine/dsms.h"
 
 #include <algorithm>
+#include <array>
 
 #include "ops/count_window.h"
 
@@ -15,10 +16,15 @@ Dsms::Dsms(Options options)
     options_.calibrator.stale_after = std::max(
         options_.calibrator.stale_after, 4 * options_.calibration_period);
   }
-  if (options_.reoptimize_period > 0 || options_.calibration_period > 0) {
+  if (options_.timeline_period > 0) {
+    timeline_ = obs::TimeSeriesRing(options_.timeline_capacity);
+  }
+  if (options_.reoptimize_period > 0 || options_.calibration_period > 0 ||
+      options_.timeline_period > 0) {
     exec_.after_step = [this]() {
       if (options_.reoptimize_period > 0) MaybeAutoReoptimize();
       if (options_.calibration_period > 0) MaybeCalibrate();
+      if (options_.timeline_period > 0) MaybeSampleTimeline();
     };
   }
 }
@@ -28,6 +34,11 @@ void Dsms::RegisterStream(const std::string& name, Schema schema,
   GENMIG_CHECK(feeds_.count(name) == 0);
   catalog_.Register(name, std::move(schema));
   feeds_[name] = exec_.AddFeed(name, std::move(data));
+  if (options_.enable_metrics) {
+    // Attached sources stamp a sampled ingress wall-clock onto elements —
+    // the input of the sinks' end-to-end latency attribution.
+    exec_.source(feeds_[name])->AttachMetrics(&registry_);
+  }
 }
 
 Result<Dsms::QueryId> Dsms::InstallQuery(const std::string& cql_text) {
@@ -234,6 +245,44 @@ void Dsms::MaybeCalibrate() {
   if (now.t - last_calibration_.t < options_.calibration_period) return;
   last_calibration_ = now;
   CalibrateAndArm(now);
+}
+
+void Dsms::MaybeSampleTimeline() {
+  const Timestamp now = exec_.current_time();
+  if (last_timeline_sample_ != Timestamp::MinInstant() &&
+      now.t - last_timeline_sample_.t < options_.timeline_period) {
+    return;
+  }
+  last_timeline_sample_ = now;
+  bool migrating = false;
+  for (const auto& query : queries_) {
+    migrating |= query->controller->migration_in_progress();
+  }
+  timeline_sampler_.Sample(now, migrating);
+}
+
+Dsms::RuntimeStats Dsms::Stats() const {
+  RuntimeStats stats;
+  stats.elements_in = registry_.TotalElementsIn();
+  stats.elements_out = registry_.TotalElementsOut();
+  stats.state_bytes = registry_.TotalStateBytes();
+  // Aggregate the sinks' end-to-end histograms bucket-wise so the quantiles
+  // cover every query's stamped traffic.
+  std::array<uint64_t, obs::LatencyHistogram::kBuckets> e2e{};
+  for (const obs::OperatorMetrics& m : registry_.operators()) {
+    if (m.e2e_ns.count() == 0) continue;
+    stats.sink_latency_count += m.e2e_ns.count();
+    for (size_t i = 0; i < obs::LatencyHistogram::kBuckets; ++i) {
+      e2e[i] += m.e2e_ns.bucket(i);
+    }
+  }
+  stats.sink_p50_ns = obs::LatencyHistogram::QuantileFromCounts(
+      e2e, stats.sink_latency_count, 0.5);
+  stats.sink_p99_ns = obs::LatencyHistogram::QuantileFromCounts(
+      e2e, stats.sink_latency_count, 0.99);
+  stats.timeline_samples = timeline_.size();
+  stats.migrations = tracer_.migration_count();
+  return stats;
 }
 
 void Dsms::CalibrateAndArm(Timestamp now) {

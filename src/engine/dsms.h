@@ -24,6 +24,7 @@
 #include "migration/trigger_policy.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "opt/calibrator.h"
 #include "opt/rules.h"
@@ -69,6 +70,13 @@ class Dsms {
     /// migration tracer. Cheap (sampled hot-path instrumentation); under
     /// GENMIG_NO_METRICS the hooks compile out and the registry stays empty.
     bool enable_metrics = true;
+    /// Application-time period of the metric time-series sampler: every
+    /// period the engine snapshots the registry (rates, queue depths, state
+    /// bytes, interval end-to-end latency quantiles) into timeline().
+    /// 0 disables sampling; requires enable_metrics to yield data.
+    Duration timeline_period = 0;
+    /// Ring capacity of timeline() — oldest samples are dropped beyond it.
+    size_t timeline_capacity = 1024;
     Executor::Options executor;
   };
 
@@ -147,10 +155,31 @@ class Dsms {
   obs::MetricsRegistry& metrics() { return registry_; }
   /// Phase-transition trace of every migration performed by this engine.
   const obs::MigrationTracer& tracer() const { return tracer_; }
+  /// Metric time-series (empty unless Options::timeline_period > 0).
+  const obs::TimeSeriesRing& timeline() const { return timeline_; }
   /// Metrics + migration trace as a JSON document (obs/export.h layout).
   std::string ExportMetricsJson() const {
     return obs::ToJson(registry_, &tracer_);
   }
+  /// Chrome-trace / Perfetto JSON: migration phase spans + timeline counter
+  /// tracks; load the written file in chrome://tracing or ui.perfetto.dev.
+  std::string ExportChromeTraceJson() const {
+    return obs::ToChromeTrace(registry_, &tracer_, &timeline_);
+  }
+
+  /// Engine-wide runtime snapshot: cumulative totals plus end-to-end sink
+  /// latency (aggregated over every sink's e2e histogram).
+  struct RuntimeStats {
+    uint64_t elements_in = 0;
+    uint64_t elements_out = 0;
+    uint64_t state_bytes = 0;
+    uint64_t sink_latency_count = 0;  ///< Stamped elements seen by sinks.
+    double sink_p50_ns = 0.0;
+    double sink_p99_ns = 0.0;
+    size_t timeline_samples = 0;
+    int migrations = 0;
+  };
+  RuntimeStats Stats() const;
 
   // --- Dynamic query optimization ---------------------------------------------
 
@@ -189,6 +218,8 @@ class Dsms {
   void MaybeAutoReoptimize();
   /// Throttled entry of the calibrate -> cost -> trigger loop (after_step).
   void MaybeCalibrate();
+  /// Throttled timeline sampling (after_step; timeline_period > 0 only).
+  void MaybeSampleTimeline();
   /// One calibration pass over every auto-managed query: observe the hosted
   /// box, re-cost running vs. candidates, update the trigger signal.
   void CalibrateAndArm(Timestamp now);
@@ -204,8 +235,11 @@ class Dsms {
   std::vector<std::unique_ptr<Query>> queries_;
   Timestamp last_reopt_check_ = Timestamp::MinInstant();
   Timestamp last_calibration_ = Timestamp::MinInstant();
+  Timestamp last_timeline_sample_ = Timestamp::MinInstant();
   obs::MetricsRegistry registry_;
   obs::MigrationTracer tracer_;
+  obs::TimeSeriesRing timeline_;
+  obs::TimelineSampler timeline_sampler_{&registry_, &timeline_};
 };
 
 }  // namespace genmig

@@ -335,11 +335,15 @@ void MigrationController::MaintainGenMig() {
   active_box_.SignalEosToInputs();
   old_eos_signalled_ = true;
   phase_ = Phase::kDraining;
-  Trace(obs::MigrationEvent::kOldBoxDrained);
+  // The merge queue size at drain time is the backlog the coalesce phase
+  // still has to work off (the output stall of Figure 4 in buffer terms).
+  Trace(obs::MigrationEvent::kOldBoxDrained,
+        "merge_queue=" + std::to_string(merge_->QueueDepth()));
 }
 
 void MigrationController::FinishGenMig() {
-  Trace(obs::MigrationEvent::kCoalesceDone);
+  Trace(obs::MigrationEvent::kCoalesceDone,
+        "merge_state_bytes=" + std::to_string(merge_->StateBytes()));
   // Lines 13-16: remove the old plan, split and coalesce operators and
   // connect inputs/outputs directly with the new plan.
   for (Split* split : splits_) {
@@ -423,7 +427,8 @@ void MigrationController::StartParallelTrack(Box new_box, Duration window) {
 
   // Both boxes now see every arriving element — PT's analogue of GenMig's
   // parallel phase being in place.
-  Trace(obs::MigrationEvent::kSplitInstalled);
+  Trace(obs::MigrationEvent::kSplitInstalled,
+        "epoch=" + std::to_string(pt_epoch_));
 
   // Inputs that ended before the migration: the old box already received
   // their EOS; deliver it to the new box too.
@@ -450,7 +455,10 @@ void MigrationController::MaintainParallelTrack() {
 }
 
 void MigrationController::FinishParallelTrack() {
-  Trace(obs::MigrationEvent::kOldBoxDrained);
+  Trace(obs::MigrationEvent::kOldBoxDrained,
+        "buffered=" + std::to_string(pt_buffer_.size()) +
+            " buffered_bytes=" + std::to_string(pt_buffer_bytes_) +
+            " dropped=" + std::to_string(pt_dropped_));
   // Flush the buffered new-box output — the burst of Figure 4.
   for (const StreamElement& e : pt_buffer_) {
     EmitOut(e);
@@ -503,7 +511,8 @@ void MigrationController::StartMovingStates(Box new_box,
   drain->on_element = [this](const StreamElement& e) { ms_buffer_.Push(e); };
   active_box_.output()->ConnectTo(0, drain, 0);
   active_box_.SignalEosToInputs();
-  Trace(obs::MigrationEvent::kOldBoxDrained);
+  Trace(obs::MigrationEvent::kOldBoxDrained,
+        "ms_buffer=" + std::to_string(ms_buffer_.size()));
 
   // 3. Swap boxes; the new box's output is merged through the same buffer so
   // the controller's output stays ordered across the switch.

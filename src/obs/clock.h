@@ -1,0 +1,31 @@
+// Process-wide monotonic nanosecond clock shared by every observability
+// producer: source ingress stamps (ops/source.h), timeline samples
+// (obs/timeline.h) and migration trace records (obs/trace.h). A single
+// origin — first use in the process — lets the Chrome-trace exporter place
+// all three on one time axis without per-producer offset bookkeeping.
+
+#ifndef GENMIG_OBS_CLOCK_H_
+#define GENMIG_OBS_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace genmig {
+namespace obs {
+
+/// Nanoseconds since the first call in this process (monotonic, >= 1 so a
+/// stamped element can never carry the "unstamped" sentinel 0).
+inline uint64_t MonotonicNowNs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point origin = Clock::now();
+  return static_cast<uint64_t>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 Clock::now() - origin)
+                 .count()) +
+         1;
+}
+
+}  // namespace obs
+}  // namespace genmig
+
+#endif  // GENMIG_OBS_CLOCK_H_

@@ -1,5 +1,6 @@
 #include "obs/export.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <map>
@@ -37,6 +38,21 @@ void AppendEscaped(std::string* out, const std::string& s) {
   out->push_back('"');
 }
 
+/// RFC 4180: quote fields containing separators/quotes/newlines, double
+/// embedded quotes. Everything else passes through verbatim.
+void AppendCsvField(std::string* out, const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) {
+    *out += s;
+    return;
+  }
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"') *out += "\"\"";
+    else out->push_back(c);
+  }
+  out->push_back('"');
+}
+
 void AppendKeyU64(std::string* out, const char* key, uint64_t value,
                   bool trailing_comma = true) {
   char buf[96];
@@ -46,12 +62,12 @@ void AppendKeyU64(std::string* out, const char* key, uint64_t value,
 }
 
 void AppendHistogram(std::string* out, const LatencyHistogram& h) {
-  char buf[160];
+  char buf[192];
   std::snprintf(buf, sizeof(buf),
-                "{\"count\": %" PRIu64 ", \"mean\": %.1f, \"p50\": %" PRIu64
-                ", \"p99\": %" PRIu64 ", \"max\": %" PRIu64 ", \"buckets\": [",
-                h.count(), h.MeanNs(), h.ApproxQuantileNs(0.5),
-                h.ApproxQuantileNs(0.99), h.max_ns());
+                "{\"count\": %" PRIu64 ", \"mean\": %.1f, \"p50\": %.1f"
+                ", \"p99\": %.1f, \"max\": %" PRIu64 ", \"buckets\": [",
+                h.count(), h.MeanNs(), h.ApproxQuantile(0.5),
+                h.ApproxQuantile(0.99), h.max_ns());
   *out += buf;
   bool first = true;
   for (size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
@@ -84,6 +100,10 @@ void AppendOperator(std::string* out, const OperatorMetrics& m) {
   AppendKeyU64(out, "peak_queue_depth", m.peak_queue_depth);
   *out += "\"push_ns\": ";
   AppendHistogram(out, m.push_ns);
+  if (m.e2e_ns.count() > 0) {  // Sinks with stamped traffic only.
+    *out += ", \"e2e_ns\": ";
+    AppendHistogram(out, m.e2e_ns);
+  }
   *out += "}";
 }
 
@@ -169,26 +189,152 @@ std::string ToCsv(const MetricsRegistry& registry) {
       "name,elements_in,elements_out,heartbeats_in,negatives_in,"
       "negatives_out,state_inserts,state_expires,state_units,state_bytes,"
       "peak_state_units,peak_state_bytes,queue_depth,peak_queue_depth,"
-      "push_mean_ns,push_p99_ns\n";
+      "push_mean_ns,push_p99_ns,e2e_count,e2e_p50_ns,e2e_p99_ns\n";
   char buf[512];
   for (const OperatorMetrics& m : registry.operators()) {
-    std::string name = m.name;
-    for (char& c : name) {
-      if (c == ',') c = ';';
-    }
+    AppendCsvField(&out, m.name);
     std::snprintf(buf, sizeof(buf),
-                  "%s,%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+                  ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
                   ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
                   ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
-                  ",%.1f,%" PRIu64 "\n",
-                  name.c_str(), m.elements_in, m.elements_out,
-                  m.heartbeats_in, m.negatives_in, m.negatives_out,
-                  m.state_inserts, m.state_expires, m.state_units,
-                  m.state_bytes, m.peak_state_units, m.peak_state_bytes,
-                  m.queue_depth, m.peak_queue_depth, m.push_ns.MeanNs(),
-                  m.push_ns.ApproxQuantileNs(0.99));
+                  ",%.1f,%.1f,%" PRIu64 ",%.1f,%.1f\n",
+                  m.elements_in, m.elements_out, m.heartbeats_in,
+                  m.negatives_in, m.negatives_out, m.state_inserts,
+                  m.state_expires, m.state_units, m.state_bytes,
+                  m.peak_state_units, m.peak_state_bytes, m.queue_depth,
+                  m.peak_queue_depth, m.push_ns.MeanNs(),
+                  m.push_ns.ApproxQuantile(0.99), m.e2e_ns.count(),
+                  m.e2e_ns.ApproxQuantile(0.5), m.e2e_ns.ApproxQuantile(0.99));
     out += buf;
   }
+  return out;
+}
+
+std::string ToChromeTrace(const MetricsRegistry& registry,
+                          const MigrationTracer* tracer,
+                          const TimeSeriesRing* timeline) {
+  std::string out;
+  out.reserve(8192);
+  out += "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first_event = true;
+  char buf[256];
+  auto begin_event = [&] {
+    out += first_event ? "\n " : ",\n ";
+    first_event = false;
+  };
+  auto us = [](uint64_t ns) {
+    return static_cast<double>(ns) / 1000.0;  // Chrome traces use µs.
+  };
+
+  // Track metadata: migrations on tid 1, counters attach to the process.
+  begin_event();
+  out += "{\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": \"process_name\","
+         " \"args\": {\"name\": \"genmig\"}}";
+  begin_event();
+  out += "{\"ph\": \"M\", \"pid\": 1, \"tid\": 1, \"name\": \"thread_name\","
+         " \"args\": {\"name\": \"migrations\"}}";
+
+  if (tracer != nullptr) {
+    for (int id = 0; id < tracer->migration_count(); ++id) {
+      const std::vector<TraceRecord> records = tracer->RecordsFor(id);
+      if (records.size() >= 2) {
+        // Enclosing span: whole migration. Complete ("X") events on one tid
+        // nest by containment, so the per-phase children render inside it.
+        begin_event();
+        out += "{\"ph\": \"X\", \"pid\": 1, \"tid\": 1, \"cat\": "
+               "\"migration\", \"name\": ";
+        AppendEscaped(&out, "migration #" + std::to_string(id) + " (" +
+                                records.front().detail + ")");
+        std::snprintf(buf, sizeof(buf),
+                      ", \"ts\": %.3f, \"dur\": %.3f, \"args\": "
+                      "{\"app_start\": %" PRId64 ", \"app_end\": %" PRId64
+                      "}}",
+                      us(records.front().wall_ns),
+                      us(records.back().wall_ns - records.front().wall_ns),
+                      records.front().app_time.t, records.back().app_time.t);
+        out += buf;
+      }
+      // One child span per consecutive event pair (phase).
+      for (size_t i = 0; i + 1 < records.size(); ++i) {
+        const TraceRecord& a = records[i];
+        const TraceRecord& b = records[i + 1];
+        begin_event();
+        out += "{\"ph\": \"X\", \"pid\": 1, \"tid\": 1, \"cat\": "
+               "\"migration-phase\", \"name\": ";
+        AppendEscaped(&out, std::string(MigrationEventName(a.event)) + "→" +
+                                MigrationEventName(b.event));
+        std::snprintf(buf, sizeof(buf), ", \"ts\": %.3f, \"dur\": %.3f",
+                      us(a.wall_ns), us(b.wall_ns - a.wall_ns));
+        out += buf;
+        out += ", \"args\": {\"detail\": ";
+        AppendEscaped(&out, a.detail.empty() ? b.detail : a.detail);
+        out += "}}";
+      }
+      // Plus an instant per record (visible even for 1-record traces).
+      for (const TraceRecord& r : records) {
+        begin_event();
+        out += "{\"ph\": \"i\", \"pid\": 1, \"tid\": 1, \"s\": \"t\", "
+               "\"cat\": \"migration\", \"name\": ";
+        AppendEscaped(&out, MigrationEventName(r.event));
+        std::snprintf(buf, sizeof(buf),
+                      ", \"ts\": %.3f, \"args\": {\"app_time\": %" PRId64
+                      ", \"detail\": ",
+                      us(r.wall_ns), r.app_time.t);
+        out += buf;
+        AppendEscaped(&out, r.detail);
+        out += "}}";
+      }
+    }
+  }
+
+  if (timeline != nullptr) {
+    auto counter = [&](uint64_t wall_ns, const char* name, const char* key,
+                       double value) {
+      begin_event();
+      out += "{\"ph\": \"C\", \"pid\": 1, \"name\": ";
+      AppendEscaped(&out, name);
+      std::snprintf(buf, sizeof(buf), ", \"ts\": %.3f, \"args\": {\"%s\": %.3f}}",
+                    us(wall_ns), key, value);
+      out += buf;
+    };
+    const std::deque<OperatorMetrics>& ops = registry.operators();
+    for (size_t i = 0; i < timeline->size(); ++i) {
+      const MetricSample& s = timeline->at(i);
+      counter(s.wall_ns, "queue_depth", "elements",
+              static_cast<double>(s.queue_depth));
+      counter(s.wall_ns, "state_bytes", "bytes",
+              static_cast<double>(s.state_bytes));
+      counter(s.wall_ns, "migration_active", "active",
+              s.migration_active ? 1.0 : 0.0);
+      // Interval latency: only meaningful when stamped traffic arrived.
+      if (s.sink_count > 0) {
+        begin_event();
+        out += "{\"ph\": \"C\", \"pid\": 1, \"name\": \"sink_e2e_ns\"";
+        std::snprintf(buf, sizeof(buf),
+                      ", \"ts\": %.3f, \"args\": {\"p50\": %.1f, \"p99\": "
+                      "%.1f}}",
+                      us(s.wall_ns), s.sink_p50_ns, s.sink_p99_ns);
+        out += buf;
+      }
+      if (i == 0) continue;
+      // Per-operator output rates from consecutive cumulative counts.
+      const MetricSample& prev = timeline->at(i - 1);
+      const double dt_s =
+          static_cast<double>(s.wall_ns - prev.wall_ns) / 1e9;
+      if (dt_s <= 0.0) continue;
+      const size_t n = std::min(
+          {s.op_elements_out.size(), prev.op_elements_out.size(), ops.size()});
+      for (size_t j = 0; j < n; ++j) {
+        const uint64_t cur = s.op_elements_out[j];
+        const uint64_t old = prev.op_elements_out[j];
+        if (cur <= old) continue;  // Idle (or registry reset): no track spam.
+        counter(s.wall_ns, ("out_rate/" + ops[j].name).c_str(),
+                "elements_per_s", static_cast<double>(cur - old) / dt_s);
+      }
+    }
+  }
+
+  out += "\n]}\n";
   return out;
 }
 

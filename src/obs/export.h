@@ -1,13 +1,15 @@
-// Exporters: serialize a MetricsRegistry (and optionally a MigrationTracer)
-// to JSON or CSV. The JSON layout is what bench/ writes into BENCH_*.json
-// and what examples/quickstart --stats prints:
+// Exporters: serialize a MetricsRegistry (and optionally a MigrationTracer
+// and a TimeSeriesRing) to JSON, CSV or Chrome-trace JSON. The plain JSON
+// layout is what bench/ writes into BENCH_*.json and what
+// examples/quickstart --stats prints:
 //
 // {
 //   "operators": [ { "name": ..., "elements_in": ..., "elements_out": ...,
 //                    "negatives_in": ..., "state_inserts": ...,
 //                    "peak_state_bytes": ..., "push_ns": {"count": ...,
 //                    "mean": ..., "p50": ..., "p99": ..., "max": ...,
-//                    "buckets": [[upper_ns, count], ...] } }, ... ],
+//                    "buckets": [[upper_ns, count], ...] },
+//                    "e2e_ns": {...} (sinks with stamped traffic) }, ... ],
 //   "totals": { "elements_in": ..., "elements_out": ... },
 //   "migrations": [ { "id": ..., "events": [ { "event": ...,
 //                     "app_time": ..., "wall_ns": ..., "detail": ... } ],
@@ -15,8 +17,9 @@
 //                                   ... , "total": ... } }, ... ]
 // }
 //
-// CSV is one row per operator with the scalar counters (no histograms) —
-// convenient for spreadsheet diffing of two runs.
+// p50/p99 are log-bucket interpolated (LatencyHistogram::ApproxQuantile).
+// CSV is one row per operator with the scalar counters (no histograms),
+// RFC 4180-quoted — convenient for spreadsheet diffing of two runs.
 
 #ifndef GENMIG_OBS_EXPORT_H_
 #define GENMIG_OBS_EXPORT_H_
@@ -24,6 +27,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 
 namespace genmig {
@@ -33,6 +37,21 @@ std::string ToJson(const MetricsRegistry& registry,
                    const MigrationTracer* tracer = nullptr);
 
 std::string ToCsv(const MetricsRegistry& registry);
+
+/// Chrome-trace / Perfetto JSON ({"traceEvents": [...]}; load the file in
+/// chrome://tracing or https://ui.perfetto.dev). Renders
+///   * one enclosing duration span per migration plus one child span per
+///     consecutive MigrationEvent pair (requested→split_installed→...),
+///     with T_split / buffer sizes from the trace details in span args;
+///   * an instant per trace record;
+///   * counter tracks from the timeline ring: queue depth, state bytes,
+///     interval sink e2e p50/p99 latency, per-operator output rates.
+/// All timestamps share the obs::MonotonicNowNs domain (exported in µs).
+/// `tracer` and `timeline` are optional; a registry alone yields a valid
+/// (metadata-only) trace.
+std::string ToChromeTrace(const MetricsRegistry& registry,
+                          const MigrationTracer* tracer = nullptr,
+                          const TimeSeriesRing* timeline = nullptr);
 
 /// Writes `content` to `path`; returns false (and leaves errno) on failure.
 bool WriteFile(const std::string& path, const std::string& content);

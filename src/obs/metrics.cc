@@ -1,5 +1,8 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace genmig {
 namespace obs {
 
@@ -15,6 +18,36 @@ uint64_t LatencyHistogram::ApproxQuantileNs(double p) const {
     if (seen > rank) return BucketUpperNs(i);
   }
   return max_ns_;
+}
+
+double LatencyHistogram::QuantileFromCounts(
+    const std::array<uint64_t, kBuckets>& counts, uint64_t count, double p) {
+  if (count == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  const double rank = p * static_cast<double>(count - 1);
+  uint64_t before = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    const uint64_t n = counts[i];
+    if (n == 0) continue;
+    if (static_cast<double>(before) + static_cast<double>(n) > rank) {
+      if (i == 0) return 0.0;  // Bucket 0 holds only 0 ns samples.
+      const double lo = static_cast<double>(uint64_t{1} << (i - 1));
+      const double frac =
+          (rank - static_cast<double>(before)) / static_cast<double>(n);
+      // Buckets are one octave wide, so geometric interpolation within the
+      // bucket is lo * 2^frac (the overflow bucket is treated as one octave
+      // too; ApproxQuantile clamps it to the observed max).
+      return lo * std::exp2(frac);
+    }
+    before += n;
+  }
+  return 0.0;
+}
+
+double LatencyHistogram::ApproxQuantile(double p) const {
+  const double q = QuantileFromCounts(counts_, count_, p);
+  return max_ns_ > 0 ? std::min(q, static_cast<double>(max_ns_)) : q;
 }
 
 const OperatorMetrics* MetricsRegistry::FindByName(

@@ -67,6 +67,19 @@ class LatencyHistogram {
   /// Upper bound of the bucket containing the p-quantile (p in [0, 1]).
   uint64_t ApproxQuantileNs(double p) const;
 
+  /// Log-bucket interpolated p-quantile: positions the rank geometrically
+  /// inside its bucket [2^(i-1), 2^i) instead of snapping to the upper
+  /// bound, and clamps to the observed maximum. Bucket 0 (0 ns) maps to 0.
+  double ApproxQuantile(double p) const;
+
+  /// The interpolation behind ApproxQuantile on a raw bucket array — usable
+  /// on interval histograms (differences of two cumulative snapshots, see
+  /// obs::TimelineSampler) that never existed as a LatencyHistogram.
+  static double QuantileFromCounts(const std::array<uint64_t, kBuckets>& counts,
+                                   uint64_t count, double p);
+
+  const std::array<uint64_t, kBuckets>& counts() const { return counts_; }
+
   void Reset() {
     counts_.fill(0);
     count_ = sum_ns_ = max_ns_ = 0;
@@ -108,6 +121,11 @@ struct OperatorMetrics {
   /// Sampled wall-clock latency of one PushElement (element handling +
   /// watermark advance + progress publication).
   LatencyHistogram push_ns;
+
+  /// Sinks only: end-to-end latency of ingress-stamped elements (source
+  /// stamp to sink arrival, obs::MonotonicNowNs domain). Empty on every
+  /// non-terminal operator.
+  LatencyHistogram e2e_ns;
 
   void SampleState(uint64_t units, uint64_t bytes, uint64_t queue) {
     state_units = units;

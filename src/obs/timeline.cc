@@ -1,0 +1,133 @@
+#include "obs/timeline.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/clock.h"
+
+namespace genmig {
+namespace obs {
+
+TimeSeriesRing::TimeSeriesRing(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  slots_.reserve(capacity_);
+}
+
+void TimeSeriesRing::Push(MetricSample sample) {
+  ++pushed_;
+  if (slots_.size() < capacity_) {
+    slots_.push_back(std::move(sample));
+    ++size_;
+    return;
+  }
+  // Full: overwrite the oldest slot and advance the head.
+  slots_[head_] = std::move(sample);
+  head_ = (head_ + 1) % capacity_;
+}
+
+void TimeSeriesRing::Clear() {
+  slots_.clear();
+  head_ = 0;
+  size_ = 0;
+}
+
+const MetricSample& TimeSeriesRing::at(size_t i) const {
+  GENMIG_CHECK(i < size_);
+  return slots_[(head_ + i) % slots_.size()];
+}
+
+template <typename Fn>
+void TimeSeriesRing::ForEachBetween(Timestamp from, Timestamp to,
+                                    Fn&& fn) const {
+  for (size_t i = 0; i < size_; ++i) {
+    const MetricSample& s = at(i);
+    if (s.app_time < from || s.app_time > to) continue;
+    fn(s);
+  }
+}
+
+double TimeSeriesRing::MaxSinkP99Between(Timestamp from, Timestamp to) const {
+  double best = 0.0;
+  ForEachBetween(from, to, [&](const MetricSample& s) {
+    if (s.sink_count > 0) best = std::max(best, s.sink_p99_ns);
+  });
+  return best;
+}
+
+uint64_t TimeSeriesRing::MaxQueueDepthBetween(Timestamp from,
+                                              Timestamp to) const {
+  uint64_t best = 0;
+  ForEachBetween(from, to, [&](const MetricSample& s) {
+    best = std::max(best, s.queue_depth);
+  });
+  return best;
+}
+
+uint64_t TimeSeriesRing::MaxStateBytesBetween(Timestamp from,
+                                              Timestamp to) const {
+  uint64_t best = 0;
+  ForEachBetween(from, to, [&](const MetricSample& s) {
+    best = std::max(best, s.state_bytes);
+  });
+  return best;
+}
+
+size_t TimeSeriesRing::SamplesWithSinkTrafficBetween(Timestamp from,
+                                                     Timestamp to) const {
+  size_t n = 0;
+  ForEachBetween(from, to,
+                 [&](const MetricSample& s) { n += s.sink_count > 0; });
+  return n;
+}
+
+void TimelineSampler::Sample(Timestamp app_time, bool migration_active) {
+  MetricSample s;
+  s.wall_ns = MonotonicNowNs();
+  s.app_time = app_time;
+  s.migration_active = migration_active;
+
+  std::array<uint64_t, LatencyHistogram::kBuckets> e2e{};
+  uint64_t e2e_count = 0;
+  s.op_elements_out.reserve(registry_->size());
+  for (const OperatorMetrics& m : registry_->operators()) {
+    s.elements_in += m.elements_in;
+    s.elements_out += m.elements_out;
+    s.state_bytes += m.state_bytes;
+    s.queue_depth += m.queue_depth;
+    s.op_elements_out.push_back(m.elements_out);
+    if (m.e2e_ns.count() > 0) {
+      for (size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+        e2e[i] += m.e2e_ns.bucket(i);
+      }
+      e2e_count += m.e2e_ns.count();
+    }
+  }
+
+  // Counters went backwards => the registry was Reset between samples; the
+  // cumulative baseline is meaningless, start over from zero.
+  if (e2e_count < prev_e2e_count_) Rebaseline();
+
+  std::array<uint64_t, LatencyHistogram::kBuckets> interval{};
+  for (size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    interval[i] = e2e[i] - prev_e2e_[i];
+    if (interval[i] > 0) s.sink_max_ns = LatencyHistogram::BucketUpperNs(i);
+  }
+  s.sink_count = e2e_count - prev_e2e_count_;
+  s.sink_p50_ns =
+      LatencyHistogram::QuantileFromCounts(interval, s.sink_count, 0.5);
+  s.sink_p99_ns =
+      LatencyHistogram::QuantileFromCounts(interval, s.sink_count, 0.99);
+  prev_e2e_ = e2e;
+  prev_e2e_count_ = e2e_count;
+
+  ring_->Push(std::move(s));
+}
+
+void TimelineSampler::Rebaseline() {
+  prev_e2e_.fill(0);
+  prev_e2e_count_ = 0;
+}
+
+}  // namespace obs
+}  // namespace genmig

@@ -1,0 +1,127 @@
+// Metric time-series: periodic snapshots of the registry in a fixed-capacity
+// ring, so tests and benches can ask *what happened over time* — "what did
+// queue depth / p99 end-to-end latency do during the migration window?" —
+// instead of only reading cumulative totals after the run. This is the
+// instrument behind Fig. 4-style latency-during-migration plots (the paper
+// argues for GenMig over Parallel Track precisely in terms of runtime
+// behaviour during the migration: output stall, memory spike, drain time).
+//
+// Data flow: sources stamp a sampled ingress wall-clock onto elements
+// (ops/source.h), sinks fold ingress→egress deltas into per-sink
+// OperatorMetrics::e2e_ns histograms (ops/sink.h), and a TimelineSampler —
+// driven from the Dsms reoptimization hook or any executor after_step —
+// periodically snapshots the registry into a TimeSeriesRing. Per-sample
+// latency quantiles are *interval* quantiles: the sampler differences the
+// cumulative e2e histogram between consecutive samples, so a sample reflects
+// only the elements that arrived since the previous one. The Chrome-trace
+// exporter (obs/export.h) renders the ring as counter tracks.
+
+#ifndef GENMIG_OBS_TIMELINE_H_
+#define GENMIG_OBS_TIMELINE_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "time/timestamp.h"
+
+namespace genmig {
+namespace obs {
+
+/// One periodic snapshot of the registry.
+struct MetricSample {
+  /// Wall clock of the snapshot (MonotonicNowNs domain, shared with ingress
+  /// stamps and migration trace records).
+  uint64_t wall_ns = 0;
+  /// Application time at the snapshot (executor progress).
+  Timestamp app_time;
+  /// True while any query's migration controller is mid-migration.
+  bool migration_active = false;
+
+  // Registry-wide cumulative counters at the snapshot.
+  uint64_t elements_in = 0;
+  uint64_t elements_out = 0;
+  uint64_t state_bytes = 0;
+  /// Sum of sampled reordering/merge-buffer depths across operators.
+  uint64_t queue_depth = 0;
+
+  // Interval end-to-end latency over (previous sample, this sample].
+  uint64_t sink_count = 0;    ///< Stamped elements that reached sinks.
+  double sink_p50_ns = 0.0;
+  double sink_p99_ns = 0.0;
+  uint64_t sink_max_ns = 0;   ///< Max bucket upper bound seen this interval.
+
+  /// Cumulative elements_out per registry slot (index-aligned with
+  /// MetricsRegistry::operators()); the exporter turns consecutive samples
+  /// into per-operator rate tracks.
+  std::vector<uint64_t> op_elements_out;
+};
+
+/// Fixed-capacity ring of MetricSamples: pushing beyond capacity drops the
+/// oldest sample. Samples are app-time ordered because producers sample on
+/// executor progress.
+class TimeSeriesRing {
+ public:
+  explicit TimeSeriesRing(size_t capacity = 1024);
+
+  void Push(MetricSample sample);
+  void Clear();
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+  /// i-th oldest retained sample, i in [0, size()).
+  const MetricSample& at(size_t i) const;
+  const MetricSample& back() const { return at(size_ - 1); }
+
+  /// Total samples ever pushed (>= size() once the ring wrapped).
+  uint64_t pushed() const { return pushed_; }
+
+  // --- Window queries over samples with from <= app_time <= to -----------
+  /// Max interval sink p99 in the window (0 if no sample has sink traffic).
+  double MaxSinkP99Between(Timestamp from, Timestamp to) const;
+  uint64_t MaxQueueDepthBetween(Timestamp from, Timestamp to) const;
+  uint64_t MaxStateBytesBetween(Timestamp from, Timestamp to) const;
+  /// Samples inside the window that saw at least one stamped sink arrival.
+  size_t SamplesWithSinkTrafficBetween(Timestamp from, Timestamp to) const;
+
+ private:
+  template <typename Fn>
+  void ForEachBetween(Timestamp from, Timestamp to, Fn&& fn) const;
+
+  size_t capacity_;
+  std::vector<MetricSample> slots_;
+  size_t head_ = 0;  ///< Index of the oldest sample.
+  size_t size_ = 0;
+  uint64_t pushed_ = 0;
+};
+
+/// Snapshots a MetricsRegistry into a TimeSeriesRing. Keeps the previous
+/// cumulative e2e bucket counts so each sample carries interval latency
+/// quantiles. Not owned by either side; single-threaded like the engine.
+class TimelineSampler {
+ public:
+  TimelineSampler(const MetricsRegistry* registry, TimeSeriesRing* ring)
+      : registry_(registry), ring_(ring) {}
+
+  /// Takes one sample. `migration_active` is the caller's knowledge of
+  /// whether a migration is in flight at this instant.
+  void Sample(Timestamp app_time, bool migration_active);
+
+  /// Forget the cumulative baseline (call after MetricsRegistry::Reset so
+  /// the next interval does not underflow).
+  void Rebaseline();
+
+ private:
+  const MetricsRegistry* registry_;
+  TimeSeriesRing* ring_;
+  std::array<uint64_t, LatencyHistogram::kBuckets> prev_e2e_{};
+  uint64_t prev_e2e_count_ = 0;
+};
+
+}  // namespace obs
+}  // namespace genmig
+
+#endif  // GENMIG_OBS_TIMELINE_H_

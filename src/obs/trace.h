@@ -16,11 +16,11 @@
 #ifndef GENMIG_OBS_TRACE_H_
 #define GENMIG_OBS_TRACE_H_
 
-#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "obs/clock.h"
 #include "time/timestamp.h"
 
 namespace genmig {
@@ -43,7 +43,8 @@ struct TraceRecord {
   MigrationEvent event = MigrationEvent::kRequested;
   /// Application time at the transition (controller watermark).
   Timestamp app_time;
-  /// Wall clock, nanoseconds since the tracer was created.
+  /// Wall clock in the shared obs::MonotonicNowNs domain, so trace records
+  /// line up with ingress stamps and timeline samples in exports.
   uint64_t wall_ns = 0;
   /// Free-form context: strategy name, T_split, buffer sizes.
   std::string detail;
@@ -51,7 +52,7 @@ struct TraceRecord {
 
 class MigrationTracer {
  public:
-  MigrationTracer() : origin_(std::chrono::steady_clock::now()) {}
+  MigrationTracer() = default;
 
   /// Opens a new migration trace; `strategy` lands in the kRequested detail.
   /// Returns the migration id for subsequent Record calls.
@@ -69,15 +70,9 @@ class MigrationTracer {
   int64_t PhaseNs(int migration_id, MigrationEvent from,
                   MigrationEvent to) const;
 
-  uint64_t NowNs() const {
-    return static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - origin_)
-            .count());
-  }
+  uint64_t NowNs() const { return MonotonicNowNs(); }
 
  private:
-  std::chrono::steady_clock::time_point origin_;
   int next_id_ = 0;
   std::vector<TraceRecord> records_;
 };

@@ -32,9 +32,14 @@ void JoinBase::EmitJoined(int probe_port, const StreamElement& probe,
   if (!intersection.has_value()) return;
   const StreamElement& left = probe_port == 0 ? probe : stored;
   const StreamElement& right = probe_port == 0 ? stored : probe;
-  buffer_.Push(StreamElement(Tuple::Concat(left.tuple, right.tuple),
-                             *intersection,
-                             std::min(probe.epoch, stored.epoch)));
+  StreamElement joined(Tuple::Concat(left.tuple, right.tuple), *intersection,
+                       std::min(probe.epoch, stored.epoch));
+  // Latency attribution: the result's age is the age of the element that
+  // completed it. Carrying the probe's ingress stamp here (instead of relying
+  // on the base Emit fallback) keeps the stamp correct even when the ordering
+  // buffer releases the result during a later, unstamped push.
+  joined.ingress_ns = probe.ingress_ns;
+  buffer_.Push(std::move(joined));
 }
 
 Timestamp JoinBase::MaxInsertedStartWithEpochBelow(uint32_t epoch) const {

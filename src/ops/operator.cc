@@ -83,11 +83,13 @@ void Operator::PushElement(int in_port, const StreamElement& element) {
         (metrics_->elements_in++ & obs::MetricsRegistry::kSampleMask) == 0;
     if (sampled) push_start = std::chrono::steady_clock::now();
   }
+  current_ingress_ns_ = element.ingress_ns;
 #endif
   OnElement(in_port, element);
   OnWatermarkAdvance();
   PublishProgress();
 #ifndef GENMIG_NO_METRICS
+  current_ingress_ns_ = 0;
   if (sampled) {
     const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                         std::chrono::steady_clock::now() - push_start)
@@ -150,6 +152,17 @@ void Operator::Emit(int out_port, const StreamElement& element) {
   out.anything_emitted = true;
 #ifndef GENMIG_NO_METRICS
   if (metrics_ != nullptr) ++metrics_->elements_out;
+  // Latency attribution: results constructed inside the operator inherit the
+  // in-flight push's ingress stamp. Only stamped pushes (one in kSampleEvery)
+  // pay the element copy; verbatim pass-throughs already carry their stamp.
+  if (element.ingress_ns == 0 && current_ingress_ns_ != 0) {
+    StreamElement stamped = element;
+    stamped.ingress_ns = current_ingress_ns_;
+    for (const Edge& e : out.edges) {
+      e.op->PushElement(e.port, stamped);
+    }
+    return;
+  }
 #endif
   for (const Edge& e : out.edges) {
     e.op->PushElement(e.port, element);

@@ -30,6 +30,7 @@
 #include "stream/element.h"
 
 #ifndef GENMIG_NO_METRICS
+#include "obs/clock.h"
 #include "obs/metrics.h"
 #endif
 
@@ -200,9 +201,20 @@ class Operator {
   void MetricsStateExpire(uint64_t n = 1) {
     if (metrics_ != nullptr) metrics_->state_expires += n;
   }
+  /// Terminal operators (sinks) call this on arrival: records the element's
+  /// source-to-here wall latency into the e2e histogram. Unstamped elements
+  /// (the unsampled majority) are free — one branch.
+  void MetricsRecordE2e(const StreamElement& element) {
+    if (metrics_ == nullptr || element.ingress_ns == 0) return;
+    const uint64_t now = obs::MonotonicNowNs();
+    if (now >= element.ingress_ns) {
+      metrics_->e2e_ns.Record(now - element.ingress_ns);
+    }
+  }
 #else
   void MetricsStateInsert(uint64_t = 1) {}
   void MetricsStateExpire(uint64_t = 1) {}
+  void MetricsRecordE2e(const StreamElement&) {}
 #endif
 
  private:
@@ -227,6 +239,11 @@ class Operator {
   bool eos_emitted_ = false;
 #ifndef GENMIG_NO_METRICS
   obs::OperatorMetrics* metrics_ = nullptr;
+  /// Ingress stamp of the element currently being handled (0 outside a
+  /// stamped push). Emit copies it onto freshly constructed results so the
+  /// stamp survives operators that do not pass elements through verbatim
+  /// (joins, aggregates, the migration coalesce).
+  uint64_t current_ingress_ns_ = 0;
 #endif
 };
 

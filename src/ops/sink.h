@@ -30,6 +30,7 @@ class CollectorSink : public Operator {
 
  protected:
   void OnElement(int, const StreamElement& element) override {
+    MetricsRecordE2e(element);
     collected_.push_back(element);
     if (on_element_) on_element_(element);
   }

@@ -1,6 +1,10 @@
 // Source: entry point of a plan. The Executor injects raw elements here;
 // Source performs the input-stream conversion of Section 2.2 (timestamp t
 // becomes validity [t, t+1)) and forwards heartbeats / end-of-stream.
+//
+// When metrics are attached, every kSampleEvery-th injected element is
+// stamped with the shared wall clock (obs/clock.h); sinks turn the stamp
+// into end-to-end latency (obs/timeline.h has the full data-flow story).
 
 #ifndef GENMIG_OPS_SOURCE_H_
 #define GENMIG_OPS_SOURCE_H_
@@ -23,9 +27,20 @@ class Source : public Operator {
                          TimeInterval(Timestamp(t), Timestamp(t + 1))));
   }
 
-  /// Injects an already-built physical element.
+  /// Injects an already-built physical element. With metrics attached, a
+  /// sampled subset gets an ingress wall-clock stamp for end-to-end latency
+  /// attribution; caller-provided stamps are preserved.
   void Inject(const StreamElement& element) {
     watermark_ = element.interval.start;
+#ifndef GENMIG_NO_METRICS
+    if (metrics() != nullptr && element.ingress_ns == 0 &&
+        (injected_++ & obs::MetricsRegistry::kSampleMask) == 0) {
+      StreamElement stamped = element;
+      stamped.ingress_ns = obs::MonotonicNowNs();
+      Emit(0, stamped);
+      return;
+    }
+#endif
     Emit(0, element);
   }
 
@@ -46,6 +61,9 @@ class Source : public Operator {
 
  private:
   Timestamp watermark_ = Timestamp::MinInstant();
+#ifndef GENMIG_NO_METRICS
+  uint64_t injected_ = 0;
+#endif
 };
 
 }  // namespace genmig

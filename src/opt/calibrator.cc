@@ -96,7 +96,11 @@ void CostCalibrator::ObserveCounters(const std::string& key,
   AdvanceTime(now);
   Slot& slot = slots_[key];
   slot.obs.state_bytes = static_cast<double>(state_bytes);
-  slot.obs.push_mean_ns = push_mean_ns;
+  // Before the first rate sample the latency reading is a plain gauge; from
+  // then on it is EWMA-folded below, alongside the rates, so one noisy
+  // reading (or a fresh instance after a migration) cannot yank the
+  // calibrated CPU cost around.
+  if (slot.obs.samples == 0) slot.obs.push_mean_ns = push_mean_ns;
 
   const bool monotone = slot.have_baseline && elements_in >= slot.last_in &&
                         elements_out >= slot.last_out;
@@ -111,6 +115,10 @@ void CostCalibrator::ObserveCounters(const std::string& key,
       if (din > 0) {
         Fold(&slot.obs.selectivity,
              static_cast<double>(dout) / static_cast<double>(din), first);
+      }
+      if (push_mean_ns > 0.0) {
+        Fold(&slot.obs.push_mean_ns, push_mean_ns,
+             first || slot.obs.push_mean_ns <= 0.0);
       }
       ++slot.obs.samples;
       slot.obs.last_update = now;
@@ -187,6 +195,9 @@ const PlanObservations::NodeObservation* CostCalibrator::Lookup(
   if (obs == nullptr) return nullptr;
   lookup_scratch_.out_rate = obs->out_rate;
   lookup_scratch_.selectivity = obs->selectivity;
+  lookup_scratch_.in_rate = obs->in_rate;
+  lookup_scratch_.cpu_ns_per_element =
+      options_.use_cpu_cost ? obs->push_mean_ns : 0.0;
   return &lookup_scratch_;
 }
 

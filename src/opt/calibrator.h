@@ -61,6 +61,13 @@ class CostCalibrator : public PlanObservations {
     /// Two counter readings closer together than this (application time)
     /// are not differenced into a rate sample (guards division by ~0).
     Duration min_sample_span = 1;
+    /// Feed calibrated per-element CPU cost (the EWMA of the operators'
+    /// sampled push-latency means) into the cost model: Lookup then fills
+    /// NodeObservation::cpu_ns_per_element, and EstimatePlan replaces the
+    /// node's structural self-cost with measured work (see opt/cost.h,
+    /// kCostUnitNs). Off by default: measured nanoseconds and structural
+    /// units rank plans on different scales, so this is opt-in per engine.
+    bool use_cpu_cost = false;
   };
 
   /// One subplan's folded observation.
@@ -69,7 +76,7 @@ class CostCalibrator : public PlanObservations {
     double out_rate = 0.0;      // Output elements per time unit (EWMA).
     double selectivity = 1.0;   // out/in element ratio (EWMA).
     double state_bytes = 0.0;   // Latest sampled state gauge.
-    double push_mean_ns = 0.0;  // Latest mean push latency.
+    double push_mean_ns = 0.0;  // Mean push latency (EWMA over readings).
     uint64_t samples = 0;       // Rate samples folded so far.
     Timestamp last_update = Timestamp::MinInstant();
   };

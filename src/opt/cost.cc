@@ -38,7 +38,7 @@ PlanEstimate EstimateStructural(const LogicalNode& node,
       for (size_t c = 0; c < node.schema.size(); ++c) {
         e.distinct[c] = s.DistinctOf(c);
       }
-      e.cost = e.rate;
+      e.cost = e.self_cost = e.rate;
       return e;
     }
     case LogicalNode::Kind::kWindow: {
@@ -51,12 +51,12 @@ PlanEstimate EstimateStructural(const LogicalNode& node,
       } else {
         e.window += static_cast<double>(node.window);
       }
-      e.cost += e.rate;
+      e.cost += e.self_cost = e.rate;
       return e;
     }
     case LogicalNode::Kind::kSelect: {
       PlanEstimate e = Estimate(*node.children[0], catalog, observed);
-      e.cost += e.rate;  // One predicate evaluation per element.
+      e.cost += e.self_cost = e.rate;  // One predicate check per element.
       e.rate *= StatsCatalog::kDefaultSelectivity;
       for (auto& [c, d] : e.distinct) {
         d = std::max(1.0, d * StatsCatalog::kDefaultSelectivity);
@@ -70,7 +70,7 @@ PlanEstimate EstimateStructural(const LogicalNode& node,
       for (size_t i = 0; i < node.project_fields.size(); ++i) {
         e.distinct[i] = in.DistinctOf(node.project_fields[i]);
       }
-      e.cost += e.rate;
+      e.cost += e.self_cost = e.rate;
       return e;
     }
     case LogicalNode::Kind::kJoin: {
@@ -92,7 +92,8 @@ PlanEstimate EstimateStructural(const LogicalNode& node,
       e.window = std::min(l.window, r.window);
       e.state = l.state + r.state + state_l + state_r;
       // Probe work dominates the join's running cost.
-      e.cost = l.cost + r.cost + l.rate * state_r + r.rate * state_l;
+      e.self_cost = l.rate * state_r + r.rate * state_l;
+      e.cost = l.cost + r.cost + e.self_cost;
       const size_t l_cols = node.children[0]->schema.size();
       for (const auto& [c, d] : l.distinct) e.distinct[c] = d;
       for (const auto& [c, d] : r.distinct) e.distinct[c + l_cols] = d;
@@ -104,7 +105,7 @@ PlanEstimate EstimateStructural(const LogicalNode& node,
       for (size_t c = 0; c < node.schema.size(); ++c) {
         domain *= e.DistinctOf(c);
       }
-      e.cost += e.rate;
+      e.cost += e.self_cost = e.rate;
       e.state += std::min(e.rate * std::max(e.window, 1.0), domain);
       e.rate = std::min(e.rate, domain / std::max(e.window, 1.0));
       return e;
@@ -119,7 +120,8 @@ PlanEstimate EstimateStructural(const LogicalNode& node,
                         2.0 * in.rate * in.rate * std::max(in.window, 1.0));
       e.window = 1.0 / std::max(in.rate, kMinRate);
       e.state = in.state + in.rate * std::max(in.window, 1.0);
-      e.cost = in.cost + 2.0 * in.rate;
+      e.self_cost = 2.0 * in.rate;
+      e.cost = in.cost + e.self_cost;
       for (size_t i = 0; i < node.group_fields.size(); ++i) {
         e.distinct[i] = in.DistinctOf(node.group_fields[i]);
       }
@@ -132,7 +134,8 @@ PlanEstimate EstimateStructural(const LogicalNode& node,
       e.rate = l.rate + r.rate;
       e.window = std::max(l.window, r.window);
       e.state = l.state + r.state;
-      e.cost = l.cost + r.cost + e.rate;
+      e.self_cost = e.rate;
+      e.cost = l.cost + r.cost + e.self_cost;
       for (const auto& [c, d] : l.distinct) {
         e.distinct[c] = std::max(d, r.DistinctOf(c));
       }
@@ -147,7 +150,8 @@ PlanEstimate EstimateStructural(const LogicalNode& node,
       e.state = l.state + r.state +
                 (l.rate + r.rate) * std::max(std::max(l.window, r.window),
                                              1.0);
-      e.cost = l.cost + r.cost + 2.0 * (l.rate + r.rate);
+      e.self_cost = 2.0 * (l.rate + r.rate);
+      e.cost = l.cost + r.cost + e.self_cost;
       e.distinct = l.distinct;
       return e;
     }
@@ -161,6 +165,21 @@ PlanEstimate Estimate(const LogicalNode& node, const StatsCatalog& catalog,
   if (observed != nullptr) {
     if (const PlanObservations::NodeObservation* obs = observed->Lookup(node)) {
       e.rate = std::max(obs->out_rate, kMinRate);
+      if (obs->cpu_ns_per_element > 0.0) {
+        // Calibrated CPU overlay (ROADMAP follow-up): replace this node's
+        // structural self-cost with measured push-latency work, converted
+        // into model units. Children keep their own (possibly calibrated)
+        // costs — self_cost is exactly this node's share of e.cost.
+        double in_rate = obs->in_rate;
+        if (in_rate <= 0.0) {
+          in_rate = obs->selectivity > 0.0 ? e.rate / obs->selectivity
+                                           : e.rate;
+        }
+        const double measured =
+            in_rate * obs->cpu_ns_per_element / kCostUnitNs;
+        e.cost += measured - e.self_cost;
+        e.self_cost = measured;
+      }
     }
   }
   return e;

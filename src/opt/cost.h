@@ -18,12 +18,24 @@
 
 namespace genmig {
 
+/// Abstract model cost units per measured CPU nanosecond: one unit
+/// approximates handling one element through a cheap (filter-class)
+/// operator, which the push-latency histograms put at ~100 ns. The constant
+/// only matters when calibrated CPU costs (measured, in ns) and structural
+/// costs (modelled, in units) are mixed within one plan estimate — both
+/// sides are scaled into the same unit system before they are summed.
+constexpr double kCostUnitNs = 100.0;
+
 /// Estimated properties of one plan node.
 struct PlanEstimate {
   double rate = 0.0;    // Output elements per time unit.
   double window = 0.0;  // Effective validity length of output elements.
   double state = 0.0;   // State size (elements) held by this node's subtree.
   double cost = 0.0;    // Cumulative CPU cost per time unit.
+  /// This node's own contribution to `cost` (cost minus the children's
+  /// cumulative costs). The calibrated-CPU overlay replaces exactly this
+  /// share with a measured value, leaving the children untouched.
+  double self_cost = 0.0;
   /// Per output column: estimated distinct values.
   std::map<size_t, double> distinct;
 
@@ -46,6 +58,14 @@ class PlanObservations {
     double out_rate = 0.0;
     /// Measured out/in element ratio.
     double selectivity = 1.0;
+    /// Measured input elements per time unit (0 = unknown; the overlay
+    /// falls back to out_rate / selectivity).
+    double in_rate = 0.0;
+    /// Calibrated CPU cost per input element from the operator's sampled
+    /// push-latency histogram, in nanoseconds (0 = unknown / disabled).
+    /// When set, the node's structural self-cost is replaced by
+    /// in_rate * cpu_ns_per_element / kCostUnitNs.
+    double cpu_ns_per_element = 0.0;
   };
 
   virtual ~PlanObservations() = default;

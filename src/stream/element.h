@@ -5,6 +5,7 @@
 #ifndef GENMIG_STREAM_ELEMENT_H_
 #define GENMIG_STREAM_ELEMENT_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,14 @@ struct StreamElement {
   /// start. PT drops old-box results that are not old (the new box also
   /// produces them). Outside PT migrations the field is ignored.
   uint32_t epoch = 0;
+
+  /// Observability: wall-clock ingress stamp (obs::MonotonicNowNs) of the
+  /// sampled source element this element derives from; 0 means unstamped.
+  /// Sources stamp every kSampleEvery-th injected element, operators carry
+  /// the stamp through to derived results, and sinks record the difference
+  /// to now as end-to-end latency — the user-visible snapshot latency,
+  /// including any migration stall. Transient metadata like `epoch`.
+  uint64_t ingress_ns = 0;
 
   StreamElement() = default;
   StreamElement(Tuple t, TimeInterval iv, uint32_t ep = 0)

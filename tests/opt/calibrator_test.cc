@@ -232,6 +232,96 @@ TEST(CostCalibratorTest, CalibratedOverridesSourceRatesKeepsDistincts) {
   EXPECT_DOUBLE_EQ(calibrated.Get("S1").rate, 0.7);
 }
 
+// --- Calibrated CPU cost (push-latency -> cost model) ------------------------
+
+TEST(CostCalibratorTest, UseCpuCostExposesPushLatencyThroughLookup) {
+  const LogicalPtr src = Src("S0");
+  CostCalibrator::Options opt;
+  opt.use_cpu_cost = true;
+  CostCalibrator cal(opt);
+  cal.ObserveCounters(PlanSignature(*src), 0, 0, 0, 0.0, Timestamp(0));
+  cal.ObserveCounters(PlanSignature(*src), 200, 200, 0, 200.0,
+                      Timestamp(100));
+  const PlanObservations::NodeObservation* obs = cal.Lookup(*src);
+  ASSERT_NE(obs, nullptr);
+  EXPECT_DOUBLE_EQ(obs->in_rate, 2.0);
+  EXPECT_DOUBLE_EQ(obs->cpu_ns_per_element, 200.0);
+
+  // Default options keep the CPU channel closed: same observations, no
+  // cpu_ns_per_element, so EstimatePlan keeps the structural cost scale.
+  CostCalibrator off;
+  off.ObserveCounters(PlanSignature(*src), 0, 0, 0, 0.0, Timestamp(0));
+  off.ObserveCounters(PlanSignature(*src), 200, 200, 0, 200.0,
+                      Timestamp(100));
+  ASSERT_NE(off.Lookup(*src), nullptr);
+  EXPECT_DOUBLE_EQ(off.Lookup(*src)->cpu_ns_per_element, 0.0);
+}
+
+TEST(CostCalibratorTest, CpuCostOverlayReplacesStructuralSelfCost) {
+  const LogicalPtr src = Src("S0");
+  StatsCatalog catalog;
+  catalog.SetSource("S0", 0.5, 10.0);
+
+  CostCalibrator::Options opt;
+  opt.use_cpu_cost = true;
+  CostCalibrator cal(opt);
+  cal.ObserveCounters(PlanSignature(*src), 0, 0, 0, 0.0, Timestamp(0));
+  // 2 elements/unit at a measured 200 ns each: 2 * 200 / kCostUnitNs = 4
+  // model cost units replace the source's structural self-cost.
+  cal.ObserveCounters(PlanSignature(*src), 200, 200, 0, 200.0,
+                      Timestamp(100));
+  const PlanEstimate calibrated = EstimatePlan(*src, catalog, &cal);
+  EXPECT_DOUBLE_EQ(calibrated.rate, 2.0);
+  EXPECT_DOUBLE_EQ(calibrated.self_cost, 2.0 * 200.0 / kCostUnitNs);
+  EXPECT_DOUBLE_EQ(calibrated.cost, 2.0 * 200.0 / kCostUnitNs);
+
+  // With the flag off the same observations only recalibrate the rate.
+  CostCalibrator off;
+  off.ObserveCounters(PlanSignature(*src), 0, 0, 0, 0.0, Timestamp(0));
+  off.ObserveCounters(PlanSignature(*src), 200, 200, 0, 200.0,
+                      Timestamp(100));
+  const PlanEstimate structural = EstimatePlan(*src, catalog, &off);
+  EXPECT_DOUBLE_EQ(structural.rate, 2.0);
+  EXPECT_DOUBLE_EQ(structural.cost, 0.5);  // Catalog rate = structural cost.
+}
+
+TEST(CostCalibratorTest, CpuCostOverlayOnlyChargesTheObservedNode) {
+  // Join over two sources, only the join observed: the children keep their
+  // structural costs and the cumulative cost moves by (measured - self).
+  const LogicalPtr plan = TwoSourceJoin();
+  StatsCatalog catalog;
+  catalog.SetSource("S0", 1.0, 10.0);
+  catalog.SetSource("S1", 1.0, 10.0);
+  const PlanEstimate structural = EstimatePlan(*plan, catalog);
+
+  CostCalibrator::Options opt;
+  opt.use_cpu_cost = true;
+  CostCalibrator cal(opt);
+  cal.ObserveCounters(PlanSignature(*plan), 0, 0, 0, 0.0, Timestamp(0));
+  cal.ObserveCounters(PlanSignature(*plan), 1000, 100, 0, 500.0,
+                      Timestamp(100));  // in_rate 10, 500 ns/element.
+  const PlanEstimate calibrated = EstimatePlan(*plan, catalog, &cal);
+  const double measured = 10.0 * 500.0 / kCostUnitNs;
+  EXPECT_DOUBLE_EQ(calibrated.self_cost, measured);
+  EXPECT_DOUBLE_EQ(calibrated.cost,
+                   structural.cost - structural.self_cost + measured);
+}
+
+TEST(CostCalibratorTest, PushLatencyReadingsAreEwmaFolded) {
+  CostCalibrator::Options opt;
+  opt.sample_weight = 0.5;
+  CostCalibrator cal(opt);
+  cal.ObserveCounters("k", 0, 0, 0, 0.0, Timestamp(0));
+  cal.ObserveCounters("k", 100, 100, 0, 100.0, Timestamp(100));
+  EXPECT_DOUBLE_EQ(cal.Raw("k")->push_mean_ns, 100.0);
+  cal.ObserveCounters("k", 200, 200, 0, 300.0, Timestamp(200));
+  EXPECT_DOUBLE_EQ(cal.Raw("k")->push_mean_ns, 0.5 * 300.0 + 0.5 * 100.0);
+  // A zero reading (sampling produced no data this period) does not drag the
+  // calibrated latency toward zero.
+  cal.ObserveCounters("k", 300, 300, 0, 0.0, Timestamp(300));
+  EXPECT_DOUBLE_EQ(cal.Raw("k")->push_mean_ns, 200.0);
+}
+
 TEST(CostCalibratorTest, ObservedRatesOverrideCostModelEstimates) {
   const LogicalPtr src = Src("S0");
   StatsCatalog catalog;
