@@ -18,6 +18,11 @@ Dsms::Dsms(Options options)
   }
   if (options_.timeline_period > 0) {
     timeline_ = obs::TimeSeriesRing(options_.timeline_capacity);
+    if (!options_.timeline_spill_path.empty()) {
+      timeline_spill_ = std::make_unique<obs::TimelineSpillWriter>(
+          options_.timeline_spill_path, options_.timeline_spill_rotate_bytes);
+      timeline_sampler_.set_spill(timeline_spill_.get());
+    }
   }
   if (options_.reoptimize_period > 0 || options_.calibration_period > 0 ||
       options_.timeline_period > 0) {
@@ -90,6 +95,26 @@ Result<Dsms::QueryId> Dsms::Install(LogicalPtr plan) {
     }
   }
 
+  // Partitionable plans run on the sharded executor when requested; the
+  // analysis failing is the documented fallback to the single-threaded
+  // engine below (shards = 1 semantics).
+  if (options_.shards > 1) {
+    par::Coordinator::Options copt;
+    copt.shards = options_.shards;
+    copt.queue_capacity = options_.shard_queue_capacity;
+    if (options_.enable_metrics) {
+      copt.registry = &registry_;
+      copt.tracer = &tracer_;
+    }
+    auto coordinator = std::make_unique<par::Coordinator>(plan, copt);
+    if (coordinator->spec().ok) {
+      query->parallel = true;
+      query->coordinator = std::move(coordinator);
+      queries_.push_back(std::move(query));
+      return static_cast<QueryId>(queries_.size()) - 1;
+    }
+  }
+
   // Name built with append: "q" + to_string trips a GCC 12 -Wrestrict false
   // positive (GCC bug 105651) under -O2.
   std::string qname = "q";
@@ -134,11 +159,46 @@ Result<Dsms::QueryId> Dsms::Install(LogicalPtr plan) {
   return static_cast<QueryId>(queries_.size()) - 1;
 }
 
+void Dsms::RunToCompletion() {
+  // Parallel queries first: they consume the immutable feed data on their
+  // own threads and barrier on migration completion, so AutoStatus, Info()
+  // and metrics are coherent by the time the single-threaded engine (and
+  // its after_step hooks) runs.
+  for (auto& query : queries_) {
+    if (!query->parallel || query->coordinator == nullptr) continue;
+    par::InputMap inputs;
+    for (const std::string& name : query->source_names) {
+      inputs[name] = exec_.feed_elements(feeds_.at(name));
+    }
+    Result<MaterializedStream> result = query->coordinator->Run(inputs);
+    GENMIG_CHECK(result.ok());
+    query->coordinator->WaitMigrationsComplete();
+    query->parallel_results = std::move(result).ValueOrDie();
+  }
+  exec_.RunToCompletion();
+  if (timeline_spill_ != nullptr) timeline_spill_->Flush();
+}
+
+Status Dsms::ScheduleMigration(QueryId id, LogicalPtr new_plan,
+                               Timestamp at) {
+  Query& query = *queries_.at(static_cast<size_t>(id));
+  if (!query.parallel) {
+    return Status::FailedPrecondition(
+        "query does not run on the parallel executor; use ReoptimizeNow() "
+        "or the auto-migration loop");
+  }
+  MigrationController::GenMigOptions base;
+  base.variant = options_.variant;
+  Status s = query.coordinator->ScheduleGenMig(std::move(new_plan), at, base);
+  return s;
+}
+
 StatsCatalog Dsms::CurrentStats() const {
   StatsCatalog catalog;
   // Streams observed by several queries: any tap works; the last one wins.
+  // Parallel queries bypass the tap wiring and contribute nothing.
   for (const auto& query : queries_) {
-    for (size_t i = 0; i < query->source_names.size(); ++i) {
+    for (size_t i = 0; i < query->taps.size(); ++i) {
       catalog.SetSource(query->source_names[i],
                         query->taps[i]->Snapshot());
     }
@@ -151,6 +211,15 @@ Dsms::QueryInfo Dsms::Info(QueryId id) const {
   QueryInfo info;
   info.plan = query.plan;
   info.estimated_cost = EstimateCost(*query.plan, CurrentStats());
+  if (query.parallel) {
+    info.parallel = true;
+    info.shards = query.coordinator->shards() > 0
+                      ? query.coordinator->shards()
+                      : options_.shards;
+    info.migrations_completed = query.coordinator->migrations_completed();
+    info.result_count = query.parallel_results.size();
+    return info;
+  }
   info.migrations_completed = query.controller->migrations_completed();
   info.migration_in_progress = query.controller->migration_in_progress();
   info.result_count = query.sink.count();
@@ -205,6 +274,7 @@ int Dsms::ReoptimizeNow() {
   const StatsCatalog base = CurrentStats();
   int started = 0;
   for (auto& query : queries_) {
+    if (query->parallel) continue;  // Migrates via ScheduleMigration().
     if (query->controller->migration_in_progress()) continue;
     // Calibrated catalog + observed-rate overlay: with no observations yet
     // (calibration loop off, or nothing folded) this degrades to the plain
@@ -256,6 +326,7 @@ void Dsms::MaybeSampleTimeline() {
   last_timeline_sample_ = now;
   bool migrating = false;
   for (const auto& query : queries_) {
+    if (query->controller == nullptr) continue;  // Parallel query.
     migrating |= query->controller->migration_in_progress();
   }
   timeline_sampler_.Sample(now, migrating);

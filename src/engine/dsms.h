@@ -29,6 +29,7 @@
 #include "opt/calibrator.h"
 #include "opt/rules.h"
 #include "opt/stats_tap.h"
+#include "par/coordinator.h"
 #include "plan/compile.h"
 #include "plan/executor.h"
 
@@ -77,6 +78,20 @@ class Dsms {
     Duration timeline_period = 0;
     /// Ring capacity of timeline() — oldest samples are dropped beyond it.
     size_t timeline_capacity = 1024;
+    /// Non-empty: every timeline sample is also appended to this CSV file,
+    /// so histories longer than timeline_capacity survive (obs/timeline.h,
+    /// TimelineSpillWriter).
+    std::string timeline_spill_path;
+    /// Rotate the spill file once it exceeds this size (0 = never).
+    size_t timeline_spill_rotate_bytes = 0;
+    /// Worker shards of the parallel executor (src/par). Queries whose plans
+    /// are hash-partitionable (par::AnalyzePlan) run as `shards` independent
+    /// plan replicas on their own threads, recombined by a deterministic
+    /// temporal merge; other queries fall back to the single-threaded
+    /// engine. Parallel queries produce their results in RunToCompletion().
+    int shards = 1;
+    /// Router->shard / shard->merge queue capacity of parallel queries.
+    size_t shard_queue_capacity = 1024;
     Executor::Options executor;
   };
 
@@ -104,13 +119,22 @@ class Dsms {
 
   bool Step() { return exec_.Step(); }
   void RunUntil(Timestamp t) { exec_.RunUntil(t); }
-  void RunToCompletion() { exec_.RunToCompletion(); }
+  /// Drives the single-threaded executor to the end of every feed AND runs
+  /// every parallel (sharded) query to completion.
+  void RunToCompletion();
   Timestamp current_time() const { return exec_.current_time(); }
+
+  /// Schedules a GenMig of a *parallel* query to `new_plan` when routing
+  /// reaches application time `at` (one T_split broadcast to every shard;
+  /// the new plan must partition identically). Call before RunToCompletion.
+  /// Single-threaded queries migrate via ReoptimizeNow()/auto-triggers.
+  Status ScheduleMigration(QueryId id, LogicalPtr new_plan, Timestamp at);
 
   // --- Results & introspection ---------------------------------------------------
 
   const MaterializedStream& Results(QueryId id) const {
-    return queries_.at(static_cast<size_t>(id))->sink.collected();
+    const Query& query = *queries_.at(static_cast<size_t>(id));
+    return query.parallel ? query.parallel_results : query.sink.collected();
   }
 
   struct QueryInfo {
@@ -120,6 +144,9 @@ class Dsms {
     bool migration_in_progress = false;
     size_t result_count = 0;
     size_t state_bytes = 0;
+    /// True when the query runs on the sharded parallel executor.
+    bool parallel = false;
+    int shards = 1;
   };
   QueryInfo Info(QueryId id) const;
 
@@ -202,6 +229,12 @@ class Dsms {
     std::shared_ptr<CostRatioPolicy> cost_policy;  // Null when loop is off.
     LogicalPtr pending_candidate;  // Migration target armed by the loop.
     AutoReoptStatus auto_status;
+    // Sharded execution (Options::shards > 1 and a partitionable plan):
+    // the coordinator replaces the controller/tap wiring above, and results
+    // land in parallel_results on RunToCompletion.
+    bool parallel = false;
+    std::unique_ptr<par::Coordinator> coordinator;
+    MaterializedStream parallel_results;
   };
 
   /// A shared windowed-source subplan (Section 1: "save system resources by
@@ -240,6 +273,7 @@ class Dsms {
   obs::MigrationTracer tracer_;
   obs::TimeSeriesRing timeline_;
   obs::TimelineSampler timeline_sampler_{&registry_, &timeline_};
+  std::unique_ptr<obs::TimelineSpillWriter> timeline_spill_;
 };
 
 }  // namespace genmig

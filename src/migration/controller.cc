@@ -196,7 +196,8 @@ void MigrationController::StartGenMig(Box new_box,
     const bool refpoint =
         options.variant == GenMigOptions::Variant::kRefPoint;
     trace_id_ = tracer_->BeginMigration(
-        refpoint ? "genmig_refpoint" : "genmig_coalesce", TraceTime());
+        refpoint ? "genmig_refpoint" : "genmig_coalesce", TraceTime(),
+        trace_lane_);
   }
   TryEnterParallel();
 }
@@ -240,6 +241,12 @@ void MigrationController::EnterParallel() {
     // Algorithm 1, line 5: max{t_Si} + w + 1 + epsilon. The +1 covers the
     // [t, t+1) validity of the input conversion; epsilon is the chronon.
     t_split_ = Timestamp(max_tsi.t + genmig_options_.window + 1, 1);
+  }
+  // Coordinated migration: a broadcast split point from the parallel
+  // coordinator overrides a smaller local choice (correctness is monotone —
+  // any T_split above every referenced instant is valid per Section 4).
+  if (t_split_ < genmig_options_.min_split) {
+    t_split_ = genmig_options_.min_split;
   }
 
   // Merge operator on top of both boxes.
@@ -389,7 +396,8 @@ void MigrationController::StartParallelTrack(Box new_box, Duration window) {
   pt_epoch_ = ++epoch_;
   pt_dropped_ = 0;
   if (tracer_ != nullptr) {
-    trace_id_ = tracer_->BeginMigration("parallel_track", TraceTime());
+    trace_id_ =
+        tracer_->BeginMigration("parallel_track", TraceTime(), trace_lane_);
   }
   // PT's end-of-migration buffer flush back-dates results; the output of
   // this operator is no longer globally ordered (see Figure 4's burst).
@@ -497,7 +505,8 @@ void MigrationController::StartMovingStates(Box new_box,
 
   new_box.AttachMetrics(registry_);
   if (tracer_ != nullptr) {
-    trace_id_ = tracer_->BeginMigration("moving_states", TraceTime());
+    trace_id_ =
+        tracer_->BeginMigration("moving_states", TraceTime(), trace_lane_);
   }
 
   // 1. Compute the new box's states from the old box's states.

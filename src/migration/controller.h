@@ -73,6 +73,12 @@ class MigrationController : public Operator {
     /// Global window constraint w (Section 3/4). Required unless
     /// end_timestamp_split is set.
     Duration window = 0;
+    /// Floor for T_split: the chosen split is max(locally computed, this).
+    /// The parallel coordinator (src/par) broadcasts one globally valid
+    /// T_split — greater than every instant any shard can still reference —
+    /// so that every shard replica splits at the same instant regardless of
+    /// which subset of the data it saw. MinInstant() (default) disables it.
+    Timestamp min_split = Timestamp::MinInstant();
   };
 
   /// Operator-specific state transfer for Moving States: reads the old
@@ -124,6 +130,9 @@ class MigrationController : public Operator {
 
   /// Records every migration phase transition into `tracer` (null disables).
   void SetTracer(obs::MigrationTracer* tracer) { tracer_ = tracer; }
+  /// Chrome-trace display lane for this controller's migrations (0 = engine;
+  /// the parallel shard runtimes pass 1 + shard id).
+  void SetTraceLane(int lane) { trace_lane_ = lane; }
 
   /// Installs a pluggable migration trigger. The policy is evaluated at the
   /// end of every Maintain() while no migration is in progress and at least
@@ -238,6 +247,7 @@ class MigrationController : public Operator {
   // Observability.
   obs::MetricsRegistry* registry_ = nullptr;
   obs::MigrationTracer* tracer_ = nullptr;
+  int trace_lane_ = 0;
   /// Tracer id of the in-flight migration, -1 outside one.
   int trace_id_ = -1;
   std::shared_ptr<TriggerPolicy> trigger_policy_;

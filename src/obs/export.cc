@@ -198,11 +198,13 @@ std::string ToCsv(const MetricsRegistry& registry) {
                   ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
                   ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
                   ",%.1f,%.1f,%" PRIu64 ",%.1f,%.1f\n",
-                  m.elements_in, m.elements_out, m.heartbeats_in,
-                  m.negatives_in, m.negatives_out, m.state_inserts,
-                  m.state_expires, m.state_units, m.state_bytes,
-                  m.peak_state_units, m.peak_state_bytes, m.queue_depth,
-                  m.peak_queue_depth, m.push_ns.MeanNs(),
+                  m.elements_in.load(), m.elements_out.load(),
+                  m.heartbeats_in.load(), m.negatives_in.load(),
+                  m.negatives_out.load(), m.state_inserts.load(),
+                  m.state_expires.load(), m.state_units.load(),
+                  m.state_bytes.load(), m.peak_state_units.load(),
+                  m.peak_state_bytes.load(), m.queue_depth.load(),
+                  m.peak_queue_depth.load(), m.push_ns.MeanNs(),
                   m.push_ns.ApproxQuantile(0.99), m.e2e_ns.count(),
                   m.e2e_ns.ApproxQuantile(0.5), m.e2e_ns.ApproxQuantile(0.99));
     out += buf;
@@ -226,23 +228,43 @@ std::string ToChromeTrace(const MetricsRegistry& registry,
     return static_cast<double>(ns) / 1000.0;  // Chrome traces use µs.
   };
 
-  // Track metadata: migrations on tid 1, counters attach to the process.
+  // Track metadata: engine migrations on tid 1, shard-local migrations on
+  // tid 1 + lane (one lane per shard), counters attach to the process.
   begin_event();
   out += "{\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": \"process_name\","
          " \"args\": {\"name\": \"genmig\"}}";
   begin_event();
   out += "{\"ph\": \"M\", \"pid\": 1, \"tid\": 1, \"name\": \"thread_name\","
          " \"args\": {\"name\": \"migrations\"}}";
+  if (tracer != nullptr) {
+    std::map<int, bool> lanes_named;
+    for (int id = 0; id < tracer->migration_count(); ++id) {
+      const int lane = tracer->LaneOf(id);
+      if (lane <= 0 || lanes_named[lane]) continue;
+      lanes_named[lane] = true;
+      begin_event();
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\": \"M\", \"pid\": 1, \"tid\": %d, \"name\": "
+                    "\"thread_name\", \"args\": {\"name\": \"shard %d "
+                    "migrations\"}}",
+                    1 + lane, lane - 1);
+      out += buf;
+    }
+  }
 
   if (tracer != nullptr) {
     for (int id = 0; id < tracer->migration_count(); ++id) {
       const std::vector<TraceRecord> records = tracer->RecordsFor(id);
+      const int tid = 1 + tracer->LaneOf(id);
       if (records.size() >= 2) {
         // Enclosing span: whole migration. Complete ("X") events on one tid
         // nest by containment, so the per-phase children render inside it.
         begin_event();
-        out += "{\"ph\": \"X\", \"pid\": 1, \"tid\": 1, \"cat\": "
-               "\"migration\", \"name\": ";
+        std::snprintf(buf, sizeof(buf),
+                      "{\"ph\": \"X\", \"pid\": 1, \"tid\": %d, \"cat\": "
+                      "\"migration\", \"name\": ",
+                      tid);
+        out += buf;
         AppendEscaped(&out, "migration #" + std::to_string(id) + " (" +
                                 records.front().detail + ")");
         std::snprintf(buf, sizeof(buf),
@@ -259,8 +281,11 @@ std::string ToChromeTrace(const MetricsRegistry& registry,
         const TraceRecord& a = records[i];
         const TraceRecord& b = records[i + 1];
         begin_event();
-        out += "{\"ph\": \"X\", \"pid\": 1, \"tid\": 1, \"cat\": "
-               "\"migration-phase\", \"name\": ";
+        std::snprintf(buf, sizeof(buf),
+                      "{\"ph\": \"X\", \"pid\": 1, \"tid\": %d, \"cat\": "
+                      "\"migration-phase\", \"name\": ",
+                      tid);
+        out += buf;
         AppendEscaped(&out, std::string(MigrationEventName(a.event)) + "→" +
                                 MigrationEventName(b.event));
         std::snprintf(buf, sizeof(buf), ", \"ts\": %.3f, \"dur\": %.3f",
@@ -273,8 +298,11 @@ std::string ToChromeTrace(const MetricsRegistry& registry,
       // Plus an instant per record (visible even for 1-record traces).
       for (const TraceRecord& r : records) {
         begin_event();
-        out += "{\"ph\": \"i\", \"pid\": 1, \"tid\": 1, \"s\": \"t\", "
-               "\"cat\": \"migration\", \"name\": ";
+        std::snprintf(buf, sizeof(buf),
+                      "{\"ph\": \"i\", \"pid\": 1, \"tid\": %d, \"s\": \"t\", "
+                      "\"cat\": \"migration\", \"name\": ",
+                      tid);
+        out += buf;
         AppendEscaped(&out, MigrationEventName(r.event));
         std::snprintf(buf, sizeof(buf),
                       ", \"ts\": %.3f, \"args\": {\"app_time\": %" PRId64

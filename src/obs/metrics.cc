@@ -7,11 +7,12 @@ namespace genmig {
 namespace obs {
 
 uint64_t LatencyHistogram::ApproxQuantileNs(double p) const {
-  if (count_ == 0) return 0;
+  const uint64_t n = count_;
+  if (n == 0) return 0;
   if (p < 0.0) p = 0.0;
   if (p > 1.0) p = 1.0;
   const uint64_t rank =
-      static_cast<uint64_t>(p * static_cast<double>(count_ - 1));
+      static_cast<uint64_t>(p * static_cast<double>(n - 1));
   uint64_t seen = 0;
   for (size_t i = 0; i < kBuckets; ++i) {
     seen += counts_[i];
@@ -46,12 +47,14 @@ double LatencyHistogram::QuantileFromCounts(
 }
 
 double LatencyHistogram::ApproxQuantile(double p) const {
-  const double q = QuantileFromCounts(counts_, count_, p);
-  return max_ns_ > 0 ? std::min(q, static_cast<double>(max_ns_)) : q;
+  const double q = QuantileFromCounts(counts(), count_, p);
+  const uint64_t max_seen = max_ns_;
+  return max_seen > 0 ? std::min(q, static_cast<double>(max_seen)) : q;
 }
 
 const OperatorMetrics* MetricsRegistry::FindByName(
     const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const OperatorMetrics& m : slots_) {
     if (m.name == name) return &m;
   }
@@ -60,6 +63,7 @@ const OperatorMetrics* MetricsRegistry::FindByName(
 
 const OperatorMetrics* MetricsRegistry::LastByName(
     const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto it = slots_.rbegin(); it != slots_.rend(); ++it) {
     if (it->name == name) return &*it;
   }
@@ -67,24 +71,28 @@ const OperatorMetrics* MetricsRegistry::LastByName(
 }
 
 uint64_t MetricsRegistry::TotalElementsIn() const {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t total = 0;
   for (const OperatorMetrics& m : slots_) total += m.elements_in;
   return total;
 }
 
 uint64_t MetricsRegistry::TotalElementsOut() const {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t total = 0;
   for (const OperatorMetrics& m : slots_) total += m.elements_out;
   return total;
 }
 
 uint64_t MetricsRegistry::TotalStateBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t total = 0;
   for (const OperatorMetrics& m : slots_) total += m.state_bytes;
   return total;
 }
 
 void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (OperatorMetrics& m : slots_) {
     const std::string name = m.name;
     m = OperatorMetrics{};

@@ -16,25 +16,82 @@
 //    operator micro-benchmarks by bench/metrics_guard.cc.
 //  * Compiled out (-DGENMIG_NO_METRICS): the operator-base hooks vanish
 //    entirely; this registry still links (empty) so call sites need no #ifs.
-//  * Single-threaded by design, like the execution engine: counters are plain
-//    uint64_t, not atomics. A future multi-threaded executor shards one
-//    registry per worker and merges snapshots (see ROADMAP open items).
+//
+// Threading contract (src/par shard executor)
+// -------------------------------------------
+//  * Every counter/gauge is a RelaxedU64 — a relaxed std::atomic<uint64_t>
+//    with single-writer load+store increments (a plain mov pair on x86, so
+//    the metrics_guard budget is unaffected). Each slot has exactly ONE
+//    writer (the operator instance, which lives on one shard thread);
+//    any thread may read a slot concurrently and sees a torn-free value.
+//  * Register() is mutex-guarded: shard threads register migration-machinery
+//    slots concurrently. Slot pointers stay stable (deque storage).
+//  * operators() iteration is snapshot-free and must only run while no
+//    concurrent Register() is possible (single-threaded phases, or after the
+//    shard threads joined). The Total*/Find* helpers take the lock.
 
 #ifndef GENMIG_OBS_METRICS_H_
 #define GENMIG_OBS_METRICS_H_
 
 #include <array>
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <string>
 
 namespace genmig {
 namespace obs {
 
+/// Relaxed atomic uint64_t with value semantics. Increments are
+/// single-writer (load + store, not lock-prefixed RMW): each metric slot is
+/// written by exactly one thread, so the non-atomic read-modify-write is
+/// race-free while concurrent readers still get torn-free loads.
+class RelaxedU64 {
+ public:
+  RelaxedU64() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): drop-in for uint64_t.
+  RelaxedU64(uint64_t v) : v_(v) {}
+  RelaxedU64(const RelaxedU64& other) : v_(other.load()) {}
+  RelaxedU64& operator=(const RelaxedU64& other) {
+    store(other.load());
+    return *this;
+  }
+  RelaxedU64& operator=(uint64_t v) {
+    store(v);
+    return *this;
+  }
+  // NOLINTNEXTLINE(google-explicit-constructor): drop-in for uint64_t.
+  operator uint64_t() const { return load(); }
+
+  uint64_t load() const { return v_.load(std::memory_order_relaxed); }
+  void store(uint64_t v) { v_.store(v, std::memory_order_relaxed); }
+
+  uint64_t operator++() {  // Single-writer only.
+    const uint64_t next = load() + 1;
+    store(next);
+    return next;
+  }
+  uint64_t operator++(int) {  // Single-writer only.
+    const uint64_t prev = load();
+    store(prev + 1);
+    return prev;
+  }
+  RelaxedU64& operator+=(uint64_t delta) {  // Single-writer only.
+    store(load() + delta);
+    return *this;
+  }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
 /// Push-latency histogram with power-of-two nanosecond buckets: bucket i
 /// counts samples in [2^(i-1), 2^i) ns (bucket 0 counts 0 ns; the last
-/// bucket absorbs everything above its lower bound).
+/// bucket absorbs everything above its lower bound). Single writer per
+/// histogram; concurrent readers see torn-free (if slightly skewed between
+/// buckets and count) values.
 class LatencyHistogram {
  public:
   static constexpr size_t kBuckets = 40;  // Up to ~2^39 ns ≈ 9 minutes.
@@ -52,7 +109,7 @@ class LatencyHistogram {
     ++counts_[BucketOf(ns)];
     ++count_;
     sum_ns_ += ns;
-    if (ns > max_ns_) max_ns_ = ns;
+    if (ns > max_ns_.load()) max_ns_.store(ns);
   }
 
   uint64_t count() const { return count_; }
@@ -60,9 +117,10 @@ class LatencyHistogram {
   uint64_t max_ns() const { return max_ns_; }
   uint64_t bucket(size_t i) const { return counts_[i]; }
   double MeanNs() const {
-    return count_ == 0 ? 0.0
-                       : static_cast<double>(sum_ns_) /
-                             static_cast<double>(count_);
+    const uint64_t n = count_;
+    return n == 0 ? 0.0
+                  : static_cast<double>(sum_ns_.load()) /
+                        static_cast<double>(n);
   }
   /// Upper bound of the bucket containing the p-quantile (p in [0, 1]).
   uint64_t ApproxQuantileNs(double p) const;
@@ -78,45 +136,52 @@ class LatencyHistogram {
   static double QuantileFromCounts(const std::array<uint64_t, kBuckets>& counts,
                                    uint64_t count, double p);
 
-  const std::array<uint64_t, kBuckets>& counts() const { return counts_; }
+  /// Torn-free plain-array snapshot of the bucket counts.
+  std::array<uint64_t, kBuckets> counts() const {
+    std::array<uint64_t, kBuckets> snap;
+    for (size_t i = 0; i < kBuckets; ++i) snap[i] = counts_[i].load();
+    return snap;
+  }
 
   void Reset() {
-    counts_.fill(0);
-    count_ = sum_ns_ = max_ns_ = 0;
+    for (RelaxedU64& c : counts_) c.store(0);
+    count_.store(0);
+    sum_ns_.store(0);
+    max_ns_.store(0);
   }
 
  private:
-  std::array<uint64_t, kBuckets> counts_{};
-  uint64_t count_ = 0;
-  uint64_t sum_ns_ = 0;
-  uint64_t max_ns_ = 0;
+  std::array<RelaxedU64, kBuckets> counts_{};
+  RelaxedU64 count_;
+  RelaxedU64 sum_ns_;
+  RelaxedU64 max_ns_;
 };
 
-/// Counters of one operator instance. Plain fields: the operator bases
-/// update them inline on the hot path.
+/// Counters of one operator instance. The operator bases update them inline
+/// on the hot path; exactly one thread writes a given slot.
 struct OperatorMetrics {
   std::string name;
 
   // Data-path counters (exact).
-  uint64_t elements_in = 0;
-  uint64_t elements_out = 0;
-  uint64_t heartbeats_in = 0;
+  RelaxedU64 elements_in;
+  RelaxedU64 elements_out;
+  RelaxedU64 heartbeats_in;
   /// PN streams only: negative elements among elements_in / elements_out.
-  uint64_t negatives_in = 0;
-  uint64_t negatives_out = 0;
+  RelaxedU64 negatives_in;
+  RelaxedU64 negatives_out;
 
   // State-churn counters (exact; maintained by stateful operators).
-  uint64_t state_inserts = 0;
-  uint64_t state_expires = 0;
+  RelaxedU64 state_inserts;
+  RelaxedU64 state_expires;
 
   // Gauges sampled every kSampleEvery-th push (plus peaks over samples).
-  uint64_t state_units = 0;
-  uint64_t state_bytes = 0;
-  uint64_t peak_state_units = 0;
-  uint64_t peak_state_bytes = 0;
+  RelaxedU64 state_units;
+  RelaxedU64 state_bytes;
+  RelaxedU64 peak_state_units;
+  RelaxedU64 peak_state_bytes;
   /// Elements held back in reordering/merge buffers awaiting watermark.
-  uint64_t queue_depth = 0;
-  uint64_t peak_queue_depth = 0;
+  RelaxedU64 queue_depth;
+  RelaxedU64 peak_queue_depth;
 
   /// Sampled wall-clock latency of one PushElement (element handling +
   /// watermark advance + progress publication).
@@ -131,9 +196,9 @@ struct OperatorMetrics {
     state_units = units;
     state_bytes = bytes;
     queue_depth = queue;
-    if (units > peak_state_units) peak_state_units = units;
-    if (bytes > peak_state_bytes) peak_state_bytes = bytes;
-    if (queue > peak_queue_depth) peak_queue_depth = queue;
+    if (units > peak_state_units.load()) peak_state_units = units;
+    if (bytes > peak_state_bytes.load()) peak_state_bytes = bytes;
+    if (queue > peak_queue_depth.load()) peak_queue_depth = queue;
   }
 };
 
@@ -141,7 +206,9 @@ struct OperatorMetrics {
 /// lifetime (deque storage), so operators keep raw pointers. Operators
 /// created later (e.g. the split/coalesce machinery of a migration) register
 /// their own fresh slots; names may therefore repeat across migrations —
-/// each slot describes one operator *instance*.
+/// each slot describes one operator *instance*. In the parallel executor,
+/// shard runtimes prefix their slot names with "s<k>/" so per-shard series
+/// stay distinguishable in exports.
 class MetricsRegistry {
  public:
   /// Every kSampleEvery-th push records latency and state gauges.
@@ -149,13 +216,19 @@ class MetricsRegistry {
   static constexpr uint64_t kSampleMask = kSampleEvery - 1;
 
   OperatorMetrics* Register(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
     slots_.emplace_back();
     slots_.back().name = name;
     return &slots_.back();
   }
 
+  /// Unsynchronized iteration — only while no concurrent Register() can run
+  /// (see the threading contract in the file header).
   const std::deque<OperatorMetrics>& operators() const { return slots_; }
-  size_t size() const { return slots_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return slots_.size();
+  }
 
   /// First slot with `name` (nullptr if absent). Instances registered later
   /// shadow earlier ones only in LastByName.
@@ -171,6 +244,7 @@ class MetricsRegistry {
   void Reset();
 
  private:
+  mutable std::mutex mu_;
   std::deque<OperatorMetrics> slots_;
 };
 

@@ -81,6 +81,58 @@ size_t TimeSeriesRing::SamplesWithSinkTrafficBetween(Timestamp from,
   return n;
 }
 
+TimelineSpillWriter::TimelineSpillWriter(std::string path, size_t rotate_bytes)
+    : path_(std::move(path)), rotate_bytes_(rotate_bytes) {
+  GENMIG_CHECK(!path_.empty());
+  OpenFresh();
+}
+
+TimelineSpillWriter::~TimelineSpillWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void TimelineSpillWriter::OpenFresh() {
+  file_ = std::fopen(path_.c_str(), "w");
+  GENMIG_CHECK(file_ != nullptr);
+  const int n = std::fprintf(
+      file_,
+      "wall_ns,app_time,app_eps,migration_active,elements_in,elements_out,"
+      "state_bytes,queue_depth,sink_count,sink_p50_ns,sink_p99_ns,"
+      "sink_max_ns\n");
+  GENMIG_CHECK(n > 0);
+  bytes_written_ = static_cast<size_t>(n);
+}
+
+void TimelineSpillWriter::Append(const MetricSample& s) {
+  if (rotate_bytes_ > 0 && bytes_written_ >= rotate_bytes_) {
+    std::fclose(file_);
+    file_ = nullptr;
+    // Best-effort: a failed rename only means the old file gets truncated.
+    std::remove(rotated_path().c_str());
+    std::rename(path_.c_str(), rotated_path().c_str());
+    OpenFresh();
+    ++rotations_;
+  }
+  const int n = std::fprintf(
+      file_, "%llu,%lld,%u,%d,%llu,%llu,%llu,%llu,%llu,%.1f,%.1f,%llu\n",
+      static_cast<unsigned long long>(s.wall_ns),
+      static_cast<long long>(s.app_time.t), s.app_time.eps,
+      s.migration_active ? 1 : 0,
+      static_cast<unsigned long long>(s.elements_in),
+      static_cast<unsigned long long>(s.elements_out),
+      static_cast<unsigned long long>(s.state_bytes),
+      static_cast<unsigned long long>(s.queue_depth),
+      static_cast<unsigned long long>(s.sink_count), s.sink_p50_ns,
+      s.sink_p99_ns, static_cast<unsigned long long>(s.sink_max_ns));
+  GENMIG_CHECK(n > 0);
+  bytes_written_ += static_cast<size_t>(n);
+  ++rows_written_;
+}
+
+void TimelineSpillWriter::Flush() {
+  if (file_ != nullptr) std::fflush(file_);
+}
+
 void TimelineSampler::Sample(Timestamp app_time, bool migration_active) {
   MetricSample s;
   s.wall_ns = MonotonicNowNs();
@@ -121,6 +173,7 @@ void TimelineSampler::Sample(Timestamp app_time, bool migration_active) {
   prev_e2e_ = e2e;
   prev_e2e_count_ = e2e_count;
 
+  if (spill_ != nullptr) spill_->Append(s);
   ring_->Push(std::move(s));
 }
 

@@ -22,6 +22,8 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -98,6 +100,46 @@ class TimeSeriesRing {
   uint64_t pushed_ = 0;
 };
 
+/// Appends MetricSamples to a CSV file so long runs outlive the ring's
+/// fixed capacity: the ring keeps the recent window for in-process queries,
+/// the spill file keeps the full history for offline analysis. Size-based
+/// rotation renames the active file to `<path>.1` (replacing a previous
+/// rotation) and starts a fresh file, bounding disk use to ~2x rotate_bytes.
+/// Single-threaded, like the sampler that feeds it.
+class TimelineSpillWriter {
+ public:
+  /// Truncates any existing file at `path` and writes the CSV header.
+  /// `rotate_bytes` = 0 disables rotation (the file grows unboundedly).
+  explicit TimelineSpillWriter(std::string path, size_t rotate_bytes = 0);
+  ~TimelineSpillWriter();
+
+  TimelineSpillWriter(const TimelineSpillWriter&) = delete;
+  TimelineSpillWriter& operator=(const TimelineSpillWriter&) = delete;
+
+  /// Appends one CSV row; rotates beforehand when the active file already
+  /// exceeds rotate_bytes.
+  void Append(const MetricSample& sample);
+
+  /// Flushes buffered rows to disk (also runs on destruction).
+  void Flush();
+
+  const std::string& path() const { return path_; }
+  /// Path the active file moves to on rotation.
+  std::string rotated_path() const { return path_ + ".1"; }
+  uint64_t rows_written() const { return rows_written_; }
+  int rotations() const { return rotations_; }
+
+ private:
+  void OpenFresh();
+
+  std::string path_;
+  size_t rotate_bytes_;
+  std::FILE* file_ = nullptr;
+  size_t bytes_written_ = 0;
+  uint64_t rows_written_ = 0;
+  int rotations_ = 0;
+};
+
 /// Snapshots a MetricsRegistry into a TimeSeriesRing. Keeps the previous
 /// cumulative e2e bucket counts so each sample carries interval latency
 /// quantiles. Not owned by either side; single-threaded like the engine.
@@ -114,9 +156,13 @@ class TimelineSampler {
   /// the next interval does not underflow).
   void Rebaseline();
 
+  /// Also append every sample to `spill` (nullable; not owned).
+  void set_spill(TimelineSpillWriter* spill) { spill_ = spill; }
+
  private:
   const MetricsRegistry* registry_;
   TimeSeriesRing* ring_;
+  TimelineSpillWriter* spill_ = nullptr;
   std::array<uint64_t, LatencyHistogram::kBuckets> prev_e2e_{};
   uint64_t prev_e2e_count_ = 0;
 };

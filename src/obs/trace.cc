@@ -22,19 +22,37 @@ const char* MigrationEventName(MigrationEvent event) {
 }
 
 int MigrationTracer::BeginMigration(const std::string& strategy,
-                                    Timestamp app_time) {
-  const int id = next_id_++;
+                                    Timestamp app_time, int lane) {
+  int id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_id_++;
+    lane_of_.push_back(lane);
+  }
   Record(id, MigrationEvent::kRequested, app_time, strategy);
   return id;
 }
 
 void MigrationTracer::Record(int migration_id, MigrationEvent event,
                              Timestamp app_time, std::string detail) {
-  records_.push_back(TraceRecord{migration_id, event, app_time, NowNs(),
+  std::lock_guard<std::mutex> lock(mu_);
+  const int lane =
+      migration_id >= 0 && migration_id < static_cast<int>(lane_of_.size())
+          ? lane_of_[migration_id]
+          : 0;
+  records_.push_back(TraceRecord{migration_id, lane, event, app_time, NowNs(),
                                  std::move(detail)});
 }
 
+int MigrationTracer::LaneOf(int migration_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return migration_id >= 0 && migration_id < static_cast<int>(lane_of_.size())
+             ? lane_of_[migration_id]
+             : 0;
+}
+
 std::vector<TraceRecord> MigrationTracer::RecordsFor(int migration_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<TraceRecord> out;
   for (const TraceRecord& r : records_) {
     if (r.migration_id == migration_id) out.push_back(r);
@@ -44,6 +62,7 @@ std::vector<TraceRecord> MigrationTracer::RecordsFor(int migration_id) const {
 
 int64_t MigrationTracer::PhaseNs(int migration_id, MigrationEvent from,
                                  MigrationEvent to) const {
+  std::lock_guard<std::mutex> lock(mu_);
   int64_t from_ns = -1;
   int64_t to_ns = -1;
   for (const TraceRecord& r : records_) {

@@ -17,6 +17,7 @@
 #define GENMIG_OBS_TRACE_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,9 @@ const char* MigrationEventName(MigrationEvent event);
 
 struct TraceRecord {
   int migration_id = 0;
+  /// Display lane (Chrome-trace tid offset): 0 for the single-threaded
+  /// engine, 1 + shard id for shard-local migrations in src/par.
+  int lane = 0;
   MigrationEvent event = MigrationEvent::kRequested;
   /// Application time at the transition (controller watermark).
   Timestamp app_time;
@@ -50,20 +54,31 @@ struct TraceRecord {
   std::string detail;
 };
 
+/// Thread-safe: shard-local controllers (src/par) record into one shared
+/// tracer concurrently; every accessor below takes the internal mutex.
+/// records() returns a reference and must only be iterated while no
+/// concurrent Record() is possible (quiescent phases / after shard join).
 class MigrationTracer {
  public:
   MigrationTracer() = default;
 
   /// Opens a new migration trace; `strategy` lands in the kRequested detail.
-  /// Returns the migration id for subsequent Record calls.
-  int BeginMigration(const std::string& strategy, Timestamp app_time);
+  /// Returns the migration id for subsequent Record calls. `lane` tags every
+  /// record of this migration for display (0 = engine, 1 + k = shard k).
+  int BeginMigration(const std::string& strategy, Timestamp app_time,
+                     int lane = 0);
 
   void Record(int migration_id, MigrationEvent event, Timestamp app_time,
               std::string detail = "");
 
   const std::vector<TraceRecord>& records() const { return records_; }
   std::vector<TraceRecord> RecordsFor(int migration_id) const;
-  int migration_count() const { return next_id_; }
+  int migration_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_id_;
+  }
+  /// Display lane of `migration_id` (0 if unknown).
+  int LaneOf(int migration_id) const;
 
   /// Wall-clock nanoseconds between the first `from` and first `to` event of
   /// `migration_id`, or -1 if either is missing.
@@ -73,7 +88,9 @@ class MigrationTracer {
   uint64_t NowNs() const { return MonotonicNowNs(); }
 
  private:
+  mutable std::mutex mu_;
   int next_id_ = 0;
+  std::vector<int> lane_of_;  // Indexed by migration id.
   std::vector<TraceRecord> records_;
 };
 

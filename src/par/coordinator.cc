@@ -1,0 +1,328 @@
+#include "par/coordinator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/clock.h"
+
+namespace genmig {
+namespace par {
+
+Coordinator::Coordinator(LogicalPtr windowed_plan, Options options)
+    : windowed_plan_(std::move(windowed_plan)), options_(std::move(options)) {
+  GENMIG_CHECK(windowed_plan_ != nullptr);
+  GENMIG_CHECK(options_.shards >= 1);
+  GENMIG_CHECK(options_.queue_capacity >= 1);
+  GENMIG_CHECK(options_.heartbeat_every >= 1);
+  spec_ = AnalyzePlan(*windowed_plan_);
+  if (spec_.ok) stripped_plan_ = logical::StripWindows(windowed_plan_);
+}
+
+Coordinator::~Coordinator() {
+  if (started_ && !joined_) Wait();
+}
+
+Status Coordinator::ScheduleGenMig(LogicalPtr new_windowed_plan, Timestamp at,
+                                   MigrationController::GenMigOptions base) {
+  GENMIG_CHECK(!started_);
+  if (!spec_.ok) {
+    return Status::FailedPrecondition("plan is not partitionable: " +
+                                      spec_.reason);
+  }
+  GENMIG_CHECK(new_windowed_plan != nullptr);
+  // The new plan must partition identically: routing decisions were made
+  // against the old spec and cannot be revisited for in-flight state.
+  PartitionSpec new_spec = AnalyzePlan(*new_windowed_plan);
+  if (!new_spec.ok) {
+    return Status::InvalidArgument("new plan is not partitionable: " +
+                                   new_spec.reason);
+  }
+  if (new_spec.ports.size() != spec_.ports.size()) {
+    return Status::InvalidArgument("new plan has a different leaf count");
+  }
+  // Leaves may be reordered (that is what ReorderInputs handles), but the
+  // per-source partition column and window must be unchanged.
+  auto sorted_keys = [](const PartitionSpec& s) {
+    std::vector<std::tuple<std::string, size_t, Duration>> keys;
+    keys.reserve(s.ports.size());
+    for (const PortKey& p : s.ports) {
+      keys.emplace_back(p.source, p.column, p.window);
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  };
+  if (sorted_keys(new_spec) != sorted_keys(spec_)) {
+    return Status::InvalidArgument(
+        "new plan partitions differently (source/column/window mismatch); "
+        "old: " + spec_.ToString() + " new: " + new_spec.ToString());
+  }
+  Scheduled s;
+  s.new_stripped = logical::StripWindows(new_windowed_plan);
+  s.at = at;
+  s.base = base;
+  scheduled_.push_back(std::move(s));
+  return Status::OK();
+}
+
+Status Coordinator::Start(const InputMap& inputs) {
+  GENMIG_CHECK(!started_);
+  if (!spec_.ok) {
+    return Status::FailedPrecondition("plan is not partitionable: " +
+                                      spec_.reason);
+  }
+  for (const PortKey& port : spec_.ports) {
+    if (inputs.find(port.source) == inputs.end()) {
+      return Status::NotFound("no input stream named '" + port.source + "'");
+    }
+  }
+  started_ = true;
+
+  out_queue_ = std::make_unique<BoundedQueue<ShardOutMsg>>(
+      options_.queue_capacity);
+  merge_ = std::make_unique<MergeSink>(options_.shards, out_queue_.get(),
+                                       options_.registry);
+
+  std::vector<std::string> port_sources;
+  std::vector<Duration> port_windows;
+  for (const PortKey& port : spec_.ports) {
+    port_sources.push_back(port.source);
+    port_windows.push_back(port.window);
+  }
+  for (int s = 0; s < options_.shards; ++s) {
+    ShardRuntime::Config config;
+    config.shard_id = s;
+    config.stripped_plan = stripped_plan_;
+    config.port_sources = port_sources;
+    config.port_windows = port_windows;
+    config.queue_capacity = options_.queue_capacity;
+    config.out = out_queue_.get();
+    config.registry = options_.registry;
+    config.tracer = options_.tracer;
+    config.on_progress = [this] {
+      // Wakes WaitMigrationsComplete(); the lock pairs the shard's release
+      // store with the barrier's predicate re-check.
+      std::lock_guard<std::mutex> lock(progress_mu_);
+      progress_cv_.notify_all();
+    };
+    shards_.push_back(std::make_unique<ShardRuntime>(std::move(config)));
+  }
+
+  merge_->Start();
+  for (auto& shard : shards_) shard->Start();
+  // Copy the inputs into the router thread: the caller's map may go out of
+  // scope before Wait().
+  router_ = std::thread([this, inputs] { RouterMain(inputs); });
+  return Status::OK();
+}
+
+void Coordinator::Broadcast(Scheduled* scheduled, Timestamp max_routed) {
+  scheduled->fired = true;
+
+  // One T_split valid on every shard: greater than every start instant any
+  // replica has seen (<= max_routed), plus the window slack w and the +1
+  // chronon of Section 4. eps = 1 keeps the split strictly between the
+  // chronon grid points, exactly like the local computation.
+  const Timestamp forced(max_routed.t + spec_.max_window + 1, 1);
+
+  auto order = std::make_shared<MigrationOrder>();
+  order->new_plan = scheduled->new_stripped;
+  order->input_order.clear();
+  for (size_t i = 0; i < spec_.ports.size(); ++i) {
+    // Shards name inputs after the leaf order of the OLD plan; CompilePlan
+    // names new boxes the same way, so the identity order re-binds ports.
+    order->input_order.push_back(spec_.ports[i].source);
+  }
+  order->options = scheduled->base;
+  order->options.window = spec_.max_window;
+  order->options.min_split = forced;
+
+  for (auto& shard : shards_) {
+    for (size_t port = 0; port < spec_.ports.size(); ++port) {
+      // Unthinned heartbeat at max_routed: every controller port reaches
+      // t_Si >= its true local max, so TryEnterParallel fires synchronously
+      // inside StartGenMig and max(local, forced) == forced on every shard.
+      ShardInMsg hb;
+      hb.kind = ShardInMsg::Kind::kHeartbeat;
+      hb.port = static_cast<int>(port);
+      hb.time = max_routed;
+      shard->input().Push(std::move(hb));
+    }
+    ShardInMsg mig;
+    mig.kind = ShardInMsg::Kind::kMigrate;
+    mig.order = order;
+    shard->input().Push(std::move(mig));
+  }
+
+  t_split_t_.store(forced.t, std::memory_order_relaxed);
+  t_split_eps_.store(forced.eps, std::memory_order_relaxed);
+  t_split_set_.store(true, std::memory_order_release);
+  broadcasts_fired_.fetch_add(1, std::memory_order_release);
+}
+
+void Coordinator::RouterMain(InputMap inputs) {
+  // Distinct streams in deterministic (map) order, with a read cursor each.
+  struct Cursor {
+    const std::string* name = nullptr;
+    const MaterializedStream* stream = nullptr;
+    size_t pos = 0;
+    uint64_t injected = 0;  // For ingress sampling.
+  };
+  std::vector<Cursor> cursors;
+  for (const auto& [name, stream] : inputs) {
+    // Only route streams the plan references.
+    bool used = false;
+    for (const PortKey& port : spec_.ports) used |= (port.source == name);
+    if (!used) continue;
+    Cursor c;
+    c.name = &name;
+    c.stream = &stream;
+    cursors.push_back(c);
+  }
+
+  // Ports fed by each stream, precomputed (stream index -> port list).
+  std::vector<std::vector<size_t>> ports_of(cursors.size());
+  for (size_t ci = 0; ci < cursors.size(); ++ci) {
+    for (size_t p = 0; p < spec_.ports.size(); ++p) {
+      if (spec_.ports[p].source == *cursors[ci].name) {
+        ports_of[ci].push_back(p);
+      }
+    }
+  }
+
+  const size_t nshards = static_cast<size_t>(options_.shards);
+  // Suppressed-element counters for heartbeat thinning, per (port, shard).
+  std::vector<std::vector<int>> suppressed(
+      spec_.ports.size(), std::vector<int>(nshards, 0));
+
+  Timestamp max_routed = Timestamp::MinInstant();
+  bool any_routed = false;
+
+  while (true) {
+    // Global temporal order: the stream with the smallest next start (ties:
+    // lowest stream index). Deterministic because the input is data, not
+    // thread timing.
+    size_t best = cursors.size();
+    for (size_t ci = 0; ci < cursors.size(); ++ci) {
+      const Cursor& c = cursors[ci];
+      if (c.pos >= c.stream->size()) continue;
+      if (best == cursors.size() ||
+          (*c.stream)[c.pos].interval.start <
+              (*cursors[best].stream)[cursors[best].pos].interval.start) {
+        best = ci;
+      }
+    }
+    if (best == cursors.size()) break;  // All streams exhausted.
+
+    Cursor& cur = cursors[best];
+    StreamElement element = (*cur.stream)[cur.pos++];
+#ifndef GENMIG_NO_METRICS
+    if (options_.registry != nullptr && element.ingress_ns == 0 &&
+        (cur.injected++ & obs::MetricsRegistry::kSampleMask) == 0) {
+      element.ingress_ns = obs::MonotonicNowNs();
+    }
+#endif
+
+    if (max_routed < element.interval.start) {
+      max_routed = element.interval.start;
+    }
+
+    for (size_t p : ports_of[best]) {
+      const size_t owner = OwnerShard(element.tuple, spec_.ports[p].column,
+                                      nshards);
+      for (size_t s = 0; s < nshards; ++s) {
+        if (s == owner) {
+          ShardInMsg msg;
+          msg.kind = ShardInMsg::Kind::kElement;
+          msg.port = static_cast<int>(p);
+          msg.element = element;
+          shards_[s]->input().Push(std::move(msg));
+        } else if (++suppressed[p][s] >= options_.heartbeat_every) {
+          suppressed[p][s] = 0;
+          ShardInMsg msg;
+          msg.kind = ShardInMsg::Kind::kHeartbeat;
+          msg.port = static_cast<int>(p);
+          msg.time = element.interval.start;
+          shards_[s]->input().Push(std::move(msg));
+        }
+      }
+    }
+    elements_routed_.fetch_add(1, std::memory_order_relaxed);
+    any_routed = true;
+
+    // Fire scheduled migrations once routing reached their instant. After
+    // at least one element: T_split derives from max_routed, and the
+    // controller needs a nonempty timestamp history anyway.
+    for (Scheduled& s : scheduled_) {
+      if (!s.fired && any_routed && s.at <= max_routed) {
+        Broadcast(&s, max_routed);
+      }
+    }
+  }
+
+  // Never-fired migrations (scheduled past the end of the data) still fire,
+  // provided anything was routed at all — matching the single-threaded
+  // engine, where a drain-time migration runs against final state.
+  for (Scheduled& s : scheduled_) {
+    if (!s.fired && any_routed) Broadcast(&s, max_routed);
+  }
+
+  for (auto& shard : shards_) {
+    for (size_t p = 0; p < spec_.ports.size(); ++p) {
+      ShardInMsg msg;
+      msg.kind = ShardInMsg::Kind::kEos;
+      msg.port = static_cast<int>(p);
+      shard->input().Push(std::move(msg));
+    }
+    shard->input().Close();
+  }
+}
+
+const MaterializedStream& Coordinator::Wait() {
+  GENMIG_CHECK(started_);
+  if (!joined_) {
+    router_.join();
+    for (auto& shard : shards_) shard->Join();
+    out_queue_->Close();
+    merge_->Join();
+    joined_ = true;
+    // Final wakeup: shards can no longer publish progress.
+    std::lock_guard<std::mutex> lock(progress_mu_);
+    progress_cv_.notify_all();
+  }
+  return merge_->merged();
+}
+
+Result<MaterializedStream> Coordinator::Run(const InputMap& inputs) {
+  Status status = Start(inputs);
+  if (!status.ok()) return status;
+  return Wait();
+}
+
+void Coordinator::WaitMigrationsComplete() {
+  GENMIG_CHECK(started_);
+  std::unique_lock<std::mutex> lock(progress_mu_);
+  progress_cv_.wait(lock, [this] {
+    return migrations_completed() >=
+           broadcasts_fired_.load(std::memory_order_acquire);
+  });
+}
+
+int Coordinator::migrations_completed() const {
+  int min = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const int done = shards_[s]->migrations_completed();
+    if (s == 0 || done < min) min = done;
+  }
+  return min;
+}
+
+Timestamp Coordinator::t_split() const {
+  if (!t_split_set_.load(std::memory_order_acquire)) {
+    return Timestamp::MinInstant();
+  }
+  return Timestamp(t_split_t_.load(std::memory_order_relaxed),
+                   t_split_eps_.load(std::memory_order_relaxed));
+}
+
+}  // namespace par
+}  // namespace genmig

@@ -1,0 +1,143 @@
+// Coordinator of the shard-parallel executor: routes inputs, broadcasts
+// migrations, and assembles the deterministic merged output.
+//
+// Topology (N shards => N + 2 threads):
+//
+//            router thread                      shard threads        merge thread
+//   inputs --> hash-partition per port --SPSC--> plan replica --+
+//          +-> heartbeats to non-owners --SPSC--> plan replica --+-> MergeSink
+//          +-> kMigrate broadcast       --SPSC--> plan replica --+   (k-way merge)
+//
+// The router walks all registered streams in global temporal order and, per
+// input port (plan leaf), hashes the element's partition column to pick the
+// owner shard; the other shards receive a heartbeat instead (thinned by
+// Options::heartbeat_every), so their windows and controllers keep making
+// progress. Bounded queues block the router when a shard falls behind
+// (backpressure) and block shards when the merge falls behind.
+//
+// Migration (Section 4, shard-coordinated): at the scheduled instant the
+// router computes ONE global T_split = max routed start + w + 1 (chronon 1)
+// — greater than every instant any shard replica can still reference — then
+// broadcasts a fresh heartbeat (so every controller can fix its t_Si
+// immediately) followed by an in-band kMigrate carrying the shared split as
+// GenMigOptions::min_split. Every shard runs its own split/coalesce GenMig
+// against the same T_split; WaitMigrationsComplete() is the barrier that
+// keeps status/metrics coherent.
+
+#ifndef GENMIG_PAR_COORDINATOR_H_
+#define GENMIG_PAR_COORDINATOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "par/merge_sink.h"
+#include "par/partition.h"
+#include "par/shard_runtime.h"
+
+namespace genmig {
+namespace par {
+
+using InputMap = std::map<std::string, MaterializedStream>;
+
+class Coordinator {
+ public:
+  struct Options {
+    int shards = 2;
+    /// Capacity of each router->shard queue and of the shard->merge queue.
+    size_t queue_capacity = 1024;
+    /// Send every k-th suppressed start timestamp to non-owner shards as a
+    /// heartbeat (1 = every element). Larger values cut router fan-out cost;
+    /// correctness is unaffected (watermarks only lag, nothing reorders).
+    int heartbeat_every = 1;
+    obs::MetricsRegistry* registry = nullptr;  // Nullable.
+    obs::MigrationTracer* tracer = nullptr;    // Nullable.
+  };
+
+  /// Fails (Status) when the plan is not partitionable — callers fall back
+  /// to the single-threaded engine. `windowed_plan` keeps its Window nodes;
+  /// the coordinator strips them itself (windows run per shard, outside the
+  /// migration boundary).
+  Coordinator(LogicalPtr windowed_plan, Options options);
+  ~Coordinator();
+
+  const PartitionSpec& spec() const { return spec_; }
+
+  /// Schedules a GenMig to `new_windowed_plan` to fire when routing reaches
+  /// application time `at`. The new plan must partition identically (same
+  /// per-source keys and windows) — routing has already happened. `base`
+  /// carries variant/Optimization-2 choices; window and min_split are
+  /// overwritten by the coordinator. Call before Start().
+  Status ScheduleGenMig(LogicalPtr new_windowed_plan, Timestamp at,
+                        MigrationController::GenMigOptions base = {});
+
+  /// Spawns router + shards + merge. Fails when the plan was not
+  /// partitionable or an input stream is missing.
+  Status Start(const InputMap& inputs);
+
+  /// Joins every thread; returns the deterministic merged output.
+  const MaterializedStream& Wait();
+
+  /// Start + Wait.
+  Result<MaterializedStream> Run(const InputMap& inputs);
+
+  // --- Introspection -------------------------------------------------------
+
+  /// Barrier: blocks until every shard completed every broadcast migration
+  /// (returns immediately when none was broadcast yet).
+  void WaitMigrationsComplete();
+
+  /// Min over shards — the number of migrations that completed EVERYWHERE.
+  int migrations_completed() const;
+  /// Broadcast global split time (MinInstant until the broadcast fired).
+  Timestamp t_split() const;
+  int shards() const { return static_cast<int>(shards_.size()); }
+  uint64_t elements_routed() const {
+    return elements_routed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Scheduled {
+    LogicalPtr new_stripped;
+    Timestamp at;
+    MigrationController::GenMigOptions base;
+    bool fired = false;
+  };
+
+  void RouterMain(InputMap inputs);
+  void Broadcast(Scheduled* scheduled, Timestamp max_routed);
+
+  LogicalPtr windowed_plan_;
+  LogicalPtr stripped_plan_;
+  Options options_;
+  PartitionSpec spec_;
+
+  std::unique_ptr<BoundedQueue<ShardOutMsg>> out_queue_;
+  std::vector<std::unique_ptr<ShardRuntime>> shards_;
+  std::unique_ptr<MergeSink> merge_;
+  std::thread router_;
+  bool started_ = false;
+  bool joined_ = false;
+
+  std::vector<Scheduled> scheduled_;
+
+  std::atomic<uint64_t> elements_routed_{0};
+  std::atomic<int> broadcasts_fired_{0};
+  std::atomic<int64_t> t_split_t_{0};
+  std::atomic<uint32_t> t_split_eps_{0};
+  std::atomic<bool> t_split_set_{false};
+
+  mutable std::mutex progress_mu_;
+  std::condition_variable progress_cv_;
+};
+
+}  // namespace par
+}  // namespace genmig
+
+#endif  // GENMIG_PAR_COORDINATOR_H_

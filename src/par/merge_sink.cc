@@ -1,0 +1,122 @@
+#include "par/merge_sink.h"
+
+#include <algorithm>
+
+#include "obs/clock.h"
+
+namespace genmig {
+namespace par {
+
+MergeSink::MergeSink(int shards, BoundedQueue<ShardOutMsg>* queue,
+                     obs::MetricsRegistry* registry)
+    : shards_(shards),
+      queue_(queue),
+      shard_wm_(static_cast<size_t>(shards), Timestamp::MinInstant()),
+      shard_eos_(static_cast<size_t>(shards), false),
+      shard_seq_(static_cast<size_t>(shards), 0) {
+  GENMIG_CHECK(shards_ > 0);
+  GENMIG_CHECK(queue_ != nullptr);
+  if (registry != nullptr) metrics_ = registry->Register("par/merge");
+}
+
+// Min-heap via std::push_heap/pop_heap with an "after" (greater-than)
+// comparator over (t_start, t_end, tuple, shard, seq).
+bool MergeSink::PendingAfter::operator()(const Pending& a,
+                                         const Pending& b) const {
+  if (a.element.interval.start != b.element.interval.start) {
+    return b.element.interval.start < a.element.interval.start;
+  }
+  if (a.element.interval.end != b.element.interval.end) {
+    return b.element.interval.end < a.element.interval.end;
+  }
+  if (a.element.tuple != b.element.tuple) {
+    return b.element.tuple < a.element.tuple;
+  }
+  if (a.shard != b.shard) return b.shard < a.shard;
+  return b.seq < a.seq;
+}
+
+void MergeSink::Start() {
+  GENMIG_CHECK(!thread_.joinable());
+  thread_ = std::thread([this] { Run(); });
+}
+
+void MergeSink::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+Timestamp MergeSink::MinLiveWatermark() const {
+  Timestamp min = Timestamp::MaxInstant();
+  for (int s = 0; s < shards_; ++s) {
+    const size_t i = static_cast<size_t>(s);
+    if (shard_eos_[i]) continue;  // Ended shard: no earlier starts possible.
+    if (shard_wm_[i] < min) min = shard_wm_[i];
+  }
+  return min;
+}
+
+void MergeSink::Run() {
+  std::deque<ShardOutMsg> batch;
+  while (queue_->PopAll(&batch)) {
+    for (ShardOutMsg& msg : batch) {
+      const size_t i = static_cast<size_t>(msg.shard);
+      switch (msg.kind) {
+        case ShardOutMsg::Kind::kElement: {
+          // The element's own start is a lower bound for the shard's later
+          // output (physical-stream ordering invariant).
+          if (shard_wm_[i] < msg.element.interval.start) {
+            shard_wm_[i] = msg.element.interval.start;
+          }
+          Pending p;
+          p.element = std::move(msg.element);
+          p.shard = msg.shard;
+          p.seq = shard_seq_[i]++;
+          heap_.push_back(std::move(p));
+          std::push_heap(heap_.begin(), heap_.end(), PendingAfter{});
+          break;
+        }
+        case ShardOutMsg::Kind::kWatermark:
+          if (shard_wm_[i] < msg.time) shard_wm_[i] = msg.time;
+          break;
+        case ShardOutMsg::Kind::kEos:
+          shard_eos_[i] = true;
+          eos_seen_.fetch_add(1, std::memory_order_acq_rel);
+          break;
+      }
+    }
+    batch.clear();
+    Release(/*final_flush=*/false);
+  }
+  // Queue closed and drained: every shard sent kEos, flush everything.
+  Release(/*final_flush=*/true);
+  GENMIG_CHECK(heap_.empty());
+}
+
+void MergeSink::Release(bool final_flush) {
+  const Timestamp bound = final_flush ? Timestamp::MaxInstant()
+                                      : MinLiveWatermark();
+  while (!heap_.empty()) {
+    const Pending& top = heap_.front();
+    // Strict <: a live shard at watermark w can still emit an element
+    // starting exactly at w.
+    if (!final_flush && !(top.element.interval.start < bound)) break;
+    std::pop_heap(heap_.begin(), heap_.end(), PendingAfter{});
+    Pending p = std::move(heap_.back());
+    heap_.pop_back();
+    if (metrics_ != nullptr) {
+      ++metrics_->elements_in;
+      ++metrics_->elements_out;
+      if (p.element.ingress_ns != 0) {
+        const uint64_t now = obs::MonotonicNowNs();
+        if (now > p.element.ingress_ns) {
+          metrics_->e2e_ns.Record(now - p.element.ingress_ns);
+        }
+      }
+    }
+    if (on_element) on_element(p.element);
+    merged_.push_back(std::move(p.element));
+  }
+}
+
+}  // namespace par
+}  // namespace genmig

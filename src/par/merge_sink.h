@@ -1,0 +1,93 @@
+// Deterministic k-way temporal merge of shard outputs.
+//
+// Each shard emits a valid physical stream (non-decreasing start
+// timestamps); the merge must interleave them into ONE valid stream whose
+// order does not depend on thread scheduling or shard count. Rule:
+//
+//  * every element enters a min-heap keyed (t_start, t_end, tuple, shard,
+//    seq);
+//  * an element is released once every live shard's output watermark has
+//    passed its t_start — no shard can still produce an earlier-or-equal
+//    start, so all elements sharing a t_start are in the heap before any of
+//    them leaves, and the release order is the heap key order.
+//
+// The released sequence is therefore the sorted-by-key permutation of the
+// output multiset: identical for every run and — because GenMig per shard
+// with one broadcast T_split produces the same per-shard multisets — byte-
+// comparable against the single-threaded oracle via the canonical snapshot
+// normal form (ref::SnapshotNormalForm).
+//
+// A shard's watermark advances from three sources, all in its FIFO output
+// queue order: its elements (an element bounds later starts), explicit
+// kWatermark messages, and kEos (watermark jumps to +infinity).
+
+#ifndef GENMIG_PAR_MERGE_SINK_H_
+#define GENMIG_PAR_MERGE_SINK_H_
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "par/shard_queue.h"
+#include "par/shard_runtime.h"
+#include "stream/element.h"
+
+namespace genmig {
+namespace par {
+
+class MergeSink {
+ public:
+  /// `queue` carries every shard's ShardOutMsgs (multi-producer, this is the
+  /// single consumer). `registry` (nullable) receives a "par/merge" slot:
+  /// elements_in counts merged elements, e2e_ns records ingress->release
+  /// latency of stamped elements.
+  MergeSink(int shards, BoundedQueue<ShardOutMsg>* queue,
+            obs::MetricsRegistry* registry);
+
+  /// Spawns the merge thread. Runs until the queue is closed and drained.
+  void Start();
+  void Join();
+
+  /// The merged stream. Valid after Join().
+  const MaterializedStream& merged() const { return merged_; }
+
+  /// Optional hook, invoked on the merge thread at element release (in the
+  /// deterministic output order).
+  std::function<void(const StreamElement&)> on_element;
+
+  /// Shards whose kEos arrived so far (cross-thread readable).
+  int eos_seen() const { return eos_seen_.load(std::memory_order_acquire); }
+
+ private:
+  struct Pending {
+    StreamElement element;
+    int shard = 0;
+    uint64_t seq = 0;
+  };
+  struct PendingAfter {
+    bool operator()(const Pending& a, const Pending& b) const;
+  };
+
+  void Run();
+  void Release(bool final_flush);
+  Timestamp MinLiveWatermark() const;
+
+  const int shards_;
+  BoundedQueue<ShardOutMsg>* queue_;
+  obs::OperatorMetrics* metrics_ = nullptr;
+
+  std::vector<Pending> heap_;
+  std::vector<Timestamp> shard_wm_;
+  std::vector<bool> shard_eos_;
+  std::vector<uint64_t> shard_seq_;
+  MaterializedStream merged_;
+  std::atomic<int> eos_seen_{0};
+  std::thread thread_;
+};
+
+}  // namespace par
+}  // namespace genmig
+
+#endif  // GENMIG_PAR_MERGE_SINK_H_

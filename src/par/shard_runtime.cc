@@ -1,0 +1,138 @@
+#include "par/shard_runtime.h"
+
+#include <utility>
+
+#include "ops/sink.h"
+#include "ops/stateless.h"
+#include "plan/compile.h"
+
+namespace genmig {
+namespace par {
+
+ShardRuntime::ShardRuntime(Config config)
+    : config_(std::move(config)),
+      prefix_("s" + std::to_string(config_.shard_id) + "/"),
+      in_(config_.queue_capacity) {
+  GENMIG_CHECK(config_.stripped_plan != nullptr);
+  GENMIG_CHECK(config_.out != nullptr);
+  GENMIG_CHECK_EQ(config_.port_sources.size(), config_.port_windows.size());
+
+  Box box = CompilePlan(*config_.stripped_plan, prefix_);
+  GENMIG_CHECK_EQ(static_cast<size_t>(box.num_inputs()),
+                  config_.port_sources.size());
+  controller_ =
+      std::make_unique<MigrationController>(prefix_ + "ctrl", std::move(box));
+  controller_->SetTraceLane(1 + config_.shard_id);
+
+  for (size_t i = 0; i < config_.port_sources.size(); ++i) {
+    const Duration w = config_.port_windows[i];
+    if (w > 0) {
+      auto win = std::make_unique<TimeWindow>(
+          prefix_ + "w" + std::to_string(i) + "_" + config_.port_sources[i],
+          w);
+      win->ConnectTo(0, controller_.get(), static_cast<int>(i));
+      port_targets_.push_back(PortTarget{win.get(), 0});
+      windows_.push_back(std::move(win));
+    } else {
+      port_targets_.push_back(
+          PortTarget{controller_.get(), static_cast<int>(i)});
+    }
+  }
+
+  out_cb_ = std::make_unique<CallbackOp>(prefix_ + "out");
+  controller_->ConnectTo(0, out_cb_.get(), 0);
+  const int shard = config_.shard_id;
+  BoundedQueue<ShardOutMsg>* out = config_.out;
+  out_cb_->on_element = [out, shard](const StreamElement& e) {
+    ShardOutMsg msg;
+    msg.kind = ShardOutMsg::Kind::kElement;
+    msg.shard = shard;
+    msg.element = e;
+    out->Push(std::move(msg));
+  };
+  out_cb_->on_watermark = [out, shard](Timestamp wm) {
+    if (wm == Timestamp::MaxInstant()) return;
+    ShardOutMsg msg;
+    msg.kind = ShardOutMsg::Kind::kWatermark;
+    msg.shard = shard;
+    msg.time = wm;
+    out->Push(std::move(msg));
+  };
+  out_cb_->on_eos = [out, shard]() {
+    ShardOutMsg msg;
+    msg.kind = ShardOutMsg::Kind::kEos;
+    msg.shard = shard;
+    out->Push(std::move(msg));
+  };
+
+  if (config_.registry != nullptr) {
+    controller_->AttachMetricsRecursive(config_.registry);
+    for (auto& w : windows_) w->AttachMetrics(config_.registry);
+    out_cb_->AttachMetrics(config_.registry);
+  }
+  if (config_.tracer != nullptr) controller_->SetTracer(config_.tracer);
+}
+
+ShardRuntime::~ShardRuntime() { Join(); }
+
+void ShardRuntime::Start() {
+  GENMIG_CHECK(!thread_.joinable());
+  thread_ = std::thread([this] { Run(); });
+}
+
+void ShardRuntime::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void ShardRuntime::Run() {
+  std::deque<ShardInMsg> batch;
+  while (in_.PopAll(&batch)) {
+    for (const ShardInMsg& msg : batch) Handle(msg);
+    batch.clear();
+    PublishProgress();
+  }
+  PublishProgress();
+}
+
+void ShardRuntime::Handle(const ShardInMsg& msg) {
+  const PortTarget& target = port_targets_[static_cast<size_t>(msg.port)];
+  switch (msg.kind) {
+    case ShardInMsg::Kind::kElement:
+      elements_processed_.fetch_add(1, std::memory_order_relaxed);
+      target.op->PushElement(target.port, msg.element);
+      break;
+    case ShardInMsg::Kind::kHeartbeat:
+      target.op->PushHeartbeat(target.port, msg.time);
+      break;
+    case ShardInMsg::Kind::kEos:
+      if (!target.op->input_eos(target.port)) {
+        target.op->PushEos(target.port);
+      }
+      break;
+    case ShardInMsg::Kind::kMigrate: {
+      const MigrationOrder& order = *msg.order;
+      Box new_box = CompilePlan(*order.new_plan, prefix_);
+      new_box.ReorderInputs(order.input_order);
+      controller_->StartGenMig(std::move(new_box), order.options);
+      break;
+    }
+  }
+}
+
+void ShardRuntime::PublishProgress() {
+  const int done = controller_->migrations_completed();
+  const bool active = controller_->migration_in_progress();
+  const bool changed =
+      done != migrations_completed_.load(std::memory_order_relaxed) ||
+      active != migration_active_.load(std::memory_order_relaxed);
+  if (!changed) return;
+  const Timestamp split = controller_->t_split();
+  t_split_t_.store(split.t, std::memory_order_relaxed);
+  t_split_eps_.store(split.eps, std::memory_order_relaxed);
+  migrations_completed_.store(done, std::memory_order_release);
+  migration_active_.store(active, std::memory_order_release);
+  if (config_.on_progress) config_.on_progress();
+}
+
+}  // namespace par
+}  // namespace genmig

@@ -1,0 +1,134 @@
+// One worker shard of the parallel executor: an independent replica of the
+// physical plan (windows -> MigrationController -> output callback) driven
+// by its own std::thread off a bounded input queue.
+//
+// Everything inside a shard is the unmodified single-threaded engine — the
+// operator DAG never learns it is sharded. Thread boundaries are exactly the
+// two queues (input from the router, output to the merge), plus a handful of
+// atomics published for coordinator introspection. Migration is triggered by
+// an in-band kMigrate message carrying the coordinator's broadcast T_split
+// (GenMigOptions::min_split), so every shard splits at the same instant no
+// matter which subset of the data it saw.
+
+#ifndef GENMIG_PAR_SHARD_RUNTIME_H_
+#define GENMIG_PAR_SHARD_RUNTIME_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "migration/controller.h"
+#include "ops/sink.h"
+#include "ops/stateless.h"
+#include "par/shard_queue.h"
+#include "plan/logical.h"
+
+namespace genmig {
+namespace par {
+
+/// A migration broadcast: compile `new_plan` (already window-stripped),
+/// rebind its inputs to the old leaf order, and GenMig to it.
+struct MigrationOrder {
+  LogicalPtr new_plan;
+  std::vector<std::string> input_order;
+  MigrationController::GenMigOptions options;  // min_split = global T_split.
+};
+
+/// Router -> shard message.
+struct ShardInMsg {
+  enum class Kind : uint8_t { kElement, kHeartbeat, kEos, kMigrate };
+  Kind kind = Kind::kElement;
+  int port = 0;
+  StreamElement element;                        // kElement
+  Timestamp time;                               // kHeartbeat
+  std::shared_ptr<const MigrationOrder> order;  // kMigrate
+};
+
+/// Shard -> merge message.
+struct ShardOutMsg {
+  enum class Kind : uint8_t { kElement, kWatermark, kEos };
+  Kind kind = Kind::kElement;
+  int shard = 0;
+  StreamElement element;  // kElement
+  Timestamp time;         // kWatermark
+};
+
+class ShardRuntime {
+ public:
+  struct Config {
+    int shard_id = 0;
+    /// Window-stripped plan (the migration boundary hosts it).
+    LogicalPtr stripped_plan;
+    /// Source name per input port, in leaf order.
+    std::vector<std::string> port_sources;
+    /// Time window per input port (0 = none).
+    std::vector<Duration> port_windows;
+    size_t queue_capacity = 1024;
+    BoundedQueue<ShardOutMsg>* out = nullptr;
+    obs::MetricsRegistry* registry = nullptr;  // Nullable.
+    obs::MigrationTracer* tracer = nullptr;    // Nullable.
+    /// Invoked (on the shard thread) whenever migrations_completed or
+    /// migration_active changes — the coordinator's barrier wakeup.
+    std::function<void()> on_progress;
+  };
+
+  explicit ShardRuntime(Config config);
+  ~ShardRuntime();
+
+  void Start();
+  void Join();
+
+  BoundedQueue<ShardInMsg>& input() { return in_; }
+
+  // --- Cross-thread introspection (published after every message batch) ---
+  int migrations_completed() const {
+    return migrations_completed_.load(std::memory_order_acquire);
+  }
+  bool migration_active() const {
+    return migration_active_.load(std::memory_order_acquire);
+  }
+  uint64_t elements_processed() const {
+    return elements_processed_.load(std::memory_order_relaxed);
+  }
+  /// T_split of the last started migration ({0,0} until one starts). Only
+  /// meaningful once migrations_completed() advanced or the run finished.
+  Timestamp last_t_split() const {
+    return Timestamp(t_split_t_.load(std::memory_order_acquire),
+                     t_split_eps_.load(std::memory_order_acquire));
+  }
+
+ private:
+  void Run();
+  void Handle(const ShardInMsg& msg);
+  void PublishProgress();
+
+  Config config_;
+  std::string prefix_;
+  BoundedQueue<ShardInMsg> in_;
+
+  // Engine replica. Windows are per-port; a port without a window connects
+  // straight to the controller.
+  std::vector<std::unique_ptr<TimeWindow>> windows_;
+  struct PortTarget {
+    Operator* op = nullptr;
+    int port = 0;
+  };
+  std::vector<PortTarget> port_targets_;
+  std::unique_ptr<MigrationController> controller_;
+  std::unique_ptr<CallbackOp> out_cb_;
+
+  std::thread thread_;
+  std::atomic<int> migrations_completed_{0};
+  std::atomic<bool> migration_active_{false};
+  std::atomic<uint64_t> elements_processed_{0};
+  std::atomic<int64_t> t_split_t_{0};
+  std::atomic<uint32_t> t_split_eps_{0};
+};
+
+}  // namespace par
+}  // namespace genmig
+
+#endif  // GENMIG_PAR_SHARD_RUNTIME_H_

@@ -11,7 +11,8 @@ namespace {
 
 class Compiler {
  public:
-  explicit Compiler(Box* box) : box_(box) {}
+  Compiler(Box* box, std::string name_prefix)
+      : box_(box), name_prefix_(std::move(name_prefix)) {}
 
   Operator* Compile(const LogicalNode& node) {
     switch (node.kind) {
@@ -110,18 +111,19 @@ class Compiler {
 
  private:
   std::string Name(const std::string& base) {
-    return base + "#" + std::to_string(counter_++);
+    return name_prefix_ + base + "#" + std::to_string(counter_++);
   }
 
   Box* box_;
+  std::string name_prefix_;
   int counter_ = 0;
 };
 
 }  // namespace
 
-Box CompilePlan(const LogicalNode& root) {
+Box CompilePlan(const LogicalNode& root, const std::string& name_prefix) {
   Box box;
-  Compiler compiler(&box);
+  Compiler compiler(&box, name_prefix);
   Operator* out = compiler.Compile(root);
   box.SetOutput(out);
   return box;

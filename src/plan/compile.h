@@ -12,8 +12,10 @@
 namespace genmig {
 
 /// Compiles `root` into a physical Box. Operator names are derived from the
-/// logical node kinds and a running counter.
-Box CompilePlan(const LogicalNode& root);
+/// logical node kinds and a running counter, prefixed with `name_prefix`
+/// (the parallel shard runtimes pass "s<k>/" so per-shard metric slots stay
+/// distinguishable in one shared registry).
+Box CompilePlan(const LogicalNode& root, const std::string& name_prefix = "");
 
 /// A factory that builds a fresh (state-free) Box every time it is invoked.
 /// Migration strategies use it to instantiate the new plan.

@@ -54,6 +54,15 @@ class Executor {
 
   Source* source(int feed) { return feeds_[static_cast<size_t>(feed)].source.get(); }
 
+  /// The raw elements registered for feed `feed` — the parallel coordinator
+  /// (src/par) re-routes installed feeds across shards from here.
+  const MaterializedStream& feed_elements(int feed) const {
+    return feeds_[static_cast<size_t>(feed)].elements;
+  }
+  const std::string& feed_name(int feed) const {
+    return feeds_[static_cast<size_t>(feed)].name;
+  }
+
   /// Connects feed `feed` to `op`'s input `port`.
   void ConnectFeed(int feed, Operator* op, int port) {
     source(feed)->ConnectTo(0, op, port);

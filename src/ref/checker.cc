@@ -1,6 +1,10 @@
 #include "ref/checker.h"
 
+#include <algorithm>
 #include <map>
+#include <vector>
+
+#include "common/check.h"
 
 namespace genmig {
 namespace ref {
@@ -52,6 +56,51 @@ Status CheckNoDuplicateSnapshots(const MaterializedStream& stream) {
     by_tuple[e.tuple].push_back(e.interval);
   }
   return Status::OK();
+}
+
+MaterializedStream SnapshotNormalForm(const MaterializedStream& stream) {
+  // Per-tuple multiplicity deltas at every interval endpoint.
+  std::map<Timestamp, std::map<Tuple, int64_t>> deltas;
+  for (const StreamElement& e : stream) {
+    if (!(e.interval.start < e.interval.end)) continue;  // Empty interval.
+    deltas[e.interval.start][e.tuple] += 1;
+    deltas[e.interval.end][e.tuple] -= 1;
+  }
+  // Sweep boundaries in time order, keeping one stack of open layer starts
+  // per tuple. LIFO closing makes lower layers maximal: layer i's intervals
+  // are exactly the maximal runs where multiplicity >= i.
+  std::map<Tuple, std::vector<Timestamp>> open;
+  MaterializedStream out;
+  for (const auto& [t, tuple_deltas] : deltas) {
+    for (const auto& [tuple, delta] : tuple_deltas) {
+      if (delta > 0) {
+        std::vector<Timestamp>& stack = open[tuple];
+        for (int64_t i = 0; i < delta; ++i) stack.push_back(t);
+      } else if (delta < 0) {
+        std::vector<Timestamp>& stack = open[tuple];
+        for (int64_t i = 0; i < -delta; ++i) {
+          GENMIG_CHECK(!stack.empty());
+          out.push_back(StreamElement(tuple, TimeInterval(stack.back(), t)));
+          stack.pop_back();
+        }
+      }
+    }
+  }
+  for (const auto& [tuple, stack] : open) {
+    GENMIG_CHECK(stack.empty());
+    (void)tuple;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const StreamElement& a, const StreamElement& b) {
+              if (a.interval.start != b.interval.start) {
+                return a.interval.start < b.interval.start;
+              }
+              if (a.interval.end != b.interval.end) {
+                return a.interval.end < b.interval.end;
+              }
+              return a.tuple < b.tuple;
+            });
+  return out;
 }
 
 }  // namespace ref

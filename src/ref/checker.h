@@ -35,6 +35,16 @@ Status CheckSnapshotEquivalence(const MaterializedStream& a,
 /// with equal tuples have intersecting intervals.
 Status CheckNoDuplicateSnapshots(const MaterializedStream& stream);
 
+/// Canonical snapshot normal form: the unique stream with the same snapshot
+/// at every instant in which, per tuple, multiplicity is represented as
+/// stacked layers (layer i covers exactly the instants where multiplicity is
+/// >= i, decomposed into maximal disjoint intervals), sorted by
+/// (start, end, tuple). Two streams are snapshot-equivalent iff their normal
+/// forms are element-for-element identical, which turns Definition 2 into a
+/// byte-comparison — this is how the parallel executor's merged output is
+/// checked against the single-threaded oracle (tests/integration, tests/par).
+MaterializedStream SnapshotNormalForm(const MaterializedStream& stream);
+
 }  // namespace ref
 }  // namespace genmig
 

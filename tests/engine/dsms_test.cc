@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <random>
 
 #include "../test_util.h"
+#include "ref/checker.h"
 #include "ref/eval.h"
 #include "stream/generator.h"
 
@@ -245,6 +247,126 @@ TEST(DsmsTest, InfoReportsCostAndState) {
   EXPECT_GT(info.state_bytes, 0u);
   EXPECT_EQ(info.migrations_completed, 0);
   EXPECT_NE(info.plan, nullptr);
+}
+
+// --- Sharded (parallel) execution -------------------------------------------
+
+MaterializedStream KeyedFeed(uint64_t seed, size_t n, int64_t keys,
+                             int64_t period) {
+  std::mt19937_64 rng(seed);
+  MaterializedStream out;
+  int64_t t = 0;
+  for (size_t i = 0; i < n; ++i) {
+    t += static_cast<int64_t>(rng() % static_cast<uint64_t>(period));
+    out.push_back(El(static_cast<int64_t>(rng() % static_cast<uint64_t>(keys)),
+                     t, t + 1));
+  }
+  return out;
+}
+
+TEST(DsmsParallelTest, ShardedQueryMatchesSingleThreadedResults) {
+  const MaterializedStream feed = KeyedFeed(1, 150, 4, 4);
+  const std::string cql = "SELECT DISTINCT x FROM S [RANGE 50]";
+
+  Dsms single;
+  single.RegisterStream("S", Schema::OfInts({"x"}), feed);
+  auto sid = single.InstallQuery(cql);
+  ASSERT_TRUE(sid.ok());
+  single.RunToCompletion();
+
+  Dsms::Options opt;
+  opt.shards = 4;
+  Dsms sharded(opt);
+  sharded.RegisterStream("S", Schema::OfInts({"x"}), feed);
+  auto pid = sharded.InstallQuery(cql);
+  ASSERT_TRUE(pid.ok());
+  sharded.RunToCompletion();
+
+  const Dsms::QueryInfo info = sharded.Info(pid.value());
+  EXPECT_TRUE(info.parallel);
+  EXPECT_EQ(info.shards, 4);
+  EXPECT_FALSE(single.Info(sid.value()).parallel);
+  // Snapshot-identical output (interval fragmentation may differ).
+  EXPECT_EQ(ref::SnapshotNormalForm(sharded.Results(pid.value())),
+            ref::SnapshotNormalForm(single.Results(sid.value())));
+}
+
+TEST(DsmsParallelTest, NonPartitionableQueryFallsBackToSingleThread) {
+  Dsms::Options opt;
+  opt.shards = 4;
+  Dsms dsms(opt);
+  dsms.RegisterStream("S", Schema::OfInts({"x"}), KeyedFeed(2, 100, 4, 4));
+  // Grouped aggregation is not partitionable -> single-threaded engine.
+  auto id = dsms.InstallQuery(
+      "SELECT x, COUNT(*) FROM S [RANGE 40] GROUP BY x");
+  ASSERT_TRUE(id.ok());
+  dsms.RunToCompletion();
+  EXPECT_FALSE(dsms.Info(id.value()).parallel);
+  EXPECT_GT(dsms.Results(id.value()).size(), 0u);
+}
+
+TEST(DsmsParallelTest, ScheduleMigrationBroadcastsOneSplitToAllShards) {
+  using namespace logical;  // NOLINT
+  auto wa = Window(SourceNode("A", Schema::OfInts({"x"})), 30);
+  auto wb = Window(SourceNode("B", Schema::OfInts({"y"})), 30);
+  auto wc = Window(SourceNode("C", Schema::OfInts({"z"})), 30);
+  auto old_plan = EquiJoin(EquiJoin(wa, wb, 0, 0), wc, 0, 0);
+  auto new_plan = EquiJoin(wa, EquiJoin(wb, wc, 0, 0), 0, 0);
+
+  Dsms::Options opt;
+  opt.shards = 2;
+  Dsms dsms(opt);
+  par::InputMap inputs;
+  for (const char* name : {"A", "B", "C"}) {
+    inputs[name] = KeyedFeed(static_cast<uint64_t>(name[0]), 60, 3, 3);
+    dsms.RegisterStream(name, Schema::OfInts({"k"}), inputs[name]);
+  }
+  auto id = dsms.InstallPlan(old_plan);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  ASSERT_TRUE(dsms.Info(id.value()).parallel);
+  ASSERT_TRUE(
+      dsms.ScheduleMigration(id.value(), new_plan, Timestamp(60)).ok());
+  dsms.RunToCompletion();
+  EXPECT_EQ(dsms.Info(id.value()).migrations_completed, 1);
+  // Still snapshot-equivalent to the migration-free oracle.
+  EXPECT_EQ(
+      ref::SnapshotNormalForm(dsms.Results(id.value())),
+      ref::SnapshotNormalForm(ref::EvalPlanToStream(*old_plan, inputs)));
+}
+
+TEST(DsmsParallelTest, ScheduleMigrationOnSingleThreadedQueryIsRejected) {
+  Dsms dsms;  // shards = 1.
+  dsms.RegisterStream("S", Schema::OfInts({"x"}), KeyedFeed(3, 20, 3, 4));
+  auto id = dsms.InstallQuery("SELECT * FROM S [RANGE 10]");
+  ASSERT_TRUE(id.ok());
+  using namespace logical;  // NOLINT
+  const Status s = dsms.ScheduleMigration(
+      id.value(), Window(SourceNode("S", Schema::OfInts({"x"})), 10),
+      Timestamp(5));
+  EXPECT_EQ(s.code(), Status::Code::kFailedPrecondition);
+}
+
+TEST(DsmsTest, TimelineSpillsToCsvFile) {
+  const std::string path = testing::TempDir() + "dsms_timeline.csv";
+  Dsms::Options opt;
+  opt.timeline_period = 20;
+  opt.timeline_capacity = 4;  // Tiny ring: the spill keeps the history.
+  opt.timeline_spill_path = path;
+  Dsms dsms(opt);
+  dsms.RegisterStream("S", Schema::OfInts({"x"}),
+                      ToPhysicalStream(GenerateKeyedStream(400, 5, 4, 7)));
+  auto id = dsms.InstallQuery("SELECT * FROM S [RANGE 50]");
+  ASSERT_TRUE(id.ok());
+  dsms.RunToCompletion();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  // Header + more rows than the ring could hold.
+  EXPECT_GT(lines, 1 + opt.timeline_capacity);
+  EXPECT_EQ(dsms.timeline().size(), opt.timeline_capacity);
 }
 
 }  // namespace

@@ -1,0 +1,216 @@
+// End-to-end tests of the shard-parallel executor: byte-identical output vs
+// the single-threaded reference oracle across shard counts, with and without
+// a coordinated mid-stream GenMig.
+//
+// Raw merged streams are compared for run-to-run determinism; cross-shard-
+// count and vs-oracle comparisons go through ref::SnapshotNormalForm, the
+// canonical representation under snapshot equivalence (GenMig's coalesce may
+// fragment validity intervals differently per shard count — Theorem 1 only
+// promises equal snapshots).
+
+#include "par/coordinator.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "../test_util.h"
+#include "ref/checker.h"
+#include "ref/eval.h"
+
+namespace genmig {
+namespace {
+
+using namespace logical;  // NOLINT: test readability.
+using testutil::El;
+
+Schema OneCol() { return Schema::OfInts({"x"}); }
+
+par::InputMap RandomFeeds(uint64_t seed, int n, int64_t keys,
+                          std::vector<std::string> names) {
+  std::mt19937_64 rng(seed);
+  par::InputMap inputs;
+  std::vector<int64_t> t(names.size(), 0);
+  for (int i = 0; i < n; ++i) {
+    for (size_t s = 0; s < names.size(); ++s) {
+      t[s] += static_cast<int64_t>(rng() % 5);
+      inputs[names[s]].push_back(
+          El(static_cast<int64_t>(rng() % keys), t[s], t[s] + 1));
+    }
+  }
+  return inputs;
+}
+
+MaterializedStream RunSharded(const LogicalPtr& plan,
+                              const par::InputMap& inputs, int shards,
+                              int heartbeat_every = 1) {
+  par::Coordinator::Options options;
+  options.shards = shards;
+  options.queue_capacity = 64;  // Small: exercises backpressure.
+  options.heartbeat_every = heartbeat_every;
+  par::Coordinator coordinator(plan, options);
+  Result<MaterializedStream> result = coordinator.Run(inputs);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).ValueOrDie();
+}
+
+void ExpectMatchesOracleAcrossShardCounts(const LogicalPtr& plan,
+                                          const par::InputMap& inputs) {
+  const MaterializedStream oracle =
+      ref::SnapshotNormalForm(ref::EvalPlanToStream(*plan, inputs));
+  for (int shards : {1, 2, 4}) {
+    const MaterializedStream out = RunSharded(plan, inputs, shards);
+    EXPECT_TRUE(IsOrderedByStart(out)) << "shards=" << shards;
+    EXPECT_EQ(ref::SnapshotNormalForm(out), oracle) << "shards=" << shards;
+    // Determinism: an identical run produces the identical byte sequence.
+    EXPECT_EQ(RunSharded(plan, inputs, shards), out) << "shards=" << shards;
+  }
+}
+
+TEST(CoordinatorTest, EquiJoinMatchesOracleAcrossShardCounts) {
+  auto plan = EquiJoin(Window(SourceNode("A", OneCol()), 20),
+                       Window(SourceNode("B", OneCol()), 20), 0, 0);
+  ExpectMatchesOracleAcrossShardCounts(plan,
+                                       RandomFeeds(11, 60, 4, {"A", "B"}));
+}
+
+TEST(CoordinatorTest, DedupOverJoinMatchesOracleAcrossShardCounts) {
+  auto plan = Dedup(EquiJoin(Window(SourceNode("A", OneCol()), 15),
+                             Window(SourceNode("B", OneCol()), 15), 0, 0));
+  ExpectMatchesOracleAcrossShardCounts(plan,
+                                       RandomFeeds(12, 50, 3, {"A", "B"}));
+}
+
+TEST(CoordinatorTest, SelectOverWindowMatchesOracleAcrossShardCounts) {
+  auto plan = Select(Window(SourceNode("A", OneCol()), 10),
+                     Expr::Compare(Expr::CmpOp::kGt, Expr::Column(0),
+                                   Expr::Const(Value(int64_t{1}))));
+  ExpectMatchesOracleAcrossShardCounts(plan, RandomFeeds(13, 80, 5, {"A"}));
+}
+
+TEST(CoordinatorTest, HeartbeatThinningDoesNotChangeOutput) {
+  auto plan = EquiJoin(Window(SourceNode("A", OneCol()), 20),
+                       Window(SourceNode("B", OneCol()), 20), 0, 0);
+  const par::InputMap inputs = RandomFeeds(14, 60, 4, {"A", "B"});
+  EXPECT_EQ(RunSharded(plan, inputs, 4, /*heartbeat_every=*/1),
+            RunSharded(plan, inputs, 4, /*heartbeat_every=*/8));
+}
+
+TEST(CoordinatorTest, CoordinatedMigrationMatchesOracleAcrossShardCounts) {
+  // Migrate a 3-way join to its re-associated equivalent mid-stream. Both
+  // shapes produce the same bag, so the post-migration output must still
+  // match the (migration-free) oracle.
+  auto wa = Window(SourceNode("A", OneCol()), 12);
+  auto wb = Window(SourceNode("B", OneCol()), 12);
+  auto wc = Window(SourceNode("C", OneCol()), 12);
+  auto old_plan = EquiJoin(EquiJoin(wa, wb, 0, 0), wc, 0, 0);
+  auto new_plan = EquiJoin(wa, EquiJoin(wb, wc, 0, 0), 0, 0);
+  const par::InputMap inputs = RandomFeeds(15, 50, 3, {"A", "B", "C"});
+  const MaterializedStream oracle =
+      ref::SnapshotNormalForm(ref::EvalPlanToStream(*old_plan, inputs));
+  const Timestamp at(40);
+
+  for (int shards : {1, 2, 4}) {
+    par::Coordinator::Options options;
+    options.shards = shards;
+    options.queue_capacity = 64;
+    par::Coordinator coordinator(old_plan, options);
+    ASSERT_TRUE(coordinator.ScheduleGenMig(new_plan, at).ok());
+    ASSERT_TRUE(coordinator.Start(inputs).ok());
+    coordinator.WaitMigrationsComplete();
+    const MaterializedStream& out = coordinator.Wait();
+    EXPECT_EQ(coordinator.migrations_completed(), 1) << "shards=" << shards;
+    EXPECT_GE(coordinator.t_split(), at) << "shards=" << shards;
+    EXPECT_TRUE(IsOrderedByStart(out)) << "shards=" << shards;
+    EXPECT_EQ(ref::SnapshotNormalForm(out), oracle) << "shards=" << shards;
+  }
+}
+
+TEST(CoordinatorTest, EveryShardSplitsAtTheBroadcastInstant) {
+  auto plan = EquiJoin(Window(SourceNode("A", OneCol()), 10),
+                       Window(SourceNode("B", OneCol()), 10), 0, 0);
+  const par::InputMap inputs = RandomFeeds(16, 40, 4, {"A", "B"});
+  par::Coordinator::Options options;
+  options.shards = 4;
+  par::Coordinator coordinator(plan, options);
+  ASSERT_TRUE(coordinator.ScheduleGenMig(plan, Timestamp(20)).ok());
+  ASSERT_TRUE(coordinator.Start(inputs).ok());
+  coordinator.Wait();
+  ASSERT_EQ(coordinator.migrations_completed(), 1);
+  // The broadcast split is the split every replica actually used.
+  EXPECT_GT(coordinator.t_split(), Timestamp(20));
+}
+
+TEST(CoordinatorTest, MigrationScheduledPastEndOfDataStillCompletes) {
+  auto plan = EquiJoin(Window(SourceNode("A", OneCol()), 10),
+                       Window(SourceNode("B", OneCol()), 10), 0, 0);
+  const par::InputMap inputs = RandomFeeds(17, 20, 3, {"A", "B"});
+  const MaterializedStream oracle =
+      ref::SnapshotNormalForm(ref::EvalPlanToStream(*plan, inputs));
+  par::Coordinator::Options options;
+  options.shards = 2;
+  par::Coordinator coordinator(plan, options);
+  ASSERT_TRUE(
+      coordinator.ScheduleGenMig(plan, Timestamp(1'000'000)).ok());
+  ASSERT_TRUE(coordinator.Start(inputs).ok());
+  const MaterializedStream& out = coordinator.Wait();
+  EXPECT_EQ(coordinator.migrations_completed(), 1);
+  EXPECT_EQ(ref::SnapshotNormalForm(out), oracle);
+}
+
+TEST(CoordinatorTest, NonPartitionablePlanFailsToStart) {
+  auto plan = Union(Window(SourceNode("A", OneCol()), 10),
+                    Window(SourceNode("B", OneCol()), 10));
+  par::Coordinator coordinator(plan, {});
+  EXPECT_FALSE(coordinator.spec().ok);
+  const Status s = coordinator.Start(RandomFeeds(18, 5, 2, {"A", "B"}));
+  EXPECT_EQ(s.code(), Status::Code::kFailedPrecondition);
+}
+
+TEST(CoordinatorTest, MissingInputStreamIsNotFound) {
+  auto plan = Window(SourceNode("A", OneCol()), 10);
+  par::Coordinator coordinator(plan, {});
+  const Status s = coordinator.Start(RandomFeeds(19, 5, 2, {"B"}));
+  EXPECT_EQ(s.code(), Status::Code::kNotFound);
+}
+
+TEST(CoordinatorTest, ScheduleGenMigRejectsDifferentPartitioning) {
+  Schema two = Schema::OfInts({"x", "y"});
+  auto old_plan = EquiJoin(Window(SourceNode("A", two), 10),
+                           Window(SourceNode("B", OneCol()), 10), 0, 0);
+  // Joining on A's other column re-partitions A — in-flight state cannot be
+  // re-routed, so this must be rejected up front.
+  auto new_plan = EquiJoin(Window(SourceNode("A", two), 10),
+                           Window(SourceNode("B", OneCol()), 10), 1, 0);
+  par::Coordinator coordinator(old_plan, {});
+  const Status s = coordinator.ScheduleGenMig(new_plan, Timestamp(5));
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+}
+
+TEST(CoordinatorTest, MetricsAndTraceLanesArePopulated) {
+  auto plan = EquiJoin(Window(SourceNode("A", OneCol()), 10),
+                       Window(SourceNode("B", OneCol()), 10), 0, 0);
+  const par::InputMap inputs = RandomFeeds(20, 30, 3, {"A", "B"});
+  obs::MetricsRegistry registry;
+  obs::MigrationTracer tracer;
+  par::Coordinator::Options options;
+  options.shards = 2;
+  options.registry = &registry;
+  options.tracer = &tracer;
+  par::Coordinator coordinator(plan, options);
+  ASSERT_TRUE(coordinator.ScheduleGenMig(plan, Timestamp(15)).ok());
+  ASSERT_TRUE(coordinator.Start(inputs).ok());
+  coordinator.Wait();
+#ifndef GENMIG_NO_METRICS
+  // Per-shard prefixed operator slots plus the merge slot exist.
+  EXPECT_NE(registry.FindByName("s0/ctrl"), nullptr);
+  EXPECT_NE(registry.FindByName("s1/ctrl"), nullptr);
+  EXPECT_NE(registry.FindByName("par/merge"), nullptr);
+  // Both shards ran one migration, each on its own trace lane.
+  ASSERT_EQ(tracer.migration_count(), 2);
+  EXPECT_NE(tracer.LaneOf(0), tracer.LaneOf(1));
+#endif
+}
+
+}  // namespace
+}  // namespace genmig

@@ -1,0 +1,134 @@
+#include "par/merge_sink.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "../test_util.h"
+
+namespace genmig {
+namespace {
+
+using testutil::El;
+
+par::ShardOutMsg Elem(int shard, StreamElement e) {
+  par::ShardOutMsg m;
+  m.kind = par::ShardOutMsg::Kind::kElement;
+  m.shard = shard;
+  m.element = std::move(e);
+  return m;
+}
+
+par::ShardOutMsg Wm(int shard, Timestamp t) {
+  par::ShardOutMsg m;
+  m.kind = par::ShardOutMsg::Kind::kWatermark;
+  m.shard = shard;
+  m.time = t;
+  return m;
+}
+
+par::ShardOutMsg Eos(int shard) {
+  par::ShardOutMsg m;
+  m.kind = par::ShardOutMsg::Kind::kEos;
+  m.shard = shard;
+  return m;
+}
+
+/// Feeds `msgs` through a MergeSink and returns the merged output.
+MaterializedStream MergeOf(int shards,
+                           const std::vector<par::ShardOutMsg>& msgs) {
+  par::BoundedQueue<par::ShardOutMsg> q(256);
+  par::MergeSink sink(shards, &q, /*registry=*/nullptr);
+  sink.Start();
+  for (const auto& m : msgs) q.Push(m);
+  q.Close();
+  sink.Join();
+  return sink.merged();
+}
+
+bool SortedByKey(const MaterializedStream& s) {
+  return std::is_sorted(s.begin(), s.end(),
+                        [](const StreamElement& a, const StreamElement& b) {
+                          if (a.interval.start != b.interval.start) {
+                            return a.interval.start < b.interval.start;
+                          }
+                          if (a.interval.end != b.interval.end) {
+                            return a.interval.end < b.interval.end;
+                          }
+                          return a.tuple < b.tuple;
+                        });
+}
+
+TEST(MergeSinkTest, InterleavesTwoShardsInKeyOrder) {
+  // Shard 0 produces starts {1, 5, 9}, shard 1 produces {2, 5, 7}; arrival
+  // order is adversarial (all of shard 1 first).
+  const auto out = MergeOf(
+      2, {Elem(1, El(10, 2, 3)), Elem(1, El(11, 5, 6)), Elem(1, El(12, 7, 8)),
+          Eos(1), Elem(0, El(20, 1, 2)), Elem(0, El(21, 5, 6)),
+          Elem(0, El(22, 9, 10)), Eos(0)});
+  ASSERT_EQ(out.size(), 6u);
+  EXPECT_TRUE(SortedByKey(out));
+  EXPECT_TRUE(IsOrderedByStart(out));
+  EXPECT_EQ(out[0].interval.start, Timestamp(1));
+  EXPECT_EQ(out[5].interval.start, Timestamp(9));
+}
+
+TEST(MergeSinkTest, OutputIndependentOfArrivalInterleaving) {
+  const std::vector<par::ShardOutMsg> a = {
+      Elem(0, El(1, 1, 4)), Elem(1, El(2, 1, 3)), Elem(0, El(3, 2, 5)),
+      Elem(1, El(4, 2, 6)), Eos(0), Eos(1)};
+  // Same multiset per shard, different global arrival order.
+  const std::vector<par::ShardOutMsg> b = {
+      Elem(1, El(2, 1, 3)), Elem(1, El(4, 2, 6)), Eos(1),
+      Elem(0, El(1, 1, 4)), Elem(0, El(3, 2, 5)), Eos(0)};
+  EXPECT_EQ(MergeOf(2, a), MergeOf(2, b));
+}
+
+TEST(MergeSinkTest, EqualKeysBreakTiesByShardThenSeq) {
+  // Identical (start, end, tuple) from both shards: shard id orders them, so
+  // the output is still deterministic.
+  const auto out = MergeOf(2, {Elem(1, El(7, 3, 4)), Elem(0, El(7, 3, 4)),
+                               Eos(0), Eos(1)});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], out[1]);
+}
+
+TEST(MergeSinkTest, WatermarkReleasesWithoutElements) {
+  // Shard 1 sends only watermarks; shard 0's elements below the min live
+  // watermark must still flow (no starvation by an idle shard).
+  const auto out =
+      MergeOf(2, {Elem(0, El(1, 1, 2)), Elem(0, El(2, 8, 9)), Wm(1, Timestamp(100)),
+                  Eos(0), Eos(1)});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_TRUE(IsOrderedByStart(out));
+}
+
+TEST(MergeSinkTest, EosShardIsExcludedFromWatermarkMin) {
+  // Shard 1 ends immediately at watermark MinInstant; its watermark must not
+  // hold back shard 0 forever.
+  const auto out = MergeOf(2, {Eos(1), Elem(0, El(5, 10, 11)), Eos(0)});
+  ASSERT_EQ(out.size(), 1u);
+}
+
+TEST(MergeSinkTest, SingleShardPassThroughPreservesStream) {
+  const auto out = MergeOf(1, {Elem(0, El(1, 1, 5)), Elem(0, El(2, 3, 4)),
+                               Elem(0, El(3, 3, 9)), Eos(0)});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_TRUE(IsOrderedByStart(out));
+}
+
+TEST(MergeSinkTest, EosSeenCountsShards) {
+  par::BoundedQueue<par::ShardOutMsg> q(16);
+  par::MergeSink sink(3, &q, nullptr);
+  sink.Start();
+  q.Push(Eos(0));
+  q.Push(Eos(2));
+  q.Push(Eos(1));
+  q.Close();
+  sink.Join();
+  EXPECT_EQ(sink.eos_seen(), 3);
+  EXPECT_TRUE(sink.merged().empty());
+}
+
+}  // namespace
+}  // namespace genmig

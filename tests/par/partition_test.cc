@@ -1,0 +1,136 @@
+#include "par/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "plan/expr.h"
+#include "plan/logical.h"
+
+namespace genmig {
+namespace {
+
+using namespace logical;  // NOLINT: test readability.
+
+Schema OneCol() { return Schema::OfInts({"x"}); }
+Schema TwoCol() { return Schema::OfInts({"x", "y"}); }
+
+TEST(PartitionTest, SingleSourceWithWindowAndSelect) {
+  auto plan = Select(Window(SourceNode("A", OneCol()), 10),
+                     Expr::Compare(Expr::CmpOp::kGt, Expr::Column(0),
+                                   Expr::Const(Value(int64_t{3}))));
+  par::PartitionSpec spec = par::AnalyzePlan(*plan);
+  ASSERT_TRUE(spec.ok) << spec.reason;
+  ASSERT_EQ(spec.ports.size(), 1u);
+  EXPECT_EQ(spec.ports[0].source, "A");
+  EXPECT_EQ(spec.ports[0].column, 0u);
+  EXPECT_EQ(spec.ports[0].window, 10);
+  EXPECT_EQ(spec.max_window, 10);
+}
+
+TEST(PartitionTest, EquiJoinCoPartitionsBothSides) {
+  auto plan = EquiJoin(Window(SourceNode("A", OneCol()), 20),
+                       Window(SourceNode("B", OneCol()), 30), 0, 0);
+  par::PartitionSpec spec = par::AnalyzePlan(*plan);
+  ASSERT_TRUE(spec.ok) << spec.reason;
+  ASSERT_EQ(spec.ports.size(), 2u);
+  EXPECT_EQ(spec.ports[0].source, "A");
+  EXPECT_EQ(spec.ports[0].column, 0u);
+  EXPECT_EQ(spec.ports[1].source, "B");
+  EXPECT_EQ(spec.ports[1].column, 0u);
+  EXPECT_EQ(spec.max_window, 30);
+}
+
+TEST(PartitionTest, EquiJoinOnSecondColumn) {
+  auto plan = EquiJoin(Window(SourceNode("A", TwoCol()), 5),
+                       Window(SourceNode("B", OneCol()), 5), 1, 0);
+  par::PartitionSpec spec = par::AnalyzePlan(*plan);
+  ASSERT_TRUE(spec.ok) << spec.reason;
+  EXPECT_EQ(spec.ports[0].column, 1u);  // A partitions on its column y.
+  EXPECT_EQ(spec.ports[1].column, 0u);
+}
+
+TEST(PartitionTest, ThreeWayJoinOneClass) {
+  // A.x = B.x and (A|B).x = C.x: one equivalence class, all partitionable.
+  auto ab = EquiJoin(Window(SourceNode("A", OneCol()), 10),
+                     Window(SourceNode("B", OneCol()), 10), 0, 0);
+  auto plan = EquiJoin(ab, Window(SourceNode("C", OneCol()), 10), 0, 0);
+  par::PartitionSpec spec = par::AnalyzePlan(*plan);
+  ASSERT_TRUE(spec.ok) << spec.reason;
+  ASSERT_EQ(spec.ports.size(), 3u);
+  for (const auto& p : spec.ports) EXPECT_EQ(p.column, 0u);
+}
+
+TEST(PartitionTest, TwoPartitionClassesRejected) {
+  // A.x = B.x but A.y = C.x: two disjoint classes, shards would have to
+  // exchange tuples.
+  auto ab = EquiJoin(Window(SourceNode("A", TwoCol()), 10),
+                     Window(SourceNode("B", OneCol()), 10), 0, 0);
+  auto plan = EquiJoin(ab, Window(SourceNode("C", OneCol()), 10), 1, 0);
+  par::PartitionSpec spec = par::AnalyzePlan(*plan);
+  EXPECT_FALSE(spec.ok);
+}
+
+TEST(PartitionTest, ThetaJoinRejected) {
+  auto plan = Join(Window(SourceNode("A", OneCol()), 10),
+                   Window(SourceNode("B", OneCol()), 10),
+                   Expr::Compare(Expr::CmpOp::kLt, Expr::Column(0),
+                                 Expr::Column(1)));
+  par::PartitionSpec spec = par::AnalyzePlan(*plan);
+  EXPECT_FALSE(spec.ok);
+}
+
+TEST(PartitionTest, DedupOverJoinKeepsKeyVisible) {
+  auto plan = Dedup(EquiJoin(Window(SourceNode("A", OneCol()), 10),
+                             Window(SourceNode("B", OneCol()), 10), 0, 0));
+  par::PartitionSpec spec = par::AnalyzePlan(*plan);
+  EXPECT_TRUE(spec.ok) << spec.reason;
+}
+
+TEST(PartitionTest, DedupAfterProjectingAwayKeyRejected) {
+  // Join on x, then project onto B's column only: equal projected tuples may
+  // live on different shards, so per-shard dedup is not global dedup. The
+  // projected column y is NOT in the partition class (only join keys are).
+  auto join = EquiJoin(Window(SourceNode("A", TwoCol()), 10),
+                       Window(SourceNode("B", OneCol()), 10), 0, 0);
+  auto plan = Dedup(Project(join, {1}));  // Keep A.y only.
+  par::PartitionSpec spec = par::AnalyzePlan(*plan);
+  EXPECT_FALSE(spec.ok);
+}
+
+TEST(PartitionTest, SingleSourceDedupPartitionsOnVisibleColumn) {
+  auto plan = Dedup(Window(SourceNode("A", TwoCol()), 10));
+  par::PartitionSpec spec = par::AnalyzePlan(*plan);
+  ASSERT_TRUE(spec.ok) << spec.reason;
+  EXPECT_EQ(spec.ports[0].column, 0u);
+}
+
+TEST(PartitionTest, UnionRejected) {
+  auto plan = Union(Window(SourceNode("A", OneCol()), 10),
+                    Window(SourceNode("B", OneCol()), 10));
+  EXPECT_FALSE(par::AnalyzePlan(*plan).ok);
+}
+
+TEST(PartitionTest, CountWindowRejected) {
+  auto plan = CountWindowNode(SourceNode("A", OneCol()), 5);
+  EXPECT_FALSE(par::AnalyzePlan(*plan).ok);
+}
+
+TEST(PartitionTest, OwnerShardIsStableAndInRange) {
+  for (int64_t v = 0; v < 100; ++v) {
+    const Tuple t = Tuple::OfInts({v});
+    const size_t s4 = par::OwnerShard(t, 0, 4);
+    EXPECT_LT(s4, 4u);
+    EXPECT_EQ(s4, par::OwnerShard(t, 0, 4));  // Deterministic.
+    EXPECT_EQ(par::OwnerShard(t, 0, 1), 0u);  // Single shard owns all.
+  }
+}
+
+TEST(PartitionTest, EqualKeysLandOnTheSameShard) {
+  // Tuples that agree on the key column co-locate even when other columns
+  // differ — the property dedup and joins rely on.
+  const Tuple a = Tuple::OfInts({7, 1});
+  const Tuple b = Tuple::OfInts({7, 999});
+  EXPECT_EQ(par::OwnerShard(a, 0, 8), par::OwnerShard(b, 0, 8));
+}
+
+}  // namespace
+}  // namespace genmig

@@ -1,0 +1,74 @@
+#include "par/shard_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace genmig {
+namespace {
+
+TEST(BoundedQueueTest, FifoWithinOneProducer) {
+  par::BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) q.Push(int(i));
+  q.Close();
+  std::deque<int> batch;
+  ASSERT_TRUE(q.PopAll(&batch));
+  ASSERT_EQ(batch.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(batch[static_cast<size_t>(i)], i);
+  batch.clear();
+  EXPECT_FALSE(q.PopAll(&batch));  // Closed and empty.
+  EXPECT_TRUE(batch.empty());
+}
+
+TEST(BoundedQueueTest, ProducerBlocksOnFullUntilConsumerDrains) {
+  par::BoundedQueue<int> q(2);
+  std::vector<int> received;
+  std::thread producer([&q] {
+    for (int i = 0; i < 50; ++i) q.Push(int(i));  // Must block repeatedly.
+    q.Close();
+  });
+  std::deque<int> batch;
+  while (q.PopAll(&batch)) {
+    for (int v : batch) received.push_back(v);
+    batch.clear();
+  }
+  producer.join();
+  ASSERT_EQ(received.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(received[static_cast<size_t>(i)], i);
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedConsumer) {
+  par::BoundedQueue<int> q(4);
+  std::thread consumer([&q] {
+    std::deque<int> batch;
+    EXPECT_FALSE(q.PopAll(&batch));  // Blocks until Close, then false.
+  });
+  q.Close();
+  consumer.join();
+}
+
+TEST(BoundedQueueTest, CloseWithPendingElementsDrainsFirst) {
+  par::BoundedQueue<int> q(4);
+  q.Push(1);
+  q.Push(2);
+  q.Close();
+  std::deque<int> batch;
+  ASSERT_TRUE(q.PopAll(&batch));
+  EXPECT_EQ(batch.size(), 2u);
+  batch.clear();
+  EXPECT_FALSE(q.PopAll(&batch));
+}
+
+TEST(BoundedQueueTest, SizeAndClosedReflectState) {
+  par::BoundedQueue<int> q(4);
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_FALSE(q.closed());
+  q.Push(1);
+  EXPECT_EQ(q.size(), 1u);
+  q.Close();
+  EXPECT_TRUE(q.closed());
+}
+
+}  // namespace
+}  // namespace genmig
