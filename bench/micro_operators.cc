@@ -5,16 +5,20 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <type_traits>
 
 #include "ops/aggregate.h"
 #include "ops/coalesce.h"
 #include "ops/dedup.h"
+#include "ops/fused.h"
 #include "ops/join.h"
 #include "ops/refpoint_merge.h"
 #include "ops/sink.h"
 #include "ops/source.h"
 #include "ops/split.h"
+#include "ops/stateless.h"
+#include "stream/batch.h"
 #include "stream/generator.h"
 
 namespace genmig {
@@ -26,6 +30,18 @@ MaterializedStream KeyedWindowed(size_t n, int64_t keys, Duration w,
   for (const TimedTuple& tt : GenerateKeyedStream(n, 1, keys, seed)) {
     out.emplace_back(tt.tuple,
                      TimeInterval(Timestamp(tt.t), Timestamp(tt.t + w + 1)));
+  }
+  return out;
+}
+
+/// Pre-chunks a stream into TupleBatches. Batched benchmarks inject these
+/// prebuilt chunks so the timed region measures operator execution, not
+/// batch envelope construction (a streaming source would hand over batches
+/// it filled during ingestion).
+std::vector<TupleBatch> Chunks(const MaterializedStream& s, size_t rows) {
+  std::vector<TupleBatch> out;
+  for (size_t i = 0; i < s.size(); i += rows) {
+    out.push_back(TupleBatch::FromStream(s, i, std::min(rows, s.size() - i)));
   }
   return out;
 }
@@ -79,6 +95,168 @@ void BM_NestedLoopsJoin(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * 2 * n));
 }
 BENCHMARK(BM_NestedLoopsJoin)->Arg(1000);
+
+/// Vectorized twin of BM_SymmetricHashJoin: the identical workload injected
+/// as TupleBatches of kDefaultRows. The probe loop reads the key column
+/// array directly and the per-element Push bookkeeping (virtual dispatch,
+/// ordering check, metrics clock pair, watermark cascade, ordered-buffer
+/// flush) is amortized over the batch. The CI perf gate
+/// (BENCH_hotpath.json, tools/check_perf.py) holds the batched/scalar
+/// throughput ratio at >= 4x.
+void BM_SymmetricHashJoinBatched(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto left = KeyedWindowed(n, 64, 100, 1);
+  const auto right = KeyedWindowed(n, 64, 100, 2);
+  auto lchunks = Chunks(left, TupleBatch::kDefaultRows);
+  auto rchunks = Chunks(right, TupleBatch::kDefaultRows);
+  for (auto _ : state) {
+    SymmetricHashJoin join("j", 0, 0);
+    Source l("l");
+    Source r("r");
+    CollectorSink sink("k");
+    l.ConnectTo(0, &join, 0);
+    r.ConnectTo(0, &join, 1);
+    join.ConnectTo(0, &sink, 0);
+    for (size_t i = 0; i < lchunks.size(); ++i) {
+      l.InjectBatch(lchunks[i]);
+      r.InjectBatch(rchunks[i]);
+    }
+    l.Close();
+    r.Close();
+    benchmark::DoNotOptimize(sink.count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * 2 * n));
+}
+BENCHMARK(BM_SymmetricHashJoinBatched)->Arg(2000);
+
+/// Probe-side throughput pair: high key cardinality makes matches rare, so
+/// the measurement isolates what batching amortizes — per-push bookkeeping,
+/// hash probes and state insertion — from the (identical in both paths)
+/// per-result join output machinery. CountingSink keeps result-stream
+/// materialization out of the measurement. The CI perf gate
+/// (BENCH_hotpath.json, tools/check_perf.py) holds batched/scalar >= 4x.
+void BM_JoinProbeScalar(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto left = KeyedWindowed(n, static_cast<int64_t>(n) * 50, 100, 1);
+  const auto right = KeyedWindowed(n, static_cast<int64_t>(n) * 50, 100, 2);
+  for (auto _ : state) {
+    SymmetricHashJoin join("j", 0, 0);
+    Source l("l");
+    Source r("r");
+    CountingSink sink("k");
+    l.ConnectTo(0, &join, 0);
+    r.ConnectTo(0, &join, 1);
+    join.ConnectTo(0, &sink, 0);
+    for (size_t i = 0; i < n; ++i) {
+      l.Inject(left[i]);
+      r.Inject(right[i]);
+    }
+    l.Close();
+    r.Close();
+    benchmark::DoNotOptimize(sink.count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * 2 * n));
+}
+BENCHMARK(BM_JoinProbeScalar)->Arg(2000);
+
+void BM_JoinProbeBatched(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto left = KeyedWindowed(n, static_cast<int64_t>(n) * 50, 100, 1);
+  const auto right = KeyedWindowed(n, static_cast<int64_t>(n) * 50, 100, 2);
+  auto lchunks = Chunks(left, TupleBatch::kDefaultRows);
+  auto rchunks = Chunks(right, TupleBatch::kDefaultRows);
+  for (auto _ : state) {
+    SymmetricHashJoin join("j", 0, 0);
+    Source l("l");
+    Source r("r");
+    CountingSink sink("k");
+    l.ConnectTo(0, &join, 0);
+    r.ConnectTo(0, &join, 1);
+    join.ConnectTo(0, &sink, 0);
+    for (size_t i = 0; i < lchunks.size(); ++i) {
+      l.InjectBatch(lchunks[i]);
+      r.InjectBatch(rchunks[i]);
+    }
+    l.Close();
+    r.Close();
+    benchmark::DoNotOptimize(sink.count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * 2 * n));
+}
+BENCHMARK(BM_JoinProbeBatched)->Arg(2000);
+
+// Two-column (key, payload) raw stream: the chain's projection permutes
+// the columns, so the workload needs arity 2.
+MaterializedStream ChainInput(size_t n) {
+  MaterializedStream out;
+  int64_t i = 0;
+  for (const TimedTuple& tt : GenerateKeyedStream(n, 1, 64, 9)) {
+    out.emplace_back(
+        Tuple::OfInts({tt.tuple.field(0).AsInt64(), 100 + (i++ % 7)}),
+        TimeInterval(Timestamp(tt.t), Timestamp(tt.t + 1)));
+  }
+  return out;
+}
+
+bool ChainPredicate(const Tuple& t) { return t.field(0).AsInt64() % 4 != 0; }
+
+void ChainBatchPredicate(const TupleBatch& b, std::vector<uint8_t>* keep) {
+  keep->resize(b.size());
+  const std::vector<Value>& col = b.column(0);
+  for (size_t i = 0; i < b.size(); ++i) {
+    (*keep)[i] = col[i].AsInt64() % 4 != 0 ? 1 : 0;
+  }
+}
+
+/// Scalar baseline of the stateless chain: three operators (selection ->
+/// projection -> time window), one element at a time.
+void BM_StatelessChainScalar(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto input = ChainInput(n);
+  for (auto _ : state) {
+    Filter f("f", ChainPredicate);
+    Map m("m", Map::Projection({1, 0}));
+    TimeWindow w("w", 50);
+    Source src("s");
+    CountingSink sink("k");
+    src.ConnectTo(0, &f, 0);
+    f.ConnectTo(0, &m, 0);
+    m.ConnectTo(0, &w, 0);
+    w.ConnectTo(0, &sink, 0);
+    for (const StreamElement& e : input) src.Inject(e);
+    src.Close();
+    benchmark::DoNotOptimize(sink.count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_StatelessChainScalar)->Arg(20000);
+
+/// The same chain collapsed by the fusion pass into one FusedStateless
+/// operator with columnar hooks, fed TupleBatches: one fused loop with a
+/// branch-free selection bitmap, whole-column projection and a summed
+/// window extension. The CI perf gate holds fused-batched/scalar at >= 3x.
+void BM_StatelessChainFusedBatched(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto input = ChainInput(n);
+  auto chunks = Chunks(input, TupleBatch::kDefaultRows);
+  for (auto _ : state) {
+    FusedStateless fu("fu", {
+        FusedStateless::FilterStage(ChainPredicate, ChainBatchPredicate),
+        FusedStateless::MapStage(Map::Projection({1, 0}),
+                                 Map::BatchProjection({1, 0})),
+        FusedStateless::WindowStage(50),
+    });
+    Source src("s");
+    CountingSink sink("k");
+    src.ConnectTo(0, &fu, 0);
+    fu.ConnectTo(0, &sink, 0);
+    for (TupleBatch& b : chunks) src.InjectBatch(b);
+    src.Close();
+    benchmark::DoNotOptimize(sink.count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_StatelessChainFusedBatched)->Arg(20000);
 
 void BM_DuplicateElimination(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

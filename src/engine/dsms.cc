@@ -102,6 +102,7 @@ Result<Dsms::QueryId> Dsms::Install(LogicalPtr plan) {
     par::Coordinator::Options copt;
     copt.shards = options_.shards;
     copt.queue_capacity = options_.shard_queue_capacity;
+    copt.batch_size = options_.executor.batch_size;
     if (options_.enable_metrics) {
       copt.registry = &registry_;
       copt.tracer = &tracer_;
@@ -120,7 +121,9 @@ Result<Dsms::QueryId> Dsms::Install(LogicalPtr plan) {
   std::string qname = "q";
   qname.append(std::to_string(queries_.size()));
   query->controller = std::make_unique<MigrationController>(
-      std::move(qname), CompilePlan(*query->stripped));
+      std::move(qname),
+      CompilePlan(*query->stripped, "",
+                  CompileOptions{options_.fuse_stateless}));
   query->controller->ConnectTo(0, &query->sink, 0);
   if (options_.calibration_period > 0) {
     query->calibrator = CostCalibrator(options_.calibrator);
@@ -229,7 +232,8 @@ Dsms::QueryInfo Dsms::Info(QueryId id) const {
 
 void Dsms::StartGenMigTo(Query* query, const LogicalPtr& candidate) {
   query->stripped = logical::StripWindows(candidate);
-  Box new_box = CompilePlan(*query->stripped);
+  Box new_box = CompilePlan(*query->stripped, "",
+                            CompileOptions{options_.fuse_stateless});
   new_box.ReorderInputs(query->source_names);
   MigrationController::GenMigOptions opts;
   opts.variant = options_.variant;

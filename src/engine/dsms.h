@@ -92,6 +92,14 @@ class Dsms {
     int shards = 1;
     /// Router->shard / shard->merge queue capacity of parallel queries.
     size_t shard_queue_capacity = 1024;
+    /// Compile query plans with the stateless-chain fusion pass
+    /// (CompileOptions::fuse_stateless): adjacent select/project/time-window
+    /// operators collapse into one fused loop. Changes physical operator
+    /// names and counts, so the per-operator cost calibration maps the fused
+    /// operator onto its first logical node only.
+    bool fuse_stateless = false;
+    /// Executor knobs; executor.batch_size > 1 turns on vectorized
+    /// (TupleBatch) injection for the single-threaded engine.
     Executor::Options executor;
   };
 

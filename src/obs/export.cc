@@ -88,6 +88,7 @@ void AppendOperator(std::string* out, const OperatorMetrics& m) {
   AppendKeyU64(out, "elements_in", m.elements_in);
   AppendKeyU64(out, "elements_out", m.elements_out);
   AppendKeyU64(out, "heartbeats_in", m.heartbeats_in);
+  AppendKeyU64(out, "batches_in", m.batches_in);
   AppendKeyU64(out, "negatives_in", m.negatives_in);
   AppendKeyU64(out, "negatives_out", m.negatives_out);
   AppendKeyU64(out, "state_inserts", m.state_inserts);

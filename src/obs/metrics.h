@@ -166,6 +166,10 @@ struct OperatorMetrics {
   RelaxedU64 elements_in;
   RelaxedU64 elements_out;
   RelaxedU64 heartbeats_in;
+  /// Number of whole-batch pushes (PushBatch calls); elements_in already
+  /// includes their rows, so batches_in / elements_in gives the achieved
+  /// batching factor per operator.
+  RelaxedU64 batches_in;
   /// PN streams only: negative elements among elements_in / elements_out.
   RelaxedU64 negatives_in;
   RelaxedU64 negatives_out;

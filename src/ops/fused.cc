@@ -1,0 +1,109 @@
+#include "ops/fused.h"
+
+#include "common/check.h"
+
+namespace genmig {
+
+FusedStateless::FusedStateless(std::string name, std::vector<Stage> stages)
+    : Operator(std::move(name), 1, 1), stages_(std::move(stages)) {
+  GENMIG_CHECK_GE(stages_.size(), 1u);
+  for (const Stage& s : stages_) {
+    switch (s.kind) {
+      case Stage::Kind::kFilter:
+        GENMIG_CHECK(s.filter != nullptr);
+        break;
+      case Stage::Kind::kMap:
+        GENMIG_CHECK(s.map != nullptr);
+        break;
+      case Stage::Kind::kWindow:
+        GENMIG_CHECK_GE(s.window, 0);
+        break;
+    }
+  }
+}
+
+void FusedStateless::OnElement(int, const StreamElement& element) {
+  Tuple tuple = element.tuple;
+  TimeInterval iv = element.interval;
+  for (const Stage& s : stages_) {
+    switch (s.kind) {
+      case Stage::Kind::kFilter:
+        if (!s.filter(tuple)) return;
+        break;
+      case Stage::Kind::kMap:
+        tuple = s.map(tuple);
+        break;
+      case Stage::Kind::kWindow:
+        iv.end = iv.end + s.window;
+        break;
+    }
+  }
+  StreamElement out(std::move(tuple), iv, element.epoch);
+  out.ingress_ns = element.ingress_ns;
+  Emit(0, out);
+}
+
+void FusedStateless::OnBatch(int, const TupleBatch& batch) {
+  // The fused loop. Filters/maps ping-pong the surviving rows between two
+  // scratch batches; window extensions are summed and applied once at the
+  // end (they commute with every tuple-only stage).
+  const TupleBatch* cur = &batch;
+  int flip = 0;
+  Duration window_delta = 0;
+  for (const Stage& s : stages_) {
+    switch (s.kind) {
+      case Stage::Kind::kWindow:
+        window_delta += s.window;
+        continue;
+      case Stage::Kind::kFilter: {
+        keep_.assign(cur->size(), 0);
+        if (s.batch_filter) {
+          s.batch_filter(*cur, &keep_);
+        } else {
+          for (size_t i = 0; i < cur->size(); ++i) {
+            keep_[i] = s.filter(cur->RowTuple(i)) ? 1 : 0;
+          }
+        }
+        TupleBatch& next = scratch_[flip];
+        flip ^= 1;
+        next.Clear();
+        next.Reserve(cur->size());
+        next.AppendFilteredFrom(*cur, keep_);
+        cur = &next;
+        break;
+      }
+      case Stage::Kind::kMap: {
+        TupleBatch& next = scratch_[flip];
+        flip ^= 1;
+        next.Clear();
+        next.Reserve(cur->size());
+        if (s.batch_map) {
+          s.batch_map(*cur, &next);
+        } else {
+          for (size_t i = 0; i < cur->size(); ++i) {
+            next.AppendRow(s.map(cur->RowTuple(i)), cur->interval(i),
+                           cur->epoch(i), cur->ingress_ns(i));
+          }
+        }
+        cur = &next;
+        break;
+      }
+    }
+    if (cur->empty()) return;  // Everything filtered out.
+  }
+  if (window_delta != 0) {
+    if (cur == &batch) {
+      // Window-only chain: the input is const, so adjust a copy.
+      scratch_[flip] = batch;
+      cur = &scratch_[flip];
+      flip ^= 1;
+    }
+    TupleBatch& mut = scratch_[cur == &scratch_[0] ? 0 : 1];
+    for (size_t i = 0; i < mut.size(); ++i) {
+      mut.set_end(i, mut.end(i) + window_delta);
+    }
+  }
+  EmitBatch(0, *cur);
+}
+
+}  // namespace genmig

@@ -1,0 +1,85 @@
+// FusedStateless: one operator executing a whole chain of adjacent stateless
+// stages (selection, projection/transformation, time-based window) in a
+// single loop. The plan compiler's fusion pass (plan/compile.h,
+// CompileOptions::fuse_stateless) collapses maximal chains of length >= 2
+// into one of these, eliminating the per-stage Push/Emit hops: one virtual
+// dispatch, one ordering check, one watermark/heartbeat/metrics pass per
+// batch for the entire chain.
+//
+// Fusion is sound because the stages are stateless and orthogonal: filters
+// and maps read only tuples (never validity intervals), window stages read
+// only intervals (never tuples) and commute with filters/maps, so their end
+// extensions are summed and applied once at the end of the loop.
+
+#ifndef GENMIG_OPS_FUSED_H_
+#define GENMIG_OPS_FUSED_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ops/stateless.h"
+
+namespace genmig {
+
+class FusedStateless : public Operator {
+ public:
+  /// One stage of the fused chain, in execution (source-to-sink) order.
+  struct Stage {
+    enum class Kind { kFilter, kMap, kWindow };
+
+    Kind kind = Kind::kFilter;
+    // kFilter: the scalar predicate is mandatory; the columnar one optional
+    // (compiled Expr predicates fill selection bitmaps straight from the
+    // column arrays).
+    Filter::Predicate filter;
+    Filter::BatchPredicate batch_filter;
+    // kMap: scalar mandatory, columnar optional (projections shuffle whole
+    // columns).
+    Map::Function map;
+    Map::BatchFunction batch_map;
+    // kWindow: validity-end extension.
+    Duration window = 0;
+  };
+
+  static Stage FilterStage(Filter::Predicate filter,
+                           Filter::BatchPredicate batch_filter = nullptr) {
+    Stage s;
+    s.kind = Stage::Kind::kFilter;
+    s.filter = std::move(filter);
+    s.batch_filter = std::move(batch_filter);
+    return s;
+  }
+  static Stage MapStage(Map::Function map,
+                        Map::BatchFunction batch_map = nullptr) {
+    Stage s;
+    s.kind = Stage::Kind::kMap;
+    s.map = std::move(map);
+    s.batch_map = std::move(batch_map);
+    return s;
+  }
+  static Stage WindowStage(Duration window) {
+    Stage s;
+    s.kind = Stage::Kind::kWindow;
+    s.window = window;
+    return s;
+  }
+
+  FusedStateless(std::string name, std::vector<Stage> stages);
+
+  const std::vector<Stage>& stages() const { return stages_; }
+
+ protected:
+  void OnElement(int, const StreamElement& element) override;
+  void OnBatch(int, const TupleBatch& batch) override;
+
+ private:
+  std::vector<Stage> stages_;
+  TupleBatch scratch_[2];      // Ping-pong buffers between stages.
+  std::vector<uint8_t> keep_;  // Selection bitmap scratch.
+};
+
+}  // namespace genmig
+
+#endif  // GENMIG_OPS_FUSED_H_

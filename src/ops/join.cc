@@ -19,11 +19,25 @@ Timestamp JoinBase::MaxStateEnd() const { return StateMaxEnd(); }
 void JoinBase::OnWatermarkAdvance() {
   const Timestamp wm = MinInputWatermark();
   ExpireStates(wm);
-  buffer_.FlushUpTo(wm, [this](const StreamElement& e) { Emit(0, e); });
+  if (!batch_mode_) {
+    buffer_.FlushUpTo(wm, [this](const StreamElement& e) { Emit(0, e); });
+    return;
+  }
+  flush_batch_.Clear();
+  buffer_.FlushUpTo(wm,
+                    [this](const StreamElement& e) { flush_batch_.Append(e); });
+  EmitBatch(0, flush_batch_);
 }
 
 void JoinBase::OnAllInputsEos() {
-  buffer_.FlushAll([this](const StreamElement& e) { Emit(0, e); });
+  if (!batch_mode_) {
+    buffer_.FlushAll([this](const StreamElement& e) { Emit(0, e); });
+    return;
+  }
+  flush_batch_.Clear();
+  buffer_.FlushAll(
+      [this](const StreamElement& e) { flush_batch_.Append(e); });
+  EmitBatch(0, flush_batch_);
 }
 
 void JoinBase::EmitJoined(int probe_port, const StreamElement& probe,
@@ -95,6 +109,31 @@ void NestedLoopsJoin::OnElement(int in_port, const StreamElement& element) {
   if (element.interval.end < min_state_end_[in_port]) {
     min_state_end_[in_port] = element.interval.end;
   }
+}
+
+void NestedLoopsJoin::OnBatch(int in_port, const TupleBatch& batch) {
+  // Same probe-then-insert order a scalar replay would use (row i is visible
+  // to row i+1), with per-row watermark/flush/dispatch overhead amortized.
+  // Expiration is deferred to the post-batch watermark advance: an expired
+  // entry's end is <= the pre-batch watermark <= every probe's start, so it
+  // cannot overlap any probe in this batch and produces no extra results.
+  EnterBatchMode();
+  const int other = 1 - in_port;
+  Timestamp min_end = min_state_end_[in_port];
+  for (size_t i = 0; i < batch.size(); ++i) {
+    StreamElement element = batch.Row(i);
+    for (const StreamElement& stored : state_[other]) {
+      const Tuple& left = in_port == 0 ? element.tuple : stored.tuple;
+      const Tuple& right = in_port == 0 ? stored.tuple : element.tuple;
+      if (element.interval.Overlaps(stored.interval) && Matches(left, right)) {
+        EmitJoined(in_port, element, stored);
+      }
+    }
+    if (element.interval.end < min_end) min_end = element.interval.end;
+    state_[in_port].push_back(std::move(element));
+  }
+  min_state_end_[in_port] = min_end;
+  NoteStateInsertBatch(in_port, batch);
 }
 
 void NestedLoopsJoin::ExpireStates(Timestamp watermark) {
@@ -176,6 +215,41 @@ void SymmetricHashJoin::OnElement(int in_port, const StreamElement& element) {
   if (element.interval.end < min_state_end_[in_port]) {
     min_state_end_[in_port] = element.interval.end;
   }
+}
+
+void SymmetricHashJoin::OnBatch(int in_port, const TupleBatch& batch) {
+  // Tight probe loop: keys are read straight from the key column (no
+  // StreamElement materialization on the no-match path until insertion),
+  // and all per-push bookkeeping — watermark, metrics, heartbeat cascade,
+  // buffer-flush attempts — happens once per batch instead of once per row.
+  // Deferred expiration is safe for the same reason as in NestedLoopsJoin.
+  EnterBatchMode();
+  const int other = 1 - in_port;
+  const std::vector<Value>& keys = batch.column(key_field_[in_port]);
+  auto& probe_state = state_[other];
+  auto& build_state = state_[in_port];
+  // Per-side accumulators are folded in once per batch; the epoch lineage
+  // maps are updated per run of equal epochs (NoteStateInsertBatch).
+  size_t added_bytes = 0;
+  Timestamp min_end = min_state_end_[in_port];
+  for (size_t i = 0; i < batch.size(); ++i) {
+    StreamElement element = batch.Row(i);
+    auto it = probe_state.find(keys[i]);
+    if (it != probe_state.end()) {
+      for (const StreamElement& stored : it->second) {
+        if (element.interval.Overlaps(stored.interval)) {
+          EmitJoined(in_port, element, stored);
+        }
+      }
+    }
+    added_bytes += element.PayloadBytes();
+    if (element.interval.end < min_end) min_end = element.interval.end;
+    build_state[keys[i]].push_back(std::move(element));
+  }
+  state_count_[in_port] += batch.size();
+  state_bytes_[in_port] += added_bytes;
+  min_state_end_[in_port] = min_end;
+  NoteStateInsertBatch(in_port, batch);
 }
 
 void SymmetricHashJoin::ExpireStates(Timestamp watermark) {

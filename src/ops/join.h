@@ -49,6 +49,12 @@ class JoinBase : public Operator {
   void OnWatermarkAdvance() override;
   void OnAllInputsEos() override;
 
+  /// Once a join has seen one batched push it releases the ordered buffer in
+  /// batches too (same elements, same order — only the push granularity
+  /// downstream changes). Purely-scalar plans keep per-element emission, so
+  /// the scalar baseline pays no batching overhead.
+  void EnterBatchMode() { batch_mode_ = true; }
+
   /// Drops expired entries from both states.
   virtual void ExpireStates(Timestamp watermark) = 0;
   virtual size_t StateElementBytes() const = 0;
@@ -67,6 +73,23 @@ class JoinBase : public Operator {
     if (hwm < element.interval.start) hwm = element.interval.start;
     MetricsStateInsert();
   }
+  /// Batch form of NoteStateInsert: one map update per run of equal epochs
+  /// instead of two per row. Starts are non-decreasing within a batch, so
+  /// the last row of a run carries the run's start high-water mark.
+  void NoteStateInsertBatch(int side, const TupleBatch& batch) {
+    size_t i = 0;
+    while (i < batch.size()) {
+      const uint32_t e = batch.epoch(i);
+      size_t j = i + 1;
+      while (j < batch.size() && batch.epoch(j) == e) ++j;
+      epoch_counts_[side][e] += j - i;
+      Timestamp& hwm = insert_start_hwm_[e];
+      if (hwm < batch.start(j - 1)) hwm = batch.start(j - 1);
+      i = j;
+    }
+    MetricsStateInsert(batch.size());
+  }
+
   void NoteStateRemove(int side, const StreamElement& element) {
     auto it = epoch_counts_[side].find(element.epoch);
     GENMIG_CHECK(it != epoch_counts_[side].end());
@@ -77,6 +100,10 @@ class JoinBase : public Operator {
   OrderedOutputBuffer buffer_;
   std::map<uint32_t, size_t> epoch_counts_[2];
   std::map<uint32_t, Timestamp> insert_start_hwm_;
+
+ private:
+  bool batch_mode_ = false;
+  TupleBatch flush_batch_;  // Scratch for the batched buffer release.
 };
 
 /// Nested-loops join with an arbitrary predicate over (left, right) tuples —
@@ -97,6 +124,7 @@ class NestedLoopsJoin : public JoinBase {
 
  protected:
   void OnElement(int in_port, const StreamElement& element) override;
+  void OnBatch(int in_port, const TupleBatch& batch) override;
   void ExpireStates(Timestamp watermark) override;
   size_t StateElementBytes() const override;
   size_t StateElementCount() const override;
@@ -123,6 +151,7 @@ class SymmetricHashJoin : public JoinBase {
 
  protected:
   void OnElement(int in_port, const StreamElement& element) override;
+  void OnBatch(int in_port, const TupleBatch& batch) override;
   void ExpireStates(Timestamp watermark) override;
   size_t StateElementBytes() const override;
   size_t StateElementCount() const override;

@@ -100,6 +100,68 @@ void Operator::PushElement(int in_port, const StreamElement& element) {
 #endif
 }
 
+void Operator::PushBatch(int in_port, const TupleBatch& batch) {
+  if (batch.empty()) return;
+  GENMIG_CHECK_GE(in_port, 0);
+  GENMIG_CHECK_LT(in_port, num_inputs());
+  InputState& in = inputs_[in_port];
+  GENMIG_CHECK(!in.eos);
+  // Batch-level ordering invariant: internally non-decreasing, and the first
+  // row must respect the port watermark (Definition 3, amortized over the
+  // batch instead of checked per push).
+  GENMIG_CHECK(batch.OrderedByStart());
+  const Timestamp first = batch.start(0);
+  const Timestamp last = batch.start(batch.size() - 1);
+  if (!in.relaxed_ordering) {
+    GENMIG_CHECK(in.watermark <= first);
+  }
+#ifndef GENMIG_NO_METRICS
+  // One clock read pair per batch (not per row): recorded as the mean
+  // per-element cost so the calibrator's cpu_ns_per_element stays in the
+  // same unit as the scalar path.
+  std::chrono::steady_clock::time_point push_start;
+  if (metrics_ != nullptr) {
+    metrics_->elements_in += batch.size();
+    ++metrics_->batches_in;
+    push_start = std::chrono::steady_clock::now();
+  }
+#endif
+  OnBatch(in_port, batch);
+  if (in.watermark < last) in.watermark = last;
+  OnWatermarkAdvance();
+  PublishProgress();
+#ifndef GENMIG_NO_METRICS
+  if (metrics_ != nullptr) {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - push_start)
+                        .count();
+    metrics_->push_ns.Record(static_cast<uint64_t>(ns) / batch.size());
+    metrics_->SampleState(StateUnits(), StateBytes(), QueueDepth());
+  }
+#endif
+}
+
+void Operator::OnBatch(int in_port, const TupleBatch& batch) {
+  // Scalar fallback: element-at-a-time semantics, identical to a sequence of
+  // PushElement calls except that heartbeat publication and metrics happen
+  // once per batch (PushBatch's epilogue).
+  InputState& in = inputs_[in_port];
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const StreamElement element = batch.Row(i);
+    if (in.watermark < element.interval.start) {
+      in.watermark = element.interval.start;
+    }
+#ifndef GENMIG_NO_METRICS
+    current_ingress_ns_ = element.ingress_ns;
+#endif
+    OnElement(in_port, element);
+    OnWatermarkAdvance();
+  }
+#ifndef GENMIG_NO_METRICS
+  current_ingress_ns_ = 0;
+#endif
+}
+
 void Operator::PushHeartbeat(int in_port, Timestamp watermark) {
   GENMIG_CHECK_GE(in_port, 0);
   GENMIG_CHECK_LT(in_port, num_inputs());
@@ -166,6 +228,29 @@ void Operator::Emit(int out_port, const StreamElement& element) {
 #endif
   for (const Edge& e : out.edges) {
     e.op->PushElement(e.port, element);
+  }
+}
+
+void Operator::EmitBatch(int out_port, const TupleBatch& batch) {
+  if (batch.empty()) return;
+  GENMIG_CHECK_GE(out_port, 0);
+  GENMIG_CHECK_LT(out_port, num_outputs());
+  GENMIG_CHECK(!eos_emitted_);
+  GENMIG_CHECK(batch.OrderedByStart());
+  OutputState& out = outputs_[out_port];
+  const Timestamp first = batch.start(0);
+  const Timestamp last = batch.start(batch.size() - 1);
+  if (!out.relaxed_ordering) {
+    GENMIG_CHECK(out.last_emitted <= first);
+    GENMIG_CHECK(out.last_heartbeat <= first);
+  }
+  if (out.last_emitted < last) out.last_emitted = last;
+  out.anything_emitted = true;
+#ifndef GENMIG_NO_METRICS
+  if (metrics_ != nullptr) metrics_->elements_out += batch.size();
+#endif
+  for (const Edge& e : out.edges) {
+    e.op->PushBatch(e.port, batch);
   }
 }
 

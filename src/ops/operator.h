@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "stream/batch.h"
 #include "stream/element.h"
 
 #ifndef GENMIG_NO_METRICS
@@ -82,6 +83,14 @@ class Operator {
   void PushElement(int in_port, const StreamElement& element);
   void PushHeartbeat(int in_port, Timestamp watermark);
   void PushEos(int in_port);
+
+  /// Pushes a whole batch of elements (non-decreasing t_start, same arity)
+  /// into an input port. Semantically equivalent to pushing every row through
+  /// PushElement in order, but watermark bookkeeping, metrics, heartbeat
+  /// publication and (for batch-aware operators) element handling are
+  /// amortized over the batch. Operators that do not override OnBatch are
+  /// fed row by row through a scalar fallback.
+  void PushBatch(int in_port, const TupleBatch& batch);
 
   // --- Introspection -------------------------------------------------------
 
@@ -154,6 +163,15 @@ class Operator {
   /// ordering invariant and advanced the port watermark.
   virtual void OnElement(int in_port, const StreamElement& element) = 0;
 
+  /// Handles one input batch. The default implementation replays the batch
+  /// row by row (per-row watermark advance + OnElement + OnWatermarkAdvance,
+  /// exactly like a sequence of PushElement calls, minus the per-row
+  /// heartbeat publication, which is deferred to the end of the batch).
+  /// Batch-aware operators override this with a loop over the column arrays;
+  /// the port watermark is advanced by the caller AFTER OnBatch returns, so
+  /// overrides observe the same pre-batch watermark a scalar replay would.
+  virtual void OnBatch(int in_port, const TupleBatch& batch);
+
   /// Called when input port `in_port` reaches EOS, before watermark
   /// bookkeeping. Composite operators forward the EOS to inner plumbing.
   virtual void OnInputEos(int in_port) { (void)in_port; }
@@ -175,6 +193,12 @@ class Operator {
 
   void Emit(int out_port, const StreamElement& element);
   void EmitHeartbeat(int out_port, Timestamp watermark);
+
+  /// Emits a whole batch (non-decreasing t_start) on an output port. Rows
+  /// carry their own ingress stamps; unlike Emit there is no implicit
+  /// re-stamping, so batch-aware operators propagate ingress_ns themselves
+  /// (TupleBatch row copies preserve it).
+  void EmitBatch(int out_port, const TupleBatch& batch);
 
   /// Emits OutputWatermark() as a heartbeat on every output port if it
   /// advanced past the last published value. Invoked automatically after

@@ -35,9 +35,41 @@ class CollectorSink : public Operator {
     if (on_element_) on_element_(element);
   }
 
+  void OnBatch(int, const TupleBatch& batch) override {
+    // No reserve: an exact-size reserve per batch would pin the capacity and
+    // force a full reallocation on every batch (quadratic); geometric growth
+    // is what we want here.
+    for (size_t i = 0; i < batch.size(); ++i) {
+      StreamElement element = batch.Row(i);
+      MetricsRecordE2e(element);
+      collected_.push_back(std::move(element));
+      if (on_element_) on_element_(collected_.back());
+    }
+  }
+
  private:
   MaterializedStream collected_;
   std::function<void(const StreamElement&)> on_element_;
+};
+
+/// Counts output rows without materializing them — the sink for throughput
+/// benchmarks, where per-row StreamElement materialization would otherwise
+/// dominate the measured operator cost.
+class CountingSink : public Operator {
+ public:
+  explicit CountingSink(std::string name) : Operator(std::move(name), 1, 1) {}
+
+  size_t count() const { return count_; }
+  bool finished() const { return all_inputs_eos(); }
+
+ protected:
+  void OnElement(int, const StreamElement&) override { ++count_; }
+  void OnBatch(int, const TupleBatch& batch) override {
+    count_ += batch.size();
+  }
+
+ private:
+  size_t count_ = 0;
 };
 
 /// Forwards every message to user-supplied callbacks. All hooks are optional.
@@ -46,12 +78,23 @@ class CallbackOp : public Operator {
   explicit CallbackOp(std::string name) : Operator(std::move(name), 1, 1) {}
 
   std::function<void(const StreamElement&)> on_element;
+  /// When set, whole batches are handed over intact (the shard router uses
+  /// this to forward batches without exploding them); when unset, batches
+  /// fall back to per-row on_element via the scalar replay.
+  std::function<void(const TupleBatch&)> on_batch;
   std::function<void(Timestamp)> on_watermark;
   std::function<void()> on_eos;
 
  protected:
   void OnElement(int, const StreamElement& element) override {
     if (on_element) on_element(element);
+  }
+  void OnBatch(int in_port, const TupleBatch& batch) override {
+    if (on_batch) {
+      on_batch(batch);
+      return;
+    }
+    Operator::OnBatch(in_port, batch);
   }
   void OnWatermarkAdvance() override {
     if (on_watermark) on_watermark(input_watermark(0));

@@ -44,6 +44,22 @@ class Source : public Operator {
     Emit(0, element);
   }
 
+  /// Injects a whole batch (non-decreasing t_start). With metrics attached,
+  /// the FIRST row of every batch is ingress-stamped in place of the scalar
+  /// path's every-kSampleEvery-th element (batches are kDefaultRows ≈ the
+  /// sampling period, so the stamp density is comparable).
+  void InjectBatch(TupleBatch& batch) {
+    if (batch.empty()) return;
+    watermark_ = batch.start(batch.size() - 1);
+#ifndef GENMIG_NO_METRICS
+    if (metrics() != nullptr && batch.ingress_ns(0) == 0) {
+      batch.set_ingress_ns(0, obs::MonotonicNowNs());
+    }
+    injected_ += batch.size();
+#endif
+    EmitBatch(0, batch);
+  }
+
   /// Injects a heartbeat: no future element will start below `t`.
   void InjectHeartbeat(Timestamp t) {
     if (watermark_ < t) watermark_ = t;

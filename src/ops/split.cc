@@ -32,6 +32,34 @@ void Split::OnElement(int, const StreamElement& element) {
   }
 }
 
+void Split::OnBatch(int, const TupleBatch& batch) {
+  // Element-granularity migration semantics over a batch: each row is sliced
+  // at T_split exactly as in OnElement, then the old-side and new-side rows
+  // travel onward as (at most) one batch per port. Because the input batch is
+  // ordered by t_start, every row with tS < T_split precedes every row with
+  // tS > T_split, so both output batches are ordered: the new-side batch is a
+  // run of straddler rows pinned to tS = T_split followed by post-split rows.
+  old_batch_.Clear();
+  new_batch_.Clear();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const TimeInterval iv = batch.interval(i);
+    if (iv.start < t_split_) {
+      if (iv.end <= t_split_) {
+        old_batch_.AppendRowFrom(batch, i);
+      } else {
+        old_batch_.AppendRowFrom(
+            batch, i,
+            mode_ == Mode::kClip ? TimeInterval(iv.start, t_split_) : iv);
+        new_batch_.AppendRowFrom(batch, i, TimeInterval(t_split_, iv.end));
+      }
+    } else {
+      new_batch_.AppendRowFrom(batch, i);
+    }
+  }
+  EmitBatch(kOldPort, old_batch_);
+  EmitBatch(kNewPort, new_batch_);
+}
+
 Timestamp Split::OutputWatermark() const {
   // A single conservative bound is valid for both ports: every future
   // emission on either port starts at or after the input watermark.

@@ -40,11 +40,14 @@ class Split : public Operator {
 
  protected:
   void OnElement(int, const StreamElement& element) override;
+  void OnBatch(int, const TupleBatch& batch) override;
   Timestamp OutputWatermark() const override;
 
  private:
   const Timestamp t_split_;
   const Mode mode_;
+  TupleBatch old_batch_;  // Scratch, reused across batches.
+  TupleBatch new_batch_;  // Scratch, reused across batches.
 };
 
 }  // namespace genmig

@@ -10,9 +10,11 @@
 #ifndef GENMIG_OPS_STATELESS_H_
 #define GENMIG_OPS_STATELESS_H_
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "ops/operator.h"
 
@@ -29,34 +31,76 @@ class Relay : public Operator {
   void OnElement(int, const StreamElement& element) override {
     Emit(0, element);
   }
+
+  void OnBatch(int, const TupleBatch& batch) override { EmitBatch(0, batch); }
 };
 
 /// Snapshot-reducible selection: keeps elements whose tuple satisfies the
 /// predicate; validity intervals are untouched.
+///
+/// The batch path evaluates the predicate over the whole batch into a
+/// selection bitmap, then gathers the surviving rows into one output batch
+/// (the emit decision is data, not control flow). Callers that can evaluate
+/// columnar — e.g. compiled Expr predicates — supply a BatchPredicate that
+/// fills the bitmap straight from the column arrays.
 class Filter : public Operator {
  public:
   using Predicate = std::function<bool(const Tuple&)>;
+  /// Fills `keep` (pre-sized to batch.size(), all zero) with 0/1 per row.
+  using BatchPredicate =
+      std::function<void(const TupleBatch&, std::vector<uint8_t>*)>;
 
-  Filter(std::string name, Predicate predicate)
-      : Operator(std::move(name), 1, 1), predicate_(std::move(predicate)) {}
+  Filter(std::string name, Predicate predicate,
+         BatchPredicate batch_predicate = nullptr)
+      : Operator(std::move(name), 1, 1),
+        predicate_(std::move(predicate)),
+        batch_predicate_(std::move(batch_predicate)) {}
 
  protected:
   void OnElement(int, const StreamElement& element) override {
     if (predicate_(element.tuple)) Emit(0, element);
   }
 
+  void OnBatch(int, const TupleBatch& batch) override {
+    keep_.assign(batch.size(), 0);
+    if (batch_predicate_) {
+      batch_predicate_(batch, &keep_);
+    } else {
+      for (size_t i = 0; i < batch.size(); ++i) {
+        keep_[i] = predicate_(batch.RowTuple(i)) ? 1 : 0;
+      }
+    }
+    out_.Clear();
+    out_.Reserve(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (keep_[i]) out_.AppendRowFrom(batch, i);
+    }
+    EmitBatch(0, out_);
+  }
+
  private:
   Predicate predicate_;
+  BatchPredicate batch_predicate_;
+  std::vector<uint8_t> keep_;  // Scratch, reused across batches.
+  TupleBatch out_;             // Scratch, reused across batches.
 };
 
 /// Snapshot-reducible projection / per-tuple transformation. The function
 /// must be pure; validity intervals are untouched.
+///
+/// Like Filter, the batch path accepts an optional columnar variant that
+/// appends every transformed row of the input batch to the output batch in
+/// one pass over the column arrays (BatchProjection shuffles whole columns).
 class Map : public Operator {
  public:
   using Function = std::function<Tuple(const Tuple&)>;
+  /// Appends one output row per input row (same intervals/epochs/stamps).
+  using BatchFunction = std::function<void(const TupleBatch&, TupleBatch*)>;
 
-  Map(std::string name, Function fn)
-      : Operator(std::move(name), 1, 1), fn_(std::move(fn)) {}
+  Map(std::string name, Function fn, BatchFunction batch_fn = nullptr)
+      : Operator(std::move(name), 1, 1),
+        fn_(std::move(fn)),
+        batch_fn_(std::move(batch_fn)) {}
 
   /// Projection onto the given field indices.
   static Function Projection(std::vector<size_t> indices) {
@@ -65,14 +109,34 @@ class Map : public Operator {
     };
   }
 
+  /// Columnar projection: gathers the selected columns row by row without
+  /// materializing intermediate Tuples.
+  static BatchFunction BatchProjection(std::vector<size_t> indices);
+
  protected:
   void OnElement(int, const StreamElement& element) override {
     Emit(0, StreamElement(fn_(element.tuple), element.interval,
                           element.epoch));
   }
 
+  void OnBatch(int, const TupleBatch& batch) override {
+    out_.Clear();
+    out_.Reserve(batch.size());
+    if (batch_fn_) {
+      batch_fn_(batch, &out_);
+    } else {
+      for (size_t i = 0; i < batch.size(); ++i) {
+        out_.AppendRow(fn_(batch.RowTuple(i)), batch.interval(i),
+                       batch.epoch(i), batch.ingress_ns(i));
+      }
+    }
+    EmitBatch(0, out_);
+  }
+
  private:
   Function fn_;
+  BatchFunction batch_fn_;
+  TupleBatch out_;  // Scratch, reused across batches.
 };
 
 /// Time-based sliding-window operator: extends each element's validity by
@@ -93,9 +157,25 @@ class TimeWindow : public Operator {
     Emit(0, out);
   }
 
+  void OnBatch(int, const TupleBatch& batch) override {
+    out_ = batch;  // Column arrays are copied wholesale, then ends adjusted.
+    for (size_t i = 0; i < out_.size(); ++i) {
+      out_.set_end(i, out_.end(i) + window_);
+    }
+    EmitBatch(0, out_);
+  }
+
  private:
   Duration window_;
+  TupleBatch out_;  // Scratch, reused across batches.
 };
+
+inline Map::BatchFunction Map::BatchProjection(std::vector<size_t> indices) {
+  return [indices = std::move(indices)](const TupleBatch& in,
+                                        TupleBatch* out) {
+    out->AppendColumnsFrom(in, indices);
+  };
+}
 
 }  // namespace genmig
 

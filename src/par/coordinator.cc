@@ -194,6 +194,37 @@ void Coordinator::RouterMain(InputMap inputs) {
   std::vector<std::vector<int>> suppressed(
       spec_.ports.size(), std::vector<int>(nshards, 0));
 
+  const bool batching = options_.batch_size > 1;
+  // A heartbeat at time t to (p, s) must not overtake pending rows starting
+  // before t (the shard-side ordering check rejects them), so a heartbeat
+  // flushes its accumulator first. Thin heartbeats to at least the batch
+  // size so they do not defeat the batching they ride alongside.
+  const int hb_every =
+      batching ? std::max(options_.heartbeat_every,
+                          static_cast<int>(options_.batch_size))
+               : options_.heartbeat_every;
+  // Per (port, shard) row accumulators, shipped as one kBatch message each.
+  std::vector<std::vector<TupleBatch>> acc;
+  if (batching) {
+    acc.assign(spec_.ports.size(), std::vector<TupleBatch>(nshards));
+  }
+  auto flush = [&](size_t p, size_t s) {
+    TupleBatch& pending = acc[p][s];
+    if (pending.empty()) return;
+    ShardInMsg msg;
+    msg.kind = ShardInMsg::Kind::kBatch;
+    msg.port = static_cast<int>(p);
+    msg.batch = std::move(pending);
+    shards_[s]->input().Push(std::move(msg));
+    pending.Clear();
+  };
+  auto flush_all = [&] {
+    if (!batching) return;
+    for (size_t p = 0; p < spec_.ports.size(); ++p) {
+      for (size_t s = 0; s < nshards; ++s) flush(p, s);
+    }
+  };
+
   Timestamp max_routed = Timestamp::MinInstant();
   bool any_routed = false;
 
@@ -231,13 +262,21 @@ void Coordinator::RouterMain(InputMap inputs) {
                                       nshards);
       for (size_t s = 0; s < nshards; ++s) {
         if (s == owner) {
-          ShardInMsg msg;
-          msg.kind = ShardInMsg::Kind::kElement;
-          msg.port = static_cast<int>(p);
-          msg.element = element;
-          shards_[s]->input().Push(std::move(msg));
-        } else if (++suppressed[p][s] >= options_.heartbeat_every) {
+          if (batching) {
+            // Rows land in global temporal order, so the accumulator stays
+            // ordered by t_start for free.
+            acc[p][owner].Append(element);
+            if (acc[p][owner].size() >= options_.batch_size) flush(p, owner);
+          } else {
+            ShardInMsg msg;
+            msg.kind = ShardInMsg::Kind::kElement;
+            msg.port = static_cast<int>(p);
+            msg.element = element;
+            shards_[s]->input().Push(std::move(msg));
+          }
+        } else if (++suppressed[p][s] >= hb_every) {
           suppressed[p][s] = 0;
+          if (batching) flush(p, s);
           ShardInMsg msg;
           msg.kind = ShardInMsg::Kind::kHeartbeat;
           msg.port = static_cast<int>(p);
@@ -254,6 +293,9 @@ void Coordinator::RouterMain(InputMap inputs) {
     // controller needs a nonempty timestamp history anyway.
     for (Scheduled& s : scheduled_) {
       if (!s.fired && any_routed && s.at <= max_routed) {
+        // The broadcast's unthinned heartbeat at max_routed must not
+        // overtake accumulated rows (which all start <= max_routed).
+        flush_all();
         Broadcast(&s, max_routed);
       }
     }
@@ -262,6 +304,7 @@ void Coordinator::RouterMain(InputMap inputs) {
   // Never-fired migrations (scheduled past the end of the data) still fire,
   // provided anything was routed at all — matching the single-threaded
   // engine, where a drain-time migration runs against final state.
+  flush_all();
   for (Scheduled& s : scheduled_) {
     if (!s.fired && any_routed) Broadcast(&s, max_routed);
   }

@@ -56,6 +56,15 @@ class Coordinator {
     /// heartbeat (1 = every element). Larger values cut router fan-out cost;
     /// correctness is unaffected (watermarks only lag, nothing reorders).
     int heartbeat_every = 1;
+    /// Elements per router->shard batch (0 or 1 = per-element routing).
+    /// Rows accumulate in a per-(port, shard) TupleBatch and flush as one
+    /// kBatch message when full, before any heartbeat to that (port, shard)
+    /// (a heartbeat would advance the shard's input watermark past pending
+    /// row starts), before every migration broadcast, and at EOS. Heartbeat
+    /// thinning widens to max(heartbeat_every, batch_size) so heartbeats do
+    /// not break batches up prematurely — watermarks lag by at most a batch,
+    /// which batching implies anyway.
+    size_t batch_size = 0;
     obs::MetricsRegistry* registry = nullptr;  // Nullable.
     obs::MigrationTracer* tracer = nullptr;    // Nullable.
   };

@@ -75,6 +75,23 @@ void MergeSink::Run() {
           std::push_heap(heap_.begin(), heap_.end(), PendingAfter{});
           break;
         }
+        case ShardOutMsg::Kind::kBatch: {
+          // Expand into the heap row by row — the merge itself is inherently
+          // per-element (it interleaves shards), so the batch's job ends at
+          // the queue boundary.
+          for (size_t r = 0; r < msg.batch.size(); ++r) {
+            if (shard_wm_[i] < msg.batch.start(r)) {
+              shard_wm_[i] = msg.batch.start(r);
+            }
+            Pending p;
+            p.element = msg.batch.Row(r);
+            p.shard = msg.shard;
+            p.seq = shard_seq_[i]++;
+            heap_.push_back(std::move(p));
+            std::push_heap(heap_.begin(), heap_.end(), PendingAfter{});
+          }
+          break;
+        }
         case ShardOutMsg::Kind::kWatermark:
           if (shard_wm_[i] < msg.time) shard_wm_[i] = msg.time;
           break;

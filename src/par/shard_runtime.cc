@@ -50,6 +50,15 @@ ShardRuntime::ShardRuntime(Config config)
     msg.element = e;
     out->Push(std::move(msg));
   };
+  out_cb_->on_batch = [out, shard](const TupleBatch& batch) {
+    // Whole batches cross the shard->merge queue intact: one Push (one lock
+    // round trip) per batch instead of per element.
+    ShardOutMsg msg;
+    msg.kind = ShardOutMsg::Kind::kBatch;
+    msg.shard = shard;
+    msg.batch = batch;
+    out->Push(std::move(msg));
+  };
   out_cb_->on_watermark = [out, shard](Timestamp wm) {
     if (wm == Timestamp::MaxInstant()) return;
     ShardOutMsg msg;
@@ -100,6 +109,11 @@ void ShardRuntime::Handle(const ShardInMsg& msg) {
     case ShardInMsg::Kind::kElement:
       elements_processed_.fetch_add(1, std::memory_order_relaxed);
       target.op->PushElement(target.port, msg.element);
+      break;
+    case ShardInMsg::Kind::kBatch:
+      elements_processed_.fetch_add(msg.batch.size(),
+                                    std::memory_order_relaxed);
+      target.op->PushBatch(target.port, msg.batch);
       break;
     case ShardInMsg::Kind::kHeartbeat:
       target.op->PushHeartbeat(target.port, msg.time);

@@ -39,20 +39,22 @@ struct MigrationOrder {
 
 /// Router -> shard message.
 struct ShardInMsg {
-  enum class Kind : uint8_t { kElement, kHeartbeat, kEos, kMigrate };
+  enum class Kind : uint8_t { kElement, kBatch, kHeartbeat, kEos, kMigrate };
   Kind kind = Kind::kElement;
   int port = 0;
   StreamElement element;                        // kElement
+  TupleBatch batch;                             // kBatch
   Timestamp time;                               // kHeartbeat
   std::shared_ptr<const MigrationOrder> order;  // kMigrate
 };
 
 /// Shard -> merge message.
 struct ShardOutMsg {
-  enum class Kind : uint8_t { kElement, kWatermark, kEos };
+  enum class Kind : uint8_t { kElement, kBatch, kWatermark, kEos };
   Kind kind = Kind::kElement;
   int shard = 0;
   StreamElement element;  // kElement
+  TupleBatch batch;       // kBatch
   Timestamp time;         // kWatermark
 };
 

@@ -56,7 +56,7 @@ int Executor::PickFeed() {
   return -1;
 }
 
-bool Executor::Step() {
+bool Executor::StepUpTo(Timestamp limit) {
   const int feed_idx = PickFeed();
   if (feed_idx < 0) {
     // Everything pushed; make sure all sources are closed.
@@ -71,13 +71,52 @@ bool Executor::Step() {
     return closed_any;
   }
   Feed& feed = feeds_[static_cast<size_t>(feed_idx)];
-  const StreamElement& element = feed.elements[feed.pos++];
-  if (current_time_ < element.interval.start) {
-    current_time_ = element.interval.start;
+  if (options_.batch_size <= 1) {
+    const StreamElement& element = feed.elements[feed.pos++];
+    if (current_time_ < element.interval.start) {
+      current_time_ = element.interval.start;
+    }
+    feed.source->Inject(element);
+    --remaining_;
+    ++pushed_;
+  } else {
+    // Gather up to batch_size consecutive elements of this feed. Under
+    // kGlobalOrder the batch must not overtake another feed: rows past the
+    // first stop at the smallest pending start of the other feeds (ties may
+    // ride along — equal-timestamp interleavings across feeds are already
+    // policy-dependent in the scalar path).
+    Timestamp other_min = Timestamp::MaxInstant();
+    if (options_.policy == Policy::kGlobalOrder) {
+      for (size_t i = 0; i < feeds_.size(); ++i) {
+        if (static_cast<int>(i) == feed_idx) continue;
+        const Feed& f = feeds_[i];
+        if (f.pos >= f.elements.size()) continue;
+        const Timestamp ts = f.elements[f.pos].interval.start;
+        if (ts < other_min) other_min = ts;
+      }
+    }
+    batch_scratch_.Clear();
+    size_t count = 0;
+    while (count < options_.batch_size &&
+           feed.pos + count < feed.elements.size()) {
+      const StreamElement& e = feed.elements[feed.pos + count];
+      // The first row is always pushed (scalar Step semantics — RunUntil's
+      // pre-check owns the boundary); the limit and the no-overtake rule
+      // only truncate the extra rows.
+      if (count > 0 && !(e.interval.start < limit)) break;
+      if (count > 0 && other_min < e.interval.start) break;
+      batch_scratch_.Append(e);
+      ++count;
+    }
+    GENMIG_CHECK_GT(count, 0u);  // PickFeed guarantees a pushable element.
+    feed.pos += count;
+    if (current_time_ < batch_scratch_.start(count - 1)) {
+      current_time_ = batch_scratch_.start(count - 1);
+    }
+    feed.source->InjectBatch(batch_scratch_);
+    remaining_ -= count;
+    pushed_ += count;
   }
-  feed.source->Inject(element);
-  --remaining_;
-  ++pushed_;
   if (feed.pos >= feed.elements.size() && !feed.closed) {
     feed.source->Close();
     feed.closed = true;
@@ -106,7 +145,7 @@ void Executor::RunUntil(Timestamp t) {
       }
     }
     if (best < 0 || !(best_ts < t)) return;
-    if (!Step()) return;
+    if (!StepUpTo(t)) return;
   }
 }
 

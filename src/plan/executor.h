@@ -37,6 +37,12 @@ class Executor {
     /// join output buffers, the GenMig coalesce state) minimal under
     /// application-time skew, at the cost of extra control messages.
     bool eager_heartbeats = false;
+    /// 0 or 1: scalar injection (one element per Step). Greater than 1: each
+    /// Step injects up to this many consecutive elements of the chosen feed
+    /// as one TupleBatch (vectorized path). Under kGlobalOrder a batch never
+    /// overtakes another feed's pending element, so the global temporal
+    /// order across feeds is preserved at batch granularity.
+    size_t batch_size = 0;
   };
 
   Executor() : Executor(Options{}) {}
@@ -68,9 +74,10 @@ class Executor {
     source(feed)->ConnectTo(0, op, port);
   }
 
-  /// Pushes one element (policy-chosen feed). Returns false when every feed
-  /// is exhausted (all sources closed).
-  bool Step();
+  /// Pushes one element — or, with Options::batch_size > 1, one batch — from
+  /// the policy-chosen feed. Returns false when every feed is exhausted (all
+  /// sources closed).
+  bool Step() { return StepUpTo(Timestamp::MaxInstant()); }
 
   /// Runs until all feeds are exhausted and closed.
   void RunToCompletion() {
@@ -101,6 +108,10 @@ class Executor {
 
   int PickFeed();
 
+  /// Step, but never pushing an element with start >= `limit` (RunUntil's
+  /// boundary; batches are truncated at the limit, not skipped past it).
+  bool StepUpTo(Timestamp limit);
+
   Options options_;
   std::mt19937_64 rng_;
   std::vector<Feed> feeds_;
@@ -108,6 +119,7 @@ class Executor {
   size_t remaining_ = 0;
   size_t pushed_ = 0;
   Timestamp current_time_ = Timestamp::MinInstant();
+  TupleBatch batch_scratch_;  // Reused across batched Steps.
 };
 
 }  // namespace genmig

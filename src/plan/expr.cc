@@ -19,6 +19,72 @@ bool NumericEq(const Value& a, const Value& b) {
   return a == b;
 }
 
+bool EvalCmp(Expr::CmpOp op, const Value& l, const Value& r) {
+  switch (op) {
+    case Expr::CmpOp::kEq:
+      return NumericEq(l, r);
+    case Expr::CmpOp::kNe:
+      return !NumericEq(l, r);
+    case Expr::CmpOp::kLt:
+      return Compare3Way(l, r) < 0;
+    case Expr::CmpOp::kLe:
+      return Compare3Way(l, r) <= 0;
+    case Expr::CmpOp::kGt:
+      return Compare3Way(l, r) > 0;
+    case Expr::CmpOp::kGe:
+      return Compare3Way(l, r) >= 0;
+  }
+  GENMIG_CHECK(false);
+}
+
+Value EvalArith(Expr::ArithOp op, const Value& l, const Value& r) {
+  if (l.is_int64() && r.is_int64()) {
+    const int64_t a = l.AsInt64();
+    const int64_t b = r.AsInt64();
+    switch (op) {
+      case Expr::ArithOp::kAdd:
+        return Value(a + b);
+      case Expr::ArithOp::kSub:
+        return Value(a - b);
+      case Expr::ArithOp::kMul:
+        return Value(a * b);
+      case Expr::ArithOp::kDiv:
+        GENMIG_CHECK_NE(b, 0);
+        return Value(a / b);
+    }
+  }
+  const double a = l.AsNumeric();
+  const double b = r.AsNumeric();
+  switch (op) {
+    case Expr::ArithOp::kAdd:
+      return Value(a + b);
+    case Expr::ArithOp::kSub:
+      return Value(a - b);
+    case Expr::ArithOp::kMul:
+      return Value(a * b);
+    case Expr::ArithOp::kDiv:
+      return Value(a / b);
+  }
+  GENMIG_CHECK(false);
+}
+
+bool Truthy(const Value& v) {
+  if (v.is_string()) return !v.AsString().empty();
+  return v.AsNumeric() != 0.0;
+}
+
+/// Resolves an operand subtree to one Value per row. Plain column references
+/// alias the batch's column array (no copy); anything else is evaluated into
+/// `scratch`.
+const std::vector<Value>* ResolveOperand(const Expr& e, const TupleBatch& batch,
+                                         std::vector<Value>* scratch) {
+  if (e.kind() == Expr::Kind::kColumn) {
+    return &batch.column(e.column_index());
+  }
+  e.EvalBatch(batch, scratch);
+  return scratch;
+}
+
 }  // namespace
 
 ExprPtr Expr::Column(size_t index, std::string name) {
@@ -79,65 +145,12 @@ Value Expr::Eval(const Tuple& tuple) const {
       return tuple.field(column_index_);
     case Kind::kConst:
       return constant_;
-    case Kind::kCompare: {
-      const Value l = children_[0]->Eval(tuple);
-      const Value r = children_[1]->Eval(tuple);
-      bool result = false;
-      switch (cmp_op_) {
-        case CmpOp::kEq:
-          result = NumericEq(l, r);
-          break;
-        case CmpOp::kNe:
-          result = !NumericEq(l, r);
-          break;
-        case CmpOp::kLt:
-          result = Compare3Way(l, r) < 0;
-          break;
-        case CmpOp::kLe:
-          result = Compare3Way(l, r) <= 0;
-          break;
-        case CmpOp::kGt:
-          result = Compare3Way(l, r) > 0;
-          break;
-        case CmpOp::kGe:
-          result = Compare3Way(l, r) >= 0;
-          break;
-      }
-      return Value(static_cast<int64_t>(result));
-    }
-    case Kind::kArith: {
-      const Value l = children_[0]->Eval(tuple);
-      const Value r = children_[1]->Eval(tuple);
-      if (l.is_int64() && r.is_int64()) {
-        const int64_t a = l.AsInt64();
-        const int64_t b = r.AsInt64();
-        switch (arith_op_) {
-          case ArithOp::kAdd:
-            return Value(a + b);
-          case ArithOp::kSub:
-            return Value(a - b);
-          case ArithOp::kMul:
-            return Value(a * b);
-          case ArithOp::kDiv:
-            GENMIG_CHECK_NE(b, 0);
-            return Value(a / b);
-        }
-      }
-      const double a = l.AsNumeric();
-      const double b = r.AsNumeric();
-      switch (arith_op_) {
-        case ArithOp::kAdd:
-          return Value(a + b);
-        case ArithOp::kSub:
-          return Value(a - b);
-        case ArithOp::kMul:
-          return Value(a * b);
-        case ArithOp::kDiv:
-          return Value(a / b);
-      }
-      GENMIG_CHECK(false);
-      [[fallthrough]];
-    }
+    case Kind::kCompare:
+      return Value(static_cast<int64_t>(EvalCmp(
+          cmp_op_, children_[0]->Eval(tuple), children_[1]->Eval(tuple))));
+    case Kind::kArith:
+      return EvalArith(arith_op_, children_[0]->Eval(tuple),
+                       children_[1]->Eval(tuple));
     case Kind::kAnd:
       return Value(static_cast<int64_t>(children_[0]->EvalBool(tuple) &&
                                         children_[1]->EvalBool(tuple)));
@@ -151,9 +164,101 @@ Value Expr::Eval(const Tuple& tuple) const {
 }
 
 bool Expr::EvalBool(const Tuple& tuple) const {
-  const Value v = Eval(tuple);
-  if (v.is_string()) return !v.AsString().empty();
-  return v.AsNumeric() != 0.0;
+  return Truthy(Eval(tuple));
+}
+
+void Expr::EvalBatch(const TupleBatch& batch, std::vector<Value>* out) const {
+  const size_t n = batch.size();
+  switch (kind_) {
+    case Kind::kColumn:
+      *out = batch.column(column_index_);
+      return;
+    case Kind::kConst:
+      out->assign(n, constant_);
+      return;
+    case Kind::kCompare: {
+      std::vector<Value> ls, rs;
+      const std::vector<Value>* l = ResolveOperand(*children_[0], batch, &ls);
+      const std::vector<Value>* r = ResolveOperand(*children_[1], batch, &rs);
+      out->clear();
+      out->reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        out->emplace_back(
+            static_cast<int64_t>(EvalCmp(cmp_op_, (*l)[i], (*r)[i])));
+      }
+      return;
+    }
+    case Kind::kArith: {
+      std::vector<Value> ls, rs;
+      const std::vector<Value>* l = ResolveOperand(*children_[0], batch, &ls);
+      const std::vector<Value>* r = ResolveOperand(*children_[1], batch, &rs);
+      out->clear();
+      out->reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        out->push_back(EvalArith(arith_op_, (*l)[i], (*r)[i]));
+      }
+      return;
+    }
+    case Kind::kAnd:
+    case Kind::kOr:
+    case Kind::kNot: {
+      std::vector<uint8_t> keep;
+      EvalBoolBatch(batch, &keep);
+      out->clear();
+      out->reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        out->emplace_back(static_cast<int64_t>(keep[i]));
+      }
+      return;
+    }
+  }
+  GENMIG_CHECK(false);
+}
+
+void Expr::EvalBoolBatch(const TupleBatch& batch,
+                         std::vector<uint8_t>* keep) const {
+  const size_t n = batch.size();
+  switch (kind_) {
+    case Kind::kCompare: {
+      std::vector<Value> ls, rs;
+      const std::vector<Value>* l = ResolveOperand(*children_[0], batch, &ls);
+      const std::vector<Value>* r = ResolveOperand(*children_[1], batch, &rs);
+      keep->resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        (*keep)[i] = EvalCmp(cmp_op_, (*l)[i], (*r)[i]) ? 1 : 0;
+      }
+      return;
+    }
+    case Kind::kAnd: {
+      std::vector<uint8_t> rhs;
+      children_[0]->EvalBoolBatch(batch, keep);
+      children_[1]->EvalBoolBatch(batch, &rhs);
+      for (size_t i = 0; i < n; ++i) (*keep)[i] &= rhs[i];
+      return;
+    }
+    case Kind::kOr: {
+      std::vector<uint8_t> rhs;
+      children_[0]->EvalBoolBatch(batch, keep);
+      children_[1]->EvalBoolBatch(batch, &rhs);
+      for (size_t i = 0; i < n; ++i) (*keep)[i] |= rhs[i];
+      return;
+    }
+    case Kind::kNot: {
+      children_[0]->EvalBoolBatch(batch, keep);
+      for (size_t i = 0; i < n; ++i) (*keep)[i] ^= 1;
+      return;
+    }
+    case Kind::kColumn:
+    case Kind::kConst:
+    case Kind::kArith: {
+      std::vector<Value> vals;
+      const std::vector<Value>* v = ResolveOperand(*this, batch, &vals);
+      keep->resize(n);
+      for (size_t i = 0; i < n; ++i) (*keep)[i] = Truthy((*v)[i]) ? 1 : 0;
+      return;
+    }
+  }
+  GENMIG_CHECK(false);
 }
 
 void Expr::CollectColumns(std::vector<size_t>* out) const {

@@ -6,6 +6,7 @@
 #ifndef GENMIG_PLAN_EXPR_H_
 #define GENMIG_PLAN_EXPR_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -13,6 +14,7 @@
 #include "common/schema.h"
 #include "common/status.h"
 #include "common/tuple.h"
+#include "stream/batch.h"
 
 namespace genmig {
 
@@ -56,6 +58,21 @@ class Expr {
 
   /// Evaluates as a boolean (non-zero numeric = true).
   bool EvalBool(const Tuple& tuple) const;
+
+  // --- Columnar evaluation (vectorized execution path) ----------------------
+  // Same semantics as Eval/EvalBool applied row by row, but operands are read
+  // straight from the batch's column arrays: plain column references cost no
+  // copy and no Tuple materialization, and the operator dispatch is hoisted
+  // out of the row loop.
+
+  /// Evaluates the tree for every row of `batch` into `out` (one Value per
+  /// row; `out` is overwritten).
+  void EvalBatch(const TupleBatch& batch, std::vector<Value>* out) const;
+
+  /// Evaluates the tree as a boolean per row into the selection bitmap
+  /// `keep` (resized to batch.size(); 0/1 per row).
+  void EvalBoolBatch(const TupleBatch& batch,
+                     std::vector<uint8_t>* keep) const;
 
   /// Set of column indices referenced anywhere in the tree.
   void CollectColumns(std::vector<size_t>* out) const;

@@ -125,7 +125,10 @@ FuzzCase MakeCase(uint64_t seed) {
 
 /// Runs one seeded case end to end and checks the output against the
 /// no-migration oracle. Returns the number of completed migrations.
-int RunOneSeed(uint64_t seed) {
+/// `batch_size` > 1 drives the identical case through the vectorized
+/// injection path (Executor::Options::batch_size — PushBatch all the way to
+/// the controller, including mid-batch T_split slicing).
+int RunOneSeed(uint64_t seed, size_t batch_size = 0) {
   std::mt19937_64 rng(seed ^ 0x9e3779b97f4a7c15ull);
   const FuzzCase c = MakeCase(seed);
 
@@ -152,6 +155,7 @@ int RunOneSeed(uint64_t seed) {
                                            : Executor::Policy::kRandom;
   exec_options.seed = seed;
   exec_options.eager_heartbeats = rng() % 2 == 0;
+  exec_options.batch_size = batch_size;
   // Non-global-order scheduling interleaves sources arbitrarily; the merged
   // output is still snapshot-equivalent but only per-input ordered.
   const bool relax = exec_options.policy != Executor::Policy::kGlobalOrder;
@@ -190,7 +194,7 @@ int RunOneSeed(uint64_t seed) {
 /// count must produce a stream that is snapshot-equivalent to the oracle
 /// AND canonically byte-identical across shard counts, with one coordinated
 /// mid-run GenMig; a repeat run must be byte-identical raw (determinism).
-void RunOneParallelSeed(uint64_t seed) {
+void RunOneParallelSeed(uint64_t seed, size_t batch_size = 0) {
   std::mt19937_64 rng(seed ^ 0xc2b2ae3d27d4eb4full);
   const FuzzCase c = MakeCase(seed);
   const bool dedup = c.old_plan->kind == LogicalNode::Kind::kDedup;
@@ -209,6 +213,7 @@ void RunOneParallelSeed(uint64_t seed) {
     options.shards = shards;
     options.queue_capacity = queue_capacity;
     options.heartbeat_every = 1 + static_cast<int>(rng() % 4);
+    options.batch_size = batch_size;
     par::Coordinator coordinator(c.old_plan, options);
     EXPECT_TRUE(coordinator.spec().ok) << coordinator.spec().reason;
     EXPECT_TRUE(coordinator.ScheduleGenMig(c.new_plan, at, base).ok());
@@ -240,6 +245,7 @@ void RunOneParallelSeed(uint64_t seed) {
       par::Coordinator::Options options;
       options.shards = shards;
       options.queue_capacity = queue_capacity;
+      options.batch_size = batch_size;
       par::Coordinator repeat(c.old_plan, options);
       EXPECT_TRUE(repeat.ScheduleGenMig(c.new_plan, at, base).ok());
       Result<MaterializedStream> again = repeat.Run(c.inputs);
@@ -257,6 +263,48 @@ TEST(EquivalenceFuzzTest, ShardedRunsAreByteIdenticalAcrossShardCounts) {
     const uint64_t seed = 7000 + i;
     SCOPED_TRACE("seed=" + std::to_string(seed));
     RunOneParallelSeed(seed);
+    if (::testing::Test::HasFailure()) {
+      ADD_FAILURE() << "first failing seed: " << seed;
+      break;
+    }
+  }
+}
+
+// Batched mode over the SAME seed sequence as the scalar test below: the
+// identical cases (plans, inputs, triggers, scheduling policies) run through
+// the vectorized injection path with a seed-derived batch size. Any
+// divergence between the Push and PushBatch execution paths fails the same
+// oracle check on the same seed — a batch/scalar differential at system
+// scope, migrations included.
+TEST(EquivalenceFuzzTest, BatchedRandomPlansSurviveRandomAutoMigrations) {
+  const size_t iters = NumIters();
+  int total_migrations = 0;
+  for (size_t i = 0; i < iters; ++i) {
+    const uint64_t seed = 1000 + i;
+    const size_t batch_size = 2 + (seed * 2654435761u) % 255;
+    SCOPED_TRACE("seed=" + std::to_string(seed) +
+                 " batch_size=" + std::to_string(batch_size));
+    total_migrations += RunOneSeed(seed, batch_size);
+    if (::testing::Test::HasFailure()) {
+      ADD_FAILURE() << "first failing seed: " << seed;
+      break;
+    }
+  }
+  EXPECT_GE(total_migrations, static_cast<int>(iters / 3))
+      << "batched fuzz harness migrated too rarely to be meaningful";
+}
+
+// Sharded AND batched: the router accumulates per-(port, shard) TupleBatches
+// and the shard replicas run the vectorized path; the canonical output must
+// still match the 1-shard run exactly.
+TEST(EquivalenceFuzzTest, ShardedBatchedRunsMatchScalarCanonicalForm) {
+  const size_t iters = NumIters();
+  for (size_t i = 0; i < iters; ++i) {
+    const uint64_t seed = 7000 + i;
+    const size_t batch_size = 2 + (seed * 2654435761u) % 127;
+    SCOPED_TRACE("seed=" + std::to_string(seed) +
+                 " batch_size=" + std::to_string(batch_size));
+    RunOneParallelSeed(seed, batch_size);
     if (::testing::Test::HasFailure()) {
       ADD_FAILURE() << "first failing seed: " << seed;
       break;

@@ -1,0 +1,110 @@
+#include "stream/batch.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace genmig {
+namespace {
+
+using testutil::El;
+using testutil::El2;
+
+TEST(TupleBatchTest, AppendExplodesIntoColumns) {
+  TupleBatch b;
+  b.Append(El2(1, 10, 5, 8, /*epoch=*/2));
+  b.Append(El2(2, 20, 6, 9));
+  ASSERT_EQ(b.size(), 2u);
+  ASSERT_EQ(b.num_columns(), 2u);
+  EXPECT_EQ(b.at(0, 0).AsInt64(), 1);
+  EXPECT_EQ(b.at(1, 0).AsInt64(), 10);
+  EXPECT_EQ(b.at(0, 1).AsInt64(), 2);
+  EXPECT_EQ(b.at(1, 1).AsInt64(), 20);
+  EXPECT_EQ(b.interval(0), TimeInterval(5, 8));
+  EXPECT_EQ(b.interval(1), TimeInterval(6, 9));
+  EXPECT_EQ(b.epoch(0), 2u);
+  EXPECT_EQ(b.epoch(1), 0u);
+}
+
+TEST(TupleBatchTest, RowGathersBackTheElement) {
+  const StreamElement e = El2(7, 8, 5, 9, /*epoch=*/3);
+  TupleBatch b;
+  b.Append(e);
+  const StreamElement back = b.Row(0);
+  EXPECT_EQ(back.tuple, e.tuple);
+  EXPECT_EQ(back.interval, e.interval);
+  EXPECT_EQ(back.epoch, e.epoch);
+}
+
+TEST(TupleBatchTest, ClearKeepsArity) {
+  TupleBatch b;
+  b.Append(El2(1, 2, 0, 1));
+  b.Clear();
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.num_columns(), 2u);
+  b.Append(El2(3, 4, 1, 2));
+  EXPECT_EQ(b.size(), 1u);
+}
+
+TEST(TupleBatchTest, OrderedByStartDetectsRegression) {
+  TupleBatch b;
+  b.Append(El(1, 5, 6));
+  b.Append(El(2, 5, 9));  // Equal starts are fine.
+  EXPECT_TRUE(b.OrderedByStart());
+  b.Append(El(3, 4, 10));
+  EXPECT_FALSE(b.OrderedByStart());
+}
+
+TEST(TupleBatchTest, FromStreamToStreamRoundTrips) {
+  MaterializedStream s = {El(1, 0, 4), El(2, 1, 5), El(3, 2, 6), El(4, 3, 7)};
+  const TupleBatch b = TupleBatch::FromStream(s, 1, 2);
+  ASSERT_EQ(b.size(), 2u);
+  const MaterializedStream back = b.ToStream();
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0], s[1]);
+  EXPECT_EQ(back[1], s[2]);
+}
+
+TEST(TupleBatchTest, AppendRowFromOverridesInterval) {
+  TupleBatch src;
+  src.Append(El(9, 10, 30));
+  TupleBatch dst;
+  dst.AppendRowFrom(src, 0, TimeInterval(10, 20));  // Split-style clip.
+  ASSERT_EQ(dst.size(), 1u);
+  EXPECT_EQ(dst.at(0, 0).AsInt64(), 9);
+  EXPECT_EQ(dst.interval(0), TimeInterval(10, 20));
+}
+
+TEST(TupleBatchTest, AppendColumnsFromProjectsWholeBatch) {
+  TupleBatch src;
+  src.Append(El2(1, 10, 0, 5, /*epoch=*/1));
+  src.Append(El2(2, 20, 1, 6));
+  TupleBatch dst;
+  dst.AppendColumnsFrom(src, {1});
+  ASSERT_EQ(dst.size(), 2u);
+  ASSERT_EQ(dst.num_columns(), 1u);
+  EXPECT_EQ(dst.at(0, 0).AsInt64(), 10);
+  EXPECT_EQ(dst.at(0, 1).AsInt64(), 20);
+  EXPECT_EQ(dst.interval(0), TimeInterval(0, 5));
+  EXPECT_EQ(dst.epoch(0), 1u);
+
+  // Column duplication and reordering are legal projections too.
+  TupleBatch dup;
+  dup.AppendColumnsFrom(src, {1, 0, 1});
+  ASSERT_EQ(dup.num_columns(), 3u);
+  EXPECT_EQ(dup.at(0, 1).AsInt64(), 20);
+  EXPECT_EQ(dup.at(1, 1).AsInt64(), 2);
+  EXPECT_EQ(dup.at(2, 1).AsInt64(), 20);
+  EXPECT_EQ(dup.at(0, 0).AsInt64(), 10);
+  EXPECT_EQ(dup.at(1, 0).AsInt64(), 1);
+}
+
+TEST(TupleBatchTest, SetEndMutatesInterval) {
+  TupleBatch b;
+  b.Append(El(1, 3, 4));
+  b.set_end(0, Timestamp(104));  // TimeWindow's batch path.
+  EXPECT_EQ(b.interval(0), TimeInterval(3, 104));
+}
+
+}  // namespace
+}  // namespace genmig

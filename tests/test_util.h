@@ -67,6 +67,59 @@ inline MaterializedStream RunBinary(Operator* op,
   return sink.collected();
 }
 
+/// Like RunUnary, but injects the input as TupleBatches of `batch_rows`
+/// rows each — the vectorized twin for batch/scalar differential tests.
+inline MaterializedStream RunUnaryBatched(Operator* op,
+                                          const MaterializedStream& input,
+                                          size_t batch_rows) {
+  Source src("src");
+  CollectorSink sink("sink");
+  src.ConnectTo(0, op, 0);
+  op->ConnectTo(0, &sink, 0);
+  for (size_t i = 0; i < input.size(); i += batch_rows) {
+    TupleBatch batch = TupleBatch::FromStream(
+        input, i, std::min(batch_rows, input.size() - i));
+    src.InjectBatch(batch);
+  }
+  src.Close();
+  return sink.collected();
+}
+
+/// Like RunBinary, but each input is cut into TupleBatches of `batch_rows`
+/// rows and the two batch sequences interleave by first-row start.
+inline MaterializedStream RunBinaryBatched(Operator* op,
+                                           const MaterializedStream& in0,
+                                           const MaterializedStream& in1,
+                                           size_t batch_rows) {
+  Source src0("src0");
+  Source src1("src1");
+  CollectorSink sink("sink");
+  src0.ConnectTo(0, op, 0);
+  src1.ConnectTo(0, op, 1);
+  op->ConnectTo(0, &sink, 0);
+  size_t i = 0;
+  size_t j = 0;
+  while (i < in0.size() || j < in1.size()) {
+    const bool take0 =
+        j >= in1.size() ||
+        (i < in0.size() && in0[i].interval.start <= in1[j].interval.start);
+    if (take0) {
+      TupleBatch batch = TupleBatch::FromStream(
+          in0, i, std::min(batch_rows, in0.size() - i));
+      src0.InjectBatch(batch);
+      i += batch.size();
+    } else {
+      TupleBatch batch = TupleBatch::FromStream(
+          in1, j, std::min(batch_rows, in1.size() - j));
+      src1.InjectBatch(batch);
+      j += batch.size();
+    }
+  }
+  src0.Close();
+  src1.Close();
+  return sink.collected();
+}
+
 /// Total multiplicity-weighted duration of a tuple's validity: sum over
 /// elements with this tuple of (end - start), counting only chronon-0 width.
 inline int64_t TotalValidity(const MaterializedStream& s, const Tuple& t) {

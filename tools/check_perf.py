@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for the vectorized hot paths.
+
+Compares a google-benchmark JSON result file (bench/micro_operators run with
+--benchmark_format=json) against the thresholds recorded in
+BENCH_hotpath.json and exits non-zero when either check fails:
+
+  1. Absolute throughput: each gated benchmark's items_per_second must stay
+     above baseline * (1 - max_drop_fraction). Baselines are recorded numbers
+     from a reference machine, so the default slack is generous (25%); the
+     gate exists to catch order-of-magnitude regressions (a batched path
+     silently falling back to scalar), not single-digit noise.
+  2. Speedup ratios: machine-independent ratios between benchmarks measured
+     in the SAME run (batched vs scalar join probe, fused+batched vs scalar
+     stateless chain). These are the real acceptance criteria and are immune
+     to runner speed differences.
+
+Usage:
+  check_perf.py --results results.json [--baseline BENCH_hotpath.json]
+  check_perf.py --results results.json --write-baseline BENCH_hotpath.json
+
+PRs labeled `perf-override` skip this gate in CI (see
+.github/workflows/ci.yml); use the label for changes that intentionally
+trade hot-path throughput and say why in the PR description, then refresh
+the baseline with --write-baseline on the reference machine.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_results(path):
+    """Returns {benchmark name: items_per_second} from google-benchmark JSON."""
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench["name"]
+        ips = bench.get("items_per_second")
+        if ips is not None:
+            # Repetitions repeat the name; keep the best (least-noisy) run.
+            out[name] = max(out.get(name, 0.0), float(ips))
+    return out
+
+
+def check(baseline, results):
+    failures = []
+    max_drop = float(baseline.get("max_drop_fraction", 0.25))
+
+    for name, entry in baseline.get("benchmarks", {}).items():
+        recorded = float(entry["items_per_second"])
+        floor = recorded * (1.0 - max_drop)
+        measured = results.get(name)
+        if measured is None:
+            failures.append(f"{name}: missing from results (renamed or not run?)")
+            continue
+        status = "OK" if measured >= floor else "FAIL"
+        print(
+            f"[{status}] {name}: {measured:,.0f} items/s "
+            f"(baseline {recorded:,.0f}, floor {floor:,.0f})"
+        )
+        if measured < floor:
+            failures.append(
+                f"{name}: {measured:,.0f} items/s is more than "
+                f"{max_drop:.0%} below the recorded {recorded:,.0f}"
+            )
+
+    for key, spec in baseline.get("ratios", {}).items():
+        num = results.get(spec["num"])
+        den = results.get(spec["den"])
+        if num is None or den is None or den == 0:
+            failures.append(f"ratio {key}: missing operand benchmark")
+            continue
+        ratio = num / den
+        minimum = float(spec["min"])
+        status = "OK" if ratio >= minimum else "FAIL"
+        print(
+            f"[{status}] {key}: {ratio:.2f}x "
+            f"({spec['num']} / {spec['den']}, minimum {minimum:.2f}x)"
+        )
+        if ratio < minimum:
+            failures.append(f"ratio {key}: {ratio:.2f}x < required {minimum:.2f}x")
+
+    return failures
+
+
+def write_baseline(path, results, old):
+    """Refreshes recorded throughputs, keeping gate config from `old`."""
+    gated = old.get("benchmarks", {}) if old else {}
+    names = list(gated) or sorted(results)
+    doc = {
+        "_comment": (
+            "Perf-gate baselines for bench/micro_operators (items/second). "
+            "Regenerate on the reference machine with "
+            "tools/check_perf.py --results r.json --write-baseline "
+            "BENCH_hotpath.json. CI fails when a gated benchmark drops more "
+            "than max_drop_fraction below its record, or a speedup ratio "
+            "falls under its minimum."
+        ),
+        "max_drop_fraction": old.get("max_drop_fraction", 0.25) if old else 0.25,
+        "benchmarks": {
+            name: {"items_per_second": results[name]}
+            for name in names
+            if name in results
+        },
+        "ratios": old.get("ratios", {}) if old else {},
+    }
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=False)
+        f.write("\n")
+    print(f"wrote {path} with {len(doc['benchmarks'])} baselines")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--results", required=True,
+                        help="google-benchmark JSON output")
+    parser.add_argument("--baseline", default="BENCH_hotpath.json")
+    parser.add_argument("--write-baseline", metavar="PATH",
+                        help="refresh recorded throughputs instead of checking")
+    args = parser.parse_args()
+
+    results = load_results(args.results)
+    if not results:
+        print("no benchmark results found", file=sys.stderr)
+        return 2
+
+    old = None
+    try:
+        with open(args.baseline) as f:
+            old = json.load(f)
+    except FileNotFoundError:
+        if not args.write_baseline:
+            print(f"baseline {args.baseline} not found", file=sys.stderr)
+            return 2
+
+    if args.write_baseline:
+        write_baseline(args.write_baseline, results, old)
+        return 0
+
+    failures = check(old, results)
+    if failures:
+        print("\nPerf gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        print(
+            "\nIf the regression is intentional, label the PR "
+            "`perf-override` and refresh BENCH_hotpath.json.",
+            file=sys.stderr,
+        )
+        return 1
+    print("\nPerf gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
