@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "toolchain.h"
 
 using namespace genmig;         // NOLINT
 using namespace genmig::bench;  // NOLINT
@@ -100,7 +101,7 @@ int main() {
               pt.e2e_p50_ns / 1000.0, pt.e2e_p99_ns / 1000.0);
 
   const char* json_path = "BENCH_fig4_output_rate.json";
-  if (obs::WriteFile(json_path, gm.metrics_json)) {
+  if (obs::WriteFile(json_path, WithToolchain(gm.metrics_json))) {
     std::printf("per-operator metrics + migration phase timings written to "
                 "%s\n", json_path);
   } else {

@@ -6,8 +6,11 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <memory>
+#include <string>
 #include <type_traits>
 
+#include "codegen/engine.h"
 #include "ops/aggregate.h"
 #include "ops/coalesce.h"
 #include "ops/dedup.h"
@@ -18,8 +21,11 @@
 #include "ops/source.h"
 #include "ops/split.h"
 #include "ops/stateless.h"
+#include "plan/compile.h"
+#include "plan/logical.h"
 #include "stream/batch.h"
 #include "stream/generator.h"
+#include "toolchain.h"
 
 namespace genmig {
 namespace {
@@ -258,6 +264,156 @@ void BM_StatelessChainFusedBatched(benchmark::State& state) {
 }
 BENCHMARK(BM_StatelessChainFusedBatched)->Arg(20000);
 
+// --- Codegen (ahead-of-time native compilation) pairs -----------------------
+//
+// The compiled benchmarks and their interpreted twins compile the SAME
+// logical plan — once with codegen hooks (native plugin per query shape),
+// once without (PR 6 fused/batched interpreter) — so the measured gap is
+// purely native straight-line code vs the vectorized interpreter. The CI
+// perf gate (BENCH_hotpath.json, tools/check_perf.py) holds compiled over
+// interpreted-batched at >= 1.5x for both workloads; on machines with no
+// host toolchain the compiled benchmarks SkipWithError and the gate treats
+// them as absent.
+
+/// One codegen engine (one shape cache) for the whole bench binary: the
+/// native plugins compile once outside the timed regions.
+std::shared_ptr<const CodegenHooks> BenchCodegenHooks() {
+  static std::shared_ptr<const CodegenHooks> hooks =
+      codegen::Engine::MakeHooks(std::make_shared<codegen::Engine>());
+  return hooks;
+}
+
+/// The stateless-chain workload as a logical plan, with the predicate
+/// restricted to what Expr can express (no % operator): keeps keys >= 16
+/// (48/64) and payloads != 102 (6/7), ~64% combined selectivity over
+/// ChainInput. Window(50) is absorbed by both the fusion pass (WindowStage)
+/// and the codegen chain analyzer (window_extend).
+LogicalPtr ExprChainPlan() {
+  using namespace logical;  // NOLINT
+  auto src = SourceNode("S", Schema::OfInts({"k", "p"}));
+  auto pred = Expr::And(
+      Expr::Compare(Expr::CmpOp::kGe, Expr::Column(0),
+                    Expr::Const(Value(int64_t{16}))),
+      Expr::Compare(Expr::CmpOp::kNe, Expr::Column(1),
+                    Expr::Const(Value(int64_t{102}))));
+  return Project(Select(Window(src, 50), pred), {1, 0});
+}
+
+/// The join-probe workload as a logical plan (no Window nodes: the bench
+/// injects pre-windowed elements, exactly like BM_JoinProbeScalar/Batched).
+LogicalPtr ProbeJoinPlan() {
+  using namespace logical;  // NOLINT
+  auto a = SourceNode("A", Schema::OfInts({"k"}));
+  auto b = SourceNode("B", Schema::OfInts({"k"}));
+  return EquiJoin(a, b, 0, 0);
+}
+
+/// Compiles `plan` and times batched execution through the box. `expect_op`
+/// non-empty asserts the box actually contains a native operator of that
+/// name (otherwise the run silently measures the interpreted fallback).
+void RunChainPlanBench(benchmark::State& state, const LogicalPtr& plan,
+                       const CompileOptions& copts, size_t n,
+                       const std::string& expect_op) {
+  const auto input = ChainInput(n);
+  auto chunks = Chunks(input, TupleBatch::kDefaultRows);
+  for (auto _ : state) {
+    Box box = CompilePlan(*plan, "", copts);
+    if (!expect_op.empty()) {
+      bool found = false;
+      for (const auto& op : box.ops()) {
+        if (op->name().find(expect_op) != std::string::npos) found = true;
+      }
+      if (!found) {
+        state.SkipWithError(("codegen declined " + expect_op).c_str());
+        return;
+      }
+    }
+    Source src("s");
+    CountingSink sink("k");
+    src.ConnectTo(0, box.input(0), 0);
+    box.output()->ConnectTo(0, &sink, 0);
+    for (TupleBatch& b : chunks) src.InjectBatch(b);
+    src.Close();
+    benchmark::DoNotOptimize(sink.count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+
+/// Interpreted twin of BM_StatelessChainCompiled: the same Expr-predicate
+/// plan fused into one FusedStateless (PR 6 vectorized path). This is the
+/// denominator of the compiled_chain_speedup gate — same plan, same
+/// batches, only the execution engine differs.
+void BM_StatelessChainExprFusedBatched(benchmark::State& state) {
+  CompileOptions copts;
+  copts.fuse_stateless = true;
+  RunChainPlanBench(state, ExprChainPlan(), copts,
+                    static_cast<size_t>(state.range(0)), "");
+}
+BENCHMARK(BM_StatelessChainExprFusedBatched)->Arg(20000);
+
+/// The same plan lowered to a native plugin: predicate + projection +
+/// window extension as straight-line C++ over the batch columns, no Value
+/// dispatch, no std::function hops.
+void BM_StatelessChainCompiled(benchmark::State& state) {
+  if (!codegen::Engine::Available()) {
+    state.SkipWithError("no host toolchain: codegen unavailable");
+    return;
+  }
+  CompileOptions copts;
+  copts.fuse_stateless = true;  // Fallback parity, not used when compiled.
+  copts.codegen = BenchCodegenHooks();
+  // Pay the one-time native compile outside the timed region.
+  { Box warm = CompilePlan(*ExprChainPlan(), "warm_", copts); }
+  RunChainPlanBench(state, ExprChainPlan(), copts,
+                    static_cast<size_t>(state.range(0)), "cchain");
+}
+BENCHMARK(BM_StatelessChainCompiled)->Arg(20000);
+
+/// Native twin of BM_JoinProbeBatched: the equi-join compiled to a typed
+/// int64 hash table (no Value hashing) behind the stable plugin ABI, fed
+/// the identical pre-windowed high-cardinality batches.
+void BM_JoinProbeCompiled(benchmark::State& state) {
+  if (!codegen::Engine::Available()) {
+    state.SkipWithError("no host toolchain: codegen unavailable");
+    return;
+  }
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto left = KeyedWindowed(n, static_cast<int64_t>(n) * 50, 100, 1);
+  const auto right = KeyedWindowed(n, static_cast<int64_t>(n) * 50, 100, 2);
+  auto lchunks = Chunks(left, TupleBatch::kDefaultRows);
+  auto rchunks = Chunks(right, TupleBatch::kDefaultRows);
+  const LogicalPtr plan = ProbeJoinPlan();
+  CompileOptions copts;
+  copts.codegen = BenchCodegenHooks();
+  { Box warm = CompilePlan(*plan, "warm_", copts); }
+  for (auto _ : state) {
+    Box box = CompilePlan(*plan, "", copts);
+    bool found = false;
+    for (const auto& op : box.ops()) {
+      if (op->name().find("chashjoin") != std::string::npos) found = true;
+    }
+    if (!found) {
+      state.SkipWithError("codegen declined chashjoin");
+      return;
+    }
+    CountingSink sink("k");
+    Source l("l");
+    Source r("r");
+    l.ConnectTo(0, box.input(0), 0);
+    r.ConnectTo(0, box.input(1), 0);
+    box.output()->ConnectTo(0, &sink, 0);
+    for (size_t i = 0; i < lchunks.size(); ++i) {
+      l.InjectBatch(lchunks[i]);
+      r.InjectBatch(rchunks[i]);
+    }
+    l.Close();
+    r.Close();
+    benchmark::DoNotOptimize(sink.count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * 2 * n));
+}
+BENCHMARK(BM_JoinProbeCompiled)->Arg(2000);
+
 void BM_DuplicateElimination(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   const auto input = KeyedWindowed(n, 16, 200, 3);
@@ -376,4 +532,27 @@ BENCHMARK(BM_RefPointMerge)->Arg(20000);
 }  // namespace
 }  // namespace genmig
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN with build provenance: the toolchain block lands in the
+// "context" object of --benchmark_out JSON (BENCH_nightly.json), so hotpath
+// numbers are traceable to the compiler and flags that produced them.
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("toolchain_compiler_id",
+                              genmig::bench::ToolchainCompilerId());
+  benchmark::AddCustomContext("toolchain_compiler_version",
+                              genmig::bench::ToolchainCompilerVersion());
+  benchmark::AddCustomContext("toolchain_cxx_flags",
+                              genmig::bench::ToolchainFlags());
+  benchmark::AddCustomContext("toolchain_build_type",
+                              genmig::bench::ToolchainBuildType());
+  benchmark::AddCustomContext(
+      "toolchain_no_metrics",
+      genmig::bench::ToolchainNoMetrics() ? "true" : "false");
+  benchmark::AddCustomContext(
+      "codegen_available",
+      genmig::codegen::Engine::Available() ? "true" : "false");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

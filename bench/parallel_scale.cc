@@ -26,6 +26,7 @@
 #include "plan/logical.h"
 #include "ref/checker.h"
 #include "stream/generator.h"
+#include "toolchain.h"
 
 using namespace genmig;  // NOLINT
 
@@ -186,7 +187,8 @@ int main() {
   std::printf("4-shard speedup over 1 shard: %.2fx (target >= 2x)\n",
               speedup4);
 
-  std::string json = "{\n  \"bench\": \"parallel_scale\",\n  \"workload\": {";
+  std::string json = "{\n  \"bench\": \"parallel_scale\",\n  \"toolchain\": " +
+                     bench::ToolchainJson() + ",\n  \"workload\": {";
   json += "\"streams\": 4, \"elements_per_stream\": " +
           std::to_string(w.elements_per_stream) +
           ", \"period\": " + std::to_string(w.period) +

@@ -1,0 +1,71 @@
+// Build-provenance block stamped into every BENCH_*.json: host compiler
+// id/version, the exact optimization flags of this build, and whether
+// observability was compiled out (GENMIG_NO_METRICS). Benchmark numbers are
+// meaningless without this context — tools/check_perf.py refuses ratios
+// against a baseline recorded under a different build type, and the nightly
+// artifacts stay self-describing.
+//
+// The GENMIG_TOOLCHAIN_* macros are injected by bench/CMakeLists.txt from
+// CMAKE_CXX_COMPILER_ID / _VERSION / the effective CXX flags.
+
+#ifndef GENMIG_BENCH_TOOLCHAIN_H_
+#define GENMIG_BENCH_TOOLCHAIN_H_
+
+#include <string>
+
+#ifndef GENMIG_TOOLCHAIN_ID
+#define GENMIG_TOOLCHAIN_ID "unknown"
+#endif
+#ifndef GENMIG_TOOLCHAIN_VERSION
+#define GENMIG_TOOLCHAIN_VERSION "unknown"
+#endif
+#ifndef GENMIG_TOOLCHAIN_FLAGS
+#define GENMIG_TOOLCHAIN_FLAGS ""
+#endif
+#ifndef GENMIG_TOOLCHAIN_BUILD_TYPE
+#define GENMIG_TOOLCHAIN_BUILD_TYPE "unknown"
+#endif
+
+namespace genmig {
+namespace bench {
+
+inline const char* ToolchainCompilerId() { return GENMIG_TOOLCHAIN_ID; }
+inline const char* ToolchainCompilerVersion() {
+  return GENMIG_TOOLCHAIN_VERSION;
+}
+inline const char* ToolchainFlags() { return GENMIG_TOOLCHAIN_FLAGS; }
+inline const char* ToolchainBuildType() { return GENMIG_TOOLCHAIN_BUILD_TYPE; }
+inline bool ToolchainNoMetrics() {
+#ifdef GENMIG_NO_METRICS
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// The provenance block as a JSON object.
+inline std::string ToolchainJson() {
+  std::string json = "{";
+  json += "\"compiler_id\": \"" GENMIG_TOOLCHAIN_ID "\", ";
+  json += "\"compiler_version\": \"" GENMIG_TOOLCHAIN_VERSION "\", ";
+  json += "\"cxx_flags\": \"" GENMIG_TOOLCHAIN_FLAGS "\", ";
+  json += "\"build_type\": \"" GENMIG_TOOLCHAIN_BUILD_TYPE "\", ";
+  json += ToolchainNoMetrics() ? "\"no_metrics\": true}"
+                               : "\"no_metrics\": false}";
+  return json;
+}
+
+/// Splices a `"toolchain": {...}` field into an existing JSON object string,
+/// right after its opening brace. Returns the input unchanged when it is not
+/// an object.
+inline std::string WithToolchain(const std::string& json) {
+  const size_t brace = json.find('{');
+  if (brace == std::string::npos) return json;
+  return json.substr(0, brace + 1) + "\n  \"toolchain\": " + ToolchainJson() +
+         "," + json.substr(brace + 1);
+}
+
+}  // namespace bench
+}  // namespace genmig
+
+#endif  // GENMIG_BENCH_TOOLCHAIN_H_

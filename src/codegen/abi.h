@@ -1,0 +1,131 @@
+// The stable C ABI between the host engine and dlopen'ed compiled-operator
+// plugins. Everything crossing this boundary is POD: the host may be built
+// with sanitizers or a different standard library than the plugin (the
+// plugin is compiled at runtime by the host toolchain), so no C++ types —
+// and in particular no STL containers — ever cross it.
+//
+// A plugin exports exactly one symbol, CreateCompiledOperator, returning a
+// vtable of plain function pointers. Two plugin kinds exist:
+//
+//   * kGmOpKindChain    — a fused stateless select/project/window chain. The
+//     host passes strided views of the predicate's input columns (straight
+//     into its Value arrays when possible), the plugin fills a survivor
+//     index list, and the host gathers the surviving rows (projection +
+//     window extension) itself, branch-free.
+//   * kGmOpKindHashJoin — a symmetric hash equi-join. The plugin owns the
+//     full typed join state (an open-addressing table over a flat entry
+//     pool); the host passes strided input views in and boxes result rows
+//     (already in interpreter probe order) back out into the ordered output
+//     buffer.
+//
+// emit.cc embeds a textual copy of these declarations into every generated
+// translation unit (generated code includes no repo headers). Edit the two
+// together and bump GM_ABI_VERSION: the version participates in the shape
+// hash, so stale cached plugins are recompiled rather than misloaded.
+
+#ifndef GENMIG_CODEGEN_ABI_H_
+#define GENMIG_CODEGEN_ABI_H_
+
+#include <cstdint>
+
+extern "C" {
+
+#define GM_ABI_VERSION 3u
+
+enum GmOpKind : uint32_t {
+  kGmOpKindChain = 1,
+  kGmOpKindHashJoin = 2,
+};
+
+/// Layout-compatible view of genmig::Timestamp (asserted in compiled_op.cc):
+/// vectors of Timestamp are reinterpreted as GmTs arrays with no copy.
+struct GmTs {
+  int64_t t;
+  uint32_t eps;
+  uint32_t pad_;
+};
+
+/// Input rows for a chain push. `cols` holds one pointer per column the
+/// generated predicate reads (in the ChainSpec::needed_cols order), pointing
+/// at the 8-byte numeric payload of row 0; row i's payload lives at
+/// cols[j] + i * stride. int64 columns are the values themselves, double
+/// columns the IEEE bit patterns. The stride lets the host pass pointers
+/// STRAIGHT INTO its Value arrays (zero-copy, stride = sizeof(Value)) when
+/// the payload offset inside Value is detectable, falling back to contiguous
+/// unboxed copies (stride = 8) otherwise.
+struct GmChainIn {
+  const uint8_t* const* cols;
+  uint64_t stride;
+  uint64_t nrows;
+};
+
+/// Input rows for a join push/seed: every column of the pushed side (same
+/// strided 8-byte payload convention as GmChainIn; only the key column is
+/// interpreted, as int64), plus the parallel timestamp/epoch/ingress arrays.
+struct GmJoinIn {
+  const uint8_t* const* cols;
+  uint64_t stride;
+  const GmTs* starts;
+  const GmTs* ends;
+  const uint32_t* epochs;
+  const uint64_t* ingress;
+  uint64_t nrows;
+};
+
+/// Join result rows (or exported state rows), in the exact order the
+/// interpreter would produce them. Pointers are owned by the plugin and
+/// valid until its next call.
+struct GmJoinOut {
+  const int64_t* const* cols;
+  const GmTs* starts;
+  const GmTs* ends;
+  const uint32_t* epochs;
+  const uint64_t* ingress;
+  uint64_t nrows;
+};
+
+/// Expiration report: the lineage epoch of every removed state entry, per
+/// side, so the host can keep its epoch bookkeeping exact.
+struct GmExpired {
+  const uint32_t* epochs[2];
+  uint64_t n[2];
+};
+
+/// The plugin vtable. Kind-irrelevant entries are null.
+struct GmOpVtbl {
+  uint32_t abi_version;
+  uint32_t kind;
+
+  void* (*create)(void);
+  void (*destroy)(void* self);
+
+  /// kChain: writes the ascending row indices of surviving rows into
+  /// out_idx[0..return) (capacity in->nrows) and returns the survivor
+  /// count. An index list instead of a keep bitmap keeps the host's gather
+  /// loops branch-free.
+  uint64_t (*chain_push)(void* self, const GmChainIn* in, uint32_t* out_idx);
+
+  /// kHashJoin: probes the opposite side and inserts, row by row, exactly
+  /// like the interpreter; fills `out` with the produced result rows.
+  void (*join_push)(void* self, int32_t port, const GmJoinIn* in,
+                    GmJoinOut* out);
+  /// Drops state entries with end <= watermark (same bucket compaction as
+  /// the interpreter) and reports the removed entries' epochs.
+  void (*join_expire)(void* self, GmTs watermark, GmExpired* out);
+  /// Inserts rows into one side without probing (Moving-States seeding).
+  void (*join_seed)(void* self, int32_t port, const GmJoinIn* in);
+  /// Copies one side's live state into `out` (bucket iteration order).
+  void (*join_export)(void* self, int32_t port, GmJoinOut* out);
+
+  uint64_t (*join_state_count)(const void* self);
+  uint64_t (*join_state_bytes)(const void* self);
+  /// Largest end timestamp over live entries; {INT64_MIN, 0} when empty.
+  GmTs (*join_max_state_end)(const void* self);
+};
+
+/// The single symbol every plugin exports.
+typedef const GmOpVtbl* (*GmCreateCompiledOperatorFn)(void);
+
+}  // extern "C"
+
+#endif  // GENMIG_CODEGEN_ABI_H_

@@ -1,0 +1,367 @@
+#include "codegen/compiled_op.h"
+
+#include <cstddef>
+#include <cstring>
+
+namespace genmig {
+namespace codegen {
+namespace {
+
+// The join wrapper reinterprets the batch's Timestamp arrays as GmTs arrays
+// (no copy); pin the layout compatibility the ABI assumes.
+static_assert(sizeof(Timestamp) == sizeof(GmTs));
+static_assert(alignof(Timestamp) == alignof(GmTs));
+static_assert(offsetof(Timestamp, t) == offsetof(GmTs, t));
+static_assert(offsetof(Timestamp, eps) == offsetof(GmTs, eps));
+
+GmTs ToGm(Timestamp t) { return GmTs{t.t, t.eps, 0}; }
+Timestamp FromGm(GmTs t) { return Timestamp(t.t, t.eps); }
+
+/// Raw 8-byte pattern of a numeric Value (int64s as themselves, doubles as
+/// their bit pattern) — the ABI's column representation.
+int64_t UnboxValue(const Value& v, ValueType type) {
+  if (type == ValueType::kDouble) {
+    int64_t bits = 0;
+    const double d = v.AsDouble();
+    std::memcpy(&bits, &d, sizeof(bits));
+    return bits;
+  }
+  return v.AsInt64();
+}
+
+Value BoxValue(int64_t raw, ValueType type) {
+  if (type == ValueType::kDouble) {
+    double d = 0;
+    std::memcpy(&d, &raw, sizeof(d));
+    return Value(d);
+  }
+  return Value(raw);
+}
+
+// --- Value payload layout detection -----------------------------------------
+// Value wraps std::variant<int64_t, double, std::string>, so the byte offset
+// of the numeric payload inside the object is implementation-defined. It is
+// probed empirically once per process: two distinct bit patterns must be
+// found at the SAME offset for both numeric alternatives. On success the
+// batch marshaling passes pointers straight into the Value arrays (stride =
+// sizeof(Value), zero copy); on failure it falls back to unboxing copies —
+// slower, never wrong.
+
+struct ValueLayout {
+  bool direct = false;
+  size_t offset = 0;
+};
+
+size_t FindPayload(const Value& v, uint64_t pattern) {
+  const unsigned char* bytes = reinterpret_cast<const unsigned char*>(&v);
+  for (size_t off = 0; off + sizeof(uint64_t) <= sizeof(Value); ++off) {
+    uint64_t got = 0;
+    std::memcpy(&got, bytes + off, sizeof(got));
+    if (got == pattern) return off;
+  }
+  return sizeof(Value);
+}
+
+ValueLayout DetectValueLayout() {
+  const uint64_t p1 = 0x5aa517f3c2d1e96bULL;  // Positive as int64.
+  const uint64_t p2 = 0x213c9e0d47f25b81ULL;  // Distinct, also positive.
+  double d1 = 0;
+  double d2 = 0;
+  std::memcpy(&d1, &p1, sizeof(d1));
+  std::memcpy(&d2, &p2, sizeof(d2));
+  const size_t offs[4] = {
+      FindPayload(Value(static_cast<int64_t>(p1)), p1),
+      FindPayload(Value(static_cast<int64_t>(p2)), p2),
+      FindPayload(Value(d1), p1),
+      FindPayload(Value(d2), p2),
+  };
+  ValueLayout layout;
+  if (offs[0] < sizeof(Value) && offs[0] == offs[1] && offs[0] == offs[2] &&
+      offs[0] == offs[3]) {
+    layout.direct = true;
+    layout.offset = offs[0];
+  }
+  return layout;
+}
+
+const ValueLayout& GetValueLayout() {
+  static const ValueLayout layout = DetectValueLayout();
+  return layout;
+}
+
+/// Strided base pointer at column `src`'s row-0 payload.
+const uint8_t* DirectBase(const std::vector<Value>& src, size_t offset) {
+  return reinterpret_cast<const uint8_t*>(src.data()) + offset;
+}
+
+}  // namespace
+
+// --- CompiledStateless ------------------------------------------------------
+
+CompiledStateless::CompiledStateless(std::string name, ChainSpec spec,
+                                     const GmOpVtbl* vtbl,
+                                     std::string shape_hash)
+    : Operator(std::move(name), 1, 1),
+      spec_(std::move(spec)),
+      vtbl_(vtbl),
+      state_(vtbl->create()),
+      shape_hash_(std::move(shape_hash)) {}
+
+CompiledStateless::~CompiledStateless() {
+  if (state_ != nullptr) vtbl_->destroy(state_);
+}
+
+void CompiledStateless::OnElement(int, const StreamElement& element) {
+  // Scalar fallback: the rewritten predicates are interpreted (identical
+  // semantics by construction — they are the same Expr trees the plugin was
+  // generated from).
+  for (const ExprPtr& pred : spec_.predicates) {
+    if (!pred->EvalBool(element.tuple)) return;
+  }
+  std::vector<Value> fields;
+  fields.reserve(spec_.output_cols.size());
+  for (size_t c : spec_.output_cols) fields.push_back(element.tuple.field(c));
+  StreamElement out(Tuple(std::move(fields)),
+                    TimeInterval(element.interval.start,
+                                 element.interval.end + spec_.window_extend),
+                    element.epoch);
+  out.ingress_ns = element.ingress_ns;
+  Emit(0, out);
+}
+
+void CompiledStateless::OnBatch(int, const TupleBatch& batch) {
+  if (batch.empty()) return;
+  const size_t n = batch.size();
+  const ValueLayout& layout = GetValueLayout();
+  col_ptrs_.resize(spec_.needed_cols.size());
+  GmChainIn in;
+  if (layout.direct) {
+    for (size_t j = 0; j < spec_.needed_cols.size(); ++j) {
+      col_ptrs_[j] = DirectBase(batch.column(spec_.needed_cols[j]),
+                                layout.offset);
+    }
+    in.stride = sizeof(Value);
+  } else {
+    unboxed_.resize(spec_.needed_cols.size());
+    for (size_t j = 0; j < spec_.needed_cols.size(); ++j) {
+      const size_t col = spec_.needed_cols[j];
+      const ValueType type = spec_.input_types[col];
+      const std::vector<Value>& src = batch.column(col);
+      std::vector<int64_t>& dst = unboxed_[j];
+      dst.clear();
+      dst.reserve(n);
+      for (size_t r = 0; r < n; ++r) dst.push_back(UnboxValue(src[r], type));
+      col_ptrs_[j] = reinterpret_cast<const uint8_t*>(dst.data());
+    }
+    in.stride = sizeof(int64_t);
+  }
+  idx_.resize(n);  // No re-zero: only idx_[0..kept) is ever read back.
+  in.cols = col_ptrs_.data();
+  in.nrows = n;
+  const uint64_t kept = vtbl_->chain_push(state_, &in, idx_.data());
+  if (kept == 0) return;
+  out_.Clear();
+  out_.Reserve(kept);
+  out_.AppendGatheredColumnsFrom(batch, idx_.data(), kept, spec_.output_cols,
+                                 spec_.window_extend);
+  EmitBatch(0, out_);
+}
+
+// --- CompiledHashJoin -------------------------------------------------------
+
+CompiledHashJoin::CompiledHashJoin(std::string name, JoinSpec spec,
+                                   const GmOpVtbl* vtbl,
+                                   std::string shape_hash)
+    : JoinBase(std::move(name)),
+      spec_(std::move(spec)),
+      vtbl_(vtbl),
+      state_(vtbl->create()),
+      shape_hash_(std::move(shape_hash)) {
+  out_types_ = spec_.types[0];
+  out_types_.insert(out_types_.end(), spec_.types[1].begin(),
+                    spec_.types[1].end());
+}
+
+CompiledHashJoin::~CompiledHashJoin() {
+  if (state_ != nullptr) vtbl_->destroy(state_);
+}
+
+StreamElement CompiledHashJoin::BoxRow(
+    const GmJoinOut& out, size_t row,
+    const std::vector<ValueType>& types) const {
+  std::vector<Value> fields;
+  fields.reserve(types.size());
+  for (size_t c = 0; c < types.size(); ++c) {
+    fields.push_back(BoxValue(out.cols[c][row], types[c]));
+  }
+  StreamElement e(Tuple(std::move(fields)),
+                  TimeInterval(FromGm(out.starts[row]), FromGm(out.ends[row])),
+                  out.epochs[row]);
+  e.ingress_ns = out.ingress[row];
+  return e;
+}
+
+void CompiledHashJoin::BufferResults(const GmJoinOut& out) {
+  for (size_t i = 0; i < out.nrows; ++i) {
+    buffer_.Push(BoxRow(out, i, out_types_));
+  }
+}
+
+void CompiledHashJoin::Marshal(int port, const TupleBatch& batch,
+                               GmJoinIn* in) {
+  const std::vector<ValueType>& types = spec_.types[port];
+  const size_t arity = types.size();
+  const size_t n = batch.size();
+  const ValueLayout& layout = GetValueLayout();
+  col_ptrs_.resize(arity);
+  if (layout.direct) {
+    for (size_t c = 0; c < arity; ++c) {
+      col_ptrs_[c] = DirectBase(batch.column(c), layout.offset);
+    }
+    in->stride = sizeof(Value);
+  } else {
+    unboxed_.resize(arity);
+    for (size_t c = 0; c < arity; ++c) {
+      const std::vector<Value>& src = batch.column(c);
+      std::vector<int64_t>& dst = unboxed_[c];
+      dst.clear();
+      dst.reserve(n);
+      for (size_t r = 0; r < n; ++r) {
+        dst.push_back(UnboxValue(src[r], types[c]));
+      }
+      col_ptrs_[c] = reinterpret_cast<const uint8_t*>(dst.data());
+    }
+    in->stride = sizeof(int64_t);
+  }
+  in->cols = col_ptrs_.data();
+  in->starts = reinterpret_cast<const GmTs*>(batch.starts().data());
+  in->ends = reinterpret_cast<const GmTs*>(batch.ends().data());
+  in->epochs = batch.epochs().data();
+  in->ingress = batch.ingresses().data();
+  in->nrows = n;
+}
+
+void CompiledHashJoin::OnElement(int in_port, const StreamElement& element) {
+  const std::vector<ValueType>& types = spec_.types[in_port];
+  const size_t arity = types.size();
+  unboxed_.resize(arity);
+  col_ptrs_.resize(arity);
+  for (size_t c = 0; c < arity; ++c) {
+    unboxed_[c].clear();
+    unboxed_[c].push_back(UnboxValue(element.tuple.field(c), types[c]));
+    col_ptrs_[c] = reinterpret_cast<const uint8_t*>(unboxed_[c].data());
+  }
+  const GmTs ts = ToGm(element.interval.start);
+  const GmTs te = ToGm(element.interval.end);
+  const uint32_t epoch = element.epoch;
+  const uint64_t ingress = element.ingress_ns;
+  GmJoinIn in;
+  in.cols = col_ptrs_.data();
+  in.stride = sizeof(int64_t);
+  in.starts = &ts;
+  in.ends = &te;
+  in.epochs = &epoch;
+  in.ingress = &ingress;
+  in.nrows = 1;
+  GmJoinOut out{};
+  vtbl_->join_push(state_, in_port, &in, &out);
+  BufferResults(out);
+  NoteStateInsert(in_port, element);
+}
+
+void CompiledHashJoin::OnBatch(int in_port, const TupleBatch& batch) {
+  // Same contract as the interpreted join's batch path: probe-then-insert
+  // per row inside the plugin, all per-push bookkeeping amortized over the
+  // batch, expiration deferred to the post-batch watermark advance.
+  EnterBatchMode();
+  if (batch.empty()) return;
+  GmJoinIn in;
+  Marshal(in_port, batch, &in);
+  GmJoinOut out{};
+  vtbl_->join_push(state_, in_port, &in, &out);
+  BufferResults(out);
+  NoteStateInsertBatch(in_port, batch);
+}
+
+void CompiledHashJoin::ExpireStates(Timestamp watermark) {
+  GmExpired expired{};
+  vtbl_->join_expire(state_, ToGm(watermark), &expired);
+  for (int side = 0; side < 2; ++side) {
+    for (uint64_t i = 0; i < expired.n[side]; ++i) {
+      // NoteStateRemove by epoch alone (the plugin already dropped the row).
+      const uint32_t epoch = expired.epochs[side][i];
+      auto it = epoch_counts_[side].find(epoch);
+      GENMIG_CHECK(it != epoch_counts_[side].end());
+      if (--it->second == 0) epoch_counts_[side].erase(it);
+      MetricsStateExpire();
+    }
+  }
+}
+
+size_t CompiledHashJoin::StateElementBytes() const {
+  return vtbl_->join_state_bytes(state_);
+}
+
+size_t CompiledHashJoin::StateElementCount() const {
+  return vtbl_->join_state_count(state_);
+}
+
+Timestamp CompiledHashJoin::StateMaxEnd() const {
+  return FromGm(vtbl_->join_max_state_end(state_));
+}
+
+void CompiledHashJoin::SeedState(int in_port,
+                                 const MaterializedStream& elements) {
+  if (elements.empty()) return;
+  const std::vector<ValueType>& types = spec_.types[in_port];
+  const size_t arity = types.size();
+  const size_t n = elements.size();
+  unboxed_.resize(arity);
+  col_ptrs_.resize(arity);
+  for (size_t c = 0; c < arity; ++c) {
+    unboxed_[c].clear();
+    unboxed_[c].reserve(n);
+  }
+  ts_scratch_[0].clear();
+  ts_scratch_[1].clear();
+  std::vector<uint32_t> epochs;
+  std::vector<uint64_t> ingress;
+  epochs.reserve(n);
+  ingress.reserve(n);
+  for (const StreamElement& e : elements) {
+    for (size_t c = 0; c < arity; ++c) {
+      unboxed_[c].push_back(UnboxValue(e.tuple.field(c), types[c]));
+    }
+    ts_scratch_[0].push_back(ToGm(e.interval.start));
+    ts_scratch_[1].push_back(ToGm(e.interval.end));
+    epochs.push_back(e.epoch);
+    ingress.push_back(e.ingress_ns);
+  }
+  for (size_t c = 0; c < arity; ++c) {
+    col_ptrs_[c] = reinterpret_cast<const uint8_t*>(unboxed_[c].data());
+  }
+  GmJoinIn in;
+  in.cols = col_ptrs_.data();
+  in.stride = sizeof(int64_t);
+  in.starts = ts_scratch_[0].data();
+  in.ends = ts_scratch_[1].data();
+  in.epochs = epochs.data();
+  in.ingress = ingress.data();
+  in.nrows = n;
+  vtbl_->join_seed(state_, in_port, &in);
+  for (const StreamElement& e : elements) NoteStateInsert(in_port, e);
+}
+
+MaterializedStream CompiledHashJoin::ExportState(int in_port) const {
+  GmJoinOut out{};
+  vtbl_->join_export(state_, in_port, &out);
+  MaterializedStream result;
+  result.reserve(out.nrows);
+  for (size_t i = 0; i < out.nrows; ++i) {
+    result.push_back(BoxRow(out, i, spec_.types[in_port]));
+  }
+  return result;
+}
+
+}  // namespace codegen
+}  // namespace genmig

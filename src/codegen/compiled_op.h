@@ -1,0 +1,113 @@
+// The compiled-subplan operators: thin host-side wrappers around dlopen'ed
+// plugin vtables (codegen/abi.h) that are drop-in Operators — plan analysis,
+// migration (Split/Coalesce, Moving States), the shard router and metrics
+// all see an ordinary operator. The host keeps everything the engine
+// introspects (watermarks, ordered output buffer, lineage epoch counts) on
+// its side of the ABI; the plugin holds only the straight-line compute and,
+// for joins, the typed hash state.
+//
+// Output equivalence is structural, not statistical: both wrappers drive the
+// plugin in exactly the interpreter's order (probe-then-insert per row,
+// identical ordered-buffer push sequence, identical expiration compaction),
+// so a compiled plan's materialized output is byte-identical to the
+// interpreted plan's — the property the differential and fuzz suites pin.
+
+#ifndef GENMIG_CODEGEN_COMPILED_OP_H_
+#define GENMIG_CODEGEN_COMPILED_OP_H_
+
+#include <string>
+#include <vector>
+
+#include "codegen/abi.h"
+#include "codegen/shape.h"
+#include "ops/join.h"
+#include "ops/operator.h"
+
+namespace genmig {
+namespace codegen {
+
+/// A whole stateless select/project/window chain as one native call per
+/// batch: the host hands the plugin strided views of the predicate's input
+/// columns (pointing straight into the batch's Value arrays when the
+/// numeric-payload offset inside Value is detectable, unboxed copies
+/// otherwise), the plugin fills a survivor index list, and the host gathers
+/// survivors (projection + window extension) in a single branch-free pass
+/// over those indices. The scalar
+/// path interprets the rewritten predicates directly — per-element pushes
+/// are rare once a plan is batched, and semantics stay trivially identical.
+class CompiledStateless : public Operator {
+ public:
+  CompiledStateless(std::string name, ChainSpec spec, const GmOpVtbl* vtbl,
+                    std::string shape_hash);
+  ~CompiledStateless() override;
+
+  const std::string& shape_hash() const { return shape_hash_; }
+
+ protected:
+  void OnElement(int, const StreamElement& element) override;
+  void OnBatch(int, const TupleBatch& batch) override;
+
+ private:
+  ChainSpec spec_;
+  const GmOpVtbl* vtbl_;
+  void* state_;
+  std::string shape_hash_;
+
+  // Marshaling scratch, reused across batches. `unboxed_` is only touched
+  // on the no-direct-layout fallback path.
+  std::vector<std::vector<int64_t>> unboxed_;  // One array per needed column.
+  std::vector<const uint8_t*> col_ptrs_;
+  std::vector<uint32_t> idx_;  // Survivor index list filled by the plugin.
+  TupleBatch out_;
+};
+
+/// A symmetric hash equi-join whose probe/insert/expire loops run in native
+/// code over typed state owned by the plugin. The JoinBase machinery —
+/// ordered output buffer, watermark-driven flush, epoch lineage counts —
+/// stays host-side and unchanged, so GenMig sees the same migration surface
+/// as the interpreted join.
+class CompiledHashJoin : public JoinBase {
+ public:
+  CompiledHashJoin(std::string name, JoinSpec spec, const GmOpVtbl* vtbl,
+                   std::string shape_hash);
+  ~CompiledHashJoin() override;
+
+  const std::string& shape_hash() const { return shape_hash_; }
+
+  void SeedState(int in_port, const MaterializedStream& elements) override;
+  MaterializedStream ExportState(int in_port) const override;
+
+ protected:
+  void OnElement(int in_port, const StreamElement& element) override;
+  void OnBatch(int in_port, const TupleBatch& batch) override;
+  void ExpireStates(Timestamp watermark) override;
+  size_t StateElementBytes() const override;
+  size_t StateElementCount() const override;
+  Timestamp StateMaxEnd() const override;
+
+ private:
+  /// Fills a GmJoinIn view over `batch` (all columns of side `port`):
+  /// strided pointers into the Value arrays when possible, unboxed scratch
+  /// copies otherwise.
+  void Marshal(int port, const TupleBatch& batch, GmJoinIn* in);
+  /// Boxes plugin result rows back into StreamElements and pushes them into
+  /// the ordered output buffer (already in interpreter emission order).
+  void BufferResults(const GmJoinOut& out);
+  StreamElement BoxRow(const GmJoinOut& out, size_t row,
+                       const std::vector<ValueType>& types) const;
+
+  JoinSpec spec_;
+  std::vector<ValueType> out_types_;  // Left then right (result schema).
+  const GmOpVtbl* vtbl_;
+  void* state_;
+  std::string shape_hash_;
+
+  std::vector<std::vector<int64_t>> unboxed_;
+  std::vector<const uint8_t*> col_ptrs_;
+  std::vector<GmTs> ts_scratch_[2];  // Start/end arrays for SeedState.
+};
+
+}  // namespace codegen
+}  // namespace genmig
+
+#endif  // GENMIG_CODEGEN_COMPILED_OP_H_

@@ -1,0 +1,638 @@
+#include "codegen/emit.h"
+
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "codegen/abi.h"
+#include "common/check.h"
+
+namespace genmig {
+namespace codegen {
+namespace {
+
+// Textual copy of the POD declarations in codegen/abi.h, embedded so the
+// generated TU needs no include paths. Keep in sync with abi.h; the ABI
+// version participates in the shape hash, so a bump invalidates every cached
+// plugin.
+constexpr const char* kAbiDecls = R"abi(
+#include <cstdint>
+
+extern "C" {
+struct GmTs { int64_t t; uint32_t eps; uint32_t pad_; };
+struct GmChainIn {
+  const uint8_t* const* cols;
+  uint64_t stride;
+  uint64_t nrows;
+};
+struct GmJoinIn {
+  const uint8_t* const* cols;
+  uint64_t stride;
+  const GmTs* starts;
+  const GmTs* ends;
+  const uint32_t* epochs;
+  const uint64_t* ingress;
+  uint64_t nrows;
+};
+struct GmJoinOut {
+  const int64_t* const* cols;
+  const GmTs* starts;
+  const GmTs* ends;
+  const uint32_t* epochs;
+  const uint64_t* ingress;
+  uint64_t nrows;
+};
+struct GmExpired { const uint32_t* epochs[2]; uint64_t n[2]; };
+struct GmOpVtbl {
+  uint32_t abi_version;
+  uint32_t kind;
+  void* (*create)(void);
+  void (*destroy)(void*);
+  uint64_t (*chain_push)(void*, const GmChainIn*, uint32_t*);
+  void (*join_push)(void*, int32_t, const GmJoinIn*, GmJoinOut*);
+  void (*join_expire)(void*, GmTs, GmExpired*);
+  void (*join_seed)(void*, int32_t, const GmJoinIn*);
+  void (*join_export)(void*, int32_t, GmJoinOut*);
+  uint64_t (*join_state_count)(const void*);
+  uint64_t (*join_state_bytes)(const void*);
+  GmTs (*join_max_state_end)(const void*);
+};
+}  // extern "C"
+)abi";
+
+std::string U64Hex(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%llxULL",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Emits an int64 literal; INT64_MIN has no portable decimal literal, so
+/// extremes go through a bit-pattern cast (modular conversion, exact).
+std::string Int64Lit(int64_t v) {
+  if (v == std::numeric_limits<int64_t>::min()) {
+    return "static_cast<int64_t>(" + U64Hex(static_cast<uint64_t>(v)) + ")";
+  }
+  return "INT64_C(" + std::to_string(v) + ")";
+}
+
+/// Emits a bit-exact double literal via the gm_d helper in the TU prelude.
+std::string DoubleLit(double d) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return "gm_d(" + U64Hex(bits) + ")";
+}
+
+/// Expression lowering. Value-typed results are either int64 or double;
+/// comparisons/connectives lower to C++ bool and materialize as int64 0/1
+/// only when a parent needs a value (mirroring the interpreter's
+/// Value(int64_t(...)) boxing).
+class ExprGen {
+ public:
+  ExprGen(const std::vector<ValueType>& input_types,
+          const std::vector<size_t>& needed_cols)
+      : input_types_(input_types) {
+    for (size_t i = 0; i < needed_cols.size(); ++i) {
+      col_pos_[needed_cols[i]] = i;
+    }
+  }
+
+  /// Strided column-base declarations for the top of the loop function.
+  std::string ColumnDecls() const {
+    std::string s = "  const uint64_t st = in->stride;\n  (void)st;\n";
+    for (const auto& [col, pos] : col_pos_) {
+      (void)col;
+      s += "  const uint8_t* b" + std::to_string(pos) + " = in->cols[" +
+           std::to_string(pos) + "];\n";
+    }
+    return s;
+  }
+
+  /// Lowers `e` as a boolean (the interpreter's EvalBool/Truthy).
+  std::string GenBool(const Expr& e) const {
+    switch (e.kind()) {
+      case Expr::Kind::kCompare:
+        return GenCompare(e);
+      case Expr::Kind::kAnd:
+        return "(" + GenBool(*e.children()[0]) + " && " +
+               GenBool(*e.children()[1]) + ")";
+      case Expr::Kind::kOr:
+        return "(" + GenBool(*e.children()[0]) + " || " +
+               GenBool(*e.children()[1]) + ")";
+      case Expr::Kind::kNot:
+        return "(!" + GenBool(*e.children()[0]) + ")";
+      case Expr::Kind::kColumn:
+      case Expr::Kind::kConst:
+      case Expr::Kind::kArith: {
+        auto [code, type] = GenValue(e);
+        // Truthy: nonzero numeric. (double)i != 0.0 iff i != 0, so the
+        // int64 form is exact.
+        return type == ValueType::kDouble ? "(" + code + " != 0.0)"
+                                          : "(" + code + " != INT64_C(0))";
+      }
+    }
+    GENMIG_CHECK(false);
+  }
+
+  /// Lowers `e` as a value; returns {code, static type}.
+  std::pair<std::string, ValueType> GenValue(const Expr& e) const {
+    switch (e.kind()) {
+      case Expr::Kind::kColumn: {
+        auto it = col_pos_.find(e.column_index());
+        GENMIG_CHECK(it != col_pos_.end());
+        const ValueType type = input_types_[e.column_index()];
+        const char* load = type == ValueType::kDouble ? "gm_f64" : "gm_i64";
+        return {std::string(load) + "(b" + std::to_string(it->second) +
+                    ", i, st)",
+                type};
+      }
+      case Expr::Kind::kConst:
+        if (e.constant().is_double()) {
+          return {DoubleLit(e.constant().AsDouble()), ValueType::kDouble};
+        }
+        return {Int64Lit(e.constant().AsInt64()), ValueType::kInt64};
+      case Expr::Kind::kArith: {
+        auto [l, tl] = GenValue(*e.children()[0]);
+        auto [r, tr] = GenValue(*e.children()[1]);
+        const char* op = "?";
+        switch (e.arith_op()) {
+          case Expr::ArithOp::kAdd:
+            op = "+";
+            break;
+          case Expr::ArithOp::kSub:
+            op = "-";
+            break;
+          case Expr::ArithOp::kMul:
+            op = "*";
+            break;
+          case Expr::ArithOp::kDiv:
+            op = "/";
+            break;
+        }
+        if (tl == ValueType::kInt64 && tr == ValueType::kInt64) {
+          // int64 division was declined at analysis time.
+          return {"(" + l + " " + op + " " + r + ")", ValueType::kInt64};
+        }
+        return {"(static_cast<double>(" + l + ") " + op +
+                    " static_cast<double>(" + r + "))",
+                ValueType::kDouble};
+      }
+      case Expr::Kind::kCompare:
+      case Expr::Kind::kAnd:
+      case Expr::Kind::kOr:
+      case Expr::Kind::kNot:
+        // Boolean results are int64 0/1 Values in the interpreter.
+        return {"static_cast<int64_t>(" + GenBool(e) + ")",
+                ValueType::kInt64};
+    }
+    GENMIG_CHECK(false);
+  }
+
+ private:
+  std::string GenCompare(const Expr& e) const {
+    auto [l, tl] = GenValue(*e.children()[0]);
+    auto [r, tr] = GenValue(*e.children()[1]);
+    const Expr::CmpOp op = e.cmp_op();
+    if (op == Expr::CmpOp::kEq || op == Expr::CmpOp::kNe) {
+      // NumericEq: same-type compares payloads, mixed compares as double.
+      std::string eq =
+          tl == tr ? "(" + l + " == " + r + ")"
+                   : "(static_cast<double>(" + l +
+                         ") == static_cast<double>(" + r + "))";
+      return op == Expr::CmpOp::kEq ? eq : "(!" + eq + ")";
+    }
+    if (tl != tr) {
+      // Ordering of mixed types follows Value's variant: type tag first
+      // (int64 tag 0 < double tag 1), so the comparison is a constant.
+      const bool int_left = tl == ValueType::kInt64;  // => left < right.
+      const bool result = (op == Expr::CmpOp::kLt || op == Expr::CmpOp::kLe)
+                              ? int_left
+                              : !int_left;
+      return result ? "true" : "false";
+    }
+    const char* cop = "?";
+    switch (op) {
+      case Expr::CmpOp::kLt:
+        cop = "<";
+        break;
+      case Expr::CmpOp::kLe:
+        cop = "<=";
+        break;
+      case Expr::CmpOp::kGt:
+        cop = ">";
+        break;
+      case Expr::CmpOp::kGe:
+        cop = ">=";
+        break;
+      default:
+        GENMIG_CHECK(false);
+    }
+    return "(" + l + " " + cop + " " + r + ")";
+  }
+
+  const std::vector<ValueType>& input_types_;
+  std::map<size_t, size_t> col_pos_;
+};
+
+constexpr const char* kCommonHelpers = R"(
+#include <cstring>
+#include <limits>
+
+namespace {
+
+inline double gm_d(uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+// Strided column loads (the memcpy compiles to a single 8-byte load). The
+// host points `base` either straight into its Value array (stride =
+// sizeof(Value)) or at a contiguous unboxed copy (stride = 8).
+inline int64_t gm_i64(const uint8_t* base, uint64_t i, uint64_t stride) {
+  int64_t v;
+  std::memcpy(&v, base + i * stride, sizeof(v));
+  return v;
+}
+inline double gm_f64(const uint8_t* base, uint64_t i, uint64_t stride) {
+  double v;
+  std::memcpy(&v, base + i * stride, sizeof(v));
+  return v;
+}
+inline bool TsLt(const GmTs& a, const GmTs& b) {
+  return a.t < b.t || (a.t == b.t && a.eps < b.eps);
+}
+constexpr GmTs kTsMin{std::numeric_limits<int64_t>::min(), 0u, 0u};
+constexpr GmTs kTsMax{std::numeric_limits<int64_t>::max(), 0xffffffffu, 0u};
+
+}  // namespace
+)";
+
+}  // namespace
+
+std::string EmitChainTU(const ChainSpec& spec) {
+  ExprGen gen(spec.input_types, spec.needed_cols);
+
+  std::string pred;
+  for (size_t i = 0; i < spec.predicates.size(); ++i) {
+    if (i > 0) pred += " && ";
+    pred += gen.GenBool(*spec.predicates[i]);
+  }
+
+  std::string tu;
+  tu += "// Generated by genmig codegen (chain shape). Do not edit.\n";
+  tu += kAbiDecls;
+  tu += kCommonHelpers;
+  tu += R"(
+namespace {
+
+void* Create() { return nullptr; }
+void Destroy(void*) {}
+
+uint64_t ChainPush(void*, const GmChainIn* in, uint32_t* out_idx) {
+)";
+  tu += gen.ColumnDecls();
+  tu += R"(  const uint64_t n = in->nrows;
+  uint64_t kept = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    const bool k = )";
+  tu += pred;
+  tu += R"(;
+    // Branch-free compaction: the slot is written unconditionally and the
+    // cursor advances only for survivors.
+    out_idx[kept] = static_cast<uint32_t>(i);
+    kept += static_cast<uint64_t>(k);
+  }
+  return kept;
+}
+
+const GmOpVtbl kVtbl = {
+    )";
+  tu += std::to_string(GM_ABI_VERSION) + "u, 1u,\n";
+  tu += R"(    &Create, &Destroy, &ChainPush,
+    nullptr, nullptr, nullptr, nullptr, nullptr, nullptr, nullptr,
+};
+
+}  // namespace
+
+extern "C" const GmOpVtbl* CreateCompiledOperator() { return &kVtbl; }
+)";
+  // Suppress unused-warnings noise in case the predicate folded to a
+  // constant (mixed-type ordering comparisons lower to true/false).
+  return tu;
+}
+
+std::string EmitJoinTU(const JoinSpec& spec) {
+  const size_t a0 = spec.types[0].size();
+  const size_t a1 = spec.types[1].size();
+
+  std::string tu;
+  tu += "// Generated by genmig codegen (hash-join shape). Do not edit.\n";
+  tu += kAbiDecls;
+  tu += kCommonHelpers;
+  tu += "\n#include <vector>\n\nnamespace {\n\n";
+  tu += "constexpr uint64_t kA0 = " + std::to_string(a0) + ";\n";
+  tu += "constexpr uint64_t kA1 = " + std::to_string(a1) + ";\n";
+  tu += "constexpr uint64_t kKey0 = " + std::to_string(spec.key[0]) + ";\n";
+  tu += "constexpr uint64_t kKey1 = " + std::to_string(spec.key[1]) + ";\n";
+  tu += R"(
+// One state entry: key, packed validity interval, lineage, latency stamp,
+// the row's raw 8-byte column patterns (fixed arity, no indirection) and an
+// intrusive link to the next entry with the same key. Entries live in a
+// flat pool in global insertion order.
+template <uint64_t A>
+struct Entry {
+  GmTs ts;
+  GmTs te;
+  int64_t key;
+  int32_t next;  // Pool index of the next same-key entry; -1 = chain tail.
+  uint32_t epoch;
+  uint64_t ingress;
+  int64_t cols[A];
+};
+
+inline uint64_t HashKey(int64_t k) {
+  const uint64_t x = static_cast<uint64_t>(k) * 0x9e3779b97f4a7c15ULL;
+  return x ^ (x >> 32);
+}
+
+// One join side: an open-addressing table (power-of-2, linear probing)
+// mapping key -> head/tail of the per-key insertion-order chain through the
+// flat entry pool. Unlike unordered_map<key, vector>, inserting a fresh key
+// allocates nothing (the pool and table grow amortized), and a probe
+// touches one table slot plus the chain entries.
+template <uint64_t A>
+struct Side {
+  struct Bucket {
+    int64_t key;
+    int32_t head;  // -1 = empty slot.
+    int32_t tail;
+  };
+  std::vector<Bucket> table;
+  std::vector<Entry<A>> pool;  // Live entries only, insertion order.
+  uint64_t mask = 0;
+  uint64_t used = 0;  // Occupied buckets (distinct keys).
+
+  Side() { Reset(64); }
+
+  void Reset(uint64_t cap) {
+    table.assign(cap, Bucket{0, -1, -1});
+    mask = cap - 1;
+    used = 0;
+  }
+
+  // Index of `key`'s bucket, or of the empty slot where it would go.
+  uint64_t Slot(int64_t key) const {
+    uint64_t i = HashKey(key) & mask;
+    while (table[i].head >= 0 && table[i].key != key) i = (i + 1) & mask;
+    return i;
+  }
+
+  void Rehash() {
+    std::vector<Bucket> old;
+    old.swap(table);
+    table.assign(old.size() * 2, Bucket{0, -1, -1});
+    mask = table.size() - 1;
+    for (const Bucket& b : old) {
+      if (b.head < 0) continue;
+      uint64_t i = HashKey(b.key) & mask;
+      while (table[i].head >= 0) i = (i + 1) & mask;
+      table[i] = b;
+    }
+  }
+
+  // Chains pool entry `e` (already filled, next overwritten) into its
+  // key's bucket, keeping per-key insertion order.
+  void Link(int32_t e) {
+    if ((used + 1) * 4 > table.size() * 3) Rehash();
+    Entry<A>& en = pool[static_cast<uint64_t>(e)];
+    en.next = -1;
+    Bucket& b = table[Slot(en.key)];
+    if (b.head < 0) {
+      b.key = en.key;
+      b.head = e;
+      ++used;
+    } else {
+      pool[static_cast<uint64_t>(b.tail)].next = e;
+    }
+    b.tail = e;
+  }
+};
+using Side0 = Side<kA0>;
+using Side1 = Side<kA1>;
+
+struct State {
+  Side0 side0;
+  Side1 side1;
+  GmTs min_end[2] = {kTsMax, kTsMax};
+
+  // Result staging (pointers handed out stay valid until the next call).
+  std::vector<int64_t> out_cols[kA0 + kA1];
+  const int64_t* out_ptrs[kA0 + kA1];
+  std::vector<GmTs> out_ts, out_te;
+  std::vector<uint32_t> out_epoch;
+  std::vector<uint64_t> out_ingress;
+  std::vector<uint32_t> expired[2];
+};
+
+void* Create() { return new State(); }
+void Destroy(void* self) { delete static_cast<State*>(self); }
+
+void ClearOut(State* s) {
+  for (uint64_t j = 0; j < kA0 + kA1; ++j) s->out_cols[j].clear();
+  s->out_ts.clear();
+  s->out_te.clear();
+  s->out_epoch.clear();
+  s->out_ingress.clear();
+}
+
+void FillOut(State* s, GmJoinOut* out) {
+  for (uint64_t j = 0; j < kA0 + kA1; ++j) {
+    s->out_ptrs[j] = s->out_cols[j].data();
+  }
+  out->cols = s->out_ptrs;
+  out->starts = s->out_ts.data();
+  out->ends = s->out_te.data();
+  out->epochs = s->out_epoch.data();
+  out->ingress = s->out_ingress.data();
+  out->nrows = s->out_ts.size();
+}
+
+// Probe-then-insert, row by row, in the interpreter's exact order: row i's
+// insert is visible to row i+1's probe, and matches enumerate the stored
+// chain in insertion order.
+template <int P, typename SMine, typename SOther>
+void PushSide(State* s, SMine& mine, SOther& other, const GmJoinIn* in,
+              bool probe) {
+  constexpr uint64_t kMineA = P == 0 ? kA0 : kA1;
+  constexpr uint64_t kOtherA = P == 0 ? kA1 : kA0;
+  constexpr uint64_t kKey = P == 0 ? kKey0 : kKey1;
+  const uint8_t* keys = in->cols[kKey];
+  const uint64_t st = in->stride;
+  for (uint64_t i = 0; i < in->nrows; ++i) {
+    const int64_t key = gm_i64(keys, i, st);
+    const GmTs ts = in->starts[i];
+    const GmTs te = in->ends[i];
+    if (probe) {
+      const auto& bucket = other.table[other.Slot(key)];
+      for (int32_t j = bucket.head; j >= 0;
+           j = other.pool[static_cast<uint64_t>(j)].next) {
+        const auto& e = other.pool[static_cast<uint64_t>(j)];
+        if (TsLt(ts, e.te) && TsLt(e.ts, te)) {
+          // Result: intersection interval, left columns then right
+          // columns, min epoch, the probe's ingress stamp.
+          for (uint64_t c = 0; c < kMineA; ++c) {
+            const uint64_t slot = P == 0 ? c : kOtherA + c;
+            s->out_cols[slot].push_back(gm_i64(in->cols[c], i, st));
+          }
+          for (uint64_t c = 0; c < kOtherA; ++c) {
+            const uint64_t slot = P == 0 ? kMineA + c : c;
+            s->out_cols[slot].push_back(e.cols[c]);
+          }
+          s->out_ts.push_back(TsLt(ts, e.ts) ? e.ts : ts);
+          s->out_te.push_back(TsLt(te, e.te) ? te : e.te);
+          s->out_epoch.push_back(
+              in->epochs[i] < e.epoch ? in->epochs[i] : e.epoch);
+          s->out_ingress.push_back(in->ingress[i]);
+        }
+      }
+    }
+    const int32_t idx = static_cast<int32_t>(mine.pool.size());
+    mine.pool.emplace_back();
+    auto& en = mine.pool.back();
+    en.ts = ts;
+    en.te = te;
+    en.key = key;
+    en.epoch = in->epochs[i];
+    en.ingress = in->ingress[i];
+    for (uint64_t c = 0; c < kMineA; ++c) {
+      en.cols[c] = gm_i64(in->cols[c], i, st);
+    }
+    mine.Link(idx);
+    if (TsLt(te, s->min_end[P])) s->min_end[P] = te;
+  }
+}
+
+void JoinPush(void* self, int32_t port, const GmJoinIn* in, GmJoinOut* out) {
+  State* s = static_cast<State*>(self);
+  ClearOut(s);
+  if (port == 0) {
+    PushSide<0>(s, s->side0, s->side1, in, true);
+  } else {
+    PushSide<1>(s, s->side1, s->side0, in, true);
+  }
+  FillOut(s, out);
+}
+
+void JoinSeed(void* self, int32_t port, const GmJoinIn* in) {
+  State* s = static_cast<State*>(self);
+  if (port == 0) {
+    PushSide<0>(s, s->side0, s->side1, in, false);
+  } else {
+    PushSide<1>(s, s->side1, s->side0, in, false);
+  }
+}
+
+// The interpreter's expiration: per-side min-end fast path, stable
+// compaction. The pool is compacted in insertion order (so surviving
+// per-key chains keep the interpreter's bucket order) and the table is
+// rebuilt by relinking the survivors. Removed entries' epochs are reported
+// so the host's lineage bookkeeping stays exact.
+template <typename S>
+void ExpireSide(State* s, int side, S& sd, GmTs wm) {
+  s->expired[side].clear();
+  if (TsLt(wm, s->min_end[side])) return;  // min_end > watermark.
+  GmTs new_min = kTsMax;
+  auto& pool = sd.pool;
+  uint64_t kept = 0;
+  for (uint64_t i = 0; i < pool.size(); ++i) {
+    if (TsLt(wm, pool[i].te)) {  // end > watermark: keep.
+      if (TsLt(pool[i].te, new_min)) new_min = pool[i].te;
+      if (kept != i) pool[kept] = pool[i];
+      ++kept;
+    } else {
+      s->expired[side].push_back(pool[i].epoch);
+    }
+  }
+  pool.resize(kept);
+  sd.Reset(sd.table.size());
+  for (uint64_t i = 0; i < kept; ++i) sd.Link(static_cast<int32_t>(i));
+  s->min_end[side] = new_min;
+}
+
+void JoinExpire(void* self, GmTs wm, GmExpired* out) {
+  State* s = static_cast<State*>(self);
+  ExpireSide(s, 0, s->side0, wm);
+  ExpireSide(s, 1, s->side1, wm);
+  for (int side = 0; side < 2; ++side) {
+    out->epochs[side] = s->expired[side].data();
+    out->n[side] = s->expired[side].size();
+  }
+}
+
+template <typename S>
+void ExportSide(State* s, uint64_t arity, const S& sd) {
+  for (const auto& e : sd.pool) {
+    for (uint64_t j = 0; j < arity; ++j) s->out_cols[j].push_back(e.cols[j]);
+    s->out_ts.push_back(e.ts);
+    s->out_te.push_back(e.te);
+    s->out_epoch.push_back(e.epoch);
+    s->out_ingress.push_back(e.ingress);
+  }
+}
+
+void JoinExport(void* self, int32_t port, GmJoinOut* out) {
+  State* s = static_cast<State*>(self);
+  ClearOut(s);
+  if (port == 0) {
+    ExportSide(s, kA0, s->side0);
+  } else {
+    ExportSide(s, kA1, s->side1);
+  }
+  FillOut(s, out);
+}
+
+uint64_t JoinStateCount(const void* self) {
+  const State* s = static_cast<const State*>(self);
+  return s->side0.pool.size() + s->side1.pool.size();
+}
+
+// 8 bytes per numeric value, matching the host's Value::PayloadBytes.
+uint64_t JoinStateBytes(const void* self) {
+  const State* s = static_cast<const State*>(self);
+  return 8 * (kA0 * s->side0.pool.size() + kA1 * s->side1.pool.size());
+}
+
+template <typename S>
+void MaxEndSide(const S& sd, GmTs* max_end) {
+  for (const auto& e : sd.pool) {
+    if (TsLt(*max_end, e.te)) *max_end = e.te;
+  }
+}
+
+GmTs JoinMaxStateEnd(const void* self) {
+  const State* s = static_cast<const State*>(self);
+  GmTs max_end = kTsMin;
+  MaxEndSide(s->side0, &max_end);
+  MaxEndSide(s->side1, &max_end);
+  return max_end;
+}
+
+const GmOpVtbl kVtbl = {
+    )";
+  tu += std::to_string(GM_ABI_VERSION) + "u, 2u,\n";
+  tu += R"(    &Create, &Destroy, nullptr,
+    &JoinPush, &JoinExpire, &JoinSeed, &JoinExport,
+    &JoinStateCount, &JoinStateBytes, &JoinMaxStateEnd,
+};
+
+}  // namespace
+
+extern "C" const GmOpVtbl* CreateCompiledOperator() { return &kVtbl; }
+)";
+  return tu;
+}
+
+}  // namespace codegen
+}  // namespace genmig

@@ -1,0 +1,33 @@
+// Lowering: turns a ChainSpec / JoinSpec into the full text of a
+// self-contained C++ translation unit implementing the plugin ABI
+// (codegen/abi.h). Generated TUs include only standard headers plus an
+// embedded copy of the ABI declarations — never repo headers — so they
+// compile against any host toolchain without include paths.
+
+#ifndef GENMIG_CODEGEN_EMIT_H_
+#define GENMIG_CODEGEN_EMIT_H_
+
+#include <string>
+
+#include "codegen/shape.h"
+
+namespace genmig {
+namespace codegen {
+
+/// Emits the plugin TU for a fused stateless chain: one branch-free-ish loop
+/// filling the keep bitmap from typed column arrays, with every predicate
+/// inlined as straight-line typed C++ (interpreter semantics preserved
+/// exactly: cross-type numeric equality, type-tag ordering for mixed-type
+/// comparisons, int64-preserving arithmetic, short-circuit connectives).
+std::string EmitChainTU(const ChainSpec& spec);
+
+/// Emits the plugin TU for a symmetric hash equi-join: typed open hash table
+/// per side (int64 keys, fixed-arity packed rows), probe-then-insert per row
+/// in interpreter order, deferred expiration with the interpreter's bucket
+/// compaction, results staged in column arrays.
+std::string EmitJoinTU(const JoinSpec& spec);
+
+}  // namespace codegen
+}  // namespace genmig
+
+#endif  // GENMIG_CODEGEN_EMIT_H_

@@ -1,0 +1,85 @@
+#include "codegen/engine.h"
+
+#include <utility>
+
+#include "codegen/compiled_op.h"
+#include "codegen/emit.h"
+#include "codegen/shape.h"
+
+namespace genmig {
+namespace codegen {
+
+Engine::Engine(std::string cache_dir) : jit_(std::move(cache_dir)) {}
+
+bool Engine::Available() { return JitCompiler::Available(); }
+
+std::shared_ptr<const CodegenHooks> Engine::MakeHooks(
+    std::shared_ptr<Engine> engine) {
+  auto hooks = std::make_shared<CodegenHooks>();
+  hooks->stateless_chain =
+      [engine](const std::string& name,
+               const std::vector<const LogicalNode*>& chain) {
+        return engine->CompileChain(name, chain);
+      };
+  hooks->hash_join = [engine](const std::string& name,
+                              const LogicalNode& join) {
+    return engine->CompileJoin(name, join);
+  };
+  return hooks;
+}
+
+std::unique_ptr<Operator> Engine::CompileChain(
+    const std::string& name, const std::vector<const LogicalNode*>& chain) {
+  if (!Available()) return nullptr;
+  ChainAnalysis analysis = AnalyzeChain(chain);
+  if (!analysis.ok) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.declines;
+    return nullptr;
+  }
+  const std::string hash = ShapeHash(CanonicalChain(analysis.spec));
+  auto loaded =
+      jit_.CompileAndLoad(hash, EmitChainTU(analysis.spec), kGmOpKindChain);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!loaded.has_value()) {
+    ++stats_.failures;
+    return nullptr;
+  }
+  ++stats_.chains_compiled;
+  if (loaded->cache_hit) ++stats_.cache_hits;
+  stats_.compile_ns_total += loaded->compile_ns;
+  return std::make_unique<CompiledStateless>(name, std::move(analysis.spec),
+                                             loaded->vtbl, hash);
+}
+
+std::unique_ptr<Operator> Engine::CompileJoin(const std::string& name,
+                                              const LogicalNode& join) {
+  if (!Available()) return nullptr;
+  JoinAnalysis analysis = AnalyzeJoin(join);
+  if (!analysis.ok) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.declines;
+    return nullptr;
+  }
+  const std::string hash = ShapeHash(CanonicalJoin(analysis.spec));
+  auto loaded =
+      jit_.CompileAndLoad(hash, EmitJoinTU(analysis.spec), kGmOpKindHashJoin);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!loaded.has_value()) {
+    ++stats_.failures;
+    return nullptr;
+  }
+  ++stats_.joins_compiled;
+  if (loaded->cache_hit) ++stats_.cache_hits;
+  stats_.compile_ns_total += loaded->compile_ns;
+  return std::make_unique<CompiledHashJoin>(name, std::move(analysis.spec),
+                                            loaded->vtbl, hash);
+}
+
+Engine::Stats Engine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace codegen
+}  // namespace genmig

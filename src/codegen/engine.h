@@ -1,0 +1,66 @@
+// codegen::Engine — the subsystem front door. Bridges the plan compiler's
+// CodegenHooks to the pipeline analyze (shape.h) → emit (emit.h) → jit
+// (jit.h) → wrap (compiled_op.h), and keeps counters for introspection.
+// Thread-safe: shard runtimes compile their per-shard boxes concurrently,
+// and the background-codegen worker compiles while the serving thread runs.
+
+#ifndef GENMIG_CODEGEN_ENGINE_H_
+#define GENMIG_CODEGEN_ENGINE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "codegen/jit.h"
+#include "plan/compile.h"
+
+namespace genmig {
+namespace codegen {
+
+class Engine {
+ public:
+  struct Stats {
+    size_t chains_compiled = 0;  // Compiled-chain operators built.
+    size_t joins_compiled = 0;   // Compiled-join operators built.
+    size_t cache_hits = 0;       // Builds served from the shape cache.
+    size_t declines = 0;         // Regions the analyzer turned down.
+    size_t failures = 0;         // Toolchain/compile/load failures.
+    int64_t compile_ns_total = 0;  // Wall time spent in the host compiler.
+  };
+
+  /// `cache_dir` empty uses the JitCompiler default ($GENMIG_CODEGEN_CACHE
+  /// or <temp>/genmig-shape-cache).
+  explicit Engine(std::string cache_dir = "");
+
+  /// True when native compilation can work at all on this machine (host
+  /// compiler present, dlopen available). When false every hook declines and
+  /// plans run fully interpreted.
+  static bool Available();
+
+  /// Builds the plan-compiler hooks. The returned hooks share ownership of
+  /// `engine`, so boxes can be (re)compiled — e.g. by migration box
+  /// factories — after the creating scope is gone.
+  static std::shared_ptr<const CodegenHooks> MakeHooks(
+      std::shared_ptr<Engine> engine);
+
+  /// Hook bodies (also callable directly by tests). Return nullptr to
+  /// decline; the plan compiler then falls back to interpreted operators.
+  std::unique_ptr<Operator> CompileChain(
+      const std::string& name, const std::vector<const LogicalNode*>& chain);
+  std::unique_ptr<Operator> CompileJoin(const std::string& name,
+                                        const LogicalNode& join);
+
+  Stats stats() const;
+  const std::string& cache_dir() const { return jit_.cache_dir(); }
+
+ private:
+  JitCompiler jit_;
+  mutable std::mutex mu_;
+  Stats stats_;
+};
+
+}  // namespace codegen
+}  // namespace genmig
+
+#endif  // GENMIG_CODEGEN_ENGINE_H_

@@ -1,0 +1,221 @@
+#include "codegen/jit.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#if defined(__unix__) || defined(__APPLE__)
+#if __has_include(<dlfcn.h>)
+#include <dlfcn.h>
+#define GENMIG_HAVE_DLOPEN 1
+#endif
+#endif
+
+#ifndef GENMIG_HOST_CXX
+#define GENMIG_HOST_CXX ""
+#endif
+
+namespace genmig {
+namespace codegen {
+namespace {
+
+// Handles are never dlclosed (see jit.h) and the vtable cache is keyed by
+// absolute .so path, shared by every JitCompiler in the process (including
+// one per shard runtime).
+std::mutex& GlobalMutex() {
+  static std::mutex m;
+  return m;
+}
+std::map<std::string, const GmOpVtbl*>& LoadedMap() {
+  static std::map<std::string, const GmOpVtbl*> m;
+  return m;
+}
+
+std::string DiscoverCompiler() {
+  if (const char* env = std::getenv("GENMIG_CXX"); env != nullptr && *env) {
+    return env;
+  }
+  std::string baked = GENMIG_HOST_CXX;
+  if (!baked.empty()) return baked;
+  return "c++";
+}
+
+/// One-time probe: does the discovered compiler accept our flags at all?
+/// (Compiling an empty shared object is ~the cheapest full pipeline test.)
+bool ProbeCompiler(const std::string& cxx) {
+#ifndef GENMIG_HAVE_DLOPEN
+  (void)cxx;
+  return false;
+#else
+  std::string cmd = cxx + " --version > /dev/null 2>&1";
+  return std::system(cmd.c_str()) == 0;
+#endif
+}
+
+struct Toolchain {
+  std::string cxx;
+  bool available;
+};
+
+const Toolchain& GetToolchain() {
+  static const Toolchain tc = [] {
+    Toolchain t;
+    t.cxx = DiscoverCompiler();
+    t.available = ProbeCompiler(t.cxx);
+    return t;
+  }();
+  return tc;
+}
+
+std::string DefaultCacheDir() {
+  if (const char* env = std::getenv("GENMIG_CODEGEN_CACHE");
+      env != nullptr && *env) {
+    return env;
+  }
+  const char* tmp = std::getenv("TMPDIR");
+  std::string base = (tmp != nullptr && *tmp) ? tmp : "/tmp";
+  if (!base.empty() && base.back() == '/') base.pop_back();
+  return base + "/genmig-shape-cache";
+}
+
+bool EnsureDir(const std::string& dir) {
+  struct stat st{};
+  if (::stat(dir.c_str(), &st) == 0) return S_ISDIR(st.st_mode);
+  return ::mkdir(dir.c_str(), 0755) == 0 ||
+         (::stat(dir.c_str(), &st) == 0 && S_ISDIR(st.st_mode));
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+const GmOpVtbl* LoadVtbl(const std::string& so_path, GmOpKind expected_kind,
+                         std::string* error) {
+#ifndef GENMIG_HAVE_DLOPEN
+  (void)so_path;
+  (void)expected_kind;
+  *error = "dlopen not available on this platform";
+  return nullptr;
+#else
+  void* handle = ::dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    const char* e = ::dlerror();
+    *error = e != nullptr ? e : "dlopen failed";
+    return nullptr;
+  }
+  auto create = reinterpret_cast<GmCreateCompiledOperatorFn>(
+      ::dlsym(handle, "CreateCompiledOperator"));
+  if (create == nullptr) {
+    *error = "CreateCompiledOperator symbol missing";
+    return nullptr;
+  }
+  const GmOpVtbl* vtbl = create();
+  if (vtbl == nullptr || vtbl->abi_version != GM_ABI_VERSION ||
+      vtbl->kind != static_cast<uint32_t>(expected_kind)) {
+    *error = "plugin ABI/kind mismatch";
+    return nullptr;
+  }
+  return vtbl;
+#endif
+}
+
+void AppendLog(const std::string& log_path, const std::string& msg) {
+  std::ofstream log(log_path, std::ios::app);
+  log << msg << "\n";
+}
+
+}  // namespace
+
+JitCompiler::JitCompiler(std::string cache_dir)
+    : cache_dir_(cache_dir.empty() ? DefaultCacheDir() : std::move(cache_dir)) {
+}
+
+bool JitCompiler::Available() { return GetToolchain().available; }
+
+const std::string& JitCompiler::CompilerCommand() {
+  return GetToolchain().cxx;
+}
+
+std::optional<LoadedPlugin> JitCompiler::CompileAndLoad(
+    const std::string& shape_hash, const std::string& tu_source,
+    GmOpKind expected_kind) {
+  if (!Available()) return std::nullopt;
+
+  std::lock_guard<std::mutex> lock(GlobalMutex());
+  if (!EnsureDir(cache_dir_)) return std::nullopt;
+
+  const std::string so_path = cache_dir_ + "/" + shape_hash + ".so";
+  const std::string log_path = cache_dir_ + "/" + shape_hash + ".log";
+
+  LoadedPlugin out;
+  out.so_path = so_path;
+
+  if (auto it = LoadedMap().find(so_path); it != LoadedMap().end()) {
+    out.vtbl = it->second;
+    out.cache_hit = true;
+    return out;
+  }
+
+  std::string error;
+  if (FileExists(so_path)) {
+    out.vtbl = LoadVtbl(so_path, expected_kind, &error);
+    if (out.vtbl != nullptr) {
+      out.cache_hit = true;
+      LoadedMap()[so_path] = out.vtbl;
+      return out;
+    }
+    // Stale or corrupt cache entry (e.g. an older ABI with the same hash
+    // after a cache dir reuse); fall through and rebuild it.
+    AppendLog(log_path, "reload failed, rebuilding: " + error);
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Unique temp names so concurrent processes racing on the same shape are
+  // safe: both compile, both rename, last rename wins, both results are
+  // byte-equivalent by construction.
+  const std::string tag = std::to_string(static_cast<long>(::getpid()));
+  const std::string cc_path = so_path + ".tmp." + tag + ".cc";
+  const std::string so_tmp = so_path + ".tmp." + tag;
+  {
+    std::ofstream src(cc_path, std::ios::trunc);
+    if (!src) return std::nullopt;
+    src << tu_source;
+  }
+
+  // No -Wall: generated TUs may contain unused typed-column declarations
+  // when a predicate folds to a constant.
+  std::string cmd = GetToolchain().cxx + " -std=c++20 -O2 -fPIC -shared '" +
+                    cc_path + "' -o '" + so_tmp + "' 2> '" + log_path + "'";
+  const int rc = std::system(cmd.c_str());
+  std::remove(cc_path.c_str());
+  if (rc != 0) {
+    std::remove(so_tmp.c_str());
+    AppendLog(log_path, "compile failed (exit " + std::to_string(rc) + ")");
+    return std::nullopt;
+  }
+  if (std::rename(so_tmp.c_str(), so_path.c_str()) != 0) {
+    std::remove(so_tmp.c_str());
+    return std::nullopt;
+  }
+
+  out.compile_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  out.vtbl = LoadVtbl(so_path, expected_kind, &error);
+  if (out.vtbl == nullptr) {
+    AppendLog(log_path, "load failed: " + error);
+    return std::nullopt;
+  }
+  LoadedMap()[so_path] = out.vtbl;
+  return out;
+}
+
+}  // namespace codegen
+}  // namespace genmig

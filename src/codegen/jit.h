@@ -1,0 +1,64 @@
+// Runtime compilation of generated plugin TUs. The JitCompiler shells out to
+// the host C++ toolchain (discovered via GENMIG_CXX, then the
+// CMake-recorded compiler, then `c++` on PATH), caches the resulting shared
+// objects by shape hash so identical query shapes compile exactly once per
+// machine, and dlopen's them. Loaded handles are process-global and never
+// dlclosed: compiled operators may outlive the engine that created them
+// (GenMig drains old boxes asynchronously), and re-loading the same .so is a
+// map lookup.
+//
+// Everything degrades silently: no usable compiler, no dlfcn, an unwritable
+// cache directory, or a failed compile all surface as "not available" /
+// nullopt, and the caller falls back to the interpreted path.
+
+#ifndef GENMIG_CODEGEN_JIT_H_
+#define GENMIG_CODEGEN_JIT_H_
+
+#include <optional>
+#include <string>
+
+#include "codegen/abi.h"
+
+namespace genmig {
+namespace codegen {
+
+/// Result of loading one compiled plugin: the vtable plus provenance for
+/// stats and logging.
+struct LoadedPlugin {
+  const GmOpVtbl* vtbl = nullptr;
+  std::string so_path;
+  bool cache_hit = false;     // .so already existed (or was already loaded).
+  int64_t compile_ns = 0;     // 0 on a cache hit.
+};
+
+class JitCompiler {
+ public:
+  /// `cache_dir` empty means the default: $GENMIG_CODEGEN_CACHE if set, else
+  /// <system temp>/genmig-shape-cache.
+  explicit JitCompiler(std::string cache_dir = "");
+
+  /// True when a host compiler answered the one-time probe and dlopen is
+  /// compiled in. Cheap after the first call.
+  static bool Available();
+
+  /// The compiler command in use (for toolchain metadata / logs).
+  static const std::string& CompilerCommand();
+
+  /// Compiles (or loads from cache) the TU for `shape_hash` and returns the
+  /// plugin vtable. Returns nullopt — never throws, never aborts — when the
+  /// toolchain is unavailable or the compile/load fails; the error is
+  /// appended to <cache>/<hash>.log for inspection.
+  std::optional<LoadedPlugin> CompileAndLoad(const std::string& shape_hash,
+                                             const std::string& tu_source,
+                                             GmOpKind expected_kind);
+
+  const std::string& cache_dir() const { return cache_dir_; }
+
+ private:
+  std::string cache_dir_;
+};
+
+}  // namespace codegen
+}  // namespace genmig
+
+#endif  // GENMIG_CODEGEN_JIT_H_

@@ -1,0 +1,349 @@
+#include "codegen/shape.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "codegen/abi.h"
+
+namespace genmig {
+namespace codegen {
+namespace {
+
+char TypeChar(ValueType t) {
+  switch (t) {
+    case ValueType::kInt64:
+      return 'I';
+    case ValueType::kDouble:
+      return 'D';
+    case ValueType::kString:
+      return 'S';
+  }
+  return '?';
+}
+
+/// Static result type of an expression over typed input columns, mirroring
+/// the interpreter: comparisons and boolean connectives yield int64 0/1,
+/// arithmetic stays int64 only when both operands are int64.
+ValueType ExprType(const Expr& e, const std::vector<ValueType>& input_types) {
+  switch (e.kind()) {
+    case Expr::Kind::kColumn:
+      return input_types[e.column_index()];
+    case Expr::Kind::kConst:
+      return e.constant().type();
+    case Expr::Kind::kArith: {
+      const ValueType l = ExprType(*e.children()[0], input_types);
+      const ValueType r = ExprType(*e.children()[1], input_types);
+      return (l == ValueType::kInt64 && r == ValueType::kInt64)
+                 ? ValueType::kInt64
+                 : ValueType::kDouble;
+    }
+    case Expr::Kind::kCompare:
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr:
+    case Expr::Kind::kNot:
+      return ValueType::kInt64;
+  }
+  return ValueType::kInt64;
+}
+
+/// Checks an already-rewritten predicate against the compilable subset.
+bool ExprSupported(const Expr& e, const std::vector<ValueType>& input_types,
+                   std::string* reason) {
+  switch (e.kind()) {
+    case Expr::Kind::kColumn:
+      if (e.column_index() >= input_types.size()) {
+        *reason = "column out of schema";
+        return false;
+      }
+      if (input_types[e.column_index()] == ValueType::kString) {
+        *reason = "string column in predicate";
+        return false;
+      }
+      return true;
+    case Expr::Kind::kConst:
+      if (e.constant().is_string()) {
+        *reason = "string constant in predicate";
+        return false;
+      }
+      return true;
+    case Expr::Kind::kArith:
+      if (e.arith_op() == Expr::ArithOp::kDiv &&
+          ExprType(e, input_types) == ValueType::kInt64) {
+        // The interpreter aborts the process on an int64 zero divisor
+        // (GENMIG_CHECK_NE); generated code cannot reproduce that.
+        *reason = "int64 division";
+        return false;
+      }
+      break;
+    default:
+      break;
+  }
+  for (const ExprPtr& child : e.children()) {
+    if (!ExprSupported(*child, input_types, reason)) return false;
+  }
+  return true;
+}
+
+/// Structural clone with every column index mapped through `colmap`
+/// (projection composition: predicate indices refer to the projected row,
+/// colmap takes them back to chain-input columns).
+ExprPtr RewriteColumns(const Expr& e, const std::vector<size_t>& colmap,
+                       bool* ok) {
+  switch (e.kind()) {
+    case Expr::Kind::kColumn:
+      if (e.column_index() >= colmap.size()) {
+        *ok = false;
+        return Expr::Const(Value(int64_t{0}));
+      }
+      return Expr::Column(colmap[e.column_index()]);
+    case Expr::Kind::kConst:
+      return Expr::Const(e.constant());
+    case Expr::Kind::kCompare:
+      return Expr::Compare(e.cmp_op(),
+                           RewriteColumns(*e.children()[0], colmap, ok),
+                           RewriteColumns(*e.children()[1], colmap, ok));
+    case Expr::Kind::kArith:
+      return Expr::Arith(e.arith_op(),
+                         RewriteColumns(*e.children()[0], colmap, ok),
+                         RewriteColumns(*e.children()[1], colmap, ok));
+    case Expr::Kind::kAnd:
+      return Expr::And(RewriteColumns(*e.children()[0], colmap, ok),
+                       RewriteColumns(*e.children()[1], colmap, ok));
+    case Expr::Kind::kOr:
+      return Expr::Or(RewriteColumns(*e.children()[0], colmap, ok),
+                      RewriteColumns(*e.children()[1], colmap, ok));
+    case Expr::Kind::kNot:
+      return Expr::Not(RewriteColumns(*e.children()[0], colmap, ok));
+  }
+  *ok = false;
+  return Expr::Const(Value(int64_t{0}));
+}
+
+std::vector<ValueType> SchemaTypes(const Schema& schema) {
+  std::vector<ValueType> types;
+  types.reserve(schema.size());
+  for (const Column& c : schema.columns()) types.push_back(c.type);
+  return types;
+}
+
+}  // namespace
+
+ChainAnalysis AnalyzeChain(const std::vector<const LogicalNode*>& chain) {
+  ChainAnalysis out;
+  if (chain.empty()) {
+    out.reason = "empty chain";
+    return out;
+  }
+  const LogicalNode* bottom = chain.back();
+  if (bottom->children.empty() || bottom->children[0] == nullptr) {
+    out.reason = "chain has no input";
+    return out;
+  }
+  const Schema& input_schema = bottom->children[0]->schema;
+  if (input_schema.size() == 0) {
+    out.reason = "input schema unknown";
+    return out;
+  }
+  ChainSpec& spec = out.spec;
+  spec.input_types = SchemaTypes(input_schema);
+
+  // Output column i currently maps to input column colmap[i]; starts as the
+  // identity and composes through each projection.
+  std::vector<size_t> colmap(spec.input_types.size());
+  for (size_t i = 0; i < colmap.size(); ++i) colmap[i] = i;
+
+  // Execution order is bottom-up: the compiler collected the chain
+  // root-first.
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    const LogicalNode& node = **it;
+    switch (node.kind) {
+      case LogicalNode::Kind::kSelect: {
+        if (node.predicate == nullptr) {
+          out.reason = "selection without predicate";
+          return out;
+        }
+        bool ok = true;
+        ExprPtr rewritten = RewriteColumns(*node.predicate, colmap, &ok);
+        if (!ok) {
+          out.reason = "predicate column out of projected row";
+          return out;
+        }
+        if (!ExprSupported(*rewritten, spec.input_types, &out.reason)) {
+          return out;
+        }
+        spec.predicates.push_back(std::move(rewritten));
+        break;
+      }
+      case LogicalNode::Kind::kProject: {
+        std::vector<size_t> next;
+        next.reserve(node.project_fields.size());
+        for (size_t f : node.project_fields) {
+          if (f >= colmap.size()) {
+            out.reason = "projection field out of row";
+            return out;
+          }
+          next.push_back(colmap[f]);
+        }
+        colmap = std::move(next);
+        break;
+      }
+      case LogicalNode::Kind::kWindow:
+        if (node.window_kind != LogicalNode::WindowKind::kTime) {
+          out.reason = "count window in chain";
+          return out;
+        }
+        spec.window_extend += node.window;
+        break;
+      default:
+        out.reason = "non-stateless node in chain";
+        return out;
+    }
+  }
+
+  if (spec.predicates.empty()) {
+    // Pure project/window chains are straight column copies either way; a
+    // native plugin buys nothing over the fused interpreter.
+    out.reason = "no selection in chain";
+    return out;
+  }
+
+  spec.output_cols = colmap;
+  spec.output_types.reserve(colmap.size());
+  for (size_t c : colmap) spec.output_types.push_back(spec.input_types[c]);
+
+  std::vector<size_t> cols;
+  for (const ExprPtr& p : spec.predicates) p->CollectColumns(&cols);
+  std::sort(cols.begin(), cols.end());
+  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  spec.needed_cols = std::move(cols);
+
+  out.ok = true;
+  return out;
+}
+
+JoinAnalysis AnalyzeJoin(const LogicalNode& join) {
+  JoinAnalysis out;
+  if (join.kind != LogicalNode::Kind::kJoin) {
+    out.reason = "not a join";
+    return out;
+  }
+  if (!join.equi_keys.has_value() || join.predicate != nullptr) {
+    out.reason = "not a pure equi-join";
+    return out;
+  }
+  if (join.children.size() != 2 || join.children[0] == nullptr ||
+      join.children[1] == nullptr) {
+    out.reason = "join without two inputs";
+    return out;
+  }
+  JoinSpec& spec = out.spec;
+  spec.types[0] = SchemaTypes(join.children[0]->schema);
+  spec.types[1] = SchemaTypes(join.children[1]->schema);
+  spec.key[0] = join.equi_keys->first;
+  spec.key[1] = join.equi_keys->second;
+  for (int side = 0; side < 2; ++side) {
+    if (spec.types[side].empty()) {
+      out.reason = "input schema unknown";
+      return out;
+    }
+    if (spec.key[side] >= spec.types[side].size()) {
+      out.reason = "key column out of schema";
+      return out;
+    }
+    if (spec.types[side][spec.key[side]] != ValueType::kInt64) {
+      out.reason = "non-int64 key column";
+      return out;
+    }
+    for (ValueType t : spec.types[side]) {
+      if (t == ValueType::kString) {
+        out.reason = "string column in join input";
+        return out;
+      }
+    }
+  }
+  out.ok = true;
+  return out;
+}
+
+std::string CanonicalExpr(const Expr& e) {
+  switch (e.kind()) {
+    case Expr::Kind::kColumn:
+      return "$" + std::to_string(e.column_index());
+    case Expr::Kind::kConst: {
+      const Value& v = e.constant();
+      if (v.is_int64()) return "i" + std::to_string(v.AsInt64());
+      if (v.is_double()) {
+        // Bit-exact: the hash must distinguish 0.1 from the nearest double
+        // printed the same way.
+        uint64_t bits = 0;
+        const double d = v.AsDouble();
+        std::memcpy(&bits, &d, sizeof(bits));
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "d%016llx",
+                      static_cast<unsigned long long>(bits));
+        return buf;
+      }
+      return "s?";  // Unreachable: string constants are declined upstream.
+    }
+    case Expr::Kind::kCompare: {
+      std::string s = "(C";
+      s += std::to_string(static_cast<int>(e.cmp_op()));
+      s += " " + CanonicalExpr(*e.children()[0]);
+      s += " " + CanonicalExpr(*e.children()[1]) + ")";
+      return s;
+    }
+    case Expr::Kind::kArith: {
+      std::string s = "(A";
+      s += std::to_string(static_cast<int>(e.arith_op()));
+      s += " " + CanonicalExpr(*e.children()[0]);
+      s += " " + CanonicalExpr(*e.children()[1]) + ")";
+      return s;
+    }
+    case Expr::Kind::kAnd:
+      return "(& " + CanonicalExpr(*e.children()[0]) + " " +
+             CanonicalExpr(*e.children()[1]) + ")";
+    case Expr::Kind::kOr:
+      return "(| " + CanonicalExpr(*e.children()[0]) + " " +
+             CanonicalExpr(*e.children()[1]) + ")";
+    case Expr::Kind::kNot:
+      return "(! " + CanonicalExpr(*e.children()[0]) + ")";
+  }
+  return "?";
+}
+
+std::string CanonicalChain(const ChainSpec& spec) {
+  std::string s = "abi" + std::to_string(GM_ABI_VERSION) + ";chain;in=";
+  for (ValueType t : spec.input_types) s += TypeChar(t);
+  s += ";pred=";
+  for (const ExprPtr& p : spec.predicates) s += CanonicalExpr(*p) + ",";
+  s += ";out=";
+  for (size_t c : spec.output_cols) s += std::to_string(c) + ",";
+  s += ";w=" + std::to_string(spec.window_extend);
+  return s;
+}
+
+std::string CanonicalJoin(const JoinSpec& spec) {
+  std::string s = "abi" + std::to_string(GM_ABI_VERSION) + ";hashjoin";
+  for (int side = 0; side < 2; ++side) {
+    s += side == 0 ? ";l=" : ";r=";
+    for (ValueType t : spec.types[side]) s += TypeChar(t);
+    s += ";k" + std::to_string(side) + "=" + std::to_string(spec.key[side]);
+  }
+  return s;
+}
+
+std::string ShapeHash(const std::string& canonical) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a 64-bit offset basis.
+  for (const char c : canonical) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;  // FNV prime.
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+}  // namespace codegen
+}  // namespace genmig

@@ -1,0 +1,90 @@
+// Query-shape analysis for the codegen subsystem: decides whether a plan
+// region (a maximal stateless chain, or a hash-joinable join node) is
+// compilable to native code, and reduces it to a minimal spec — typed
+// columns, index-rewritten predicates, key positions — from which emit.cc
+// generates a translation unit. The spec's canonical serialization (plus the
+// ABI version) is FNV-1a-hashed into the shape hash that keys the compiled
+// plugin cache: two regions with the same spec share one .so.
+
+#ifndef GENMIG_CODEGEN_SHAPE_H_
+#define GENMIG_CODEGEN_SHAPE_H_
+
+#include <string>
+#include <vector>
+
+#include "plan/logical.h"
+
+namespace genmig {
+namespace codegen {
+
+/// A compilable stateless chain, reduced to physical-input terms: every
+/// predicate column reference is rewritten through the chain's projections
+/// onto the chain's input columns, filters are conjoined, and window
+/// extensions are summed (windows read only intervals, so they commute with
+/// the tuple-only filters/projections and apply once at the end).
+struct ChainSpec {
+  std::vector<ValueType> input_types;  // Chain input schema, by column.
+  /// Rewritten selection predicates (all must hold), over input columns.
+  std::vector<ExprPtr> predicates;
+  /// Output column i of the chain is input column output_cols[i].
+  std::vector<size_t> output_cols;
+  std::vector<ValueType> output_types;
+  /// Sum of the chain's time-window sizes, added to every end timestamp.
+  Duration window_extend = 0;
+  /// Sorted, de-duplicated input columns the predicates read; the host
+  /// unboxes exactly these (in this order) for the plugin.
+  std::vector<size_t> needed_cols;
+};
+
+/// A compilable symmetric hash equi-join: all columns numeric (rows cross
+/// the ABI as raw 8-byte patterns), both key columns int64 (the interpreter
+/// hashes Values with a type-strict equality; a fixed int64 key domain keeps
+/// the compiled hash table behaviorally identical).
+struct JoinSpec {
+  std::vector<ValueType> types[2];  // Left/right input schemas.
+  size_t key[2] = {0, 0};           // Key column per side.
+};
+
+struct ChainAnalysis {
+  bool ok = false;
+  std::string reason;  // Why the chain is not compilable (diagnostics only).
+  ChainSpec spec;
+};
+
+struct JoinAnalysis {
+  bool ok = false;
+  std::string reason;
+  JoinSpec spec;
+};
+
+/// Analyzes a maximal stateless chain as collected by the plan compiler:
+/// `chain` is ordered root-first (execution order is back-to-front), every
+/// node is select/project/time-window, and chain.back()->children[0] is the
+/// chain's input. Declines (ok=false) chains with no selection (nothing to
+/// branch on — the fused interpreter is already a plain copy loop), string
+/// or out-of-schema predicate inputs, string constants, or int64 division
+/// (the interpreter aborts on a zero divisor; compiled code cannot).
+ChainAnalysis AnalyzeChain(const std::vector<const LogicalNode*>& chain);
+
+/// Analyzes a join node for hash-join compilation (equi-keys, no residual
+/// predicate, numeric columns, int64 keys).
+JoinAnalysis AnalyzeJoin(const LogicalNode& join);
+
+/// Deterministic canonical serializations (index-only; column names never
+/// participate, so renamed but structurally identical queries share a
+/// plugin).
+std::string CanonicalChain(const ChainSpec& spec);
+std::string CanonicalJoin(const JoinSpec& spec);
+
+/// 16-hex-digit FNV-1a hash of a canonical serialization; the plugin cache
+/// key.
+std::string ShapeHash(const std::string& canonical);
+
+/// Serializes an expression in canonical index form (used by CanonicalChain
+/// and exposed for tests).
+std::string CanonicalExpr(const Expr& e);
+
+}  // namespace codegen
+}  // namespace genmig
+
+#endif  // GENMIG_CODEGEN_SHAPE_H_

@@ -24,14 +24,41 @@ Dsms::Dsms(Options options)
       timeline_sampler_.set_spill(timeline_spill_.get());
     }
   }
+  // Codegen engine + hooks are created once and shared by every query (and
+  // every shard replica): identical shapes hit the cache instead of
+  // recompiling. When the host toolchain or dlopen is unavailable the hooks
+  // stay null and every mode degrades to the interpreted path.
+  if (options_.codegen != Options::Codegen::kOff &&
+      codegen::Engine::Available()) {
+    codegen_engine_ =
+        std::make_shared<codegen::Engine>(options_.codegen_cache_dir);
+    codegen_hooks_ = codegen::Engine::MakeHooks(codegen_engine_);
+  }
   if (options_.reoptimize_period > 0 || options_.calibration_period > 0 ||
-      options_.timeline_period > 0) {
+      options_.timeline_period > 0 ||
+      options_.codegen == Options::Codegen::kBackground) {
     exec_.after_step = [this]() {
       if (options_.reoptimize_period > 0) MaybeAutoReoptimize();
       if (options_.calibration_period > 0) MaybeCalibrate();
       if (options_.timeline_period > 0) MaybeSampleTimeline();
+      if (options_.codegen == Options::Codegen::kBackground) {
+        MaybeCodegenSwap();
+      }
     };
   }
+}
+
+Dsms::~Dsms() {
+  for (auto& query : queries_) {
+    if (query->codegen_worker.joinable()) query->codegen_worker.join();
+  }
+}
+
+CompileOptions Dsms::MakeCompileOptions(bool with_codegen) const {
+  CompileOptions copt;
+  copt.fuse_stateless = options_.fuse_stateless;
+  if (with_codegen) copt.codegen = codegen_hooks_;  // Null when off/unavailable.
+  return copt;
 }
 
 void Dsms::RegisterStream(const std::string& name, Schema schema,
@@ -107,6 +134,10 @@ Result<Dsms::QueryId> Dsms::Install(LogicalPtr plan) {
       copt.registry = &registry_;
       copt.tracer = &tracer_;
     }
+    // Sharded queries compile eagerly in every codegen mode: their replicas
+    // are built on worker threads anyway, and one shared engine means one
+    // native compile plus N - 1 cache hits.
+    copt.compile = MakeCompileOptions(/*with_codegen=*/true);
     auto coordinator = std::make_unique<par::Coordinator>(plan, copt);
     if (coordinator->spec().ok) {
       query->parallel = true;
@@ -123,7 +154,8 @@ Result<Dsms::QueryId> Dsms::Install(LogicalPtr plan) {
   query->controller = std::make_unique<MigrationController>(
       std::move(qname),
       CompilePlan(*query->stripped, "",
-                  CompileOptions{options_.fuse_stateless}));
+                  MakeCompileOptions(options_.codegen ==
+                                     Options::Codegen::kEager)));
   query->controller->ConnectTo(0, &query->sink, 0);
   if (options_.calibration_period > 0) {
     query->calibrator = CostCalibrator(options_.calibrator);
@@ -158,8 +190,79 @@ Result<Dsms::QueryId> Dsms::Install(LogicalPtr plan) {
     query->taps.push_back(tap);
   }
 
+  // Background codegen: keep serving the interpreted plan; a worker thread
+  // compiles the same shapes into the cache, then after_step swaps the
+  // compiled plan in through a regular GenMig (StartCodegenSwap).
+  if (options_.codegen == Options::Codegen::kBackground &&
+      codegen_hooks_ != nullptr) {
+    Query* raw = query.get();
+    LogicalPtr stripped = query->stripped;
+    CompileOptions copt = MakeCompileOptions(/*with_codegen=*/true);
+    raw->codegen_worker = std::thread([raw, stripped, copt]() {
+      // Throwaway box: its only job is warming the shape cache so the
+      // swap's CompilePlan on the execution thread is all cache hits.
+      Box warm = CompilePlan(*stripped, "warm_", copt);
+      (void)warm;
+      raw->codegen_ready.store(true, std::memory_order_release);
+    });
+  }
+
   queries_.push_back(std::move(query));
   return static_cast<QueryId>(queries_.size()) - 1;
+}
+
+void Dsms::WaitCodegenReady() {
+  for (auto& query : queries_) {
+    if (query->codegen_worker.joinable()) query->codegen_worker.join();
+  }
+}
+
+void Dsms::MaybeCodegenSwap() {
+  for (auto& query : queries_) {
+    Query* q = query.get();
+    if (q->parallel || q->codegen_swapped || q->controller == nullptr) continue;
+    if (!q->codegen_ready.load(std::memory_order_acquire)) continue;
+    if (q->controller->migration_in_progress()) continue;
+    StartCodegenSwap(q);
+  }
+}
+
+void Dsms::StartCodegenSwap(Query* query) {
+  // All shapes were compiled by the worker, so this CompilePlan only pays
+  // cache lookups; the swap itself is an ordinary GenMig at a normal
+  // T_split — snapshot-equivalent by construction.
+  Box new_box =
+      CompilePlan(*query->stripped, "", MakeCompileOptions(true));
+  new_box.ReorderInputs(query->source_names);
+  query->controller->StartGenMig(std::move(new_box), GenMigOptionsFor(*query));
+  query->codegen_swapped = true;
+  query->codegen_swap_t_split = query->controller->t_split();
+}
+
+Dsms::CodegenStatus Dsms::CodegenInfo(QueryId id) const {
+  const Query& query = *queries_.at(static_cast<size_t>(id));
+  CodegenStatus status;
+  status.available = codegen_hooks_ != nullptr;
+  status.mode = options_.codegen;
+  if (codegen_engine_ != nullptr) status.engine = codegen_engine_->stats();
+  if (!status.available) return status;
+  switch (options_.codegen) {
+    case Options::Codegen::kOff:
+      break;
+    case Options::Codegen::kEager:
+      status.ready = true;  // Compiled at install; no swap needed.
+      break;
+    case Options::Codegen::kBackground:
+      if (query.parallel) {
+        status.ready = true;  // Shard replicas compile eagerly.
+      } else {
+        status.ready = query.codegen_ready.load(std::memory_order_acquire);
+        status.swapped = query.codegen_swapped;
+        status.swap_t_split = query.codegen_swap_t_split;
+      }
+      break;
+  }
+  return status;
 }
 
 void Dsms::RunToCompletion() {
@@ -232,14 +335,27 @@ Dsms::QueryInfo Dsms::Info(QueryId id) const {
 
 void Dsms::StartGenMigTo(Query* query, const LogicalPtr& candidate) {
   query->stripped = logical::StripWindows(candidate);
-  Box new_box = CompilePlan(*query->stripped, "",
-                            CompileOptions{options_.fuse_stateless});
+  // Once a query runs compiled (eager, or background after the swap), its
+  // re-optimization targets compile too — a new shape may pay one native
+  // compile here, after which the cache covers it.
+  const bool with_codegen =
+      options_.codegen == Options::Codegen::kEager ||
+      (options_.codegen == Options::Codegen::kBackground &&
+       query->codegen_swapped);
+  Box new_box =
+      CompilePlan(*query->stripped, "", MakeCompileOptions(with_codegen));
   new_box.ReorderInputs(query->source_names);
+  query->controller->StartGenMig(std::move(new_box), GenMigOptionsFor(*query));
+  query->plan = candidate;
+}
+
+MigrationController::GenMigOptions Dsms::GenMigOptionsFor(
+    const Query& query) const {
   MigrationController::GenMigOptions opts;
   opts.variant = options_.variant;
   Duration max_window = 0;
   bool any_count = false;
-  for (const logical::LeafWindowSpec& spec : query->leaf_windows) {
+  for (const logical::LeafWindowSpec& spec : query.leaf_windows) {
     max_window = std::max(max_window, spec.window);
     any_count |= spec.kind == LogicalNode::WindowKind::kCount;
   }
@@ -247,8 +363,7 @@ void Dsms::StartGenMigTo(Query* query, const LogicalPtr& candidate) {
   // T_split from the old box's states instead (Optimization 2).
   opts.end_timestamp_split = any_count;
   opts.window = max_window;
-  query->controller->StartGenMig(std::move(new_box), opts);
-  query->plan = candidate;
+  return opts;
 }
 
 namespace {

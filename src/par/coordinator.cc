@@ -98,6 +98,7 @@ Status Coordinator::Start(const InputMap& inputs) {
     config.out = out_queue_.get();
     config.registry = options_.registry;
     config.tracer = options_.tracer;
+    config.compile = options_.compile;
     config.on_progress = [this] {
       // Wakes WaitMigrationsComplete(); the lock pairs the shard's release
       // store with the barrier's predicate re-check.

@@ -67,6 +67,10 @@ class Coordinator {
     size_t batch_size = 0;
     obs::MetricsRegistry* registry = nullptr;  // Nullable.
     obs::MigrationTracer* tracer = nullptr;    // Nullable.
+    /// Physical-compilation options for every shard's plan replica (fusion,
+    /// codegen hooks). Shards share one codegen engine through the hooks, so
+    /// N identical replicas cost one native compile and N cache hits.
+    CompileOptions compile;
   };
 
   /// Fails (Status) when the plan is not partitionable — callers fall back

@@ -17,7 +17,7 @@ ShardRuntime::ShardRuntime(Config config)
   GENMIG_CHECK(config_.out != nullptr);
   GENMIG_CHECK_EQ(config_.port_sources.size(), config_.port_windows.size());
 
-  Box box = CompilePlan(*config_.stripped_plan, prefix_);
+  Box box = CompilePlan(*config_.stripped_plan, prefix_, config_.compile);
   GENMIG_CHECK_EQ(static_cast<size_t>(box.num_inputs()),
                   config_.port_sources.size());
   controller_ =
@@ -125,7 +125,7 @@ void ShardRuntime::Handle(const ShardInMsg& msg) {
       break;
     case ShardInMsg::Kind::kMigrate: {
       const MigrationOrder& order = *msg.order;
-      Box new_box = CompilePlan(*order.new_plan, prefix_);
+      Box new_box = CompilePlan(*order.new_plan, prefix_, config_.compile);
       new_box.ReorderInputs(order.input_order);
       controller_->StartGenMig(std::move(new_box), order.options);
       break;

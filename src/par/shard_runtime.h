@@ -24,6 +24,7 @@
 #include "ops/sink.h"
 #include "ops/stateless.h"
 #include "par/shard_queue.h"
+#include "plan/compile.h"
 #include "plan/logical.h"
 
 namespace genmig {
@@ -72,6 +73,9 @@ class ShardRuntime {
     BoundedQueue<ShardOutMsg>* out = nullptr;
     obs::MetricsRegistry* registry = nullptr;  // Nullable.
     obs::MigrationTracer* tracer = nullptr;    // Nullable.
+    /// Physical-compilation options for this shard's plan replica (and any
+    /// migration-target boxes it builds).
+    CompileOptions compile;
     /// Invoked (on the shard thread) whenever migrations_completed or
     /// migration_active changes — the coordinator's barrier wakeup.
     std::function<void()> on_progress;

@@ -1,0 +1,470 @@
+// Codegen differential suite: natively compiled plans (src/codegen/) must be
+// indistinguishable from the interpreted engine — byte-identical output for
+// stateless chains and hash joins, identical snapshot normal forms across
+// scalar/batched/sharded execution, and a mid-run interpreter->compiled
+// GenMig swap that stays snapshot-equivalent to the no-migration oracle.
+//
+// Shape-analysis tests run everywhere; everything that needs the host
+// toolchain GTEST_SKIPs when codegen::Engine::Available() is false, so the
+// suite passes (vacuously, for those tests) on machines with no compiler.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <map>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "../test_util.h"
+#include "codegen/engine.h"
+#include "codegen/shape.h"
+#include "engine/dsms.h"
+#include "plan/compile.h"
+#include "plan/executor.h"
+#include "ref/checker.h"
+#include "ref/eval.h"
+#include "stream/generator.h"
+
+namespace genmig {
+namespace {
+
+using namespace logical;  // NOLINT: test readability.
+using testutil::El2;
+
+using RawFeeds = std::map<std::string, std::vector<TimedTuple>>;
+
+/// One engine (and thus one shape cache) for the whole suite: later tests
+/// hit plugins earlier tests compiled.
+std::shared_ptr<codegen::Engine> SharedEngine() {
+  static auto engine = std::make_shared<codegen::Engine>();
+  return engine;
+}
+
+CompileOptions WithCodegen() {
+  CompileOptions copts;
+  copts.codegen = codegen::Engine::MakeHooks(SharedEngine());
+  return copts;
+}
+
+MaterializedStream RunPlan(const LogicalPtr& plan, const RawFeeds& feeds,
+                           const CompileOptions& copts = {},
+                           const Executor::Options& eopts = {}) {
+  Box box = CompilePlan(*plan, "", copts);
+  CollectorSink sink("sink");
+  box.output()->ConnectTo(0, &sink, 0);
+  Executor exec(eopts);
+  const auto names = CollectSourceNames(*plan);
+  GENMIG_CHECK_EQ(names.size(), static_cast<size_t>(box.num_inputs()));
+  for (size_t i = 0; i < names.size(); ++i) {
+    const int feed = exec.AddRawFeed(names[i], feeds.at(names[i]));
+    exec.ConnectFeed(feed, box.input(static_cast<int>(i)), 0);
+  }
+  exec.RunToCompletion();
+  return sink.collected();
+}
+
+size_t CountOps(const Box& box, const std::string& needle) {
+  size_t n = 0;
+  for (const auto& op : box.ops()) {
+    if (op->name().find(needle) != std::string::npos) ++n;
+  }
+  return n;
+}
+
+RawFeeds KeyedFeeds(const std::vector<std::string>& names, size_t n,
+                    uint64_t seed) {
+  RawFeeds feeds;
+  uint64_t salt = 0;
+  for (const std::string& name : names) {
+    std::vector<TimedTuple> feed = GenerateKeyedStream(n, 1, 6, seed + salt++);
+    int64_t i = 0;
+    for (TimedTuple& tt : feed) {
+      tt.tuple = Tuple::OfInts({tt.tuple.field(0).AsInt64(), 100 + (i++ % 5)});
+    }
+    feeds[name] = std::move(feed);
+  }
+  return feeds;
+}
+
+ExprPtr GePred(int64_t threshold) {
+  return Expr::Compare(Expr::CmpOp::kGe, Expr::Column(0),
+                       Expr::Const(Value(threshold)));
+}
+
+LogicalPtr ChainPlan() {
+  // window -> select -> project, the canonical compilable chain.
+  auto src = SourceNode("A", Schema::OfInts({"x", "y"}));
+  return Project(Select(Window(src, 25), GePred(2)), {1, 0});
+}
+
+/// Root-first chain vector the plan compiler would hand to the hook.
+std::vector<const LogicalNode*> ChainNodes(const LogicalPtr& root,
+                                           size_t depth) {
+  std::vector<const LogicalNode*> chain;
+  const LogicalNode* cur = root.get();
+  for (size_t i = 0; i < depth; ++i) {
+    chain.push_back(cur);
+    cur = cur->children[0].get();
+  }
+  return chain;
+}
+
+// --- Shape analysis (no toolchain needed) -----------------------------------
+
+TEST(CodegenShapeTest, AnalyzesSelectProjectWindowChain) {
+  const LogicalPtr plan = ChainPlan();
+  const auto analysis = codegen::AnalyzeChain(ChainNodes(plan, 3));
+  ASSERT_TRUE(analysis.ok) << analysis.reason;
+  EXPECT_EQ(analysis.spec.output_cols, (std::vector<size_t>{1, 0}));
+  EXPECT_EQ(analysis.spec.window_extend, 25);
+  EXPECT_EQ(analysis.spec.predicates.size(), 1u);
+  EXPECT_EQ(analysis.spec.needed_cols, (std::vector<size_t>{0}));
+}
+
+TEST(CodegenShapeTest, PredicateColumnsRewriteThroughProjections) {
+  // select above a column-swapping project: the predicate's $0 must rewrite
+  // to input column 1.
+  auto src = SourceNode("A", Schema::OfInts({"x", "y"}));
+  auto plan = Select(Project(Window(src, 10), {1, 0}), GePred(3));
+  const auto analysis = codegen::AnalyzeChain(ChainNodes(plan, 3));
+  ASSERT_TRUE(analysis.ok) << analysis.reason;
+  EXPECT_EQ(analysis.spec.needed_cols, (std::vector<size_t>{1}));
+}
+
+TEST(CodegenShapeTest, DeclinesChainWithoutSelection) {
+  auto src = SourceNode("A", Schema::OfInts({"x", "y"}));
+  auto plan = Project(Window(src, 25), {1, 0});
+  EXPECT_FALSE(codegen::AnalyzeChain(ChainNodes(plan, 2)).ok);
+}
+
+TEST(CodegenShapeTest, DeclinesInt64Division) {
+  // The interpreter aborts on a zero divisor; compiled code cannot, so
+  // integer division is not compilable.
+  auto src = SourceNode("A", Schema::OfInts({"x", "y"}));
+  auto pred = Expr::Compare(
+      Expr::CmpOp::kGt,
+      Expr::Arith(Expr::ArithOp::kDiv, Expr::Column(0), Expr::Column(1)),
+      Expr::Const(Value(int64_t{0})));
+  auto plan = Select(Window(src, 10), pred);
+  EXPECT_FALSE(codegen::AnalyzeChain(ChainNodes(plan, 2)).ok);
+}
+
+TEST(CodegenShapeTest, AnalyzesEquiJoin) {
+  auto a = Window(SourceNode("A", Schema::OfInts({"x", "y"})), 30);
+  auto b = Window(SourceNode("B", Schema::OfInts({"u", "v"})), 30);
+  const auto analysis = codegen::AnalyzeJoin(*EquiJoin(a, b, 0, 1));
+  ASSERT_TRUE(analysis.ok) << analysis.reason;
+  EXPECT_EQ(analysis.spec.key[0], 0u);
+  EXPECT_EQ(analysis.spec.key[1], 1u);
+  EXPECT_EQ(analysis.spec.types[0].size(), 2u);
+}
+
+TEST(CodegenShapeTest, DeclinesThetaJoin) {
+  auto a = Window(SourceNode("A", Schema::OfInts({"x"})), 30);
+  auto b = Window(SourceNode("B", Schema::OfInts({"u"})), 30);
+  auto pred = Expr::Compare(Expr::CmpOp::kLt, Expr::Column(0),
+                            Expr::Column(1));
+  EXPECT_FALSE(codegen::AnalyzeJoin(*Join(a, b, pred)).ok);
+}
+
+TEST(CodegenShapeTest, ShapeHashIsStableAndConstantSensitive) {
+  auto shape_of = [](int64_t threshold) {
+    auto src = SourceNode("A", Schema::OfInts({"x", "y"}));
+    auto plan = Select(Window(src, 25), GePred(threshold));
+    const auto analysis = codegen::AnalyzeChain(ChainNodes(plan, 2));
+    GENMIG_CHECK(analysis.ok);
+    return codegen::ShapeHash(codegen::CanonicalChain(analysis.spec));
+  };
+  EXPECT_EQ(shape_of(2), shape_of(2));  // Deterministic.
+  EXPECT_NE(shape_of(2), shape_of(3));  // Constants are part of the shape.
+  EXPECT_EQ(shape_of(2).size(), 16u);
+}
+
+TEST(CodegenShapeTest, ColumnNamesDoNotChangeTheShape) {
+  auto shape_of = [](const char* c0, const char* c1) {
+    auto src = SourceNode("A", Schema::OfInts({c0, c1}));
+    auto plan = Select(Window(src, 25), GePred(2));
+    const auto analysis = codegen::AnalyzeChain(ChainNodes(plan, 2));
+    GENMIG_CHECK(analysis.ok);
+    return codegen::CanonicalChain(analysis.spec);
+  };
+  EXPECT_EQ(shape_of("x", "y"), shape_of("price", "qty"));
+}
+
+// --- Graceful degradation (runs everywhere) ---------------------------------
+
+TEST(CodegenFallbackTest, HookedCompileMatchesInterpretedRegardless) {
+  // With no toolchain the hooks decline and the box is purely interpreted;
+  // with one, it is compiled. Either way the output bytes are the same.
+  const LogicalPtr plan = ChainPlan();
+  const RawFeeds feeds = KeyedFeeds({"A"}, 300, 11);
+  const MaterializedStream want = RunPlan(plan, feeds);
+  EXPECT_FALSE(want.empty());
+  EXPECT_EQ(RunPlan(plan, feeds, WithCodegen()), want);
+  if (!codegen::Engine::Available()) {
+    Box box = CompilePlan(*plan, "", WithCodegen());
+    EXPECT_EQ(CountOps(box, "cchain"), 0u);
+  }
+}
+
+// --- Compiled vs interpreted differentials (need the host toolchain) --------
+
+#define SKIP_WITHOUT_TOOLCHAIN()                                       \
+  if (!codegen::Engine::Available()) {                                 \
+    GTEST_SKIP() << "no host compiler / dlopen; codegen disabled";     \
+  }
+
+TEST(CompiledChainTest, ByteIdenticalToInterpreted) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  const LogicalPtr plan = ChainPlan();
+  const RawFeeds feeds = KeyedFeeds({"A"}, 400, 21);
+  const MaterializedStream want = RunPlan(plan, feeds);
+  EXPECT_FALSE(want.empty());
+
+  Box box = CompilePlan(*plan, "", WithCodegen());
+  EXPECT_EQ(CountOps(box, "cchain"), 1u);
+  EXPECT_EQ(CountOps(box, "select"), 0u);
+
+  EXPECT_EQ(RunPlan(plan, feeds, WithCodegen()), want);
+  for (size_t rows : {3u, 64u, 256u}) {
+    Executor::Options eopts;
+    eopts.batch_size = rows;
+    EXPECT_EQ(RunPlan(plan, feeds, WithCodegen(), eopts), want) << rows;
+  }
+}
+
+TEST(CompiledChainTest, MixedTypeAndLogicPredicates) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  // int64 column vs double constant (equality compares numerically across
+  // types), plus And/Or/Not and arithmetic — the generated straight-line
+  // code must agree with the interpreter on every row. (Ordering compares
+  // across types are degenerate in the interpreter — type-tag order — so
+  // they are not interesting inputs; the emitter folds them to the same
+  // constant.)
+  auto src = SourceNode("A", Schema::OfInts({"x", "y"}));
+  auto pred = Expr::Or(
+      Expr::Compare(Expr::CmpOp::kEq, Expr::Column(0),
+                    Expr::Const(Value(2.0))),
+      Expr::And(Expr::Not(Expr::Compare(Expr::CmpOp::kEq, Expr::Column(1),
+                                        Expr::Const(Value(int64_t{102})))),
+                Expr::Compare(Expr::CmpOp::kLe,
+                              Expr::Arith(Expr::ArithOp::kAdd, Expr::Column(0),
+                                          Expr::Column(1)),
+                              Expr::Const(Value(int64_t{104})))));
+  auto plan = Select(Window(src, 15), pred);
+  const RawFeeds feeds = KeyedFeeds({"A"}, 500, 31);
+  const MaterializedStream want = RunPlan(plan, feeds);
+  EXPECT_FALSE(want.empty());
+  Box box = CompilePlan(*plan, "", WithCodegen());
+  EXPECT_EQ(CountOps(box, "cchain"), 1u);
+  EXPECT_EQ(RunPlan(plan, feeds, WithCodegen()), want);
+  Executor::Options eopts;
+  eopts.batch_size = 128;
+  EXPECT_EQ(RunPlan(plan, feeds, WithCodegen(), eopts), want);
+}
+
+TEST(CompiledJoinTest, ByteIdenticalToInterpreted) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  auto plan = EquiJoin(Window(SourceNode("A", Schema::OfInts({"x", "y"})), 30),
+                       Window(SourceNode("B", Schema::OfInts({"u", "v"})), 30),
+                       0, 0);
+  const RawFeeds feeds = KeyedFeeds({"A", "B"}, 300, 41);
+  const MaterializedStream want = RunPlan(plan, feeds);
+  EXPECT_FALSE(want.empty());
+
+  Box box = CompilePlan(*plan, "", WithCodegen());
+  EXPECT_EQ(CountOps(box, "chashjoin"), 1u);
+
+  // The compiled join mirrors the interpreter's probe-then-insert order and
+  // reuses the host's ordered output buffer: raw bytes must match the
+  // interpreter at the same execution config (batch flush boundaries shift
+  // the interleaving at equal starts, so batched runs compare against the
+  // interpreter's batched twin, and against scalar in snapshot normal form).
+  const MaterializedStream got = RunPlan(plan, feeds, WithCodegen());
+  EXPECT_TRUE(IsOrderedByStart(got));
+  EXPECT_EQ(got, want);
+  const MaterializedStream want_nf = ref::SnapshotNormalForm(want);
+  for (size_t rows : {7u, 256u}) {
+    Executor::Options eopts;
+    eopts.batch_size = rows;
+    const MaterializedStream batched = RunPlan(plan, feeds, WithCodegen(),
+                                               eopts);
+    EXPECT_EQ(batched, RunPlan(plan, feeds, {}, eopts)) << rows;
+    EXPECT_EQ(ref::SnapshotNormalForm(batched), want_nf) << rows;
+  }
+}
+
+TEST(CompiledJoinTest, MixedCompiledAndInterpretedOperators) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  // Chain below the join compiles; the lone project above it is declined
+  // (no selection) and stays interpreted — the box mixes both worlds.
+  auto left = Select(Window(SourceNode("A", Schema::OfInts({"x", "y"})), 30),
+                     GePred(1));
+  auto right = Window(SourceNode("B", Schema::OfInts({"u", "v"})), 30);
+  auto plan = Project(EquiJoin(left, right, 0, 0), {0, 3});
+  const RawFeeds feeds = KeyedFeeds({"A", "B"}, 250, 51);
+  const MaterializedStream want = RunPlan(plan, feeds);
+  EXPECT_FALSE(want.empty());
+
+  Box box = CompilePlan(*plan, "", WithCodegen());
+  EXPECT_EQ(CountOps(box, "cchain"), 1u);
+  EXPECT_EQ(CountOps(box, "chashjoin"), 1u);
+  EXPECT_EQ(CountOps(box, "project"), 1u);
+
+  EXPECT_EQ(RunPlan(plan, feeds, WithCodegen()), want);
+}
+
+TEST(CompiledEngineTest, ShapeCacheServesRepeatCompiles) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  // Fresh per-process cache dir: the first build must be a cold compile
+  // (testing::TempDir() contents survive across runs).
+  const std::string dir = testing::TempDir() + "genmig-codegen-stats-cache-" +
+                          std::to_string(::getpid());
+  auto engine = std::make_shared<codegen::Engine>(dir);
+  CompileOptions copts;
+  copts.codegen = codegen::Engine::MakeHooks(engine);
+  const LogicalPtr plan = ChainPlan();
+  Box first = CompilePlan(*plan, "", copts);
+  Box second = CompilePlan(*plan, "", copts);
+  EXPECT_EQ(CountOps(first, "cchain"), 1u);
+  EXPECT_EQ(CountOps(second, "cchain"), 1u);
+  const codegen::Engine::Stats stats = engine->stats();
+  EXPECT_EQ(stats.chains_compiled, 2u);
+  EXPECT_GE(stats.cache_hits, 1u);  // Second build: no compiler invocation.
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_GT(stats.compile_ns_total, 0);
+}
+
+// --- Dsms integration --------------------------------------------------------
+
+MaterializedStream TwoColFeed(uint64_t seed, size_t n, int64_t period) {
+  std::mt19937_64 rng(seed);
+  MaterializedStream out;
+  int64_t t = 0;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(El2(static_cast<int64_t>(rng() % 6),
+                      100 + static_cast<int64_t>(i % 5), t, t + 1));
+    t += period;
+  }
+  return out;
+}
+
+LogicalPtr DsmsJoinPlan() {
+  auto a = Window(SourceNode("A", Schema::OfInts({"x", "y"})), 30);
+  auto b = Window(SourceNode("B", Schema::OfInts({"u", "v"})), 30);
+  return Select(EquiJoin(a, b, 0, 0), GePred(1));
+}
+
+TEST(DsmsCodegenTest, EagerModeMatchesInterpretedByteForByte) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  const MaterializedStream fa = TwoColFeed(61, 300, 2);
+  const MaterializedStream fb = TwoColFeed(62, 300, 2);
+  auto run = [&](Dsms::Options::Codegen mode) {
+    Dsms::Options opt;
+    opt.codegen = mode;
+    Dsms dsms(opt);
+    dsms.RegisterStream("A", Schema::OfInts({"x", "y"}), fa);
+    dsms.RegisterStream("B", Schema::OfInts({"u", "v"}), fb);
+    auto id = dsms.InstallPlan(DsmsJoinPlan());
+    GENMIG_CHECK(id.ok());
+    dsms.RunToCompletion();
+    return dsms.Results(id.value());
+  };
+  const MaterializedStream want = run(Dsms::Options::Codegen::kOff);
+  EXPECT_FALSE(want.empty());
+  EXPECT_EQ(run(Dsms::Options::Codegen::kEager), want);
+}
+
+TEST(DsmsCodegenTest, EagerInfoReportsCompiledShapes) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  Dsms::Options opt;
+  opt.codegen = Dsms::Options::Codegen::kEager;
+  Dsms dsms(opt);
+  dsms.RegisterStream("A", Schema::OfInts({"x", "y"}), TwoColFeed(63, 50, 2));
+  dsms.RegisterStream("B", Schema::OfInts({"u", "v"}), TwoColFeed(64, 50, 2));
+  auto id = dsms.InstallPlan(DsmsJoinPlan());
+  ASSERT_TRUE(id.ok());
+  const Dsms::CodegenStatus status = dsms.CodegenInfo(id.value());
+  EXPECT_TRUE(status.available);
+  EXPECT_TRUE(status.ready);
+  EXPECT_EQ(status.mode, Dsms::Options::Codegen::kEager);
+  EXPECT_GE(status.engine.joins_compiled + status.engine.cache_hits, 1u);
+}
+
+TEST(DsmsCodegenTest, BackgroundModeSwapsMidRunAndStaysEquivalent) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  const LogicalPtr plan = DsmsJoinPlan();
+  ref::InputMap inputs;
+  inputs["A"] = TwoColFeed(71, 400, 2);
+  inputs["B"] = TwoColFeed(72, 400, 2);
+
+  Dsms::Options opt;
+  opt.codegen = Dsms::Options::Codegen::kBackground;
+  Dsms dsms(opt);
+  dsms.RegisterStream("A", Schema::OfInts({"x", "y"}), inputs["A"]);
+  dsms.RegisterStream("B", Schema::OfInts({"u", "v"}), inputs["B"]);
+  auto id = dsms.InstallPlan(plan);
+  ASSERT_TRUE(id.ok());
+  // Serving starts interpreted; block until the worker warmed the cache so
+  // the swap deterministically lands mid-stream.
+  dsms.WaitCodegenReady();
+  dsms.RunToCompletion();
+
+  const Dsms::CodegenStatus status = dsms.CodegenInfo(id.value());
+  EXPECT_TRUE(status.ready);
+  EXPECT_TRUE(status.swapped);
+  EXPECT_NE(status.swap_t_split, Timestamp::MinInstant());
+  // The swap is a regular GenMig: it must have completed and the output must
+  // still be snapshot-equivalent to the no-migration oracle.
+  EXPECT_GE(dsms.Info(id.value()).migrations_completed, 1);
+  const MaterializedStream& out = dsms.Results(id.value());
+  EXPECT_TRUE(IsOrderedByStart(out));
+  const Status eq = ref::CheckPlanOutput(*plan, inputs, out);
+  EXPECT_TRUE(eq.ok()) << eq.ToString();
+
+  // And byte-identical in snapshot normal form to the interpreted run.
+  Dsms plain;
+  plain.RegisterStream("A", Schema::OfInts({"x", "y"}), inputs["A"]);
+  plain.RegisterStream("B", Schema::OfInts({"u", "v"}), inputs["B"]);
+  auto pid = plain.InstallPlan(plan);
+  ASSERT_TRUE(pid.ok());
+  plain.RunToCompletion();
+  EXPECT_EQ(ref::SnapshotNormalForm(out),
+            ref::SnapshotNormalForm(plain.Results(pid.value())));
+}
+
+TEST(DsmsCodegenTest, ShardedEagerMatchesSingleThreadedInterpreted) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  const MaterializedStream fa = TwoColFeed(81, 250, 3);
+  const MaterializedStream fb = TwoColFeed(82, 250, 3);
+  auto a = Window(SourceNode("A", Schema::OfInts({"x", "y"})), 40);
+  auto b = Window(SourceNode("B", Schema::OfInts({"u", "v"})), 40);
+  const LogicalPtr plan = EquiJoin(a, b, 0, 0);
+
+  Dsms plain;
+  plain.RegisterStream("A", Schema::OfInts({"x", "y"}), fa);
+  plain.RegisterStream("B", Schema::OfInts({"u", "v"}), fb);
+  auto pid = plain.InstallPlan(plan);
+  ASSERT_TRUE(pid.ok());
+  plain.RunToCompletion();
+
+  Dsms::Options opt;
+  opt.shards = 4;
+  opt.codegen = Dsms::Options::Codegen::kEager;
+  Dsms sharded(opt);
+  sharded.RegisterStream("A", Schema::OfInts({"x", "y"}), fa);
+  sharded.RegisterStream("B", Schema::OfInts({"u", "v"}), fb);
+  auto sid = sharded.InstallPlan(plan);
+  ASSERT_TRUE(sid.ok());
+  sharded.RunToCompletion();
+
+  ASSERT_TRUE(sharded.Info(sid.value()).parallel);
+  EXPECT_EQ(ref::SnapshotNormalForm(sharded.Results(sid.value())),
+            ref::SnapshotNormalForm(plain.Results(pid.value())));
+}
+
+}  // namespace
+}  // namespace genmig

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "../migration/migration_test_util.h"
+#include "codegen/engine.h"
 #include "migration/controller.h"
 #include "migration/trigger_policy.h"
 #include "par/coordinator.h"
@@ -127,8 +128,10 @@ FuzzCase MakeCase(uint64_t seed) {
 /// no-migration oracle. Returns the number of completed migrations.
 /// `batch_size` > 1 drives the identical case through the vectorized
 /// injection path (Executor::Options::batch_size — PushBatch all the way to
-/// the controller, including mid-batch T_split slicing).
-int RunOneSeed(uint64_t seed, size_t batch_size = 0) {
+/// the controller, including mid-batch T_split slicing). `compiled` attaches
+/// native-code hooks to the new box (and, on half the seeds, the old box
+/// too) — randomizing interpreter->compiled and compiled->compiled GenMigs.
+int RunOneSeed(uint64_t seed, size_t batch_size = 0, bool compiled = false) {
   std::mt19937_64 rng(seed ^ 0x9e3779b97f4a7c15ull);
   const FuzzCase c = MakeCase(seed);
 
@@ -160,6 +163,17 @@ int RunOneSeed(uint64_t seed, size_t batch_size = 0) {
   // output is still snapshot-equivalent but only per-input ordered.
   const bool relax = exec_options.policy != Executor::Policy::kGlobalOrder;
 
+  // Drawn last so the compiled sweep reuses the exact cases (plans, inputs,
+  // triggers, scheduling) of the interpreted sweeps above.
+  CompileOptions old_copts;
+  CompileOptions new_copts;
+  if (compiled) {
+    static const std::shared_ptr<const CodegenHooks> hooks =
+        codegen::Engine::MakeHooks(std::make_shared<codegen::Engine>());
+    new_copts.codegen = hooks;
+    if (rng() % 2 == 0) old_copts.codegen = hooks;
+  }
+
   int fired = 0;
   auto result = testutil::RunLogicalMigration(
       c.old_plan, c.new_plan, c.inputs, Timestamp(trigger_time),
@@ -180,7 +194,7 @@ int RunOneSeed(uint64_t seed, size_t batch_size = 0) {
                                       fire);
         }
       },
-      exec_options, relax);
+      exec_options, relax, old_copts, new_copts);
 
   const Status eq = ref::CheckPlanOutput(*c.old_plan, c.inputs, result.output);
   EXPECT_TRUE(eq.ok()) << "seed=" << seed << ": " << eq.ToString();
@@ -310,6 +324,35 @@ TEST(EquivalenceFuzzTest, ShardedBatchedRunsMatchScalarCanonicalForm) {
       break;
     }
   }
+}
+
+// Compiled mode: the same randomized harness with natively compiled boxes.
+// The new box always carries codegen hooks and the old box does on half the
+// seeds, so migrations randomly cross the interpreter/compiled boundary.
+// Auto-skips when the host toolchain is missing. A short smoke sweep by
+// default; set GENMIG_FUZZ_COMPILED (with GENMIG_FUZZ_ITERS) for the full
+// nightly sweep.
+TEST(EquivalenceFuzzTest, CompiledPlansSurviveRandomAutoMigrations) {
+  if (!codegen::Engine::Available()) {
+    GTEST_SKIP() << "no host compiler / dlopen; codegen disabled";
+  }
+  const bool full = std::getenv("GENMIG_FUZZ_COMPILED") != nullptr;
+  const size_t iters = full ? NumIters() : 10;
+  int total_migrations = 0;
+  for (size_t i = 0; i < iters; ++i) {
+    const uint64_t seed = 1000 + i;  // Same cases as the interpreted sweeps.
+    const size_t batch_size =
+        i % 2 == 0 ? 0 : 2 + (seed * 2654435761u) % 255;
+    SCOPED_TRACE("seed=" + std::to_string(seed) +
+                 " batch_size=" + std::to_string(batch_size));
+    total_migrations += RunOneSeed(seed, batch_size, /*compiled=*/true);
+    if (::testing::Test::HasFailure()) {
+      ADD_FAILURE() << "first failing seed: " << seed;
+      break;
+    }
+  }
+  EXPECT_GE(total_migrations, static_cast<int>(iters / 3))
+      << "compiled fuzz harness migrated too rarely to be meaningful";
 }
 
 TEST(EquivalenceFuzzTest, RandomPlansSurviveRandomAutoMigrations) {

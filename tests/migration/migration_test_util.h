@@ -103,19 +103,24 @@ inline MigrationRunResult RunMigrationScenario(
 /// Convenience wrapper for windowed logical plans: hosts the window-stripped
 /// compilation of `old_plan` and migrates to the window-stripped compilation
 /// of `new_plan` via `trigger`. The oracle plans (with windows) stay as-is.
+/// `old_copts`/`new_copts` pick the physical compilation per box (e.g.
+/// codegen hooks on one side only — an interpreter->compiled migration).
 inline MigrationRunResult RunLogicalMigration(
     const LogicalPtr& old_plan, const LogicalPtr& new_plan,
     const ref::InputMap& inputs, Timestamp trigger_time,
     const std::function<void(MigrationController&, Box)>& trigger,
     Executor::Options exec_options = Executor::Options(),
-    bool relax_sink = false) {
+    bool relax_sink = false,
+    const CompileOptions& old_copts = CompileOptions(),
+    const CompileOptions& new_copts = CompileOptions()) {
   const LogicalPtr old_box_plan = logical::StripWindows(old_plan);
   const LogicalPtr new_box_plan = logical::StripWindows(new_plan);
   return RunMigrationScenario(
-      CompilePlan(*old_box_plan), logical::CollectSourceNames(*old_plan),
+      CompilePlan(*old_box_plan, "", old_copts),
+      logical::CollectSourceNames(*old_plan),
       logical::CollectLeafWindows(*old_plan), inputs, trigger_time,
       [&](MigrationController& c) {
-        trigger(c, CompilePlan(*new_box_plan));
+        trigger(c, CompilePlan(*new_box_plan, "", new_copts));
       },
       exec_options, relax_sink);
 }

@@ -12,8 +12,14 @@ BENCH_hotpath.json and exits non-zero when either check fails:
      silently falling back to scalar), not single-digit noise.
   2. Speedup ratios: machine-independent ratios between benchmarks measured
      in the SAME run (batched vs scalar join probe, fused+batched vs scalar
-     stateless chain). These are the real acceptance criteria and are immune
-     to runner speed differences.
+     stateless chain, compiled vs batched-interpreted chain and join probe).
+     These are the real acceptance criteria and are immune to runner speed
+     differences.
+
+Baseline entries and ratios may carry `"requires": "codegen"`: they are
+skipped (visibly) when the results file's context reports
+codegen_available != true, so the gate still passes on machines without a
+usable host compiler, where the compiled benchmarks self-skip.
 
 Usage:
   check_perf.py --results results.json [--baseline BENCH_hotpath.json]
@@ -31,7 +37,10 @@ import sys
 
 
 def load_results(path):
-    """Returns {benchmark name: items_per_second} from google-benchmark JSON."""
+    """Returns ({benchmark name: items_per_second}, context dict) from
+    google-benchmark JSON. Benchmarks that self-skipped (SkipWithError — they
+    carry error_message and no items_per_second) are simply absent from the
+    map; requires-gating in check() decides whether that is acceptable."""
     with open(path) as f:
         data = json.load(f)
     out = {}
@@ -43,14 +52,32 @@ def load_results(path):
         if ips is not None:
             # Repetitions repeat the name; keep the best (least-noisy) run.
             out[name] = max(out.get(name, 0.0), float(ips))
-    return out
+    return out, data.get("context", {})
 
 
-def check(baseline, results):
+def requirement_met(spec, context):
+    """True unless the entry declares `"requires": "codegen"` and the results
+    context says codegen was unavailable on the benchmark runner."""
+    if spec.get("requires") != "codegen":
+        return True
+    return str(context.get("codegen_available", "")).lower() == "true"
+
+
+def check(baseline, results, context):
     failures = []
     max_drop = float(baseline.get("max_drop_fraction", 0.25))
 
     for name, entry in baseline.get("benchmarks", {}).items():
+        if "items_per_second" not in entry:
+            failures.append(
+                f"{name}: baseline entry is missing key 'items_per_second' "
+                f"(malformed BENCH_hotpath.json — regenerate with "
+                f"--write-baseline)"
+            )
+            continue
+        if not requirement_met(entry, context):
+            print(f"[SKIP] {name}: requires codegen, unavailable on this runner")
+            continue
         recorded = float(entry["items_per_second"])
         floor = recorded * (1.0 - max_drop)
         measured = results.get(name)
@@ -69,10 +96,30 @@ def check(baseline, results):
             )
 
     for key, spec in baseline.get("ratios", {}).items():
-        num = results.get(spec["num"])
-        den = results.get(spec["den"])
-        if num is None or den is None or den == 0:
-            failures.append(f"ratio {key}: missing operand benchmark")
+        missing_keys = [k for k in ("num", "den", "min") if k not in spec]
+        if missing_keys:
+            failures.append(
+                f"ratio {key}: baseline spec is missing "
+                f"key(s) {', '.join(repr(k) for k in missing_keys)} "
+                f"(malformed BENCH_hotpath.json)"
+            )
+            continue
+        if not requirement_met(spec, context):
+            print(f"[SKIP] {key}: requires codegen, unavailable on this runner")
+            continue
+        missing_ops = [b for b in (spec["num"], spec["den"]) if b not in results]
+        if missing_ops:
+            failures.append(
+                f"ratio {key}: operand benchmark(s) missing from results: "
+                + ", ".join(missing_ops)
+            )
+            continue
+        num = results[spec["num"]]
+        den = results[spec["den"]]
+        if den == 0:
+            failures.append(
+                f"ratio {key}: denominator {spec['den']} measured 0 items/s"
+            )
             continue
         ratio = num / den
         minimum = float(spec["min"])
@@ -87,10 +134,25 @@ def check(baseline, results):
     return failures
 
 
-def write_baseline(path, results, old):
-    """Refreshes recorded throughputs, keeping gate config from `old`."""
+def write_baseline(path, results, context, old):
+    """Refreshes recorded throughputs, keeping gate config (ratio specs,
+    `requires` flags, max_drop_fraction) from `old` and stamping the runner's
+    toolchain context so the record is attributable to a machine/compiler."""
     gated = old.get("benchmarks", {}) if old else {}
     names = list(gated) or sorted(results)
+    benchmarks = {}
+    for name in names:
+        if name not in results:
+            continue
+        entry = {"items_per_second": results[name]}
+        if gated.get(name, {}).get("requires"):
+            entry["requires"] = gated[name]["requires"]
+        benchmarks[name] = entry
+    toolchain = {
+        key[len("toolchain_"):]: value
+        for key, value in sorted(context.items())
+        if key.startswith("toolchain_")
+    }
     doc = {
         "_comment": (
             "Perf-gate baselines for bench/micro_operators (items/second). "
@@ -98,14 +160,12 @@ def write_baseline(path, results, old):
             "tools/check_perf.py --results r.json --write-baseline "
             "BENCH_hotpath.json. CI fails when a gated benchmark drops more "
             "than max_drop_fraction below its record, or a speedup ratio "
-            "falls under its minimum."
+            "falls under its minimum. Entries/ratios with requires=codegen "
+            "are skipped on runners without a host compiler."
         ),
         "max_drop_fraction": old.get("max_drop_fraction", 0.25) if old else 0.25,
-        "benchmarks": {
-            name: {"items_per_second": results[name]}
-            for name in names
-            if name in results
-        },
+        "toolchain": toolchain,
+        "benchmarks": benchmarks,
         "ratios": old.get("ratios", {}) if old else {},
     }
     with open(path, "w") as f:
@@ -123,7 +183,7 @@ def main():
                         help="refresh recorded throughputs instead of checking")
     args = parser.parse_args()
 
-    results = load_results(args.results)
+    results, context = load_results(args.results)
     if not results:
         print("no benchmark results found", file=sys.stderr)
         return 2
@@ -138,10 +198,10 @@ def main():
             return 2
 
     if args.write_baseline:
-        write_baseline(args.write_baseline, results, old)
+        write_baseline(args.write_baseline, results, context, old)
         return 0
 
-    failures = check(old, results)
+    failures = check(old, results, context)
     if failures:
         print("\nPerf gate FAILED:", file=sys.stderr)
         for f in failures:
