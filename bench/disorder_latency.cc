@@ -1,0 +1,246 @@
+// Migration latency under late data (Figure 4 companion): the 2-way
+// equi-join migration (left/right operand swap under GenMig) with 10% of
+// each input stream arriving `delay` application-time units late, replayed
+// through the DisorderBuffer ingestion stage.
+//
+// GenMig's T_split must clear the disorder horizon: a late-but-admissible
+// element below T_split would otherwise reach the old box after the split
+// was installed. The executor announces each buffer's pending front as the
+// feed heartbeat, so the controller's T_split selection waits exactly as
+// long as the bounded lateness requires — at most the lateness bound on
+// top of the window-dominated coalesce drain, never more.
+//
+// Rows: in-order baseline, then late data with (a) a fixed lossless delta
+// (= realized max lateness, zero drops; output checked against the
+// snapshot-equivalence oracle) and (b) an adaptive delta that converges on
+// the lateness quantile (reports drops instead). Results land in
+// BENCH_disorder_latency.json; the adaptive worst-delay run's Chrome trace
+// (migration spans + per-operator span events) in
+// TRACE_disorder_migration.json.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "migration/controller.h"
+#include "obs/export.h"
+#include "obs/timeline.h"
+#include "obs/trace.h"
+#include "plan/compile.h"
+#include "plan/executor.h"
+#include "ref/eval.h"
+#include "stream/generator.h"
+#include "toolchain.h"
+
+using namespace genmig;           // NOLINT
+using namespace genmig::logical;  // NOLINT
+
+namespace {
+
+// Sized so the reference oracle (snapshot evaluation of the whole join)
+// stays tractable; the latency trend only needs delay << window << run.
+constexpr Duration kW = 1500;           // 1.5 s at 1 unit = 1 ms.
+constexpr int64_t kMigrationStart = 3000;
+constexpr size_t kCount = 1500;
+constexpr int64_t kPeriod = 10;
+constexpr double kLateFraction = 0.10;
+
+LogicalPtr ThePlan(bool swapped) {
+  auto s0 = Window(SourceNode("S0", Schema::OfInts({"x"})), kW);
+  auto s1 = Window(SourceNode("S1", Schema::OfInts({"x"})), kW);
+  return swapped ? EquiJoin(std::move(s1), std::move(s0), 0, 0)
+                 : EquiJoin(std::move(s0), std::move(s1), 0, 0);
+}
+
+struct RowResult {
+  int64_t delay = 0;
+  bool adaptive = false;
+  int64_t migration_latency = -1;  // Application time, start -> direct.
+  Timestamp t_split;
+  uint64_t dropped = 0;            // Across both streams.
+  int64_t final_delta = 0;         // Max over streams after the run.
+  size_t output_count = 0;
+  bool oracle_ok = false;          // Only meaningful for lossless rows.
+  std::string trace_json;
+};
+
+RowResult RunOne(int64_t delay, bool adaptive, uint64_t seed) {
+  RowResult r;
+  r.delay = delay;
+  r.adaptive = adaptive;
+
+  ref::InputMap ordered;
+  ordered["S0"] = ToPhysicalStream(
+      GenerateZipfStream(kCount, kPeriod, 50, /*skew=*/0.8, seed));
+  ordered["S1"] = ToPhysicalStream(
+      GenerateZipfStream(kCount, kPeriod, 50, /*skew=*/0.8, seed + 1));
+
+  const LogicalPtr old_plan = ThePlan(false);
+  const LogicalPtr new_plan = ThePlan(true);
+  Box new_box = CompilePlan(*StripWindows(new_plan));
+  new_box.ReorderInputs(CollectSourceNames(*StripWindows(old_plan)));
+
+  MigrationController controller("ctrl",
+                                 CompilePlan(*StripWindows(old_plan)));
+  CollectorSink sink("sink");
+  controller.ConnectTo(0, &sink, 0);
+
+  obs::MetricsRegistry registry;
+  obs::MigrationTracer tracer;
+  controller.AttachMetricsRecursive(&registry);
+  controller.SetTracer(&tracer);
+  sink.AttachMetrics(&registry);
+
+  Executor exec;
+  std::vector<std::unique_ptr<TimeWindow>> windows;
+  std::vector<int> feeds;
+  const auto names = CollectSourceNames(*old_plan);
+  const auto leaf_windows = CollectLeafWindows(*old_plan);
+  for (size_t i = 0; i < names.size(); ++i) {
+    int feed;
+    if (delay == 0) {
+      feed = exec.AddFeed(names[i], ordered.at(names[i]));
+    } else {
+      const DisorderedArrivals d = ApplyLateFraction(
+          ordered.at(names[i]), kLateFraction, delay, seed * 7 + i);
+      DisorderBuffer::Options dopt;
+      if (adaptive) {
+        dopt.delta = 64;  // Deliberately small start; must converge up.
+        dopt.adaptive = true;
+        dopt.max_delta = 4 * delay;
+      } else {
+        dopt.delta = d.max_lateness;  // Lossless.
+      }
+      feed = exec.AddDisorderedFeed(names[i], d.arrivals, dopt);
+    }
+    feeds.push_back(feed);
+    exec.source(feed)->AttachMetrics(&registry);
+    windows.push_back(std::make_unique<TimeWindow>(
+        "w" + std::to_string(i), leaf_windows[i]));
+    exec.ConnectFeed(feed, windows.back().get(), 0);
+    windows.back()->ConnectTo(0, &controller, static_cast<int>(i));
+    windows.back()->AttachMetrics(&registry);
+  }
+
+  obs::TimeSeriesRing timeline(128);
+  obs::TimelineSampler sampler(&registry, &timeline);
+  int64_t last_bucket = -1;
+  int64_t migration_end = -1;
+  bool was_migrating = false;
+  exec.after_step = [&]() {
+    const bool migrating = controller.migration_in_progress();
+    if (was_migrating && !migrating && migration_end < 0) {
+      migration_end = exec.current_time().t;
+    }
+    was_migrating = migrating;
+    const int64_t b = std::max<int64_t>(exec.current_time().t, 0) / 1000;
+    if (b != last_bucket) {
+      last_bucket = b;
+      sampler.Sample(exec.current_time(), migrating);
+    }
+  };
+
+  exec.RunUntil(Timestamp(kMigrationStart));
+  MigrationController::GenMigOptions opts;
+  opts.window = kW;
+  controller.StartGenMig(std::move(new_box), opts);
+  was_migrating = controller.migration_in_progress();
+  exec.RunToCompletion();
+  sampler.Sample(exec.current_time(), controller.migration_in_progress());
+
+  if (controller.migrations_completed() != 1) return r;
+  r.migration_latency =
+      migration_end >= 0 ? migration_end - kMigrationStart : -1;
+  r.t_split = controller.t_split();
+  r.output_count = sink.count();
+  for (const int feed : feeds) {
+    if (const DisorderBuffer* buf = exec.feed_buffer(feed)) {
+      r.dropped += buf->stats().dropped_late;
+      r.final_delta = std::max(r.final_delta, buf->delta());
+    }
+  }
+  if (r.dropped == 0) {
+    r.oracle_ok =
+        ref::CheckPlanOutput(*old_plan, ordered, sink.collected()).ok();
+  }
+  r.trace_json = obs::ToChromeTrace(registry, &tracer, &timeline);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Migration latency under %.0f%% late data (Fig 4 companion)\n",
+              kLateFraction * 100.0);
+  std::printf("setup: 2-way equi-join swap, %zu el/stream @ period %lld, "
+              "w=%lld, migration @ %lld\n\n",
+              kCount, static_cast<long long>(kPeriod),
+              static_cast<long long>(kW),
+              static_cast<long long>(kMigrationStart));
+  std::printf("%8s %10s %14s %10s %8s %12s %10s %8s\n", "delay", "delta",
+              "mig_latency", "t_split", "drops", "final_delta", "outputs",
+              "oracle");
+
+  std::string rows;
+  std::string trace_to_write;
+  struct Case { int64_t delay; bool adaptive; };
+  const Case cases[] = {{0, false},   {300, false}, {900, false},
+                        {300, true},  {900, true}};
+  bool all_ok = true;
+  for (const Case& c : cases) {
+    const RowResult r = RunOne(c.delay, c.adaptive, /*seed=*/91);
+    const bool lossless = c.delay == 0 || !c.adaptive;
+    if (r.migration_latency < 0 || (lossless && !r.oracle_ok)) {
+      all_ok = false;
+    }
+    std::printf("%8lld %10s %14lld %10s %8llu %12lld %10zu %8s\n",
+                static_cast<long long>(c.delay),
+                c.adaptive ? "adaptive" : "lossless",
+                static_cast<long long>(r.migration_latency),
+                r.t_split.ToString().c_str(),
+                static_cast<unsigned long long>(r.dropped),
+                static_cast<long long>(r.final_delta), r.output_count,
+                lossless ? (r.oracle_ok ? "PASS" : "FAIL")
+                         : (r.dropped > 0 ? "n/a" : (r.oracle_ok ? "PASS"
+                                                                 : "FAIL")));
+    char row[320];
+    std::snprintf(row, sizeof(row),
+                  "    {\"delay\": %lld, \"late_fraction\": %.2f, "
+                  "\"adaptive\": %s, \"migration_latency\": %lld, "
+                  "\"t_split\": %lld, \"dropped\": %llu, "
+                  "\"final_delta\": %lld, \"outputs\": %zu, "
+                  "\"oracle_ok\": %s}",
+                  static_cast<long long>(c.delay), kLateFraction,
+                  c.adaptive ? "true" : "false",
+                  static_cast<long long>(r.migration_latency),
+                  static_cast<long long>(r.t_split.t),
+                  static_cast<unsigned long long>(r.dropped),
+                  static_cast<long long>(r.final_delta), r.output_count,
+                  r.oracle_ok ? "true" : "false");
+    if (!rows.empty()) rows += ",\n";
+    rows += row;
+    if (c.delay == 900 && c.adaptive) trace_to_write = r.trace_json;
+  }
+
+  std::printf("\nexpected shape: migration latency stays window-dominated "
+              "(the coalesce drain of w) — the disorder horizon only nudges "
+              "T_split by <= the lateness bound, never below it; lossless "
+              "rows reproduce the in-order output exactly, adaptive rows "
+              "trade a sub-percent drop rate for a bounded delta.\n");
+
+  const std::string json =
+      "{\n  \"bench\": \"disorder_latency\",\n  \"window\": " +
+      std::to_string(kW) + ",\n  \"migration_start\": " +
+      std::to_string(kMigrationStart) + ",\n  \"rows\": [\n" + rows +
+      "\n  ]\n}\n";
+  if (obs::WriteFile("BENCH_disorder_latency.json",
+                     bench::WithToolchain(json))) {
+    std::printf("results written to BENCH_disorder_latency.json\n");
+  }
+  if (!trace_to_write.empty() &&
+      obs::WriteFile("TRACE_disorder_migration.json", trace_to_write)) {
+    std::printf("chrome trace written to TRACE_disorder_migration.json\n");
+  }
+  return all_ok ? 0 : 1;
+}

@@ -2,6 +2,11 @@
 // variety of transformation rules beyond join reordering"): runs every
 // transformation rule under every applicable migration strategy and checks
 // the merged output against the reference snapshot oracle.
+//
+// Two matrices: rules x migration variants on the uniform workload, then
+// rules x workload classes (Zipf key skew, bursty arrival rate, bounded
+// disorder through a DisorderBuffer feed) under the coalesce variant — the
+// oracle is always the in-order reference evaluation.
 
 #include <cstdio>
 
@@ -70,13 +75,50 @@ std::vector<Rule> MakeRules() {
   return rules;
 }
 
-/// Runs one migration and reports whether the output matched the oracle.
-bool RunOne(const Rule& rule, bool refpoint, uint64_t seed) {
+enum class Workload {
+  kUniform,   // Uniform keys, constant rate (the original matrix).
+  kZipf,      // Zipf(1.2) key skew, constant rate.
+  kBursty,    // Zipf(0.8) keys, dense bursts with long idle stretches.
+  kDisorder,  // Uniform keys delivered through a bounded shuffle + buffer.
+};
+
+/// Ordered (oracle-view) input streams for one workload class.
+ref::InputMap MakeInputs(const Rule& rule, Workload w, uint64_t seed) {
   ref::InputMap inputs;
   for (int s = 0; s < rule.streams; ++s) {
-    inputs["S" + std::to_string(s)] = ToPhysicalStream(GenerateKeyedStream(
-        150, 4, 4, seed + static_cast<uint64_t>(s)));
+    const uint64_t ss = seed + static_cast<uint64_t>(s);
+    std::vector<TimedTuple> raw;
+    switch (w) {
+      case Workload::kUniform:
+      case Workload::kDisorder:
+        raw = GenerateKeyedStream(150, 4, 4, ss);
+        break;
+      case Workload::kZipf:
+        raw = GenerateZipfStream(150, 4, 4, /*skew=*/1.2, ss);
+        break;
+      case Workload::kBursty: {
+        AdversarialStreamSpec spec;
+        spec.count = 150;
+        spec.period = 4;
+        spec.num_keys = 4;
+        spec.zipf_skew = 0.8;
+        spec.profile = RateProfile::kBursty;
+        spec.burst_len = 12;
+        spec.burst_idle_factor = 8;
+        spec.seed = ss;
+        raw = GenerateAdversarialStream(spec);
+        break;
+      }
+    }
+    inputs["S" + std::to_string(s)] = ToPhysicalStream(raw);
   }
+  return inputs;
+}
+
+/// Runs one migration and reports whether the output matched the oracle.
+bool RunOne(const Rule& rule, bool refpoint, uint64_t seed,
+            Workload workload = Workload::kUniform) {
+  const ref::InputMap inputs = MakeInputs(rule, workload, seed);
   Box old_box = CompilePlan(*StripWindows(rule.old_plan));
   Box new_box = CompilePlan(*StripWindows(rule.new_plan));
   new_box.ReorderInputs(CollectSourceNames(*StripWindows(rule.old_plan)));
@@ -89,7 +131,19 @@ bool RunOne(const Rule& rule, bool refpoint, uint64_t seed) {
   const auto names = CollectSourceNames(*rule.old_plan);
   const auto leaf_windows = CollectLeafWindows(*rule.old_plan);
   for (size_t i = 0; i < names.size(); ++i) {
-    const int feed = exec.AddFeed(names[i], inputs.at(names[i]));
+    int feed;
+    if (workload == Workload::kDisorder) {
+      // Bounded shuffle of the ordered stream, replayed through a lossless
+      // DisorderBuffer (delta = realized max lateness => zero drops, so the
+      // released sequence equals the ordered stream the oracle sees).
+      const DisorderedArrivals d = ApplyBoundedShuffle(
+          inputs.at(names[i]), /*window=*/10, seed * 31 + i);
+      DisorderBuffer::Options dopt;
+      dopt.delta = d.max_lateness;
+      feed = exec.AddDisorderedFeed(names[i], d.arrivals, dopt);
+    } else {
+      feed = exec.AddFeed(names[i], inputs.at(names[i]));
+    }
     windows.push_back(std::make_unique<TimeWindow>(
         "w" + std::to_string(i), leaf_windows[i]));
     exec.ConnectFeed(feed, windows.back().get(), 0);
@@ -133,6 +187,28 @@ int main() {
     pass += (coalesce_ok ? 1 : 0) + (rule.refpoint_safe && refpoint_ok);
     total += 1 + (rule.refpoint_safe ? 1 : 0);
   }
-  std::printf("\n%d/%d strategy/rule combinations correct\n", pass, total);
+
+  std::printf("\nworkload classes (genmig/coalesce): Zipf(1.2) key skew, "
+              "bursty rate, bounded disorder via DisorderBuffer\n\n");
+  std::printf("%-40s %-10s %-10s %-10s\n", "transformation rule", "zipf",
+              "bursty", "disorder");
+  const Workload kClasses[] = {Workload::kZipf, Workload::kBursty,
+                               Workload::kDisorder};
+  for (const Rule& rule : MakeRules()) {
+    bool ok[3] = {true, true, true};
+    for (int w = 0; w < 3; ++w) {
+      for (uint64_t seed : {11u, 22u, 33u}) {
+        ok[w] &= RunOne(rule, /*refpoint=*/false, seed, kClasses[w]);
+      }
+      pass += ok[w] ? 1 : 0;
+      ++total;
+    }
+    std::printf("%-40s %-10s %-10s %-10s\n", rule.name,
+                ok[0] ? "PASS" : "FAIL", ok[1] ? "PASS" : "FAIL",
+                ok[2] ? "PASS" : "FAIL");
+  }
+
+  std::printf("\n%d/%d strategy/rule/workload combinations correct\n", pass,
+              total);
   return pass == total ? 0 : 1;
 }

@@ -73,6 +73,44 @@ void Dsms::RegisterStream(const std::string& name, Schema schema,
   }
 }
 
+void Dsms::RegisterDisorderedStream(const std::string& name, Schema schema,
+                                    MaterializedStream arrivals,
+                                    DisorderBuffer::Options disorder) {
+  GENMIG_CHECK(feeds_.count(name) == 0);
+  catalog_.Register(name, std::move(schema));
+  feeds_[name] = exec_.AddDisorderedFeed(name, std::move(arrivals), disorder);
+  disordered_[name] = disorder;
+  if (options_.enable_metrics) {
+    exec_.source(feeds_[name])->AttachMetrics(&registry_);
+  }
+}
+
+Dsms::DisorderInfo Dsms::DisorderStats(const std::string& name) const {
+  DisorderInfo info;
+  auto it = feeds_.find(name);
+  if (it == feeds_.end() || !exec_.feed_disordered(it->second)) return info;
+  const DisorderBuffer* buffer = exec_.feed_buffer(it->second);
+  info.disordered = true;
+  info.stats = buffer->stats();
+  info.watermark = buffer->watermark();
+  info.delta = buffer->delta();
+  // Parallel queries route through coordinator-side buffers; fold their
+  // drops in so callers see the engine-wide totals for this stream.
+  for (const auto& query : queries_) {
+    if (!query->parallel) continue;
+    const DisorderBuffer* router = query->coordinator->disorder_buffer(name);
+    if (router == nullptr) continue;
+    info.stats.arrived += router->stats().arrived;
+    info.stats.admitted += router->stats().admitted;
+    info.stats.dropped_late += router->stats().dropped_late;
+    info.stats.released += router->stats().released;
+    info.stats.adaptations += router->stats().adaptations;
+    info.stats.max_lateness =
+        std::max(info.stats.max_lateness, router->stats().max_lateness);
+  }
+  return info;
+}
+
 Result<Dsms::QueryId> Dsms::InstallQuery(const std::string& cql_text) {
   Result<LogicalPtr> plan = cql::ParseQuery(cql_text, catalog_);
   if (!plan.ok()) return plan.status();
@@ -138,6 +176,9 @@ Result<Dsms::QueryId> Dsms::Install(LogicalPtr plan) {
     // are built on worker threads anyway, and one shared engine means one
     // native compile plus N - 1 cache hits.
     copt.compile = MakeCompileOptions(/*with_codegen=*/true);
+    // Disordered streams reach the coordinator as raw arrival sequences
+    // (Executor::feed_elements); the router reorders them itself.
+    copt.disordered_inputs = disordered_;
     auto coordinator = std::make_unique<par::Coordinator>(plan, copt);
     if (coordinator->spec().ok) {
       query->parallel = true;

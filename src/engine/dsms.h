@@ -140,6 +140,33 @@ class Dsms {
     RegisterStream(name, std::move(schema), ToPhysicalStream(raw));
   }
 
+  /// Registers a stream whose data is in *arrival* order (bounded
+  /// out-of-order, e.g. a recorded trace): a DisorderBuffer reorders it
+  /// under the given lateness allowance, its monotone low-watermark flows
+  /// downstream as heartbeats, and too-late elements are dropped
+  /// (DisorderStats). Parallel (sharded) queries replay the arrivals
+  /// through the coordinator's own per-stream buffers.
+  void RegisterDisorderedStream(const std::string& name, Schema schema,
+                                MaterializedStream arrivals,
+                                DisorderBuffer::Options disorder);
+  void RegisterRawDisorderedStream(const std::string& name, Schema schema,
+                                   const std::vector<TimedTuple>& raw,
+                                   DisorderBuffer::Options disorder) {
+    RegisterDisorderedStream(name, std::move(schema),
+                             ToPhysicalArrivals(raw), disorder);
+  }
+
+  /// Disorder counters of a registered stream (all-default for ordered or
+  /// unknown streams). Single-threaded feeds report live; coordinator-side
+  /// buffers of parallel queries are folded in after RunToCompletion().
+  struct DisorderInfo {
+    bool disordered = false;
+    DisorderBuffer::Stats stats;
+    Timestamp watermark = Timestamp::MinInstant();
+    int64_t delta = 0;
+  };
+  DisorderInfo DisorderStats(const std::string& name) const;
+
   /// Installs a continuous CQL query; results accumulate in Results(id).
   Result<QueryId> InstallQuery(const std::string& cql_text);
   /// Installs a pre-built (windowed) logical plan.
@@ -334,6 +361,9 @@ class Dsms {
   Executor exec_;
   cql::Catalog catalog_;
   std::map<std::string, int> feeds_;  // Stream name -> executor feed.
+  /// Disorder options of streams registered via RegisterDisorderedStream
+  /// (forwarded to parallel coordinators).
+  std::map<std::string, DisorderBuffer::Options> disordered_;
   std::map<std::pair<std::string, logical::LeafWindowSpec>, SharedSubplan>
       shared_;
   std::vector<std::unique_ptr<Query>> queries_;

@@ -1,0 +1,52 @@
+#include "engine/replay.h"
+
+#include <chrono>
+#include <thread>
+
+namespace genmig {
+
+ReplayStats ReplayToCompletion(Dsms& dsms, const ReplayOptions& options) {
+  using Clock = std::chrono::steady_clock;
+  ReplayStats stats;
+  const Clock::time_point wall_start = Clock::now();
+  bool have_first = false;
+  int64_t first_app = 0;
+  int64_t last_app = 0;
+
+  while (dsms.Step()) {
+    ++stats.steps;
+    const Timestamp now = dsms.current_time();
+    if (now == Timestamp::MinInstant()) continue;  // Close-only step.
+    if (!have_first) {
+      have_first = true;
+      first_app = now.t;
+    }
+    last_app = now.t;
+    if (options.speedup > 0.0) {
+      // Pace: this element is due (app - first) / speedup after the start.
+      const double due_ns =
+          static_cast<double>(last_app - first_app) *
+          static_cast<double>(options.time_unit_ns) / options.speedup;
+      const Clock::time_point due =
+          wall_start + std::chrono::nanoseconds(static_cast<int64_t>(due_ns));
+      if (Clock::now() < due) std::this_thread::sleep_until(due);
+    }
+  }
+  // Finish parallel (sharded) queries; the single-threaded executor is done.
+  dsms.RunToCompletion();
+
+  const double wall_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           wall_start)
+          .count());
+  stats.app_span = have_first ? last_app - first_app : 0;
+  stats.wall_seconds = wall_ns / 1e9;
+  if (wall_ns > 0.0) {
+    stats.achieved_speedup = static_cast<double>(stats.app_span) *
+                             static_cast<double>(options.time_unit_ns) /
+                             wall_ns;
+  }
+  return stats;
+}
+
+}  // namespace genmig

@@ -4,6 +4,8 @@
 #include <cinttypes>
 #include <cstdio>
 #include <map>
+#include <utility>
+#include <vector>
 
 namespace genmig {
 namespace obs {
@@ -312,6 +314,55 @@ std::string ToChromeTrace(const MetricsRegistry& registry,
         out += buf;
         AppendEscaped(&out, r.detail);
         out += "}}";
+      }
+    }
+  }
+
+  // Sampled per-operator push spans: one lane per operator instance on a
+  // second process ("operators"), so data-path activity lines up against the
+  // migration phases above (shared MonotonicNowNs domain).
+  {
+    const std::deque<OperatorMetrics>& ops = registry.operators();
+    bool named_process = false;
+    int tid = 0;
+    for (const OperatorMetrics& m : ops) {
+      ++tid;
+      const size_t count = m.push_spans.size();
+      if (count == 0) continue;
+      if (!named_process) {
+        named_process = true;
+        begin_event();
+        out += "{\"ph\": \"M\", \"pid\": 2, \"tid\": 0, \"name\": "
+               "\"process_name\", \"args\": {\"name\": \"operators\"}}";
+      }
+      begin_event();
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\": \"M\", \"pid\": 2, \"tid\": %d, \"name\": "
+                    "\"thread_name\", \"args\": {\"name\": ",
+                    tid);
+      out += buf;
+      AppendEscaped(&out, m.name);
+      out += "}}";
+      // Snapshot then sort: the ring overwrites in place, so slots are not
+      // in start order once it wraps.
+      std::vector<std::pair<uint64_t, uint64_t>> spans;
+      spans.reserve(count);
+      for (size_t i = 0; i < count; ++i) {
+        spans.emplace_back(m.push_spans.spans[i].start_ns.load(),
+                           m.push_spans.spans[i].dur_ns.load());
+      }
+      std::sort(spans.begin(), spans.end());
+      for (const auto& [start_ns, dur_ns] : spans) {
+        begin_event();
+        std::snprintf(buf, sizeof(buf),
+                      "{\"ph\": \"X\", \"pid\": 2, \"tid\": %d, \"cat\": "
+                      "\"op-push\", \"name\": ",
+                      tid);
+        out += buf;
+        AppendEscaped(&out, m.name);
+        std::snprintf(buf, sizeof(buf), ", \"ts\": %.3f, \"dur\": %.3f}",
+                      us(start_ns), us(dur_ns));
+        out += buf;
       }
     }
   }

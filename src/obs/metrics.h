@@ -196,6 +196,33 @@ struct OperatorMetrics {
   /// non-terminal operator.
   LatencyHistogram e2e_ns;
 
+  /// Sampled execution spans for the Perfetto export: a bounded ring of
+  /// (start, duration) pairs in the obs::MonotonicNowNs domain, recorded on
+  /// the same one-in-kSampleEvery pushes that feed push_ns (and once per
+  /// PushBatch). The ring overwrites in place, so long runs retain the most
+  /// recent kCapacity spans; `total` counts every span ever recorded.
+  struct SpanRing {
+    static constexpr size_t kCapacity = 128;
+    struct Span {
+      RelaxedU64 start_ns;
+      RelaxedU64 dur_ns;
+    };
+    std::array<Span, kCapacity> spans{};
+    RelaxedU64 total;  // Next slot = total % kCapacity. Single writer.
+
+    void Record(uint64_t start_ns, uint64_t dur_ns) {
+      Span& s = spans[total.load() % kCapacity];
+      s.start_ns.store(start_ns);
+      s.dur_ns.store(dur_ns);
+      ++total;
+    }
+    size_t size() const {
+      const uint64_t n = total.load();
+      return n < kCapacity ? static_cast<size_t>(n) : kCapacity;
+    }
+  };
+  SpanRing push_spans;
+
   void SampleState(uint64_t units, uint64_t bytes, uint64_t queue) {
     state_units = units;
     state_bytes = bytes;

@@ -1,7 +1,7 @@
 #include "ops/operator.h"
 
 #ifndef GENMIG_NO_METRICS
-#include <chrono>
+#include "obs/clock.h"
 #endif
 
 #include "common/check.h"
@@ -75,13 +75,15 @@ void Operator::PushElement(int in_port, const StreamElement& element) {
 #ifndef GENMIG_NO_METRICS
   // Counters are exact; latency and state gauges are sampled every
   // kSampleEvery-th push to keep clock reads and virtual state probes off
-  // the common path (overhead contract in obs/metrics.h).
+  // the common path (overhead contract in obs/metrics.h). Sampled pushes use
+  // the shared MonotonicNowNs domain so span starts align with migration
+  // trace records in the Perfetto export.
   bool sampled = false;
-  std::chrono::steady_clock::time_point push_start;
+  uint64_t push_start_ns = 0;
   if (metrics_ != nullptr) {
     sampled =
         (metrics_->elements_in++ & obs::MetricsRegistry::kSampleMask) == 0;
-    if (sampled) push_start = std::chrono::steady_clock::now();
+    if (sampled) push_start_ns = obs::MonotonicNowNs();
   }
   current_ingress_ns_ = element.ingress_ns;
 #endif
@@ -91,10 +93,9 @@ void Operator::PushElement(int in_port, const StreamElement& element) {
 #ifndef GENMIG_NO_METRICS
   current_ingress_ns_ = 0;
   if (sampled) {
-    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                        std::chrono::steady_clock::now() - push_start)
-                        .count();
-    metrics_->push_ns.Record(static_cast<uint64_t>(ns));
+    const uint64_t ns = obs::MonotonicNowNs() - push_start_ns;
+    metrics_->push_ns.Record(ns);
+    metrics_->push_spans.Record(push_start_ns, ns);
     metrics_->SampleState(StateUnits(), StateBytes(), QueueDepth());
   }
 #endif
@@ -118,12 +119,12 @@ void Operator::PushBatch(int in_port, const TupleBatch& batch) {
 #ifndef GENMIG_NO_METRICS
   // One clock read pair per batch (not per row): recorded as the mean
   // per-element cost so the calibrator's cpu_ns_per_element stays in the
-  // same unit as the scalar path.
-  std::chrono::steady_clock::time_point push_start;
+  // same unit as the scalar path. The span covers the whole batch.
+  uint64_t push_start_ns = 0;
   if (metrics_ != nullptr) {
     metrics_->elements_in += batch.size();
     ++metrics_->batches_in;
-    push_start = std::chrono::steady_clock::now();
+    push_start_ns = obs::MonotonicNowNs();
   }
 #endif
   OnBatch(in_port, batch);
@@ -132,10 +133,9 @@ void Operator::PushBatch(int in_port, const TupleBatch& batch) {
   PublishProgress();
 #ifndef GENMIG_NO_METRICS
   if (metrics_ != nullptr) {
-    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                        std::chrono::steady_clock::now() - push_start)
-                        .count();
-    metrics_->push_ns.Record(static_cast<uint64_t>(ns) / batch.size());
+    const uint64_t ns = obs::MonotonicNowNs() - push_start_ns;
+    metrics_->push_ns.Record(ns / batch.size());
+    metrics_->push_spans.Record(push_start_ns, ns);
     metrics_->SampleState(StateUnits(), StateBytes(), QueueDepth());
   }
 #endif

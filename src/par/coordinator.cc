@@ -77,6 +77,16 @@ Status Coordinator::Start(const InputMap& inputs) {
   }
   started_ = true;
 
+  // Router-side reordering stages for disordered inputs the plan uses.
+  for (const auto& [name, opts] : options_.disordered_inputs) {
+    for (const PortKey& port : spec_.ports) {
+      if (port.source == name) {
+        disorder_.emplace(name, std::make_unique<DisorderBuffer>(opts));
+        break;
+      }
+    }
+  }
+
   out_queue_ = std::make_unique<BoundedQueue<ShardOutMsg>>(
       options_.queue_capacity);
   merge_ = std::make_unique<MergeSink>(options_.shards, out_queue_.get(),
@@ -116,14 +126,20 @@ Status Coordinator::Start(const InputMap& inputs) {
   return Status::OK();
 }
 
-void Coordinator::Broadcast(Scheduled* scheduled, Timestamp max_routed) {
+void Coordinator::Broadcast(Scheduled* scheduled, Timestamp max_routed,
+                            const std::vector<Timestamp>& port_hb,
+                            Timestamp horizon) {
   scheduled->fired = true;
 
   // One T_split valid on every shard: greater than every start instant any
-  // replica has seen (<= max_routed), plus the window slack w and the +1
-  // chronon of Section 4. eps = 1 keeps the split strictly between the
-  // chronon grid points, exactly like the local computation.
-  const Timestamp forced(max_routed.t + spec_.max_window + 1, 1);
+  // replica has seen (<= max_routed) AND every per-port watermark promise
+  // made below (under disorder a stream's watermark can run ahead of its
+  // last routed element), plus the window slack w and the +1 chronon of
+  // Section 4. eps = 1 keeps the split strictly between the chronon grid
+  // points, exactly like the local computation.
+  int64_t base = max_routed.t;
+  for (const Timestamp& hb : port_hb) base = std::max(base, hb.t);
+  const Timestamp forced(base + spec_.max_window + 1, 1);
 
   auto order = std::make_shared<MigrationOrder>();
   order->new_plan = scheduled->new_stripped;
@@ -139,13 +155,16 @@ void Coordinator::Broadcast(Scheduled* scheduled, Timestamp max_routed) {
 
   for (auto& shard : shards_) {
     for (size_t port = 0; port < spec_.ports.size(); ++port) {
-      // Unthinned heartbeat at max_routed: every controller port reaches
-      // t_Si >= its true local max, so TryEnterParallel fires synchronously
-      // inside StartGenMig and max(local, forced) == forced on every shard.
+      // Unthinned per-port heartbeat: every controller port reaches t_Si >=
+      // its true local max, so TryEnterParallel fires synchronously inside
+      // StartGenMig and max(local, forced) == forced on every shard. The
+      // heartbeat time is the port's own stream promise (port_hb), never
+      // the global max: under disorder another stream's buffer may still
+      // release an element below the global max_routed.
       ShardInMsg hb;
       hb.kind = ShardInMsg::Kind::kHeartbeat;
       hb.port = static_cast<int>(port);
-      hb.time = max_routed;
+      hb.time = port_hb[port];
       shard->input().Push(std::move(hb));
     }
     ShardInMsg mig;
@@ -154,6 +173,9 @@ void Coordinator::Broadcast(Scheduled* scheduled, Timestamp max_routed) {
     shard->input().Push(std::move(mig));
   }
 
+  horizon_t_.store(horizon.t, std::memory_order_relaxed);
+  horizon_eps_.store(horizon.eps, std::memory_order_relaxed);
+  horizon_state_.store(disorder_.empty() ? 1 : 2, std::memory_order_release);
   t_split_t_.store(forced.t, std::memory_order_relaxed);
   t_split_eps_.store(forced.eps, std::memory_order_relaxed);
   t_split_set_.store(true, std::memory_order_release);
@@ -162,11 +184,17 @@ void Coordinator::Broadcast(Scheduled* scheduled, Timestamp max_routed) {
 
 void Coordinator::RouterMain(InputMap inputs) {
   // Distinct streams in deterministic (map) order, with a read cursor each.
+  // A disordered stream's cursor reads the *arrival* sequence through its
+  // DisorderBuffer; `released` holds reordered elements pending routing.
   struct Cursor {
     const std::string* name = nullptr;
     const MaterializedStream* stream = nullptr;
     size_t pos = 0;
     uint64_t injected = 0;  // For ingress sampling.
+    DisorderBuffer* buffer = nullptr;  // Null for ordered streams.
+    MaterializedStream released;
+    size_t rpos = 0;
+    bool flushed = false;
   };
   std::vector<Cursor> cursors;
   for (const auto& [name, stream] : inputs) {
@@ -177,8 +205,31 @@ void Coordinator::RouterMain(InputMap inputs) {
     Cursor c;
     c.name = &name;
     c.stream = &stream;
-    cursors.push_back(c);
+    auto dis = disorder_.find(name);
+    if (dis != disorder_.end()) c.buffer = dis->second.get();
+    cursors.push_back(std::move(c));
   }
+
+  // Admit arrivals until a release is pending or the stream runs out (then
+  // flush). No-op for ordered streams.
+  auto refill = [](Cursor& c) {
+    if (c.buffer == nullptr) return;
+    while (c.rpos >= c.released.size() && c.pos < c.stream->size()) {
+      c.buffer->Admit((*c.stream)[c.pos++], &c.released);
+    }
+    if (c.pos >= c.stream->size() && !c.flushed) {
+      c.buffer->FlushAll(&c.released);
+      c.flushed = true;
+    }
+  };
+  auto pending = [](const Cursor& c) {
+    return c.buffer == nullptr ? c.pos < c.stream->size()
+                               : c.rpos < c.released.size();
+  };
+  auto front_start = [](const Cursor& c) {
+    return c.buffer == nullptr ? (*c.stream)[c.pos].interval.start
+                               : c.released[c.rpos].interval.start;
+  };
 
   // Ports fed by each stream, precomputed (stream index -> port list).
   std::vector<std::vector<size_t>> ports_of(cursors.size());
@@ -229,24 +280,65 @@ void Coordinator::RouterMain(InputMap inputs) {
   Timestamp max_routed = Timestamp::MinInstant();
   bool any_routed = false;
 
-  while (true) {
-    // Global temporal order: the stream with the smallest next start (ties:
-    // lowest stream index). Deterministic because the input is data, not
-    // thread timing.
-    size_t best = cursors.size();
+  // Per-port watermark promises for a migration broadcast. Fully ordered
+  // inputs keep the legacy promise (the global max_routed — valid under
+  // global temporal order). With disordered inputs each port gets its own
+  // stream's strongest valid promise: the pending front if one exists (the
+  // very next element of that stream), else the stream's buffer watermark
+  // (every future release lies at or above it); exhausted ordered streams
+  // can promise anything, so max_routed stands in.
+  auto compute_port_hb = [&](Timestamp routed_max) {
+    std::vector<Timestamp> hb(spec_.ports.size(), routed_max);
+    if (disorder_.empty()) return hb;
     for (size_t ci = 0; ci < cursors.size(); ++ci) {
       const Cursor& c = cursors[ci];
-      if (c.pos >= c.stream->size()) continue;
+      Timestamp promise = routed_max;
+      if (pending(c)) {
+        promise = front_start(c);
+      } else if (c.buffer != nullptr) {
+        promise = c.buffer->watermark();
+      }
+      for (size_t p : ports_of[ci]) hb[p] = promise;
+    }
+    return hb;
+  };
+  auto compute_horizon = [&] {
+    // Smallest start a disordered stream could still deliver at broadcast
+    // time: the pending released front if one exists, else the buffer
+    // watermark (the floor of every future release). The raw watermark
+    // alone would be wrong in the other direction — a lossless buffer that
+    // consumed its whole arrival sequence has flushed and its watermark
+    // sits at the stream end, far ahead of the still-unrouted releases.
+    Timestamp h = Timestamp::MaxInstant();
+    for (const Cursor& c : cursors) {
+      if (c.buffer == nullptr) continue;
+      const Timestamp promise =
+          pending(c) ? front_start(c) : c.buffer->watermark();
+      if (promise < h) h = promise;
+    }
+    return h;
+  };
+
+  while (true) {
+    // Global temporal order over the *released* fronts: the stream with the
+    // smallest next start (ties: lowest stream index). Deterministic
+    // because the input is data, not thread timing.
+    size_t best = cursors.size();
+    for (size_t ci = 0; ci < cursors.size(); ++ci) {
+      Cursor& c = cursors[ci];
+      refill(c);
+      if (!pending(c)) continue;
       if (best == cursors.size() ||
-          (*c.stream)[c.pos].interval.start <
-              (*cursors[best].stream)[cursors[best].pos].interval.start) {
+          front_start(c) < front_start(cursors[best])) {
         best = ci;
       }
     }
     if (best == cursors.size()) break;  // All streams exhausted.
 
     Cursor& cur = cursors[best];
-    StreamElement element = (*cur.stream)[cur.pos++];
+    StreamElement element = cur.buffer == nullptr
+                                ? (*cur.stream)[cur.pos++]
+                                : cur.released[cur.rpos++];
 #ifndef GENMIG_NO_METRICS
     if (options_.registry != nullptr && element.ingress_ns == 0 &&
         (cur.injected++ & obs::MetricsRegistry::kSampleMask) == 0) {
@@ -294,10 +386,11 @@ void Coordinator::RouterMain(InputMap inputs) {
     // controller needs a nonempty timestamp history anyway.
     for (Scheduled& s : scheduled_) {
       if (!s.fired && any_routed && s.at <= max_routed) {
-        // The broadcast's unthinned heartbeat at max_routed must not
-        // overtake accumulated rows (which all start <= max_routed).
+        // The broadcast's unthinned heartbeats must not overtake
+        // accumulated rows (which all start <= their port's promise).
         flush_all();
-        Broadcast(&s, max_routed);
+        Broadcast(&s, max_routed, compute_port_hb(max_routed),
+                  compute_horizon());
       }
     }
   }
@@ -307,7 +400,10 @@ void Coordinator::RouterMain(InputMap inputs) {
   // engine, where a drain-time migration runs against final state.
   flush_all();
   for (Scheduled& s : scheduled_) {
-    if (!s.fired && any_routed) Broadcast(&s, max_routed);
+    if (!s.fired && any_routed) {
+      Broadcast(&s, max_routed, compute_port_hb(max_routed),
+                compute_horizon());
+    }
   }
 
   for (auto& shard : shards_) {
@@ -358,6 +454,14 @@ int Coordinator::migrations_completed() const {
     if (s == 0 || done < min) min = done;
   }
   return min;
+}
+
+Timestamp Coordinator::disorder_horizon() const {
+  const int state = horizon_state_.load(std::memory_order_acquire);
+  if (state == 0) return Timestamp::MinInstant();   // No broadcast yet.
+  if (state == 1) return Timestamp::MaxInstant();   // No disordered inputs.
+  return Timestamp(horizon_t_.load(std::memory_order_relaxed),
+                   horizon_eps_.load(std::memory_order_relaxed));
 }
 
 Timestamp Coordinator::t_split() const {

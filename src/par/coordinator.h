@@ -40,6 +40,7 @@
 #include "par/merge_sink.h"
 #include "par/partition.h"
 #include "par/shard_runtime.h"
+#include "stream/disorder.h"
 
 namespace genmig {
 namespace par {
@@ -71,6 +72,17 @@ class Coordinator {
     /// codegen hooks). Shards share one codegen engine through the hooks, so
     /// N identical replicas cost one native compile and N cache hits.
     CompileOptions compile;
+    /// Streams listed here are in *arrival* order (bounded out-of-order);
+    /// the router reorders each through its own DisorderBuffer before
+    /// routing. In this mode the router stops assuming global temporal
+    /// order across streams: per-element heartbeats already go only to the
+    /// element's own ports (per-stream promise), and the migration
+    /// broadcast announces each port's own stream watermark instead of the
+    /// global max — a heartbeat at the global max could be overtaken by a
+    /// late element still sitting in another stream's buffer. T_split is
+    /// forced above every per-stream watermark plus w, so it always waits
+    /// for the disorder horizon (DESIGN.md Sec. 12).
+    std::map<std::string, DisorderBuffer::Options> disordered_inputs;
   };
 
   /// Fails (Status) when the plan is not partitionable — callers fall back
@@ -114,6 +126,20 @@ class Coordinator {
   uint64_t elements_routed() const {
     return elements_routed_.load(std::memory_order_relaxed);
   }
+  /// Min over the disordered streams' delivery promises (pending released
+  /// front if one exists, else the buffer watermark) at the moment the
+  /// migration broadcast fired — the smallest start any disordered stream
+  /// could still deliver then. The forced T_split clears it by at least
+  /// w + 1. MinInstant until a broadcast fired; MaxInstant when no input
+  /// stream is disordered (the horizon constraint is vacuous).
+  Timestamp disorder_horizon() const;
+  /// The router-side reordering stage of a disordered input (drop counts,
+  /// lateness histogram); nullptr for ordered streams. Stable after Start();
+  /// read stats after Wait().
+  const DisorderBuffer* disorder_buffer(const std::string& stream) const {
+    auto it = disorder_.find(stream);
+    return it == disorder_.end() ? nullptr : it->second.get();
+  }
 
  private:
   struct Scheduled {
@@ -124,7 +150,11 @@ class Coordinator {
   };
 
   void RouterMain(InputMap inputs);
-  void Broadcast(Scheduled* scheduled, Timestamp max_routed);
+  /// `port_hb[p]` is the strongest per-port watermark promise at broadcast
+  /// time (the global max_routed in the fully-ordered case); `horizon` is
+  /// the disorder horizon recorded for introspection.
+  void Broadcast(Scheduled* scheduled, Timestamp max_routed,
+                 const std::vector<Timestamp>& port_hb, Timestamp horizon);
 
   LogicalPtr windowed_plan_;
   LogicalPtr stripped_plan_;
@@ -139,12 +169,18 @@ class Coordinator {
   bool joined_ = false;
 
   std::vector<Scheduled> scheduled_;
+  /// Router-side reordering stages, one per disordered input stream
+  /// (created in Start(), used only by the router thread).
+  std::map<std::string, std::unique_ptr<DisorderBuffer>> disorder_;
 
   std::atomic<uint64_t> elements_routed_{0};
   std::atomic<int> broadcasts_fired_{0};
   std::atomic<int64_t> t_split_t_{0};
   std::atomic<uint32_t> t_split_eps_{0};
   std::atomic<bool> t_split_set_{false};
+  std::atomic<int64_t> horizon_t_{0};
+  std::atomic<uint32_t> horizon_eps_{0};
+  std::atomic<int> horizon_state_{0};  // 0 unset, 1 vacuous, 2 recorded.
 
   mutable std::mutex progress_mu_;
   std::condition_variable progress_cv_;

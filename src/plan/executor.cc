@@ -15,7 +15,53 @@ int Executor::AddFeed(std::string name, MaterializedStream elements) {
   return static_cast<int>(feeds_.size()) - 1;
 }
 
+int Executor::AddDisorderedFeed(std::string name, MaterializedStream arrivals,
+                                DisorderBuffer::Options disorder) {
+  // Arrival order is intentionally unchecked: reordering is the buffer's job.
+  Feed feed;
+  feed.name = std::move(name);
+  feed.source = std::make_unique<Source>("source_" + feed.name);
+  feed.disordered = true;
+  feed.arrivals = std::move(arrivals);
+  feed.buffer = std::make_unique<DisorderBuffer>(disorder);
+  remaining_ += feed.arrivals.size();
+  feeds_.push_back(std::move(feed));
+  return static_cast<int>(feeds_.size()) - 1;
+}
+
+void Executor::Refill(Feed& feed, size_t want) {
+  if (!feed.disordered || feed.closed) return;
+  while (feed.elements.size() - feed.pos < want &&
+         feed.arrival_pos < feed.arrivals.size()) {
+    const StreamElement& arrival = feed.arrivals[feed.arrival_pos++];
+    if (!feed.buffer->Admit(arrival, &feed.elements)) {
+      --remaining_;  // Dropped as too late; it will never be pushed.
+    }
+  }
+  if (feed.arrival_pos >= feed.arrivals.size() && !feed.flushed) {
+    feed.buffer->FlushAll(&feed.elements);
+    feed.flushed = true;
+  }
+}
+
+void Executor::AnnounceDisorderHorizon(Feed& feed) {
+  if (!feed.disordered || feed.closed) return;
+  // With a release pending, the next injection is exactly the front, so its
+  // start is the strongest valid promise; otherwise every future release
+  // lies at or above the buffer watermark (admission bound).
+  Timestamp wm = feed.pos < feed.elements.size()
+                     ? feed.elements[feed.pos].interval.start
+                     : feed.buffer->watermark();
+  if (feed.announced_wm < wm) {
+    feed.announced_wm = wm;
+    feed.source->InjectHeartbeat(wm);
+  }
+}
+
 int Executor::PickFeed() {
+  // Disordered feeds refill lazily: admit arrivals until a release is
+  // pending (or arrivals run out), so every policy sees its next element.
+  for (Feed& f : feeds_) Refill(f, 1);
   switch (options_.policy) {
     case Policy::kGlobalOrder: {
       int best = -1;
@@ -80,6 +126,7 @@ bool Executor::StepUpTo(Timestamp limit) {
     --remaining_;
     ++pushed_;
   } else {
+    Refill(feed, options_.batch_size);
     // Gather up to batch_size consecutive elements of this feed. Under
     // kGlobalOrder the batch must not overtake another feed: rows past the
     // first stop at the smallest pending start of the other feeds (ties may
@@ -117,10 +164,15 @@ bool Executor::StepUpTo(Timestamp limit) {
     remaining_ -= count;
     pushed_ += count;
   }
-  if (feed.pos >= feed.elements.size() && !feed.closed) {
+  Refill(feed, 1);
+  if (feed.pos >= feed.elements.size() && !feed.closed &&
+      (!feed.disordered || feed.flushed)) {
     feed.source->Close();
     feed.closed = true;
   }
+  // The pushed feed's disorder horizon may have advanced with the refill;
+  // announce it so downstream watermarks track the buffer, not the push.
+  AnnounceDisorderHorizon(feed);
   if (options_.eager_heartbeats) {
     for (Feed& f : feeds_) {
       if (f.closed || f.pos >= f.elements.size()) continue;
@@ -136,7 +188,8 @@ void Executor::RunUntil(Timestamp t) {
     int best = -1;
     Timestamp best_ts = Timestamp::MaxInstant();
     for (size_t i = 0; i < feeds_.size(); ++i) {
-      const Feed& f = feeds_[i];
+      Feed& f = feeds_[i];
+      Refill(f, 1);
       if (f.pos >= f.elements.size()) continue;
       const Timestamp ts = f.elements[f.pos].interval.start;
       if (best < 0 || ts < best_ts) {

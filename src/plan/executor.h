@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "ops/source.h"
+#include "stream/disorder.h"
 #include "stream/element.h"
 
 namespace genmig {
@@ -58,15 +59,43 @@ class Executor {
     return AddFeed(std::move(name), ToPhysicalStream(raw));
   }
 
+  /// Registers an input feed whose elements are in *arrival* order, not
+  /// necessarily ordered by start timestamp. A DisorderBuffer reorders them
+  /// under bounded lateness: the plan sees a valid ordered physical stream,
+  /// the buffer's monotone low-watermark is announced downstream as
+  /// heartbeats (so windows, merges and T_split selection track the disorder
+  /// horizon, not the raw arrivals), and elements later than the allowance
+  /// are dropped (see feed_buffer() stats).
+  int AddDisorderedFeed(std::string name, MaterializedStream arrivals,
+                        DisorderBuffer::Options disorder);
+
+  int AddRawDisorderedFeed(std::string name,
+                           const std::vector<TimedTuple>& raw,
+                           DisorderBuffer::Options disorder) {
+    return AddDisorderedFeed(std::move(name), ToPhysicalStream(raw),
+                             disorder);
+  }
+
   Source* source(int feed) { return feeds_[static_cast<size_t>(feed)].source.get(); }
 
   /// The raw elements registered for feed `feed` — the parallel coordinator
-  /// (src/par) re-routes installed feeds across shards from here.
+  /// (src/par) re-routes installed feeds across shards from here. For a
+  /// disordered feed this is the arrival sequence (the coordinator replays
+  /// it through its own per-stream DisorderBuffer).
   const MaterializedStream& feed_elements(int feed) const {
-    return feeds_[static_cast<size_t>(feed)].elements;
+    const Feed& f = feeds_[static_cast<size_t>(feed)];
+    return f.disordered ? f.arrivals : f.elements;
   }
   const std::string& feed_name(int feed) const {
     return feeds_[static_cast<size_t>(feed)].name;
+  }
+  bool feed_disordered(int feed) const {
+    return feeds_[static_cast<size_t>(feed)].disordered;
+  }
+  /// The reordering stage of a disordered feed (stats, watermark, delta);
+  /// nullptr for ordered feeds.
+  const DisorderBuffer* feed_buffer(int feed) const {
+    return feeds_[static_cast<size_t>(feed)].buffer.get();
   }
 
   /// Connects feed `feed` to `op`'s input `port`.
@@ -100,13 +129,32 @@ class Executor {
  private:
   struct Feed {
     std::string name;
+    /// Injection queue, ordered by start. For a disordered feed this holds
+    /// the elements released by `buffer` so far and keeps growing as
+    /// arrivals are admitted.
     MaterializedStream elements;
     size_t pos = 0;
     std::unique_ptr<Source> source;
     bool closed = false;
+    // Disordered feeds only:
+    bool disordered = false;
+    MaterializedStream arrivals;  ///< Registered arrival sequence.
+    size_t arrival_pos = 0;
+    std::unique_ptr<DisorderBuffer> buffer;
+    bool flushed = false;
+    Timestamp announced_wm = Timestamp::MinInstant();
   };
 
   int PickFeed();
+
+  /// Disordered feeds: admits arrivals until the injection queue holds at
+  /// least `want` unpushed elements (or arrivals run out, which flushes the
+  /// buffer). No-op for ordered feeds.
+  void Refill(Feed& feed, size_t want);
+
+  /// Announces the disorder horizon downstream: injects the buffer
+  /// watermark as a heartbeat when it advanced past the last announcement.
+  void AnnounceDisorderHorizon(Feed& feed);
 
   /// Step, but never pushing an element with start >= `limit` (RunUntil's
   /// boundary; batches are truncated at the limit, not skipped past it).

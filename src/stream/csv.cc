@@ -50,15 +50,17 @@ Result<Value> ParseField(const std::string& text, ValueType type,
   return Status::Internal("unknown column type");
 }
 
-}  // namespace
-
-Result<std::vector<TimedTuple>> ParseCsv(const std::string& text,
-                                         const Schema& schema) {
+/// Shared line parser; `ordered` enforces the physical-stream monotonicity
+/// (ParseCsv), otherwise lateness is tracked instead (ParseCsvTrace).
+Result<std::vector<TimedTuple>> ParseCsvImpl(const std::string& text,
+                                             const Schema& schema,
+                                             bool ordered,
+                                             int64_t* max_lateness) {
   std::vector<TimedTuple> out;
   std::istringstream in(text);
   std::string line;
   size_t line_no = 0;
-  int64_t prev_t = std::numeric_limits<int64_t>::min();
+  int64_t max_t = std::numeric_limits<int64_t>::min();
   while (std::getline(in, line)) {
     ++line_no;
     if (!line.empty() && line.back() == '\r') line.pop_back();
@@ -73,11 +75,16 @@ Result<std::vector<TimedTuple>> ParseCsv(const std::string& text,
     Result<Value> ts = ParseField(fields[0], ValueType::kInt64, line_no);
     if (!ts.ok()) return ts.status();
     const int64_t t = ts.value().AsInt64();
-    if (t < prev_t) {
-      return Status::InvalidArgument("line " + std::to_string(line_no) +
-                                     ": timestamps must be non-decreasing");
+    if (t < max_t) {
+      if (ordered) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": timestamps must be non-decreasing");
+      }
+      if (max_lateness != nullptr && max_t - t > *max_lateness) {
+        *max_lateness = max_t - t;
+      }
     }
-    prev_t = t;
+    if (t > max_t) max_t = t;
     std::vector<Value> values;
     values.reserve(schema.size());
     for (size_t c = 0; c < schema.size(); ++c) {
@@ -89,6 +96,33 @@ Result<std::vector<TimedTuple>> ParseCsv(const std::string& text,
     out.push_back({Tuple(std::move(values)), t});
   }
   return out;
+}
+
+}  // namespace
+
+Result<std::vector<TimedTuple>> ParseCsv(const std::string& text,
+                                         const Schema& schema) {
+  return ParseCsvImpl(text, schema, /*ordered=*/true, nullptr);
+}
+
+Result<CsvTrace> ParseCsvTrace(const std::string& text, const Schema& schema) {
+  CsvTrace trace;
+  Result<std::vector<TimedTuple>> rows =
+      ParseCsvImpl(text, schema, /*ordered=*/false, &trace.max_lateness);
+  if (!rows.ok()) return rows.status();
+  trace.arrivals = std::move(rows).ValueOrDie();
+  return trace;
+}
+
+Result<CsvTrace> ReadCsvTraceFile(const std::string& path,
+                                  const Schema& schema) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseCsvTrace(buffer.str(), schema);
 }
 
 Result<std::vector<TimedTuple>> ReadCsvFile(const std::string& path,

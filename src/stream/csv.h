@@ -28,6 +28,25 @@ Result<std::vector<TimedTuple>> ParseCsv(const std::string& text,
 Result<std::vector<TimedTuple>> ReadCsvFile(const std::string& path,
                                             const Schema& schema);
 
+/// A recorded trace in *arrival* order: unlike ParseCsv, rows need not be
+/// timestamp-ordered — a line may carry a timestamp below an earlier line's
+/// (late data, as captured at the edge). Feed `arrivals` through a
+/// DisorderBuffer (stream/disorder.h) with delta >= max_lateness to recover
+/// an ordered physical stream without drops.
+struct CsvTrace {
+  std::vector<TimedTuple> arrivals;
+  /// Largest observed lateness (earlier line's timestamp minus own), in the
+  /// trace's time unit; 0 when the trace is already ordered.
+  int64_t max_lateness = 0;
+};
+
+/// Parses a possibly-disordered CSV trace against `schema`.
+Result<CsvTrace> ParseCsvTrace(const std::string& text, const Schema& schema);
+
+/// Reads and parses a possibly-disordered CSV trace file.
+Result<CsvTrace> ReadCsvTraceFile(const std::string& path,
+                                  const Schema& schema);
+
 /// Renders a result stream as CSV: start,end,field1,field2,...
 std::string StreamToCsv(const MaterializedStream& stream);
 

@@ -1,0 +1,80 @@
+#include "stream/disorder.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace genmig {
+
+DisorderBuffer::DisorderBuffer(Options options)
+    : options_(options), delta_(options.delta) {
+  GENMIG_CHECK_GE(options_.delta, 0);
+  GENMIG_CHECK_GE(options_.min_delta, 0);
+  GENMIG_CHECK_GE(options_.max_delta, options_.min_delta);
+  GENMIG_CHECK_GT(options_.adapt_every, 0u);
+  GENMIG_CHECK(options_.quantile > 0.0 && options_.quantile <= 1.0);
+  GENMIG_CHECK_GT(options_.headroom, 0.0);
+  if (options_.adaptive) {
+    delta_ = std::clamp(delta_, options_.min_delta, options_.max_delta);
+  }
+}
+
+bool DisorderBuffer::Admit(const StreamElement& element,
+                           MaterializedStream* out) {
+  ++stats_.arrived;
+  const Timestamp start = element.interval.start;
+  // Arrival lateness relative to the stream's high-water mark, in
+  // application-time units; feeds the adaptive-delta quantile.
+  const int64_t lateness =
+      max_arrived_ == Timestamp::MinInstant()
+          ? 0
+          : std::max<int64_t>(0, max_arrived_.t - start.t);
+  lateness_.Record(static_cast<uint64_t>(lateness));
+  if (lateness > stats_.max_lateness) stats_.max_lateness = lateness;
+  MaybeAdapt();
+
+  if (start < watermark_) {
+    // Later than the bounded allowance: emitting it would violate the
+    // heartbeat promise already made at watermark_.
+    ++stats_.dropped_late;
+    return false;
+  }
+  ++stats_.admitted;
+  heap_.Push(element);
+  if (max_arrived_ < start) max_arrived_ = start;
+  AdvanceWatermark(out);
+  return true;
+}
+
+void DisorderBuffer::FlushAll(MaterializedStream* out) {
+  heap_.FlushAll([&](const StreamElement& e) {
+    ++stats_.released;
+    out->push_back(e);
+  });
+  if (watermark_ < max_arrived_) watermark_ = max_arrived_;
+}
+
+void DisorderBuffer::AdvanceWatermark(MaterializedStream* out) {
+  if (max_arrived_ == Timestamp::MinInstant()) return;
+  // max with the previous value keeps W monotone when an adaptive delta
+  // widens between arrivals.
+  const Timestamp candidate(max_arrived_.t - delta_, 0);
+  if (watermark_ < candidate) watermark_ = candidate;
+  heap_.FlushUpTo(watermark_, [&](const StreamElement& e) {
+    ++stats_.released;
+    out->push_back(e);
+  });
+}
+
+void DisorderBuffer::MaybeAdapt() {
+  if (!options_.adaptive || stats_.arrived % options_.adapt_every != 0) {
+    return;
+  }
+  const double target =
+      options_.headroom * lateness_.ApproxQuantile(options_.quantile);
+  delta_ = std::clamp(static_cast<int64_t>(target), options_.min_delta,
+                      options_.max_delta);
+  ++stats_.adaptations;
+}
+
+}  // namespace genmig

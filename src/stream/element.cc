@@ -22,4 +22,14 @@ MaterializedStream ToPhysicalStream(const std::vector<TimedTuple>& raw) {
   return out;
 }
 
+MaterializedStream ToPhysicalArrivals(const std::vector<TimedTuple>& raw) {
+  MaterializedStream out;
+  out.reserve(raw.size());
+  for (const TimedTuple& tt : raw) {
+    out.emplace_back(tt.tuple,
+                     TimeInterval(Timestamp(tt.t), Timestamp(tt.t + 1)));
+  }
+  return out;
+}
+
 }  // namespace genmig

@@ -78,6 +78,11 @@ struct TimedTuple {
 /// time granularity".
 MaterializedStream ToPhysicalStream(const std::vector<TimedTuple>& raw);
 
+/// Same mapping for a raw stream in *arrival* order: timestamps may go
+/// backwards (late data), so the result is NOT a valid physical stream —
+/// feed it through a DisorderBuffer (e.g. RegisterDisorderedStream).
+MaterializedStream ToPhysicalArrivals(const std::vector<TimedTuple>& raw);
+
 }  // namespace genmig
 
 #endif  // GENMIG_STREAM_ELEMENT_H_

@@ -1,5 +1,9 @@
 #include "stream/generator.h"
 
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
 namespace genmig {
 
 std::vector<TimedTuple> GenerateUniformStream(const UniformStreamSpec& spec) {
@@ -50,6 +54,149 @@ std::vector<TimedTuple> GenerateBurstyStream(size_t count, int64_t max_gap,
     t += gap_dist(rng);
   }
   return out;
+}
+
+ZipfDistribution::ZipfDistribution(int64_t num_keys, double skew) {
+  GENMIG_CHECK_GT(num_keys, 0);
+  GENMIG_CHECK_GE(skew, 0.0);
+  cdf_.resize(static_cast<size_t>(num_keys));
+  double total = 0.0;
+  for (int64_t r = 1; r <= num_keys; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r), skew);
+    cdf_[static_cast<size_t>(r - 1)] = total;
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+int64_t ZipfDistribution::operator()(std::mt19937_64& rng) const {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  const double u = dist(rng);
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return it == cdf_.end() ? static_cast<int64_t>(cdf_.size()) - 1
+                          : it - cdf_.begin();
+}
+
+std::vector<TimedTuple> GenerateZipfStream(size_t count, int64_t period,
+                                           int64_t num_keys, double skew,
+                                           uint64_t seed, int64_t start_time) {
+  ZipfDistribution zipf(num_keys, skew);
+  std::mt19937_64 rng(seed);
+  std::vector<TimedTuple> out;
+  out.reserve(count);
+  int64_t t = start_time;
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back({Tuple::OfInts({zipf(rng)}), t});
+    t += period;
+  }
+  return out;
+}
+
+std::vector<TimedTuple> GenerateAdversarialStream(
+    const AdversarialStreamSpec& spec) {
+  GENMIG_CHECK_GT(spec.num_keys, 0);
+  GENMIG_CHECK_GE(spec.period, 0);
+  ZipfDistribution zipf(spec.num_keys, spec.zipf_skew);
+  std::mt19937_64 rng(spec.seed);
+  std::vector<TimedTuple> out;
+  out.reserve(spec.count);
+  int64_t t = spec.start_time;
+  for (size_t i = 0; i < spec.count; ++i) {
+    out.push_back({Tuple::OfInts({zipf(rng)}), t});
+    switch (spec.profile) {
+      case RateProfile::kConstant:
+        t += spec.period;
+        break;
+      case RateProfile::kBursty: {
+        const size_t burst = std::max<size_t>(spec.burst_len, 1);
+        if ((i + 1) % burst == 0) {
+          t += spec.period * std::max<int64_t>(spec.burst_idle_factor, 1);
+        } else {
+          t += static_cast<int64_t>(rng() % 2);  // Dense: gap 0 or 1.
+        }
+        break;
+      }
+      case RateProfile::kDiurnal: {
+        const size_t cycle = std::max<size_t>(spec.diurnal_cycle, 1);
+        constexpr double kTwoPi = 6.28318530717958647692;
+        const double phase = kTwoPi * static_cast<double>(i % cycle) /
+                             static_cast<double>(cycle);
+        const double gap = static_cast<double>(spec.period) *
+                           (1.0 + spec.diurnal_amplitude * std::sin(phase));
+        t += std::max<int64_t>(0, std::llround(gap));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Realized lateness of an arrival sequence: for each element, how far the
+/// largest earlier-arrived start is ahead of its own start.
+int64_t RealizedMaxLateness(const MaterializedStream& arrivals) {
+  int64_t max_seen = 0;
+  bool any = false;
+  int64_t worst = 0;
+  for (const StreamElement& e : arrivals) {
+    const int64_t t = e.interval.start.t;
+    if (any && max_seen - t > worst) worst = max_seen - t;
+    if (!any || t > max_seen) max_seen = t;
+    any = true;
+  }
+  return worst;
+}
+
+}  // namespace
+
+DisorderedArrivals ApplyBoundedShuffle(const MaterializedStream& ordered,
+                                       size_t window, uint64_t seed) {
+  DisorderedArrivals result;
+  result.arrivals.reserve(ordered.size());
+  if (window == 0) {
+    result.arrivals = ordered;
+    return result;
+  }
+  std::mt19937_64 rng(seed);
+  // Reservoir of the next window+1 pending elements; emitting a random one
+  // bounds every element's overtake count by `window` positions.
+  std::vector<StreamElement> pool;
+  pool.reserve(window + 1);
+  size_t next = 0;
+  while (next < ordered.size() && pool.size() < window + 1) {
+    pool.push_back(ordered[next++]);
+  }
+  while (!pool.empty()) {
+    const size_t pick = static_cast<size_t>(rng() % pool.size());
+    result.arrivals.push_back(pool[pick]);
+    pool[pick] = pool.back();
+    pool.pop_back();
+    if (next < ordered.size()) pool.push_back(ordered[next++]);
+  }
+  result.max_lateness = RealizedMaxLateness(result.arrivals);
+  return result;
+}
+
+DisorderedArrivals ApplyLateFraction(const MaterializedStream& ordered,
+                                     double fraction, int64_t delay,
+                                     uint64_t seed) {
+  GENMIG_CHECK_GE(delay, 0);
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution late(std::clamp(fraction, 0.0, 1.0));
+  std::vector<int64_t> arrival_time(ordered.size());
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    arrival_time[i] = ordered[i].interval.start.t + (late(rng) ? delay : 0);
+  }
+  std::vector<size_t> order(ordered.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return arrival_time[a] < arrival_time[b];
+  });
+  DisorderedArrivals result;
+  result.arrivals.reserve(ordered.size());
+  for (size_t i : order) result.arrivals.push_back(ordered[i]);
+  result.max_lateness = RealizedMaxLateness(result.arrivals);
+  return result;
 }
 
 }  // namespace genmig

@@ -48,6 +48,85 @@ std::vector<TimedTuple> GenerateBurstyStream(size_t count, int64_t max_gap,
                                              int64_t num_keys, uint64_t seed,
                                              int64_t start_time = 0);
 
+// --- Adversarial workloads (ROADMAP "scenario diversity") -------------------
+
+/// Zipf(s) sampler over {0, ..., num_keys-1} (key 0 is the hottest) via an
+/// inverse-CDF lookup. skew = 0 degenerates to the uniform distribution.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(int64_t num_keys, double skew);
+  int64_t operator()(std::mt19937_64& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Keyed stream with Zipf-distributed keys — the hot-key workload where
+/// hash-partitioned shards and grouping state go lopsided.
+std::vector<TimedTuple> GenerateZipfStream(size_t count, int64_t period,
+                                           int64_t num_keys, double skew,
+                                           uint64_t seed,
+                                           int64_t start_time = 0);
+
+/// Arrival-rate shapes for GenerateAdversarialStream.
+enum class RateProfile {
+  kConstant,  ///< Fixed `period` gaps.
+  kBursty,    ///< Dense bursts (gap 0/1) separated by long idle stretches.
+  kDiurnal,   ///< Sinusoidally modulated gaps (day/night load curve).
+};
+
+/// One-stop adversarial workload: Zipf key skew x rate profile.
+struct AdversarialStreamSpec {
+  size_t count = 1000;
+  /// Mean inter-arrival gap in application-time units.
+  int64_t period = 10;
+  int64_t num_keys = 100;
+  /// Zipf exponent of the key draw (0 = uniform).
+  double zipf_skew = 0.0;
+  RateProfile profile = RateProfile::kConstant;
+  /// kBursty: elements per burst (gaps 0 or 1 inside a burst) followed by an
+  /// idle gap of period * burst_idle_factor.
+  size_t burst_len = 20;
+  int64_t burst_idle_factor = 10;
+  /// kDiurnal: gap_i = period * (1 + amplitude * sin(2*pi*i / cycle)),
+  /// floored at 0 (equal timestamps are legal in a raw stream).
+  double diurnal_amplitude = 0.9;
+  size_t diurnal_cycle = 500;
+  uint64_t seed = 42;
+  int64_t start_time = 0;
+};
+
+std::vector<TimedTuple> GenerateAdversarialStream(
+    const AdversarialStreamSpec& spec);
+
+// --- Bounded disorder -------------------------------------------------------
+
+/// A physical stream in *arrival* order (not necessarily ordered by start)
+/// plus the realized lateness bound: feeding `arrivals` through a
+/// DisorderBuffer with delta >= max_lateness reproduces the original ordered
+/// stream exactly (zero drops) — the oracle identity the disorder fuzz
+/// harness is built on.
+struct DisorderedArrivals {
+  MaterializedStream arrivals;
+  /// max over arrivals of (largest earlier-arrived start - own start), in
+  /// application-time units; 0 for an in-order sequence.
+  int64_t max_lateness = 0;
+};
+
+/// Bounded shuffle: emits a random arrival permutation of `ordered` in which
+/// an element is overtaken by at most `window` later elements (window = 0
+/// returns the stream unchanged).
+DisorderedArrivals ApplyBoundedShuffle(const MaterializedStream& ordered,
+                                       size_t window, uint64_t seed);
+
+/// Late fraction: each element is independently delayed by `delay`
+/// application-time units with probability `fraction`; arrivals are the
+/// stable order of the delayed arrival times (element timestamps are
+/// untouched). Models "10% of the data arrives `delay` late".
+DisorderedArrivals ApplyLateFraction(const MaterializedStream& ordered,
+                                     double fraction, int64_t delay,
+                                     uint64_t seed);
+
 }  // namespace genmig
 
 #endif  // GENMIG_STREAM_GENERATOR_H_

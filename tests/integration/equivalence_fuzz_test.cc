@@ -7,10 +7,17 @@
 // run more iterations locally, e.g. GENMIG_FUZZ_ITERS=500. Failures print
 // the offending seed; re-run with --gtest_filter and the seed stays in the
 // deterministic sequence, or plug it into RunOneSeed directly.
+//
+// GENMIG_FUZZ_DISORDER=1 widens the Disordered* sweeps from their default
+// smoke size to the full GENMIG_FUZZ_ITERS count: Zipf-keyed cases with
+// bounded-shuffled (out-of-order) arrivals and a random mid-run migration in
+// scalar, batched, sharded, and compiled modes, all against the exact
+// in-order src/ref oracle.
 
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <map>
 #include <memory>
 #include <random>
 #include <string>
@@ -75,7 +82,7 @@ struct FuzzCase {
 
 constexpr size_t kArity = 2;  // x = join key, y = payload telling ports apart.
 
-FuzzCase MakeCase(uint64_t seed) {
+FuzzCase MakeCase(uint64_t seed, bool zipf_keys = false) {
   std::mt19937_64 rng(seed);
   FuzzCase c;
   const size_t num_streams = 2 + rng() % 2;
@@ -83,14 +90,34 @@ FuzzCase MakeCase(uint64_t seed) {
   std::vector<LogicalPtr> leaves;
   for (size_t i = 0; i < num_streams; ++i) {
     const std::string name = "S" + std::to_string(i);
-    UniformStreamSpec spec;
-    spec.count = 60 + rng() % 60;
-    spec.period = 2 + static_cast<int64_t>(rng() % 6);
-    spec.min_value = 0;
-    spec.max_value = 2 + static_cast<int64_t>(rng() % 5);  // Small key domain.
-    spec.arity = kArity;
-    spec.seed = seed * 97 + i;
-    c.inputs[name] = ToPhysicalStream(GenerateUniformStream(spec));
+    const size_t count = 60 + rng() % 60;
+    const int64_t period = 2 + static_cast<int64_t>(rng() % 6);
+    const int64_t max_key = 2 + static_cast<int64_t>(rng() % 5);
+    if (zipf_keys) {
+      // Skewed join keys (hot key 0): drawn from a side rng so the shared
+      // draws above keep the same consumption as the uniform branch.
+      std::mt19937_64 krng(seed * 97 + i);
+      const double skew =
+          0.6 + static_cast<double>(rng() % 8) * 0.2;  // 0.6 .. 2.0.
+      ZipfDistribution zipf(max_key + 1, skew);
+      std::vector<TimedTuple> raw;
+      int64_t t = 0;
+      for (size_t n = 0; n < count; ++n, t += period) {
+        raw.push_back(
+            {Tuple::OfInts({zipf(krng), static_cast<int64_t>(krng() % 8)}),
+             t});
+      }
+      c.inputs[name] = ToPhysicalStream(raw);
+    } else {
+      UniformStreamSpec spec;
+      spec.count = count;
+      spec.period = period;
+      spec.min_value = 0;
+      spec.max_value = max_key;  // Small key domain.
+      spec.arity = kArity;
+      spec.seed = seed * 97 + i;
+      c.inputs[name] = ToPhysicalStream(GenerateUniformStream(spec));
+    }
     c.span = std::max(c.span, c.inputs[name].back().interval.start.t);
 
     const Duration window = 20 + static_cast<Duration>(rng() % 80);
@@ -267,6 +294,229 @@ void RunOneParallelSeed(uint64_t seed, size_t batch_size = 0) {
       // heartbeat_every differs from run(); raw bytes must not care.
       EXPECT_EQ(ref::SnapshotNormalForm(again.value()), canonical)
           << "seed=" << seed << ": repeat run diverged";
+    }
+  }
+}
+
+// --- Disorder mode (GENMIG_FUZZ_DISORDER) -----------------------------------
+//
+// Every seed re-runs a Zipf-keyed case with each input stream bounded-
+// shuffled into a random arrival order. The DisorderBuffer allowance is set
+// to the shuffle's realized max lateness, so reordering is lossless and the
+// EXACT src/ref oracle (on the ordered inputs) still applies — disordered
+// ingestion plus a mid-run GenMig must be indistinguishable from an in-order
+// run. A short smoke sweep by default; set GENMIG_FUZZ_DISORDER (with
+// GENMIG_FUZZ_ITERS) for the full sweep.
+
+struct DisorderSpec {
+  ref::InputMap arrivals;  // Per-stream arrival order (not start-ordered).
+  std::map<std::string, DisorderBuffer::Options> options;
+};
+
+DisorderSpec MakeDisorder(const FuzzCase& c, uint64_t seed) {
+  std::mt19937_64 rng(seed ^ 0x94d049bb133111ebull);
+  DisorderSpec d;
+  for (const auto& [name, stream] : c.inputs) {
+    const size_t window = 1 + rng() % 30;
+    const DisorderedArrivals shuffled =
+        ApplyBoundedShuffle(stream, window, rng());
+    d.arrivals[name] = shuffled.arrivals;
+    DisorderBuffer::Options opt;
+    opt.delta = shuffled.max_lateness;  // Lossless: zero drops.
+    d.options[name] = opt;
+  }
+  return d;
+}
+
+int RunOneDisorderSeed(uint64_t seed, size_t batch_size = 0,
+                       bool compiled = false) {
+  std::mt19937_64 rng(seed ^ 0x9e3779b97f4a7c15ull);
+  const FuzzCase c = MakeCase(seed, /*zipf_keys=*/true);
+  const DisorderSpec d = MakeDisorder(c, seed);
+
+  const int64_t trigger_time =
+      static_cast<int64_t>(rng() % static_cast<uint64_t>(c.span / 2 + 1));
+  const bool use_state_bytes = rng() % 2 == 0;
+  const size_t state_threshold = 1 + rng() % 4096;
+  const Duration period =
+      c.span / 4 + static_cast<Duration>(rng() % (c.span / 4 + 1));
+  const bool dedup = c.old_plan->kind == LogicalNode::Kind::kDedup;
+  MigrationController::GenMigOptions options;
+  options.variant =
+      !dedup && rng() % 3 == 0
+          ? MigrationController::GenMigOptions::Variant::kRefPoint
+          : MigrationController::GenMigOptions::Variant::kCoalesce;
+  options.end_timestamp_split = rng() % 2 == 0;
+  options.window = c.max_window;
+
+  Executor::Options exec_options;
+  const uint64_t policy_pick = rng() % 3;
+  exec_options.policy = policy_pick == 0   ? Executor::Policy::kGlobalOrder
+                        : policy_pick == 1 ? Executor::Policy::kRoundRobin
+                                           : Executor::Policy::kRandom;
+  exec_options.seed = seed;
+  exec_options.eager_heartbeats = rng() % 2 == 0;
+  exec_options.batch_size = batch_size;
+  const bool relax = exec_options.policy != Executor::Policy::kGlobalOrder;
+
+  CompileOptions old_copts;
+  CompileOptions new_copts;
+  if (compiled) {
+    static const std::shared_ptr<const CodegenHooks> hooks =
+        codegen::Engine::MakeHooks(std::make_shared<codegen::Engine>());
+    new_copts.codegen = hooks;
+    if (rng() % 2 == 0) old_copts.codegen = hooks;
+  }
+
+  int fired = 0;
+  auto result = testutil::RunLogicalMigration(
+      c.old_plan, c.new_plan, d.arrivals, Timestamp(trigger_time),
+      [&](MigrationController& controller, Box new_box) {
+        auto box = std::make_shared<Box>(std::move(new_box));
+        box->ReorderInputs(logical::CollectSourceNames(*c.old_plan));
+        auto fire = [&fired, box, options](MigrationController& ctrl) {
+          if (fired++ > 0) return;
+          ctrl.StartGenMig(std::move(*box), options);
+        };
+        if (use_state_bytes) {
+          controller.SetCostTrigger(state_threshold, fire);
+        } else {
+          controller.SetTriggerPolicy(std::make_shared<PeriodicPolicy>(period),
+                                      fire);
+        }
+      },
+      exec_options, relax, old_copts, new_copts, d.options);
+
+  // The oracle sees the ORDERED inputs: with a lossless delta, the engine's
+  // view after reordering must be exactly the ordered stream.
+  const Status eq = ref::CheckPlanOutput(*c.old_plan, c.inputs, result.output);
+  EXPECT_TRUE(eq.ok()) << "seed=" << seed << ": " << eq.ToString();
+  if (!relax) {
+    EXPECT_TRUE(IsOrderedByStart(result.output)) << "seed=" << seed;
+  }
+  return result.migrations_completed;
+}
+
+void RunOneDisorderParallelSeed(uint64_t seed, size_t batch_size = 0) {
+  std::mt19937_64 rng(seed ^ 0xc2b2ae3d27d4eb4full);
+  const FuzzCase c = MakeCase(seed, /*zipf_keys=*/true);
+  const DisorderSpec d = MakeDisorder(c, seed);
+  const bool dedup = c.old_plan->kind == LogicalNode::Kind::kDedup;
+
+  const Timestamp at(
+      static_cast<int64_t>(rng() % static_cast<uint64_t>(c.span / 2 + 1)));
+  MigrationController::GenMigOptions base;
+  base.variant = !dedup && rng() % 3 == 0
+                     ? MigrationController::GenMigOptions::Variant::kRefPoint
+                     : MigrationController::GenMigOptions::Variant::kCoalesce;
+  base.end_timestamp_split = rng() % 2 == 0;
+  const size_t queue_capacity = 16 + rng() % 128;
+
+  auto run = [&](int shards) {
+    par::Coordinator::Options options;
+    options.shards = shards;
+    options.queue_capacity = queue_capacity;
+    options.heartbeat_every = 1 + static_cast<int>(rng() % 4);
+    options.batch_size = batch_size;
+    options.disordered_inputs = d.options;
+    par::Coordinator coordinator(c.old_plan, options);
+    EXPECT_TRUE(coordinator.spec().ok) << coordinator.spec().reason;
+    EXPECT_TRUE(coordinator.ScheduleGenMig(c.new_plan, at, base).ok());
+    Result<MaterializedStream> result = coordinator.Run(d.arrivals);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(coordinator.migrations_completed(), 1)
+        << "seed=" << seed << " shards=" << shards;
+    // Regression: the coordinated T_split must clear the disorder horizon.
+    EXPECT_GE(coordinator.t_split(), coordinator.disorder_horizon())
+        << "seed=" << seed << " shards=" << shards;
+    return std::move(result).ValueOrDie();
+  };
+
+  MaterializedStream canonical;
+  for (int shards : {1, 2, 4}) {
+    const MaterializedStream out = run(shards);
+    EXPECT_TRUE(IsOrderedByStart(out)) << "seed=" << seed;
+    const Status eq = ref::CheckPlanOutput(*c.old_plan, c.inputs, out);
+    EXPECT_TRUE(eq.ok()) << "seed=" << seed << " shards=" << shards << ": "
+                         << eq.ToString();
+    const MaterializedStream normal = ref::SnapshotNormalForm(out);
+    if (shards == 1) {
+      canonical = normal;
+    } else {
+      EXPECT_EQ(normal, canonical)
+          << "seed=" << seed << " shards=" << shards
+          << ": canonical output diverged from the 1-shard run";
+    }
+  }
+}
+
+size_t DisorderIters() {
+  return std::getenv("GENMIG_FUZZ_DISORDER") != nullptr ? NumIters() : 10;
+}
+
+TEST(EquivalenceFuzzTest, DisorderedPlansSurviveRandomAutoMigrations) {
+  const size_t iters = DisorderIters();
+  int total_migrations = 0;
+  for (size_t i = 0; i < iters; ++i) {
+    const uint64_t seed = 3000 + i;
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    total_migrations += RunOneDisorderSeed(seed);
+    if (::testing::Test::HasFailure()) {
+      ADD_FAILURE() << "first failing seed: " << seed;
+      break;
+    }
+  }
+  EXPECT_GE(total_migrations, static_cast<int>(iters / 3))
+      << "disorder fuzz harness migrated too rarely to be meaningful";
+}
+
+TEST(EquivalenceFuzzTest, DisorderedBatchedPlansSurviveRandomAutoMigrations) {
+  const size_t iters = DisorderIters();
+  int total_migrations = 0;
+  for (size_t i = 0; i < iters; ++i) {
+    const uint64_t seed = 3000 + i;  // Same cases as the scalar disorder sweep.
+    const size_t batch_size = 2 + (seed * 2654435761u) % 255;
+    SCOPED_TRACE("seed=" + std::to_string(seed) +
+                 " batch_size=" + std::to_string(batch_size));
+    total_migrations += RunOneDisorderSeed(seed, batch_size);
+    if (::testing::Test::HasFailure()) {
+      ADD_FAILURE() << "first failing seed: " << seed;
+      break;
+    }
+  }
+  EXPECT_GE(total_migrations, static_cast<int>(iters / 3))
+      << "disorder fuzz harness migrated too rarely to be meaningful";
+}
+
+TEST(EquivalenceFuzzTest, DisorderedShardedRunsMatchOracleAcrossShardCounts) {
+  const size_t iters = DisorderIters();
+  for (size_t i = 0; i < iters; ++i) {
+    const uint64_t seed = 3000 + i;
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    RunOneDisorderParallelSeed(seed);
+    if (::testing::Test::HasFailure()) {
+      ADD_FAILURE() << "first failing seed: " << seed;
+      break;
+    }
+  }
+}
+
+TEST(EquivalenceFuzzTest, DisorderedCompiledPlansSurviveRandomAutoMigrations) {
+  if (!codegen::Engine::Available()) {
+    GTEST_SKIP() << "no host compiler / dlopen; codegen disabled";
+  }
+  const size_t iters =
+      std::getenv("GENMIG_FUZZ_DISORDER") != nullptr ? NumIters() : 5;
+  for (size_t i = 0; i < iters; ++i) {
+    const uint64_t seed = 3000 + i;
+    const size_t batch_size =
+        i % 2 == 0 ? 0 : 2 + (seed * 2654435761u) % 255;
+    SCOPED_TRACE("seed=" + std::to_string(seed) +
+                 " batch_size=" + std::to_string(batch_size));
+    RunOneDisorderSeed(seed, batch_size, /*compiled=*/true);
+    if (::testing::Test::HasFailure()) {
+      ADD_FAILURE() << "first failing seed: " << seed;
+      break;
     }
   }
 }

@@ -53,14 +53,17 @@ struct MigrationRunResult {
 /// Runs `old_box` hosted in a controller over `inputs` (bound to the box's
 /// ports in `source_names` order, windowed by `leaf_windows`). At
 /// application time `trigger_time`, `trigger` is invoked with the controller
-/// (start a migration there).
+/// (start a migration there). Streams named in `disorder` are treated as
+/// *arrival*-ordered (their entry in `inputs` is the arrival sequence) and
+/// fed through a DisorderBuffer with the given options.
 inline MigrationRunResult RunMigrationScenario(
     Box old_box, const std::vector<std::string>& source_names,
     const std::vector<Duration>& leaf_windows, const ref::InputMap& inputs,
     Timestamp trigger_time,
     const std::function<void(MigrationController&)>& trigger,
     Executor::Options exec_options = Executor::Options(),
-    bool relax_sink = false) {
+    bool relax_sink = false,
+    const std::map<std::string, DisorderBuffer::Options>& disorder = {}) {
   MigrationController controller("ctrl", std::move(old_box));
   CollectorSink sink("sink");
   if (relax_sink) sink.SetRelaxedInputOrdering(0);
@@ -69,8 +72,12 @@ inline MigrationRunResult RunMigrationScenario(
   Executor exec(exec_options);
   std::vector<std::unique_ptr<TimeWindow>> windows;
   for (size_t i = 0; i < source_names.size(); ++i) {
-    const int feed = exec.AddFeed(source_names[i],
-                                  inputs.at(source_names[i]));
+    const auto dit = disorder.find(source_names[i]);
+    const int feed =
+        dit == disorder.end()
+            ? exec.AddFeed(source_names[i], inputs.at(source_names[i]))
+            : exec.AddDisorderedFeed(source_names[i],
+                                     inputs.at(source_names[i]), dit->second);
     windows.push_back(std::make_unique<TimeWindow>(
         "w_" + source_names[i], leaf_windows[i]));
     exec.ConnectFeed(feed, windows.back().get(), 0);
@@ -112,7 +119,8 @@ inline MigrationRunResult RunLogicalMigration(
     Executor::Options exec_options = Executor::Options(),
     bool relax_sink = false,
     const CompileOptions& old_copts = CompileOptions(),
-    const CompileOptions& new_copts = CompileOptions()) {
+    const CompileOptions& new_copts = CompileOptions(),
+    const std::map<std::string, DisorderBuffer::Options>& disorder = {}) {
   const LogicalPtr old_box_plan = logical::StripWindows(old_plan);
   const LogicalPtr new_box_plan = logical::StripWindows(new_plan);
   return RunMigrationScenario(
@@ -122,7 +130,7 @@ inline MigrationRunResult RunLogicalMigration(
       [&](MigrationController& c) {
         trigger(c, CompilePlan(*new_box_plan, "", new_copts));
       },
-      exec_options, relax_sink);
+      exec_options, relax_sink, disorder);
 }
 
 }  // namespace testutil
