@@ -14,19 +14,42 @@
 // is a single predicted branch, which is the only cost a GENMIG_NO_METRICS
 // build additionally removes.
 //
+// A third configuration (ISSUE 9) re-times the attached run while a live
+// TelemetryServer answers real HTTP /metrics scrapes from a second thread
+// on a fixed 10 ms cadence (orders of magnitude denser than any real
+// Prometheus interval). Exposition only reads relaxed atomics, so with a
+// spare core to serve on, scrapes must not slow the hot loop beyond the
+// same budget. On a single-core machine the scraper and the loopback TCP
+// stack inevitably time-slice the hot loop out — that is scheduler
+// behavior, not instrumentation cost — so the scraped ratio is reported
+// but only enforced when hardware_concurrency() > 1 (every CI runner).
+// The guard also asserts that the decision journal sees ZERO appends
+// during element pushes: journal writes happen on control-path events
+// (trigger evaluations, migrations), never per element.
+//
 // Exit codes: 0 = within budget, 1 = overhead above threshold, 77 = skipped
 // (registered with SKIP_RETURN_CODE 77: Debug builds, sanitizers and
 // GENMIG_NO_METRICS builds measure instrumentation that is either absent or
 // swamped by unrelated costs).
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <string>
+#include <thread>
 #include <vector>
 
+#include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/serve.h"
 #include "obs/timeline.h"
 #include "ops/dedup.h"
 #include "ops/join.h"
@@ -157,6 +180,32 @@ size_t RunOnce(const Workload& w, obs::MetricsRegistry* registry,
   return best;
 }
 
+/// One blocking HTTP GET against the local telemetry server; returns the
+/// response size (0 on connection failure).
+[[maybe_unused]] size_t ScrapeOnce(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return 0;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return 0;
+  }
+  static const char kReq[] =
+      "GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+  (void)!::send(fd, kReq, sizeof(kReq) - 1, 0);
+  size_t total = 0;
+  char buf[8192];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    total += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  return total;
+}
+
 }  // namespace
 }  // namespace genmig
 
@@ -192,27 +241,88 @@ int main(int argc, char** argv) {
   obs::MetricsRegistry registry;
   size_t check_detached = 0;
   size_t check_attached = 0;
+  size_t check_scraped = 0;
   // Warm up once so allocator and cache state match across configs.
   (void)RunOnce(w, nullptr, nullptr);
   const int64_t detached_ns = MinNs(w, nullptr, reps, &check_detached);
   const int64_t attached_ns = MinNs(w, &registry, reps, &check_attached);
+
+  // Third config: the same attached hot loop with a live /metrics scraper
+  // hammering the telemetry server from another thread the whole time.
+  // The journal exists throughout and must see zero appends — journal
+  // writes are control-path-only, never per element.
+  obs::EventJournal journal;
+  const uint64_t journal_before = journal.total_appended();
+  int64_t scraped_ns = attached_ns;
+  uint64_t scrapes = 0;
+  {
+    obs::TelemetryServer server;
+    server.Handle("/metrics", [&registry] {
+      obs::HttpResponse resp;
+      resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      resp.body = obs::RenderPrometheus(registry);
+      return resp;
+    });
+    if (server.Start()) {
+      std::atomic<bool> stop{false};
+      std::thread scraper([&] {
+        while (!stop.load(std::memory_order_acquire)) {
+          if (ScrapeOnce(server.port()) > 0) ++scrapes;
+          // Fixed cadence: still far denser than any real scrape interval,
+          // but it leaves the hot loop a core to run on.
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+      });
+      scraped_ns = MinNs(w, &registry, reps, &check_scraped);
+      stop.store(true, std::memory_order_release);
+      scraper.join();
+    } else {
+      std::printf("metrics_guard: WARN — telemetry bind failed, scraped "
+                  "config reuses attached timing\n");
+      check_scraped = check_attached;
+    }
+  }
+  const uint64_t journal_appends = journal.total_appended() - journal_before;
+
   const double ratio =
       static_cast<double>(attached_ns) / static_cast<double>(detached_ns);
+  const double scraped_ratio =
+      static_cast<double>(scraped_ns) / static_cast<double>(detached_ns);
+  const bool single_core = std::thread::hardware_concurrency() <= 1;
 
   std::printf("metrics_guard: detached=%lld ns attached=%lld ns "
               "overhead=%+.2f%% (budget %+.2f%%, min of %d reps)\n",
               static_cast<long long>(detached_ns),
               static_cast<long long>(attached_ns), (ratio - 1.0) * 100.0,
               (threshold - 1.0) * 100.0, reps);
-  if (check_detached != check_attached) {
+  std::printf("metrics_guard: scraped=%lld ns overhead=%+.2f%%%s "
+              "(%llu live /metrics scrapes during the hot loop)\n",
+              static_cast<long long>(scraped_ns),
+              (scraped_ratio - 1.0) * 100.0,
+              single_core ? " [not enforced: single core]" : "",
+              static_cast<unsigned long long>(scrapes));
+  std::printf("metrics_guard: journal appends during element pushes: %llu\n",
+              static_cast<unsigned long long>(journal_appends));
+  if (check_detached != check_attached ||
+      check_scraped != check_attached) {
     std::printf("metrics_guard: FAIL — result counts differ "
-                "(detached=%zu attached=%zu)\n",
-                check_detached, check_attached);
+                "(detached=%zu attached=%zu scraped=%zu)\n",
+                check_detached, check_attached, check_scraped);
+    return 1;
+  }
+  if (journal_appends != 0) {
+    std::printf("metrics_guard: FAIL — the journal must never be written "
+                "on the element hot path\n");
     return 1;
   }
   if (ratio > threshold) {
     std::printf("metrics_guard: FAIL — instrumentation overhead above "
                 "budget\n");
+    return 1;
+  }
+  if (scraped_ratio > threshold && !single_core) {
+    std::printf("metrics_guard: FAIL — concurrent scrapes push the hot "
+                "loop above budget\n");
     return 1;
   }
   std::printf("metrics_guard: OK\n");

@@ -27,10 +27,21 @@
 // DisorderBuffer at --speedup N times real time (default 10; <= 0 replays
 // unpaced). --delta D overrides the lateness allowance (default: the trace's
 // own observed maximum, so nothing is dropped).
+//
+// Pass --telemetry-port P (0 = ephemeral) for the live-monitoring demo: a
+// skewed-rate workload whose stream rates trade places mid-run, so the
+// cost-feedback trigger fires a GenMig on its own, served with the embedded
+// HTTP telemetry plane — curl /metrics (Prometheus), /status (JSON), and
+// /healthz while it runs. --serve-seconds S keeps the server up after the
+// run so scrapers can attach; --journal-out PATH spills the decision
+// journal (trigger evaluations, migration phases, T_split) as JSONL.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <chrono>
+#include <random>
+#include <thread>
 
 #include "cql/parser.h"
 #include "engine/dsms.h"
@@ -40,6 +51,7 @@
 #include "par/coordinator.h"
 #include "migration/controller.h"
 #include "obs/export.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
@@ -55,17 +67,19 @@ namespace {
 void PrintStats(const obs::MetricsRegistry& registry,
                 const obs::MigrationTracer& tracer) {
   std::printf("\nper-operator metrics:\n");
-  std::printf("%-22s %10s %10s %10s %10s %12s\n", "operator", "in", "out",
-              "st_peak", "q_peak", "p50_push_ns");
+  std::printf("%-22s %10s %10s %10s %10s %12s %8s %8s\n", "operator", "in",
+              "out", "st_peak", "q_peak", "p50_push_ns", "wm_lag", "bp_ms");
   for (const obs::OperatorMetrics& m : registry.operators()) {
-    std::printf("%-22s %10llu %10llu %10llu %10llu %12llu\n",
+    std::printf("%-22s %10llu %10llu %10llu %10llu %12llu %8llu %8.1f\n",
                 m.name.c_str(),
                 static_cast<unsigned long long>(m.elements_in),
                 static_cast<unsigned long long>(m.elements_out),
                 static_cast<unsigned long long>(m.peak_state_units),
                 static_cast<unsigned long long>(m.peak_queue_depth),
                 static_cast<unsigned long long>(
-                    m.push_ns.ApproxQuantileNs(0.5)));
+                    m.push_ns.ApproxQuantileNs(0.5)),
+                static_cast<unsigned long long>(m.peak_watermark_lag),
+                static_cast<double>(m.backpressure_ns) / 1e6);
   }
   // End-to-end latency (sampled ingress stamp -> sink), per sink.
   for (const obs::OperatorMetrics& m : registry.operators()) {
@@ -88,6 +102,50 @@ void PrintStats(const obs::MetricsRegistry& registry,
   }
 }
 
+/// One line per auto-migration, sourced from the decision journal: the
+/// firing trigger evaluation plus the completed phase trail.
+void PrintJournalSummary(const obs::EventJournal& journal) {
+  const auto evals =
+      journal.SnapshotKind(obs::JournalEvent::Kind::kTriggerEval);
+  size_t fired = 0;
+  for (const obs::JournalEvent& ev : evals) {
+    if (ev.Num("fired") == 1.0) ++fired;
+  }
+  size_t completed = 0;
+  Timestamp last_split = Timestamp::MinInstant();
+  for (const obs::JournalEvent& ev :
+       journal.SnapshotKind(obs::JournalEvent::Kind::kMigrationPhase)) {
+    if (ev.Str("phase") == std::string("completed")) ++completed;
+    if (ev.HasNum("t_split")) {
+      last_split = Timestamp(static_cast<int64_t>(ev.Num("t_split")), 0);
+    }
+  }
+  std::printf("journal: %zu events (%zu trigger evals, %zu fired), "
+              "%zu migration(s) completed, last T_split=%s\n",
+              static_cast<size_t>(journal.total_appended()), evals.size(),
+              fired, completed,
+              last_split == Timestamp::MinInstant()
+                  ? "-"
+                  : last_split.ToString().c_str());
+}
+
+/// The skewed-rate stream of the monitoring demo: arrival period flips from
+/// `before` to `after` at `flip`, so relative stream rates trade places and
+/// the installed join order stops being optimal (the Figure 4 shape).
+MaterializedStream PiecewiseRate(int64_t t_end, int64_t before, int64_t after,
+                                 int64_t flip, int64_t keys, uint64_t seed) {
+  MaterializedStream out;
+  std::mt19937_64 rng(seed);
+  for (int64_t t = 0; t < t_end;) {
+    const int64_t key = static_cast<int64_t>(
+        rng() % static_cast<uint64_t>(keys));
+    out.push_back(StreamElement(
+        Tuple::OfInts({key}), TimeInterval(Timestamp(t), Timestamp(t + 1))));
+    t += t < flip ? before : after;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -100,6 +158,9 @@ int main(int argc, char** argv) {
   const char* replay_path = nullptr;
   double speedup = 10.0;
   int64_t delta = -1;  // < 0: use the trace's observed max lateness.
+  int telemetry_port = -1;  // < 0: telemetry off.
+  const char* journal_out = nullptr;
+  double serve_seconds = 0.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stats") == 0) {
       stats = true;
@@ -140,15 +201,93 @@ int main(int argc, char** argv) {
                      "'%s'\n", argv[i]);
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--telemetry-port") == 0 &&
+               i + 1 < argc) {
+      telemetry_port = std::atoi(argv[++i]);
+      if (telemetry_port < 0 || telemetry_port > 65535) {
+        std::fprintf(stderr, "--telemetry-port wants 0..65535, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--journal-out") == 0 && i + 1 < argc) {
+      journal_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--serve-seconds") == 0 && i + 1 < argc) {
+      serve_seconds = std::atof(argv[++i]);
     } else {
       std::fprintf(stderr,
                    "unknown option '%s'\nusage: %s [--stats | --stats-json] "
                    "[--trace-out PATH] [--shards N] "
                    "[--codegen {off,eager,background}] "
-                   "[--replay trace.csv [--speedup N] [--delta D]]\n",
+                   "[--replay trace.csv [--speedup N] [--delta D]] "
+                   "[--telemetry-port P [--serve-seconds S]] "
+                   "[--journal-out PATH]\n",
                    argv[i], argv[0]);
       return 2;
     }
+  }
+
+  // Live-monitoring mode (--telemetry-port P): an auto-triggered migration
+  // under observation. Streams A and B start slow with C fast, so the
+  // installed left-deep join order is optimal; at t=15s the rates trade
+  // places (10x) and the cost-feedback loop migrates the plan on its own —
+  // scrape /metrics and /status while it happens.
+  if (telemetry_port >= 0) {
+    Dsms::Options options;
+    options.telemetry_port = telemetry_port;
+    if (journal_out != nullptr) options.journal_spill_path = journal_out;
+    options.stats_horizon = 2000;
+    options.calibration_period = 1000;
+    options.migration_cooldown = 5000;
+    Dsms dsms(options);
+    constexpr int64_t kFlip = 15000;
+    constexpr int64_t kEnd = 30000;
+    dsms.RegisterStream("A", Schema::OfInts({"x"}),
+                        PiecewiseRate(kEnd, 40, 4, kFlip, 200, 31));
+    dsms.RegisterStream("B", Schema::OfInts({"x"}),
+                        PiecewiseRate(kEnd, 40, 4, kFlip, 200, 32));
+    dsms.RegisterStream("C", Schema::OfInts({"x"}),
+                        PiecewiseRate(kEnd, 4, 40, kFlip, 200, 33));
+    Result<Dsms::QueryId> id = dsms.InstallQuery(
+        "SELECT A.x, B.x, C.x FROM A [RANGE 2000], B [RANGE 2000], "
+        "C [RANGE 2000] WHERE A.x = B.x AND B.x = C.x");
+    if (!id.ok()) {
+      std::fprintf(stderr, "install failed: %s\n",
+                   id.status().ToString().c_str());
+      return 1;
+    }
+    if (dsms.telemetry_port() < 0) {
+      std::fprintf(stderr, "telemetry: bind to port %d failed\n",
+                   telemetry_port);
+      return 1;
+    }
+    std::printf("telemetry: listening on port %d\n", dsms.telemetry_port());
+    std::printf("  curl -s http://127.0.0.1:%d/metrics\n"
+                "  curl -s http://127.0.0.1:%d/status\n",
+                dsms.telemetry_port(), dsms.telemetry_port());
+    dsms.RunToCompletion();
+
+    const Dsms::AutoReoptStatus& status = dsms.AutoStatus(id.value());
+    std::printf("finished: %zu calibrations, %d auto trigger(s) fired, "
+                "%d migration(s) completed, %zu results\n",
+                status.calibrations, status.fires,
+                dsms.Info(id.value()).migrations_completed,
+                dsms.Results(id.value()).size());
+    PrintJournalSummary(dsms.journal());
+    if (journal_out != nullptr) {
+      dsms.journal().Flush();
+      std::printf("journal spilled to %s\n", journal_out);
+    }
+    if (stats) PrintStats(dsms.metrics(), dsms.tracer());
+    if (serve_seconds > 0) {
+      std::printf("serving telemetry for %.1f more second(s)...\n",
+                  serve_seconds);
+      std::fflush(stdout);
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          static_cast<int64_t>(serve_seconds * 1000)));
+    }
+    std::printf("telemetry: served %llu request(s)\n",
+                static_cast<unsigned long long>(dsms.telemetry_requests()));
+    return 0;
   }
 
   // Replay mode (--replay trace.csv): feed a recorded, possibly-disordered

@@ -2,13 +2,19 @@
 
 #include <algorithm>
 #include <array>
+#include <cinttypes>
+#include <cstdio>
 
+#include "obs/clock.h"
 #include "ops/count_window.h"
 
 namespace genmig {
 
 Dsms::Dsms(Options options)
-    : options_(options), exec_(options.executor) {
+    : options_(options),
+      exec_(options.executor),
+      journal_(obs::EventJournal::Options{options.journal_capacity,
+                                          options.journal_spill_path}) {
   // Observations must outlive a few calibration periods (a pass is skipped
   // while a migration is in flight) before the cost model falls back to
   // estimates; widen the default staleness window accordingly.
@@ -34,24 +40,58 @@ Dsms::Dsms(Options options)
         std::make_shared<codegen::Engine>(options_.codegen_cache_dir);
     codegen_hooks_ = codegen::Engine::MakeHooks(codegen_engine_);
   }
+  // The tracer mirrors every migration phase transition into the journal, so
+  // engine-level and shard-local migrations alike leave a complete decision
+  // trail without per-call-site wiring.
+  tracer_.SetJournal(&journal_);
+  if (options_.telemetry_port >= 0) SetupTelemetry();
   if (options_.reoptimize_period > 0 || options_.calibration_period > 0 ||
       options_.timeline_period > 0 ||
-      options_.codegen == Options::Codegen::kBackground) {
+      options_.codegen == Options::Codegen::kBackground ||
+      telemetry_ != nullptr) {
     exec_.after_step = [this]() {
+      app_time_t_.store(exec_.current_time().t, std::memory_order_relaxed);
       if (options_.reoptimize_period > 0) MaybeAutoReoptimize();
       if (options_.calibration_period > 0) MaybeCalibrate();
       if (options_.timeline_period > 0) MaybeSampleTimeline();
       if (options_.codegen == Options::Codegen::kBackground) {
         MaybeCodegenSwap();
       }
+      if (telemetry_ != nullptr) MaybeRefreshStatus();
     };
   }
 }
 
 Dsms::~Dsms() {
+  // Stop serving before any engine structure the handlers read goes away.
+  if (telemetry_ != nullptr) telemetry_->Stop();
   for (auto& query : queries_) {
     if (query->codegen_worker.joinable()) query->codegen_worker.join();
   }
+  journal_.Flush();
+}
+
+void Dsms::SetupTelemetry() {
+  obs::TelemetryServer::Options topt;
+  topt.host = options_.telemetry_host;
+  topt.port = options_.telemetry_port;
+  telemetry_ = std::make_unique<obs::TelemetryServer>(topt);
+  telemetry_->Handle("/metrics", [this] { return MetricsResponse(); });
+  telemetry_->Handle("/healthz", [] {
+    obs::HttpResponse r;
+    r.body = "ok\n";
+    return r;
+  });
+  telemetry_->Handle("/status", [this] {
+    obs::HttpResponse r;
+    r.content_type = "application/json; charset=utf-8";
+    std::lock_guard<std::mutex> lock(status_mu_);
+    r.body = status_json_;
+    return r;
+  });
+  // A taken port or missing loopback is an observability degradation, not an
+  // engine failure.
+  if (!telemetry_->Start()) telemetry_.reset();
 }
 
 CompileOptions Dsms::MakeCompileOptions(bool with_codegen) const {
@@ -77,6 +117,20 @@ void Dsms::RegisterDisorderedStream(const std::string& name, Schema schema,
                                     MaterializedStream arrivals,
                                     DisorderBuffer::Options disorder) {
   GENMIG_CHECK(feeds_.count(name) == 0);
+  // Every delta retarget — on this feed's buffer or on the coordinator-side
+  // router buffers that inherit these Options — lands in the journal. The
+  // callback may run on the router thread; Append is thread-safe.
+  disorder.on_adapt = [this, name](int64_t old_delta, int64_t new_delta,
+                                   double quantile, uint64_t arrivals_seen) {
+    obs::JournalEvent ev;
+    ev.kind = obs::JournalEvent::Kind::kDisorderAdapt;
+    ev.subject = name;
+    ev.nums.emplace_back("old_delta", static_cast<double>(old_delta));
+    ev.nums.emplace_back("new_delta", static_cast<double>(new_delta));
+    ev.nums.emplace_back("lateness_quantile", quantile);
+    ev.nums.emplace_back("arrivals", static_cast<double>(arrivals_seen));
+    journal_.Append(std::move(ev));
+  };
   catalog_.Register(name, std::move(schema));
   feeds_[name] = exec_.AddDisorderedFeed(name, std::move(arrivals), disorder);
   disordered_[name] = disorder;
@@ -184,6 +238,8 @@ Result<Dsms::QueryId> Dsms::Install(LogicalPtr plan) {
       query->parallel = true;
       query->coordinator = std::move(coordinator);
       queries_.push_back(std::move(query));
+      query_count_.store(queries_.size(), std::memory_order_relaxed);
+      if (telemetry_ != nullptr) RefreshStatusCache();
       return static_cast<QueryId>(queries_.size()) - 1;
     }
   }
@@ -193,10 +249,19 @@ Result<Dsms::QueryId> Dsms::Install(LogicalPtr plan) {
   std::string qname = "q";
   qname.append(std::to_string(queries_.size()));
   query->controller = std::make_unique<MigrationController>(
-      std::move(qname),
+      qname,
       CompilePlan(*query->stripped, "",
                   MakeCompileOptions(options_.codegen ==
                                      Options::Codegen::kEager)));
+  if (options_.codegen == Options::Codegen::kEager &&
+      codegen_hooks_ != nullptr) {
+    obs::JournalEvent ev;
+    ev.kind = obs::JournalEvent::Kind::kCodegenDeploy;
+    ev.app_time = exec_.current_time();
+    ev.subject = qname;
+    ev.strs.emplace_back("mode", "eager");
+    journal_.Append(std::move(ev));
+  }
   query->controller->ConnectTo(0, &query->sink, 0);
   if (options_.calibration_period > 0) {
     query->calibrator = CostCalibrator(options_.calibrator);
@@ -207,13 +272,26 @@ Result<Dsms::QueryId> Dsms::Install(LogicalPtr plan) {
     query->cost_policy = std::make_shared<CostRatioPolicy>(popt);
     Query* raw = query.get();
     query->controller->SetTriggerPolicy(
-        query->cost_policy, [this, raw](MigrationController&) {
+        query->cost_policy, [this, raw, qname](MigrationController&) {
           if (raw->pending_candidate == nullptr) return;
           const LogicalPtr candidate = raw->pending_candidate;
           raw->pending_candidate = nullptr;
           StartGenMigTo(raw, candidate);
           raw->auto_status.last_armed = exec_.current_time();
           ++raw->auto_status.fires;
+          // The firing evaluation itself: pairs with the armed-but-unfired
+          // kTriggerEval records CalibrateAndArm appends every period.
+          obs::JournalEvent ev;
+          ev.kind = obs::JournalEvent::Kind::kTriggerEval;
+          ev.app_time = exec_.current_time();
+          ev.subject = qname;
+          ev.strs.emplace_back("policy", "cost_ratio");
+          ev.nums.emplace_back("ratio", raw->auto_status.last_ratio);
+          ev.nums.emplace_back("armed", 1.0);
+          ev.nums.emplace_back("fired", 1.0);
+          ev.nums.emplace_back(
+              "t_split", static_cast<double>(raw->controller->t_split().t));
+          journal_.Append(std::move(ev));
         });
   }
   if (options_.enable_metrics) {
@@ -249,6 +327,8 @@ Result<Dsms::QueryId> Dsms::Install(LogicalPtr plan) {
   }
 
   queries_.push_back(std::move(query));
+  query_count_.store(queries_.size(), std::memory_order_relaxed);
+  if (telemetry_ != nullptr) RefreshStatusCache();
   return static_cast<QueryId>(queries_.size()) - 1;
 }
 
@@ -278,6 +358,21 @@ void Dsms::StartCodegenSwap(Query* query) {
   query->controller->StartGenMig(std::move(new_box), GenMigOptionsFor(*query));
   query->codegen_swapped = true;
   query->codegen_swap_t_split = query->controller->t_split();
+  obs::JournalEvent ev;
+  ev.kind = obs::JournalEvent::Kind::kCodegenDeploy;
+  ev.app_time = exec_.current_time();
+  ev.subject = "q" + std::to_string(IndexOf(query));
+  ev.strs.emplace_back("mode", "background_swap");
+  ev.nums.emplace_back("t_split",
+                       static_cast<double>(query->codegen_swap_t_split.t));
+  journal_.Append(std::move(ev));
+}
+
+size_t Dsms::IndexOf(const Query* query) const {
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    if (queries_[i].get() == query) return i;
+  }
+  return queries_.size();  // Unreachable for installed queries.
 }
 
 Dsms::CodegenStatus Dsms::CodegenInfo(QueryId id) const {
@@ -324,6 +419,9 @@ void Dsms::RunToCompletion() {
   }
   exec_.RunToCompletion();
   if (timeline_spill_ != nullptr) timeline_spill_->Flush();
+  journal_.Flush();
+  app_time_t_.store(exec_.current_time().t, std::memory_order_relaxed);
+  if (telemetry_ != nullptr) RefreshStatusCache();
 }
 
 Status Dsms::ScheduleMigration(QueryId id, LogicalPtr new_plan,
@@ -518,7 +616,8 @@ Dsms::RuntimeStats Dsms::Stats() const {
 
 void Dsms::CalibrateAndArm(Timestamp now) {
   const StatsCatalog base = CurrentStats();
-  for (auto& query : queries_) {
+  for (size_t qi = 0; qi < queries_.size(); ++qi) {
+    auto& query = queries_[qi];
     if (query->cost_policy == nullptr) continue;
     Query* q = query.get();
     if (q->controller->migration_in_progress()) {
@@ -549,7 +648,219 @@ void Dsms::CalibrateAndArm(Timestamp now) {
     // cool-down) whether the controller actually fires on it.
     q->pending_candidate = ratio > 1.0 ? best : nullptr;
     q->cost_policy->UpdateSignal(ratio, now);
+    // Journal the evaluation. The actual firing happens later, on the
+    // controller's element path (ShouldFire) — it appends its own record
+    // with fired=1 — so this one captures the decision inputs.
+    obs::JournalEvent ev;
+    ev.kind = obs::JournalEvent::Kind::kTriggerEval;
+    ev.app_time = now;
+    ev.subject = "q" + std::to_string(qi);
+    ev.strs.emplace_back("policy", "cost_ratio");
+    ev.nums.emplace_back("running_cost", running);
+    ev.nums.emplace_back("candidate_cost", best_cost);
+    ev.nums.emplace_back("ratio", ratio);
+    ev.nums.emplace_back("margin", options_.cost_margin);
+    ev.nums.emplace_back("hysteresis", options_.cost_hysteresis);
+    ev.nums.emplace_back("armed", q->cost_policy->armed() ? 1.0 : 0.0);
+    ev.nums.emplace_back("candidate_pending",
+                         q->pending_candidate != nullptr ? 1.0 : 0.0);
+    ev.nums.emplace_back("fired", 0.0);
+    journal_.Append(std::move(ev));
   }
+}
+
+std::string Dsms::MetricsText() const {
+#ifdef GENMIG_NO_METRICS
+  return "";
+#else
+  std::string out = obs::RenderPrometheus(registry_);
+  char buf[48];
+  auto head = [&out](const char* name, const char* help, const char* type) {
+    out += "# HELP ";
+    out += name;
+    out += ' ';
+    out += help;
+    out += "\n# TYPE ";
+    out += name;
+    out += ' ';
+    out += type;
+    out += '\n';
+    out += name;
+  };
+  auto u64 = [&](const char* name, const char* help, const char* type,
+                 uint64_t value) {
+    head(name, help, type);
+    std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", value);
+    out += buf;
+  };
+  // Engine-level series on top of the per-operator registry. Everything
+  // read here is an atomic mirror or internally locked — this runs on the
+  // telemetry server thread.
+  const int64_t app_t = app_time_t_.load(std::memory_order_relaxed);
+  if (app_t != Timestamp::MinInstant().t) {
+    head("genmig_engine_app_time",
+         "Engine application time (executor progress).", "gauge");
+    std::snprintf(buf, sizeof(buf), " %" PRId64 "\n", app_t);
+    out += buf;
+  }
+  u64("genmig_engine_queries", "Installed continuous queries.", "gauge",
+      query_count_.load(std::memory_order_relaxed));
+  u64("genmig_engine_migrations_total", "Plan migrations started.", "counter",
+      static_cast<uint64_t>(tracer_.migration_count()));
+  u64("genmig_engine_journal_events_total",
+      "Decision-journal events appended.", "counter",
+      journal_.total_appended());
+  if (telemetry_ != nullptr) {
+    u64("genmig_telemetry_requests_total",
+        "Requests answered by the telemetry server.", "counter",
+        telemetry_->requests_served());
+  }
+  return out;
+#endif
+}
+
+obs::HttpResponse Dsms::MetricsResponse() const {
+  obs::HttpResponse r;
+#ifdef GENMIG_NO_METRICS
+  r.status = 503;
+  r.body = "metrics compiled out (GENMIG_NO_METRICS)\n";
+#else
+  r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  r.body = MetricsText();
+#endif
+  return r;
+}
+
+void Dsms::MaybeRefreshStatus() {
+  const uint64_t now_ns = obs::MonotonicNowNs();
+  if (last_status_refresh_ns_ != 0 &&
+      now_ns - last_status_refresh_ns_ < 50'000'000ull) {
+    return;
+  }
+  last_status_refresh_ns_ = now_ns;
+  RefreshStatusCache();
+}
+
+namespace {
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char esc[8];
+          std::snprintf(esc, sizeof(esc), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += esc;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+void Dsms::RefreshStatusCache() {
+  std::string out;
+  out.reserve(1024);
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "{\"app_time\": %" PRId64 ", \"migrations_total\": %d"
+                ", \"journal_events\": %" PRIu64 ", \"queries\": [",
+                exec_.current_time().t, tracer_.migration_count(),
+                journal_.total_appended());
+  out += buf;
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    const Query& q = *queries_[i];
+    if (i) out += ", ";
+    std::snprintf(buf, sizeof(buf), "{\"id\": %zu, \"name\": \"q%zu\"", i, i);
+    out += buf;
+    if (q.parallel) {
+      const par::Coordinator& c = *q.coordinator;
+      std::snprintf(buf, sizeof(buf),
+                    ", \"parallel\": true, \"shards\": %d"
+                    ", \"migrations_completed\": %d, \"results\": %zu"
+                    ", \"source_front\": %" PRId64 ", \"t_split\": %" PRId64
+                    ", \"disorder_horizon\": %" PRId64,
+                    c.shards(), c.migrations_completed(),
+                    q.parallel_results.size(), c.source_front().t,
+                    c.t_split().t, c.disorder_horizon().t);
+      out += buf;
+      out += ", \"shard_watermarks\": [";
+      for (int k = 0; k < c.shards(); ++k) {
+        if (k) out += ", ";
+        std::snprintf(buf, sizeof(buf),
+                      "{\"shard\": %d, \"watermark\": %" PRId64
+                      ", \"lag\": %" PRId64 "}",
+                      k, c.shard_watermark(k).t, c.shard_watermark_lag(k));
+        out += buf;
+      }
+      out += "]";
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    ", \"parallel\": false, \"migrations_completed\": %d"
+                    ", \"migration_in_progress\": %s, \"results\": %zu"
+                    ", \"state_bytes\": %zu",
+                    q.controller->migrations_completed(),
+                    q.controller->migration_in_progress() ? "true" : "false",
+                    q.sink.count(), q.controller->StateBytes());
+      out += buf;
+      const AutoReoptStatus& a = q.auto_status;
+      std::snprintf(buf, sizeof(buf),
+                    ", \"auto\": {\"calibrations\": %zu, \"last_ratio\": %.6g"
+                    ", \"fires\": %d, \"last_armed\": %" PRId64 "}",
+                    a.calibrations, a.last_ratio, a.fires, a.last_armed.t);
+      out += buf;
+      if (options_.codegen == Options::Codegen::kBackground) {
+        std::snprintf(
+            buf, sizeof(buf), ", \"codegen\": {\"ready\": %s, \"swapped\": %s}",
+            q.codegen_ready.load(std::memory_order_acquire) ? "true" : "false",
+            q.codegen_swapped ? "true" : "false");
+        out += buf;
+      }
+    }
+    out += "}";
+  }
+  out += "], \"streams\": [";
+  bool first = true;
+  for (const auto& entry : disordered_) {
+    if (!first) out += ", ";
+    first = false;
+    const DisorderInfo info = DisorderStats(entry.first);
+    out += "{\"name\": ";
+    AppendJsonString(&out, entry.first);
+    std::snprintf(buf, sizeof(buf),
+                  ", \"watermark\": %" PRId64 ", \"delta\": %" PRId64
+                  ", \"arrived\": %" PRIu64 ", \"dropped_late\": %" PRIu64
+                  ", \"adaptations\": %" PRIu64 "}",
+                  info.watermark.t, info.delta, info.stats.arrived,
+                  info.stats.dropped_late, info.stats.adaptations);
+    out += buf;
+  }
+  out += "]}\n";
+  std::lock_guard<std::mutex> lock(status_mu_);
+  status_json_ = std::move(out);
+}
+
+std::string Dsms::StatusJson() {
+  RefreshStatusCache();
+  std::lock_guard<std::mutex> lock(status_mu_);
+  return status_json_;
 }
 
 }  // namespace genmig

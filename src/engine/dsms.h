@@ -17,6 +17,7 @@
 #include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -26,7 +27,9 @@
 #include "migration/controller.h"
 #include "migration/trigger_policy.h"
 #include "obs/export.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/serve.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
 #include "opt/calibrator.h"
@@ -87,6 +90,24 @@ class Dsms {
     std::string timeline_spill_path;
     /// Rotate the spill file once it exceeds this size (0 = never).
     size_t timeline_spill_rotate_bytes = 0;
+    /// TCP port of the embedded telemetry HTTP server (obs/serve.h), which
+    /// exposes /metrics (Prometheus text exposition), /healthz and /status
+    /// (JSON engine snapshot) while the engine runs. -1 (default) disables
+    /// the server; 0 binds an ephemeral port — read the bound port from
+    /// telemetry_port(). A failed bind is non-fatal (server stays off).
+    int telemetry_port = -1;
+    /// Bind address of the telemetry server. Loopback by default: telemetry
+    /// is an operator port, not a public service.
+    std::string telemetry_host = "127.0.0.1";
+    /// In-memory ring capacity of the decision journal (obs/journal.h):
+    /// trigger evaluations, migration phase transitions, codegen deploys,
+    /// disorder-delta adaptations. The journal always records; the ring
+    /// bounds what Snapshot() retains.
+    size_t journal_capacity = 4096;
+    /// Non-empty: every journal event is also appended to this JSONL file
+    /// (one self-contained JSON object per line, line buffered), so the
+    /// full decision history outlives the ring.
+    std::string journal_spill_path;
     /// Worker shards of the parallel executor (src/par). Queries whose plans
     /// are hash-partitionable (par::AnalyzePlan) run as `shards` independent
     /// plan replicas on their own threads, recombined by a deterministic
@@ -251,6 +272,33 @@ class Dsms {
     return obs::ToChromeTrace(registry_, &tracer_, &timeline_);
   }
 
+  /// Decision journal: every trigger evaluation, migration phase transition,
+  /// codegen deploy and disorder adaptation, as structured events
+  /// (obs/journal.h). Thread-safe; records regardless of telemetry_port.
+  const obs::EventJournal& journal() const { return journal_; }
+  obs::EventJournal& journal() { return journal_; }
+
+  /// Bound port of the telemetry HTTP server, or -1 when disabled / the
+  /// bind failed. Resolves Options::telemetry_port == 0 (ephemeral).
+  int telemetry_port() const {
+    return telemetry_ != nullptr && telemetry_->running() ? telemetry_->port()
+                                                         : -1;
+  }
+  /// Requests the telemetry server answered so far (0 when disabled).
+  uint64_t telemetry_requests() const {
+    return telemetry_ != nullptr ? telemetry_->requests_served() : 0;
+  }
+
+  /// The /metrics payload: the registry in Prometheus text exposition format
+  /// plus engine-level series (app time, query count, migrations, journal
+  /// events). Safe to call from any thread. Empty under GENMIG_NO_METRICS.
+  std::string MetricsText() const;
+  /// The /status payload: a JSON snapshot of registered queries, migration
+  /// state, the auto-reoptimization loop, per-shard watermarks/lag and
+  /// disordered-stream horizons. Call from the engine thread (the HTTP
+  /// handler serves a cached copy refreshed on engine progress).
+  std::string StatusJson();
+
   /// Engine-wide runtime snapshot: cumulative totals plus end-to-end sink
   /// latency (aggregated over every sink's e2e histogram).
   struct RuntimeStats {
@@ -356,6 +404,18 @@ class Dsms {
   /// Compiles the query's current plan with codegen hooks (all cache hits by
   /// now) and GenMigs to it.
   void StartCodegenSwap(Query* query);
+  /// /metrics handler body (503 under GENMIG_NO_METRICS).
+  obs::HttpResponse MetricsResponse() const;
+  /// Rebuilds the cached /status JSON. Engine thread only: it walks live
+  /// query structures; the HTTP handler just copies the cached string.
+  void RefreshStatusCache();
+  /// Wall-clock-throttled RefreshStatusCache (after_step, telemetry on).
+  void MaybeRefreshStatus();
+  /// Registers the /metrics, /healthz and /status handlers and starts the
+  /// server (constructor helper; resets telemetry_ when the bind fails).
+  void SetupTelemetry();
+  /// Index of `query` in queries_ (the journal subject "q<index>").
+  size_t IndexOf(const Query* query) const;
 
   Options options_;
   Executor exec_;
@@ -377,6 +437,16 @@ class Dsms {
   obs::TimeSeriesRing timeline_;
   obs::TimelineSampler timeline_sampler_{&registry_, &timeline_};
   std::unique_ptr<obs::TimelineSpillWriter> timeline_spill_;
+  obs::EventJournal journal_;
+  std::unique_ptr<obs::TelemetryServer> telemetry_;
+  /// Engine progress mirrored for the server thread: current application
+  /// time (after_step) and installed query count. The /status body itself is
+  /// built on the engine thread and cached under status_mu_.
+  std::atomic<int64_t> app_time_t_{Timestamp::MinInstant().t};
+  std::atomic<uint64_t> query_count_{0};
+  mutable std::mutex status_mu_;
+  std::string status_json_ = "{}\n";
+  uint64_t last_status_refresh_ns_ = 0;
 };
 
 }  // namespace genmig

@@ -40,6 +40,7 @@
 #include <deque>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace genmig {
 namespace obs {
@@ -187,6 +188,19 @@ struct OperatorMetrics {
   RelaxedU64 queue_depth;
   RelaxedU64 peak_queue_depth;
 
+  // Lag attribution (ISSUE 9): written by the shard executor / queues.
+  /// Application-time distance between the source front (what the router has
+  /// routed) and this operator's watermark — how far the operator lags the
+  /// stream head. 0 for operators outside the shard executor.
+  RelaxedU64 watermark_lag;
+  RelaxedU64 peak_watermark_lag;
+  /// Cumulative wall-clock nanoseconds a producer spent blocked pushing into
+  /// this operator's bounded input queue (backpressure), and how many pushes
+  /// blocked at all. Only the slow path is timed; uncontended pushes cost
+  /// nothing extra.
+  RelaxedU64 backpressure_ns;
+  RelaxedU64 backpressure_events;
+
   /// Sampled wall-clock latency of one PushElement (element handling +
   /// watermark advance + progress publication).
   LatencyHistogram push_ns;
@@ -256,6 +270,18 @@ class MetricsRegistry {
   /// Unsynchronized iteration — only while no concurrent Register() can run
   /// (see the threading contract in the file header).
   const std::deque<OperatorMetrics>& operators() const { return slots_; }
+
+  /// Lock-guarded slot discovery for readers that run concurrently with
+  /// Register() (the telemetry scrape thread, the timeline sampler during
+  /// shard-parallel runs). The returned pointers are stable (deque storage)
+  /// and every field behind them is torn-free to read while written.
+  std::vector<const OperatorMetrics*> SnapshotSlots() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<const OperatorMetrics*> out;
+    out.reserve(slots_.size());
+    for (const OperatorMetrics& m : slots_) out.push_back(&m);
+    return out;
+  }
   size_t size() const {
     std::lock_guard<std::mutex> lock(mu_);
     return slots_.size();

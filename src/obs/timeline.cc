@@ -98,7 +98,7 @@ void TimelineSpillWriter::OpenFresh() {
       file_,
       "wall_ns,app_time,app_eps,migration_active,elements_in,elements_out,"
       "state_bytes,queue_depth,sink_count,sink_p50_ns,sink_p99_ns,"
-      "sink_max_ns\n");
+      "sink_max_ns,watermark_lag_max,backpressure_ns\n");
   GENMIG_CHECK(n > 0);
   bytes_written_ = static_cast<size_t>(n);
 }
@@ -114,7 +114,8 @@ void TimelineSpillWriter::Append(const MetricSample& s) {
     ++rotations_;
   }
   const int n = std::fprintf(
-      file_, "%llu,%lld,%u,%d,%llu,%llu,%llu,%llu,%llu,%.1f,%.1f,%llu\n",
+      file_,
+      "%llu,%lld,%u,%d,%llu,%llu,%llu,%llu,%llu,%.1f,%.1f,%llu,%llu,%llu\n",
       static_cast<unsigned long long>(s.wall_ns),
       static_cast<long long>(s.app_time.t), s.app_time.eps,
       s.migration_active ? 1 : 0,
@@ -123,7 +124,9 @@ void TimelineSpillWriter::Append(const MetricSample& s) {
       static_cast<unsigned long long>(s.state_bytes),
       static_cast<unsigned long long>(s.queue_depth),
       static_cast<unsigned long long>(s.sink_count), s.sink_p50_ns,
-      s.sink_p99_ns, static_cast<unsigned long long>(s.sink_max_ns));
+      s.sink_p99_ns, static_cast<unsigned long long>(s.sink_max_ns),
+      static_cast<unsigned long long>(s.watermark_lag_max),
+      static_cast<unsigned long long>(s.backpressure_ns));
   GENMIG_CHECK(n > 0);
   bytes_written_ += static_cast<size_t>(n);
   ++rows_written_;
@@ -141,12 +144,19 @@ void TimelineSampler::Sample(Timestamp app_time, bool migration_active) {
 
   std::array<uint64_t, LatencyHistogram::kBuckets> e2e{};
   uint64_t e2e_count = 0;
-  s.op_elements_out.reserve(registry_->size());
-  for (const OperatorMetrics& m : registry_->operators()) {
+  // SnapshotSlots: shard threads may Register migration machinery while the
+  // engine thread samples (metrics.h threading contract).
+  const std::vector<const OperatorMetrics*> slots = registry_->SnapshotSlots();
+  s.op_elements_out.reserve(slots.size());
+  for (const OperatorMetrics* slot : slots) {
+    const OperatorMetrics& m = *slot;
     s.elements_in += m.elements_in;
     s.elements_out += m.elements_out;
     s.state_bytes += m.state_bytes;
     s.queue_depth += m.queue_depth;
+    s.watermark_lag_max = std::max<uint64_t>(s.watermark_lag_max,
+                                             m.watermark_lag);
+    s.backpressure_ns += m.backpressure_ns;
     s.op_elements_out.push_back(m.elements_out);
     if (m.e2e_ns.count() > 0) {
       for (size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {

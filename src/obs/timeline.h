@@ -48,6 +48,11 @@ struct MetricSample {
   uint64_t state_bytes = 0;
   /// Sum of sampled reordering/merge-buffer depths across operators.
   uint64_t queue_depth = 0;
+  /// Max per-shard watermark lag across slots (ISSUE 9 lag attribution;
+  /// 0 outside the shard executor).
+  uint64_t watermark_lag_max = 0;
+  /// Sum of cumulative backpressure-blocked nanoseconds across queues.
+  uint64_t backpressure_ns = 0;
 
   // Interval end-to-end latency over (previous sample, this sample].
   uint64_t sink_count = 0;    ///< Stamped elements that reached sinks.

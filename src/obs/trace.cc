@@ -1,5 +1,9 @@
 #include "obs/trace.h"
 
+#include <cstdlib>
+
+#include "obs/journal.h"
+
 namespace genmig {
 namespace obs {
 
@@ -35,13 +39,43 @@ int MigrationTracer::BeginMigration(const std::string& strategy,
 
 void MigrationTracer::Record(int migration_id, MigrationEvent event,
                              Timestamp app_time, std::string detail) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const int lane =
-      migration_id >= 0 && migration_id < static_cast<int>(lane_of_.size())
-          ? lane_of_[migration_id]
-          : 0;
-  records_.push_back(TraceRecord{migration_id, lane, event, app_time, NowNs(),
-                                 std::move(detail)});
+  int lane = 0;
+  uint64_t wall_ns = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    lane = migration_id >= 0 &&
+                   migration_id < static_cast<int>(lane_of_.size())
+               ? lane_of_[migration_id]
+               : 0;
+    wall_ns = NowNs();
+    records_.push_back(
+        TraceRecord{migration_id, lane, event, app_time, wall_ns, detail});
+  }
+  // Mirror into the decision journal outside mu_ (the journal has its own
+  // lock; never hold both).
+  if (journal_ != nullptr) {
+    JournalEvent e;
+    e.kind = JournalEvent::Kind::kMigrationPhase;
+    e.wall_ns = wall_ns;
+    e.app_time = app_time;
+    e.subject = MigrationEventName(event);
+    e.nums.emplace_back("migration_id", static_cast<double>(migration_id));
+    e.nums.emplace_back("lane", static_cast<double>(lane));
+    e.strs.emplace_back("phase", MigrationEventName(event));
+    if (!detail.empty()) {
+      e.strs.emplace_back("detail", detail);
+      // Promote the controllers' "t_split=<t>" detail (GenMig
+      // kSplitInstalled) to a first-class number so journal replays can
+      // reconstruct the migration timeline without string scraping.
+      constexpr const char kTsKey[] = "t_split=";
+      if (detail.rfind(kTsKey, 0) == 0) {
+        e.nums.emplace_back("t_split",
+                            std::strtod(detail.c_str() + sizeof(kTsKey) - 1,
+                                        nullptr));
+      }
+    }
+    journal_->Append(std::move(e));
+  }
 }
 
 int MigrationTracer::LaneOf(int migration_id) const {

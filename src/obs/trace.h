@@ -54,6 +54,8 @@ struct TraceRecord {
   std::string detail;
 };
 
+class EventJournal;
+
 /// Thread-safe: shard-local controllers (src/par) record into one shared
 /// tracer concurrently; every accessor below takes the internal mutex.
 /// records() returns a reference and must only be iterated while no
@@ -61,6 +63,12 @@ struct TraceRecord {
 class MigrationTracer {
  public:
   MigrationTracer() = default;
+
+  /// Mirrors every Record() into `journal` as a kMigrationPhase event
+  /// (obs/journal.h), so the decision audit log carries the full phase
+  /// timeline of every migration — engine-level and shard-local alike —
+  /// without per-call-site wiring. Nullable; set before concurrent use.
+  void SetJournal(EventJournal* journal) { journal_ = journal; }
 
   /// Opens a new migration trace; `strategy` lands in the kRequested detail.
   /// Returns the migration id for subsequent Record calls. `lane` tags every
@@ -92,6 +100,7 @@ class MigrationTracer {
   int next_id_ = 0;
   std::vector<int> lane_of_;  // Indexed by migration id.
   std::vector<TraceRecord> records_;
+  EventJournal* journal_ = nullptr;
 };
 
 }  // namespace obs

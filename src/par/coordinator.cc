@@ -109,6 +109,7 @@ Status Coordinator::Start(const InputMap& inputs) {
     config.registry = options_.registry;
     config.tracer = options_.tracer;
     config.compile = options_.compile;
+    config.source_front = &source_front_;
     config.on_progress = [this] {
       // Wakes WaitMigrationsComplete(); the lock pairs the shard's release
       // store with the barrier's predicate re-check.
@@ -348,6 +349,9 @@ void Coordinator::RouterMain(InputMap inputs) {
 
     if (max_routed < element.interval.start) {
       max_routed = element.interval.start;
+      // Publish the source front for the shards' watermark-lag gauges
+      // (relaxed single-writer store; a stale read only under-reports lag).
+      source_front_.store(max_routed.t, std::memory_order_relaxed);
     }
 
     for (size_t p : ports_of[best]) {

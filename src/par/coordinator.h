@@ -141,6 +141,23 @@ class Coordinator {
     return it == disorder_.end() ? nullptr : it->second.get();
   }
 
+  // --- Lag attribution (ISSUE 9) -----------------------------------------
+
+  /// Max start instant routed so far (the source front the per-shard
+  /// watermark-lag gauges measure against). MinInstant before any routing.
+  Timestamp source_front() const {
+    return Timestamp(source_front_.load(std::memory_order_relaxed), 0);
+  }
+  /// Shard `k`'s min per-port input watermark (ShardRuntime contract).
+  /// Valid after Start().
+  Timestamp shard_watermark(int k) const {
+    return shards_[static_cast<size_t>(k)]->input_watermark();
+  }
+  /// Shard `k`'s last sampled watermark lag (application-time units).
+  int64_t shard_watermark_lag(int k) const {
+    return shards_[static_cast<size_t>(k)]->watermark_lag();
+  }
+
  private:
   struct Scheduled {
     LogicalPtr new_stripped;
@@ -174,6 +191,8 @@ class Coordinator {
   std::map<std::string, std::unique_ptr<DisorderBuffer>> disorder_;
 
   std::atomic<uint64_t> elements_routed_{0};
+  /// Router-published max routed start (the shards' lag reference).
+  std::atomic<int64_t> source_front_{Timestamp::MinInstant().t};
   std::atomic<int> broadcasts_fired_{0};
   std::atomic<int64_t> t_split_t_{0};
   std::atomic<uint32_t> t_split_eps_{0};

@@ -103,10 +103,25 @@ void MergeSink::Run() {
     }
     batch.clear();
     Release(/*final_flush=*/false);
+    SampleHoldBack();
   }
   // Queue closed and drained: every shard sent kEos, flush everything.
   Release(/*final_flush=*/true);
   GENMIG_CHECK(heap_.empty());
+  SampleHoldBack();
+}
+
+// Hold-back gauge (ISSUE 9): how many released-but-unsortable elements the
+// deterministic merge is sitting on (waiting for slower shards' watermarks),
+// plus the backpressure the shard->merge queue exerted on the shard threads.
+// Single writer (the merge thread) per the metrics.h contract — the queue's
+// blocked counters are merely copied into the slot here.
+void MergeSink::SampleHoldBack() {
+  if (metrics_ == nullptr) return;
+  const uint64_t depth = heap_.size();
+  metrics_->SampleState(depth, depth * sizeof(Pending), depth);
+  metrics_->backpressure_ns = queue_->blocked_ns();
+  metrics_->backpressure_events = queue_->blocked_count();
 }
 
 void MergeSink::Release(bool final_flush) {

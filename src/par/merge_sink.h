@@ -42,7 +42,9 @@ class MergeSink {
   /// `queue` carries every shard's ShardOutMsgs (multi-producer, this is the
   /// single consumer). `registry` (nullable) receives a "par/merge" slot:
   /// elements_in counts merged elements, e2e_ns records ingress->release
-  /// latency of stamped elements.
+  /// latency of stamped elements, queue_depth gauges the hold-back heap
+  /// (elements awaiting slower shards' watermarks) and backpressure_ns
+  /// mirrors the blocked time shards spent pushing into the merge queue.
   MergeSink(int shards, BoundedQueue<ShardOutMsg>* queue,
             obs::MetricsRegistry* registry);
 
@@ -72,6 +74,7 @@ class MergeSink {
 
   void Run();
   void Release(bool final_flush);
+  void SampleHoldBack();
   Timestamp MinLiveWatermark() const;
 
   const int shards_;

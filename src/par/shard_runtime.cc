@@ -74,10 +74,17 @@ ShardRuntime::ShardRuntime(Config config)
     out->Push(std::move(msg));
   };
 
+  port_wm_.assign(config_.port_sources.size(), Timestamp::MinInstant());
+
   if (config_.registry != nullptr) {
     controller_->AttachMetricsRecursive(config_.registry);
     for (auto& w : windows_) w->AttachMetrics(config_.registry);
     out_cb_->AttachMetrics(config_.registry);
+#ifndef GENMIG_NO_METRICS
+    // Shard-level lag slot ("s<k>/lag"): watermark lag vs. the router front
+    // plus the backpressure the router felt pushing into this shard.
+    lag_metrics_ = config_.registry->Register(prefix_ + "lag");
+#endif
   }
   if (config_.tracer != nullptr) controller_->SetTracer(config_.tracer);
 }
@@ -99,26 +106,40 @@ void ShardRuntime::Run() {
     for (const ShardInMsg& msg : batch) Handle(msg);
     batch.clear();
     PublishProgress();
+    SampleLag();
   }
   PublishProgress();
+  SampleLag();
 }
 
 void ShardRuntime::Handle(const ShardInMsg& msg) {
   const PortTarget& target = port_targets_[static_cast<size_t>(msg.port)];
+  Timestamp& port_wm = port_wm_[static_cast<size_t>(msg.port)];
   switch (msg.kind) {
     case ShardInMsg::Kind::kElement:
       elements_processed_.fetch_add(1, std::memory_order_relaxed);
+      if (port_wm < msg.element.interval.start) {
+        port_wm = msg.element.interval.start;
+      }
       target.op->PushElement(target.port, msg.element);
       break;
     case ShardInMsg::Kind::kBatch:
       elements_processed_.fetch_add(msg.batch.size(),
                                     std::memory_order_relaxed);
+      if (msg.batch.size() > 0) {
+        // Rows arrive in routed (temporal) order: the last start bounds
+        // the port's promise.
+        const Timestamp last = msg.batch.start(msg.batch.size() - 1);
+        if (port_wm < last) port_wm = last;
+      }
       target.op->PushBatch(target.port, msg.batch);
       break;
     case ShardInMsg::Kind::kHeartbeat:
+      if (port_wm < msg.time) port_wm = msg.time;
       target.op->PushHeartbeat(target.port, msg.time);
       break;
     case ShardInMsg::Kind::kEos:
+      port_wm = Timestamp::MaxInstant();  // No further input on this port.
       if (!target.op->input_eos(target.port)) {
         target.op->PushEos(target.port);
       }
@@ -131,6 +152,42 @@ void ShardRuntime::Handle(const ShardInMsg& msg) {
       break;
     }
   }
+}
+
+// Per-shard watermark-lag gauge (ISSUE 9): source front (what the router
+// has routed so far) minus this shard's weakest per-port promise. Runs after
+// every drained message batch on the shard thread — the single writer of the
+// "s<k>/lag" slot; the router-owned queue counters are only copied here.
+void ShardRuntime::SampleLag() {
+  Timestamp min_wm = Timestamp::MaxInstant();
+  for (const Timestamp& wm : port_wm_) {
+    if (wm < min_wm) min_wm = wm;
+  }
+  input_wm_t_.store(min_wm.t, std::memory_order_release);
+  input_wm_eps_.store(min_wm.eps, std::memory_order_release);
+
+  int64_t lag = 0;
+  const int64_t front =
+      config_.source_front == nullptr
+          ? Timestamp::MinInstant().t
+          : config_.source_front->load(std::memory_order_relaxed);
+  if (front != Timestamp::MinInstant().t &&
+      min_wm.t != Timestamp::MinInstant().t &&
+      min_wm.t != Timestamp::MaxInstant().t && front > min_wm.t) {
+    lag = front - min_wm.t;
+  }
+  watermark_lag_.store(lag, std::memory_order_relaxed);
+
+#ifndef GENMIG_NO_METRICS
+  if (lag_metrics_ == nullptr) return;
+  const uint64_t ulag = static_cast<uint64_t>(lag);
+  lag_metrics_->watermark_lag = ulag;
+  if (ulag > lag_metrics_->peak_watermark_lag.load()) {
+    lag_metrics_->peak_watermark_lag = ulag;
+  }
+  lag_metrics_->backpressure_ns = in_.blocked_ns();
+  lag_metrics_->backpressure_events = in_.blocked_count();
+#endif
 }
 
 void ShardRuntime::PublishProgress() {

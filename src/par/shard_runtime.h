@@ -79,6 +79,9 @@ class ShardRuntime {
     /// Invoked (on the shard thread) whenever migrations_completed or
     /// migration_active changes — the coordinator's barrier wakeup.
     std::function<void()> on_progress;
+    /// Router-published source front (max routed start instant, relaxed);
+    /// nullptr disables the watermark-lag gauge. INT64_MIN = nothing routed.
+    const std::atomic<int64_t>* source_front = nullptr;
   };
 
   explicit ShardRuntime(Config config);
@@ -105,11 +108,24 @@ class ShardRuntime {
     return Timestamp(t_split_t_.load(std::memory_order_acquire),
                      t_split_eps_.load(std::memory_order_acquire));
   }
+  /// Min over this shard's per-port input watermarks — how far the shard has
+  /// provably progressed in application time. MinInstant before any input,
+  /// MaxInstant after EOS on every port. Published after every message batch.
+  Timestamp input_watermark() const {
+    return Timestamp(input_wm_t_.load(std::memory_order_acquire),
+                     input_wm_eps_.load(std::memory_order_acquire));
+  }
+  /// Last sampled watermark lag in application-time units (source front
+  /// minus input_watermark, clamped at 0).
+  int64_t watermark_lag() const {
+    return watermark_lag_.load(std::memory_order_relaxed);
+  }
 
  private:
   void Run();
   void Handle(const ShardInMsg& msg);
   void PublishProgress();
+  void SampleLag();
 
   Config config_;
   std::string prefix_;
@@ -132,6 +148,17 @@ class ShardRuntime {
   std::atomic<uint64_t> elements_processed_{0};
   std::atomic<int64_t> t_split_t_{0};
   std::atomic<uint32_t> t_split_eps_{0};
+
+  // Lag attribution (ISSUE 9). port_wm_ is shard-thread-local bookkeeping
+  // of the strongest promise seen per input port; the aggregate is mirrored
+  // into atomics + the "s<k>/lag" registry slot by SampleLag().
+  std::vector<Timestamp> port_wm_;
+  std::atomic<int64_t> input_wm_t_{Timestamp::MinInstant().t};
+  std::atomic<uint32_t> input_wm_eps_{Timestamp::MinInstant().eps};
+  std::atomic<int64_t> watermark_lag_{0};
+#ifndef GENMIG_NO_METRICS
+  obs::OperatorMetrics* lag_metrics_ = nullptr;
+#endif
 };
 
 }  // namespace par

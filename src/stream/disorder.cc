@@ -70,11 +70,18 @@ void DisorderBuffer::MaybeAdapt() {
   if (!options_.adaptive || stats_.arrived % options_.adapt_every != 0) {
     return;
   }
-  const double target =
-      options_.headroom * lateness_.ApproxQuantile(options_.quantile);
+  const double tracked = lateness_.ApproxQuantile(options_.quantile);
+  const double target = options_.headroom * tracked;
+  const int64_t old_delta = delta_;
   delta_ = std::clamp(static_cast<int64_t>(target), options_.min_delta,
                       options_.max_delta);
+  // A tick that clamps back to the current delta is not a retarget: it
+  // would only add noise to the stats and the event journal.
+  if (delta_ == old_delta) return;
   ++stats_.adaptations;
+  if (options_.on_adapt) {
+    options_.on_adapt(old_delta, delta_, tracked, stats_.arrived);
+  }
 }
 
 }  // namespace genmig

@@ -32,6 +32,7 @@
 #define GENMIG_STREAM_DISORDER_H_
 
 #include <cstdint>
+#include <functional>
 
 #include "obs/metrics.h"
 #include "stream/element.h"
@@ -57,6 +58,14 @@ class DisorderBuffer {
     double headroom = 1.25;
     /// Arrivals between adaptation steps.
     uint64_t adapt_every = 128;
+    /// Invoked after every completed delta retarget (on the admitting
+    /// thread) with (old_delta, new_delta, tracked lateness quantile value,
+    /// arrivals so far). The engine wires this into the decision journal
+    /// (obs/journal.h kDisorderAdapt). Copied with the Options, so buffers
+    /// the coordinator constructs from a registered Options inherit it.
+    std::function<void(int64_t old_delta, int64_t new_delta, double quantile,
+                       uint64_t arrivals)>
+        on_adapt;
   };
 
   struct Stats {

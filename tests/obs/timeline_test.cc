@@ -322,9 +322,14 @@ TEST(TimelineSpillWriterTest, WritesHeaderAndRows) {
   const auto lines = ReadLines(path);
   ASSERT_EQ(lines.size(), 4u);
   EXPECT_EQ(lines[0].rfind("wall_ns,app_time", 0), 0u);  // Header first.
-  // Every data row has the full column count.
+  EXPECT_NE(lines[0].find("watermark_lag_max"), std::string::npos);
+  EXPECT_NE(lines[0].find("backpressure_ns"), std::string::npos);
+  // Every data row has the full column count (match the header).
+  const auto header_commas =
+      std::count(lines[0].begin(), lines[0].end(), ',');
   for (size_t i = 1; i < lines.size(); ++i) {
-    EXPECT_EQ(std::count(lines[i].begin(), lines[i].end(), ','), 11)
+    EXPECT_EQ(std::count(lines[i].begin(), lines[i].end(), ','),
+              header_commas)
         << lines[i];
   }
 }

@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition (version 0.0.4) document.
+
+Usage: check_prom.py [FILE]          (reads stdin when FILE is omitted)
+
+Checks, beyond "every line parses":
+  * metric names and label names are legal, label values are well escaped;
+  * every sample parses to a finite-or-Inf float value;
+  * # TYPE appears at most once per family, before its samples;
+  * counter sample names end in _total (or _sum/_count/_bucket for
+    histograms);
+  * histogram `le` buckets are cumulative (monotone non-decreasing in
+    ascending le order, +Inf present and equal to `_count` when both are in
+    the scrape);
+  * no duplicate (name, labelset) samples.
+
+Exit code 0 when the document is valid; 1 with a line-numbered message
+otherwise. Used by the CI telemetry job against `curl /metrics` output.
+"""
+
+import math
+import re
+import sys
+
+METRIC_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?\s*$"
+)
+
+
+def parse_labels(raw, where):
+    """Parses the inside of {...}; returns a sorted tuple of (k, v) pairs."""
+    labels = []
+    i = 0
+    n = len(raw)
+    while i < n:
+        m = re.match(r'([a-zA-Z_][a-zA-Z0-9_]*)="', raw[i:])
+        if not m:
+            raise ValueError(f"{where}: bad label syntax at ...{raw[i:]!r}")
+        name = m.group(1)
+        i += m.end()
+        value = []
+        while True:
+            if i >= n:
+                raise ValueError(f"{where}: unterminated label value")
+            c = raw[i]
+            if c == "\\":
+                if i + 1 >= n or raw[i + 1] not in ('"', "\\", "n"):
+                    raise ValueError(f"{where}: bad escape in label value")
+                value.append({"n": "\n"}.get(raw[i + 1], raw[i + 1]))
+                i += 2
+            elif c == '"':
+                i += 1
+                break
+            elif c == "\n":
+                raise ValueError(f"{where}: raw newline in label value")
+            else:
+                value.append(c)
+                i += 1
+        labels.append((name, "".join(value)))
+        if i < n:
+            if raw[i] != ",":
+                raise ValueError(f"{where}: expected ',' between labels")
+            i += 1
+    return tuple(sorted(labels))
+
+
+def parse_value(raw, where):
+    if raw in ("+Inf", "Inf"):
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    if raw == "NaN":
+        return math.nan
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(f"{where}: unparseable sample value {raw!r}")
+
+
+def base_family(name):
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check(text):
+    types = {}        # family -> declared type
+    family_seen = {}  # family -> first sample line number
+    samples = {}      # (name, labelset) -> (line, value)
+    errors = []
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        where = f"line {lineno}"
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 2 or parts[1] not in ("HELP", "TYPE"):
+                continue  # Free-form comment.
+            if len(parts) < 3 or not METRIC_RE.match(parts[2]):
+                errors.append(f"{where}: malformed # {parts[1]} line")
+                continue
+            if parts[1] == "TYPE":
+                family = parts[2]
+                kind = parts[3].strip() if len(parts) > 3 else ""
+                if kind not in ("counter", "gauge", "histogram", "summary",
+                                "untyped"):
+                    errors.append(f"{where}: unknown TYPE {kind!r}")
+                if family in types:
+                    errors.append(f"{where}: duplicate TYPE for {family}")
+                if family in family_seen:
+                    errors.append(
+                        f"{where}: TYPE for {family} after its samples "
+                        f"(first at line {family_seen[family]})")
+                types[family] = kind
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"{where}: unparseable sample line {line!r}")
+            continue
+        name = m.group("name")
+        if not METRIC_RE.match(name):
+            errors.append(f"{where}: illegal metric name {name!r}")
+            continue
+        try:
+            labels = parse_labels(m.group("labels") or "", where)
+            value = parse_value(m.group("value"), where)
+        except ValueError as e:
+            errors.append(str(e))
+            continue
+        for lname, _ in labels:
+            if not LABEL_RE.match(lname):
+                errors.append(f"{where}: illegal label name {lname!r}")
+
+        family = base_family(name)
+        family_seen.setdefault(family, lineno)
+        family_seen.setdefault(name, lineno)
+        key = (name, labels)
+        if key in samples:
+            errors.append(
+                f"{where}: duplicate sample {name}{dict(labels)} "
+                f"(first at line {samples[key][0]})")
+        samples[key] = (lineno, value)
+
+        declared = types.get(family) or types.get(name)
+        if declared == "counter":
+            if not name.endswith("_total"):
+                errors.append(
+                    f"{where}: counter sample {name!r} should end in _total")
+            if value < 0:
+                errors.append(f"{where}: negative counter {name}")
+        if declared == "histogram" and name.endswith("_bucket"):
+            if "le" not in dict(labels):
+                errors.append(f"{where}: histogram bucket without le label")
+
+    # Histogram bucket monotonicity + _count == +Inf bucket, per labelset.
+    buckets = {}  # (family, labels-sans-le) -> list of (le, value, line)
+    for (name, labels), (lineno, value) in samples.items():
+        if not name.endswith("_bucket"):
+            continue
+        label_map = dict(labels)
+        if "le" not in label_map:
+            continue
+        le_raw = label_map.pop("le")
+        le = parse_value(le_raw, f"line {lineno}")
+        key = (name[: -len("_bucket")], tuple(sorted(label_map.items())))
+        buckets.setdefault(key, []).append((le, value, lineno))
+    for (family, rest), entries in buckets.items():
+        entries.sort(key=lambda e: e[0])
+        prev = None
+        for le, value, lineno in entries:
+            if prev is not None and value < prev:
+                errors.append(
+                    f"line {lineno}: histogram {family}{dict(rest)} bucket "
+                    f"le={le} count {value} below previous bucket ({prev})")
+            prev = value
+        if not entries or not math.isinf(entries[-1][0]):
+            errors.append(f"histogram {family}{dict(rest)}: no +Inf bucket")
+            continue
+        count_key = (family + "_count", rest)
+        if count_key in samples:
+            count = samples[count_key][1]
+            if count != entries[-1][1]:
+                errors.append(
+                    f"histogram {family}{dict(rest)}: _count {count} != "
+                    f"+Inf bucket {entries[-1][1]}")
+
+    return errors, len(samples)
+
+
+def main():
+    if len(sys.argv) > 2:
+        print(__doc__)
+        return 2
+    if len(sys.argv) == 2 and sys.argv[1] not in ("-", "--help"):
+        with open(sys.argv[1], "r", encoding="utf-8") as f:
+            text = f.read()
+    elif len(sys.argv) == 2 and sys.argv[1] == "--help":
+        print(__doc__)
+        return 0
+    else:
+        text = sys.stdin.read()
+
+    errors, count = check(text)
+    if errors:
+        for e in errors:
+            print(f"check_prom: {e}", file=sys.stderr)
+        print(f"check_prom: FAIL ({len(errors)} error(s), {count} samples)",
+              file=sys.stderr)
+        return 1
+    print(f"check_prom: OK ({count} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
