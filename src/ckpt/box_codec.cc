@@ -1,0 +1,43 @@
+#include "ckpt/box_codec.h"
+
+#include "stream/state_codec.h"
+
+namespace genmig {
+namespace ckpt {
+
+void ExportBoxOps(const std::string& prefix, const Box& box,
+                  const std::string& group, std::vector<Blob>* blobs) {
+  for (size_t i = 0; i < box.ops().size(); ++i) {
+    const Operator* op = box.ops()[i].get();
+    if (!op->CkptStateful()) continue;
+    StateEnc enc;
+    op->CkptExport(&enc);
+    Blob blob;
+    blob.key = prefix + std::to_string(i) + ":" + op->name();
+    blob.group = group;
+    blob.bytes = enc.Take();
+    blobs->push_back(std::move(blob));
+  }
+}
+
+Status ImportBoxOps(const std::string& prefix, const Box& box,
+                    const std::map<std::string, std::string>& blobs) {
+  for (size_t i = 0; i < box.ops().size(); ++i) {
+    Operator* op = box.ops()[i].get();
+    if (!op->CkptStateful()) continue;
+    const std::string key = prefix + std::to_string(i) + ":" + op->name();
+    auto it = blobs.find(key);
+    if (it == blobs.end()) {
+      return Status::DataLoss("checkpoint lacks operator state '" + key +
+                              "' (topology mismatch?)");
+    }
+    StateDec dec(it->second);
+    if (!op->CkptImport(&dec) || !dec.ok()) {
+      return Status::DataLoss("operator state '" + key + "' is corrupt");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ckpt
+}  // namespace genmig

@@ -1,0 +1,203 @@
+#include "ckpt/format.h"
+
+#include <array>
+
+#include "stream/state_codec.h"
+
+namespace genmig {
+namespace ckpt {
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint32_t GetU32(std::string_view in, size_t pos) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(in[pos + i])) << (8 * i);
+  }
+  return v;
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint64_t GetU64(std::string_view in, size_t pos) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(in[pos + i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view bytes) {
+  static const std::array<uint32_t, 256> table = MakeCrcTable();
+  uint32_t crc = 0xffffffffu;
+  for (char ch : bytes) {
+    crc = table[(crc ^ static_cast<uint8_t>(ch)) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+uint64_t Fnv1a(std::string_view bytes) {
+  uint64_t h = 14695981039346656037ull;
+  for (char ch : bytes) {
+    h ^= static_cast<uint8_t>(ch);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void AppendChunkRecord(std::string* chunk, std::string_view payload,
+                       uint64_t* offset, uint64_t* length, uint32_t* crc) {
+  if (chunk->empty()) chunk->append(kChunkMagic);
+  *offset = chunk->size();
+  *length = payload.size();
+  *crc = Crc32(payload);
+  PutU32(chunk, static_cast<uint32_t>(payload.size()));
+  PutU32(chunk, *crc);
+  chunk->append(payload);
+}
+
+Status ReadChunkRecord(std::string_view chunk, const ManifestEntry& entry,
+                       std::string* payload) {
+  if (chunk.size() < kChunkMagic.size() ||
+      chunk.substr(0, kChunkMagic.size()) != kChunkMagic) {
+    return Status::DataLoss("chunk " + entry.chunk_file + ": bad magic");
+  }
+  const uint64_t header = 8;  // u32 len + u32 crc.
+  if (entry.offset < kChunkMagic.size() ||
+      entry.offset + header > chunk.size() ||
+      entry.offset + header + entry.length > chunk.size()) {
+    return Status::DataLoss("chunk " + entry.chunk_file +
+                            ": record out of bounds (truncated?)");
+  }
+  const uint32_t len = GetU32(chunk, static_cast<size_t>(entry.offset));
+  const uint32_t crc = GetU32(chunk, static_cast<size_t>(entry.offset) + 4);
+  if (len != entry.length || crc != entry.crc) {
+    return Status::DataLoss("chunk " + entry.chunk_file +
+                            ": record header disagrees with manifest");
+  }
+  std::string_view body =
+      chunk.substr(static_cast<size_t>(entry.offset) + header,
+                   static_cast<size_t>(entry.length));
+  if (Crc32(body) != entry.crc) {
+    return Status::DataLoss("chunk " + entry.chunk_file + ": CRC mismatch at " +
+                            entry.key);
+  }
+  payload->assign(body.data(), body.size());
+  return Status::OK();
+}
+
+std::string EncodeManifest(const Manifest& manifest) {
+  StateEnc body;
+  body.U64(manifest.seq);
+  body.U64(manifest.entries.size());
+  for (const ManifestEntry& e : manifest.entries) {
+    body.Str(e.key);
+    body.Str(e.chunk_file);
+    body.U64(e.offset);
+    body.U64(e.length);
+    body.U32(e.crc);
+    body.U64(e.hash);
+  }
+  std::string out;
+  out.append(kManifestMagic);
+  PutU32(&out, kFormatVersion);
+  PutU64(&out, body.bytes().size());
+  PutU32(&out, Crc32(body.bytes()));
+  out.append(body.bytes());
+  return out;
+}
+
+Status DecodeManifest(std::string_view bytes, Manifest* out) {
+  const size_t header = kManifestMagic.size() + 4 + 8 + 4;
+  if (bytes.size() < header) {
+    return Status::DataLoss("manifest: truncated header");
+  }
+  if (bytes.substr(0, kManifestMagic.size()) != kManifestMagic) {
+    return Status::DataLoss("manifest: bad magic");
+  }
+  const uint32_t version = GetU32(bytes, kManifestMagic.size());
+  if (version > kFormatVersion) {
+    return Status::InvalidArgument("manifest: format version " +
+                                   std::to_string(version) +
+                                   " is newer than this build understands");
+  }
+  const uint64_t body_len = GetU64(bytes, kManifestMagic.size() + 4);
+  const uint32_t body_crc = GetU32(bytes, kManifestMagic.size() + 12);
+  if (bytes.size() - header < body_len) {
+    return Status::DataLoss("manifest: truncated body");
+  }
+  std::string_view body = bytes.substr(header, static_cast<size_t>(body_len));
+  if (Crc32(body) != body_crc) {
+    return Status::DataLoss("manifest: body CRC mismatch");
+  }
+  StateDec dec(body);
+  Manifest m;
+  m.seq = dec.U64();
+  const uint64_t n = dec.U64();
+  for (uint64_t i = 0; i < n && dec.ok(); ++i) {
+    ManifestEntry e;
+    e.key = dec.Str();
+    e.chunk_file = dec.Str();
+    e.offset = dec.U64();
+    e.length = dec.U64();
+    e.crc = dec.U32();
+    e.hash = dec.U64();
+    m.entries.push_back(std::move(e));
+  }
+  if (!dec.AtEnd()) {
+    return Status::DataLoss("manifest: body decode failed");
+  }
+  *out = std::move(m);
+  return Status::OK();
+}
+
+std::string ManifestFileName(uint64_t seq) {
+  return "MANIFEST-" + std::to_string(seq);
+}
+
+std::string ChunkFileName(uint64_t seq, std::string_view group) {
+  std::string out = "chunk-" + std::to_string(seq) + "-";
+  out.append(group);
+  out += ".gmc";
+  return out;
+}
+
+bool ParseManifestFileName(std::string_view name, uint64_t* seq) {
+  constexpr std::string_view prefix = "MANIFEST-";
+  if (name.size() <= prefix.size() || name.substr(0, prefix.size()) != prefix) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (char ch : name.substr(prefix.size())) {
+    if (ch < '0' || ch > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(ch - '0');
+  }
+  *seq = v;
+  return true;
+}
+
+}  // namespace ckpt
+}  // namespace genmig

@@ -1,0 +1,202 @@
+#include "ckpt/plan_codec.h"
+
+#include <utility>
+#include <vector>
+
+namespace genmig {
+namespace ckpt {
+namespace {
+
+// Corrupt length fields must not drive unbounded recursion; real plans are
+// a handful of levels deep.
+constexpr int kMaxDepth = 256;
+
+ExprPtr DecodeExprAt(StateDec* dec, int depth);
+
+void EncodeSchema(StateEnc* enc, const Schema& schema) {
+  enc->U64(schema.size());
+  for (const Column& col : schema.columns()) {
+    enc->Str(col.name);
+    enc->U8(static_cast<uint8_t>(col.type));
+  }
+}
+
+Schema DecodeSchema(StateDec* dec) {
+  const uint64_t n = dec->U64();
+  std::vector<Column> cols;
+  for (uint64_t i = 0; i < n && dec->ok(); ++i) {
+    Column col;
+    col.name = dec->Str();
+    col.type = static_cast<ValueType>(dec->U8());
+    cols.push_back(std::move(col));
+  }
+  return Schema(std::move(cols));
+}
+
+LogicalPtr DecodePlanAt(StateDec* dec, int depth) {
+  if (depth > kMaxDepth) {
+    dec->U8();  // Consume something so AtEnd() fails too.
+    while (dec->ok()) dec->Str();
+    return nullptr;
+  }
+  auto node = std::make_shared<LogicalNode>();
+  const uint8_t kind = dec->U8();
+  if (kind > static_cast<uint8_t>(LogicalNode::Kind::kDifference)) {
+    return nullptr;
+  }
+  node->kind = static_cast<LogicalNode::Kind>(kind);
+  const uint64_t nchildren = dec->U64();
+  if (nchildren > 2) return nullptr;  // The algebra is at most binary.
+  for (uint64_t i = 0; i < nchildren && dec->ok(); ++i) {
+    LogicalPtr child = DecodePlanAt(dec, depth + 1);
+    if (child == nullptr) return nullptr;
+    node->children.push_back(std::move(child));
+  }
+  node->schema = DecodeSchema(dec);
+  node->source_name = dec->Str();
+  node->window_kind = dec->U8() == 0 ? LogicalNode::WindowKind::kTime
+                                     : LogicalNode::WindowKind::kCount;
+  node->window = dec->I64();
+  node->window_rows = static_cast<size_t>(dec->U64());
+  if (dec->Bool()) {
+    node->predicate = DecodeExprAt(dec, depth + 1);
+    if (node->predicate == nullptr) return nullptr;
+  }
+  const uint64_t nproj = dec->U64();
+  for (uint64_t i = 0; i < nproj && dec->ok(); ++i) {
+    node->project_fields.push_back(static_cast<size_t>(dec->U64()));
+  }
+  if (dec->Bool()) {
+    const size_t lk = static_cast<size_t>(dec->U64());
+    const size_t rk = static_cast<size_t>(dec->U64());
+    node->equi_keys = std::make_pair(lk, rk);
+  }
+  const uint64_t ngroup = dec->U64();
+  for (uint64_t i = 0; i < ngroup && dec->ok(); ++i) {
+    node->group_fields.push_back(static_cast<size_t>(dec->U64()));
+  }
+  const uint64_t naggs = dec->U64();
+  for (uint64_t i = 0; i < naggs && dec->ok(); ++i) {
+    AggSpec spec;
+    const uint8_t agg_kind = dec->U8();
+    if (agg_kind > static_cast<uint8_t>(AggKind::kMax)) return nullptr;
+    spec.kind = static_cast<AggKind>(agg_kind);
+    spec.field = static_cast<size_t>(dec->U64());
+    node->aggs.push_back(spec);
+  }
+  if (!dec->ok()) return nullptr;
+  return node;
+}
+
+ExprPtr DecodeExprAt(StateDec* dec, int depth) {
+  if (depth > kMaxDepth) {
+    while (dec->ok()) dec->Str();
+    return nullptr;
+  }
+  const uint8_t kind = dec->U8();
+  const uint8_t cmp = dec->U8();
+  const uint8_t arith = dec->U8();
+  const uint64_t column_index = dec->U64();
+  std::string column_name = dec->Str();
+  Value constant = dec->Val();
+  const uint64_t nchildren = dec->U64();
+  if (!dec->ok() || nchildren > 2 ||
+      kind > static_cast<uint8_t>(Expr::Kind::kNot) ||
+      cmp > static_cast<uint8_t>(Expr::CmpOp::kGe) ||
+      arith > static_cast<uint8_t>(Expr::ArithOp::kDiv)) {
+    return nullptr;
+  }
+  std::vector<ExprPtr> children;
+  for (uint64_t i = 0; i < nchildren; ++i) {
+    ExprPtr child = DecodeExprAt(dec, depth + 1);
+    if (child == nullptr) return nullptr;
+    children.push_back(std::move(child));
+  }
+  switch (static_cast<Expr::Kind>(kind)) {
+    case Expr::Kind::kColumn:
+      return Expr::Column(static_cast<size_t>(column_index),
+                          std::move(column_name));
+    case Expr::Kind::kConst:
+      return Expr::Const(std::move(constant));
+    case Expr::Kind::kCompare:
+      if (children.size() != 2) return nullptr;
+      return Expr::Compare(static_cast<Expr::CmpOp>(cmp), children[0],
+                           children[1]);
+    case Expr::Kind::kArith:
+      if (children.size() != 2) return nullptr;
+      return Expr::Arith(static_cast<Expr::ArithOp>(arith), children[0],
+                         children[1]);
+    case Expr::Kind::kAnd:
+      if (children.size() != 2) return nullptr;
+      return Expr::And(children[0], children[1]);
+    case Expr::Kind::kOr:
+      if (children.size() != 2) return nullptr;
+      return Expr::Or(children[0], children[1]);
+    case Expr::Kind::kNot:
+      if (children.size() != 1) return nullptr;
+      return Expr::Not(children[0]);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void EncodeExpr(StateEnc* enc, const ExprPtr& expr) {
+  enc->U8(static_cast<uint8_t>(expr->kind()));
+  enc->U8(static_cast<uint8_t>(expr->cmp_op()));
+  enc->U8(static_cast<uint8_t>(expr->arith_op()));
+  enc->U64(expr->column_index());
+  enc->Str(expr->column_name());
+  enc->Val(expr->constant());
+  enc->U64(expr->children().size());
+  for (const ExprPtr& child : expr->children()) EncodeExpr(enc, child);
+}
+
+ExprPtr DecodeExpr(StateDec* dec) { return DecodeExprAt(dec, 0); }
+
+void EncodePlan(StateEnc* enc, const LogicalPtr& plan) {
+  enc->U8(static_cast<uint8_t>(plan->kind));
+  enc->U64(plan->children.size());
+  for (const LogicalPtr& child : plan->children) EncodePlan(enc, child);
+  EncodeSchema(enc, plan->schema);
+  enc->Str(plan->source_name);
+  enc->U8(plan->window_kind == LogicalNode::WindowKind::kTime ? 0 : 1);
+  enc->I64(plan->window);
+  enc->U64(plan->window_rows);
+  enc->Bool(plan->predicate != nullptr);
+  if (plan->predicate != nullptr) EncodeExpr(enc, plan->predicate);
+  enc->U64(plan->project_fields.size());
+  for (size_t f : plan->project_fields) enc->U64(f);
+  enc->Bool(plan->equi_keys.has_value());
+  if (plan->equi_keys.has_value()) {
+    enc->U64(plan->equi_keys->first);
+    enc->U64(plan->equi_keys->second);
+  }
+  enc->U64(plan->group_fields.size());
+  for (size_t f : plan->group_fields) enc->U64(f);
+  enc->U64(plan->aggs.size());
+  for (const AggSpec& spec : plan->aggs) {
+    enc->U8(static_cast<uint8_t>(spec.kind));
+    enc->U64(spec.field);
+  }
+}
+
+LogicalPtr DecodePlan(StateDec* dec) { return DecodePlanAt(dec, 0); }
+
+std::string PlanToBytes(const LogicalPtr& plan) {
+  StateEnc enc;
+  EncodePlan(&enc, plan);
+  return enc.Take();
+}
+
+Result<LogicalPtr> PlanFromBytes(std::string_view bytes) {
+  StateDec dec(bytes);
+  LogicalPtr plan = DecodePlan(&dec);
+  if (plan == nullptr || !dec.AtEnd()) {
+    return Status::DataLoss("corrupt serialized plan");
+  }
+  return plan;
+}
+
+}  // namespace ckpt
+}  // namespace genmig

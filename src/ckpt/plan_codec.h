@@ -1,0 +1,35 @@
+// Serialization of logical plans and expressions (ISSUE 10). A restored
+// Dsms re-registers its queries from code, but the *active* plan of a query
+// may differ from the installed one when migrations ran before the cut —
+// the checkpoint records the active plan itself so restore can recompile
+// exactly what was executing, not what was originally submitted.
+
+#ifndef GENMIG_CKPT_PLAN_CODEC_H_
+#define GENMIG_CKPT_PLAN_CODEC_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "plan/expr.h"
+#include "plan/logical.h"
+#include "stream/state_codec.h"
+
+namespace genmig {
+namespace ckpt {
+
+void EncodeExpr(StateEnc* enc, const ExprPtr& expr);
+/// Null on corrupt input (also latches dec->ok() == false).
+ExprPtr DecodeExpr(StateDec* dec);
+
+void EncodePlan(StateEnc* enc, const LogicalPtr& plan);
+/// Null on corrupt input (also latches dec->ok() == false).
+LogicalPtr DecodePlan(StateDec* dec);
+
+/// Whole-blob convenience wrappers.
+std::string PlanToBytes(const LogicalPtr& plan);
+Result<LogicalPtr> PlanFromBytes(std::string_view bytes);
+
+}  // namespace ckpt
+}  // namespace genmig
+
+#endif  // GENMIG_CKPT_PLAN_CODEC_H_

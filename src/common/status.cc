@@ -17,6 +17,8 @@ const char* CodeName(Status::Code code) {
       return "Unimplemented";
     case Status::Code::kInternal:
       return "Internal";
+    case Status::Code::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

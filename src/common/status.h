@@ -22,6 +22,7 @@ class Status {
     kFailedPrecondition,
     kUnimplemented,
     kInternal,
+    kDataLoss,
   };
 
   Status() : code_(Code::kOk) {}
@@ -41,6 +42,10 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
+  }
+  /// Unrecoverable corruption or truncation of durable data (checkpoints).
+  static Status DataLoss(std::string msg) {
+    return Status(Code::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 
+#include "ckpt/box_codec.h"
+#include "ckpt/plan_codec.h"
 #include "obs/clock.h"
 #include "ops/count_window.h"
 
@@ -44,12 +47,40 @@ Dsms::Dsms(Options options)
   // engine-level and shard-local migrations alike leave a complete decision
   // trail without per-call-site wiring.
   tracer_.SetJournal(&journal_);
+  if (!options_.checkpoint_dir.empty()) {
+    ckpt_store_ = std::make_unique<ckpt::Store>(options_.checkpoint_dir);
+    // Every begin/commit/abort lands in the journal; the observer may fire
+    // on the store's background thread — Append is thread-safe, and the
+    // app-time stamp reads the atomic mirror.
+    ckpt_store_->SetEventObserver([this](const ckpt::Store::Event& e) {
+      obs::JournalEvent ev;
+      ev.kind = obs::JournalEvent::Kind::kCheckpoint;
+      ev.app_time =
+          Timestamp(app_time_t_.load(std::memory_order_relaxed), 0);
+      ev.subject = "engine";
+      const char* phase = e.phase == ckpt::Store::Event::Phase::kBegin
+                              ? "begin"
+                              : e.phase == ckpt::Store::Event::Phase::kCommit
+                                    ? "commit"
+                                    : "abort";
+      ev.strs.emplace_back("phase", phase);
+      if (!e.message.empty()) ev.strs.emplace_back("error", e.message);
+      ev.nums.emplace_back("seq", static_cast<double>(e.seq));
+      ev.nums.emplace_back("bytes", static_cast<double>(e.bytes));
+      ev.nums.emplace_back("written_bytes",
+                           static_cast<double>(e.written_bytes));
+      ev.nums.emplace_back("duration_ns", static_cast<double>(e.duration_ns));
+      journal_.Append(std::move(ev));
+    });
+  }
   if (options_.telemetry_port >= 0) SetupTelemetry();
+  const bool periodic_ckpt =
+      ckpt_store_ != nullptr && options_.checkpoint_period > 0;
   if (options_.reoptimize_period > 0 || options_.calibration_period > 0 ||
       options_.timeline_period > 0 ||
-      options_.codegen == Options::Codegen::kBackground ||
+      options_.codegen == Options::Codegen::kBackground || periodic_ckpt ||
       telemetry_ != nullptr) {
-    exec_.after_step = [this]() {
+    exec_.after_step = [this, periodic_ckpt]() {
       app_time_t_.store(exec_.current_time().t, std::memory_order_relaxed);
       if (options_.reoptimize_period > 0) MaybeAutoReoptimize();
       if (options_.calibration_period > 0) MaybeCalibrate();
@@ -57,6 +88,7 @@ Dsms::Dsms(Options options)
       if (options_.codegen == Options::Codegen::kBackground) {
         MaybeCodegenSwap();
       }
+      if (periodic_ckpt) MaybeCheckpoint();
       if (telemetry_ != nullptr) MaybeRefreshStatus();
     };
   }
@@ -233,6 +265,14 @@ Result<Dsms::QueryId> Dsms::Install(LogicalPtr plan) {
     // Disordered streams reach the coordinator as raw arrival sequences
     // (Executor::feed_elements); the router reorders them itself.
     copt.disordered_inputs = disordered_;
+    // Parallel queries checkpoint through their own store (their state lives
+    // on the coordinator's threads): one subdirectory per query, per-shard
+    // chunk files under one router-global cut.
+    if (!options_.checkpoint_dir.empty()) {
+      copt.checkpoint_dir = options_.checkpoint_dir + "/q" +
+                            std::to_string(queries_.size()) + "par";
+      copt.checkpoint_period = options_.checkpoint_period;
+    }
     auto coordinator = std::make_unique<par::Coordinator>(plan, copt);
     if (coordinator->spec().ok) {
       query->parallel = true;
@@ -355,6 +395,7 @@ void Dsms::StartCodegenSwap(Query* query) {
   Box new_box =
       CompilePlan(*query->stripped, "", MakeCompileOptions(true));
   new_box.ReorderInputs(query->source_names);
+  query->prev_plan = query->plan;  // Same plan; the old box is interpreted.
   query->controller->StartGenMig(std::move(new_box), GenMigOptionsFor(*query));
   query->codegen_swapped = true;
   query->codegen_swap_t_split = query->controller->t_split();
@@ -438,6 +479,314 @@ Status Dsms::ScheduleMigration(QueryId id, LogicalPtr new_plan,
   return s;
 }
 
+// --- Durable state (ISSUE 10) --------------------------------------------------
+
+namespace {
+
+int64_t WallNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Deterministic blob-key suffix of a shared windowed subplan: independent
+/// of installation order, unlike the operator-name tag.
+std::string SharedKeySuffix(const std::string& stream,
+                            const logical::LeafWindowSpec& spec) {
+  std::string key = "engine/shared/" + stream + "/";
+  key += spec.kind == LogicalNode::WindowKind::kCount ? 'c' : 't';
+  key += ':' + std::to_string(spec.window) + ':' + std::to_string(spec.rows);
+  return key;
+}
+
+}  // namespace
+
+const std::string& Dsms::CachedOpBytes(const std::string& key,
+                                       const Operator& op) {
+  auto& slot = ckpt_cache_[key];
+  if (slot.second.empty() || slot.first != op.ckpt_version()) {
+    StateEnc enc;
+    op.CkptExport(&enc);
+    slot.first = op.ckpt_version();
+    slot.second = enc.Take();
+  }
+  return slot.second;
+}
+
+Status Dsms::CollectBlobs(std::vector<ckpt::Blob>* blobs) {
+  // The cut must be consistent: defer while any controller sits in a
+  // transient phase (it resolves within a bounded number of steps).
+  for (size_t qi = 0; qi < queries_.size(); ++qi) {
+    const Query& q = *queries_[qi];
+    if (!q.parallel && !q.controller->CkptReady()) {
+      return Status::FailedPrecondition(
+          "query q" + std::to_string(qi) +
+          " is in a transient migration phase; checkpoint deferred");
+    }
+  }
+  auto add = [blobs](std::string key, std::string bytes) {
+    blobs->push_back(ckpt::Blob{std::move(key), std::move(bytes), "main"});
+  };
+  // Executor cursor + the engine's own app-time throttles (restoring them
+  // keeps the periodic loops' next firing aligned with the original run).
+  {
+    StateEnc enc;
+    exec_.CkptExportCursor(&enc);
+    enc.Ts(last_reopt_check_);
+    enc.Ts(last_calibration_);
+    enc.Ts(last_timeline_sample_);
+    add("engine/cursor", enc.Take());
+  }
+  for (const auto& [name, idx] : feeds_) {
+    StateEnc enc;
+    exec_.CkptExportFeed(idx, &enc);
+    add("engine/feeds/" + name, enc.Take());
+  }
+  // Shared windowed-source subplans (window operator state + statistics
+  // tap). Count windows are stateful; time windows are pure interval
+  // rewrites and carry no state.
+  for (const auto& [key, sub] : shared_) {
+    StateEnc enc;
+    const bool wstate = sub.window != nullptr && sub.window->CkptStateful();
+    enc.Bool(wstate);
+    if (wstate) sub.window->CkptExport(&enc);
+    sub.tap->CkptExport(&enc);
+    add(SharedKeySuffix(key.first, key.second), enc.Take());
+  }
+  for (size_t qi = 0; qi < queries_.size(); ++qi) {
+    const Query& q = *queries_[qi];
+    if (q.parallel) continue;  // Checkpoints through its coordinator store.
+    const std::string base = "engine/q" + std::to_string(qi);
+    {
+      StateEnc enc;
+      q.controller->CkptExportControl(&enc);
+      add(base + "/ctl", enc.Take());
+    }
+    add(base + "/plan", ckpt::PlanToBytes(q.plan));
+    const bool in_flight =
+        q.controller->phase() == MigrationController::Phase::kParallel;
+    if (in_flight) {
+      GENMIG_CHECK(q.prev_plan != nullptr);
+      add(base + "/oldplan", ckpt::PlanToBytes(q.prev_plan));
+    }
+    const Box& active = q.controller->active_box();
+    for (size_t i = 0; i < active.ops().size(); ++i) {
+      const Operator* op = active.ops()[i].get();
+      if (!op->CkptStateful()) continue;
+      const std::string key =
+          base + "/box/" + std::to_string(i) + ":" + op->name();
+      add(key, CachedOpBytes(key, *op));
+    }
+    if (in_flight) {
+      const Box& nbox = q.controller->new_box();
+      for (size_t i = 0; i < nbox.ops().size(); ++i) {
+        const Operator* op = nbox.ops()[i].get();
+        if (!op->CkptStateful()) continue;
+        const std::string key =
+            base + "/nbox/" + std::to_string(i) + ":" + op->name();
+        add(key, CachedOpBytes(key, *op));
+      }
+      const Operator* merge = q.controller->merge_op();
+      if (merge != nullptr && merge->CkptStateful()) {
+        StateEnc enc;
+        merge->CkptExport(&enc);
+        add(base + "/merge", enc.Take());
+      }
+    }
+    // Not via CachedOpBytes: the sink grows every step, so the version
+    // cache would re-encode the entire result log at every cut. The
+    // amortized path appends only the post-previous-cut elements.
+    add(base + "/sink", q.sink.CkptExportAmortized());
+    {
+      StateEnc enc;
+      q.calibrator.CkptExport(&enc);
+      add(base + "/cal", enc.Take());
+    }
+  }
+  return Status::OK();
+}
+
+Status Dsms::Checkpoint() {
+  if (ckpt_store_ == nullptr) {
+    return Status::FailedPrecondition("Options::checkpoint_dir is empty");
+  }
+  std::vector<ckpt::Blob> blobs;
+  Status s = CollectBlobs(&blobs);
+  if (!s.ok()) return s;
+  // A periodic async commit still in flight must not interleave with (or
+  // outrank) this explicit one.
+  ckpt_store_->WaitIdle();
+  s = ckpt_store_->Commit(std::move(blobs));
+  if (s.ok()) last_checkpoint_ = exec_.current_time();
+  return s;
+}
+
+void Dsms::MaybeCheckpoint() {
+  const Timestamp now = exec_.current_time();
+  if (last_checkpoint_ == Timestamp::MinInstant()) {
+    last_checkpoint_ = now;
+    return;
+  }
+  if (now.t - last_checkpoint_.t < options_.checkpoint_period) return;
+  last_checkpoint_ = now;
+  std::vector<ckpt::Blob> blobs;
+  // A transient migration phase defers to the next period; a still-busy
+  // store skips the round (the next one supersedes it anyway).
+  if (!CollectBlobs(&blobs).ok()) return;
+  ckpt_store_->CommitAsync(std::move(blobs));
+}
+
+ckpt::Store::StatsSnapshot Dsms::CheckpointStats() const {
+  return ckpt_store_ != nullptr ? ckpt_store_->stats()
+                                : ckpt::Store::StatsSnapshot{};
+}
+
+Status Dsms::Restore() {
+  if (ckpt_store_ == nullptr) {
+    return Status::FailedPrecondition("Options::checkpoint_dir is empty");
+  }
+  std::map<std::string, std::string> blobs;
+  Status s = ckpt_store_->Load(&blobs);
+  if (!s.ok()) return s;
+  ckpt_cache_.clear();
+  auto find = [&blobs](const std::string& key) -> const std::string* {
+    auto it = blobs.find(key);
+    return it == blobs.end() ? nullptr : &it->second;
+  };
+  {
+    const std::string* b = find("engine/cursor");
+    if (b == nullptr) return Status::DataLoss("checkpoint lacks engine/cursor");
+    StateDec dec(*b);
+    if (!exec_.CkptImportCursor(&dec)) {
+      return Status::DataLoss("engine/cursor is corrupt");
+    }
+    last_reopt_check_ = dec.Ts();
+    last_calibration_ = dec.Ts();
+    last_timeline_sample_ = dec.Ts();
+    if (!dec.ok()) return Status::DataLoss("engine/cursor is corrupt");
+  }
+  for (const auto& [name, idx] : feeds_) {
+    const std::string* b = find("engine/feeds/" + name);
+    if (b == nullptr) {
+      return Status::DataLoss("checkpoint lacks feed '" + name +
+                              "' (stream set mismatch?)");
+    }
+    StateDec dec(*b);
+    if (!exec_.CkptImportFeed(idx, &dec)) {
+      return Status::DataLoss("feed '" + name +
+                              "' blob is corrupt or mismatched");
+    }
+  }
+  for (auto& [key, sub] : shared_) {
+    const std::string k = SharedKeySuffix(key.first, key.second);
+    const std::string* b = find(k);
+    if (b == nullptr) return Status::DataLoss("checkpoint lacks '" + k + "'");
+    StateDec dec(*b);
+    if (dec.Bool()) {
+      if (sub.window == nullptr || !sub.window->CkptImport(&dec)) {
+        return Status::DataLoss("'" + k + "' window state is corrupt");
+      }
+    }
+    if (!sub.tap->CkptImport(&dec) || !dec.ok()) {
+      return Status::DataLoss("'" + k + "' tap state is corrupt");
+    }
+  }
+  for (size_t qi = 0; qi < queries_.size(); ++qi) {
+    Query* q = queries_[qi].get();
+    const std::string base = "engine/q" + std::to_string(qi);
+    if (q->parallel) {
+      // The coordinator restores from its own store; NotFound means it had
+      // not checkpointed before the crash and simply runs from scratch.
+      Status ps = q->coordinator->Restore();
+      if (!ps.ok() && ps.code() != Status::Code::kNotFound) return ps;
+      continue;
+    }
+    const std::string* ctlb = find(base + "/ctl");
+    if (ctlb == nullptr) {
+      return Status::DataLoss("checkpoint lacks '" + base + "/ctl'");
+    }
+    StateDec cdec(*ctlb);
+    MigrationController::CkptControl control;
+    if (!MigrationController::CkptDecodeControl(&cdec, &control)) {
+      return Status::DataLoss("'" + base + "/ctl' is corrupt");
+    }
+    const std::string* planb = find(base + "/plan");
+    if (planb == nullptr) {
+      return Status::DataLoss("checkpoint lacks '" + base + "/plan'");
+    }
+    Result<LogicalPtr> plan = ckpt::PlanFromBytes(*planb);
+    if (!plan.ok()) return plan.status();
+    q->plan = plan.value();
+    q->stripped = logical::StripWindows(q->plan);
+    const bool with_codegen = options_.codegen == Options::Codegen::kEager;
+    const bool in_flight =
+        control.phase == MigrationController::Phase::kParallel;
+    // The active box hosts the OLD plan while a migration is in flight; the
+    // checkpointed `plan` is already the migration target then.
+    LogicalPtr active_plan = q->stripped;
+    if (in_flight) {
+      const std::string* oldb = find(base + "/oldplan");
+      if (oldb == nullptr) {
+        return Status::DataLoss("checkpoint lacks '" + base + "/oldplan'");
+      }
+      Result<LogicalPtr> old_plan = ckpt::PlanFromBytes(*oldb);
+      if (!old_plan.ok()) return old_plan.status();
+      q->prev_plan = old_plan.value();
+      active_plan = logical::StripWindows(q->prev_plan);
+    }
+    Box active =
+        CompilePlan(*active_plan, "", MakeCompileOptions(with_codegen));
+    active.ReorderInputs(q->source_names);
+    q->controller->ReplaceActiveBox(std::move(active));
+    if (in_flight) {
+      Box nbox =
+          CompilePlan(*q->stripped, "", MakeCompileOptions(with_codegen));
+      nbox.ReorderInputs(q->source_names);
+      q->controller->RestoreGenMigParallel(std::move(nbox), control.genmig,
+                                           control.t_split);
+    }
+    q->controller->CkptRestoreControl(control);
+    Status bs = ckpt::ImportBoxOps(base + "/box/", q->controller->active_box(),
+                                   blobs);
+    if (!bs.ok()) return bs;
+    if (in_flight) {
+      bs = ckpt::ImportBoxOps(base + "/nbox/", q->controller->new_box(), blobs);
+      if (!bs.ok()) return bs;
+      Operator* merge = q->controller->merge_op();
+      if (merge != nullptr && merge->CkptStateful()) {
+        const std::string* mb = find(base + "/merge");
+        if (mb == nullptr) {
+          return Status::DataLoss("checkpoint lacks '" + base + "/merge'");
+        }
+        StateDec mdec(*mb);
+        if (!merge->CkptImport(&mdec) || !mdec.ok()) {
+          return Status::DataLoss("'" + base + "/merge' is corrupt");
+        }
+      }
+    }
+    const std::string* sinkb = find(base + "/sink");
+    if (sinkb == nullptr) {
+      return Status::DataLoss("checkpoint lacks '" + base + "/sink'");
+    }
+    StateDec sdec(*sinkb);
+    if (!q->sink.CkptImport(&sdec) || !sdec.ok()) {
+      return Status::DataLoss("'" + base + "/sink' is corrupt");
+    }
+    const std::string* calb = find(base + "/cal");
+    if (calb == nullptr) {
+      return Status::DataLoss("checkpoint lacks '" + base + "/cal'");
+    }
+    StateDec caldec(*calb);
+    if (!q->calibrator.CkptImport(&caldec)) {
+      return Status::DataLoss("'" + base + "/cal' is corrupt");
+    }
+  }
+  app_time_t_.store(exec_.current_time().t, std::memory_order_relaxed);
+  last_checkpoint_ = exec_.current_time();
+  if (telemetry_ != nullptr) RefreshStatusCache();
+  return Status::OK();
+}
+
 StatsCatalog Dsms::CurrentStats() const {
   StatsCatalog catalog;
   // Streams observed by several queries: any tap works; the last one wins.
@@ -473,6 +822,7 @@ Dsms::QueryInfo Dsms::Info(QueryId id) const {
 }
 
 void Dsms::StartGenMigTo(Query* query, const LogicalPtr& candidate) {
+  query->prev_plan = query->plan;  // The old box keeps running this plan.
   query->stripped = logical::StripWindows(candidate);
   // Once a query runs compiled (eager, or background after the swap), its
   // re-optimization targets compile too — a new shape may pay one native
@@ -710,6 +1060,33 @@ std::string Dsms::MetricsText() const {
   u64("genmig_engine_journal_events_total",
       "Decision-journal events appended.", "counter",
       journal_.total_appended());
+  if (ckpt_store_ != nullptr) {
+    const ckpt::Store::StatsSnapshot cs = ckpt_store_->stats();
+    u64("genmig_ckpt_seq", "Sequence of the last committed checkpoint.",
+        "gauge", cs.seq);
+    u64("genmig_ckpt_commits_total", "Checkpoint commits that succeeded.",
+        "counter", cs.commits);
+    u64("genmig_ckpt_bytes", "Live bytes of the last committed checkpoint.",
+        "gauge", cs.bytes);
+    u64("genmig_ckpt_written_bytes",
+        "Bytes the last (incremental) commit actually wrote.", "gauge",
+        cs.written_bytes);
+    u64("genmig_ckpt_duration_ns", "Duration of the last checkpoint commit.",
+        "gauge", cs.duration_ns);
+    u64("genmig_ckpt_failures_total", "Checkpoint commits that failed.",
+        "counter", cs.failures);
+    head("genmig_ckpt_age_seconds",
+         "Wall-clock seconds since the last committed checkpoint (-1 = "
+         "never).",
+         "gauge");
+    double age = -1.0;
+    if (cs.last_commit_wall_ns > 0) {
+      age = std::max(
+          0.0, static_cast<double>(WallNs() - cs.last_commit_wall_ns) / 1e9);
+    }
+    std::snprintf(buf, sizeof(buf), " %.3f\n", age);
+    out += buf;
+  }
   if (telemetry_ != nullptr) {
     u64("genmig_telemetry_requests_total",
         "Requests answered by the telemetry server.", "counter",
@@ -781,10 +1158,22 @@ void Dsms::RefreshStatusCache() {
   char buf[192];
   std::snprintf(buf, sizeof(buf),
                 "{\"app_time\": %" PRId64 ", \"migrations_total\": %d"
-                ", \"journal_events\": %" PRIu64 ", \"queries\": [",
+                ", \"journal_events\": %" PRIu64,
                 exec_.current_time().t, tracer_.migration_count(),
                 journal_.total_appended());
   out += buf;
+  if (ckpt_store_ != nullptr) {
+    const ckpt::Store::StatsSnapshot cs = ckpt_store_->stats();
+    std::snprintf(buf, sizeof(buf),
+                  ", \"checkpoint\": {\"seq\": %" PRIu64
+                  ", \"commits\": %" PRIu64 ", \"failures\": %" PRIu64
+                  ", \"bytes\": %" PRIu64 ", \"written_bytes\": %" PRIu64
+                  ", \"duration_ns\": %" PRIu64 "}",
+                  cs.seq, cs.commits, cs.failures, cs.bytes, cs.written_bytes,
+                  cs.duration_ns);
+    out += buf;
+  }
+  out += ", \"queries\": [";
   for (size_t i = 0; i < queries_.size(); ++i) {
     const Query& q = *queries_[i];
     if (i) out += ", ";

@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "ckpt/store.h"
 #include "codegen/engine.h"
 #include "cql/parser.h"
 #include "migration/controller.h"
@@ -143,6 +144,16 @@ class Dsms {
     /// Executor knobs; executor.batch_size > 1 turns on vectorized
     /// (TupleBatch) injection for the single-threaded engine.
     Executor::Options executor;
+    /// Durable-state directory (src/ckpt). Non-empty: Checkpoint()/Restore()
+    /// become available and, with checkpoint_period > 0, the engine commits
+    /// incremental checkpoints on the store's background thread. Parallel
+    /// (sharded) queries checkpoint into a per-query subdirectory
+    /// ("q<i>par") through their coordinator, at one router-global cut.
+    /// Empty (default): checkpointing is off.
+    std::string checkpoint_dir;
+    /// Application-time period of automatic checkpoints (0 = only explicit
+    /// Checkpoint() calls persist state).
+    Duration checkpoint_period = 0;
   };
 
   using QueryId = int;
@@ -207,6 +218,28 @@ class Dsms {
   /// the new plan must partition identically). Call before RunToCompletion.
   /// Single-threaded queries migrate via ReoptimizeNow()/auto-triggers.
   Status ScheduleMigration(QueryId id, LogicalPtr new_plan, Timestamp at);
+
+  // --- Durable state (ISSUE 10) ----------------------------------------------
+
+  /// Synchronously commits a checkpoint of every feed cursor, operator
+  /// state, migration-controller phase (including an in-flight GenMig's
+  /// T_split) and cost-model memory to Options::checkpoint_dir.
+  /// FailedPrecondition when checkpointing is off or a query sits in a
+  /// transient migration phase (kWaitingTimestamps/kDraining resolve within
+  /// a bounded number of steps — retry); the periodic path simply defers.
+  Status Checkpoint();
+
+  /// Restores engine + query state from the newest intact checkpoint.
+  /// Call on a freshly constructed Dsms after re-registering the same
+  /// streams (same names and data) and re-installing the same queries in
+  /// the same order as the checkpointed run; then resume stepping — the
+  /// output tail is snapshot-equivalent to the uninterrupted run. NotFound
+  /// when the directory holds no checkpoint; DataLoss when every candidate
+  /// is torn or the registered topology does not match the checkpoint.
+  Status Restore();
+
+  /// Store counters (all zero when checkpointing is off).
+  ckpt::Store::StatsSnapshot CheckpointStats() const;
 
   // --- Results & introspection ---------------------------------------------------
 
@@ -346,6 +379,11 @@ class Dsms {
   struct Query {
     LogicalPtr plan;      // Windowed logical plan currently running.
     LogicalPtr stripped;  // StripWindows(plan); pairs with the hosted box.
+    /// Windowed plan the active (old) box runs while a migration is in
+    /// flight: StartGenMigTo overwrites `plan` with the target at migration
+    /// START, but a checkpoint cut inside the parallel phase must recompile
+    /// the old box from the plan it actually executes.
+    LogicalPtr prev_plan;
     std::vector<std::string> source_names;
     std::vector<logical::LeafWindowSpec> leaf_windows;
     std::vector<StatsTap*> taps;  // One per input port (shared subplans).
@@ -414,6 +452,16 @@ class Dsms {
   /// Registers the /metrics, /healthz and /status handlers and starts the
   /// server (constructor helper; resets telemetry_ when the bind fails).
   void SetupTelemetry();
+  /// Serializes the full live blob set (engine cursor, feeds, shared
+  /// subplans, every scalar query). FailedPrecondition when any query is in
+  /// a transient (non-checkpointable) migration phase.
+  Status CollectBlobs(std::vector<ckpt::Blob>* blobs);
+  /// Serialized state of `op`, reusing the previous serialization while the
+  /// operator's ckpt_version is unchanged (per-operator dirty tracking).
+  const std::string& CachedOpBytes(const std::string& key, const Operator& op);
+  /// Throttled CollectBlobs + CommitAsync (after_step; busy rounds and
+  /// transient migration phases defer to the next period).
+  void MaybeCheckpoint();
   /// Index of `query` in queries_ (the journal subject "q<index>").
   size_t IndexOf(const Query* query) const;
 
@@ -438,6 +486,13 @@ class Dsms {
   obs::TimelineSampler timeline_sampler_{&registry_, &timeline_};
   std::unique_ptr<obs::TimelineSpillWriter> timeline_spill_;
   obs::EventJournal journal_;
+  std::unique_ptr<ckpt::Store> ckpt_store_;  // Null when checkpointing is off.
+  /// key -> (ckpt_version at serialization, serialized bytes): operators
+  /// that saw no input since the last checkpoint skip re-serialization, so
+  /// the CPU cost of a periodic checkpoint tracks churn, not total state
+  /// (the store's hash dedup does the same for the IO).
+  std::map<std::string, std::pair<uint64_t, std::string>> ckpt_cache_;
+  Timestamp last_checkpoint_ = Timestamp::MinInstant();
   std::unique_ptr<obs::TelemetryServer> telemetry_;
   /// Engine progress mirrored for the server thread: current application
   /// time (after_step) and installed query count. The /status body itself is

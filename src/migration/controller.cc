@@ -249,6 +249,10 @@ void MigrationController::EnterParallel() {
     t_split_ = genmig_options_.min_split;
   }
 
+  InstallParallelMachinery();
+}
+
+void MigrationController::InstallParallelMachinery() {
   // Merge operator on top of both boxes.
   const bool refpoint =
       genmig_options_.variant == GenMigOptions::Variant::kRefPoint;
@@ -380,6 +384,92 @@ void MigrationController::FinishGenMig() {
   Trace(obs::MigrationEvent::kCompleted);
   trace_id_ = -1;
   NotifyMigrationCompleted();
+}
+
+// --- Checkpointing (ISSUE 10) --------------------------------------------------
+
+bool MigrationController::CkptReady() const {
+  // A completed Moving-States migration leaves the output path routed
+  // through ms_buffer_ forever; restoring that wiring is out of scope, so
+  // such controllers are never captured.
+  if (ms_active_) return false;
+  if (phase_ == Phase::kDirect) return true;
+  return strategy_ == StrategyKind::kGenMig && phase_ == Phase::kParallel;
+}
+
+void MigrationController::CkptExportControl(StateEnc* enc) const {
+  enc->U8(static_cast<uint8_t>(phase_));
+  enc->U8(static_cast<uint8_t>(strategy_));
+  enc->U32(epoch_);
+  enc->U32(static_cast<uint32_t>(migrations_completed_));
+  enc->Ts(t_split_);
+  enc->U8(static_cast<uint8_t>(genmig_options_.variant));
+  enc->Bool(genmig_options_.end_timestamp_split);
+  enc->I64(genmig_options_.window);
+  enc->Ts(genmig_options_.min_split);
+}
+
+bool MigrationController::CkptDecodeControl(StateDec* dec, CkptControl* out) {
+  const uint8_t phase = dec->U8();
+  const uint8_t strategy = dec->U8();
+  if (phase > static_cast<uint8_t>(Phase::kDraining) ||
+      strategy > static_cast<uint8_t>(StrategyKind::kMovingStates)) {
+    return false;
+  }
+  out->phase = static_cast<Phase>(phase);
+  out->strategy = static_cast<StrategyKind>(strategy);
+  out->epoch = dec->U32();
+  out->migrations_completed = static_cast<int>(dec->U32());
+  out->t_split = dec->Ts();
+  const uint8_t variant = dec->U8();
+  if (variant > static_cast<uint8_t>(GenMigOptions::Variant::kRefPoint)) {
+    return false;
+  }
+  out->genmig.variant = static_cast<GenMigOptions::Variant>(variant);
+  out->genmig.end_timestamp_split = dec->Bool();
+  out->genmig.window = dec->I64();
+  out->genmig.min_split = dec->Ts();
+  return dec->ok();
+}
+
+void MigrationController::CkptRestoreControl(const CkptControl& control) {
+  epoch_ = control.epoch;
+  migrations_completed_ = control.migrations_completed;
+}
+
+void MigrationController::ReplaceActiveBox(Box box) {
+  GENMIG_CHECK(phase_ == Phase::kDirect);
+  GENMIG_CHECK_EQ(box.num_inputs(), num_inputs());
+  GENMIG_CHECK(box.output() != nullptr);
+  RetireMachinery();
+  RetireBox(std::move(active_box_));
+  active_box_ = std::move(box);
+  active_box_.AttachMetrics(registry_);
+  for (int i = 0; i < num_inputs(); ++i) {
+    input_targets_[static_cast<size_t>(i)] = {Edge{active_box_.input(i), 0}};
+  }
+  InstallDirect(&active_box_);
+}
+
+void MigrationController::RestoreGenMigParallel(Box new_box,
+                                                const GenMigOptions& options,
+                                                Timestamp t_split) {
+  GENMIG_CHECK(phase_ == Phase::kDirect);
+  GENMIG_CHECK_EQ(new_box.num_inputs(), num_inputs());
+  GENMIG_CHECK(new_box.output() != nullptr);
+  new_box_ = std::move(new_box);
+  new_box_.AttachMetrics(registry_);
+  genmig_options_ = options;
+  strategy_ = StrategyKind::kGenMig;
+  t_split_ = t_split;
+  if (tracer_ != nullptr) {
+    const bool refpoint =
+        options.variant == GenMigOptions::Variant::kRefPoint;
+    trace_id_ = tracer_->BeginMigration(
+        refpoint ? "genmig_refpoint" : "genmig_coalesce", TraceTime(),
+        trace_lane_);
+  }
+  InstallParallelMachinery();
 }
 
 // --- Parallel Track --------------------------------------------------------------

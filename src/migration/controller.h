@@ -158,6 +158,53 @@ class MigrationController : public Operator {
   void SetCostTrigger(size_t state_bytes_threshold,
                       std::function<void(MigrationController&)> on_exceeded);
 
+  // --- Checkpointing (ISSUE 10) --------------------------------------------
+
+  /// Control-plane state captured per checkpoint; operator states travel in
+  /// separate per-operator blobs. Decoded by the engine *before* the boxes
+  /// are rebuilt: the phase decides whether RestoreGenMigParallel runs and
+  /// which serialized plan compiles into the hosted box.
+  struct CkptControl {
+    Phase phase = Phase::kDirect;
+    StrategyKind strategy = StrategyKind::kNone;
+    uint32_t epoch = 1;
+    int migrations_completed = 0;
+    Timestamp t_split = Timestamp::MinInstant();
+    GenMigOptions genmig;
+  };
+
+  /// True when the controller's state admits a consistent capture: kDirect,
+  /// or GenMig's steady kParallel phase. The transient phases
+  /// (kWaitingTimestamps, kDraining) and an in-flight Parallel Track resolve
+  /// within a bounded number of progress updates, so the checkpointer defers
+  /// the cycle instead of freezing them. A completed Moving-States migration
+  /// rewires the output path through a controller-level ordering buffer
+  /// permanently and is not captured (documented limitation — MS is a
+  /// baseline, not the subject of the reproduction).
+  bool CkptReady() const;
+  void CkptExportControl(StateEnc* enc) const;
+  static bool CkptDecodeControl(StateDec* dec, CkptControl* out);
+  /// Applies the restored counters that live outside any box (lineage epoch,
+  /// completed-migration count). Boxes and machinery are rebuilt separately.
+  void CkptRestoreControl(const CkptControl& control);
+
+  /// Restore of a completed migration: swaps a freshly compiled box in as
+  /// the hosted plan (the plan the caller registered no longer matches the
+  /// one that was running at the checkpoint). kDirect only.
+  void ReplaceActiveBox(Box box);
+
+  /// Restore of an in-flight GenMig: re-enters the parallel phase with the
+  /// *recorded* T_split — the same split/merge machinery EnterParallel
+  /// builds, but with the split point taken from the checkpoint instead of
+  /// computed from current watermarks (which are MinInstant again after a
+  /// restart). Merge state is imported afterwards through merge_op().
+  void RestoreGenMigParallel(Box new_box, const GenMigOptions& options,
+                             Timestamp t_split);
+
+  /// In-flight merge operator (Coalesce or RefPointMerge); nullptr outside
+  /// GenMig's parallel/draining phases.
+  Operator* merge_op() const { return merge_; }
+
  protected:
   void OnElement(int in_port, const StreamElement& element) override;
   void OnInputEos(int in_port) override;
@@ -173,6 +220,10 @@ class MigrationController : public Operator {
   // GenMig machinery.
   void TryEnterParallel();
   void EnterParallel();
+  /// Splits/merge/callback wiring of the parallel phase, parameterized only
+  /// by the already-chosen t_split_ (shared by EnterParallel and
+  /// RestoreGenMigParallel).
+  void InstallParallelMachinery();
   void MaintainGenMig();
   void FinishGenMig();
 

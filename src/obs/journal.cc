@@ -201,6 +201,8 @@ const char* JournalKindName(JournalEvent::Kind kind) {
       return "codegen_deploy";
     case JournalEvent::Kind::kDisorderAdapt:
       return "disorder_adapt";
+    case JournalEvent::Kind::kCheckpoint:
+      return "checkpoint";
   }
   return "unknown";
 }
@@ -214,6 +216,8 @@ bool JournalKindFromName(const std::string& name, JournalEvent::Kind* out) {
     *out = JournalEvent::Kind::kCodegenDeploy;
   } else if (name == "disorder_adapt") {
     *out = JournalEvent::Kind::kDisorderAdapt;
+  } else if (name == "checkpoint") {
+    *out = JournalEvent::Kind::kCheckpoint;
   } else {
     return false;
   }

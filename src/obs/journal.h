@@ -13,6 +13,8 @@
 //                      background build was started/failed).
 //   kDisorderAdapt   — a DisorderBuffer retargeted its slack delta from the
 //                      observed lateness quantile.
+//   kCheckpoint      — a durable-state cycle (src/ckpt) began, committed or
+//                      aborted: sequence number, bytes, duration.
 //
 // Decision points are rare (one trigger evaluation per calibration period,
 // a handful of phase transitions per migration), so the journal is mutex
@@ -47,6 +49,7 @@ struct JournalEvent {
     kMigrationPhase,
     kCodegenDeploy,
     kDisorderAdapt,
+    kCheckpoint,
   };
 
   Kind kind = Kind::kTriggerEval;

@@ -151,6 +151,17 @@ class LatencyHistogram {
     max_ns_.store(0);
   }
 
+  /// Replaces the histogram contents with a previously taken snapshot
+  /// (checkpoint restore; the DisorderBuffer's adaptive delta must resume
+  /// from the same lateness distribution it was tracking at the cut).
+  void ImportSnapshot(const std::array<uint64_t, kBuckets>& counts,
+                      uint64_t count, uint64_t sum_ns, uint64_t max_ns) {
+    for (size_t i = 0; i < kBuckets; ++i) counts_[i].store(counts[i]);
+    count_.store(count);
+    sum_ns_.store(sum_ns);
+    max_ns_.store(max_ns);
+  }
+
  private:
   std::array<RelaxedU64, kBuckets> counts_{};
   RelaxedU64 count_;

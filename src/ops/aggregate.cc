@@ -150,4 +150,79 @@ Timestamp AggregateOp::MaxStateEnd() const {
   return events_.rbegin()->first;
 }
 
+void AggregateOp::CkptExport(StateEnc* enc) const {
+  enc->U64(events_.size());
+  for (const auto& [ts, evs] : events_) {
+    enc->Ts(ts);
+    enc->U64(evs.size());
+    for (const Event& ev : evs) {
+      enc->Tup(ev.tuple);
+      enc->I64(ev.delta);
+      enc->U32(ev.epoch);
+    }
+  }
+  enc->U64(groups_.size());
+  for (const auto& [key, g] : groups_) {
+    enc->Tup(key);
+    enc->I64(g.count);
+    enc->U64(g.epochs.size());
+    for (uint32_t e : g.epochs) enc->U32(e);
+    enc->U64(g.sums.size());
+    for (double s : g.sums) enc->F64(s);
+    enc->U64(g.ordereds.size());
+    for (const auto& vals : g.ordereds) {
+      enc->U64(vals.size());
+      for (const Value& v : vals) enc->Val(v);
+    }
+  }
+  enc->Ts(frontier_);
+  enc->U64(state_bytes_);
+  enc->U64(state_units_);
+}
+
+bool AggregateOp::CkptImport(StateDec* dec) {
+  events_.clear();
+  groups_.clear();
+  const uint64_t nevents = dec->U64();
+  for (uint64_t i = 0; i < nevents && dec->ok(); ++i) {
+    const Timestamp ts = dec->Ts();
+    std::vector<Event>& evs = events_[ts];
+    const uint64_t n = dec->U64();
+    for (uint64_t j = 0; j < n && dec->ok(); ++j) {
+      Event ev;
+      ev.tuple = dec->Tup();
+      ev.delta = static_cast<int>(dec->I64());
+      ev.epoch = dec->U32();
+      evs.push_back(std::move(ev));
+    }
+  }
+  const uint64_t ngroups = dec->U64();
+  for (uint64_t i = 0; i < ngroups && dec->ok(); ++i) {
+    Tuple key = dec->Tup();
+    GroupState g;
+    g.count = dec->I64();
+    const uint64_t nepochs = dec->U64();
+    for (uint64_t j = 0; j < nepochs && dec->ok(); ++j) {
+      g.epochs.insert(dec->U32());
+    }
+    const uint64_t nsums = dec->U64();
+    for (uint64_t j = 0; j < nsums && dec->ok(); ++j) {
+      g.sums.push_back(dec->F64());
+    }
+    const uint64_t nord = dec->U64();
+    g.ordereds.resize(static_cast<size_t>(nord));
+    for (uint64_t j = 0; j < nord && dec->ok(); ++j) {
+      const uint64_t nvals = dec->U64();
+      for (uint64_t k = 0; k < nvals && dec->ok(); ++k) {
+        g.ordereds[static_cast<size_t>(j)].insert(dec->Val());
+      }
+    }
+    groups_.emplace(std::move(key), std::move(g));
+  }
+  frontier_ = dec->Ts();
+  state_bytes_ = static_cast<size_t>(dec->U64());
+  state_units_ = static_cast<size_t>(dec->U64());
+  return dec->ok();
+}
+
 }  // namespace genmig

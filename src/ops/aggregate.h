@@ -46,6 +46,10 @@ class AggregateOp : public Operator {
   size_t StateUnits() const override { return state_units_; }
   Timestamp MaxStateEnd() const override;
 
+  bool CkptStateful() const override { return true; }
+  void CkptExport(StateEnc* enc) const override;
+  bool CkptImport(StateDec* dec) override;
+
  protected:
   void OnElement(int, const StreamElement& element) override;
   void OnWatermarkAdvance() override;

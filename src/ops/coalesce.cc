@@ -130,4 +130,66 @@ void Coalesce::OnAllInputsEos() {
 
 Timestamp Coalesce::OutputWatermark() const { return FlushBound(); }
 
+namespace {
+
+void EncodePendingMap(
+    StateEnc* enc,
+    const std::unordered_map<Tuple, std::vector<StreamElement>, TupleHash>&
+        map) {
+  enc->U64(map.size());
+  for (const auto& [tuple, elems] : map) {
+    enc->Tup(tuple);
+    enc->U64(elems.size());
+    for (const StreamElement& e : elems) enc->Elem(e);
+  }
+}
+
+bool DecodePendingMap(
+    StateDec* dec,
+    std::unordered_map<Tuple, std::vector<StreamElement>, TupleHash>* map) {
+  map->clear();
+  const uint64_t ntuples = dec->U64();
+  for (uint64_t i = 0; i < ntuples && dec->ok(); ++i) {
+    Tuple tuple = dec->Tup();
+    std::vector<StreamElement> elems;
+    const uint64_t n = dec->U64();
+    for (uint64_t j = 0; j < n && dec->ok(); ++j) {
+      elems.push_back(dec->Elem());
+    }
+    map->emplace(std::move(tuple), std::move(elems));
+  }
+  return dec->ok();
+}
+
+}  // namespace
+
+void Coalesce::CkptExport(StateEnc* enc) const {
+  enc->Ts(t_split_);
+  EncodePendingMap(enc, m0_);
+  EncodePendingMap(enc, m1_);
+  heap_.CkptExport(enc);
+  enc->U64(pending_bytes_);
+  enc->U64(merged_count_);
+  enc->Bool(new_side_past_split_);
+  enc->Bool(old_side_done_);
+}
+
+bool Coalesce::CkptImport(StateDec* dec) {
+  // T_split is a construction parameter; refuse blobs of another migration.
+  if (!(dec->Ts() == t_split_)) return false;
+  if (!DecodePendingMap(dec, &m0_)) return false;
+  if (!DecodePendingMap(dec, &m1_)) return false;
+  // m0_starts_ mirrors the start timestamps of pending M0 entries.
+  m0_starts_.clear();
+  for (const auto& [tuple, elems] : m0_) {
+    for (const StreamElement& e : elems) m0_starts_.insert(e.interval.start);
+  }
+  if (!heap_.CkptImport(dec)) return false;
+  pending_bytes_ = static_cast<size_t>(dec->U64());
+  merged_count_ = static_cast<size_t>(dec->U64());
+  new_side_past_split_ = dec->Bool();
+  old_side_done_ = dec->Bool();
+  return dec->ok();
+}
+
 }  // namespace genmig

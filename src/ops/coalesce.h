@@ -39,6 +39,12 @@ class Coalesce : public Operator {
   /// Number of merges performed (old/new result pairs coalesced).
   size_t merged_count() const { return merged_count_; }
 
+  Timestamp t_split() const { return t_split_; }
+
+  bool CkptStateful() const override { return true; }
+  void CkptExport(StateEnc* enc) const override;
+  bool CkptImport(StateDec* dec) override;
+
  protected:
   void OnElement(int in_port, const StreamElement& element) override;
   void OnWatermarkAdvance() override;

@@ -91,4 +91,36 @@ Timestamp CompactRuns::MaxStateEnd() const {
   return max_end;
 }
 
+void CompactRuns::CkptExport(StateEnc* enc) const {
+  enc->U64(open_.size());
+  for (const auto& [tuple, runs] : open_) {
+    enc->Tup(tuple);
+    enc->U64(runs.size());
+    for (const StreamElement& run : runs) enc->Elem(run);
+  }
+  buffer_.CkptExport(enc);
+  enc->U64(pending_bytes_);
+  enc->U64(pending_count_);
+  enc->U64(merged_);
+}
+
+bool CompactRuns::CkptImport(StateDec* dec) {
+  open_.clear();
+  const uint64_t ntuples = dec->U64();
+  for (uint64_t i = 0; i < ntuples && dec->ok(); ++i) {
+    Tuple tuple = dec->Tup();
+    std::vector<StreamElement> runs;
+    const uint64_t nruns = dec->U64();
+    for (uint64_t j = 0; j < nruns && dec->ok(); ++j) {
+      runs.push_back(dec->Elem());
+    }
+    open_.emplace(std::move(tuple), std::move(runs));
+  }
+  if (!buffer_.CkptImport(dec)) return false;
+  pending_bytes_ = static_cast<size_t>(dec->U64());
+  pending_count_ = static_cast<size_t>(dec->U64());
+  merged_ = static_cast<size_t>(dec->U64());
+  return dec->ok();
+}
+
 }  // namespace genmig

@@ -38,6 +38,10 @@ class CompactRuns : public Operator {
   /// Elements merged away so far.
   size_t merged_count() const { return merged_; }
 
+  bool CkptStateful() const override { return true; }
+  void CkptExport(StateEnc* enc) const override;
+  bool CkptImport(StateDec* dec) override;
+
  protected:
   void OnElement(int, const StreamElement& element) override;
   void OnWatermarkAdvance() override;

@@ -36,6 +36,22 @@ class CountWindow : public Operator {
   }
   size_t StateUnits() const override { return pending_.size(); }
 
+  bool CkptStateful() const override { return true; }
+  void CkptExport(StateEnc* enc) const override {
+    enc->U64(pending_.size());
+    for (const StreamElement& e : pending_) enc->Elem(e);
+    enc->Ts(last_start_);
+  }
+  bool CkptImport(StateDec* dec) override {
+    pending_.clear();
+    const uint64_t n = dec->U64();
+    for (uint64_t i = 0; i < n && dec->ok(); ++i) {
+      pending_.push_back(dec->Elem());
+    }
+    last_start_ = dec->Ts();
+    return dec->ok();
+  }
+
  protected:
   void OnElement(int, const StreamElement& element) override {
     last_start_ = element.interval.start;

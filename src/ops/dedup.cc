@@ -101,4 +101,55 @@ Timestamp DuplicateElimination::MaxStateEnd() const {
   return max_end;
 }
 
+void DuplicateElimination::CkptExport(StateEnc* enc) const {
+  enc->U64(coverage_.size());
+  for (const auto& [tuple, cov] : coverage_) {
+    enc->Tup(tuple);
+    enc->U64(cov.size());
+    for (const auto& [start, run] : cov) {
+      enc->Ts(start);
+      enc->Ts(run.end);
+      enc->U32(run.epoch);
+    }
+  }
+  buffer_.CkptExport(enc);
+  enc->U64(epoch_counts_.size());
+  for (const auto& [epoch, n] : epoch_counts_) {
+    enc->U32(epoch);
+    enc->U64(n);
+  }
+  enc->U64(state_bytes_);
+  enc->U64(state_units_);
+  enc->Ts(min_cover_end_);
+}
+
+bool DuplicateElimination::CkptImport(StateDec* dec) {
+  coverage_.clear();
+  epoch_counts_.clear();
+  const uint64_t ntuples = dec->U64();
+  for (uint64_t i = 0; i < ntuples && dec->ok(); ++i) {
+    Tuple tuple = dec->Tup();
+    Coverage cov;
+    const uint64_t nruns = dec->U64();
+    for (uint64_t j = 0; j < nruns && dec->ok(); ++j) {
+      const Timestamp start = dec->Ts();
+      Run run;
+      run.end = dec->Ts();
+      run.epoch = dec->U32();
+      cov.emplace(start, run);
+    }
+    coverage_.emplace(std::move(tuple), std::move(cov));
+  }
+  if (!buffer_.CkptImport(dec)) return false;
+  const uint64_t nepochs = dec->U64();
+  for (uint64_t i = 0; i < nepochs && dec->ok(); ++i) {
+    const uint32_t epoch = dec->U32();
+    epoch_counts_[epoch] = static_cast<size_t>(dec->U64());
+  }
+  state_bytes_ = static_cast<size_t>(dec->U64());
+  state_units_ = static_cast<size_t>(dec->U64());
+  min_cover_end_ = dec->Ts();
+  return dec->ok();
+}
+
 }  // namespace genmig

@@ -36,6 +36,10 @@ class DuplicateElimination : public Operator {
   Timestamp MaxStateEnd() const override;
   size_t CountStateWithEpochBelow(uint32_t epoch) const override;
 
+  bool CkptStateful() const override { return true; }
+  void CkptExport(StateEnc* enc) const override;
+  bool CkptImport(StateDec* dec) override;
+
  protected:
   void OnElement(int, const StreamElement& element) override;
   void OnWatermarkAdvance() override;

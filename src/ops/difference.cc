@@ -78,4 +78,64 @@ Timestamp DifferenceOp::MaxStateEnd() const {
   return events_.rbegin()->first;
 }
 
+void DifferenceOp::CkptExport(StateEnc* enc) const {
+  enc->U64(events_.size());
+  for (const auto& [ts, evs] : events_) {
+    enc->Ts(ts);
+    enc->U64(evs.size());
+    for (const Event& ev : evs) {
+      enc->Tup(ev.tuple);
+      enc->I64(ev.side);
+      enc->I64(ev.delta);
+      enc->U32(ev.epoch);
+    }
+  }
+  enc->U64(active_.size());
+  for (const auto& [tuple, c] : active_) {
+    enc->Tup(tuple);
+    enc->I64(c.plus);
+    enc->I64(c.minus);
+    enc->U64(c.epochs.size());
+    for (uint32_t e : c.epochs) enc->U32(e);
+  }
+  enc->Ts(frontier_);
+  enc->U64(state_bytes_);
+  enc->U64(state_units_);
+}
+
+bool DifferenceOp::CkptImport(StateDec* dec) {
+  events_.clear();
+  active_.clear();
+  const uint64_t nevents = dec->U64();
+  for (uint64_t i = 0; i < nevents && dec->ok(); ++i) {
+    const Timestamp ts = dec->Ts();
+    std::vector<Event>& evs = events_[ts];
+    const uint64_t n = dec->U64();
+    for (uint64_t j = 0; j < n && dec->ok(); ++j) {
+      Event ev;
+      ev.tuple = dec->Tup();
+      ev.side = static_cast<int>(dec->I64());
+      ev.delta = static_cast<int>(dec->I64());
+      ev.epoch = dec->U32();
+      evs.push_back(std::move(ev));
+    }
+  }
+  const uint64_t nactive = dec->U64();
+  for (uint64_t i = 0; i < nactive && dec->ok(); ++i) {
+    Tuple tuple = dec->Tup();
+    Counts c;
+    c.plus = dec->I64();
+    c.minus = dec->I64();
+    const uint64_t nepochs = dec->U64();
+    for (uint64_t j = 0; j < nepochs && dec->ok(); ++j) {
+      c.epochs.insert(dec->U32());
+    }
+    active_.emplace(std::move(tuple), std::move(c));
+  }
+  frontier_ = dec->Ts();
+  state_bytes_ = static_cast<size_t>(dec->U64());
+  state_units_ = static_cast<size_t>(dec->U64());
+  return dec->ok();
+}
+
 }  // namespace genmig

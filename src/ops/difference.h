@@ -28,6 +28,10 @@ class DifferenceOp : public Operator {
   size_t StateUnits() const override { return state_units_; }
   Timestamp MaxStateEnd() const override;
 
+  bool CkptStateful() const override { return true; }
+  void CkptExport(StateEnc* enc) const override;
+  bool CkptImport(StateDec* dec) override;
+
  protected:
   void OnElement(int in_port, const StreamElement& element) override;
   void OnWatermarkAdvance() override;

@@ -65,6 +65,24 @@ Timestamp JoinBase::MaxInsertedStartWithEpochBelow(uint32_t epoch) const {
   return hwm;
 }
 
+void JoinBase::CkptExport(StateEnc* enc) const {
+  enc->Stream(ExportState(0));
+  enc->Stream(ExportState(1));
+  buffer_.CkptExport(enc);
+  enc->Bool(batch_mode_);
+}
+
+bool JoinBase::CkptImport(StateDec* dec) {
+  const MaterializedStream s0 = dec->Stream();
+  const MaterializedStream s1 = dec->Stream();
+  if (!dec->ok()) return false;
+  SeedState(0, s0);
+  SeedState(1, s1);
+  if (!buffer_.CkptImport(dec)) return false;
+  batch_mode_ = dec->Bool();
+  return dec->ok();
+}
+
 size_t JoinBase::CountStateWithEpochBelow(uint32_t epoch) const {
   size_t count = 0;
   for (int side = 0; side < 2; ++side) {

@@ -43,6 +43,13 @@ class JoinBase : public Operator {
   /// `in_port`, in no particular order.
   virtual MaterializedStream ExportState(int in_port) const = 0;
 
+  // Checkpointing rides on the Moving-States hooks, so every JoinBase
+  // subclass — including the codegen CompiledHashJoin — is covered by this
+  // one implementation.
+  bool CkptStateful() const override { return true; }
+  void CkptExport(StateEnc* enc) const override;
+  bool CkptImport(StateDec* dec) override;
+
  protected:
   JoinBase(std::string name) : Operator(std::move(name), 2, 1) {}
 

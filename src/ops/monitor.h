@@ -32,6 +32,23 @@ class MonitorOp : public Operator {
   size_t count() const { return count_; }
   Timestamp first_start() const { return first_start_; }
 
+  // The recorded statistics feed the migration trigger and the calibrator;
+  // losing them across a restore would reset rate estimates to cold-start.
+  bool CkptStateful() const override { return true; }
+  void CkptExport(StateEnc* enc) const override {
+    enc->U64(count_);
+    enc->Ts(first_start_);
+    enc->Ts(last_start_);
+    enc->Ts(max_end_);
+  }
+  bool CkptImport(StateDec* dec) override {
+    count_ = static_cast<size_t>(dec->U64());
+    first_start_ = dec->Ts();
+    last_start_ = dec->Ts();
+    max_end_ = dec->Ts();
+    return dec->ok();
+  }
+
   /// Average elements per time unit over the observed span, or 0 if the
   /// span is empty.
   double ObservedRate() const {

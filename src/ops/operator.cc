@@ -63,6 +63,7 @@ void Operator::PushElement(int in_port, const StreamElement& element) {
   InputState& in = inputs_[in_port];
   GENMIG_CHECK(!in.eos);
   GENMIG_CHECK(element.interval.Valid());
+  ++ckpt_version_;
   if (in.relaxed_ordering) {
     if (in.watermark < element.interval.start) {
       in.watermark = element.interval.start;
@@ -107,6 +108,7 @@ void Operator::PushBatch(int in_port, const TupleBatch& batch) {
   GENMIG_CHECK_LT(in_port, num_inputs());
   InputState& in = inputs_[in_port];
   GENMIG_CHECK(!in.eos);
+  ++ckpt_version_;
   // Batch-level ordering invariant: internally non-decreasing, and the first
   // row must respect the port watermark (Definition 3, amortized over the
   // batch instead of checked per push).
@@ -167,6 +169,7 @@ void Operator::PushHeartbeat(int in_port, Timestamp watermark) {
   GENMIG_CHECK_LT(in_port, num_inputs());
   InputState& in = inputs_[in_port];
   if (in.eos || watermark <= in.watermark) return;  // Stale; nothing to do.
+  ++ckpt_version_;
 #ifndef GENMIG_NO_METRICS
   if (metrics_ != nullptr) ++metrics_->heartbeats_in;
 #endif
@@ -180,6 +183,7 @@ void Operator::PushEos(int in_port) {
   GENMIG_CHECK_LT(in_port, num_inputs());
   InputState& in = inputs_[in_port];
   GENMIG_CHECK(!in.eos);
+  ++ckpt_version_;
   OnInputEos(in_port);
   in.eos = true;
   // A finished input can never deliver another element, so it no longer

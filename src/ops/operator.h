@@ -29,6 +29,7 @@
 
 #include "stream/batch.h"
 #include "stream/element.h"
+#include "stream/state_codec.h"
 
 #ifndef GENMIG_NO_METRICS
 #include "obs/clock.h"
@@ -122,6 +123,26 @@ class Operator {
     (void)epoch;
     return Timestamp::MinInstant();
   }
+
+  // --- Checkpointing (ISSUE 10) --------------------------------------------
+
+  /// True when this operator holds state a checkpoint must capture. Stateless
+  /// operators (filters, maps, relays) keep the default and are skipped.
+  virtual bool CkptStateful() const { return false; }
+  /// Serializes the operator's state into `enc`. Called only on a quiescent
+  /// operator (no push in flight) and only when CkptStateful().
+  virtual void CkptExport(StateEnc* enc) const { (void)enc; }
+  /// Restores state written by CkptExport of an identically constructed
+  /// operator. Must run before any input is pushed. Returns false when the
+  /// blob does not decode (caller turns that into Status::DataLoss).
+  virtual bool CkptImport(StateDec* dec) {
+    (void)dec;
+    return false;
+  }
+  /// Monotonic change counter: bumped by every push that reached this
+  /// operator. Equal versions => state unchanged since the last checkpoint,
+  /// so the driver can skip re-serializing (per-operator dirty tracking).
+  uint64_t ckpt_version() const { return ckpt_version_; }
 
   /// Disables the ordering check on an input port. Only the Parallel-Track
   /// baseline needs this: its end-of-migration buffer flush is inherently a
@@ -261,6 +282,7 @@ class Operator {
   std::vector<OutputState> outputs_;
   int eos_count_ = 0;
   bool eos_emitted_ = false;
+  uint64_t ckpt_version_ = 0;
 #ifndef GENMIG_NO_METRICS
   obs::OperatorMetrics* metrics_ = nullptr;
   /// Ingress stamp of the element currently being handled (0 outside a

@@ -41,6 +41,21 @@ class RefPointMerge : public Operator {
   size_t StateUnits() const override { return buffer_.size(); }
   size_t dropped_count() const { return dropped_; }
 
+  bool CkptStateful() const override { return true; }
+  void CkptExport(StateEnc* enc) const override {
+    enc->Ts(t_split_);
+    buffer_.CkptExport(enc);
+    enc->U64(dropped_);
+  }
+  bool CkptImport(StateDec* dec) override {
+    // T_split is a construction parameter; a mismatch means the blob belongs
+    // to a different migration and must not be imported.
+    if (!(dec->Ts() == t_split_)) return false;
+    if (!buffer_.CkptImport(dec)) return false;
+    dropped_ = static_cast<size_t>(dec->U64());
+    return dec->ok();
+  }
+
  protected:
   void OnElement(int in_port, const StreamElement& element) override {
     if (in_port == kOldPort) {

@@ -28,6 +28,45 @@ class CollectorSink : public Operator {
     on_element_ = std::move(fn);
   }
 
+  // The collected prefix is part of the checkpoint: restored runs must
+  // produce the pre-cut results exactly once (already collected, never
+  // re-emitted) for the exactly-once output contract.
+  bool CkptStateful() const override { return true; }
+  void CkptExport(StateEnc* enc) const override { enc->Stream(collected_); }
+  bool CkptImport(StateDec* dec) override {
+    collected_ = dec->Stream();
+    ckpt_encoding_.clear();
+    ckpt_encoded_n_ = 0;
+    return dec->ok();
+  }
+
+  /// The same blob CkptExport writes, but amortized: the collected stream
+  /// is append-only between imports, so the cached encoding patches the
+  /// leading count in place and appends only the new elements. The engine's
+  /// periodic checkpoint path uses this — re-encoding the whole result log
+  /// would make every cut O(results so far).
+  const std::string& CkptExportAmortized() const {
+    if (ckpt_encoding_.empty() || ckpt_encoded_n_ > collected_.size()) {
+      StateEnc header;
+      header.U64(0);
+      ckpt_encoding_ = header.Take();
+      ckpt_encoded_n_ = 0;
+    }
+    if (ckpt_encoded_n_ < collected_.size()) {
+      StateEnc tail;
+      for (size_t i = ckpt_encoded_n_; i < collected_.size(); ++i) {
+        tail.Elem(collected_[i]);
+      }
+      ckpt_encoding_ += tail.bytes();
+      ckpt_encoded_n_ = collected_.size();
+      const uint64_t n = ckpt_encoded_n_;
+      for (size_t i = 0; i < 8; ++i) {
+        ckpt_encoding_[i] = static_cast<char>((n >> (8 * i)) & 0xff);
+      }
+    }
+    return ckpt_encoding_;
+  }
+
  protected:
   void OnElement(int, const StreamElement& element) override {
     MetricsRecordE2e(element);
@@ -50,6 +89,10 @@ class CollectorSink : public Operator {
  private:
   MaterializedStream collected_;
   std::function<void(const StreamElement&)> on_element_;
+  // CkptExportAmortized's cache: the encoding of collected_[0,
+  // ckpt_encoded_n_) with the count already patched in.
+  mutable std::string ckpt_encoding_;
+  mutable size_t ckpt_encoded_n_ = 0;
 };
 
 /// Counts output rows without materializing them — the sink for throughput
@@ -61,6 +104,13 @@ class CountingSink : public Operator {
 
   size_t count() const { return count_; }
   bool finished() const { return all_inputs_eos(); }
+
+  bool CkptStateful() const override { return true; }
+  void CkptExport(StateEnc* enc) const override { enc->U64(count_); }
+  bool CkptImport(StateDec* dec) override {
+    count_ = static_cast<size_t>(dec->U64());
+    return dec->ok();
+  }
 
  protected:
   void OnElement(int, const StreamElement&) override { ++count_; }

@@ -23,6 +23,10 @@ class UnionOp : public Operator {
   size_t StateBytes() const override { return buffer_.PayloadBytes(); }
   size_t StateUnits() const override { return buffer_.size(); }
 
+  bool CkptStateful() const override { return true; }
+  void CkptExport(StateEnc* enc) const override { buffer_.CkptExport(enc); }
+  bool CkptImport(StateDec* dec) override { return buffer_.CkptImport(dec); }
+
  protected:
   void OnElement(int, const StreamElement& element) override {
     buffer_.Push(element);

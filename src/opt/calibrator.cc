@@ -189,6 +189,48 @@ StatsCatalog CostCalibrator::Calibrated(const StatsCatalog& base) const {
   return out;
 }
 
+void CostCalibrator::CkptExport(StateEnc* enc) const {
+  enc->U64(slots_.size());
+  for (const auto& [key, slot] : slots_) {
+    enc->Str(key);
+    enc->U64(slot.last_in);
+    enc->U64(slot.last_out);
+    enc->Ts(slot.last_read);
+    enc->Bool(slot.have_baseline);
+    enc->F64(slot.obs.in_rate);
+    enc->F64(slot.obs.out_rate);
+    enc->F64(slot.obs.selectivity);
+    enc->F64(slot.obs.state_bytes);
+    enc->F64(slot.obs.push_mean_ns);
+    enc->U64(slot.obs.samples);
+    enc->Ts(slot.obs.last_update);
+  }
+  enc->Ts(last_observation_);
+}
+
+bool CostCalibrator::CkptImport(StateDec* dec) {
+  slots_.clear();
+  const uint64_t n = dec->U64();
+  for (uint64_t i = 0; i < n && dec->ok(); ++i) {
+    std::string key = dec->Str();
+    Slot slot;
+    slot.last_in = dec->U64();
+    slot.last_out = dec->U64();
+    slot.last_read = dec->Ts();
+    slot.have_baseline = dec->Bool();
+    slot.obs.in_rate = dec->F64();
+    slot.obs.out_rate = dec->F64();
+    slot.obs.selectivity = dec->F64();
+    slot.obs.state_bytes = dec->F64();
+    slot.obs.push_mean_ns = dec->F64();
+    slot.obs.samples = dec->U64();
+    slot.obs.last_update = dec->Ts();
+    slots_.emplace(std::move(key), slot);
+  }
+  last_observation_ = dec->Ts();
+  return dec->ok();
+}
+
 const PlanObservations::NodeObservation* CostCalibrator::Lookup(
     const LogicalNode& node) const {
   const Observation* obs = Fresh(PlanSignature(node), last_observation_);

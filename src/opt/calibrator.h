@@ -39,6 +39,7 @@
 #include "opt/cost.h"
 #include "plan/box.h"
 #include "plan/logical.h"
+#include "stream/state_codec.h"
 #include "time/timestamp.h"
 
 namespace genmig {
@@ -131,6 +132,13 @@ class CostCalibrator : public PlanObservations {
 
   Timestamp last_observation() const { return last_observation_; }
   const Options& options() const { return options_; }
+
+  // --- Checkpointing (ISSUE 10) -------------------------------------------
+  // The folded observations and counter baselines ARE the control loop's
+  // memory: restoring them cold would re-baseline every slot and silence the
+  // cost trigger for a full staleness window after recovery.
+  void CkptExport(StateEnc* enc) const;
+  bool CkptImport(StateDec* dec);
 
  private:
   struct Slot {

@@ -43,6 +43,45 @@ class StatsTap : public Operator {
     return static_cast<double>(count);
   }
 
+  // --- Checkpointing (ISSUE 10) ------------------------------------------
+  // The sliding-horizon rate/distinct statistics feed every re-optimization
+  // decision; restored cold they would stall the cost model for a full
+  // horizon after recovery.
+  bool CkptStateful() const override { return true; }
+  void CkptExport(StateEnc* enc) const override {
+    enc->U64(arrivals_.size());
+    for (const Timestamp& t : arrivals_) enc->Ts(t);
+    enc->U64(last_seen_.size());
+    for (const auto& m : last_seen_) {
+      enc->U64(m.size());
+      for (const auto& [value, seen] : m) {
+        enc->Val(value);
+        enc->Ts(seen);
+      }
+    }
+    enc->U64(last_prune_size_);
+  }
+  bool CkptImport(StateDec* dec) override {
+    arrivals_.clear();
+    const uint64_t n = dec->U64();
+    for (uint64_t i = 0; i < n && dec->ok(); ++i) {
+      arrivals_.push_back(dec->Ts());
+    }
+    last_seen_.clear();
+    const uint64_t cols = dec->U64();
+    for (uint64_t c = 0; c < cols && dec->ok(); ++c) {
+      last_seen_.emplace_back();
+      const uint64_t entries = dec->U64();
+      for (uint64_t i = 0; i < entries && dec->ok(); ++i) {
+        Value value = dec->Val();
+        const Timestamp seen = dec->Ts();
+        last_seen_.back().emplace(std::move(value), seen);
+      }
+    }
+    last_prune_size_ = static_cast<size_t>(dec->U64());
+    return dec->ok();
+  }
+
   /// Current statistics snapshot for the catalog.
   SourceStats Snapshot() const {
     SourceStats stats;

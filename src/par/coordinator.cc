@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/clock.h"
+#include "stream/state_codec.h"
 
 namespace genmig {
 namespace par {
@@ -16,6 +17,9 @@ Coordinator::Coordinator(LogicalPtr windowed_plan, Options options)
   GENMIG_CHECK(options_.heartbeat_every >= 1);
   spec_ = AnalyzePlan(*windowed_plan_);
   if (spec_.ok) stripped_plan_ = logical::StripWindows(windowed_plan_);
+  if (!options_.checkpoint_dir.empty()) {
+    store_ = std::make_unique<ckpt::Store>(options_.checkpoint_dir);
+  }
 }
 
 Coordinator::~Coordinator() {
@@ -64,18 +68,12 @@ Status Coordinator::ScheduleGenMig(LogicalPtr new_windowed_plan, Timestamp at,
   return Status::OK();
 }
 
-Status Coordinator::Start(const InputMap& inputs) {
-  GENMIG_CHECK(!started_);
+Status Coordinator::BuildRuntime() {
+  if (merge_ != nullptr) return Status::OK();  // Restore() already built it.
   if (!spec_.ok) {
     return Status::FailedPrecondition("plan is not partitionable: " +
                                       spec_.reason);
   }
-  for (const PortKey& port : spec_.ports) {
-    if (inputs.find(port.source) == inputs.end()) {
-      return Status::NotFound("no input stream named '" + port.source + "'");
-    }
-  }
-  started_ = true;
 
   // Router-side reordering stages for disordered inputs the plan uses.
   for (const auto& [name, opts] : options_.disordered_inputs) {
@@ -91,6 +89,21 @@ Status Coordinator::Start(const InputMap& inputs) {
       options_.queue_capacity);
   merge_ = std::make_unique<MergeSink>(options_.shards, out_queue_.get(),
                                        options_.registry);
+  if (store_ != nullptr) {
+    merge_->on_checkpoint = [this](std::shared_ptr<CkptCapture> capture) {
+      std::vector<ckpt::Blob> blobs;
+      bool failed = false;
+      {
+        std::lock_guard<std::mutex> lock(capture->mu);
+        failed = capture->failed;
+        blobs = std::move(capture->blobs);
+      }
+      // Busy-skip semantics: a still-running previous commit drops this
+      // round — the next cut supersedes it anyway.
+      if (!failed) store_->CommitAsync(std::move(blobs));
+      ckpt_inflight_.store(false, std::memory_order_release);
+    };
+  }
 
   std::vector<std::string> port_sources;
   std::vector<Duration> port_windows;
@@ -118,6 +131,19 @@ Status Coordinator::Start(const InputMap& inputs) {
     };
     shards_.push_back(std::make_unique<ShardRuntime>(std::move(config)));
   }
+  return Status::OK();
+}
+
+Status Coordinator::Start(const InputMap& inputs) {
+  GENMIG_CHECK(!started_);
+  Status built = BuildRuntime();
+  if (!built.ok()) return built;
+  for (const PortKey& port : spec_.ports) {
+    if (inputs.find(port.source) == inputs.end()) {
+      return Status::NotFound("no input stream named '" + port.source + "'");
+    }
+  }
+  started_ = true;
 
   merge_->Start();
   for (auto& shard : shards_) shard->Start();
@@ -127,10 +153,118 @@ Status Coordinator::Start(const InputMap& inputs) {
   return Status::OK();
 }
 
+Status Coordinator::Restore() {
+  GENMIG_CHECK(!started_);
+  if (store_ == nullptr) {
+    return Status::FailedPrecondition(
+        "checkpointing disabled (Options::checkpoint_dir is empty)");
+  }
+  std::map<std::string, std::string> blobs;
+  Status s = store_->Load(&blobs);
+  if (!s.ok()) return s;  // NotFound = fresh start; caller decides.
+  s = BuildRuntime();
+  if (!s.ok()) return s;
+
+  auto it = blobs.find("router");
+  if (it == blobs.end()) {
+    return Status::DataLoss("checkpoint lacks the 'router' blob");
+  }
+  StateDec dec(it->second);
+  auto restore = std::make_unique<RouterRestore>();
+  const uint32_t ncursors = dec.U32();
+  for (uint32_t c = 0; c < ncursors && dec.ok(); ++c) {
+    std::string name = dec.Str();
+    RouterRestore::CursorState state;
+    state.pos = dec.U64();
+    state.injected = dec.U64();
+    const bool has_buffer = dec.Bool();
+    if (has_buffer) {
+      auto dis = disorder_.find(name);
+      if (dis == disorder_.end()) {
+        return Status::DataLoss("checkpoint has disorder state for '" + name +
+                                "' but the stream is not disordered now");
+      }
+      if (!dis->second->CkptImport(&dec)) {
+        return Status::DataLoss("disorder state of '" + name +
+                                "' is corrupt");
+      }
+    }
+    state.flushed = dec.Bool();
+    state.released = dec.Stream();
+    restore->cursors.emplace(std::move(name), std::move(state));
+  }
+  restore->max_routed = dec.Ts();
+  restore->any_routed = dec.Bool();
+  const uint64_t routed = dec.U64();
+  const uint32_t nscheduled = dec.U32();
+  if (dec.ok() && nscheduled != scheduled_.size()) {
+    return Status::DataLoss(
+        "checkpointed run had a different migration schedule");
+  }
+  int fired_count = 0;
+  for (uint32_t i = 0; i < nscheduled && dec.ok(); ++i) {
+    const bool fired = dec.Bool();
+    scheduled_[i].fired = fired;
+    if (fired) ++fired_count;
+  }
+  const int64_t active_idx = dec.I64();
+  restore->has_last_ckpt = dec.Bool();
+  restore->last_ckpt_t = dec.I64();
+  const bool split_set = dec.Bool();
+  const Timestamp split = dec.Ts();
+  const uint8_t horizon_state = dec.U8();
+  const Timestamp horizon = dec.Ts();
+  if (!dec.AtEnd()) {
+    return Status::DataLoss("the 'router' blob is corrupt");
+  }
+  if (active_idx >= static_cast<int64_t>(scheduled_.size()) ||
+      (active_idx >= 0 && !scheduled_[static_cast<size_t>(active_idx)].fired)) {
+    return Status::DataLoss("the 'router' blob names an invalid active plan");
+  }
+
+  // Cuts are only taken migration-quiescent, so every fired broadcast had
+  // completed on every shard; the hosted plan is the last-broadcast target.
+  const LogicalPtr active_plan =
+      active_idx < 0 ? nullptr
+                     : scheduled_[static_cast<size_t>(active_idx)].new_stripped;
+  for (auto& shard : shards_) {
+    s = shard->CkptRestore(blobs, active_plan);
+    if (!s.ok()) return s;
+  }
+  auto mb = blobs.find("merge");
+  if (mb == blobs.end()) {
+    return Status::DataLoss("checkpoint lacks the 'merge' blob");
+  }
+  if (!merge_->CkptImport(mb->second)) {
+    return Status::DataLoss("the 'merge' blob is corrupt");
+  }
+
+  elements_routed_.store(routed, std::memory_order_relaxed);
+  if (restore->any_routed) {
+    source_front_.store(restore->max_routed.t, std::memory_order_relaxed);
+  }
+  broadcasts_fired_.store(fired_count, std::memory_order_release);
+  if (split_set) {
+    t_split_t_.store(split.t, std::memory_order_relaxed);
+    t_split_eps_.store(split.eps, std::memory_order_relaxed);
+    t_split_set_.store(true, std::memory_order_release);
+  }
+  if (horizon_state != 0) {
+    horizon_t_.store(horizon.t, std::memory_order_relaxed);
+    horizon_eps_.store(horizon.eps, std::memory_order_relaxed);
+    horizon_state_.store(static_cast<int>(horizon_state),
+                         std::memory_order_release);
+  }
+  active_plan_idx_ = static_cast<int>(active_idx);
+  router_restore_ = std::move(restore);
+  return Status::OK();
+}
+
 void Coordinator::Broadcast(Scheduled* scheduled, Timestamp max_routed,
                             const std::vector<Timestamp>& port_hb,
                             Timestamp horizon) {
   scheduled->fired = true;
+  active_plan_idx_ = static_cast<int>(scheduled - scheduled_.data());
 
   // One T_split valid on every shard: greater than every start instant any
   // replica has seen (<= max_routed) AND every per-port watermark promise
@@ -280,6 +414,31 @@ void Coordinator::RouterMain(InputMap inputs) {
 
   Timestamp max_routed = Timestamp::MinInstant();
   bool any_routed = false;
+  bool have_last_ckpt = false;
+  int64_t last_ckpt_t = 0;
+
+  // Resume from a restored cut (ISSUE 10): every cursor picks up at its
+  // captured position, with the reordered-but-unrouted suffix re-seeded in
+  // front of it. Suppressed-heartbeat counters restart at zero — heartbeat
+  // thinning only affects watermark timing (buffering), never content.
+  if (router_restore_ != nullptr) {
+    for (Cursor& c : cursors) {
+      auto rit = router_restore_->cursors.find(*c.name);
+      GENMIG_CHECK(rit != router_restore_->cursors.end());
+      RouterRestore::CursorState& st = rit->second;
+      GENMIG_CHECK(st.pos <= c.stream->size());
+      c.pos = static_cast<size_t>(st.pos);
+      c.injected = st.injected;
+      c.flushed = st.flushed;
+      c.released = std::move(st.released);
+      c.rpos = 0;
+    }
+    max_routed = router_restore_->max_routed;
+    any_routed = router_restore_->any_routed;
+    have_last_ckpt = router_restore_->has_last_ckpt;
+    last_ckpt_t = router_restore_->last_ckpt_t;
+    router_restore_.reset();
+  }
 
   // Per-port watermark promises for a migration broadcast. Fully ordered
   // inputs keep the legacy promise (the global max_routed — valid under
@@ -318,6 +477,60 @@ void Coordinator::RouterMain(InputMap inputs) {
       if (promise < h) h = promise;
     }
     return h;
+  };
+
+  // Periodic marker-based cut (ISSUE 10): the router captures its own
+  // cursor/disorder state HERE — the exact position in the global routed
+  // order — then pushes a kCheckpoint marker into every shard queue. The
+  // marker travels in-band (FIFO), so each shard captures after exactly the
+  // messages routed before the cut, and the merge aligns its own capture on
+  // the forwarded markers (see CkptCapture).
+  const Duration ckpt_period = options_.checkpoint_period;
+  const bool ckpt_on = store_ != nullptr && ckpt_period > 0;
+  auto initiate_cut = [&] {
+    flush_all();  // Accumulated rows must reach the shards before markers.
+    auto capture = std::make_shared<CkptCapture>();
+    StateEnc enc;
+    enc.U32(static_cast<uint32_t>(cursors.size()));
+    for (const Cursor& c : cursors) {
+      enc.Str(*c.name);
+      enc.U64(c.pos);
+      enc.U64(c.injected);
+      enc.Bool(c.buffer != nullptr);
+      if (c.buffer != nullptr) c.buffer->CkptExport(&enc);
+      enc.Bool(c.flushed);
+      const MaterializedStream suffix(
+          c.released.begin() + static_cast<std::ptrdiff_t>(c.rpos),
+          c.released.end());
+      enc.Stream(suffix);
+    }
+    enc.Ts(max_routed);
+    enc.Bool(any_routed);
+    enc.U64(elements_routed_.load(std::memory_order_relaxed));
+    enc.U32(static_cast<uint32_t>(scheduled_.size()));
+    for (const Scheduled& sc : scheduled_) enc.Bool(sc.fired);
+    enc.I64(active_plan_idx_);
+    enc.Bool(have_last_ckpt);
+    enc.I64(last_ckpt_t);
+    enc.Bool(t_split_set_.load(std::memory_order_relaxed));
+    enc.Ts(Timestamp(t_split_t_.load(std::memory_order_relaxed),
+                     t_split_eps_.load(std::memory_order_relaxed)));
+    enc.U8(static_cast<uint8_t>(
+        horizon_state_.load(std::memory_order_relaxed)));
+    enc.Ts(Timestamp(horizon_t_.load(std::memory_order_relaxed),
+                     horizon_eps_.load(std::memory_order_relaxed)));
+    ckpt::Blob blob;
+    blob.key = "router";
+    blob.group = "main";
+    blob.bytes = enc.Take();
+    capture->Add(std::move(blob));
+    ckpt_inflight_.store(true, std::memory_order_release);
+    for (auto& shard : shards_) {
+      ShardInMsg msg;
+      msg.kind = ShardInMsg::Kind::kCheckpoint;
+      msg.capture = capture;
+      shard->input().Push(std::move(msg));
+    }
   };
 
   while (true) {
@@ -397,6 +610,21 @@ void Coordinator::RouterMain(InputMap inputs) {
                   compute_horizon());
       }
     }
+
+    // Cuts are only taken migration-quiescent: every broadcast completed on
+    // every shard, so no split/merge machinery needs capturing. A cut whose
+    // period elapsed during a migration fires at the next quiescent element.
+    if (ckpt_on && !ckpt_inflight_.load(std::memory_order_acquire) &&
+        migrations_completed() >=
+            broadcasts_fired_.load(std::memory_order_acquire)) {
+      if (!have_last_ckpt) {
+        have_last_ckpt = true;  // Period starts at the first routed element.
+        last_ckpt_t = max_routed.t;
+      } else if (max_routed.t - last_ckpt_t >= ckpt_period) {
+        last_ckpt_t = max_routed.t;
+        initiate_cut();
+      }
+    }
   }
 
   // Never-fired migrations (scheduled past the end of the data) still fire,
@@ -428,6 +656,8 @@ const MaterializedStream& Coordinator::Wait() {
     for (auto& shard : shards_) shard->Join();
     out_queue_->Close();
     merge_->Join();
+    // Make the final in-flight commit durable before callers read results.
+    if (store_ != nullptr) store_->WaitIdle();
     joined_ = true;
     // Final wakeup: shards can no longer publish progress.
     std::lock_guard<std::mutex> lock(progress_mu_);

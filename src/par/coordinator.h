@@ -83,6 +83,14 @@ class Coordinator {
     /// forced above every per-stream watermark plus w, so it always waits
     /// for the disorder horizon (DESIGN.md Sec. 12).
     std::map<std::string, DisorderBuffer::Options> disordered_inputs;
+    /// Durable state (ISSUE 10). Non-empty: the coordinator owns a
+    /// ckpt::Store on this directory and the router initiates a marker-based
+    /// global cut every `checkpoint_period` application-time units (deferred
+    /// while a broadcast migration is in flight anywhere — sharded cuts are
+    /// only taken migration-quiescent). Per-shard blobs land in per-shard
+    /// chunk files ("s<k>") under one manifest.
+    std::string checkpoint_dir;
+    Duration checkpoint_period = 0;
   };
 
   /// Fails (Status) when the plan is not partitionable — callers fall back
@@ -105,6 +113,15 @@ class Coordinator {
   /// Spawns router + shards + merge. Fails when the plan was not
   /// partitionable or an input stream is missing.
   Status Start(const InputMap& inputs);
+
+  /// Restore (ISSUE 10): loads the newest intact checkpoint from
+  /// Options::checkpoint_dir and re-seeds router cursors, shard controllers/
+  /// boxes and the merge from it, so the next Start()/Run() resumes at the
+  /// cut instead of replaying from scratch. Call before Start(), with the
+  /// same plan and scheduled migrations as the checkpointed run. NotFound
+  /// when the directory holds no checkpoint (callers treat that as a fresh
+  /// start); DataLoss when the checkpoint is unusable.
+  Status Restore();
 
   /// Joins every thread; returns the deterministic merged output.
   const MaterializedStream& Wait();
@@ -158,6 +175,9 @@ class Coordinator {
     return shards_[static_cast<size_t>(k)]->watermark_lag();
   }
 
+  /// The coordinator's checkpoint store (nullptr when checkpointing is off).
+  const ckpt::Store* store() const { return store_.get(); }
+
  private:
   struct Scheduled {
     LogicalPtr new_stripped;
@@ -165,6 +185,25 @@ class Coordinator {
     MigrationController::GenMigOptions base;
     bool fired = false;
   };
+
+  /// Router-side state of a loaded checkpoint, consumed by RouterMain.
+  struct RouterRestore {
+    struct CursorState {
+      uint64_t pos = 0;
+      uint64_t injected = 0;
+      bool flushed = false;
+      MaterializedStream released;  // Reordered-but-unrouted suffix.
+    };
+    std::map<std::string, CursorState> cursors;
+    Timestamp max_routed = Timestamp::MinInstant();
+    bool any_routed = false;
+    bool has_last_ckpt = false;
+    int64_t last_ckpt_t = 0;
+  };
+
+  /// Builds queues, merge and shards (everything Start() needs before
+  /// spawning threads). Idempotent; shared by Start() and Restore().
+  Status BuildRuntime();
 
   void RouterMain(InputMap inputs);
   /// `port_hb[p]` is the strongest per-port watermark promise at broadcast
@@ -187,8 +226,20 @@ class Coordinator {
 
   std::vector<Scheduled> scheduled_;
   /// Router-side reordering stages, one per disordered input stream
-  /// (created in Start(), used only by the router thread).
+  /// (created in BuildRuntime(), used only by the router thread).
   std::map<std::string, std::unique_ptr<DisorderBuffer>> disorder_;
+
+  // Durable state (ISSUE 10).
+  std::unique_ptr<ckpt::Store> store_;
+  std::unique_ptr<RouterRestore> router_restore_;
+  /// Index into scheduled_ of the last-broadcast migration (-1 = none): the
+  /// stripped plan every shard hosts once quiescent. Written by Broadcast
+  /// (router thread) and Restore (pre-start), read at capture time.
+  int active_plan_idx_ = -1;
+  /// One cut in flight at a time: set by the router at initiation, cleared
+  /// on the merge thread once the cut is handed to the store. Guarantees
+  /// the merge's side buffer never holds a second marker.
+  std::atomic<bool> ckpt_inflight_{false};
 
   std::atomic<uint64_t> elements_routed_{0};
   /// Router-published max routed start (the shards' lag reference).

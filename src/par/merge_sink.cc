@@ -1,8 +1,10 @@
 #include "par/merge_sink.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "obs/clock.h"
+#include "stream/state_codec.h"
 
 namespace genmig {
 namespace par {
@@ -59,47 +61,29 @@ void MergeSink::Run() {
   std::deque<ShardOutMsg> batch;
   while (queue_->PopAll(&batch)) {
     for (ShardOutMsg& msg : batch) {
-      const size_t i = static_cast<size_t>(msg.shard);
-      switch (msg.kind) {
-        case ShardOutMsg::Kind::kElement: {
-          // The element's own start is a lower bound for the shard's later
-          // output (physical-stream ordering invariant).
-          if (shard_wm_[i] < msg.element.interval.start) {
-            shard_wm_[i] = msg.element.interval.start;
-          }
-          Pending p;
-          p.element = std::move(msg.element);
-          p.shard = msg.shard;
-          p.seq = shard_seq_[i]++;
-          heap_.push_back(std::move(p));
-          std::push_heap(heap_.begin(), heap_.end(), PendingAfter{});
-          break;
-        }
-        case ShardOutMsg::Kind::kBatch: {
-          // Expand into the heap row by row — the merge itself is inherently
-          // per-element (it interleaves shards), so the batch's job ends at
-          // the queue boundary.
-          for (size_t r = 0; r < msg.batch.size(); ++r) {
-            if (shard_wm_[i] < msg.batch.start(r)) {
-              shard_wm_[i] = msg.batch.start(r);
-            }
-            Pending p;
-            p.element = msg.batch.Row(r);
-            p.shard = msg.shard;
-            p.seq = shard_seq_[i]++;
-            heap_.push_back(std::move(p));
-            std::push_heap(heap_.begin(), heap_.end(), PendingAfter{});
-          }
-          break;
-        }
-        case ShardOutMsg::Kind::kWatermark:
-          if (shard_wm_[i] < msg.time) shard_wm_[i] = msg.time;
-          break;
-        case ShardOutMsg::Kind::kEos:
-          shard_eos_[i] = true;
-          eos_seen_.fetch_add(1, std::memory_order_acq_rel);
-          break;
+      // Marker alignment (ISSUE 10): once a shard's kCheckpoint marker is
+      // in, its post-marker messages are held aside so the captured merge
+      // state reflects exactly the pre-marker prefix of every shard.
+      if (ckpt_pending_ != nullptr && msg.kind != ShardOutMsg::Kind::kCheckpoint &&
+          ckpt_marker_seen_[static_cast<size_t>(msg.shard)]) {
+        ckpt_side_.push_back(std::move(msg));
+        continue;
       }
+      if (msg.kind == ShardOutMsg::Kind::kCheckpoint) {
+        if (ckpt_pending_ == nullptr) {
+          ckpt_pending_ = msg.capture;
+          ckpt_marker_seen_.assign(static_cast<size_t>(shards_), false);
+          ckpt_markers_ = 0;
+        }
+        size_t i = static_cast<size_t>(msg.shard);
+        if (!ckpt_marker_seen_[i]) {
+          ckpt_marker_seen_[i] = true;
+          ++ckpt_markers_;
+        }
+        if (ckpt_markers_ == shards_) FinishCapture();
+        continue;
+      }
+      Process(msg);
     }
     batch.clear();
     Release(/*final_flush=*/false);
@@ -109,6 +93,119 @@ void MergeSink::Run() {
   Release(/*final_flush=*/true);
   GENMIG_CHECK(heap_.empty());
   SampleHoldBack();
+}
+
+void MergeSink::Process(ShardOutMsg& msg) {
+  const size_t i = static_cast<size_t>(msg.shard);
+  switch (msg.kind) {
+    case ShardOutMsg::Kind::kElement: {
+      // The element's own start is a lower bound for the shard's later
+      // output (physical-stream ordering invariant).
+      if (shard_wm_[i] < msg.element.interval.start) {
+        shard_wm_[i] = msg.element.interval.start;
+      }
+      Pending p;
+      p.element = std::move(msg.element);
+      p.shard = msg.shard;
+      p.seq = shard_seq_[i]++;
+      heap_.push_back(std::move(p));
+      std::push_heap(heap_.begin(), heap_.end(), PendingAfter{});
+      break;
+    }
+    case ShardOutMsg::Kind::kBatch: {
+      // Expand into the heap row by row — the merge itself is inherently
+      // per-element (it interleaves shards), so the batch's job ends at
+      // the queue boundary.
+      for (size_t r = 0; r < msg.batch.size(); ++r) {
+        if (shard_wm_[i] < msg.batch.start(r)) {
+          shard_wm_[i] = msg.batch.start(r);
+        }
+        Pending p;
+        p.element = msg.batch.Row(r);
+        p.shard = msg.shard;
+        p.seq = shard_seq_[i]++;
+        heap_.push_back(std::move(p));
+        std::push_heap(heap_.begin(), heap_.end(), PendingAfter{});
+      }
+      break;
+    }
+    case ShardOutMsg::Kind::kWatermark:
+      if (shard_wm_[i] < msg.time) shard_wm_[i] = msg.time;
+      break;
+    case ShardOutMsg::Kind::kEos:
+      shard_eos_[i] = true;
+      eos_seen_.fetch_add(1, std::memory_order_acq_rel);
+      break;
+    case ShardOutMsg::Kind::kCheckpoint:
+      break;  // Handled by the alignment logic in Run().
+  }
+}
+
+// All markers are in: every shard's pre-marker prefix has been processed and
+// nothing after a marker has — capture the merge state, hand the completed
+// request to the coordinator, then replay the held-back messages. The
+// coordinator initiates at most one cut at a time, so the side buffer cannot
+// contain another marker.
+void MergeSink::FinishCapture() {
+  StateEnc enc;
+  enc.U32(static_cast<uint32_t>(shards_));
+  for (int s = 0; s < shards_; ++s) {
+    const size_t i = static_cast<size_t>(s);
+    enc.Ts(shard_wm_[i]);
+    enc.Bool(shard_eos_[i]);
+    enc.U64(shard_seq_[i]);
+  }
+  enc.U64(heap_.size());
+  for (const Pending& p : heap_) {
+    enc.Elem(p.element);
+    enc.U32(static_cast<uint32_t>(p.shard));
+    enc.U64(p.seq);
+  }
+  enc.Stream(merged_);
+  ckpt::Blob blob;
+  blob.key = "merge";
+  blob.group = "main";
+  blob.bytes = enc.Take();
+  ckpt_pending_->Add(std::move(blob));
+
+  std::shared_ptr<CkptCapture> done = std::move(ckpt_pending_);
+  ckpt_pending_ = nullptr;
+  ckpt_markers_ = 0;
+  if (on_checkpoint) on_checkpoint(std::move(done));
+
+  std::deque<ShardOutMsg> replay = std::move(ckpt_side_);
+  ckpt_side_.clear();
+  for (ShardOutMsg& msg : replay) Process(msg);
+}
+
+bool MergeSink::CkptImport(const std::string& bytes) {
+  GENMIG_CHECK(!thread_.joinable());
+  StateDec dec(bytes);
+  if (static_cast<int>(dec.U32()) != shards_) return false;
+  for (int s = 0; s < shards_; ++s) {
+    const size_t i = static_cast<size_t>(s);
+    shard_wm_[i] = dec.Ts();
+    shard_eos_[i] = dec.Bool();
+    shard_seq_[i] = dec.U64();
+  }
+  heap_.clear();
+  const uint64_t pending = dec.U64();
+  for (uint64_t n = 0; n < pending && dec.ok(); ++n) {
+    Pending p;
+    p.element = dec.Elem();
+    p.shard = static_cast<int>(dec.U32());
+    p.seq = dec.U64();
+    heap_.push_back(std::move(p));
+  }
+  std::make_heap(heap_.begin(), heap_.end(), PendingAfter{});
+  merged_ = dec.Stream();
+  if (!dec.AtEnd()) return false;
+  int eos = 0;
+  for (int s = 0; s < shards_; ++s) {
+    if (shard_eos_[static_cast<size_t>(s)]) ++eos;
+  }
+  eos_seen_.store(eos, std::memory_order_release);
+  return true;
 }
 
 // Hold-back gauge (ISSUE 9): how many released-but-unsortable elements the

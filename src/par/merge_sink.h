@@ -25,7 +25,10 @@
 #define GENMIG_PAR_MERGE_SINK_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -59,6 +62,15 @@ class MergeSink {
   /// deterministic output order).
   std::function<void(const StreamElement&)> on_element;
 
+  /// Checkpoint completion hook (ISSUE 10): invoked on the merge thread once
+  /// kCheckpoint markers from every shard arrived and the merge's own state
+  /// was captured into the request. The coordinator commits the cut here.
+  std::function<void(std::shared_ptr<CkptCapture>)> on_checkpoint;
+
+  /// Restore (ISSUE 10): re-seeds the hold-back heap, per-shard watermarks
+  /// and the merged prefix from a "merge" blob. Must run before Start().
+  bool CkptImport(const std::string& bytes);
+
   /// Shards whose kEos arrived so far (cross-thread readable).
   int eos_seen() const { return eos_seen_.load(std::memory_order_acquire); }
 
@@ -73,6 +85,8 @@ class MergeSink {
   };
 
   void Run();
+  void Process(ShardOutMsg& msg);
+  void FinishCapture();
   void Release(bool final_flush);
   void SampleHoldBack();
   Timestamp MinLiveWatermark() const;
@@ -88,6 +102,14 @@ class MergeSink {
   MaterializedStream merged_;
   std::atomic<int> eos_seen_{0};
   std::thread thread_;
+
+  // Marker alignment of an in-flight cut (at most one; the coordinator
+  // serializes initiations): after shard k's marker arrives, its messages
+  // are side-buffered until every shard's marker is in, then replayed.
+  std::shared_ptr<CkptCapture> ckpt_pending_;
+  std::vector<bool> ckpt_marker_seen_;
+  int ckpt_markers_ = 0;
+  std::deque<ShardOutMsg> ckpt_side_;
 };
 
 }  // namespace par

@@ -2,9 +2,11 @@
 
 #include <utility>
 
+#include "ckpt/box_codec.h"
 #include "ops/sink.h"
 #include "ops/stateless.h"
 #include "plan/compile.h"
+#include "stream/state_codec.h"
 
 namespace genmig {
 namespace par {
@@ -151,7 +153,82 @@ void ShardRuntime::Handle(const ShardInMsg& msg) {
       controller_->StartGenMig(std::move(new_box), order.options);
       break;
     }
+    case ShardInMsg::Kind::kCheckpoint: {
+      // Marker of a global cut: capture this shard's state at exactly this
+      // position in the input FIFO, then forward the marker so the merge can
+      // align its own capture against this shard's output FIFO.
+      CaptureCheckpoint(msg.capture.get());
+      ShardOutMsg out;
+      out.kind = ShardOutMsg::Kind::kCheckpoint;
+      out.shard = config_.shard_id;
+      out.capture = msg.capture;
+      config_.out->Push(std::move(out));
+      break;
+    }
   }
+}
+
+void ShardRuntime::CaptureCheckpoint(CkptCapture* capture) {
+  // The router only initiates a cut while every broadcast migration has
+  // completed on every shard, and no kMigrate can overtake the marker in the
+  // FIFO — so the controller must be quiescent here. Fail the capture (skip
+  // the commit) rather than write an unrestorable cut if that ever breaks.
+  if (!controller_->CkptReady() ||
+      controller_->phase() != MigrationController::Phase::kDirect) {
+    capture->Fail(prefix_ + "controller not quiescent at checkpoint marker");
+    return;
+  }
+  const std::string group = prefix_.substr(0, prefix_.size() - 1);  // "s<k>"
+  {
+    StateEnc enc;
+    controller_->CkptExportControl(&enc);
+    ckpt::Blob blob;
+    blob.key = prefix_ + "ctl";
+    blob.group = group;
+    blob.bytes = enc.Take();
+    capture->Add(std::move(blob));
+  }
+  std::vector<ckpt::Blob> ops;
+  ckpt::ExportBoxOps(prefix_ + "box/", controller_->active_box(), group, &ops);
+  for (ckpt::Blob& blob : ops) capture->Add(std::move(blob));
+}
+
+Status ShardRuntime::CkptRestore(
+    const std::map<std::string, std::string>& blobs,
+    const LogicalPtr& active_plan) {
+  GENMIG_CHECK(!thread_.joinable());
+  auto it = blobs.find(prefix_ + "ctl");
+  if (it == blobs.end()) {
+    return Status::DataLoss("checkpoint lacks '" + prefix_ +
+                            "ctl' (shard count mismatch?)");
+  }
+  StateDec dec(it->second);
+  MigrationController::CkptControl control;
+  if (!MigrationController::CkptDecodeControl(&dec, &control) || !dec.ok()) {
+    return Status::DataLoss("control blob '" + prefix_ + "ctl' is corrupt");
+  }
+  if (control.phase != MigrationController::Phase::kDirect) {
+    return Status::DataLoss("sharded checkpoint captured a non-quiescent "
+                            "controller; refusing to restore");
+  }
+  if (active_plan != nullptr) {
+    // A broadcast migration had completed before the cut: the hosted box no
+    // longer compiles from the original stripped plan.
+    Box box = CompilePlan(*active_plan, prefix_, config_.compile);
+    box.ReorderInputs(config_.port_sources);
+    controller_->ReplaceActiveBox(std::move(box));
+  }
+  controller_->CkptRestoreControl(control);
+  Status s =
+      ckpt::ImportBoxOps(prefix_ + "box/", controller_->active_box(), blobs);
+  if (!s.ok()) return s;
+  // Publish the restored progress so coordinator barriers and introspection
+  // see the pre-crash counts before the first message batch.
+  migrations_completed_.store(control.migrations_completed,
+                              std::memory_order_release);
+  t_split_t_.store(control.t_split.t, std::memory_order_relaxed);
+  t_split_eps_.store(control.t_split.eps, std::memory_order_relaxed);
+  return Status::OK();
 }
 
 // Per-shard watermark-lag gauge (ISSUE 9): source front (what the router

@@ -15,11 +15,14 @@
 
 #include <atomic>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "ckpt/store.h"
 #include "migration/controller.h"
 #include "ops/sink.h"
 #include "ops/stateless.h"
@@ -29,6 +32,29 @@
 
 namespace genmig {
 namespace par {
+
+/// Blob collection of one in-band checkpoint cut (ISSUE 10). The router
+/// creates it, appends its own cursor state and pushes a kCheckpoint marker
+/// to every shard; each shard appends its blobs at the marker position in
+/// its FIFO input and forwards the marker downstream; the merge commits once
+/// markers from all shards arrived (Chandy-Lamport with FIFO channels — the
+/// markers delimit one consistent global cut without pausing the pipeline).
+struct CkptCapture {
+  std::mutex mu;
+  std::vector<ckpt::Blob> blobs;
+  bool failed = false;
+  std::string error;
+
+  void Add(ckpt::Blob blob) {
+    std::lock_guard<std::mutex> lock(mu);
+    blobs.push_back(std::move(blob));
+  }
+  void Fail(std::string why) {
+    std::lock_guard<std::mutex> lock(mu);
+    failed = true;
+    if (error.empty()) error = std::move(why);
+  }
+};
 
 /// A migration broadcast: compile `new_plan` (already window-stripped),
 /// rebind its inputs to the old leaf order, and GenMig to it.
@@ -40,23 +66,32 @@ struct MigrationOrder {
 
 /// Router -> shard message.
 struct ShardInMsg {
-  enum class Kind : uint8_t { kElement, kBatch, kHeartbeat, kEos, kMigrate };
+  enum class Kind : uint8_t {
+    kElement,
+    kBatch,
+    kHeartbeat,
+    kEos,
+    kMigrate,
+    kCheckpoint
+  };
   Kind kind = Kind::kElement;
   int port = 0;
   StreamElement element;                        // kElement
   TupleBatch batch;                             // kBatch
   Timestamp time;                               // kHeartbeat
   std::shared_ptr<const MigrationOrder> order;  // kMigrate
+  std::shared_ptr<CkptCapture> capture;         // kCheckpoint
 };
 
 /// Shard -> merge message.
 struct ShardOutMsg {
-  enum class Kind : uint8_t { kElement, kBatch, kWatermark, kEos };
+  enum class Kind : uint8_t { kElement, kBatch, kWatermark, kEos, kCheckpoint };
   Kind kind = Kind::kElement;
   int shard = 0;
-  StreamElement element;  // kElement
-  TupleBatch batch;       // kBatch
-  Timestamp time;         // kWatermark
+  StreamElement element;                 // kElement
+  TupleBatch batch;                      // kBatch
+  Timestamp time;                        // kWatermark
+  std::shared_ptr<CkptCapture> capture;  // kCheckpoint
 };
 
 class ShardRuntime {
@@ -92,6 +127,15 @@ class ShardRuntime {
 
   BoundedQueue<ShardInMsg>& input() { return in_; }
 
+  /// Restore (ISSUE 10): applies this shard's blobs from a loaded checkpoint.
+  /// Must run before Start(). `active_plan` is the stripped plan the shard
+  /// hosted at the cut when a migration broadcast had already completed
+  /// (nullptr = still the original plan). Sharded cuts are only taken while
+  /// every shard is migration-quiescent (kDirect), so no in-flight machinery
+  /// needs rebuilding here.
+  Status CkptRestore(const std::map<std::string, std::string>& blobs,
+                     const LogicalPtr& active_plan);
+
   // --- Cross-thread introspection (published after every message batch) ---
   int migrations_completed() const {
     return migrations_completed_.load(std::memory_order_acquire);
@@ -124,6 +168,7 @@ class ShardRuntime {
  private:
   void Run();
   void Handle(const ShardInMsg& msg);
+  void CaptureCheckpoint(CkptCapture* capture);
   void PublishProgress();
   void SampleLag();
 

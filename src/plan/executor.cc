@@ -183,6 +183,78 @@ bool Executor::StepUpTo(Timestamp limit) {
   return true;
 }
 
+void Executor::CkptExportFeed(int feed, StateEnc* enc) const {
+  const Feed& f = feeds_[static_cast<size_t>(feed)];
+  enc->Str(f.name);
+  enc->Bool(f.disordered);
+  enc->Bool(f.closed);
+  if (!f.disordered) {
+    enc->U64(f.pos);
+    return;
+  }
+  enc->U64(f.arrival_pos);
+  enc->U64(f.elements.size() - f.pos);
+  for (size_t i = f.pos; i < f.elements.size(); ++i) {
+    enc->Elem(f.elements[i]);
+  }
+  f.buffer->CkptExport(enc);
+  enc->Bool(f.flushed);
+  enc->Ts(f.announced_wm);
+}
+
+bool Executor::CkptImportFeed(int feed, StateDec* dec) {
+  Feed& f = feeds_[static_cast<size_t>(feed)];
+  if (dec->Str() != f.name) return false;
+  if (dec->Bool() != f.disordered) return false;
+  const bool closed = dec->Bool();
+  if (!f.disordered) {
+    const uint64_t pos = dec->U64();
+    if (!dec->ok() || pos > f.elements.size()) return false;
+    remaining_ -= static_cast<size_t>(pos);  // Pushed before the cut.
+    f.pos = static_cast<size_t>(pos);
+  } else {
+    const uint64_t arrival_pos = dec->U64();
+    if (!dec->ok() || arrival_pos > f.arrivals.size()) return false;
+    const uint64_t n = dec->U64();
+    MaterializedStream queue;
+    for (uint64_t i = 0; i < n && dec->ok(); ++i) {
+      queue.push_back(dec->Elem());
+    }
+    if (!dec->ok() || !f.buffer->CkptImport(dec)) return false;
+    f.flushed = dec->Bool();
+    f.announced_wm = dec->Ts();
+    if (!dec->ok()) return false;
+    f.arrival_pos = static_cast<size_t>(arrival_pos);
+    f.elements = std::move(queue);
+    f.pos = 0;
+    // remaining_ counted every registered arrival at AddDisorderedFeed time;
+    // rebuild the outstanding share: released-but-unpushed + still buffered
+    // in the reorder heap + not yet admitted (late drops among those will
+    // decrement at admission, exactly like the uninterrupted run).
+    remaining_ -= f.arrivals.size();
+    remaining_ += f.elements.size() + f.buffer->buffered() +
+                  (f.arrivals.size() - f.arrival_pos);
+  }
+  if (closed && !f.closed) {
+    f.source->Close();
+    f.closed = true;
+  }
+  return dec->ok();
+}
+
+void Executor::CkptExportCursor(StateEnc* enc) const {
+  enc->Ts(current_time_);
+  enc->U64(pushed_);
+  enc->U64(rr_next_);
+}
+
+bool Executor::CkptImportCursor(StateDec* dec) {
+  current_time_ = dec->Ts();
+  pushed_ = static_cast<size_t>(dec->U64());
+  rr_next_ = static_cast<size_t>(dec->U64());
+  return dec->ok();
+}
+
 void Executor::RunUntil(Timestamp t) {
   while (true) {
     int best = -1;

@@ -126,6 +126,28 @@ class Executor {
   /// Invoked after every Step() that pushed an element.
   std::function<void()> after_step;
 
+  // --- Checkpointing (ISSUE 10) -------------------------------------------
+
+  int feed_count() const { return static_cast<int>(feeds_.size()); }
+
+  /// Serializes the injection progress of feed `feed`: the position for an
+  /// ordered feed; the arrival position, the reorder-buffer state and the
+  /// released-but-unpushed queue suffix for a disordered one (everything
+  /// before the position was already delivered downstream and lives in the
+  /// operator states captured at the same cut).
+  void CkptExportFeed(int feed, StateEnc* enc) const;
+  /// Restores progress captured by CkptExportFeed into a freshly
+  /// re-registered feed (same name, same data); feeds that had closed
+  /// re-deliver their EOS immediately. False on a corrupt or mismatched
+  /// blob. kRandom-policy executors restore with a reseeded RNG (the feed
+  /// choice sequence is not reproduced; kGlobalOrder is deterministic).
+  bool CkptImportFeed(int feed, StateDec* dec);
+
+  /// Executor-global cursor (current application time, pushed count,
+  /// round-robin pointer).
+  void CkptExportCursor(StateEnc* enc) const;
+  bool CkptImportCursor(StateDec* dec);
+
  private:
   struct Feed {
     std::string name;

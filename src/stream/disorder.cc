@@ -84,4 +84,43 @@ void DisorderBuffer::MaybeAdapt() {
   }
 }
 
+void DisorderBuffer::CkptExport(StateEnc* enc) const {
+  enc->I64(delta_);
+  enc->Ts(watermark_);
+  enc->Ts(max_arrived_);
+  heap_.CkptExport(enc);
+  enc->U64(stats_.arrived);
+  enc->U64(stats_.admitted);
+  enc->U64(stats_.dropped_late);
+  enc->U64(stats_.released);
+  enc->U64(stats_.adaptations);
+  enc->I64(stats_.max_lateness);
+  const auto counts = lateness_.counts();
+  for (uint64_t c : counts) enc->U64(c);
+  enc->U64(lateness_.count());
+  enc->U64(lateness_.sum_ns());
+  enc->U64(lateness_.max_ns());
+}
+
+bool DisorderBuffer::CkptImport(StateDec* dec) {
+  delta_ = dec->I64();
+  watermark_ = dec->Ts();
+  max_arrived_ = dec->Ts();
+  if (!heap_.CkptImport(dec)) return false;
+  stats_.arrived = dec->U64();
+  stats_.admitted = dec->U64();
+  stats_.dropped_late = dec->U64();
+  stats_.released = dec->U64();
+  stats_.adaptations = dec->U64();
+  stats_.max_lateness = dec->I64();
+  std::array<uint64_t, obs::LatencyHistogram::kBuckets> counts{};
+  for (uint64_t& c : counts) c = dec->U64();
+  const uint64_t count = dec->U64();
+  const uint64_t sum_ns = dec->U64();
+  const uint64_t max_ns = dec->U64();
+  if (!dec->ok()) return false;
+  lateness_.ImportSnapshot(counts, count, sum_ns, max_ns);
+  return true;
+}
+
 }  // namespace genmig

@@ -101,6 +101,15 @@ class DisorderBuffer {
   const obs::LatencyHistogram& lateness() const { return lateness_; }
   const Options& options() const { return options_; }
 
+  // --- Checkpointing (ISSUE 10) --------------------------------------------
+  // Everything that influences future admit/release decisions is captured:
+  // the watermark and buffered front, the (possibly adapted) delta, the
+  // counters that pace adaptation, and the lateness histogram the next
+  // retarget will read — so a restored buffer drops/admits/adapts exactly
+  // like the uninterrupted run.
+  void CkptExport(StateEnc* enc) const;
+  bool CkptImport(StateDec* dec);
+
  private:
   void AdvanceWatermark(MaterializedStream* out);
   void MaybeAdapt();

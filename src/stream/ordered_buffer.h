@@ -3,14 +3,21 @@
 // unions, coalesce). Results are staged in the heap and released only up to a
 // watermark below which no future result can start, restoring the
 // physical-stream ordering invariant.
+//
+// Backed by a vector + std::push_heap/pop_heap rather than
+// std::priority_queue so checkpointing (ISSUE 10) can walk the staged
+// elements without draining them; heap order within equal start timestamps
+// is not part of any contract.
 
 #ifndef GENMIG_STREAM_ORDERED_BUFFER_H_
 #define GENMIG_STREAM_ORDERED_BUFFER_H_
 
-#include <queue>
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "stream/element.h"
+#include "stream/state_codec.h"
 
 namespace genmig {
 
@@ -19,7 +26,8 @@ class OrderedOutputBuffer {
  public:
   void Push(StreamElement element) {
     bytes_ += element.PayloadBytes();
-    heap_.push(std::move(element));
+    heap_.push_back(std::move(element));
+    std::push_heap(heap_.begin(), heap_.end(), LaterStart());
   }
 
   bool empty() const { return heap_.empty(); }
@@ -32,9 +40,10 @@ class OrderedOutputBuffer {
   /// non-decreasing tS order.
   template <typename EmitFn>
   void FlushUpTo(Timestamp watermark, EmitFn&& emit) {
-    while (!heap_.empty() && heap_.top().interval.start <= watermark) {
-      StreamElement e = heap_.top();
-      heap_.pop();
+    while (!heap_.empty() && heap_.front().interval.start <= watermark) {
+      std::pop_heap(heap_.begin(), heap_.end(), LaterStart());
+      StreamElement e = std::move(heap_.back());
+      heap_.pop_back();
       bytes_ -= e.PayloadBytes();
       emit(e);
     }
@@ -46,6 +55,29 @@ class OrderedOutputBuffer {
     FlushUpTo(Timestamp::MaxInstant(), emit);
   }
 
+  // --- Checkpointing --------------------------------------------------------
+
+  /// Serializes the staged elements (in internal heap order; release order
+  /// is re-established by the heap property after import).
+  void CkptExport(StateEnc* enc) const {
+    enc->U64(heap_.size());
+    for (const StreamElement& e : heap_) enc->Elem(e);
+  }
+
+  /// Replaces the buffer contents with elements written by CkptExport.
+  bool CkptImport(StateDec* dec) {
+    heap_.clear();
+    bytes_ = 0;
+    const uint64_t n = dec->U64();
+    for (uint64_t i = 0; i < n && dec->ok(); ++i) {
+      StreamElement e = dec->Elem();
+      bytes_ += e.PayloadBytes();
+      heap_.push_back(std::move(e));
+    }
+    std::make_heap(heap_.begin(), heap_.end(), LaterStart());
+    return dec->ok();
+  }
+
  private:
   struct LaterStart {
     bool operator()(const StreamElement& a, const StreamElement& b) const {
@@ -53,8 +85,7 @@ class OrderedOutputBuffer {
     }
   };
 
-  std::priority_queue<StreamElement, std::vector<StreamElement>, LaterStart>
-      heap_;
+  std::vector<StreamElement> heap_;
   size_t bytes_ = 0;
 };
 

@@ -1,0 +1,105 @@
+// StateEnc / StateDec: the byte codec operator checkpoints are written in
+// (ISSUE 10). A deliberately small, versionless binary format — little-endian
+// fixed-width integers, length-prefixed strings — whose framing, versioning
+// and integrity checking live one layer up in src/ckpt (chunk records carry a
+// CRC; the manifest carries the format version). Living in src/stream keeps
+// the dependency direction clean: every stateful operator can serialize its
+// own state (Tuples, Timestamps, StreamElements) without src/ops depending on
+// the checkpoint subsystem, and the same codec doubles as the state
+// wire-format for future cross-process handoff.
+//
+// Decoding is fail-soft, not abort-on-corruption: a StateDec that runs out of
+// bytes (or sees an invalid tag) latches `ok() == false` and returns zero
+// values from then on, so operator ImportCkpt implementations can decode
+// straight-line and check ok() once at the end. The ckpt reader turns a
+// failed decode into a typed Status — never a crash.
+
+#ifndef GENMIG_STREAM_STATE_CODEC_H_
+#define GENMIG_STREAM_STATE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "stream/element.h"
+#include "time/timestamp.h"
+
+namespace genmig {
+
+/// Append-only byte encoder for operator state blobs.
+class StateEnc {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) { Fixed(v); }
+  void U64(uint64_t v) { Fixed(v); }
+  void I64(int64_t v) { Fixed(static_cast<uint64_t>(v)); }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  void F64(double v);
+  void Str(std::string_view s);
+
+  void Ts(const Timestamp& t) {
+    I64(t.t);
+    U32(t.eps);
+  }
+  void Val(const Value& v);
+  void Tup(const Tuple& t);
+  void Elem(const StreamElement& e);
+  void Stream(const MaterializedStream& s);
+
+  const std::string& bytes() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  template <typename T>
+  void Fixed(T v) {
+    char buf[sizeof(T)];
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    }
+    out_.append(buf, sizeof(T));
+  }
+
+  std::string out_;
+};
+
+/// Sequential decoder over a blob produced by StateEnc. Truncation or an
+/// invalid tag latches ok() == false; every subsequent read returns a zero
+/// value, so callers decode straight-line and check ok() once.
+class StateDec {
+ public:
+  explicit StateDec(std::string_view bytes) : in_(bytes) {}
+
+  uint8_t U8();
+  uint32_t U32();
+  uint64_t U64();
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+  bool Bool() { return U8() != 0; }
+  double F64();
+  std::string Str();
+
+  Timestamp Ts() {
+    const int64_t t = I64();
+    const uint32_t eps = U32();
+    return Timestamp(t, eps);
+  }
+  Value Val();
+  Tuple Tup();
+  StreamElement Elem();
+  MaterializedStream Stream();
+
+  bool ok() const { return ok_; }
+  /// True when every byte has been consumed (and no decode failed).
+  bool AtEnd() const { return ok_ && pos_ == in_.size(); }
+
+ private:
+  bool Take(size_t n, const char** out);
+  void Fail() { ok_ = false; }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace genmig
+
+#endif  // GENMIG_STREAM_STATE_CODEC_H_

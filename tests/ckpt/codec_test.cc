@@ -1,0 +1,93 @@
+// StateEnc/StateDec roundtrip and fail-soft decoding (ISSUE 10).
+
+#include "stream/state_codec.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace genmig {
+namespace {
+
+using testutil::El;
+
+TEST(StateCodecTest, ScalarRoundtrip) {
+  StateEnc enc;
+  enc.U8(7);
+  enc.U32(0xDEADBEEF);
+  enc.U64(1ull << 62);
+  enc.I64(-42);
+  enc.Bool(true);
+  enc.Bool(false);
+  enc.F64(3.25);
+  enc.Str("hello");
+  enc.Str("");
+  enc.Ts(Timestamp(123, 4));
+
+  StateDec dec(enc.bytes());
+  EXPECT_EQ(dec.U8(), 7);
+  EXPECT_EQ(dec.U32(), 0xDEADBEEFu);
+  EXPECT_EQ(dec.U64(), 1ull << 62);
+  EXPECT_EQ(dec.I64(), -42);
+  EXPECT_TRUE(dec.Bool());
+  EXPECT_FALSE(dec.Bool());
+  EXPECT_EQ(dec.F64(), 3.25);
+  EXPECT_EQ(dec.Str(), "hello");
+  EXPECT_EQ(dec.Str(), "");
+  EXPECT_EQ(dec.Ts(), Timestamp(123, 4));
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST(StateCodecTest, ValueTupleElementStreamRoundtrip) {
+  StateEnc enc;
+  enc.Val(Value(int64_t{-5}));
+  enc.Val(Value(std::string("str")));
+  enc.Tup(Tuple::OfInts({1, 2, 3}));
+  const StreamElement element = El(9, 10, 20, /*epoch=*/3);
+  enc.Elem(element);
+  MaterializedStream stream = {El(1, 0, 5), El(2, 3, 8), El(3, 4, 9)};
+  enc.Stream(stream);
+
+  StateDec dec(enc.bytes());
+  EXPECT_EQ(dec.Val(), Value(int64_t{-5}));
+  EXPECT_EQ(dec.Val(), Value(std::string("str")));
+  EXPECT_EQ(dec.Tup(), Tuple::OfInts({1, 2, 3}));
+  const StreamElement back = dec.Elem();
+  EXPECT_EQ(back, element);
+  EXPECT_EQ(back.epoch, element.epoch);
+  EXPECT_EQ(dec.Stream(), stream);
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST(StateCodecTest, TruncationLatchesNotOk) {
+  StateEnc enc;
+  enc.U64(77);
+  enc.Str("payload");
+  std::string bytes = enc.bytes();
+  bytes.resize(bytes.size() - 3);  // Torn mid-string.
+
+  StateDec dec(bytes);
+  EXPECT_EQ(dec.U64(), 77u);
+  dec.Str();
+  EXPECT_FALSE(dec.ok());
+  // Latched: every further read is a zero value, never a crash.
+  EXPECT_EQ(dec.U64(), 0u);
+  EXPECT_EQ(dec.Str(), "");
+  EXPECT_FALSE(dec.AtEnd());
+}
+
+TEST(StateCodecTest, EmptyInputFailsSoft) {
+  StateDec dec("");
+  EXPECT_EQ(dec.U32(), 0u);
+  EXPECT_FALSE(dec.ok());
+}
+
+TEST(StateCodecTest, InvalidValueTagFailsSoft) {
+  std::string bytes(1, '\xff');  // No Value kind uses tag 0xff.
+  StateDec dec(bytes);
+  dec.Val();
+  EXPECT_FALSE(dec.ok());
+}
+
+}  // namespace
+}  // namespace genmig

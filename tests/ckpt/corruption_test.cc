@@ -1,0 +1,191 @@
+// Torn and corrupt checkpoints (ISSUE 10 satellite): the reader must fall
+// back to an older intact manifest or return a typed error — never crash.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "ckpt/format.h"
+#include "ckpt/store.h"
+
+namespace genmig {
+namespace ckpt {
+namespace {
+
+std::string TempDir() {
+  std::string tmpl = ::testing::TempDir() + "ckpt_corrupt_XXXXXX";
+  char* dir = mkdtemp(tmpl.data());
+  EXPECT_NE(dir, nullptr);
+  return tmpl;
+}
+
+Blob Make(const std::string& key, const std::string& bytes) {
+  Blob b;
+  b.key = key;
+  b.bytes = bytes;
+  return b;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+// Two committed checkpoints ("v1" then "v2") in a fresh directory.
+std::string TwoCheckpoints() {
+  const std::string dir = TempDir();
+  Store store(dir);
+  EXPECT_TRUE(store.Commit({Make("k", "v1")}).ok());
+  EXPECT_TRUE(store.Commit({Make("k", "v2")}).ok());
+  return dir;
+}
+
+TEST(CorruptionTest, TruncatedNewestManifestFallsBackToPrevious) {
+  const std::string dir = TwoCheckpoints();
+  const std::string path = dir + "/" + ManifestFileName(2);
+  std::string bytes = ReadFile(path);
+  bytes.resize(bytes.size() / 2);  // Torn mid-write.
+  WriteFile(path, bytes);
+
+  Store store(dir);
+  std::map<std::string, std::string> blobs;
+  uint64_t seq = 0;
+  ASSERT_TRUE(store.Load(&blobs, &seq).ok());
+  EXPECT_EQ(seq, 1u);
+  EXPECT_EQ(blobs.at("k"), "v1");
+}
+
+TEST(CorruptionTest, FlippedManifestBodyByteFallsBackToPrevious) {
+  const std::string dir = TwoCheckpoints();
+  const std::string path = dir + "/" + ManifestFileName(2);
+  std::string bytes = ReadFile(path);
+  bytes.back() = static_cast<char>(bytes.back() ^ 0x5a);  // Body CRC trips.
+  WriteFile(path, bytes);
+
+  Store store(dir);
+  std::map<std::string, std::string> blobs;
+  uint64_t seq = 0;
+  ASSERT_TRUE(store.Load(&blobs, &seq).ok());
+  EXPECT_EQ(seq, 1u);
+  EXPECT_EQ(blobs.at("k"), "v1");
+}
+
+TEST(CorruptionTest, CorruptChunkPayloadFallsBackToPrevious) {
+  const std::string dir = TwoCheckpoints();
+  // Checkpoint 2's only change lives in chunk-2-main; flip a payload byte so
+  // the record CRC fails. The older checkpoint's chunk is untouched.
+  const std::string path = dir + "/" + ChunkFileName(2, "main");
+  std::string bytes = ReadFile(path);
+  bytes.back() = static_cast<char>(bytes.back() ^ 0x5a);
+  WriteFile(path, bytes);
+
+  Store store(dir);
+  std::map<std::string, std::string> blobs;
+  uint64_t seq = 0;
+  ASSERT_TRUE(store.Load(&blobs, &seq).ok());
+  EXPECT_EQ(seq, 1u);
+  EXPECT_EQ(blobs.at("k"), "v1");
+}
+
+TEST(CorruptionTest, BadChunkMagicFallsBackToPrevious) {
+  const std::string dir = TwoCheckpoints();
+  const std::string path = dir + "/" + ChunkFileName(2, "main");
+  std::string bytes = ReadFile(path);
+  bytes[0] = 'X';
+  WriteFile(path, bytes);
+
+  Store store(dir);
+  std::map<std::string, std::string> blobs;
+  uint64_t seq = 0;
+  ASSERT_TRUE(store.Load(&blobs, &seq).ok());
+  EXPECT_EQ(seq, 1u);
+}
+
+TEST(CorruptionTest, CurrentIsTheCommitPoint) {
+  const std::string dir = TwoCheckpoints();
+  // Crash window: MANIFEST-2 hit disk but the CURRENT swap did not. The
+  // checkpoint CURRENT names is the committed one; the newer manifest is an
+  // uncommitted leftover and must not win.
+  WriteFile(dir + "/CURRENT", ManifestFileName(1) + "\n");
+
+  Store store(dir);
+  std::map<std::string, std::string> blobs;
+  uint64_t seq = 0;
+  ASSERT_TRUE(store.Load(&blobs, &seq).ok());
+  EXPECT_EQ(seq, 1u);
+  EXPECT_EQ(blobs.at("k"), "v1");
+}
+
+TEST(CorruptionTest, GarbageCurrentIsSurvivable) {
+  const std::string dir = TwoCheckpoints();
+  WriteFile(dir + "/CURRENT", "not-a-manifest-name\n");
+
+  Store store(dir);
+  std::map<std::string, std::string> blobs;
+  ASSERT_TRUE(store.Load(&blobs).ok());
+  EXPECT_EQ(blobs.at("k"), "v2");
+}
+
+TEST(CorruptionTest, EveryManifestCorruptIsDataLossNotACrash) {
+  const std::string dir = TwoCheckpoints();
+  for (uint64_t seq : {1u, 2u}) {
+    const std::string path = dir + "/" + ManifestFileName(seq);
+    std::string bytes = ReadFile(path);
+    bytes.resize(4);  // Not even a full magic.
+    WriteFile(path, bytes);
+  }
+
+  Store store(dir);
+  std::map<std::string, std::string> blobs;
+  const Status s = store.Load(&blobs);
+  EXPECT_EQ(s.code(), Status::Code::kDataLoss) << s.ToString();
+}
+
+TEST(CorruptionTest, MissingChunkFileIsDataLossNotACrash) {
+  const std::string dir = TempDir();
+  {
+    Store store(dir);
+    ASSERT_TRUE(store.Commit({Make("k", "v1")}).ok());
+  }
+  ASSERT_EQ(std::remove((dir + "/" + ChunkFileName(1, "main")).c_str()), 0);
+
+  Store store(dir);
+  std::map<std::string, std::string> blobs;
+  const Status s = store.Load(&blobs);
+  EXPECT_EQ(s.code(), Status::Code::kDataLoss) << s.ToString();
+}
+
+TEST(CorruptionTest, CommitAfterFallbackKeepsWorking) {
+  const std::string dir = TwoCheckpoints();
+  const std::string path = dir + "/" + ManifestFileName(2);
+  std::string bytes = ReadFile(path);
+  bytes.resize(bytes.size() / 2);
+  WriteFile(path, bytes);
+
+  // A restarted writer seeds from the intact fallback and keeps going.
+  Store store(dir);
+  std::map<std::string, std::string> blobs;
+  ASSERT_TRUE(store.Load(&blobs).ok());
+  ASSERT_TRUE(store.Commit({Make("k", "v3")}).ok());
+
+  Store reader(dir);
+  std::map<std::string, std::string> again;
+  ASSERT_TRUE(reader.Load(&again).ok());
+  EXPECT_EQ(again.at("k"), "v3");
+}
+
+}  // namespace
+}  // namespace ckpt
+}  // namespace genmig

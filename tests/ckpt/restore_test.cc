@@ -1,0 +1,398 @@
+// Checkpoint -> fresh engine -> Restore -> resume (ISSUE 10): the resumed
+// run's output must be byte-identical in snapshot normal form to an
+// uninterrupted oracle run — scalar, mid-migration, and sharded.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <random>
+#include <string>
+
+#include "../test_util.h"
+#include "engine/dsms.h"
+#include "par/coordinator.h"
+#include "ref/checker.h"
+#include "ref/eval.h"
+#include "stream/generator.h"
+
+namespace genmig {
+namespace {
+
+using namespace logical;  // NOLINT: test readability.
+using testutil::El;
+
+std::string TempDir() {
+  std::string tmpl = ::testing::TempDir() + "ckpt_restore_XXXXXX";
+  char* dir = mkdtemp(tmpl.data());
+  EXPECT_NE(dir, nullptr);
+  return tmpl;
+}
+
+Schema OneCol() { return Schema::OfInts({"x"}); }
+
+par::InputMap RandomFeeds(uint64_t seed, int n, int64_t keys,
+                          std::vector<std::string> names) {
+  std::mt19937_64 rng(seed);
+  par::InputMap inputs;
+  std::vector<int64_t> t(names.size(), 0);
+  for (int i = 0; i < n; ++i) {
+    for (size_t s = 0; s < names.size(); ++s) {
+      t[s] += static_cast<int64_t>(rng() % 5);
+      inputs[names[s]].push_back(
+          El(static_cast<int64_t>(rng() % keys), t[s], t[s] + 1));
+    }
+  }
+  return inputs;
+}
+
+// --- Scalar engine ---------------------------------------------------------
+
+void SetupScalar(Dsms* dsms, Dsms::QueryId* id) {
+  dsms->RegisterStream(
+      "S", OneCol(), ToPhysicalStream(GenerateKeyedStream(300, 5, 4, 7)));
+  auto installed = dsms->InstallQuery("SELECT DISTINCT x FROM S [RANGE 50]");
+  ASSERT_TRUE(installed.ok()) << installed.status().ToString();
+  *id = installed.value();
+}
+
+TEST(RestoreTest, ScalarCheckpointRestoreResumesByteIdentical) {
+  MaterializedStream oracle;
+  {
+    Dsms dsms;
+    Dsms::QueryId id = 0;
+    ASSERT_NO_FATAL_FAILURE(SetupScalar(&dsms, &id));
+    dsms.RunToCompletion();
+    oracle = dsms.Results(id);
+  }
+  ASSERT_GT(oracle.size(), 0u);
+
+  Dsms::Options options;
+  options.checkpoint_dir = TempDir();
+  {
+    Dsms dsms(options);
+    Dsms::QueryId id = 0;
+    ASSERT_NO_FATAL_FAILURE(SetupScalar(&dsms, &id));
+    dsms.RunUntil(Timestamp(700));
+    ASSERT_TRUE(dsms.Checkpoint().ok());
+    EXPECT_EQ(dsms.CheckpointStats().seq, 1u);
+    // The engine dies here: everything past the checkpoint is lost.
+  }
+  Dsms restored(options);
+  Dsms::QueryId id = 0;
+  ASSERT_NO_FATAL_FAILURE(SetupScalar(&restored, &id));
+  const Status s = restored.Restore();
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  restored.RunToCompletion();
+  // Deterministic single-threaded resume: raw bytes, not just snapshots.
+  EXPECT_EQ(restored.Results(id), oracle);
+  EXPECT_EQ(ref::SnapshotNormalForm(restored.Results(id)),
+            ref::SnapshotNormalForm(oracle));
+}
+
+TEST(RestoreTest, PeriodicCheckpointsRestoreTheTail) {
+  MaterializedStream oracle;
+  {
+    Dsms dsms;
+    Dsms::QueryId id = 0;
+    ASSERT_NO_FATAL_FAILURE(SetupScalar(&dsms, &id));
+    dsms.RunToCompletion();
+    oracle = dsms.Results(id);
+  }
+
+  Dsms::Options options;
+  options.checkpoint_dir = TempDir();
+  options.checkpoint_period = 100;
+  {
+    Dsms dsms(options);
+    Dsms::QueryId id = 0;
+    ASSERT_NO_FATAL_FAILURE(SetupScalar(&dsms, &id));
+    dsms.RunUntil(Timestamp(900));  // Several periods: async commits land.
+  }  // Dies mid-stream; the store joins its worker on destruction.
+  Dsms restored(options);
+  Dsms::QueryId id = 0;
+  ASSERT_NO_FATAL_FAILURE(SetupScalar(&restored, &id));
+  ASSERT_TRUE(restored.Restore().ok());
+  EXPECT_GE(restored.CheckpointStats().seq, 1u);
+  restored.RunToCompletion();
+  EXPECT_EQ(restored.Results(id), oracle);
+}
+
+TEST(RestoreTest, EmptyDirectoryIsNotFound) {
+  Dsms::Options options;
+  options.checkpoint_dir = TempDir();
+  Dsms dsms(options);
+  Dsms::QueryId id = 0;
+  ASSERT_NO_FATAL_FAILURE(SetupScalar(&dsms, &id));
+  EXPECT_EQ(dsms.Restore().code(), Status::Code::kNotFound);
+}
+
+TEST(RestoreTest, CheckpointingOffIsFailedPrecondition) {
+  Dsms dsms;
+  EXPECT_EQ(dsms.Checkpoint().code(), Status::Code::kFailedPrecondition);
+  EXPECT_EQ(dsms.Restore().code(), Status::Code::kFailedPrecondition);
+}
+
+TEST(RestoreTest, StreamSetMismatchIsDataLoss) {
+  Dsms::Options options;
+  options.checkpoint_dir = TempDir();
+  {
+    Dsms dsms(options);
+    Dsms::QueryId id = 0;
+    ASSERT_NO_FATAL_FAILURE(SetupScalar(&dsms, &id));
+    dsms.RunUntil(Timestamp(300));
+    ASSERT_TRUE(dsms.Checkpoint().ok());
+  }
+  // The restored engine registers a differently-named stream: the feed blob
+  // lookup must fail with a typed error, not crash.
+  Dsms restored(options);
+  restored.RegisterStream(
+      "T", OneCol(), ToPhysicalStream(GenerateKeyedStream(300, 5, 4, 7)));
+  auto id = restored.InstallQuery("SELECT DISTINCT x FROM T [RANGE 50]");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(restored.Restore().code(), Status::Code::kDataLoss);
+}
+
+TEST(RestoreTest, ExtraQueryIsDataLoss) {
+  Dsms::Options options;
+  options.checkpoint_dir = TempDir();
+  {
+    Dsms dsms(options);
+    Dsms::QueryId id = 0;
+    ASSERT_NO_FATAL_FAILURE(SetupScalar(&dsms, &id));
+    dsms.RunUntil(Timestamp(300));
+    ASSERT_TRUE(dsms.Checkpoint().ok());
+  }
+  Dsms restored(options);
+  Dsms::QueryId id = 0;
+  ASSERT_NO_FATAL_FAILURE(SetupScalar(&restored, &id));
+  auto extra = restored.InstallQuery("SELECT * FROM S [RANGE 10]");
+  ASSERT_TRUE(extra.ok());
+  EXPECT_EQ(restored.Restore().code(), Status::Code::kDataLoss);
+}
+
+// --- Checkpoint cut inside a live GenMig ----------------------------------
+
+/// A stream whose key cardinality collapses at `drift` (drives the
+/// re-optimizer into an actual migration, as in dsms_test.cc).
+MaterializedStream Drifting(size_t count, int64_t period, int64_t before,
+                            int64_t after, int64_t drift, uint64_t seed) {
+  MaterializedStream out;
+  std::mt19937_64 rng(seed);
+  int64_t t = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const int64_t keys = t < drift ? before : after;
+    out.push_back(
+        El(static_cast<int64_t>(rng() % static_cast<uint64_t>(keys)), t,
+           t + 1));
+    t += period;
+  }
+  return out;
+}
+
+void SetupDrifting(Dsms* dsms, Dsms::QueryId* id) {
+  const int64_t kDrift = 10000;
+  dsms->RegisterStream("A", OneCol(), Drifting(4000, 10, 500, 20, kDrift, 11));
+  dsms->RegisterStream("B", OneCol(), Drifting(4000, 10, 500, 20, kDrift, 12));
+  dsms->RegisterStream("C", OneCol(), Drifting(4000, 10, 500, 500, kDrift, 13));
+  auto installed = dsms->InstallQuery(
+      "SELECT A.x, B.x, C.x FROM A [RANGE 2000], B [RANGE 2000], "
+      "C [RANGE 2000] WHERE A.x = B.x AND B.x = C.x");
+  ASSERT_TRUE(installed.ok()) << installed.status().ToString();
+  *id = installed.value();
+}
+
+TEST(RestoreTest, CheckpointInsideGenMigParallelPhaseRestores) {
+  Dsms::Options options;
+  options.stats_horizon = 2000;
+
+  MaterializedStream oracle;
+  {
+    Dsms dsms(options);
+    Dsms::QueryId id = 0;
+    ASSERT_NO_FATAL_FAILURE(SetupDrifting(&dsms, &id));
+    dsms.RunUntil(Timestamp(14000));
+    ASSERT_EQ(dsms.ReoptimizeNow(), 1);
+    dsms.RunToCompletion();
+    ASSERT_EQ(dsms.Info(id).migrations_completed, 1);
+    oracle = dsms.Results(id);
+  }
+
+  options.checkpoint_dir = TempDir();
+  {
+    Dsms dsms(options);
+    Dsms::QueryId id = 0;
+    ASSERT_NO_FATAL_FAILURE(SetupDrifting(&dsms, &id));
+    dsms.RunUntil(Timestamp(14000));
+    ASSERT_EQ(dsms.ReoptimizeNow(), 1);
+    // kWaitingTimestamps resolves within a few steps; the parallel phase
+    // (both boxes live) is checkpointable and lasts until T_split.
+    Status s = dsms.Checkpoint();
+    int guard = 0;
+    while (!s.ok() && guard++ < 1000 && dsms.Step()) s = dsms.Checkpoint();
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    // The cut really is inside the migration.
+    ASSERT_TRUE(dsms.Info(id).migration_in_progress);
+  }
+  Dsms restored(options);
+  Dsms::QueryId id = 0;
+  ASSERT_NO_FATAL_FAILURE(SetupDrifting(&restored, &id));
+  const Status s = restored.Restore();
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_TRUE(restored.Info(id).migration_in_progress);
+  restored.RunToCompletion();
+  EXPECT_EQ(restored.Info(id).migrations_completed, 1);
+  EXPECT_TRUE(IsOrderedByStart(restored.Results(id)));
+  EXPECT_EQ(ref::SnapshotNormalForm(restored.Results(id)),
+            ref::SnapshotNormalForm(oracle));
+}
+
+// --- Sharded executor ------------------------------------------------------
+
+TEST(RestoreTest, ShardedCoordinatorResumesFromMarkerCut) {
+  auto plan = EquiJoin(Window(SourceNode("A", OneCol()), 20),
+                       Window(SourceNode("B", OneCol()), 20), 0, 0);
+  const par::InputMap inputs = RandomFeeds(31, 80, 4, {"A", "B"});
+  const MaterializedStream oracle =
+      ref::SnapshotNormalForm(ref::EvalPlanToStream(*plan, inputs));
+
+  par::Coordinator::Options options;
+  options.shards = 2;
+  options.queue_capacity = 64;
+  options.checkpoint_dir = TempDir();
+  options.checkpoint_period = 30;
+
+  MaterializedStream first;
+  {
+    par::Coordinator coordinator(plan, options);
+    Result<MaterializedStream> result = coordinator.Run(inputs);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    first = std::move(result).ValueOrDie();
+    ASSERT_GE(coordinator.store()->stats().commits, 1u);
+  }
+
+  par::Coordinator restored(plan, options);
+  ASSERT_TRUE(restored.Restore().ok());
+  // The checkpoint cut is mid-stream: the restored router starts with part
+  // of the input already accounted for and only routes the tail.
+  EXPECT_GT(restored.elements_routed(), 0u);
+  EXPECT_LT(restored.elements_routed(), 160u);
+  Result<MaterializedStream> result = restored.Run(inputs);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const MaterializedStream out = std::move(result).ValueOrDie();
+  EXPECT_TRUE(IsOrderedByStart(out));
+  EXPECT_EQ(ref::SnapshotNormalForm(out), oracle);
+  // Deterministic merge: the resumed run reproduces the exact byte sequence.
+  EXPECT_EQ(out, first);
+}
+
+TEST(RestoreTest, ShardedRestoreWithBroadcastMigration) {
+  auto wa = Window(SourceNode("A", OneCol()), 12);
+  auto wb = Window(SourceNode("B", OneCol()), 12);
+  auto wc = Window(SourceNode("C", OneCol()), 12);
+  auto old_plan = EquiJoin(EquiJoin(wa, wb, 0, 0), wc, 0, 0);
+  auto new_plan = EquiJoin(wa, EquiJoin(wb, wc, 0, 0), 0, 0);
+  const par::InputMap inputs = RandomFeeds(32, 60, 3, {"A", "B", "C"});
+  const MaterializedStream oracle =
+      ref::SnapshotNormalForm(ref::EvalPlanToStream(*old_plan, inputs));
+
+  par::Coordinator::Options options;
+  options.shards = 2;
+  options.queue_capacity = 64;
+  options.checkpoint_dir = TempDir();
+  options.checkpoint_period = 25;
+  const Timestamp at(40);
+
+  {
+    par::Coordinator coordinator(old_plan, options);
+    ASSERT_TRUE(coordinator.ScheduleGenMig(new_plan, at).ok());
+    Result<MaterializedStream> result = coordinator.Run(inputs);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_EQ(coordinator.migrations_completed(), 1);
+    ASSERT_GE(coordinator.store()->stats().commits, 1u);
+  }
+
+  // The restored coordinator re-declares the same schedule; whether the
+  // newest cut fell before or after the broadcast, the resumed run must
+  // still match the migration-free oracle.
+  par::Coordinator restored(old_plan, options);
+  ASSERT_TRUE(restored.ScheduleGenMig(new_plan, at).ok());
+  ASSERT_TRUE(restored.Restore().ok());
+  Result<MaterializedStream> result = restored.Run(inputs);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(restored.migrations_completed(), 1);
+  EXPECT_EQ(ref::SnapshotNormalForm(std::move(result).ValueOrDie()), oracle);
+}
+
+TEST(RestoreTest, ShardedScheduleMismatchIsDataLoss) {
+  auto plan = EquiJoin(Window(SourceNode("A", OneCol()), 20),
+                       Window(SourceNode("B", OneCol()), 20), 0, 0);
+  const par::InputMap inputs = RandomFeeds(33, 60, 4, {"A", "B"});
+  par::Coordinator::Options options;
+  options.shards = 2;
+  options.checkpoint_dir = TempDir();
+  options.checkpoint_period = 30;
+  {
+    par::Coordinator coordinator(plan, options);
+    ASSERT_TRUE(
+        coordinator.ScheduleGenMig(plan, Timestamp(10000)).ok());
+    Result<MaterializedStream> result = coordinator.Run(inputs);
+    ASSERT_TRUE(result.ok());
+    ASSERT_GE(coordinator.store()->stats().commits, 1u);
+  }
+  // Restoring without re-declaring the scheduled migration is a topology
+  // mismatch, reported as DataLoss rather than silently dropping it.
+  par::Coordinator restored(plan, options);
+  EXPECT_EQ(restored.Restore().code(), Status::Code::kDataLoss);
+}
+
+TEST(RestoreTest, DsmsShardedQueryRestoresThroughItsCoordinator) {
+  const par::InputMap feeds = RandomFeeds(34, 80, 4, {"A", "B"});
+  const char* kCql =
+      "SELECT A.x, B.x FROM A [RANGE 20], B [RANGE 20] WHERE A.x = B.x";
+
+  Dsms::Options options;
+  options.shards = 2;
+  auto setup = [&feeds, kCql](Dsms* dsms, Dsms::QueryId* id) {
+    for (const auto& [name, data] : feeds) {
+      dsms->RegisterStream(name, OneCol(), data);
+    }
+    auto installed = dsms->InstallQuery(kCql);
+    ASSERT_TRUE(installed.ok()) << installed.status().ToString();
+    *id = installed.value();
+  };
+
+  MaterializedStream oracle;
+  {
+    Dsms dsms(options);
+    Dsms::QueryId id = 0;
+    ASSERT_NO_FATAL_FAILURE(setup(&dsms, &id));
+    ASSERT_TRUE(dsms.Info(id).parallel);
+    dsms.RunToCompletion();
+    oracle = dsms.Results(id);
+  }
+
+  options.checkpoint_dir = TempDir();
+  options.checkpoint_period = 30;
+  {
+    Dsms dsms(options);
+    Dsms::QueryId id = 0;
+    ASSERT_NO_FATAL_FAILURE(setup(&dsms, &id));
+    // Seed the engine store before the "crash" so Restore() has an engine
+    // checkpoint to anchor on; the coordinator cuts its own checkpoints
+    // during the run.
+    ASSERT_TRUE(dsms.Checkpoint().ok());
+    dsms.RunToCompletion();
+  }
+  Dsms restored(options);
+  Dsms::QueryId id = 0;
+  ASSERT_NO_FATAL_FAILURE(setup(&restored, &id));
+  const Status s = restored.Restore();
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  restored.RunToCompletion();
+  EXPECT_EQ(ref::SnapshotNormalForm(restored.Results(id)),
+            ref::SnapshotNormalForm(oracle));
+}
+
+}  // namespace
+}  // namespace genmig

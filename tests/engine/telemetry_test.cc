@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <random>
 #include <string>
@@ -335,6 +336,71 @@ TEST(TelemetryTest, DisorderAdaptationsAreJournaled) {
   }
   // The last adaptation's delta is what the buffer ended on.
   EXPECT_EQ(static_cast<int64_t>(adapts.back().Num("new_delta")), info.delta);
+}
+
+// ISSUE 10 satellite: with durable state enabled, the checkpoint plane shows
+// up on all three surfaces — the Prometheus gauges, the /status JSON object,
+// and the decision journal's begin/commit pairs.
+TEST(TelemetryTest, CheckpointsSurfaceInMetricsStatusAndJournal) {
+  std::string dir = testing::TempDir() + "/genmig_ckpt_telemetry_XXXXXX";
+  ASSERT_NE(::mkdtemp(dir.data()), nullptr);
+
+  Dsms::Options options;
+  options.checkpoint_dir = dir;
+  options.checkpoint_period = 100;
+  Dsms dsms(options);
+  dsms.RegisterStream("S", Schema::OfInts({"x"}),
+                      ToPhysicalStream(GenerateKeyedStream(600, 5, 4, 7)));
+  auto id = dsms.InstallQuery("SELECT DISTINCT x FROM S [RANGE 50]");
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  dsms.RunToCompletion();
+  ASSERT_TRUE(dsms.Checkpoint().ok());  // At least one guaranteed commit.
+
+  const ckpt::Store::StatsSnapshot stats = dsms.CheckpointStats();
+  ASSERT_GE(stats.commits, 1u);
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_GT(stats.bytes, 0u);
+
+#ifndef GENMIG_NO_METRICS
+  const std::string body = dsms.MetricsText();
+  EXPECT_NE(body.find("genmig_ckpt_seq"), std::string::npos) << body;
+  EXPECT_NE(body.find("genmig_ckpt_commits_total"), std::string::npos);
+  EXPECT_NE(body.find("genmig_ckpt_failures_total 0"), std::string::npos);
+  EXPECT_NE(body.find("genmig_ckpt_bytes"), std::string::npos);
+  EXPECT_NE(body.find("genmig_ckpt_written_bytes"), std::string::npos);
+  EXPECT_NE(body.find("genmig_ckpt_duration_ns"), std::string::npos);
+  EXPECT_NE(body.find("genmig_ckpt_age_seconds"), std::string::npos);
+#endif
+
+  const std::string json = dsms.StatusJson();
+  EXPECT_NE(json.find("\"checkpoint\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"seq\""), std::string::npos);
+  EXPECT_NE(json.find("\"commits\""), std::string::npos);
+
+  // Every cycle journals a begin and a matching commit (no aborts here), and
+  // the numbers on the commit mirror the store's stats.
+  const std::vector<JournalEvent> cycles =
+      dsms.journal().SnapshotKind(JournalEvent::Kind::kCheckpoint);
+  size_t begins = 0;
+  size_t commits = 0;
+  const JournalEvent* last_commit = nullptr;
+  for (const JournalEvent& ev : cycles) {
+    EXPECT_EQ(ev.subject, "engine");
+    ASSERT_TRUE(ev.HasNum("seq"));
+    if (ev.Str("phase") == "begin") {
+      ++begins;
+    } else if (ev.Str("phase") == "commit") {
+      ++commits;
+      last_commit = &ev;
+    } else {
+      ADD_FAILURE() << "unexpected checkpoint phase " << ev.Str("phase");
+    }
+  }
+  EXPECT_EQ(begins, stats.commits);
+  ASSERT_EQ(commits, stats.commits);
+  ASSERT_NE(last_commit, nullptr);
+  EXPECT_EQ(static_cast<uint64_t>(last_commit->Num("seq")), stats.seq);
+  EXPECT_EQ(static_cast<uint64_t>(last_commit->Num("bytes")), stats.bytes);
 }
 
 TEST(TelemetryTest, CodegenDeploysAreJournaled) {

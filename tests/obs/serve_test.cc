@@ -4,9 +4,12 @@
 #include <gtest/gtest.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -114,6 +117,43 @@ TEST(TelemetryServerTest, HeadOmitsBodyAndPostIsRejected) {
       "POST /metrics HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n"
       "Connection: close\r\n\r\n");
   EXPECT_NE(post.find("HTTP/1.1 405"), std::string::npos) << post;
+  server.Stop();
+}
+
+/// Feeds `body` to tools/check_prom.py over stdin; returns its exit code
+/// (-1 when the tool cannot be spawned).
+int CheckProm(const std::string& body, bool allow_empty) {
+  std::string tool = __FILE__;  // <repo>/tests/obs/serve_test.cc
+  const size_t pos = tool.rfind("/tests/");
+  if (pos == std::string::npos) return -1;
+  tool = tool.substr(0, pos) + "/tools/check_prom.py";
+  const std::string cmd = std::string("python3 ") + tool +
+                          (allow_empty ? " --allow-empty" : "") +
+                          " >/dev/null 2>&1";
+  FILE* pipe = ::popen(cmd.c_str(), "w");
+  if (pipe == nullptr) return -1;
+  ::fwrite(body.data(), 1, body.size(), pipe);
+  const int status = ::pclose(pipe);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(TelemetryServerTest, EmptyMetricsScrapeFailsCheckProm) {
+  if (std::system("python3 --version >/dev/null 2>&1") != 0) {
+    GTEST_SKIP() << "python3 unavailable";
+  }
+  // Regression: a server that answers 200 with an EMPTY body used to sail
+  // through check_prom (every per-line check is vacuous on zero lines), so
+  // a dead registry or misrouted scrape looked green in CI.
+  TelemetryServer server;
+  server.Handle("/metrics", [] { return HttpResponse{}; });
+  ASSERT_TRUE(server.Start());
+  const std::string response = HttpGet(server.port(), "/metrics");
+  ASSERT_NE(response.find("HTTP/1.1 200"), std::string::npos) << response;
+  const std::string body = BodyOf(response);
+  ASSERT_TRUE(body.empty());
+  EXPECT_NE(CheckProm(body, /*allow_empty=*/false), 0);
+  EXPECT_EQ(CheckProm(body, /*allow_empty=*/true), 0);   // Deliberate opt-out.
+  EXPECT_EQ(CheckProm("# TYPE m gauge\nm 1\n", false), 0);  // Real sample: OK.
   server.Stop();
 }
 

@@ -1,9 +1,13 @@
 #!/usr/bin/env python3
 """Validate a Prometheus text-exposition (version 0.0.4) document.
 
-Usage: check_prom.py [FILE]          (reads stdin when FILE is omitted)
+Usage: check_prom.py [--allow-empty] [FILE]   (reads stdin when FILE is
+                                               omitted)
 
 Checks, beyond "every line parses":
+  * the document carries at least one sample — an empty body means the
+    scrape hit a dead or misrouted endpoint and is an error unless
+    --allow-empty is given (e.g. a deliberate GENMIG_NO_METRICS build);
   * metric names and label names are legal, label values are well escaped;
   * every sample parses to a finite-or-Inf float value;
   * # TYPE appears at most once per family, before its samples;
@@ -196,19 +200,29 @@ def check(text):
 
 
 def main():
-    if len(sys.argv) > 2:
+    args = sys.argv[1:]
+    allow_empty = "--allow-empty" in args
+    args = [a for a in args if a != "--allow-empty"]
+    if len(args) > 1:
         print(__doc__)
         return 2
-    if len(sys.argv) == 2 and sys.argv[1] not in ("-", "--help"):
-        with open(sys.argv[1], "r", encoding="utf-8") as f:
-            text = f.read()
-    elif len(sys.argv) == 2 and sys.argv[1] == "--help":
+    if len(args) == 1 and args[0] == "--help":
         print(__doc__)
         return 0
+    if len(args) == 1 and args[0] != "-":
+        with open(args[0], "r", encoding="utf-8") as f:
+            text = f.read()
     else:
         text = sys.stdin.read()
 
     errors, count = check(text)
+    # A valid-but-empty document is what a dead engine, a 404 body or a
+    # misconfigured scrape produces: every per-line check vacuously passes.
+    # Treat it as a failure unless the caller opted out.
+    if count == 0 and not allow_empty:
+        errors.append(
+            "document contains no samples (empty or comment-only body); "
+            "pass --allow-empty if this is expected")
     if errors:
         for e in errors:
             print(f"check_prom: {e}", file=sys.stderr)
